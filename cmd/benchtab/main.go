@@ -1,0 +1,179 @@
+// Command benchtab regenerates every table and figure of EXPERIMENTS.md and
+// prints them in the paper's terms.
+//
+// Usage:
+//
+//	benchtab -exp all            # everything at paper parameters
+//	benchtab -exp t3 -quick      # one experiment, reduced iterations
+//	benchtab -exp f1             # revocation sweep (simulated clock)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/pairing"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment: t1,t2,t3,t4,f1,f2,f3,ext or all (comma-separated)")
+		params = fs.String("params", "paper", "pairing parameter set: toy, fast or paper")
+		quick  = fs.Bool("quick", false, "reduced iterations/sweeps for a fast pass")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pp, err := pairing.ByName(*params)
+	if err != nil {
+		return err
+	}
+	selected := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		selected[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := selected["all"]
+	want := func(id string) bool { return all || selected[id] }
+
+	var w *bench.World
+	needWorld := want("t2") || want("t3") || want("t4") || want("f3")
+	if needWorld {
+		rsaBits := 1024
+		if *quick {
+			rsaBits = 512
+		}
+		w, err = bench.NewWorld(bench.WorldConfig{
+			Pairing:     pp,
+			RSABits:     rsaBits,
+			StartServer: want("t2") || want("f3"),
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = w.Close() }()
+	}
+
+	if want("t1") {
+		tbl, err := bench.Sizes(bench.SizesConfig{Pairing: pp})
+		if err != nil {
+			return fmt.Errorf("t1: %w", err)
+		}
+		if err := tbl.Fprint(out); err != nil {
+			return err
+		}
+	}
+	if want("t2") {
+		tbl, err := bench.Communication(w)
+		if err != nil {
+			return fmt.Errorf("t2: %w", err)
+		}
+		if err := tbl.Fprint(out); err != nil {
+			return err
+		}
+	}
+	if want("t3") {
+		iters, dur := 20, 200*time.Millisecond
+		if *quick {
+			iters, dur = 3, 20*time.Millisecond
+		}
+		tbl, err := bench.TimeOps(w, iters, dur)
+		if err != nil {
+			return fmt.Errorf("t3: %w", err)
+		}
+		if err := tbl.Fprint(out); err != nil {
+			return err
+		}
+	}
+	if want("t4") {
+		outcomes, err := bench.Attacks(w)
+		if err != nil {
+			return fmt.Errorf("t4: %w", err)
+		}
+		if err := bench.AttackTable(outcomes).Fprint(out); err != nil {
+			return err
+		}
+	}
+	if want("f1") {
+		cfg := bench.DefaultRevocationConfig()
+		if *quick {
+			cfg.Populations = []int{100}
+			cfg.Revocations = 5
+		}
+		tbl, err := bench.Revocation(cfg)
+		if err != nil {
+			return fmt.Errorf("f1: %w", err)
+		}
+		if err := tbl.Fprint(out); err != nil {
+			return err
+		}
+	}
+	if want("f2") {
+		cfg := bench.DefaultThresholdConfig()
+		if *quick {
+			cfg.Thresholds = []int{1, 2, 3}
+			cfg.Iters = 1
+		}
+		// F2 runs at the "fast" set by default so the sweep stays tractable;
+		// -params toy/fast overrides.
+		if *params != "paper" {
+			cfg.Pairing = pp
+		} else {
+			fast, err := pairing.Fast()
+			if err != nil {
+				return err
+			}
+			cfg.Pairing = fast
+		}
+		cells, err := bench.Threshold(cfg)
+		if err != nil {
+			return fmt.Errorf("f2: %w", err)
+		}
+		if err := bench.ThresholdTable(cells, cfg.Pairing).Fprint(out); err != nil {
+			return err
+		}
+	}
+	if want("ext") {
+		cfg := bench.ExtensionsConfig{}
+		if *quick {
+			cfg.GMBits = 256
+			cfg.RabinBits = 512
+			cfg.Iters = 1
+			cfg.Pairing = pp
+		}
+		tbl, err := bench.Extensions(cfg)
+		if err != nil {
+			return fmt.Errorf("ext: %w", err)
+		}
+		if err := tbl.Fprint(out); err != nil {
+			return err
+		}
+	}
+	if want("f3") {
+		cfg := bench.DefaultThroughputConfig()
+		if *quick {
+			cfg.Clients = []int{1, 4}
+			cfg.Duration = 200 * time.Millisecond
+		}
+		tbl, err := bench.Throughput(w, cfg)
+		if err != nil {
+			return fmt.Errorf("f3: %w", err)
+		}
+		if err := tbl.Fprint(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

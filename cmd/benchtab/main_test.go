@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchtabQuickSubset(t *testing.T) {
+	var out bytes.Buffer
+	// T1 + T4 + F1 at toy parameters keeps the test fast while covering a
+	// size table, an attack run and a simulation sweep.
+	if err := run([]string{"-exp", "t1,t4,f1", "-params", "toy", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"== T1", "== T4", "== F1", "SYSTEM BROKEN", "contained", "sem"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestBenchtabF2Quick(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "f2", "-params", "toy", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== F2") {
+		t.Errorf("missing F2 table:\n%s", out.String())
+	}
+}
+
+func TestBenchtabUnknownParams(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-params", "bogus"}, &out); err == nil {
+		t.Fatal("unknown parameter set accepted")
+	}
+}
+
+func TestBenchtabUnknownExperimentIsNoop(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "t9", "-params", "toy"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected output for unknown experiment: %q", out.String())
+	}
+}

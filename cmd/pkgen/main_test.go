@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/keyfile"
+)
+
+func TestPkgenDeploy(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "deploy")
+	err := run([]string{
+		"-out", out,
+		"-params", "toy",
+		"-rsa", "512",
+		"-ids", "alice@example.com, bob@example.com",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sys keyfile.System
+	if err := keyfile.Load(filepath.Join(out, "system.json"), &sys); err != nil {
+		t.Fatal(err)
+	}
+	if sys.ParamSet != "toy" || len(sys.RSAModulus) == 0 {
+		t.Fatalf("system = %+v", sys)
+	}
+	var store keyfile.SEMStore
+	if err := keyfile.Load(filepath.Join(out, "sem-store.json"), &store); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.IBE) != 2 || len(store.GDH) != 2 || len(store.RSA) != 2 {
+		t.Fatalf("store sizes: %d/%d/%d", len(store.IBE), len(store.GDH), len(store.RSA))
+	}
+	for _, id := range []string{"alice@example.com", "bob@example.com"} {
+		path := filepath.Join(out, "users", keyfile.UserFileName(id))
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("user file %s: %v", path, err)
+		}
+		if info.Mode().Perm() != 0o600 {
+			t.Errorf("user file %s has mode %v, want 0600", path, info.Mode().Perm())
+		}
+	}
+}
+
+func TestPkgenRequiresIDs(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir()}); err == nil {
+		t.Fatal("missing -ids accepted")
+	}
+}
+
+func TestPkgenRejectsUnknownParams(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-params", "nope", "-ids", "x@x"}); err == nil {
+		t.Fatal("unknown parameter set accepted")
+	}
+}
+
+func TestPkgenGenParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parameter generation in short mode")
+	}
+	if err := run([]string{"-genparams", "-qbits", "32", "-pbits", "80"}); err != nil {
+		t.Fatal(err)
+	}
+}

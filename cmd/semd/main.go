@@ -1,0 +1,126 @@
+// Command semd is the online security mediator daemon: it loads the SEM
+// key-half store written by pkgen and serves decryption tokens,
+// half-signatures and revocation administration over TCP until interrupted.
+//
+// Usage:
+//
+//	semd -addr :7300 -system deploy/system.json -store deploy/sem-store.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/keyfile"
+	"repro/internal/sem"
+)
+
+func main() {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], sigCh, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "semd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until an element arrives on stop. When ready is non-nil it
+// receives the bound listen address once the daemon is serving (tests use
+// this to connect to a ":0" listener).
+func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
+	fs := flag.NewFlagSet("semd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7300", "listen address")
+		systemFn  = fs.String("system", "deploy/system.json", "system parameters file")
+		storeFn   = fs.String("store", "deploy/sem-store.json", "SEM key-half store")
+		preRevoke = fs.String("revoked", "", "comma-separated identities to revoke at startup")
+		journalFn = fs.String("journal", "", "revocation journal file: persists revocations across restarts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sys keyfile.System
+	err := keyfile.Load(*systemFn, &sys)
+	if err != nil {
+		return err
+	}
+	var store keyfile.SEMStore
+	if err := keyfile.Load(*storeFn, &store); err != nil {
+		return err
+	}
+	var (
+		reg     *core.Registry
+		journal *core.Journal
+	)
+	if *journalFn != "" {
+		if journal, err = core.OpenJournal(*journalFn); err != nil {
+			return err
+		}
+		defer func() { _ = journal.Close() }()
+		reg = journal.Registry()
+	} else {
+		reg = core.NewRegistry()
+	}
+	for _, id := range strings.Split(*preRevoke, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			if journal != nil {
+				if err := journal.Revoke(id, "revoked at startup"); err != nil {
+					return err
+				}
+			} else {
+				reg.Revoke(id, "revoked at startup")
+			}
+		}
+	}
+	ibe, gdh, rsa, err := store.BuildSEMs(&sys, reg)
+	if err != nil {
+		return err
+	}
+	pp, err := sys.Params()
+	if err != nil {
+		return err
+	}
+	srv, err := sem.NewServer(sem.Config{
+		Registry: reg,
+		IBE:      ibe,
+		GDH:      gdh,
+		RSA:      rsa,
+		Journal:  journal,
+		Pairing:  pp,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("semd listen: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	log.Printf("semd: serving %d IBE / %d GDH / %d RSA identities on %s",
+		len(store.IBE), len(store.GDH), len(store.RSA), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-done:
+		return err
+	case s := <-stop:
+		log.Printf("semd: %v — shutting down", s)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		return <-done
+	}
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/keyfile"
+	"repro/internal/pairing"
+	"repro/internal/sem"
+)
+
+func writeDeployment(t *testing.T) string {
+	t.Helper()
+	d, err := keyfile.NewDeployment(keyfile.DeploymentConfig{ParamSet: "toy", MsgLen: 32, RSABits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enroll("alice@example.com"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := d.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSemdServeAndShutdown(t *testing.T) {
+	dir := writeDeployment(t)
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-system", filepath.Join(dir, "system.json"),
+			"-store", filepath.Join(dir, "sem-store.json"),
+			"-revoked", "mallory@example.com",
+		}, stop, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sem.Dial(addr, pp, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// The -revoked flag took effect.
+	revoked, err := client.Status("mallory@example.com")
+	if err != nil || !revoked {
+		t.Fatalf("startup revocation missing: %v %v", revoked, err)
+	}
+	_ = client.Close()
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestSemdMissingFiles(t *testing.T) {
+	stop := make(chan os.Signal)
+	if err := run([]string{"-system", "/nonexistent.json"}, stop, nil); err == nil {
+		t.Fatal("missing system file accepted")
+	}
+	dir := writeDeployment(t)
+	if err := run([]string{
+		"-system", filepath.Join(dir, "system.json"),
+		"-store", "/nonexistent.json",
+	}, stop, nil); err == nil {
+		t.Fatal("missing store file accepted")
+	}
+}
+
+func TestSemdBadAddress(t *testing.T) {
+	dir := writeDeployment(t)
+	stop := make(chan os.Signal)
+	if err := run([]string{
+		"-addr", "256.256.256.256:99999",
+		"-system", filepath.Join(dir, "system.json"),
+		"-store", filepath.Join(dir, "sem-store.json"),
+	}, stop, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+func TestSemdJournalSurvivesRestart(t *testing.T) {
+	dir := writeDeployment(t)
+	journal := filepath.Join(dir, "revocations.jsonl")
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-system", filepath.Join(dir, "system.json"),
+		"-store", filepath.Join(dir, "sem-store.json"),
+		"-journal", journal,
+	}
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: revoke alice over the wire, then shut down.
+	stop1 := make(chan os.Signal, 1)
+	ready1 := make(chan string, 1)
+	done1 := make(chan error, 1)
+	go func() { done1 <- run(args, stop1, ready1) }()
+	addr := <-ready1
+	client, err := sem.Dial(addr, pp, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Revoke("alice@example.com", "incident"); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	stop1 <- syscall.SIGTERM
+	if err := <-done1; err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: the revocation must have survived.
+	stop2 := make(chan os.Signal, 1)
+	ready2 := make(chan string, 1)
+	done2 := make(chan error, 1)
+	go func() { done2 <- run(args, stop2, ready2) }()
+	addr = <-ready2
+	client2, err := sem.Dial(addr, pp, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revoked, err := client2.Status("alice@example.com")
+	if err != nil || !revoked {
+		t.Fatalf("revocation lost across restart: %v %v", revoked, err)
+	}
+	// Unrevoke also persists.
+	if err := client2.Unrevoke("alice@example.com"); err != nil {
+		t.Fatal(err)
+	}
+	_ = client2.Close()
+	stop2 <- syscall.SIGTERM
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+
+	// Third life: unrevocation visible.
+	stop3 := make(chan os.Signal, 1)
+	ready3 := make(chan string, 1)
+	done3 := make(chan error, 1)
+	go func() { done3 <- run(args, stop3, ready3) }()
+	addr = <-ready3
+	client3, err := sem.Dial(addr, pp, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revoked, err = client3.Status("alice@example.com")
+	if err != nil || revoked {
+		t.Fatalf("unrevocation lost across restart: %v %v", revoked, err)
+	}
+	_ = client3.Close()
+	stop3 <- syscall.SIGTERM
+	if err := <-done3; err != nil {
+		t.Fatal(err)
+	}
+}

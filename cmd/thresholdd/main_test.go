@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/keyfile"
+)
+
+const testIdent = "vault@example.com"
+
+func writeThresholdDeployment(t *testing.T) string {
+	t.Helper()
+	d, err := keyfile.NewThresholdDeployment(keyfile.ThresholdDeploymentConfig{
+		ParamSet: "toy",
+		MsgLen:   32,
+		T:        2,
+		N:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enroll(testIdent); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := d.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// startPlayer launches one player daemon and returns its address and a stop
+// function.
+func startPlayer(t *testing.T, dir string, index int) (string, func()) {
+	t.Helper()
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-system", filepath.Join(dir, "threshold.json"),
+			"-player", filepath.Join(dir, "players", playerFile(index)),
+			"-addr", "127.0.0.1:0",
+		}, stop, ready, nil, nil)
+	}()
+	select {
+	case addr := <-ready:
+		return addr, func() {
+			stop <- syscall.SIGTERM
+			if err := <-done; err != nil {
+				t.Errorf("player %d shutdown: %v", index, err)
+			}
+		}
+	case err := <-done:
+		t.Fatalf("player %d exited early: %v", index, err)
+		return "", nil
+	case <-time.After(5 * time.Second):
+		t.Fatalf("player %d never became ready", index)
+		return "", nil
+	}
+}
+
+func playerFile(i int) string {
+	return "player-" + string(rune('0'+i)) + ".json"
+}
+
+func TestThresholdDaemonEndToEnd(t *testing.T) {
+	dir := writeThresholdDeployment(t)
+	a1, stop1 := startPlayer(t, dir, 1)
+	defer stop1()
+	a3, stop3 := startPlayer(t, dir, 3)
+	defer stop3()
+
+	system := filepath.Join(dir, "threshold.json")
+
+	// Encrypt.
+	var ct bytes.Buffer
+	err := run([]string{"-system", system, "-encrypt", "-id", testIdent},
+		nil, nil, strings.NewReader("split me"), &ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decrypt with players {1, 3} (player 2 undeployed).
+	var plain bytes.Buffer
+	err = run([]string{
+		"-system", system, "-decrypt", "-id", testIdent,
+		"-players", a1 + ",," + a3,
+	}, nil, nil, bytes.NewReader(ct.Bytes()), &plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(plain.String(), "split me") {
+		t.Fatalf("decrypted %q", plain.String()[:16])
+	}
+}
+
+func TestThresholdDaemonFailsBelowT(t *testing.T) {
+	dir := writeThresholdDeployment(t)
+	a1, stop1 := startPlayer(t, dir, 1)
+	defer stop1()
+	system := filepath.Join(dir, "threshold.json")
+
+	var ct bytes.Buffer
+	if err := run([]string{"-system", system, "-encrypt", "-id", testIdent},
+		nil, nil, strings.NewReader("x"), &ct); err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	err := run([]string{
+		"-system", system, "-decrypt", "-id", testIdent,
+		"-players", a1 + ",,",
+	}, nil, nil, bytes.NewReader(ct.Bytes()), &plain)
+	if err == nil {
+		t.Fatal("decryption with 1 < t players succeeded")
+	}
+}
+
+func TestThresholdDaemonArgErrors(t *testing.T) {
+	dir := writeThresholdDeployment(t)
+	system := filepath.Join(dir, "threshold.json")
+	if err := run([]string{"-system", "/nonexistent.json"}, nil, nil, nil, nil); err == nil {
+		t.Error("missing system accepted")
+	}
+	if err := run([]string{"-system", system}, nil, nil, nil, nil); err == nil {
+		t.Error("serve mode without -player accepted")
+	}
+	if err := run([]string{"-system", system, "-decrypt"}, nil, nil, strings.NewReader(""), nil); err == nil {
+		t.Error("decrypt without -id accepted")
+	}
+	if err := run([]string{"-system", system, "-encrypt"}, nil, nil, strings.NewReader(""), nil); err == nil {
+		t.Error("encrypt without -id accepted")
+	}
+	var out bytes.Buffer
+	if err := run([]string{
+		"-system", system, "-decrypt", "-id", testIdent,
+		"-players", "a,b,c,d",
+	}, nil, nil, strings.NewReader("eA=="), &out); err == nil {
+		t.Error("too many player addresses accepted")
+	}
+	long := strings.Repeat("x", 64)
+	if err := run([]string{"-system", system, "-encrypt", "-id", testIdent},
+		nil, nil, strings.NewReader(long), &out); err == nil {
+		t.Error("oversized plaintext accepted")
+	}
+}

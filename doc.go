@@ -1,0 +1,13 @@
+// Package repro reproduces "Efficient revocation and threshold pairing
+// based cryptosystems" (Libert & Quisquater, PODC 2003): a from-scratch
+// pairing substrate, the (t, n) threshold Boneh-Franklin IBE, the mediated
+// (SEM) Boneh-Franklin IBE and GDH signature, the IB-mRSA baseline, an
+// online SEM daemon, and a benchmark harness that regenerates every table
+// and figure of EXPERIMENTS.md.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); the runnable entry points are cmd/semd, cmd/pkgen, cmd/medcli and
+// cmd/benchtab, and the examples/ directory shows the public API on
+// realistic scenarios. The root-level bench_test.go binds each experiment
+// to a testing.B benchmark.
+package repro

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/bf"
+	"repro/internal/core"
+	"repro/internal/mrsa"
+)
+
+// AttackOutcome records one cell of the T4 compromise matrix.
+type AttackOutcome struct {
+	Scheme      string
+	Attack      string
+	SystemBroke bool // true = the attack compromises OTHER users
+	Elapsed     time.Duration
+	Detail      string
+}
+
+// Attacks runs T4: the executable compromise/collusion matrix of the
+// paper's security comparison.
+//
+//  1. IB-mRSA, user+SEM collusion: reassembling one identity's (e, d) over
+//     the common modulus factors n in milliseconds, yielding EVERY user's
+//     key — "completely broken if a user can corrupt a SEM".
+//  2. Mediated IBE, user+SEM collusion: the colluders reassemble exactly
+//     their own d_ID; decrypting another identity's ciphertext still fails.
+//     They can at most tamper with revocation state.
+//  3. Mediated GDH, user+SEM collusion: same containment — they recover one
+//     signing key, not the TA's randomness for other users.
+func Attacks(w *World) ([]AttackOutcome, error) {
+	var out []AttackOutcome
+
+	// --- IB-mRSA total break ---
+	start := time.Now()
+	e := mrsa.IdentityExponent(w.ID)
+	fullD, err := w.RSAPKG.FullExponent(w.ID)
+	if err != nil {
+		return nil, err
+	}
+	p, q, err := mrsa.FactorFromED(rand.Reader, w.RSAPub.N, e, fullD)
+	elapsed := time.Since(start)
+	if err != nil {
+		out = append(out, AttackOutcome{
+			Scheme: "ib-mrsa", Attack: "user+SEM collusion → factor n",
+			SystemBroke: false, Elapsed: elapsed,
+			Detail: fmt.Sprintf("factoring unexpectedly failed: %v", err),
+		})
+	} else {
+		// Derive a different victim's full key from the factorization.
+		victimBroken := verifyRSAVictimBreak(w, p, q)
+		out = append(out, AttackOutcome{
+			Scheme: "ib-mrsa", Attack: "user+SEM collusion → factor n",
+			SystemBroke: victimBroken, Elapsed: elapsed,
+			Detail: "common modulus factored; every identity's exponent derivable",
+		})
+	}
+
+	// --- Mediated IBE containment ---
+	start = time.Now()
+	broke, detail, err := ibeCollusion(w)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AttackOutcome{
+		Scheme: "mediated-ibe", Attack: "user+SEM collusion → other users' plaintext",
+		SystemBroke: broke, Elapsed: time.Since(start), Detail: detail,
+	})
+
+	// --- Mediated GDH containment ---
+	start = time.Now()
+	gdhBroke, gdhDetail, err := gdhCollusion(w)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AttackOutcome{
+		Scheme: "mediated-gdh", Attack: "user+SEM collusion → forge for other users",
+		SystemBroke: gdhBroke, Elapsed: time.Since(start), Detail: gdhDetail,
+	})
+	return out, nil
+}
+
+// verifyRSAVictimBreak checks that the recovered factors let the attacker
+// decrypt a ciphertext addressed to a *different* identity.
+func verifyRSAVictimBreak(w *World, p, q *big.Int) bool {
+	victim := "victim@example.com"
+	pub := w.RSAPKG.IdentityPublicKey(victim)
+	msg := []byte("victim secret")
+	ct, err := pub.EncryptOAEP(rand.Reader, msg)
+	if err != nil {
+		return false
+	}
+	kp, err := mrsa.KeyFromPrimes(p, q, mrsa.IdentityExponent(victim))
+	if err != nil {
+		return false
+	}
+	got, err := kp.DecryptOAEP(ct)
+	return err == nil && string(got) == string(msg)
+}
+
+// ibeCollusion: Mallory holds her user half and (having corrupted the SEM)
+// all SEM halves. Can she read Alice's mail?
+func ibeCollusion(w *World) (broke bool, detail string, err error) {
+	pub := w.IBEPKG.Public()
+	malloryUser, mallorySEM, err := w.IBEPKG.SplitExtract(rand.Reader, "mallory@example.com")
+	if err != nil {
+		return false, "", err
+	}
+	// Alice's ciphertext; Mallory knows Alice's SEM half too.
+	msg := make([]byte, w.MsgLen)
+	for i := range msg {
+		msg[i] = 0x5A
+	}
+	ct, err := pub.Encrypt(rand.Reader, w.ID, msg)
+	if err != nil {
+		return false, "", err
+	}
+	// Attempt 1: use Alice's SEM half as if it were her full key.
+	bogus := &bf.PrivateKey{ID: w.ID, D: w.IBESEMK.D}
+	if _, err := pub.Decrypt(bogus, ct); err == nil {
+		return true, "Alice's SEM half alone decrypted her ciphertext", nil
+	}
+	// Attempt 2: use Mallory's reassembled full key on Alice's ciphertext.
+	mKey, err := core.RecombineKey(malloryUser, mallorySEM)
+	if err != nil {
+		return false, "", err
+	}
+	if _, err := pub.Decrypt(mKey, ct); err == nil {
+		return true, "Mallory's key decrypted Alice's ciphertext", nil
+	}
+	// Sanity: the collusion does recover Mallory's own capability.
+	own, err := pub.Encrypt(rand.Reader, "mallory@example.com", msg)
+	if err != nil {
+		return false, "", err
+	}
+	if _, err := pub.Decrypt(mKey, own); err != nil {
+		return false, "", fmt.Errorf("collusion failed to even recover Mallory's own key: %w", err)
+	}
+	return false, "colluders recovered only their own key; Alice's traffic stays safe (can at most unrevoke identities)", nil
+}
+
+// gdhCollusion: colluders reassemble Mallory's signing scalar; Alice's
+// signing key remains out of reach — a signature in Alice's name still
+// fails verification.
+func gdhCollusion(w *World) (broke bool, detail string, err error) {
+	malloryUser, mallorySEM, err := w.GDHAuth.Keygen(rand.Reader, "mallory@example.com")
+	if err != nil {
+		return false, "", err
+	}
+	full, err := core.RecombineGDHKey(malloryUser, mallorySEM)
+	if err != nil {
+		return false, "", err
+	}
+	msg := []byte("pay mallory one million")
+	forged, err := full.Sign(msg)
+	if err != nil {
+		return false, "", err
+	}
+	// The forged signature verifies under MALLORY's key (her own capability,
+	// fine)…
+	if err := malloryUser.Public.Verify(msg, forged); err != nil {
+		return false, "", errors.New("collusion failed to recover Mallory's own signing key")
+	}
+	// …but not under Alice's public key.
+	if err := w.GDHUser.Public.Verify(msg, forged); err == nil {
+		return true, "signature forged under Alice's key", nil
+	}
+	return false, "colluders recovered only their own signing key; no forgery under other identities", nil
+}
+
+// AttackTable renders the outcomes as the T4 table.
+func AttackTable(outcomes []AttackOutcome) *Table {
+	rows := make([][]string, 0, len(outcomes))
+	for _, o := range outcomes {
+		verdict := "contained"
+		if o.SystemBroke {
+			verdict = "SYSTEM BROKEN"
+		}
+		rows = append(rows, []string{o.Scheme, o.Attack, verdict, o.Elapsed.Round(time.Microsecond).String(), o.Detail})
+	}
+	return &Table{
+		ID:      "T4",
+		Caption: "compromise/collusion matrix (executable attacks)",
+		Columns: []string{"scheme", "attack", "verdict", "time", "detail"},
+		Rows:    rows,
+		Notes: []string{
+			"expected shape: IB-mRSA = SYSTEM BROKEN (factor n from one (e,d) pair); both pairing schemes = contained",
+		},
+	}
+}

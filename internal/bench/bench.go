@@ -1,0 +1,70 @@
+// Package bench is the experiment harness shared by cmd/benchtab and the
+// root bench_test.go: for every table and figure in EXPERIMENTS.md it builds
+// the workload, runs it and returns structured rows that the CLI renders in
+// the paper's terms.
+//
+// Experiments:
+//
+//	T1 — private-key and ciphertext sizes (mediated IBE vs IB-mRSA)
+//	T2 — SEM→user communication per operation, measured on the wire
+//	T3 — per-operation computation, user and SEM sides
+//	T4 — compromise/collusion matrix (executable attacks)
+//	T5 — security-game sanity checks (see internal/core tests)
+//	F1 — revocation latency and PKG cost vs period and population
+//	F2 — threshold decryption scaling vs (t, n)
+//	F3 — SEM daemon throughput vs concurrent clients
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a generic experiment result: a caption, column headers and rows.
+type Table struct {
+	ID      string
+	Caption string
+	Columns []string
+	Rows    [][]string
+	// Notes records the expected paper shape so EXPERIMENTS.md and the CLI
+	// output stay self-describing.
+	Notes []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Caption); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	underline := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		underline[i] = strings.Repeat("-", len(c))
+	}
+	if _, err := fmt.Fprintln(tw, strings.Join(underline, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// bits renders a byte count in the paper's preferred unit.
+func bits(n int) string { return fmt.Sprintf("%d", n*8) }

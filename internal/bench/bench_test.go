@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pairing"
+)
+
+// testWorld builds a small World (toy pairing, 512-bit RSA) for driver
+// tests; the real experiments run at paper sizes via cmd/benchtab.
+func testWorld(t *testing.T, startServer bool) *World {
+	t.Helper()
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(WorldConfig{Pairing: pp, RSABits: 512, MsgLen: 32, StartServer: startServer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	return w
+}
+
+func TestTablePrint(t *testing.T) {
+	tbl := &Table{
+		ID:      "TX",
+		Caption: "caption",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TX", "caption", "a note", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSizesShape(t *testing.T) {
+	pp, _ := pairing.Toy()
+	tbl, err := Sizes(SizesConfig{Pairing: pp, RSABits: 512, MsgLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("T1 has %d rows, want 4", len(tbl.Rows))
+	}
+	// Shape: IBE user key half (compressed point, |p|+8 bits) must be
+	// smaller than the RSA user half (≈|n| bits).
+	ibeBits := mustInt(t, tbl.Rows[0][1])
+	rsaBits := mustInt(t, tbl.Rows[0][2])
+	if ibeBits >= rsaBits {
+		t.Errorf("IBE key %d bits not smaller than RSA key %d bits", ibeBits, rsaBits)
+	}
+}
+
+func TestSizesAtPaperParameters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size pairing in short mode")
+	}
+	tbl, err := Sizes(SizesConfig{}) // defaults: paper pairing, RSA-1024
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper claim: 512-ish bit IBE keys vs 1024-bit IB-mRSA halves. The
+	// compressed point is 520 bits (512 + tag byte); the RSA user half is
+	// ≈1024 bits.
+	ibeBits := mustInt(t, tbl.Rows[0][1])
+	rsaBits := mustInt(t, tbl.Rows[0][2])
+	if ibeBits != 520 {
+		t.Errorf("IBE user key = %d bits, want 520 (compressed 512-bit point)", ibeBits)
+	}
+	if rsaBits < 1000 || rsaBits > 1024 {
+		t.Errorf("RSA user half = %d bits, want ≈1024", rsaBits)
+	}
+}
+
+func TestCommunicationShape(t *testing.T) {
+	w := testWorld(t, true)
+	tbl, err := Communication(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("T2 has %d rows, want 4", len(tbl.Rows))
+	}
+	find := func(label string) int {
+		for _, row := range tbl.Rows {
+			if row[0] == label {
+				return mustInt(t, row[1])
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return 0
+	}
+	gdh := find("mediated GDH half-signature")
+	rsa := find("mRSA half-signature")
+	ibe := find("mediated IBE decryption token")
+	rsaDec := find("IB-mRSA half-decryption")
+	// Paper shape: GDH token strictly smaller than mRSA's; IBE token is a
+	// GT element (2|p|), comparable to (not better than) RSA.
+	if gdh >= rsa {
+		t.Errorf("GDH token %d bits not smaller than mRSA %d bits", gdh, rsa)
+	}
+	if ibe <= gdh {
+		t.Errorf("IBE token %d bits should exceed the GDH point %d bits", ibe, gdh)
+	}
+	if rsaDec == 0 {
+		t.Error("RSA half-decryption payload empty")
+	}
+}
+
+func TestOpsRunAndShape(t *testing.T) {
+	w := testWorld(t, false)
+	ops, err := Ops(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) < 14 {
+		t.Fatalf("T3 matrix has %d ops, want ≥ 14", len(ops))
+	}
+	for _, op := range ops {
+		if err := op.Run(); err != nil {
+			t.Errorf("%s/%s: %v", op.Scheme, op.Name, err)
+		}
+	}
+}
+
+func TestTimeOps(t *testing.T) {
+	w := testWorld(t, false)
+	tbl, err := TimeOps(w, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 14 {
+		t.Fatalf("T3 table has %d rows", len(tbl.Rows))
+	}
+}
+
+func TestAttacksMatrix(t *testing.T) {
+	w := testWorld(t, false)
+	outcomes, err := Attacks(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 3 {
+		t.Fatalf("T4 has %d outcomes, want 3", len(outcomes))
+	}
+	byScheme := map[string]AttackOutcome{}
+	for _, o := range outcomes {
+		byScheme[o.Scheme] = o
+	}
+	if !byScheme["ib-mrsa"].SystemBroke {
+		t.Error("IB-mRSA collusion must break the system (paper's total-break claim)")
+	}
+	if byScheme["mediated-ibe"].SystemBroke {
+		t.Error("mediated IBE collusion must stay contained")
+	}
+	if byScheme["mediated-gdh"].SystemBroke {
+		t.Error("mediated GDH collusion must stay contained")
+	}
+	tbl := AttackTable(outcomes)
+	if len(tbl.Rows) != 3 {
+		t.Fatal("attack table row count mismatch")
+	}
+}
+
+func TestRevocationSweepShape(t *testing.T) {
+	tbl, err := Revocation(RevocationConfig{
+		Periods:     []time.Duration{time.Hour, 24 * time.Hour},
+		Populations: []int{10},
+		Revocations: 5,
+		Window:      14 * 24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 SEM row + 2 models × 2 periods per population.
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("F1 has %d rows, want 5", len(tbl.Rows))
+	}
+	// SEM row: latency 0s, zero keys.
+	if tbl.Rows[0][0] != "sem" || tbl.Rows[0][3] != "0s" || tbl.Rows[0][5] != "0" {
+		t.Errorf("SEM row = %v", tbl.Rows[0])
+	}
+	// Validity-period rows issue keys; longer periods → higher latency.
+	var vpLatencies []time.Duration
+	for _, row := range tbl.Rows {
+		if row[0] == "validity-period" {
+			d, err := time.ParseDuration(row[3])
+			if err != nil {
+				t.Fatal(err)
+			}
+			vpLatencies = append(vpLatencies, d)
+			if row[5] == "0" {
+				t.Errorf("validity-period row issued no keys: %v", row)
+			}
+		}
+	}
+	if len(vpLatencies) != 2 || vpLatencies[0] >= vpLatencies[1] {
+		t.Errorf("validity latencies %v should grow with the period", vpLatencies)
+	}
+	if _, err := Revocation(RevocationConfig{Revocations: 0}); err == nil {
+		t.Error("zero revocations accepted")
+	}
+}
+
+func TestThresholdSweepShape(t *testing.T) {
+	pp, _ := pairing.Toy()
+	cells, err := Threshold(ThresholdConfig{
+		Pairing:    pp,
+		Thresholds: []int{1, 3},
+		MsgLen:     32,
+		Iters:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("F2 has %d cells, want 2", len(cells))
+	}
+	if cells[0].T != 1 || cells[0].N != 1 || cells[1].T != 3 || cells[1].N != 5 {
+		t.Errorf("cells have wrong (t, n): %+v", cells)
+	}
+	// Robust total (n proof verifications) must exceed a single share.
+	if cells[1].RobustTotal <= cells[1].ShareTime {
+		t.Error("robust total not above single-share cost")
+	}
+	tbl := ThresholdTable(cells, pp)
+	if len(tbl.Rows) != 2 {
+		t.Fatal("threshold table row mismatch")
+	}
+}
+
+func TestThroughputSmoke(t *testing.T) {
+	w := testWorld(t, true)
+	tbl, err := Throughput(w, ThroughputConfig{Clients: []int{2}, Duration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("F3 has %d rows, want 3", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		rate, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || rate <= 0 {
+			t.Errorf("row %v has nonpositive rate", row)
+		}
+	}
+	// Throughput without a server errors cleanly.
+	wNo := testWorld(t, false)
+	if _, err := Throughput(wNo, DefaultThroughputConfig()); err == nil {
+		t.Error("throughput without server accepted")
+	}
+}
+
+func TestWorldDialWithoutServer(t *testing.T) {
+	w := testWorld(t, false)
+	if _, err := w.Dial(); err == nil {
+		t.Fatal("dial without server accepted")
+	}
+}
+
+func mustInt(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not an int: %q", s)
+	}
+	return v
+}
+
+func TestExtensionsTable(t *testing.T) {
+	pp, _ := pairing.Toy()
+	tbl, err := Extensions(ExtensionsConfig{
+		Pairing:   pp,
+		GMBits:    256,
+		RabinBits: 512,
+		Iters:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("EXT has %d rows, want 7", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] == "0s" {
+			t.Errorf("row %v has zero timing", row)
+		}
+	}
+}

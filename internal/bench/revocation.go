@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/revoke"
+)
+
+// RevocationConfig parameterizes the F1 sweep.
+type RevocationConfig struct {
+	Periods     []time.Duration // validity-period / CRL-interval sweep
+	Populations []int           // user-count sweep
+	Revocations int             // revocations per run, spread over one week
+	Window      time.Duration   // simulation window
+}
+
+// DefaultRevocationConfig is the F1 sweep used by EXPERIMENTS.md.
+func DefaultRevocationConfig() RevocationConfig {
+	return RevocationConfig{
+		Periods:     []time.Duration{time.Hour, 24 * time.Hour, 7 * 24 * time.Hour},
+		Populations: []int{100, 1000, 10000},
+		Revocations: 20,
+		Window:      30 * 24 * time.Hour,
+	}
+}
+
+// Revocation runs F1: for each (period, population) cell it measures the
+// mean revocation latency and PKG reissue cost under the three models.
+//
+// Expected shape: SEM latency ≈ 0 and cost 0, independent of both axes;
+// validity-period latency ≈ period/2 and cost ≈ population × boundaries;
+// CRL latency ≈ interval/2 + propagation with no key reissue (but stale
+// relying parties).
+func Revocation(cfg RevocationConfig) (*Table, error) {
+	if cfg.Revocations <= 0 {
+		return nil, fmt.Errorf("bench: revocations must be positive")
+	}
+	revokeTimes := make([]time.Duration, cfg.Revocations)
+	for i := range revokeTimes {
+		// Spread over the first week, with a sub-hour offset so the sample
+		// points never alias onto period boundaries (which would bias the
+		// measured latency to a full period instead of ≈ period/2).
+		revokeTimes[i] = time.Duration(i+1)*(7*24*time.Hour)/time.Duration(cfg.Revocations+1) +
+			time.Duration(7*i+3)*time.Minute
+	}
+
+	var rows [][]string
+	for _, pop := range cfg.Populations {
+		sc := &revoke.Scenario{
+			Population:  pop,
+			Duration:    cfg.Window,
+			RevokeTimes: revokeTimes,
+		}
+		semRes, err := sc.Run(revoke.NewSEM())
+		if err != nil {
+			return nil, fmt.Errorf("sem scenario: %w", err)
+		}
+		rows = append(rows, []string{
+			"sem", fmt.Sprintf("%d", pop), "—",
+			semRes.MeanLatency.Round(time.Second).String(),
+			semRes.MaxLatency.Round(time.Second).String(),
+			fmt.Sprintf("%d", semRes.KeysIssued),
+		})
+		for _, period := range cfg.Periods {
+			vpRes, err := sc.Run(revoke.NewValidityPeriod(period))
+			if err != nil {
+				return nil, fmt.Errorf("validity scenario: %w", err)
+			}
+			rows = append(rows, []string{
+				"validity-period", fmt.Sprintf("%d", pop), period.String(),
+				vpRes.MeanLatency.Round(time.Second).String(),
+				vpRes.MaxLatency.Round(time.Second).String(),
+				fmt.Sprintf("%d", vpRes.KeysIssued),
+			})
+			crlRes, err := sc.Run(revoke.NewCRL(period, 10*time.Minute))
+			if err != nil {
+				return nil, fmt.Errorf("crl scenario: %w", err)
+			}
+			rows = append(rows, []string{
+				"crl", fmt.Sprintf("%d", pop), period.String(),
+				crlRes.MeanLatency.Round(time.Second).String(),
+				crlRes.MaxLatency.Round(time.Second).String(),
+				fmt.Sprintf("%d", crlRes.KeysIssued),
+			})
+		}
+	}
+	return &Table{
+		ID:      "F1",
+		Caption: "revocation latency and PKG reissue cost vs period and population (simulated clock)",
+		Columns: []string{"model", "population", "period", "mean latency", "max latency", "keys reissued"},
+		Rows:    rows,
+		Notes: []string{
+			"expected shape: SEM column constant at ≈0s/0 keys; validity-period mean latency ≈ period/2 and reissue cost linear in population",
+		},
+	}, nil
+}

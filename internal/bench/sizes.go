@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mrsa"
+	"repro/internal/pairing"
+)
+
+// SizesConfig parameterizes the T1 experiment.
+type SizesConfig struct {
+	Pairing *pairing.Params // defaults to the paper set (|q|=160, |p|=512)
+	RSABits int             // defaults to 1024
+	MsgLen  int             // plaintext length, defaults to 32 bytes
+}
+
+// Sizes runs T1: it builds one identity in the mediated IBE at the pairing
+// parameters and one in IB-mRSA at the RSA size, then measures the actual
+// serialized artifacts — private key material per party, public key
+// material, and a ciphertext for the same plaintext length.
+//
+// Expected shape (paper §4.1): mediated-IBE private keys are compressed G1
+// points — 512-bit level here, "or even 160 bits" with subgroup-position
+// encodings — versus 1024 bits for IB-mRSA; the IBE ciphertext beats the
+// 1024-bit RSA block once parameters are small.
+func Sizes(cfg SizesConfig) (*Table, error) {
+	if cfg.Pairing == nil {
+		pp, err := pairing.Paper()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Pairing = pp
+	}
+	if cfg.RSABits == 0 {
+		cfg.RSABits = 1024
+	}
+	if cfg.MsgLen == 0 {
+		cfg.MsgLen = 32
+	}
+
+	// Mediated IBE artifacts.
+	pkg, err := core.NewMediatedPKG(rand.Reader, cfg.Pairing, cfg.MsgLen)
+	if err != nil {
+		return nil, err
+	}
+	userHalf, semHalf, err := pkg.SplitExtract(rand.Reader, "alice@example.com")
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, cfg.MsgLen)
+	ct, err := pkg.Public().Encrypt(rand.Reader, "alice@example.com", msg)
+	if err != nil {
+		return nil, err
+	}
+	ibeUserKey := len(userHalf.D.Marshal())
+	ibeSEMKey := len(semHalf.D.Marshal())
+	ibeCipher := len(ct.Marshal())
+	ibePublic := len(pkg.Public().PPub.Marshal())
+
+	// IB-mRSA artifacts.
+	var ibpkg *mrsa.IBPKG
+	switch cfg.RSABits {
+	case 1024:
+		ibpkg, err = mrsa.FixedPaperPKG()
+	case 512:
+		ibpkg, err = mrsa.FixedTestPKG()
+	default:
+		ibpkg, err = mrsa.NewIBPKG(rand.Reader, cfg.RSABits)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rsaUser, rsaSEM, err := ibpkg.IssueHalves(rand.Reader, "alice@example.com")
+	if err != nil {
+		return nil, err
+	}
+	rsaPub := ibpkg.IdentityPublicKey("alice@example.com")
+	rsaCT, err := rsaPub.EncryptOAEP(rand.Reader, msg[:min(cfg.MsgLen, rsaPub.MaxMessageLen())])
+	if err != nil {
+		return nil, err
+	}
+	rsaUserKey := len(rsaUser.Half.Bytes())
+	rsaSEMKey := len(rsaSEM.Half.Bytes())
+	rsaCipher := len(rsaCT)
+	rsaPublic := len(rsaPub.N.Bytes())
+
+	qBits := cfg.Pairing.Q().BitLen()
+	pBits := cfg.Pairing.P().BitLen()
+	return &Table{
+		ID: "T1",
+		Caption: fmt.Sprintf("key and ciphertext sizes: mediated IBE (|q|=%d, |p|=%d) vs IB-mRSA (%d-bit), %d-byte plaintext",
+			qBits, pBits, cfg.RSABits, cfg.MsgLen),
+		Columns: []string{"artifact", "mediated IBE (bits)", "IB-mRSA (bits)"},
+		Rows: [][]string{
+			{"user private-key half", bits(ibeUserKey), bits(rsaUserKey)},
+			{"SEM private-key half", bits(ibeSEMKey), bits(rsaSEMKey)},
+			{"system public value (P_pub / n)", bits(ibePublic), bits(rsaPublic)},
+			{"ciphertext", bits(ibeCipher), bits(rsaCipher)},
+		},
+		Notes: []string{
+			"IBE key halves are compressed G1 points (x + sign); the paper's §4.1 claim is 512 or even 160 bits vs 1024 for IB-mRSA",
+			"the IBE subgroup position carries only |q| bits of entropy; a subgroup-index encoding would reach the paper's 160-bit figure",
+		},
+	}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

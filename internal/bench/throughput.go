@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bls"
+	"repro/internal/sem"
+)
+
+// ThroughputConfig parameterizes the F3 experiment.
+type ThroughputConfig struct {
+	Clients  []int         // concurrency sweep
+	Duration time.Duration // measurement window per cell
+}
+
+// DefaultThroughputConfig is the F3 sweep used by EXPERIMENTS.md.
+func DefaultThroughputConfig() ThroughputConfig {
+	return ThroughputConfig{Clients: []int{1, 4, 16}, Duration: 500 * time.Millisecond}
+}
+
+// Throughput runs F3: sustained SEM-daemon token throughput per scheme at
+// increasing client concurrency, over the real TCP protocol.
+//
+// Expected shape: per-op cost orders the schemes — the mRSA half-op (one
+// modexp) and the GDH half-sign (one scalar multiplication) sit far above
+// the IBE token (one pairing); throughput scales with clients until CPU
+// saturation.
+func Throughput(w *World, cfg ThroughputConfig) (*Table, error) {
+	if w.Addr() == "" {
+		return nil, fmt.Errorf("bench: throughput needs a running SEM server")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 500 * time.Millisecond
+	}
+	msg := make([]byte, w.MsgLen)
+	ct, err := w.IBEPKG.Public().Encrypt(rand.Reader, w.ID, msg)
+	if err != nil {
+		return nil, err
+	}
+	h, err := bls.HashMessage(w.Pairing, []byte("f3 throughput probe"))
+	if err != nil {
+		return nil, err
+	}
+
+	workloads := []struct {
+		name string
+		body func(c *sem.Client) error
+	}{
+		{"ibe-token", func(c *sem.Client) error {
+			_, err := c.IBEToken(w.ID, ct.U)
+			return err
+		}},
+		{"gdh-half-sign", func(c *sem.Client) error {
+			_, err := c.GDHHalfSign(w.ID, h)
+			return err
+		}},
+		{"rsa-half-sign", func(c *sem.Client) error {
+			_, err := c.RSAHalfSign(w.ID, msg)
+			return err
+		}},
+	}
+
+	var rows [][]string
+	for _, wl := range workloads {
+		for _, nClients := range cfg.Clients {
+			opsPerSec, err := w.measure(wl.body, nClients, cfg.Duration)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%d clients: %w", wl.name, nClients, err)
+			}
+			rows = append(rows, []string{
+				wl.name,
+				fmt.Sprintf("%d", nClients),
+				fmt.Sprintf("%.0f", opsPerSec),
+			})
+		}
+	}
+	return &Table{
+		ID:      "F3",
+		Caption: "SEM daemon throughput over TCP vs concurrent clients",
+		Columns: []string{"operation", "clients", "tokens/sec"},
+		Rows:    rows,
+		Notes: []string{
+			"expected shape: rsa-half-sign ≥ gdh-half-sign ≫ ibe-token (pairing-bound); scaling with clients up to CPU saturation",
+		},
+	}, nil
+}
+
+// measure hammers the SEM with nClients concurrent connections for the
+// window and returns the aggregate operation rate.
+func (w *World) measure(body func(*sem.Client) error, nClients int, d time.Duration) (float64, error) {
+	var ops atomic.Int64
+	var firstErr atomic.Value
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		client, err := w.Dial()
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return 0, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { _ = client.Close() }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := body(client); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				ops.Add(1)
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if v := firstErr.Load(); v != nil {
+		return 0, v.(error)
+	}
+	return float64(ops.Load()) / elapsed.Seconds(), nil
+}

@@ -1,0 +1,48 @@
+package bls_test
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"repro/internal/bls"
+	"repro/internal/pairing"
+	"repro/internal/shamir"
+)
+
+// ExampleCombine demonstrates Boldyreva threshold signing: any t of n
+// partial signatures combine into one ordinary GDH signature.
+func ExampleCombine() {
+	pp, err := pairing.Fast()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dealer, err := bls.NewThresholdDealer(rand.Reader, pp, 2, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	msg := []byte("threshold-signed")
+	var partials []shamir.PointShare
+	for _, i := range []int{1, 3} { // any 2-of-3 subset
+		share, err := dealer.PlayerShare(i)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		partial, err := bls.SignShare(pp, share, msg)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		partials = append(partials, partial)
+	}
+	sig, err := bls.Combine(pp, partials, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("verifies:", dealer.GroupKey().Verify(msg, sig) == nil)
+	// Output:
+	// verifies: true
+}

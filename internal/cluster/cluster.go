@@ -1,0 +1,365 @@
+// Package cluster is the network embedding of the paper's threshold IBE
+// (Section 3): each of the n players runs a PlayerServer holding its
+// identity-key shares, and a Recombiner fans a ciphertext out to the
+// players, verifies the returned decryption shares' robustness proofs, and
+// recombines any t acceptable ones — tolerating unreachable and byzantine
+// players exactly as the paper's recombiner is meant to.
+//
+// Wire format: the shared length-prefixed JSON framing of internal/wire.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bf"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+var (
+	// ErrUnknownIdentity is returned when a player holds no key share for
+	// the identity.
+	ErrUnknownIdentity = errors.New("cluster: unknown identity")
+
+	// ErrNotEnoughShares is returned when fewer than t usable shares could
+	// be collected.
+	ErrNotEnoughShares = errors.New("cluster: not enough valid shares")
+)
+
+// request is one recombiner → player message.
+type request struct {
+	Op string `json:"op"` // "share" | "ping"
+	ID string `json:"id,omitempty"`
+	U  []byte `json:"u,omitempty"` // compressed ciphertext point
+}
+
+// proofWire serializes a core.ShareProof.
+type proofWire struct {
+	W1 []byte `json:"w1"`
+	W2 []byte `json:"w2"`
+	E  []byte `json:"e"`
+	V  []byte `json:"v"`
+}
+
+// response is one player → recombiner message.
+type response struct {
+	OK    bool       `json:"ok"`
+	Error string     `json:"error,omitempty"`
+	Index int        `json:"index,omitempty"`
+	G     []byte     `json:"g,omitempty"`
+	Proof *proofWire `json:"proof,omitempty"`
+}
+
+// PlayerServer is one decryption server of the cluster. Safe for
+// concurrent use.
+type PlayerServer struct {
+	params *core.ThresholdParams
+	index  int
+
+	keysMu sync.RWMutex
+	keys   map[string]*core.KeyShare
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// misbehave, when set, corrupts outgoing shares — the test hook for
+	// byzantine behaviour.
+	misbehave func(*core.DecryptionShare) *core.DecryptionShare
+}
+
+// NewPlayerServer creates player index's server.
+func NewPlayerServer(params *core.ThresholdParams, index int) (*PlayerServer, error) {
+	if index < 1 || index > params.N {
+		return nil, fmt.Errorf("cluster: player index %d out of 1..%d", index, params.N)
+	}
+	return &PlayerServer{
+		params: params,
+		index:  index,
+		keys:   make(map[string]*core.KeyShare),
+		conns:  make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Install registers the player's key share for an identity (after
+// verifying it, as the paper's Keygen demands).
+func (p *PlayerServer) Install(share *core.KeyShare) error {
+	if share.Index != p.index {
+		return fmt.Errorf("cluster: share for player %d installed on player %d", share.Index, p.index)
+	}
+	if err := p.params.VerifyKeyShare(share); err != nil {
+		return fmt.Errorf("cluster: refusing bad key share: %w", err)
+	}
+	p.keysMu.Lock()
+	defer p.keysMu.Unlock()
+	p.keys[share.ID] = share
+	return nil
+}
+
+// SetMisbehaviour installs a share-corrupting hook (tests only).
+func (p *PlayerServer) SetMisbehaviour(f func(*core.DecryptionShare) *core.DecryptionShare) {
+	p.misbehave = f
+}
+
+// Serve accepts connections until Close.
+func (p *PlayerServer) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errors.New("cluster: player server is closed")
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("cluster accept: %w", err)
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+// Addr returns the bound address once serving.
+func (p *PlayerServer) Addr() net.Addr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln == nil {
+		return nil
+	}
+	return p.ln.Addr()
+}
+
+// Close stops the server and drains handlers.
+func (p *PlayerServer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.ln
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *PlayerServer) handle(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+	}()
+	for {
+		var req request
+		if _, err := wire.ReadFrame(conn, &req); err != nil {
+			return
+		}
+		resp := p.dispatch(&req)
+		if _, err := wire.WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (p *PlayerServer) dispatch(req *request) *response {
+	switch req.Op {
+	case "ping":
+		return &response{OK: true, Index: p.index}
+	case "share":
+		return p.shareResponse(req)
+	default:
+		return &response{OK: false, Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (p *PlayerServer) shareResponse(req *request) *response {
+	p.keysMu.RLock()
+	key, ok := p.keys[req.ID]
+	p.keysMu.RUnlock()
+	if !ok {
+		return &response{OK: false, Error: ErrUnknownIdentity.Error()}
+	}
+	u, err := p.params.Public.Pairing.Curve().Unmarshal(req.U)
+	if err != nil {
+		return &response{OK: false, Error: "bad ciphertext point: " + err.Error()}
+	}
+	if u.IsInfinity() || !u.InSubgroup() {
+		return &response{OK: false, Error: "ciphertext point outside G1"}
+	}
+	ds, err := p.params.ComputeShareWithProof(nil, key, u)
+	if err != nil {
+		return &response{OK: false, Error: err.Error()}
+	}
+	if p.misbehave != nil {
+		ds = p.misbehave(ds)
+	}
+	return &response{
+		OK:    true,
+		Index: ds.Index,
+		G:     ds.G.Bytes(),
+		Proof: &proofWire{
+			W1: ds.Proof.W1.Bytes(),
+			W2: ds.Proof.W2.Bytes(),
+			E:  ds.Proof.E.Bytes(),
+			V:  ds.Proof.V.Marshal(),
+		},
+	}
+}
+
+// Recombiner is the designated-player client: it collects, verifies and
+// combines decryption shares from the player servers.
+type Recombiner struct {
+	params *core.ThresholdParams
+	// addrs[i-1] is player i's address ("" = player not deployed).
+	addrs   []string
+	timeout time.Duration
+}
+
+// NewRecombiner binds a recombiner to the cluster topology.
+func NewRecombiner(params *core.ThresholdParams, addrs []string, timeout time.Duration) (*Recombiner, error) {
+	if len(addrs) != params.N {
+		return nil, fmt.Errorf("cluster: %d addresses for n=%d players", len(addrs), params.N)
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Recombiner{params: params, addrs: addrs, timeout: timeout}, nil
+}
+
+// Decrypt fans the ciphertext out to every reachable player, verifies each
+// returned share's proof, and recombines t acceptable shares. It returns
+// the plaintext together with the indices of players whose responses were
+// rejected (unreachable, malformed, or failing the NIZK check).
+func (r *Recombiner) Decrypt(id string, c *bf.BasicCiphertext) (msg []byte, rejected []int, err error) {
+	type outcome struct {
+		index int
+		share *core.DecryptionShare
+		err   error
+	}
+	results := make(chan outcome, r.params.N)
+	var wg sync.WaitGroup
+	for i := 1; i <= r.params.N; i++ {
+		addr := r.addrs[i-1]
+		if addr == "" {
+			results <- outcome{index: i, err: errors.New("not deployed")}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			share, err := r.fetchShare(addr, id, c)
+			results <- outcome{index: i, share: share, err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+	close(results)
+
+	valid := make([]*core.DecryptionShare, 0, r.params.N)
+	for out := range results {
+		if out.err != nil {
+			rejected = append(rejected, out.index)
+			continue
+		}
+		if err := r.params.VerifyShareProof(id, c.U, out.share); err != nil {
+			rejected = append(rejected, out.index)
+			continue
+		}
+		valid = append(valid, out.share)
+	}
+	if len(valid) < r.params.T {
+		return nil, rejected, fmt.Errorf("%w: %d of %d", ErrNotEnoughShares, len(valid), r.params.N)
+	}
+	msg, err = r.params.Recombine(valid[:r.params.T], c)
+	return msg, rejected, err
+}
+
+// fetchShare performs one share request against a player.
+func (r *Recombiner) fetchShare(addr, id string, c *bf.BasicCiphertext) (*core.DecryptionShare, error) {
+	conn, err := net.DialTimeout("tcp", addr, r.timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(r.timeout))
+	if _, err := wire.WriteFrame(conn, &request{Op: "share", ID: id, U: c.U.Marshal()}); err != nil {
+		return nil, err
+	}
+	var resp response
+	if _, err := wire.ReadFrame(conn, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return r.decodeShare(&resp)
+}
+
+func (r *Recombiner) decodeShare(resp *response) (*core.DecryptionShare, error) {
+	pp := r.params.Public.Pairing
+	g, err := pp.GTFromBytes(resp.G)
+	if err != nil {
+		return nil, fmt.Errorf("share value: %w", err)
+	}
+	if resp.Proof == nil {
+		return nil, errors.New("cluster: response missing proof")
+	}
+	w1, err := pp.GTFromBytes(resp.Proof.W1)
+	if err != nil {
+		return nil, fmt.Errorf("proof w1: %w", err)
+	}
+	w2, err := pp.GTFromBytes(resp.Proof.W2)
+	if err != nil {
+		return nil, fmt.Errorf("proof w2: %w", err)
+	}
+	v, err := pp.Curve().Unmarshal(resp.Proof.V)
+	if err != nil {
+		return nil, fmt.Errorf("proof v: %w", err)
+	}
+	return &core.DecryptionShare{
+		Index: resp.Index,
+		G:     g,
+		Proof: &core.ShareProof{
+			W1: w1,
+			W2: w2,
+			E:  new(big.Int).SetBytes(resp.Proof.E),
+			V:  v,
+		},
+	}, nil
+}
+
+// wireWrite and wireRead expose the framing to the package's tests.
+func wireWrite(conn net.Conn, v any) (int, error) { return wire.WriteFrame(conn, v) }
+func wireRead(conn net.Conn, v any) (int, error)  { return wire.ReadFrame(conn, v) }

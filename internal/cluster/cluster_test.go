@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pairing"
+)
+
+const (
+	msgLen = 32
+	tt     = 3
+	nn     = 5
+	ident  = "cluster@example.com"
+)
+
+// deployment spins up a full (t, n) cluster on loopback listeners.
+type deployment struct {
+	params  *core.ThresholdParams
+	players []*PlayerServer
+	addrs   []string
+}
+
+func deploy(t *testing.T) *deployment {
+	t.Helper()
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := core.SetupThreshold(rand.Reader, pp, msgLen, tt, nn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := pkg.Params()
+	d := &deployment{params: params, addrs: make([]string, nn)}
+	for i := 1; i <= nn; i++ {
+		srv, err := NewPlayerServer(params, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks, err := pkg.ExtractShare(ident, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Install(ks); err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		d.players = append(d.players, srv)
+		d.addrs[i-1] = ln.Addr().String()
+	}
+	t.Cleanup(func() {
+		for _, p := range d.players {
+			_ = p.Close()
+		}
+	})
+	return d
+}
+
+func (d *deployment) recombiner(t *testing.T) *Recombiner {
+	t.Helper()
+	r, err := NewRecombiner(d.params, d.addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestClusterDecryption(t *testing.T) {
+	d := deploy(t)
+	r := d.recombiner(t)
+	msg := bytes.Repeat([]byte{0xCA}, msgLen)
+	c, err := d.params.Public.EncryptBasic(rand.Reader, ident, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rejected, err := r.Decrypt(ident, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejected) != 0 {
+		t.Fatalf("rejected = %v with all players honest", rejected)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("decrypted %x, want %x", got, msg)
+	}
+}
+
+func TestClusterToleratesByzantinePlayer(t *testing.T) {
+	d := deploy(t)
+	// Player 2 returns corrupted shares (proof left stale).
+	d.players[1].SetMisbehaviour(func(ds *core.DecryptionShare) *core.DecryptionShare {
+		return &core.DecryptionShare{Index: ds.Index, G: ds.G.Mul(ds.G), Proof: ds.Proof}
+	})
+	r := d.recombiner(t)
+	msg := bytes.Repeat([]byte{0x11}, msgLen)
+	c, _ := d.params.Public.EncryptBasic(rand.Reader, ident, msg)
+	got, rejected, err := r.Decrypt(ident, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejected) != 1 || rejected[0] != 2 {
+		t.Fatalf("rejected = %v, want [2]", rejected)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("byzantine-tolerant decryption failed")
+	}
+}
+
+func TestClusterToleratesCrashedPlayers(t *testing.T) {
+	d := deploy(t)
+	// Crash two players: 5 − 2 = 3 = t still suffices.
+	_ = d.players[0].Close()
+	_ = d.players[4].Close()
+	r := d.recombiner(t)
+	msg := bytes.Repeat([]byte{0x22}, msgLen)
+	c, _ := d.params.Public.EncryptBasic(rand.Reader, ident, msg)
+	got, rejected, err := r.Decrypt(ident, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejected) != 2 {
+		t.Fatalf("rejected = %v, want two crashed players", rejected)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("decryption with crashed players failed")
+	}
+}
+
+func TestClusterFailsBelowThreshold(t *testing.T) {
+	d := deploy(t)
+	// Crash three of five: only 2 < t = 3 remain.
+	for _, i := range []int{0, 1, 2} {
+		_ = d.players[i].Close()
+	}
+	r := d.recombiner(t)
+	msg := bytes.Repeat([]byte{0x33}, msgLen)
+	c, _ := d.params.Public.EncryptBasic(rand.Reader, ident, msg)
+	if _, _, err := r.Decrypt(ident, c); !errors.Is(err, ErrNotEnoughShares) {
+		t.Fatalf("sub-threshold cluster decrypted: %v", err)
+	}
+}
+
+func TestClusterUnknownIdentity(t *testing.T) {
+	d := deploy(t)
+	r := d.recombiner(t)
+	msg := bytes.Repeat([]byte{0x44}, msgLen)
+	c, _ := d.params.Public.EncryptBasic(rand.Reader, "ghost@example.com", msg)
+	if _, _, err := r.Decrypt("ghost@example.com", c); !errors.Is(err, ErrNotEnoughShares) {
+		t.Fatalf("unknown identity decrypted: %v", err)
+	}
+}
+
+func TestPlayerInstallValidation(t *testing.T) {
+	d := deploy(t)
+	pp, _ := pairing.Toy()
+	otherPKG, err := core.SetupThreshold(rand.Reader, pp, msgLen, tt, nn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Share from a different system fails the pairing check.
+	foreign, _ := otherPKG.ExtractShare(ident, 1)
+	if err := d.players[0].Install(foreign); err == nil {
+		t.Error("foreign key share accepted")
+	}
+	// Share for the wrong player index.
+	own, _ := otherPKG.ExtractShare(ident, 2)
+	if err := d.players[0].Install(own); err == nil {
+		t.Error("misindexed key share accepted")
+	}
+	// Server constructor validation.
+	if _, err := NewPlayerServer(d.params, 0); err == nil {
+		t.Error("player index 0 accepted")
+	}
+	if _, err := NewPlayerServer(d.params, nn+1); err == nil {
+		t.Error("player index n+1 accepted")
+	}
+}
+
+func TestRecombinerValidation(t *testing.T) {
+	d := deploy(t)
+	if _, err := NewRecombiner(d.params, d.addrs[:2], time.Second); err == nil {
+		t.Error("address/player count mismatch accepted")
+	}
+}
+
+func TestClusterRejectsMalformedPoint(t *testing.T) {
+	d := deploy(t)
+	conn, err := net.Dial("tcp", d.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := writeFrameForTest(conn, &request{Op: "share", ID: ident, U: []byte{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if _, err := readFrameForTest(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("malformed point accepted")
+	}
+}
+
+func TestClusterPing(t *testing.T) {
+	d := deploy(t)
+	conn, err := net.Dial("tcp", d.addrs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := writeFrameForTest(conn, &request{Op: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if _, err := readFrameForTest(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Index != 3 {
+		t.Fatalf("ping response = %+v", resp)
+	}
+	// Unknown op is rejected.
+	if _, err := writeFrameForTest(conn, &request{Op: "nonsense"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrameForTest(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+// Test-only frame helpers delegating to the shared wire package.
+func writeFrameForTest(conn net.Conn, v any) (int, error) { return wireWrite(conn, v) }
+func readFrameForTest(conn net.Conn, v any) (int, error)  { return wireRead(conn, v) }

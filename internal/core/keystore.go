@@ -1,0 +1,39 @@
+package core
+
+import "sync"
+
+// keyStore is a small concurrency-safe string-keyed map shared by the SEM
+// implementations for their per-identity key halves.
+type keyStore[T any] struct {
+	mu sync.RWMutex
+	m  map[string]T
+}
+
+func newKeyStore[T any]() *keyStore[T] {
+	return &keyStore[T]{m: make(map[string]T)}
+}
+
+func (s *keyStore[T]) put(id string, v T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[id] = v
+}
+
+func (s *keyStore[T]) get(id string) (T, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[id]
+	return v, ok
+}
+
+func (s *keyStore[T]) delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, id)
+}
+
+func (s *keyStore[T]) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/gm"
+)
+
+// GMSEM is the mediator side of mediated Goldwasser-Micali encryption —
+// the first of the two extensions the paper's conclusion conjectures
+// ("we conjecture the SEM method can also be integrated into many other
+// existing public key cryptosystems including the Goldwasser-Micali
+// probabilistic encryption"). It plugs into the same Registry as the
+// other SEMs. Safe for concurrent use.
+type GMSEM struct {
+	reg  *Registry
+	keys *keyStore[*gm.HalfKey]
+}
+
+// NewGMSEM constructs a GM SEM over a (possibly shared) revocation
+// registry.
+func NewGMSEM(reg *Registry) *GMSEM {
+	return &GMSEM{reg: reg, keys: newKeyStore[*gm.HalfKey]()}
+}
+
+// Register installs an identity's SEM exponent half.
+func (s *GMSEM) Register(id string, half *gm.HalfKey) { s.keys.put(id, half) }
+
+// Registry exposes the revocation registry (admin interface).
+func (s *GMSEM) Registry() *Registry { return s.reg }
+
+// HalfDecrypt applies the SEM half to every element of a bitwise GM
+// ciphertext after checking revocation.
+func (s *GMSEM) HalfDecrypt(id string, cs []*big.Int) ([]*big.Int, error) {
+	if err := s.reg.Check(id); err != nil {
+		return nil, err
+	}
+	half, ok := s.keys.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownIdentity, id)
+	}
+	out := make([]*big.Int, len(cs))
+	for i, c := range cs {
+		if c.Sign() <= 0 || c.Cmp(half.N) >= 0 {
+			return nil, fmt.Errorf("core: GM ciphertext element %d out of range", i)
+		}
+		out[i] = half.Op(c)
+	}
+	return out, nil
+}
+
+// GMDecrypt runs the full two-party GM decryption in-process: the user
+// applies its half, fetches the SEM halves, combines element-wise and
+// interprets the residuosity bits.
+func GMDecrypt(sem *GMSEM, id string, pk *gm.PublicKey, user *gm.HalfKey, cs []*big.Int) ([]byte, error) {
+	if len(cs)%8 != 0 {
+		return nil, fmt.Errorf("core: GM ciphertext length %d not a multiple of 8", len(cs))
+	}
+	semParts, err := sem.HalfDecrypt(id, cs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(cs)/8)
+	for i, c := range cs {
+		bit, err := gm.CombineBit(pk, user.Op(c), semParts[i])
+		if err != nil {
+			return nil, fmt.Errorf("element %d: %w", i, err)
+		}
+		out[i/8] |= bit << uint(7-i%8)
+	}
+	return out, nil
+}

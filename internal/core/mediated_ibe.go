@@ -1,0 +1,165 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bf"
+	"repro/internal/curve"
+	"repro/internal/mathx"
+	"repro/internal/pairing"
+)
+
+// Mediated Boneh-Franklin IBE (Section 4 of the paper).
+//
+// The PKG computes the FullIdent key d_ID = s·Q_ID, then splits it
+// additively in G1:
+//
+//	d_ID = d_ID,user + d_ID,sem,   d_ID,user ∈R G1.
+//
+// Encryption is unchanged FullIdent, so the SEM architecture is transparent
+// to senders. To decrypt <U, V, W>, the user asks the SEM for the
+// message-specific token g_sem = ê(U, d_ID,sem), computes
+// g_user = ê(U, d_ID,user), multiplies g = g_sem·g_user = ê(P_pub, Q_ID)^r
+// and finishes FullIdent decryption (including the validity check that makes
+// tokens single-use). The SEM refuses tokens for revoked identities —
+// instant, fine-grained revocation with no key reissue, unlike the
+// validity-period workaround of [4]/[3].
+
+// ErrTokenMismatch is returned when a SEM token does not correspond to the
+// ciphertext being decrypted (the FullIdent validity check fails).
+var ErrTokenMismatch = errors.New("core: SEM token does not open this ciphertext")
+
+// UserKeyHalf is the user's piece d_ID,user of an identity key.
+type UserKeyHalf struct {
+	ID string
+	D  *curve.Point
+}
+
+// SEMKeyHalf is the mediator's piece d_ID,sem of an identity key.
+type SEMKeyHalf struct {
+	ID string
+	D  *curve.Point
+}
+
+// MediatedPKG wraps the Boneh-Franklin PKG with the key-splitting Keygen of
+// Section 4. The PKG can go offline once every user's halves are delivered;
+// only the SEM stays online.
+type MediatedPKG struct {
+	pkg *bf.PKG
+}
+
+// NewMediatedPKG runs Setup: pairing groups, master key s, P_pub = s·P.
+func NewMediatedPKG(rng io.Reader, pp *pairing.Params, msgLen int) (*MediatedPKG, error) {
+	pkg, err := bf.Setup(rng, pp, msgLen)
+	if err != nil {
+		return nil, fmt.Errorf("mediated IBE setup: %w", err)
+	}
+	return &MediatedPKG{pkg: pkg}, nil
+}
+
+// Public returns the system parameters senders use. Encryption is plain
+// FullIdent: Public().Encrypt(rng, id, msg).
+func (m *MediatedPKG) Public() *bf.PublicParams { return m.pkg.Public() }
+
+// SplitExtract derives d_ID = s·H1(ID), draws d_ID,user uniformly from G1
+// and returns the two halves. The PKG retains nothing.
+func (m *MediatedPKG) SplitExtract(rng io.Reader, id string) (*UserKeyHalf, *SEMKeyHalf, error) {
+	full, err := m.pkg.Extract(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	pp := m.pkg.Public().Pairing
+	r, err := mathx.RandomFieldElement(orRand(rng), pp.Q())
+	if err != nil {
+		return nil, nil, fmt.Errorf("sample user half: %w", err)
+	}
+	dUser := pp.Generator().ScalarMul(r)
+	dSem := full.D.Add(dUser.Neg())
+	return &UserKeyHalf{ID: id, D: dUser}, &SEMKeyHalf{ID: id, D: dSem}, nil
+}
+
+// IBESEM is the mediator's half of the mediated IBE: it stores the SEM key
+// halves, enforces revocation and issues decryption tokens. Safe for
+// concurrent use.
+type IBESEM struct {
+	pub  *bf.PublicParams
+	reg  *Registry
+	keys *keyStore[*SEMKeyHalf]
+}
+
+// NewIBESEM constructs a SEM bound to the system parameters and a (possibly
+// shared) revocation registry.
+func NewIBESEM(pub *bf.PublicParams, reg *Registry) *IBESEM {
+	return &IBESEM{pub: pub, reg: reg, keys: newKeyStore[*SEMKeyHalf]()}
+}
+
+// Register installs an identity's SEM key half.
+func (s *IBESEM) Register(half *SEMKeyHalf) { s.keys.put(half.ID, half) }
+
+// Registry exposes the revocation registry (admin interface).
+func (s *IBESEM) Registry() *Registry { return s.reg }
+
+// Token implements the SEM side of the decryption protocol: check
+// revocation, then return g_sem = ê(U, d_ID,sem).
+//
+// The token is bound to U = H3(σ, M)·P, so it opens exactly one ciphertext;
+// it reveals nothing about d_ID,sem (it is a random-looking GT element) and
+// is useless to anyone but the key-half holder.
+func (s *IBESEM) Token(id string, u *curve.Point) (*pairing.GT, error) {
+	if err := s.reg.Check(id); err != nil {
+		return nil, err
+	}
+	half, ok := s.keys.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownIdentity, id)
+	}
+	if u == nil || u.IsInfinity() || !u.InSubgroup() {
+		return nil, fmt.Errorf("core: ciphertext point U is not a valid G1 element")
+	}
+	return s.pub.Pairing.Pair(u, half.D), nil
+}
+
+// UserDecrypt completes decryption on the user side given the SEM token:
+// g = g_sem · ê(U, d_ID,user), then the FullIdent opening with its validity
+// check.
+func UserDecrypt(pub *bf.PublicParams, key *UserKeyHalf, c *bf.Ciphertext, token *pairing.GT) ([]byte, error) {
+	gUser := pub.Pairing.Pair(c.U, key.D)
+	g := token.Mul(gUser)
+	msg, err := pub.OpenWithPairingValue(g, c)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTokenMismatch, err)
+	}
+	return msg, nil
+}
+
+// Decrypt runs the full two-party protocol in-process (user and SEM in the
+// same address space) — the reference flow and benchmark body. The
+// networked flow lives in internal/sem.
+func Decrypt(sem *IBESEM, key *UserKeyHalf, c *bf.Ciphertext) ([]byte, error) {
+	token, err := sem.Token(key.ID, c.U)
+	if err != nil {
+		return nil, err
+	}
+	return UserDecrypt(sem.pub, key, c, token)
+}
+
+// RecombineKey reassembles the full FullIdent key from both halves. Only
+// the collusion experiments use it: it is exactly what a user who corrupts
+// the SEM can do — and the point of Theorem 4.1 is that this yields *one*
+// identity's key, never other users' plaintext.
+func RecombineKey(user *UserKeyHalf, sem *SEMKeyHalf) (*bf.PrivateKey, error) {
+	if user.ID != sem.ID {
+		return nil, fmt.Errorf("core: halves belong to different identities (%q, %q)", user.ID, sem.ID)
+	}
+	return &bf.PrivateKey{ID: user.ID, D: user.D.Add(sem.D)}, nil
+}
+
+func orRand(rng io.Reader) io.Reader {
+	if rng == nil {
+		return rand.Reader
+	}
+	return rng
+}

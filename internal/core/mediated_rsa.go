@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/mrsa"
+)
+
+// RSASEM is the mediator side of mRSA / IB-mRSA — the paper's baseline —
+// wired to the same Registry as the pairing SEMs so the comparison
+// experiments revoke all schemes through one call. Safe for concurrent use.
+type RSASEM struct {
+	reg  *Registry
+	keys *keyStore[*mrsa.HalfKey]
+}
+
+// NewRSASEM constructs an RSA SEM over a (possibly shared) revocation
+// registry.
+func NewRSASEM(reg *Registry) *RSASEM {
+	return &RSASEM{reg: reg, keys: newKeyStore[*mrsa.HalfKey]()}
+}
+
+// Register installs an identity's SEM exponent half.
+func (s *RSASEM) Register(id string, half *mrsa.HalfKey) { s.keys.put(id, half) }
+
+// Registry exposes the revocation registry (admin interface).
+func (s *RSASEM) Registry() *Registry { return s.reg }
+
+// HalfDecrypt is the SEM step of mediated RSA decryption: check revocation,
+// then return m_sem = c^{d_sem} mod n.
+func (s *RSASEM) HalfDecrypt(id string, c *big.Int) (*big.Int, error) {
+	half, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if c.Sign() < 0 || c.Cmp(half.N) >= 0 {
+		return nil, fmt.Errorf("core: RSA ciphertext out of range")
+	}
+	return half.Op(c), nil
+}
+
+// HalfSign is the SEM step of mediated RSA signing: check revocation, then
+// return EMSA(msg)^{d_sem} mod n.
+func (s *RSASEM) HalfSign(id string, msg []byte) (*big.Int, error) {
+	half, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return mrsa.SignHalf(half, msg)
+}
+
+func (s *RSASEM) lookup(id string) (*mrsa.HalfKey, error) {
+	if err := s.reg.Check(id); err != nil {
+		return nil, err
+	}
+	half, ok := s.keys.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownIdentity, id)
+	}
+	return half, nil
+}

@@ -1,0 +1,112 @@
+// Package core implements the paper's contribution: the SEM (security
+// mediator) architecture applied to pairing based cryptosystems —
+//
+//   - the (t, n) threshold Boneh-Franklin IBE of Section 3, with share
+//     verification, robustness NIZK proofs and dishonest-share recovery;
+//   - the mediated Boneh-Franklin IBE of Section 4 (2-out-of-2 split of
+//     FullIdent between user and SEM, instant revocation);
+//   - the mediated GDH signature of Section 5 (additive split of a BLS key).
+//
+// The common revocation semantics live in Registry: revoking an identity
+// makes the SEM refuse to produce its half of any operation, which removes
+// the user's key privileges *instantly* — no CRLs, no key reissue, and
+// senders/verifiers never consult revocation state at all.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+var (
+	// ErrRevoked is returned by every SEM operation on a revoked identity.
+	ErrRevoked = errors.New("core: identity is revoked")
+
+	// ErrUnknownIdentity is returned when the SEM holds no key half for the
+	// identity.
+	ErrUnknownIdentity = errors.New("core: unknown identity")
+)
+
+// RevocationEntry records why and when an identity was revoked.
+type RevocationEntry struct {
+	ID     string    `json:"id"`
+	Reason string    `json:"reason"`
+	When   time.Time `json:"when"`
+}
+
+// Registry is the SEM's revocation list. It is shared by all mediated
+// schemes a SEM serves, so a single Revoke removes the identity's
+// decryption and signing capabilities simultaneously. Safe for concurrent
+// use; the zero value is not usable — construct with NewRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	revoked map[string]RevocationEntry
+	clock   func() time.Time
+}
+
+// NewRegistry returns an empty revocation registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		revoked: make(map[string]RevocationEntry),
+		clock:   time.Now,
+	}
+}
+
+// Revoke marks the identity revoked. Revoking an already-revoked identity
+// updates the reason and timestamp.
+func (r *Registry) Revoke(id, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.revoked[id] = RevocationEntry{ID: id, Reason: reason, When: r.clock()}
+}
+
+// Unrevoke restores the identity. It reports whether the identity was
+// revoked.
+func (r *Registry) Unrevoke(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.revoked[id]
+	delete(r.revoked, id)
+	return ok
+}
+
+// IsRevoked reports whether the identity is revoked.
+func (r *Registry) IsRevoked(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.revoked[id]
+	return ok
+}
+
+// Check returns ErrRevoked (wrapped with the entry's reason) when the
+// identity is revoked, nil otherwise. Every SEM operation calls this first —
+// the paper's "1. Check if the identity is revoked. If it is, return Error."
+func (r *Registry) Check(id string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e, ok := r.revoked[id]; ok {
+		return fmt.Errorf("%w: %s (%s)", ErrRevoked, id, e.Reason)
+	}
+	return nil
+}
+
+// Entries returns a snapshot of all revocations.
+func (r *Registry) Entries() []RevocationEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]RevocationEntry, 0, len(r.revoked))
+	for _, e := range r.revoked {
+		out = append(out, e)
+	}
+	return out
+}
+
+// SetClock overrides the registry's time source (tests and the simulated
+// revocation-latency experiments).
+func (r *Registry) SetClock(clock func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock = clock
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/bf"
+	"repro/internal/curve"
+	"repro/internal/mathx"
+	"repro/internal/pairing"
+	"repro/internal/shamir"
+)
+
+// (t, n) threshold Boneh-Franklin IBE (Section 3 of the paper).
+//
+// Setup: the PKG shares its master key s through a degree t−1 polynomial f,
+// publishing P_pub = s·P and the verification points P_pub^(i) = f(i)·P.
+// Keygen: player i receives the identity-key share d_IDi = f(i)·Q_ID and
+// verifies ê(P_pub^(i), Q_ID) = ê(P, d_IDi).
+// Decrypt: player i emits the decryption share ê(U, d_IDi); the recombiner
+// picks t acceptable shares and computes g = Π ê(U, d_IDi)^λ_i, recovering
+// m = V ⊕ H2(g).
+// Robustness: each player can attach the NIZK proof of Section 3.2 showing
+// its share is a consistent image under the pairing isomorphism; with
+// n ≥ 2t−1 honest majority, bad shares are detected and the missing values
+// recovered by Lagrange interpolation in GT.
+
+var (
+	// ErrShareVerification is returned when an identity-key share fails the
+	// pairing consistency check.
+	ErrShareVerification = errors.New("core: identity-key share failed verification")
+
+	// ErrProofInvalid is returned when a decryption share's robustness proof
+	// does not verify.
+	ErrProofInvalid = errors.New("core: decryption-share proof invalid")
+
+	// ErrNotEnoughValidShares is returned when fewer than t decryption
+	// shares survive proof checking.
+	ErrNotEnoughValidShares = errors.New("core: not enough valid decryption shares")
+)
+
+// ThresholdParams are the public parameters of the threshold system: the
+// Boneh-Franklin publics plus the verification vector.
+type ThresholdParams struct {
+	Public *bf.PublicParams
+	T, N   int
+	// VerificationKeys[i-1] = P_pub^(i) = f(i)·P.
+	VerificationKeys []*curve.Point
+}
+
+// ThresholdPKG is the trusted dealer: it holds the sharing polynomial and
+// issues per-identity key shares.
+type ThresholdPKG struct {
+	params *ThresholdParams
+	poly   *shamir.Polynomial
+}
+
+// KeyShare is player i's share d_IDi = f(i)·Q_ID of an identity key.
+type KeyShare struct {
+	ID    string
+	Index int
+	D     *curve.Point
+}
+
+// DecryptionShare is player i's contribution ê(U, d_IDi) for one ciphertext,
+// optionally carrying a robustness proof.
+type DecryptionShare struct {
+	Index int
+	G     *pairing.GT
+	Proof *ShareProof // nil when robustness is not requested
+}
+
+// SetupThreshold creates a (t, n) threshold system over the pairing
+// parameters: master key s, polynomial f with f(0) = s, P_pub = s·P and the
+// public verification vector.
+func SetupThreshold(rng io.Reader, pp *pairing.Params, msgLen, t, n int) (*ThresholdPKG, error) {
+	if t < 1 || n < t {
+		return nil, fmt.Errorf("core: invalid threshold (t=%d, n=%d)", t, n)
+	}
+	s, err := mathx.RandomFieldElement(orRand(rng), pp.Q())
+	if err != nil {
+		return nil, fmt.Errorf("sample master key: %w", err)
+	}
+	base, err := bf.SetupWithMaster(pp, s, msgLen)
+	if err != nil {
+		return nil, err
+	}
+	poly, err := shamir.NewPolynomial(orRand(rng), s, pp.Q(), t)
+	if err != nil {
+		return nil, fmt.Errorf("share master key: %w", err)
+	}
+	vks, commit := poly.VerificationVector(pp.Generator(), n)
+	if !commit.Equal(base.Public().PPub) {
+		return nil, fmt.Errorf("core: verification vector commitment mismatch")
+	}
+	return &ThresholdPKG{
+		params: &ThresholdParams{
+			Public:           base.Public(),
+			T:                t,
+			N:                n,
+			VerificationKeys: vks,
+		},
+		poly: poly,
+	}, nil
+}
+
+// Params returns the public threshold parameters.
+func (tp *ThresholdPKG) Params() *ThresholdParams { return tp.params }
+
+// VerifySetup lets any player check, before accepting shares, that the
+// published verification vector is consistent: Σ λ_i·P_pub^(i) = P_pub for
+// the given t-subset of indices.
+func (p *ThresholdParams) VerifySetup(subset []int) error {
+	return shamir.VerifyVector(p.VerificationKeys, p.Public.PPub, subset, p.Public.Pairing.Q())
+}
+
+// ExtractShare plays the paper's Keygen: it computes Q_ID and returns
+// player i's share d_IDi = f(i)·Q_ID.
+func (tp *ThresholdPKG) ExtractShare(id string, i int) (*KeyShare, error) {
+	if i < 1 || i > tp.params.N {
+		return nil, fmt.Errorf("core: player index %d out of range 1..%d", i, tp.params.N)
+	}
+	qid, err := bf.HashIdentity(tp.params.Public.Pairing, id)
+	if err != nil {
+		return nil, err
+	}
+	fi := tp.poly.Eval(big.NewInt(int64(i)))
+	return &KeyShare{ID: id, Index: i, D: qid.ScalarMul(fi)}, nil
+}
+
+// NewThresholdParams assembles threshold parameters from externally
+// produced material — a DKG run (internal/dkg) instead of the trusted
+// dealer. The verification keys must satisfy vks[j-1] = x_j·P for player
+// j's secret share x_j, and ppub = s·P for the joint secret.
+func NewThresholdParams(pp *pairing.Params, msgLen, t, n int, ppub *curve.Point, vks []*curve.Point) (*ThresholdParams, error) {
+	if t < 1 || n < t {
+		return nil, fmt.Errorf("core: invalid threshold (t=%d, n=%d)", t, n)
+	}
+	if len(vks) != n {
+		return nil, fmt.Errorf("core: %d verification keys for n=%d players", len(vks), n)
+	}
+	if msgLen <= 0 {
+		return nil, fmt.Errorf("core: message length %d must be positive", msgLen)
+	}
+	params := &ThresholdParams{
+		Public:           &bf.PublicParams{Pairing: pp, PPub: ppub, MsgLen: msgLen},
+		T:                t,
+		N:                n,
+		VerificationKeys: append([]*curve.Point(nil), vks...),
+	}
+	// The dealer-free setup is still publicly checkable: any t-subset of
+	// the verification keys must interpolate to P_pub.
+	subset := make([]int, t)
+	for i := range subset {
+		subset[i] = i + 1
+	}
+	if err := params.VerifySetup(subset); err != nil {
+		return nil, fmt.Errorf("core: DKG output inconsistent: %w", err)
+	}
+	return params, nil
+}
+
+// KeyShareFromScalar lets a player holding the secret-share scalar x_j
+// (e.g. from a DKG) derive its identity-key share d_IDj = x_j·Q_ID without
+// any dealer involvement.
+func KeyShareFromScalar(pp *pairing.Params, id string, j int, x *big.Int) (*KeyShare, error) {
+	qid, err := bf.HashIdentity(pp, id)
+	if err != nil {
+		return nil, err
+	}
+	return &KeyShare{ID: id, Index: j, D: qid.ScalarMul(x)}, nil
+}
+
+// VerifyKeyShare is the player's acceptance check from the paper:
+// ê(P_pub^(i), Q_ID) = ê(P, d_IDi). A failing share triggers a complaint to
+// the PKG.
+func (p *ThresholdParams) VerifyKeyShare(share *KeyShare) error {
+	if share.Index < 1 || share.Index > p.N {
+		return fmt.Errorf("core: player index %d out of range 1..%d", share.Index, p.N)
+	}
+	qid, err := bf.HashIdentity(p.Public.Pairing, share.ID)
+	if err != nil {
+		return err
+	}
+	lhs := p.Public.Pairing.Pair(p.VerificationKeys[share.Index-1], qid)
+	rhs := p.Public.Pairing.Pair(p.Public.Pairing.Generator(), share.D)
+	if !lhs.Equal(rhs) {
+		return fmt.Errorf("%w: player %d, identity %q", ErrShareVerification, share.Index, share.ID)
+	}
+	return nil
+}
+
+// ComputeShare produces player i's decryption share ê(U, d_IDi) for the
+// BasicIdent ciphertext component U, without a robustness proof.
+func (p *ThresholdParams) ComputeShare(share *KeyShare, u *curve.Point) *DecryptionShare {
+	return &DecryptionShare{Index: share.Index, G: p.Public.Pairing.Pair(u, share.D)}
+}
+
+// ShareProof is the non-interactive proof of Section 3.2 that a decryption
+// share is the correct image of the player's key share under both pairing
+// maps ê(P, ·) and ê(U, ·): the player proves knowledge of d_IDi such that
+// ê(P, d_IDi) = ê(P_pub^(i), Q_ID) and ê(U, d_IDi) = share.
+type ShareProof struct {
+	W1 *pairing.GT  // ê(P, R) for the random commitment R
+	W2 *pairing.GT  // ê(U, R)
+	E  *big.Int     // Fiat-Shamir challenge
+	V  *curve.Point // R + e·d_IDi
+}
+
+// ComputeShareWithProof produces the decryption share together with its
+// robustness proof.
+func (p *ThresholdParams) ComputeShareWithProof(rng io.Reader, share *KeyShare, u *curve.Point) (*DecryptionShare, error) {
+	pp := p.Public.Pairing
+	r, err := mathx.RandomFieldElement(orRand(rng), pp.Q())
+	if err != nil {
+		return nil, fmt.Errorf("sample proof nonce: %w", err)
+	}
+	bigR := pp.Generator().ScalarMul(r)
+	g := pp.Pair(u, share.D)
+	w1 := pp.Pair(pp.Generator(), bigR)
+	w2 := pp.Pair(u, bigR)
+
+	qid, err := bf.HashIdentity(pp, share.ID)
+	if err != nil {
+		return nil, err
+	}
+	pubPair := pp.Pair(p.VerificationKeys[share.Index-1], qid)
+	e := proofChallenge(pp.Q(), g, pubPair, w1, w2)
+	v := bigR.Add(share.D.ScalarMul(e))
+	return &DecryptionShare{
+		Index: share.Index,
+		G:     g,
+		Proof: &ShareProof{W1: w1, W2: w2, E: e, V: v},
+	}, nil
+}
+
+// VerifyShareProof checks a decryption share's robustness proof against the
+// player's public verification key:
+//
+//	ê(P, V) ≟ W1 · ê(P_pub^(i), Q_ID)^e
+//	ê(U, V) ≟ W2 · share^e
+//
+// and that the challenge was honestly derived (Fiat-Shamir).
+func (p *ThresholdParams) VerifyShareProof(id string, u *curve.Point, ds *DecryptionShare) error {
+	if ds.Proof == nil {
+		return fmt.Errorf("%w: missing proof", ErrProofInvalid)
+	}
+	if ds.Index < 1 || ds.Index > p.N {
+		return fmt.Errorf("%w: index %d out of range", ErrProofInvalid, ds.Index)
+	}
+	pp := p.Public.Pairing
+	qid, err := bf.HashIdentity(pp, id)
+	if err != nil {
+		return err
+	}
+	pubPair := pp.Pair(p.VerificationKeys[ds.Index-1], qid)
+	e := proofChallenge(pp.Q(), ds.G, pubPair, ds.Proof.W1, ds.Proof.W2)
+	if e.Cmp(ds.Proof.E) != 0 {
+		return fmt.Errorf("%w: challenge mismatch (player %d)", ErrProofInvalid, ds.Index)
+	}
+	lhs1 := pp.Pair(pp.Generator(), ds.Proof.V)
+	rhs1 := ds.Proof.W1.Mul(pubPair.Exp(e))
+	if !lhs1.Equal(rhs1) {
+		return fmt.Errorf("%w: first equation (player %d)", ErrProofInvalid, ds.Index)
+	}
+	lhs2 := pp.Pair(u, ds.Proof.V)
+	rhs2 := ds.Proof.W2.Mul(ds.G.Exp(e))
+	if !lhs2.Equal(rhs2) {
+		return fmt.Errorf("%w: second equation (player %d)", ErrProofInvalid, ds.Index)
+	}
+	return nil
+}
+
+// proofChallenge is the Fiat-Shamir hash e = H(g, pubPair, w1, w2) ∈ F_q.
+func proofChallenge(q *big.Int, g, pubPair, w1, w2 *pairing.GT) *big.Int {
+	h := sha256.New()
+	h.Write([]byte("THIBE-PROOF"))
+	h.Write(g.Bytes())
+	h.Write(pubPair.Bytes())
+	h.Write(w1.Bytes())
+	h.Write(w2.Bytes())
+	return mathx.BytesToIntMod(h.Sum(nil), q)
+}
+
+// Recombine combines t decryption shares into the pairing value
+// g = Π share_i^λ_i and opens the BasicIdent ciphertext. The caller is
+// responsible for having selected "acceptable" shares (verified proofs);
+// Recombine itself checks only structural validity.
+func (p *ThresholdParams) Recombine(shares []*DecryptionShare, c *bf.BasicCiphertext) ([]byte, error) {
+	g, err := p.CombineShares(shares)
+	if err != nil {
+		return nil, err
+	}
+	mask := bf.MaskGT(g, p.Public.MsgLen)
+	if len(c.V) != p.Public.MsgLen {
+		return nil, fmt.Errorf("core: ciphertext body %d bytes, want %d", len(c.V), p.Public.MsgLen)
+	}
+	out := make([]byte, p.Public.MsgLen)
+	for i := range out {
+		out[i] = c.V[i] ^ mask[i]
+	}
+	return out, nil
+}
+
+// CombineShares interpolates g = Π share_i^λ_i from exactly t shares.
+func (p *ThresholdParams) CombineShares(shares []*DecryptionShare) (*pairing.GT, error) {
+	if len(shares) < p.T {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughValidShares, len(shares), p.T)
+	}
+	use := shares[:p.T]
+	xs := make([]*big.Int, p.T)
+	seen := make(map[int]bool, p.T)
+	for i, s := range use {
+		if seen[s.Index] {
+			return nil, fmt.Errorf("core: duplicate share index %d", s.Index)
+		}
+		seen[s.Index] = true
+		xs[i] = big.NewInt(int64(s.Index))
+	}
+	q := p.Public.Pairing.Q()
+	g := p.Public.Pairing.One()
+	for i, s := range use {
+		li, err := mathx.Lagrange0(i, xs, q)
+		if err != nil {
+			return nil, fmt.Errorf("lagrange coefficient: %w", err)
+		}
+		g = g.Mul(s.G.Exp(li))
+	}
+	return g, nil
+}
+
+// RecoverShare interpolates the decryption share of an absent or dishonest
+// player j from t honest shares: share_j = Π share_i^{λ_i(j)} — the
+// "t among the others can combine their shares to find the one of the
+// dishonest ones" step of Section 3.2.
+func (p *ThresholdParams) RecoverShare(shares []*DecryptionShare, j int) (*DecryptionShare, error) {
+	if len(shares) < p.T {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughValidShares, len(shares), p.T)
+	}
+	use := shares[:p.T]
+	xs := make([]*big.Int, p.T)
+	for i, s := range use {
+		if s.Index == j {
+			return nil, fmt.Errorf("core: share %d already present", j)
+		}
+		xs[i] = big.NewInt(int64(s.Index))
+	}
+	q := p.Public.Pairing.Q()
+	at := big.NewInt(int64(j))
+	g := p.Public.Pairing.One()
+	for i, s := range use {
+		li, err := mathx.LagrangeAt(i, xs, at, q)
+		if err != nil {
+			return nil, fmt.Errorf("lagrange coefficient: %w", err)
+		}
+		g = g.Mul(s.G.Exp(li))
+	}
+	return &DecryptionShare{Index: j, G: g}, nil
+}
+
+// RobustDecrypt is the full robust recombiner: it verifies every share's
+// proof, discards invalid ones, and if at least t survive, recombines and
+// opens the ciphertext. It returns the indices of rejected players alongside
+// the plaintext.
+func (p *ThresholdParams) RobustDecrypt(id string, shares []*DecryptionShare, c *bf.BasicCiphertext) (msg []byte, rejected []int, err error) {
+	valid := make([]*DecryptionShare, 0, len(shares))
+	for _, s := range shares {
+		if err := p.VerifyShareProof(id, c.U, s); err != nil {
+			rejected = append(rejected, s.Index)
+			continue
+		}
+		valid = append(valid, s)
+	}
+	if len(valid) < p.T {
+		return nil, rejected, fmt.Errorf("%w: %d of %d shares valid", ErrNotEnoughValidShares, len(valid), len(shares))
+	}
+	msg, err = p.Recombine(valid, c)
+	return msg, rejected, err
+}

@@ -1,0 +1,404 @@
+// Package curve implements the supersingular elliptic curve
+//
+//	E(F_p): y² = x³ + x,   p ≡ 3 (mod 4)
+//
+// used by the paper's pairing-based schemes. The curve is supersingular with
+// #E(F_p) = p + 1 and embedding degree 2; the distortion map
+// φ(x, y) = (−x, i·y) sends points into E(F_p²) and makes the modified Tate
+// pairing ê(P, Q) = e(P, φ(Q)) non-degenerate on a single cyclic subgroup.
+//
+// The group G1 of the schemes is the order-q subgroup, where q is a prime
+// divisor of p + 1 chosen at parameter-generation time (see package pairing).
+//
+// Arithmetic is affine: correctness and auditability are the priority for a
+// reference implementation, and the Miller loop needs the line slopes that
+// affine addition computes anyway. The coordinates ablation benchmark
+// quantifies the cost of this choice.
+package curve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/mathx"
+)
+
+var (
+	// ErrNotOnCurve is returned when decoding or constructing a point whose
+	// coordinates do not satisfy the curve equation.
+	ErrNotOnCurve = errors.New("curve: point is not on the curve")
+
+	// ErrHashToPointFailed is returned when try-and-increment hashing
+	// exhausts its counter budget (cryptographically negligible).
+	ErrHashToPointFailed = errors.New("curve: hash-to-point failed after 255 attempts")
+)
+
+// Curve is the supersingular curve y² = x³ + x over F_p together with the
+// prime subgroup order q and cofactor c = (p+1)/q. Immutable and safe for
+// concurrent use after construction.
+type Curve struct {
+	p *big.Int // field characteristic, p ≡ 3 (mod 4)
+	q *big.Int // prime order of the working subgroup G1
+	c *big.Int // cofactor, p + 1 = q·c
+}
+
+// New constructs the curve. It validates that p ≡ 3 (mod 4) and that
+// q·c = p + 1 with q prime (probabilistically).
+func New(p, q *big.Int) (*Curve, error) {
+	if p.Bit(0) != 1 || p.Bit(1) != 1 {
+		return nil, fmt.Errorf("curve: p must be ≡ 3 (mod 4)")
+	}
+	pPlus1 := new(big.Int).Add(p, big.NewInt(1))
+	c, rem := new(big.Int).DivMod(pPlus1, q, new(big.Int))
+	if rem.Sign() != 0 {
+		return nil, fmt.Errorf("curve: q does not divide p + 1")
+	}
+	if !q.ProbablyPrime(20) {
+		return nil, fmt.Errorf("curve: subgroup order q is not prime")
+	}
+	return &Curve{
+		p: new(big.Int).Set(p),
+		q: new(big.Int).Set(q),
+		c: c,
+	}, nil
+}
+
+// P returns a copy of the field characteristic.
+func (c *Curve) P() *big.Int { return new(big.Int).Set(c.p) }
+
+// Q returns a copy of the subgroup order.
+func (c *Curve) Q() *big.Int { return new(big.Int).Set(c.q) }
+
+// Cofactor returns a copy of the cofactor (p+1)/q.
+func (c *Curve) Cofactor() *big.Int { return new(big.Int).Set(c.c) }
+
+// CoordinateSize returns the byte length of one field coordinate.
+func (c *Curve) CoordinateSize() int { return (c.p.BitLen() + 7) / 8 }
+
+// Point is a point of E(F_p) in affine coordinates, or the point at
+// infinity. Points are immutable: all group operations return new points.
+type Point struct {
+	curve *Curve
+	x, y  *big.Int
+	inf   bool
+}
+
+// Infinity returns the identity element O.
+func (c *Curve) Infinity() *Point {
+	return &Point{curve: c, inf: true}
+}
+
+// NewPoint constructs the affine point (x, y), validating the curve
+// equation.
+func (c *Curve) NewPoint(x, y *big.Int) (*Point, error) {
+	xm := new(big.Int).Mod(x, c.p)
+	ym := new(big.Int).Mod(y, c.p)
+	if !c.isOnCurve(xm, ym) {
+		return nil, ErrNotOnCurve
+	}
+	return &Point{curve: c, x: xm, y: ym}, nil
+}
+
+func (c *Curve) isOnCurve(x, y *big.Int) bool {
+	// y² ≟ x³ + x
+	lhs := new(big.Int).Mul(y, y)
+	lhs.Mod(lhs, c.p)
+	rhs := new(big.Int).Mul(x, x)
+	rhs.Mul(rhs, x)
+	rhs.Add(rhs, x)
+	rhs.Mod(rhs, c.p)
+	return lhs.Cmp(rhs) == 0
+}
+
+// IsInfinity reports whether the point is the identity.
+func (pt *Point) IsInfinity() bool { return pt.inf }
+
+// X returns a copy of the affine x-coordinate; nil for O.
+func (pt *Point) X() *big.Int {
+	if pt.inf {
+		return nil
+	}
+	return new(big.Int).Set(pt.x)
+}
+
+// Y returns a copy of the affine y-coordinate; nil for O.
+func (pt *Point) Y() *big.Int {
+	if pt.inf {
+		return nil
+	}
+	return new(big.Int).Set(pt.y)
+}
+
+// Curve returns the curve the point lives on.
+func (pt *Point) Curve() *Curve { return pt.curve }
+
+// Equal reports whether two points are the same group element.
+func (pt *Point) Equal(other *Point) bool {
+	if pt.inf || other.inf {
+		return pt.inf == other.inf
+	}
+	return pt.x.Cmp(other.x) == 0 && pt.y.Cmp(other.y) == 0
+}
+
+// Neg returns −P.
+func (pt *Point) Neg() *Point {
+	if pt.inf {
+		return pt
+	}
+	ny := new(big.Int).Neg(pt.y)
+	ny.Mod(ny, pt.curve.p)
+	return &Point{curve: pt.curve, x: new(big.Int).Set(pt.x), y: ny}
+}
+
+// Add returns P + Q using the affine chord-and-tangent rules.
+func (pt *Point) Add(other *Point) *Point {
+	c := pt.curve
+	if pt.inf {
+		return other
+	}
+	if other.inf {
+		return pt
+	}
+	if pt.x.Cmp(other.x) == 0 {
+		sum := new(big.Int).Add(pt.y, other.y)
+		sum.Mod(sum, c.p)
+		if sum.Sign() == 0 {
+			return c.Infinity() // P + (−P)
+		}
+		return pt.Double()
+	}
+	// λ = (y2 − y1)/(x2 − x1)
+	num := new(big.Int).Sub(other.y, pt.y)
+	den := new(big.Int).Sub(other.x, pt.x)
+	den.ModInverse(den, c.p)
+	lambda := num.Mul(num, den)
+	lambda.Mod(lambda, c.p)
+	return c.chord(pt, other, lambda)
+}
+
+// Double returns 2P.
+func (pt *Point) Double() *Point {
+	c := pt.curve
+	if pt.inf {
+		return pt
+	}
+	if pt.y.Sign() == 0 {
+		return c.Infinity() // order-2 point
+	}
+	// λ = (3x² + 1)/(2y)   (curve a-coefficient is 1)
+	num := new(big.Int).Mul(pt.x, pt.x)
+	num.Mul(num, big.NewInt(3))
+	num.Add(num, big.NewInt(1))
+	num.Mod(num, c.p)
+	den := new(big.Int).Lsh(pt.y, 1)
+	den.ModInverse(den, c.p)
+	lambda := num.Mul(num, den)
+	lambda.Mod(lambda, c.p)
+	return c.chord(pt, pt, lambda)
+}
+
+// chord completes an addition given the line slope λ through p1 and p2.
+func (c *Curve) chord(p1, p2 *Point, lambda *big.Int) *Point {
+	x3 := new(big.Int).Mul(lambda, lambda)
+	x3.Sub(x3, p1.x)
+	x3.Sub(x3, p2.x)
+	x3.Mod(x3, c.p)
+	y3 := new(big.Int).Sub(p1.x, x3)
+	y3.Mul(y3, lambda)
+	y3.Sub(y3, p1.y)
+	y3.Mod(y3, c.p)
+	return &Point{curve: c, x: x3, y: y3}
+}
+
+// ScalarMul returns k·P via left-to-right double-and-add. Negative scalars
+// are handled as (−k)·(−P).
+func (pt *Point) ScalarMul(k *big.Int) *Point {
+	c := pt.curve
+	if pt.inf || k.Sign() == 0 {
+		return c.Infinity()
+	}
+	base := pt
+	scalar := k
+	if k.Sign() < 0 {
+		base = pt.Neg()
+		scalar = new(big.Int).Neg(k)
+	}
+	acc := c.Infinity()
+	for i := scalar.BitLen() - 1; i >= 0; i-- {
+		acc = acc.Double()
+		if scalar.Bit(i) == 1 {
+			acc = acc.Add(base)
+		}
+	}
+	return acc
+}
+
+// InSubgroup reports whether the point lies in the prime-order subgroup G1,
+// i.e. q·P = O.
+func (pt *Point) InSubgroup() bool {
+	return pt.ScalarMul(pt.curve.q).IsInfinity()
+}
+
+// RandomPoint returns a uniformly random point of the full group E(F_p)
+// (not necessarily in G1) by sampling x until x³ + x is a residue.
+func (c *Curve) RandomPoint(rng io.Reader) (*Point, error) {
+	for {
+		x, err := mathx.RandomInRange(rng, big.NewInt(0), c.p)
+		if err != nil {
+			return nil, err
+		}
+		rhs := new(big.Int).Mul(x, x)
+		rhs.Mul(rhs, x)
+		rhs.Add(rhs, x)
+		rhs.Mod(rhs, c.p)
+		y, err := mathx.SqrtModP(rhs, c.p)
+		if err != nil {
+			continue
+		}
+		pt, err := c.NewPoint(x, y)
+		if err != nil {
+			continue
+		}
+		if pt.IsInfinity() {
+			continue
+		}
+		return pt, nil
+	}
+}
+
+// RandomG1 returns a uniformly random nonidentity point of the order-q
+// subgroup (cofactor-cleared random point).
+func (c *Curve) RandomG1(rng io.Reader) (*Point, error) {
+	for {
+		pt, err := c.RandomPoint(rng)
+		if err != nil {
+			return nil, err
+		}
+		g := pt.ScalarMul(c.c)
+		if !g.IsInfinity() {
+			return g, nil
+		}
+	}
+}
+
+// HashToPoint maps an arbitrary byte string into the order-q subgroup G1
+// using domain-separated try-and-increment (the MapToGroup construction of
+// the BLS short-signature paper) followed by cofactor clearing. This is the
+// H1 oracle of the Boneh-Franklin scheme and the h(·) oracle of the GDH
+// signature.
+func (c *Curve) HashToPoint(domain string, msg []byte) (*Point, error) {
+	size := c.CoordinateSize()
+	for ctr := 0; ctr < 256; ctr++ {
+		digest := expandDigest(domain, uint8(ctr), msg, size+16)
+		x := new(big.Int).SetBytes(digest[:size+8])
+		x.Mod(x, c.p)
+		rhs := new(big.Int).Mul(x, x)
+		rhs.Mul(rhs, x)
+		rhs.Add(rhs, x)
+		rhs.Mod(rhs, c.p)
+		y, err := mathx.SqrtModP(rhs, c.p)
+		if err != nil {
+			continue
+		}
+		// Use one post-coordinate digest byte to pick the root's sign so the
+		// map does not systematically favour the "small" root.
+		if digest[size+8]&1 == 1 {
+			y.Neg(y)
+			y.Mod(y, c.p)
+		}
+		pt, err := c.NewPoint(x, y)
+		if err != nil {
+			continue
+		}
+		g := pt.ScalarMul(c.c)
+		if g.IsInfinity() {
+			continue
+		}
+		return g, nil
+	}
+	return nil, ErrHashToPointFailed
+}
+
+// expandDigest produces at least n bytes of SHA-256 output bound to
+// (domain, ctr, msg) using simple counter-mode expansion.
+func expandDigest(domain string, ctr uint8, msg []byte, n int) []byte {
+	out := make([]byte, 0, ((n+31)/32)*32)
+	var block uint32
+	for len(out) < n {
+		h := sha256.New()
+		var be [4]byte
+		binary.BigEndian.PutUint32(be[:], block)
+		h.Write([]byte(domain))
+		h.Write([]byte{ctr})
+		h.Write(be[:])
+		h.Write(msg)
+		out = h.Sum(out)
+		block++
+	}
+	return out[:n]
+}
+
+// Marshal serializes the point in compressed form: a one-byte tag (0 for O,
+// 2 or 3 for the parity of y) followed by the fixed-width x-coordinate.
+// This is the "point compression" the paper invokes when comparing key
+// sizes with IB-mRSA.
+func (pt *Point) Marshal() []byte {
+	size := pt.curve.CoordinateSize()
+	out := make([]byte, 1+size)
+	if pt.inf {
+		return out
+	}
+	out[0] = byte(2 + pt.y.Bit(0))
+	pt.x.FillBytes(out[1:])
+	return out
+}
+
+// Unmarshal parses a compressed point produced by Marshal, recomputing y
+// from the curve equation and the parity bit.
+func (c *Curve) Unmarshal(data []byte) (*Point, error) {
+	size := c.CoordinateSize()
+	if len(data) != 1+size {
+		return nil, fmt.Errorf("curve: compressed point must be %d bytes, got %d", 1+size, len(data))
+	}
+	switch data[0] {
+	case 0:
+		for _, b := range data[1:] {
+			if b != 0 {
+				return nil, fmt.Errorf("curve: malformed infinity encoding")
+			}
+		}
+		return c.Infinity(), nil
+	case 2, 3:
+		x := new(big.Int).SetBytes(data[1:])
+		if x.Cmp(c.p) >= 0 {
+			return nil, fmt.Errorf("curve: x-coordinate out of range")
+		}
+		rhs := new(big.Int).Mul(x, x)
+		rhs.Mul(rhs, x)
+		rhs.Add(rhs, x)
+		rhs.Mod(rhs, c.p)
+		y, err := mathx.SqrtModP(rhs, c.p)
+		if err != nil {
+			return nil, ErrNotOnCurve
+		}
+		if y.Bit(0) != uint(data[0]-2) {
+			y.Neg(y)
+			y.Mod(y, c.p)
+		}
+		return c.NewPoint(x, y)
+	default:
+		return nil, fmt.Errorf("curve: unknown compression tag 0x%02x", data[0])
+	}
+}
+
+// String renders the point for debugging.
+func (pt *Point) String() string {
+	if pt.inf {
+		return "O"
+	}
+	return fmt.Sprintf("(%v, %v)", pt.x, pt.y)
+}

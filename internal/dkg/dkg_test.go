@@ -1,0 +1,167 @@
+package dkg
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/pairing"
+	"repro/internal/shamir"
+)
+
+func toyParams(t *testing.T) *pairing.Params {
+	t.Helper()
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pp
+}
+
+func TestHonestRun(t *testing.T) {
+	pp := toyParams(t)
+	result, shares, err := Run(rand.Reader, pp, 3, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Qualified) != 5 {
+		t.Fatalf("qualified = %v, want all 5", result.Qualified)
+	}
+	// The shares are a valid (3,5) sharing of some secret s with
+	// P_pub = s·P: reconstruct s from any 3 and check.
+	sh := []shamir.Share{
+		{Index: 1, Value: shares[0]},
+		{Index: 3, Value: shares[2]},
+		{Index: 5, Value: shares[4]},
+	}
+	s, err := shamir.Reconstruct(sh, 3, pp.Q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pp.Generator().ScalarMul(s).Equal(result.PPub) {
+		t.Fatal("reconstructed secret does not match P_pub")
+	}
+	// A different subset reconstructs the SAME secret.
+	sh2 := []shamir.Share{
+		{Index: 2, Value: shares[1]},
+		{Index: 4, Value: shares[3]},
+		{Index: 5, Value: shares[4]},
+	}
+	s2, err := shamir.Reconstruct(sh2, 3, pp.Q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cmp(s2) != 0 {
+		t.Fatal("different subsets reconstruct different secrets")
+	}
+	// Verification keys match the shares.
+	for j, xj := range shares {
+		if !pp.Generator().ScalarMul(xj).Equal(result.VerificationKeys[j]) {
+			t.Fatalf("verification key %d mismatch", j+1)
+		}
+	}
+}
+
+func TestByzantineDealerExcluded(t *testing.T) {
+	pp := toyParams(t)
+	// Dealer 2 sends player 4 a corrupted share.
+	tamper := func(dealer, recipient int, share *big.Int) *big.Int {
+		if dealer == 2 && recipient == 4 {
+			return new(big.Int).Add(share, big.NewInt(1))
+		}
+		return share
+	}
+	result, shares, err := Run(rand.Reader, pp, 2, 4, tamper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range result.Qualified {
+		if q == 2 {
+			t.Fatalf("byzantine dealer remained qualified: %v", result.Qualified)
+		}
+	}
+	if len(result.Qualified) != 3 {
+		t.Fatalf("qualified = %v, want the 3 honest dealers", result.Qualified)
+	}
+	// The remaining sharing is still consistent.
+	sh := []shamir.Share{
+		{Index: 1, Value: shares[0]},
+		{Index: 3, Value: shares[2]},
+	}
+	s, err := shamir.Reconstruct(sh, 2, pp.Q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pp.Generator().ScalarMul(s).Equal(result.PPub) {
+		t.Fatal("post-exclusion sharing inconsistent with P_pub")
+	}
+}
+
+func TestVerifyShareDetectsTampering(t *testing.T) {
+	pp := toyParams(t)
+	p, err := NewParticipant(rand.Reader, pp, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share, err := p.ShareFor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShare(pp, p.Commitments(), 2, share); err != nil {
+		t.Fatalf("honest share rejected: %v", err)
+	}
+	bad := new(big.Int).Add(share, big.NewInt(1))
+	if err := VerifyShare(pp, p.Commitments(), 2, bad); !errors.Is(err, ErrBadShare) {
+		t.Fatalf("tampered share accepted: %v", err)
+	}
+	// Right share, wrong recipient index.
+	if err := VerifyShare(pp, p.Commitments(), 3, share); !errors.Is(err, ErrBadShare) {
+		t.Fatalf("misdirected share accepted: %v", err)
+	}
+}
+
+func TestParticipantValidation(t *testing.T) {
+	pp := toyParams(t)
+	if _, err := NewParticipant(rand.Reader, pp, 1, 0, 3); !errors.Is(err, ErrConfig) {
+		t.Error("t=0 accepted")
+	}
+	if _, err := NewParticipant(rand.Reader, pp, 1, 4, 3); !errors.Is(err, ErrConfig) {
+		t.Error("t>n accepted")
+	}
+	if _, err := NewParticipant(rand.Reader, pp, 0, 2, 3); !errors.Is(err, ErrConfig) {
+		t.Error("index 0 accepted")
+	}
+	p, _ := NewParticipant(rand.Reader, pp, 1, 2, 3)
+	if _, err := p.ShareFor(0); !errors.Is(err, ErrConfig) {
+		t.Error("recipient 0 accepted")
+	}
+	if _, err := p.ShareFor(4); !errors.Is(err, ErrConfig) {
+		t.Error("recipient n+1 accepted")
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	pp := toyParams(t)
+	if _, err := Aggregate(pp, nil, nil, 3); !errors.Is(err, ErrConfig) {
+		t.Error("empty qualified set accepted")
+	}
+	// Qualified dealer whose commitments are missing.
+	p, _ := NewParticipant(rand.Reader, pp, 1, 2, 3)
+	comms := map[int][]*curve.Point{1: p.Commitments()}
+	if _, err := Aggregate(pp, comms, []int{1, 2}, 3); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("missing commitments accepted: %v", err)
+	}
+}
+
+func TestFinalShareMissingDealer(t *testing.T) {
+	pp := toyParams(t)
+	if _, err := FinalShare(pp, map[int]*big.Int{1: big.NewInt(5)}, []int{1, 2}); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("missing dealer share accepted: %v", err)
+	}
+	x, err := FinalShare(pp, map[int]*big.Int{1: big.NewInt(5), 2: big.NewInt(7)}, []int{1, 2})
+	if err != nil || x.Int64() != 12 {
+		t.Fatalf("final share = %v, %v", x, err)
+	}
+}

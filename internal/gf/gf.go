@@ -1,0 +1,263 @@
+// Package gf implements arithmetic in the quadratic extension field F_p²
+// with p ≡ 3 (mod 4), represented as F_p[i]/(i² + 1).
+//
+// Elements are pairs (a, b) denoting a + b·i with a, b ∈ F_p. The pairing
+// substrate evaluates Miller line functions in this field and the target
+// group GT of the modified Tate pairing is its order-q subgroup.
+//
+// All operations are immutable with respect to their operands: methods on
+// *Element write into the receiver and return it (math/big style), so
+// chains like e.Mul(x, y).Square(e) work, and no method retains references
+// to argument internals.
+package gf
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// ErrNotInvertible is returned when inverting the zero element.
+var ErrNotInvertible = errors.New("gf: zero element is not invertible")
+
+// Field describes F_p² for a fixed prime p ≡ 3 (mod 4). A Field value is
+// immutable after construction and safe for concurrent use.
+type Field struct {
+	p *big.Int
+}
+
+// NewField constructs the quadratic extension over the prime p.
+// It returns an error unless p ≡ 3 (mod 4) (needed for i² = −1 to define a
+// field: −1 must be a non-residue).
+func NewField(p *big.Int) (*Field, error) {
+	if p.Sign() <= 0 {
+		return nil, fmt.Errorf("gf: modulus must be positive")
+	}
+	if p.Bit(0) != 1 || p.Bit(1) != 1 {
+		return nil, fmt.Errorf("gf: modulus must be ≡ 3 (mod 4), got %v (mod 4)", new(big.Int).Mod(p, big.NewInt(4)))
+	}
+	return &Field{p: new(big.Int).Set(p)}, nil
+}
+
+// P returns (a copy of) the characteristic.
+func (f *Field) P() *big.Int { return new(big.Int).Set(f.p) }
+
+// Element is an element a + b·i of F_p². The zero value is not usable;
+// construct via Field.NewElement or the arithmetic methods.
+type Element struct {
+	f    *Field
+	a, b *big.Int
+}
+
+// NewElement builds the element a + b·i (values are reduced mod p and copied).
+func (f *Field) NewElement(a, b *big.Int) *Element {
+	e := &Element{
+		f: f,
+		a: new(big.Int).Mod(a, f.p),
+		b: new(big.Int).Mod(b, f.p),
+	}
+	return e
+}
+
+// Zero returns the additive identity.
+func (f *Field) Zero() *Element { return f.NewElement(big.NewInt(0), big.NewInt(0)) }
+
+// One returns the multiplicative identity.
+func (f *Field) One() *Element { return f.NewElement(big.NewInt(1), big.NewInt(0)) }
+
+// FromInt lifts an F_p element into F_p².
+func (f *Field) FromInt(a *big.Int) *Element { return f.NewElement(a, big.NewInt(0)) }
+
+// Field returns the field the element belongs to.
+func (e *Element) Field() *Field { return e.f }
+
+// Re returns a copy of the real coordinate.
+func (e *Element) Re() *big.Int { return new(big.Int).Set(e.a) }
+
+// Im returns a copy of the imaginary coordinate.
+func (e *Element) Im() *big.Int { return new(big.Int).Set(e.b) }
+
+// Copy returns an independent copy of e.
+func (e *Element) Copy() *Element {
+	return &Element{f: e.f, a: new(big.Int).Set(e.a), b: new(big.Int).Set(e.b)}
+}
+
+// Set copies x into e and returns e.
+func (e *Element) Set(x *Element) *Element {
+	e.f = x.f
+	if e.a == nil {
+		e.a = new(big.Int)
+	}
+	if e.b == nil {
+		e.b = new(big.Int)
+	}
+	e.a.Set(x.a)
+	e.b.Set(x.b)
+	return e
+}
+
+// IsZero reports whether e is the additive identity.
+func (e *Element) IsZero() bool { return e.a.Sign() == 0 && e.b.Sign() == 0 }
+
+// IsOne reports whether e is the multiplicative identity.
+func (e *Element) IsOne() bool { return e.a.Cmp(big.NewInt(1)) == 0 && e.b.Sign() == 0 }
+
+// Equal reports whether e and x denote the same field element.
+func (e *Element) Equal(x *Element) bool {
+	return e.a.Cmp(x.a) == 0 && e.b.Cmp(x.b) == 0
+}
+
+// Add sets e = x + y and returns e.
+func (e *Element) Add(x, y *Element) *Element {
+	f := x.f
+	a := new(big.Int).Add(x.a, y.a)
+	a.Mod(a, f.p)
+	b := new(big.Int).Add(x.b, y.b)
+	b.Mod(b, f.p)
+	e.f, e.a, e.b = f, a, b
+	return e
+}
+
+// Sub sets e = x − y and returns e.
+func (e *Element) Sub(x, y *Element) *Element {
+	f := x.f
+	a := new(big.Int).Sub(x.a, y.a)
+	a.Mod(a, f.p)
+	b := new(big.Int).Sub(x.b, y.b)
+	b.Mod(b, f.p)
+	e.f, e.a, e.b = f, a, b
+	return e
+}
+
+// Neg sets e = −x and returns e.
+func (e *Element) Neg(x *Element) *Element {
+	f := x.f
+	a := new(big.Int).Neg(x.a)
+	a.Mod(a, f.p)
+	b := new(big.Int).Neg(x.b)
+	b.Mod(b, f.p)
+	e.f, e.a, e.b = f, a, b
+	return e
+}
+
+// Mul sets e = x · y and returns e, using the schoolbook formula
+// (a+bi)(c+di) = (ac − bd) + (ad + bc)i.
+func (e *Element) Mul(x, y *Element) *Element {
+	f := x.f
+	ac := new(big.Int).Mul(x.a, y.a)
+	bd := new(big.Int).Mul(x.b, y.b)
+	ad := new(big.Int).Mul(x.a, y.b)
+	bc := new(big.Int).Mul(x.b, y.a)
+	a := ac.Sub(ac, bd)
+	a.Mod(a, f.p)
+	b := ad.Add(ad, bc)
+	b.Mod(b, f.p)
+	e.f, e.a, e.b = f, a, b
+	return e
+}
+
+// MulScalar sets e = k · x for k ∈ F_p and returns e.
+func (e *Element) MulScalar(x *Element, k *big.Int) *Element {
+	f := x.f
+	a := new(big.Int).Mul(x.a, k)
+	a.Mod(a, f.p)
+	b := new(big.Int).Mul(x.b, k)
+	b.Mod(b, f.p)
+	e.f, e.a, e.b = f, a, b
+	return e
+}
+
+// Square sets e = x² and returns e, using
+// (a+bi)² = (a+b)(a−b) + 2ab·i.
+func (e *Element) Square(x *Element) *Element {
+	f := x.f
+	sum := new(big.Int).Add(x.a, x.b)
+	diff := new(big.Int).Sub(x.a, x.b)
+	a := sum.Mul(sum, diff)
+	a.Mod(a, f.p)
+	b := new(big.Int).Mul(x.a, x.b)
+	b.Lsh(b, 1)
+	b.Mod(b, f.p)
+	e.f, e.a, e.b = f, a, b
+	return e
+}
+
+// Conjugate sets e = a − b·i for x = a + b·i and returns e. Conjugation is
+// the Frobenius map x ↦ x^p on F_p².
+func (e *Element) Conjugate(x *Element) *Element {
+	f := x.f
+	b := new(big.Int).Neg(x.b)
+	b.Mod(b, f.p)
+	e.f, e.a, e.b = f, new(big.Int).Set(x.a), b
+	return e
+}
+
+// Inverse sets e = x⁻¹ and returns e, via x⁻¹ = conj(x)/(a² + b²).
+// It returns ErrNotInvertible for x = 0.
+func (e *Element) Inverse(x *Element) (*Element, error) {
+	if x.IsZero() {
+		return nil, ErrNotInvertible
+	}
+	f := x.f
+	norm := new(big.Int).Mul(x.a, x.a)
+	bb := new(big.Int).Mul(x.b, x.b)
+	norm.Add(norm, bb)
+	norm.Mod(norm, f.p)
+	inv := new(big.Int).ModInverse(norm, f.p)
+	if inv == nil {
+		return nil, ErrNotInvertible
+	}
+	a := new(big.Int).Mul(x.a, inv)
+	a.Mod(a, f.p)
+	b := new(big.Int).Neg(x.b)
+	b.Mul(b, inv)
+	b.Mod(b, f.p)
+	e.f, e.a, e.b = f, a, b
+	return e, nil
+}
+
+// Exp sets e = x^k (k ≥ 0) and returns e, by square-and-multiply.
+// A negative k is rejected; invert first when needed.
+func (e *Element) Exp(x *Element, k *big.Int) (*Element, error) {
+	if k.Sign() < 0 {
+		return nil, fmt.Errorf("gf: negative exponent %v", k)
+	}
+	result := x.f.One()
+	base := x.Copy()
+	for i := 0; i < k.BitLen(); i++ {
+		if k.Bit(i) == 1 {
+			result.Mul(result, base)
+		}
+		base.Square(base)
+	}
+	return e.Set(result), nil
+}
+
+// String renders the element as "a + b·i" for debugging.
+func (e *Element) String() string {
+	return fmt.Sprintf("%v + %v·i", e.a, e.b)
+}
+
+// Bytes serializes the element as the fixed-width big-endian concatenation
+// a ‖ b, each ⌈|p|/8⌉ bytes.
+func (e *Element) Bytes() []byte {
+	size := (e.f.p.BitLen() + 7) / 8
+	out := make([]byte, 2*size)
+	e.a.FillBytes(out[:size])
+	e.b.FillBytes(out[size:])
+	return out
+}
+
+// ElementFromBytes parses the serialization produced by Element.Bytes.
+func (f *Field) ElementFromBytes(data []byte) (*Element, error) {
+	size := (f.p.BitLen() + 7) / 8
+	if len(data) != 2*size {
+		return nil, fmt.Errorf("gf: element encoding must be %d bytes, got %d", 2*size, len(data))
+	}
+	a := new(big.Int).SetBytes(data[:size])
+	b := new(big.Int).SetBytes(data[size:])
+	if a.Cmp(f.p) >= 0 || b.Cmp(f.p) >= 0 {
+		return nil, fmt.Errorf("gf: coordinate out of field range")
+	}
+	return f.NewElement(a, b), nil
+}

@@ -1,0 +1,277 @@
+package gf
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// testField returns F_p² for a small p ≡ 3 (mod 4).
+func testField(t *testing.T) *Field {
+	t.Helper()
+	f, err := NewField(big.NewInt(1000003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFieldRejectsBadModulus(t *testing.T) {
+	if _, err := NewField(big.NewInt(13)); err == nil { // 13 ≡ 1 mod 4
+		t.Fatal("p ≡ 1 mod 4 must be rejected")
+	}
+	if _, err := NewField(big.NewInt(-7)); err == nil {
+		t.Fatal("negative modulus must be rejected")
+	}
+	if _, err := NewField(big.NewInt(0)); err == nil {
+		t.Fatal("zero modulus must be rejected")
+	}
+}
+
+func TestBasicIdentities(t *testing.T) {
+	f := testField(t)
+	x := f.NewElement(big.NewInt(1234), big.NewInt(5678))
+
+	sum := new(Element).Add(x, f.Zero())
+	if !sum.Equal(x) {
+		t.Error("x + 0 ≠ x")
+	}
+	prod := new(Element).Mul(x, f.One())
+	if !prod.Equal(x) {
+		t.Error("x · 1 ≠ x")
+	}
+	diff := new(Element).Sub(x, x)
+	if !diff.IsZero() {
+		t.Error("x − x ≠ 0")
+	}
+	neg := new(Element).Neg(x)
+	zero := new(Element).Add(x, neg)
+	if !zero.IsZero() {
+		t.Error("x + (−x) ≠ 0")
+	}
+}
+
+func TestISquaredIsMinusOne(t *testing.T) {
+	f := testField(t)
+	i := f.NewElement(big.NewInt(0), big.NewInt(1))
+	sq := new(Element).Square(i)
+	minusOne := f.FromInt(big.NewInt(-1))
+	if !sq.Equal(minusOne) {
+		t.Fatalf("i² = %v, want −1", sq)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := testField(t)
+	x := f.NewElement(big.NewInt(31337), big.NewInt(4242))
+	inv, err := new(Element).Inverse(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := new(Element).Mul(x, inv)
+	if !prod.IsOne() {
+		t.Fatalf("x · x⁻¹ = %v, want 1", prod)
+	}
+	if _, err := new(Element).Inverse(f.Zero()); !errors.Is(err, ErrNotInvertible) {
+		t.Fatalf("inverse of zero: got %v, want ErrNotInvertible", err)
+	}
+}
+
+func TestConjugateIsFrobenius(t *testing.T) {
+	f := testField(t)
+	x := f.NewElement(big.NewInt(999), big.NewInt(777))
+	// x^p must equal conj(x) in F_p².
+	pow := new(Element)
+	if _, err := pow.Exp(x, f.P()); err != nil {
+		t.Fatal(err)
+	}
+	conj := new(Element).Conjugate(x)
+	if !pow.Equal(conj) {
+		t.Fatalf("x^p = %v, conj(x) = %v", pow, conj)
+	}
+}
+
+func TestExpMatchesRepeatedMul(t *testing.T) {
+	f := testField(t)
+	x := f.NewElement(big.NewInt(5), big.NewInt(3))
+	want := f.One()
+	for k := 0; k <= 16; k++ {
+		got := new(Element)
+		if _, err := got.Exp(x, big.NewInt(int64(k))); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("x^%d mismatch", k)
+		}
+		want = new(Element).Mul(want, x)
+	}
+}
+
+func TestExpRejectsNegative(t *testing.T) {
+	f := testField(t)
+	x := f.One()
+	if _, err := new(Element).Exp(x, big.NewInt(-1)); err == nil {
+		t.Fatal("negative exponent must error")
+	}
+}
+
+func TestFermatInExtension(t *testing.T) {
+	// x^(p²−1) = 1 for x ≠ 0.
+	f := testField(t)
+	x := f.NewElement(big.NewInt(123456), big.NewInt(654321))
+	p := f.P()
+	order := new(big.Int).Mul(p, p)
+	order.Sub(order, big.NewInt(1))
+	got := new(Element)
+	if _, err := got.Exp(x, order); err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsOne() {
+		t.Fatalf("x^(p²−1) = %v, want 1", got)
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	f := testField(t)
+	x := f.NewElement(big.NewInt(10), big.NewInt(20))
+	got := new(Element).MulScalar(x, big.NewInt(3))
+	want := f.NewElement(big.NewInt(30), big.NewInt(60))
+	if !got.Equal(want) {
+		t.Fatalf("3x = %v, want %v", got, want)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := testField(t)
+	x := f.NewElement(big.NewInt(424242), big.NewInt(1))
+	data := x.Bytes()
+	y, err := f.ElementFromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.Equal(x) {
+		t.Fatalf("round trip: %v ≠ %v", y, x)
+	}
+}
+
+func TestElementFromBytesRejectsBadInput(t *testing.T) {
+	f := testField(t)
+	if _, err := f.ElementFromBytes([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short encoding must be rejected")
+	}
+	size := (f.P().BitLen() + 7) / 8
+	big := make([]byte, 2*size)
+	for i := range big {
+		big[i] = 0xff
+	}
+	if _, err := f.ElementFromBytes(big); err == nil {
+		t.Fatal("out-of-range coordinates must be rejected")
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	f := testField(t)
+	x := f.NewElement(big.NewInt(7), big.NewInt(8))
+	y := x.Copy()
+	y.Add(y, f.One())
+	if x.Equal(y) {
+		t.Fatal("mutating a copy changed the original")
+	}
+}
+
+func TestSetAliasesSafely(t *testing.T) {
+	f := testField(t)
+	x := f.NewElement(big.NewInt(7), big.NewInt(8))
+	var e Element
+	e.Set(x)
+	if !e.Equal(x) {
+		t.Fatal("Set did not copy value")
+	}
+	e.Add(&e, f.One())
+	if x.Equal(&e) {
+		t.Fatal("Set aliased the source internals")
+	}
+}
+
+// randomElement derives a pseudorandom field element from quick-generated
+// ints.
+func randomElement(f *Field, a, b int64) *Element {
+	return f.NewElement(big.NewInt(a), big.NewInt(b))
+}
+
+func TestQuickRingAxioms(t *testing.T) {
+	f := testField(t)
+	cfg := &quick.Config{MaxCount: 200}
+
+	commutativeMul := func(a1, b1, a2, b2 int64) bool {
+		x := randomElement(f, a1, b1)
+		y := randomElement(f, a2, b2)
+		xy := new(Element).Mul(x, y)
+		yx := new(Element).Mul(y, x)
+		return xy.Equal(yx)
+	}
+	if err := quick.Check(commutativeMul, cfg); err != nil {
+		t.Errorf("multiplication not commutative: %v", err)
+	}
+
+	associativeMul := func(a1, b1, a2, b2, a3, b3 int64) bool {
+		x := randomElement(f, a1, b1)
+		y := randomElement(f, a2, b2)
+		z := randomElement(f, a3, b3)
+		l := new(Element).Mul(new(Element).Mul(x, y), z)
+		r := new(Element).Mul(x, new(Element).Mul(y, z))
+		return l.Equal(r)
+	}
+	if err := quick.Check(associativeMul, cfg); err != nil {
+		t.Errorf("multiplication not associative: %v", err)
+	}
+
+	distributive := func(a1, b1, a2, b2, a3, b3 int64) bool {
+		x := randomElement(f, a1, b1)
+		y := randomElement(f, a2, b2)
+		z := randomElement(f, a3, b3)
+		l := new(Element).Mul(x, new(Element).Add(y, z))
+		r := new(Element).Add(new(Element).Mul(x, y), new(Element).Mul(x, z))
+		return l.Equal(r)
+	}
+	if err := quick.Check(distributive, cfg); err != nil {
+		t.Errorf("distributivity fails: %v", err)
+	}
+
+	squareIsMul := func(a, b int64) bool {
+		x := randomElement(f, a, b)
+		sq := new(Element).Square(x)
+		mu := new(Element).Mul(x, x)
+		return sq.Equal(mu)
+	}
+	if err := quick.Check(squareIsMul, cfg); err != nil {
+		t.Errorf("square ≠ self-multiplication: %v", err)
+	}
+
+	inverseWorks := func(a, b int64) bool {
+		x := randomElement(f, a, b)
+		if x.IsZero() {
+			return true
+		}
+		inv, err := new(Element).Inverse(x)
+		if err != nil {
+			return false
+		}
+		return new(Element).Mul(x, inv).IsOne()
+	}
+	if err := quick.Check(inverseWorks, cfg); err != nil {
+		t.Errorf("inverse law fails: %v", err)
+	}
+
+	conjMultiplicative := func(a1, b1, a2, b2 int64) bool {
+		x := randomElement(f, a1, b1)
+		y := randomElement(f, a2, b2)
+		l := new(Element).Conjugate(new(Element).Mul(x, y))
+		r := new(Element).Mul(new(Element).Conjugate(x), new(Element).Conjugate(y))
+		return l.Equal(r)
+	}
+	if err := quick.Check(conjMultiplicative, cfg); err != nil {
+		t.Errorf("conjugation not multiplicative: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package keyfile
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Failure-injection tests: corrupt artifacts must be rejected at load/build
+// time, never at first use.
+
+func TestBuildSEMsRejectsCorruptStore(t *testing.T) {
+	d := testDeployment(t)
+	sys := d.System()
+
+	// Corrupt IBE point.
+	badIBE := &SEMStore{IBE: map[string][]byte{"x@x": {1, 2, 3}}}
+	if _, _, _, err := badIBE.BuildSEMs(sys, core.NewRegistry()); err == nil {
+		t.Error("corrupt IBE half accepted")
+	}
+
+	// RSA halves without a system modulus.
+	noMod := &System{ParamSet: sys.ParamSet, MsgLen: sys.MsgLen, PPub: sys.PPub}
+	rsaOnly := &SEMStore{RSA: map[string][]byte{"x@x": {1}}}
+	if _, _, _, err := rsaOnly.BuildSEMs(noMod, core.NewRegistry()); err == nil {
+		t.Error("RSA store without modulus accepted")
+	}
+
+	// Unknown parameter set.
+	badSys := &System{ParamSet: "nope", MsgLen: 32, PPub: sys.PPub}
+	if _, _, _, err := (&SEMStore{}).BuildSEMs(badSys, core.NewRegistry()); err == nil {
+		t.Error("unknown parameter set accepted")
+	}
+
+	// Corrupt system P_pub.
+	badPPub := &System{ParamSet: sys.ParamSet, MsgLen: sys.MsgLen, PPub: []byte{9, 9}}
+	if _, _, _, err := (&SEMStore{}).BuildSEMs(badPPub, core.NewRegistry()); err == nil {
+		t.Error("corrupt P_pub accepted")
+	}
+}
+
+func TestUserAccessorErrors(t *testing.T) {
+	d := testDeployment(t)
+	pp, err := d.System().Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &User{ID: "x@x"}
+	if _, err := empty.IBEUserKey(pp); err == nil {
+		t.Error("missing IBE half accepted")
+	}
+	if _, err := empty.GDHUserKey(pp); err == nil {
+		t.Error("missing GDH material accepted")
+	}
+	if _, err := empty.RSAUserKey(d.System()); err == nil {
+		t.Error("missing RSA half accepted")
+	}
+	corrupt := &User{ID: "x@x", IBEHalf: []byte{1}, GDHHalf: []byte{2}, GDHPublic: []byte{3}}
+	if _, err := corrupt.IBEUserKey(pp); err == nil {
+		t.Error("corrupt IBE half accepted")
+	}
+	if _, err := corrupt.GDHUserKey(pp); err == nil {
+		t.Error("corrupt GDH public accepted")
+	}
+}
+
+func TestGDHPublicKeyCorrupt(t *testing.T) {
+	d := testDeployment(t)
+	sys := d.System()
+	sysBad := &System{
+		ParamSet: sys.ParamSet,
+		MsgLen:   sys.MsgLen,
+		PPub:     sys.PPub,
+		GDHKeys:  map[string][]byte{"x@x": {1, 2}},
+	}
+	if _, err := sysBad.GDHPublicKey("x@x"); err == nil {
+		t.Error("corrupt GDH key accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package mrsa
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Embedded safe-prime pairs so tests and benchmarks do not pay safe-prime
+// generation (minutes at 1024 bits) on every run. Both pairs were produced
+// by mathx.RandomSafePrime; tests re-verify safety.
+//
+//   - test512:   512-bit modulus — unit/integration tests.
+//   - paper1024: 1024-bit modulus — the IB-mRSA size the paper compares the
+//     mediated pairing schemes against.
+const (
+	test512P   = "c3b520f46a4df99d692f761968e2daa3e6135124db3d800cb370b1d3534a7c83"
+	test512Q   = "e247c29cee5a2d0364043c4f2f6b3d5ad017eedfd1f504ff761faaeb24dd1cdb"
+	paper1024P = "d4b53598050ed13562ca52f3f2b2bcb4bdb75ab3bf5a430609bf170e71d526e1efc05088877afdb40e2a4f690898e8ccbc3ad5b56b0af5c41745c64436f008db"
+	paper1024Q = "d5a2b1b9f488ad067a3162c453233c103561dd896a00aac9ec8bfd398b372b94d5e820189552eaec65832ab51bb1d84d7613f47858b51fa5346f359d88fa688b"
+)
+
+var (
+	fixedOnce sync.Once
+	fixedTest *IBPKG
+	fixedPap  *IBPKG
+	fixedErr  error
+)
+
+func loadFixed() {
+	parse := func(hexP, hexQ string) (*IBPKG, error) {
+		p, ok := new(big.Int).SetString(hexP, 16)
+		if !ok {
+			return nil, fmt.Errorf("mrsa: corrupt fixed prime constant")
+		}
+		q, ok := new(big.Int).SetString(hexQ, 16)
+		if !ok {
+			return nil, fmt.Errorf("mrsa: corrupt fixed prime constant")
+		}
+		return NewIBPKGFromPrimes(p, q)
+	}
+	fixedTest, fixedErr = parse(test512P, test512Q)
+	if fixedErr != nil {
+		return
+	}
+	fixedPap, fixedErr = parse(paper1024P, paper1024Q)
+}
+
+// FixedTestPKG returns the embedded 512-bit IB-mRSA system for tests.
+func FixedTestPKG() (*IBPKG, error) {
+	fixedOnce.Do(loadFixed)
+	return fixedTest, fixedErr
+}
+
+// FixedPaperPKG returns the embedded 1024-bit IB-mRSA system — the modulus
+// size of the paper's baseline.
+func FixedPaperPKG() (*IBPKG, error) {
+	fixedOnce.Do(loadFixed)
+	return fixedPap, fixedErr
+}
+
+// FixedTestKeyPair returns a plain (non-identity) key pair over the 512-bit
+// test modulus with e = 65537, for the mRSA tests and benches.
+func FixedTestKeyPair() (*KeyPair, error) {
+	pkg, err := FixedTestPKG()
+	if err != nil {
+		return nil, err
+	}
+	return KeyFromPrimes(pkg.p, pkg.q, big.NewInt(65537))
+}
+
+// FixedPaperKeyPair returns a plain key pair over the 1024-bit paper-size
+// modulus with e = 65537.
+func FixedPaperKeyPair() (*KeyPair, error) {
+	pkg, err := FixedPaperPKG()
+	if err != nil {
+		return nil, err
+	}
+	return KeyFromPrimes(pkg.p, pkg.q, big.NewInt(65537))
+}

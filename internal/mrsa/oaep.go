@@ -1,0 +1,98 @@
+package mrsa
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// EME-OAEP (RFC 8017 §7.1 style) with SHA-1 and MGF1 — the instantiation
+// deployed RSA-OAEP used in the paper's era, which also fits the 512-bit
+// test modulus (SHA-256 OAEP needs a ≥528-bit modulus). Implemented from
+// scratch because the mediated decryption path needs OAEP decoding applied
+// to a *recombined* RSA output, which crypto/rsa does not expose.
+
+// ErrOAEPDecode is returned on any OAEP decoding failure. Implementations
+// must not reveal which check failed (Manger's attack), so a single opaque
+// error covers all cases.
+var ErrOAEPDecode = errors.New("mrsa: oaep decoding error")
+
+const hashLen = sha1.Size
+
+// mgf1 fills out with the MGF1 expansion of seed.
+func mgf1(seed []byte, out []byte) {
+	var counter uint32
+	var digest [hashLen]byte
+	done := 0
+	for done < len(out) {
+		h := sha1.New()
+		h.Write(seed)
+		h.Write([]byte{byte(counter >> 24), byte(counter >> 16), byte(counter >> 8), byte(counter)})
+		h.Sum(digest[:0])
+		done += copy(out[done:], digest[:])
+		counter++
+	}
+}
+
+// oaepEncode produces the k-byte encoded message EM for a plaintext msg and
+// label. k is the modulus length in bytes; the maximum message length is
+// k − 2·hashLen − 2.
+func oaepEncode(rng io.Reader, msg, label []byte, k int) ([]byte, error) {
+	if len(msg) > k-2*hashLen-2 {
+		return nil, fmt.Errorf("mrsa: message too long for %d-byte modulus", k)
+	}
+	lHash := sha1.Sum(label)
+	em := make([]byte, k)
+	seed := em[1 : 1+hashLen]
+	db := em[1+hashLen:]
+	copy(db, lHash[:])
+	db[len(db)-len(msg)-1] = 0x01
+	copy(db[len(db)-len(msg):], msg)
+	if _, err := io.ReadFull(rng, seed); err != nil {
+		return nil, fmt.Errorf("oaep seed: %w", err)
+	}
+	dbMask := make([]byte, len(db))
+	mgf1(seed, dbMask)
+	subtle.XORBytes(db, db, dbMask)
+	seedMask := make([]byte, hashLen)
+	mgf1(db, seedMask)
+	subtle.XORBytes(seed, seed, seedMask)
+	return em, nil
+}
+
+// oaepDecode inverts oaepEncode, returning the plaintext. All failure modes
+// collapse into ErrOAEPDecode.
+func oaepDecode(em, label []byte, k int) ([]byte, error) {
+	if len(em) != k || k < 2*hashLen+2 {
+		return nil, ErrOAEPDecode
+	}
+	if em[0] != 0 {
+		return nil, ErrOAEPDecode
+	}
+	lHash := sha1.Sum(label)
+	seed := bytes.Clone(em[1 : 1+hashLen])
+	db := bytes.Clone(em[1+hashLen:])
+	seedMask := make([]byte, hashLen)
+	mgf1(db, seedMask)
+	subtle.XORBytes(seed, seed, seedMask)
+	dbMask := make([]byte, len(db))
+	mgf1(seed, dbMask)
+	subtle.XORBytes(db, db, dbMask)
+	if subtle.ConstantTimeCompare(db[:hashLen], lHash[:]) != 1 {
+		return nil, ErrOAEPDecode
+	}
+	rest := db[hashLen:]
+	idx := bytes.IndexByte(rest, 0x01)
+	if idx < 0 {
+		return nil, ErrOAEPDecode
+	}
+	for _, b := range rest[:idx] {
+		if b != 0 {
+			return nil, ErrOAEPDecode
+		}
+	}
+	return bytes.Clone(rest[idx+1:]), nil
+}

@@ -1,0 +1,29 @@
+package pairing_test
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/pairing"
+)
+
+// ExampleParams_Pair demonstrates the bilinearity that every scheme in this
+// repository is built on: ê(aP, bP) = ê(P, P)^(ab).
+func ExampleParams_Pair() {
+	pp, err := pairing.Fast()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	P := pp.Generator()
+	a := big.NewInt(6)
+	b := big.NewInt(7)
+
+	lhs := pp.Pair(P.ScalarMul(a), P.ScalarMul(b))
+	rhs := pp.Pair(P, P).Exp(big.NewInt(42))
+	fmt.Println("bilinear:", lhs.Equal(rhs))
+	fmt.Println("non-degenerate:", !pp.Pair(P, P).IsOne())
+	// Output:
+	// bilinear: true
+	// non-degenerate: true
+}

@@ -1,0 +1,146 @@
+package pairing
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"repro/internal/curve"
+	"repro/internal/gf"
+)
+
+// Fixed parameter sets. Each was produced by Generate (see cmd/pkgen
+// -genparams) and smoke-checked for bilinearity and non-degeneracy at
+// generation time; tests re-verify both properties.
+//
+//   - toy:   |q| = 32,  |p| = 96  — unit/property tests that need thousands
+//     of pairings. NOT secure; never use outside tests.
+//   - fast:  |q| = 128, |p| = 256 — integration tests and examples.
+//   - paper: |q| = 160, |p| = 512 — the sizes the paper compares against
+//     1024-bit IB-mRSA ("one can currently have 512 or even 160 bits private
+//     keys", §4.1).
+type fixedSet struct {
+	name         string
+	p, q, gx, gy string
+}
+
+var fixedSets = map[string]fixedSet{
+	"toy": {
+		name: "toy",
+		p:    "c88410b59ac4fa20d9a0256b",
+		q:    "fd51d491",
+		gx:   "439642cb788f04772522a06e",
+		gy:   "b0f96e67ff762fadf0f943bb",
+	},
+	"fast": {
+		name: "fast",
+		p:    "db19579dd2a906bb3f2f4f74c236e52c70115d99c09f7c474e96cdbe63e4da07",
+		q:    "e10324209a11be3de5ba91918d7c367d",
+		gx:   "b1a03d1eeb0fc48c577f8e57589b19bb6dabb28efe2320ca70b89e946156eeef",
+		gy:   "4d7b0d2756afb0dd83d8aa8a2a66f6cb69bb0ca63aae1e9e82652d6221ac8e9c",
+	},
+	"paper": {
+		name: "paper",
+		p:    "b282da5c02935d5836473139df6751ee8e1fb07c917309c04088843b36435876d65dd173ce4ac63f883c05a59ad3a134e30ef32607e2a49c71e515d4dcc47eef",
+		q:    "d766107fb0eace0a6ccd9d42e9492ba8bf2298ed",
+		gx:   "46a67b1ebf67cc2e1d4eccd007c264f52a9eedee98368190842a1445eaf78511ef000fab6edf3a9b09b36691914f114c13063aef9f9bb877e324158e18965153",
+		gy:   "17603521cbdc731424ee3aae867d4a5625f73d148f517159289e80b4c5599a7a0061a0b6cd9fbb124ef8bef644edcd7ccc5185145d6453c001b8800e41f3724a",
+	},
+}
+
+var (
+	fixedOnce  sync.Once
+	fixedCache map[string]*Params
+	fixedErr   error
+)
+
+func loadFixed() {
+	fixedCache = make(map[string]*Params, len(fixedSets))
+	for key, fs := range fixedSets {
+		pp, err := buildFixed(fs)
+		if err != nil {
+			fixedErr = fmt.Errorf("fixed parameter set %q: %w", key, err)
+			return
+		}
+		fixedCache[key] = pp
+	}
+}
+
+func buildFixed(fs fixedSet) (*Params, error) {
+	p, ok := new(big.Int).SetString(fs.p, 16)
+	if !ok {
+		return nil, fmt.Errorf("bad p constant")
+	}
+	q, ok := new(big.Int).SetString(fs.q, 16)
+	if !ok {
+		return nil, fmt.Errorf("bad q constant")
+	}
+	gx, ok := new(big.Int).SetString(fs.gx, 16)
+	if !ok {
+		return nil, fmt.Errorf("bad gx constant")
+	}
+	gy, ok := new(big.Int).SetString(fs.gy, 16)
+	if !ok {
+		return nil, fmt.Errorf("bad gy constant")
+	}
+	cv, err := curve.New(p, q)
+	if err != nil {
+		return nil, err
+	}
+	fld, err := gf.NewField(p)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := cv.NewPoint(gx, gy)
+	if err != nil {
+		return nil, err
+	}
+	if !gen.InSubgroup() {
+		return nil, fmt.Errorf("generator escapes order-q subgroup")
+	}
+	tail := new(big.Int).Add(p, big.NewInt(1))
+	tail.Div(tail, q)
+	return &Params{
+		curve:    cv,
+		field:    fld,
+		gen:      gen,
+		expTail:  tail,
+		qBits:    q.BitLen(),
+		security: fs.name,
+	}, nil
+}
+
+func fixed(name string) (*Params, error) {
+	fixedOnce.Do(loadFixed)
+	if fixedErr != nil {
+		return nil, fixedErr
+	}
+	return fixedCache[name], nil
+}
+
+// Toy returns the 32/96-bit test-only parameter set. It fails only if the
+// embedded constants were corrupted.
+func Toy() (*Params, error) { return fixed("toy") }
+
+// Fast returns the 128/256-bit parameter set used by integration tests and
+// examples.
+func Fast() (*Params, error) { return fixed("fast") }
+
+// Paper returns the 160/512-bit parameter set matching the sizes the paper
+// uses when comparing the mediated IBE and GDH schemes against 1024-bit
+// IB-mRSA.
+func Paper() (*Params, error) { return fixed("paper") }
+
+// ByName returns a fixed parameter set by its label ("toy", "fast",
+// "paper").
+func ByName(name string) (*Params, error) {
+	fixedOnce.Do(loadFixed)
+	if fixedErr != nil {
+		return nil, fixedErr
+	}
+	pp, ok := fixedCache[name]
+	if !ok {
+		return nil, fmt.Errorf("pairing: unknown parameter set %q", name)
+	}
+	return pp, nil
+}

@@ -1,0 +1,357 @@
+// Package pairing implements the modified Tate pairing on the supersingular
+// curve E(F_p): y² = x³ + x (p ≡ 3 mod 4, embedding degree 2) that the
+// paper's schemes are built on:
+//
+//	ê : G1 × G1 → GT,   ê(P, Q) = e_q(P, φ(Q))^((p²−1)/q)
+//
+// where e_q is the order-q Tate pairing computed with Miller's algorithm,
+// φ(x, y) = (−x, i·y) is the distortion map into E(F_p²), and GT is the
+// order-q subgroup of F_p²*. The map is bilinear, non-degenerate
+// (ê(P, P) ≠ 1 for P ≠ O) and efficiently computable — the three properties
+// Section 3.1 of the paper requires.
+//
+// Implementation notes:
+//
+//   - Denominator elimination: the x-coordinate of φ(Q) lies in F_p, so
+//     every vertical-line factor of the Miller loop lands in F_p*, which the
+//     final exponentiation (p²−1)/q = (p−1)·(p+1)/q annihilates. The default
+//     loop therefore skips vertical lines entirely. millerFull keeps them and
+//     exists for the ablation benchmark and as a cross-check oracle in tests.
+//   - Final exponentiation: f^(p−1) = conj(f)/f (Frobenius on F_p² is
+//     conjugation), then one square-and-multiply by (p+1)/q.
+package pairing
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/curve"
+	"repro/internal/gf"
+	"repro/internal/mathx"
+)
+
+// ErrDegenerate is returned by operations that require a non-identity GT
+// element.
+var ErrDegenerate = errors.New("pairing: degenerate (identity) pairing value")
+
+// Params bundles everything the schemes need: the groups G1 (order-q curve
+// subgroup), GT (order-q subgroup of F_p²*) and the pairing between them.
+// Immutable and safe for concurrent use.
+type Params struct {
+	curve    *curve.Curve
+	field    *gf.Field
+	gen      *curve.Point
+	expTail  *big.Int // (p+1)/q, the second stage of the final exponentiation
+	qBits    int
+	security string
+}
+
+// Generate creates fresh pairing parameters with a qBits-bit prime group
+// order and a pBits-bit field. pBits − qBits should be at least 16 so a
+// cofactor exists. Generation retries until p = q·c − 1 is prime with
+// c ≡ 0 (mod 4), guaranteeing p ≡ 3 (mod 4).
+func Generate(rng io.Reader, qBits, pBits int) (*Params, error) {
+	if pBits-qBits < 16 {
+		return nil, fmt.Errorf("pairing: pBits−qBits = %d too small for a cofactor", pBits-qBits)
+	}
+	q, err := mathx.RandomPrime(rng, qBits)
+	if err != nil {
+		return nil, fmt.Errorf("generate group order: %w", err)
+	}
+	kBits := pBits - qBits - 2 // c = 4k, so |c| = kBits + 2
+	lo := new(big.Int).Lsh(big.NewInt(1), uint(kBits-1))
+	hi := new(big.Int).Lsh(big.NewInt(1), uint(kBits))
+	for attempt := 0; attempt < 100000; attempt++ {
+		k, err := mathx.RandomInRange(rng, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		c := new(big.Int).Lsh(k, 2)
+		if new(big.Int).Mod(c, q).Sign() == 0 {
+			continue // keep q ∥ p+1 exactly once
+		}
+		p := new(big.Int).Mul(q, c)
+		p.Sub(p, big.NewInt(1))
+		if p.BitLen() != pBits || !p.ProbablyPrime(20) {
+			continue
+		}
+		return fromPQ(rng, p, q)
+	}
+	return nil, fmt.Errorf("pairing: no suitable prime found for qBits=%d pBits=%d", qBits, pBits)
+}
+
+// fromPQ finishes parameter construction once p and q are fixed.
+func fromPQ(rng io.Reader, p, q *big.Int) (*Params, error) {
+	cv, err := curve.New(p, q)
+	if err != nil {
+		return nil, err
+	}
+	fld, err := gf.NewField(p)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := cv.RandomG1(rng)
+	if err != nil {
+		return nil, fmt.Errorf("generate G1 generator: %w", err)
+	}
+	if !gen.InSubgroup() {
+		return nil, fmt.Errorf("pairing: generated point escapes subgroup (q² | p+1?)")
+	}
+	tail := new(big.Int).Add(p, big.NewInt(1))
+	tail.Div(tail, q)
+	return &Params{
+		curve:   cv,
+		field:   fld,
+		gen:     gen,
+		expTail: tail,
+		qBits:   q.BitLen(),
+	}, nil
+}
+
+// Curve returns the underlying curve (the group G1 lives on it).
+func (pp *Params) Curve() *curve.Curve { return pp.curve }
+
+// Field returns the extension field F_p² hosting GT.
+func (pp *Params) Field() *gf.Field { return pp.field }
+
+// Generator returns the fixed public generator P of G1.
+func (pp *Params) Generator() *curve.Point { return pp.gen }
+
+// Q returns a copy of the prime group order.
+func (pp *Params) Q() *big.Int { return pp.curve.Q() }
+
+// P returns a copy of the field characteristic.
+func (pp *Params) P() *big.Int { return pp.curve.P() }
+
+// Name returns a human-readable label for fixed parameter sets ("" for
+// generated ones).
+func (pp *Params) Name() string { return pp.security }
+
+// GT is an element of the order-q target group, a thin wrapper over F_p²
+// that carries the group order for exponent reduction.
+type GT struct {
+	v *gf.Element
+	q *big.Int
+}
+
+// One returns the identity of GT.
+func (pp *Params) One() *GT {
+	return &GT{v: pp.field.One(), q: pp.curve.Q()}
+}
+
+// Element exposes the raw F_p² value (a copy).
+func (g *GT) Element() *gf.Element { return g.v.Copy() }
+
+// IsOne reports whether g is the identity.
+func (g *GT) IsOne() bool { return g.v.IsOne() }
+
+// Equal reports whether two GT elements are equal.
+func (g *GT) Equal(h *GT) bool { return g.v.Equal(h.v) }
+
+// Mul returns g·h.
+func (g *GT) Mul(h *GT) *GT {
+	out := g.v.Copy()
+	out.Mul(out, h.v)
+	return &GT{v: out, q: g.q}
+}
+
+// Inverse returns g⁻¹. GT elements produced by the pairing are never zero.
+func (g *GT) Inverse() (*GT, error) {
+	inv, err := new(gf.Element).Inverse(g.v)
+	if err != nil {
+		return nil, fmt.Errorf("invert GT element: %w", err)
+	}
+	return &GT{v: inv, q: g.q}, nil
+}
+
+// Exp returns g^k with k reduced modulo the group order (negative k allowed).
+func (g *GT) Exp(k *big.Int) *GT {
+	e := new(big.Int).Mod(k, g.q)
+	out := new(gf.Element)
+	if _, err := out.Exp(g.v, e); err != nil {
+		// Exponent is non-negative after Mod; Exp cannot fail.
+		panic("pairing: internal exponentiation failure: " + err.Error())
+	}
+	return &GT{v: out, q: g.q}
+}
+
+// Bytes returns the canonical fixed-width serialization of g.
+func (g *GT) Bytes() []byte { return g.v.Bytes() }
+
+// GTFromBytes parses a GT element serialized by GT.Bytes. The order-q
+// subgroup membership of untrusted inputs can be checked with
+// Params.InGT.
+func (pp *Params) GTFromBytes(data []byte) (*GT, error) {
+	el, err := pp.field.ElementFromBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	return &GT{v: el, q: pp.curve.Q()}, nil
+}
+
+// InGT reports whether g lies in the order-q subgroup of F_p²*.
+func (pp *Params) InGT(g *GT) bool {
+	if g.v.IsZero() {
+		return false
+	}
+	raw := new(gf.Element)
+	if _, err := raw.Exp(g.v, pp.curve.Q()); err != nil {
+		return false
+	}
+	return raw.IsOne()
+}
+
+// Pair computes the modified Tate pairing ê(P, Q) with denominator
+// elimination. ê(P, O) = ê(O, Q) = 1.
+func (pp *Params) Pair(p1, q1 *curve.Point) *GT {
+	if p1.IsInfinity() || q1.IsInfinity() {
+		return pp.One()
+	}
+	f := pp.miller(p1, q1, false)
+	return &GT{v: pp.finalExp(f), q: pp.curve.Q()}
+}
+
+// PairFull computes the same pairing without denominator elimination
+// (tracking vertical-line factors explicitly). It exists as a correctness
+// oracle and for the Miller-loop ablation benchmark.
+func (pp *Params) PairFull(p1, q1 *curve.Point) *GT {
+	if p1.IsInfinity() || q1.IsInfinity() {
+		return pp.One()
+	}
+	f := pp.miller(p1, q1, true)
+	return &GT{v: pp.finalExp(f), q: pp.curve.Q()}
+}
+
+// miller evaluates f_{q,P}(φ(Q)) by Miller's algorithm. When withDenominators
+// is true, vertical-line factors are divided out explicitly; otherwise they
+// are skipped (denominator elimination).
+//
+// With φ(Q) = (−x_Q, i·y_Q), the line through V with slope λ evaluated at
+// φ(Q) is
+//
+//	l(φQ) = i·y_Q − y_V − λ·(−x_Q − x_V)  =  (−y_V − λ·(−x_Q − x_V)) + y_Q·i
+//
+// whose real part stays in F_p, so each step multiplies f by a cheap
+// "almost-F_p" element.
+func (pp *Params) miller(p1, q1 *curve.Point, withDenominators bool) *gf.Element {
+	fld := pp.field
+	pMod := pp.curve.P()
+	xQneg := new(big.Int).Neg(q1.X())
+	xQneg.Mod(xQneg, pMod)
+	yQ := q1.Y()
+
+	f := fld.One()
+	fden := fld.One()
+	v := p1
+	n := pp.curve.Q()
+
+	lineAt := func(vPt *curve.Point, lambda *big.Int) *gf.Element {
+		// real = −y_V − λ·(−x_Q − x_V) mod p
+		re := new(big.Int).Sub(xQneg, vPt.X())
+		re.Mul(re, lambda)
+		re.Add(re, vPt.Y())
+		re.Neg(re)
+		re.Mod(re, pMod)
+		return fld.NewElement(re, yQ)
+	}
+	vertical := func(xV *big.Int) *gf.Element {
+		// x(φQ) − x_V = −x_Q − x_V ∈ F_p
+		re := new(big.Int).Sub(xQneg, xV)
+		re.Mod(re, pMod)
+		return fld.FromInt(re)
+	}
+
+	for i := n.BitLen() - 2; i >= 0; i-- {
+		f.Square(f)
+		if withDenominators {
+			fden.Square(fden)
+		}
+		if !v.IsInfinity() {
+			if v.Y().Sign() == 0 {
+				// Order-2 point: tangent is vertical (cannot occur in the
+				// odd-order subgroup, handled for completeness).
+				f.Mul(f, vertical(v.X()))
+				v = v.Double()
+			} else {
+				lambda := tangentSlope(v, pMod)
+				l := lineAt(v, lambda)
+				f.Mul(f, l)
+				v = v.Double()
+				if withDenominators && !v.IsInfinity() {
+					fden.Mul(fden, vertical(v.X()))
+				}
+			}
+		}
+		if n.Bit(i) == 1 && !v.IsInfinity() {
+			if v.Equal(p1.Neg()) {
+				// Line through V and P is vertical.
+				if withDenominators {
+					f.Mul(f, vertical(p1.X()))
+				}
+				v = pp.curve.Infinity()
+			} else if v.Equal(p1) {
+				lambda := tangentSlope(v, pMod)
+				f.Mul(f, lineAt(v, lambda))
+				v = v.Double()
+				if withDenominators && !v.IsInfinity() {
+					fden.Mul(fden, vertical(v.X()))
+				}
+			} else {
+				lambda := chordSlope(v, p1, pMod)
+				f.Mul(f, lineAt(v, lambda))
+				v = v.Add(p1)
+				if withDenominators && !v.IsInfinity() {
+					fden.Mul(fden, vertical(v.X()))
+				}
+			}
+		}
+	}
+	if withDenominators {
+		inv, err := new(gf.Element).Inverse(fden)
+		if err == nil {
+			f.Mul(f, inv)
+		}
+	}
+	return f
+}
+
+func tangentSlope(v *curve.Point, p *big.Int) *big.Int {
+	num := new(big.Int).Mul(v.X(), v.X())
+	num.Mul(num, big.NewInt(3))
+	num.Add(num, big.NewInt(1))
+	num.Mod(num, p)
+	den := new(big.Int).Lsh(v.Y(), 1)
+	den.ModInverse(den, p)
+	num.Mul(num, den)
+	num.Mod(num, p)
+	return num
+}
+
+func chordSlope(v, w *curve.Point, p *big.Int) *big.Int {
+	num := new(big.Int).Sub(w.Y(), v.Y())
+	den := new(big.Int).Sub(w.X(), v.X())
+	den.ModInverse(den, p)
+	num.Mul(num, den)
+	num.Mod(num, p)
+	return num
+}
+
+// finalExp raises f to (p²−1)/q = (p−1)·(p+1)/q.
+func (pp *Params) finalExp(f *gf.Element) *gf.Element {
+	// f^(p−1) = conj(f) · f⁻¹
+	inv, err := new(gf.Element).Inverse(f)
+	if err != nil {
+		// A zero Miller value cannot occur for valid inputs (line functions
+		// vanish only on the points themselves).
+		return pp.field.One()
+	}
+	g := new(gf.Element).Conjugate(f)
+	g.Mul(g, inv)
+	out := new(gf.Element)
+	if _, err := out.Exp(g, pp.expTail); err != nil {
+		panic("pairing: internal exponentiation failure: " + err.Error())
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package pairing
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func toyParams(t *testing.T) *Params {
+	t.Helper()
+	pp, err := Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pp
+}
+
+func TestFixedSetsLoad(t *testing.T) {
+	for _, name := range []string{"toy", "fast", "paper"} {
+		pp, err := ByName(name)
+		if err != nil {
+			t.Fatalf("load %q: %v", name, err)
+		}
+		if pp.Name() != name {
+			t.Errorf("set %q reports name %q", name, pp.Name())
+		}
+		if !pp.Generator().InSubgroup() {
+			t.Errorf("set %q generator not in subgroup", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown set name accepted")
+	}
+}
+
+func TestFixedSetSizes(t *testing.T) {
+	fast, _ := Fast()
+	paper, _ := Paper()
+	if got := fast.Q().BitLen(); got != 128 {
+		t.Errorf("fast |q| = %d, want 128", got)
+	}
+	if got := paper.Q().BitLen(); got != 160 {
+		t.Errorf("paper |q| = %d, want 160", got)
+	}
+	if got := paper.P().BitLen(); got != 512 {
+		t.Errorf("paper |p| = %d, want 512", got)
+	}
+}
+
+func TestPairingNonDegenerate(t *testing.T) {
+	pp := toyParams(t)
+	P := pp.Generator()
+	g := pp.Pair(P, P)
+	if g.IsOne() {
+		t.Fatal("ê(P, P) = 1: pairing degenerate")
+	}
+	if !pp.InGT(g) {
+		t.Fatal("pairing value escapes order-q subgroup")
+	}
+}
+
+func TestPairingWithInfinity(t *testing.T) {
+	pp := toyParams(t)
+	P := pp.Generator()
+	O := pp.Curve().Infinity()
+	if !pp.Pair(P, O).IsOne() {
+		t.Error("ê(P, O) ≠ 1")
+	}
+	if !pp.Pair(O, P).IsOne() {
+		t.Error("ê(O, P) ≠ 1")
+	}
+}
+
+func TestBilinearity(t *testing.T) {
+	pp := toyParams(t)
+	P := pp.Generator()
+	q := pp.Q()
+	for i := 0; i < 8; i++ {
+		a, _ := rand.Int(rand.Reader, q)
+		b, _ := rand.Int(rand.Reader, q)
+		lhs := pp.Pair(P.ScalarMul(a), P.ScalarMul(b))
+		rhs := pp.Pair(P, P).Exp(new(big.Int).Mul(a, b))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("ê(aP, bP) ≠ ê(P,P)^(ab) for a=%v b=%v", a, b)
+		}
+		// one-sided linearity
+		l2 := pp.Pair(P.ScalarMul(a), P)
+		r2 := pp.Pair(P, P.ScalarMul(a))
+		if !l2.Equal(r2) {
+			t.Fatalf("ê(aP, P) ≠ ê(P, aP) for a=%v", a)
+		}
+	}
+}
+
+func TestPairingOfSum(t *testing.T) {
+	// ê(P + Q, R) = ê(P, R)·ê(Q, R)
+	pp := toyParams(t)
+	gen := pp.Generator()
+	q := pp.Q()
+	for i := 0; i < 5; i++ {
+		a, _ := rand.Int(rand.Reader, q)
+		b, _ := rand.Int(rand.Reader, q)
+		c, _ := rand.Int(rand.Reader, q)
+		P := gen.ScalarMul(a)
+		Q := gen.ScalarMul(b)
+		R := gen.ScalarMul(c)
+		lhs := pp.Pair(P.Add(Q), R)
+		rhs := pp.Pair(P, R).Mul(pp.Pair(Q, R))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("additivity in first slot fails (iter %d)", i)
+		}
+		lhs2 := pp.Pair(R, P.Add(Q))
+		rhs2 := pp.Pair(R, P).Mul(pp.Pair(R, Q))
+		if !lhs2.Equal(rhs2) {
+			t.Fatalf("additivity in second slot fails (iter %d)", i)
+		}
+	}
+}
+
+func TestDenominatorEliminationAgreesWithFullMiller(t *testing.T) {
+	pp := toyParams(t)
+	gen := pp.Generator()
+	q := pp.Q()
+	for i := 0; i < 6; i++ {
+		a, _ := rand.Int(rand.Reader, q)
+		b, _ := rand.Int(rand.Reader, q)
+		P := gen.ScalarMul(a)
+		Q := gen.ScalarMul(b)
+		fast := pp.Pair(P, Q)
+		full := pp.PairFull(P, Q)
+		if !fast.Equal(full) {
+			t.Fatalf("optimized and full Miller loops disagree (iter %d)", i)
+		}
+	}
+}
+
+func TestPairingHashToPointCompatible(t *testing.T) {
+	// The schemes pair generator-derived points against hashed identities.
+	pp := toyParams(t)
+	Q, err := pp.Curve().HashToPoint("BF-H1", []byte("bob@example.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := rand.Int(rand.Reader, pp.Q())
+	P := pp.Generator()
+	// ê(sP, Q) == ê(P, sQ) == ê(P, Q)^s
+	l := pp.Pair(P.ScalarMul(s), Q)
+	m := pp.Pair(P, Q.ScalarMul(s))
+	r := pp.Pair(P, Q).Exp(s)
+	if !l.Equal(m) || !l.Equal(r) {
+		t.Fatal("pairing incompatibility with hashed points")
+	}
+}
+
+func TestGTGroupOps(t *testing.T) {
+	pp := toyParams(t)
+	g := pp.Pair(pp.Generator(), pp.Generator())
+
+	inv, err := g.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Mul(inv).IsOne() {
+		t.Error("g · g⁻¹ ≠ 1")
+	}
+	if !g.Exp(big.NewInt(0)).IsOne() {
+		t.Error("g⁰ ≠ 1")
+	}
+	if !g.Exp(big.NewInt(1)).Equal(g) {
+		t.Error("g¹ ≠ g")
+	}
+	// negative exponent = inverse
+	if !g.Exp(big.NewInt(-1)).Equal(inv) {
+		t.Error("g⁻¹ via Exp mismatch")
+	}
+	// Exp reduces its exponent mod q, so g^q = g^0 = 1 by construction.
+	if !g.Exp(pp.Q()).IsOne() {
+		t.Error("g^q ≠ 1 (exponent reduction broken)")
+	}
+	if !pp.InGT(g) {
+		t.Error("pairing output not in GT")
+	}
+}
+
+func TestGTBytesRoundTrip(t *testing.T) {
+	pp := toyParams(t)
+	g := pp.Pair(pp.Generator(), pp.Generator())
+	data := g.Bytes()
+	h, err := pp.GTFromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("GT bytes round trip failed")
+	}
+	if _, err := pp.GTFromBytes([]byte{1}); err == nil {
+		t.Fatal("short GT encoding accepted")
+	}
+}
+
+func TestInGTRejectsOutsiders(t *testing.T) {
+	pp := toyParams(t)
+	// A random field element is in GT with probability q/(p²−1) ≈ 2⁻⁶⁴.
+	el := pp.Field().NewElement(big.NewInt(2), big.NewInt(3))
+	outsider := &GT{v: el, q: pp.Q()}
+	if pp.InGT(outsider) {
+		t.Fatal("random field element accepted as GT member")
+	}
+	zero := &GT{v: pp.Field().Zero(), q: pp.Q()}
+	if pp.InGT(zero) {
+		t.Fatal("zero accepted as GT member")
+	}
+}
+
+func TestGenerateSmallParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parameter generation is slow")
+	}
+	pp, err := Generate(rand.Reader, 32, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	P := pp.Generator()
+	a := big.NewInt(7)
+	b := big.NewInt(11)
+	lhs := pp.Pair(P.ScalarMul(a), P.ScalarMul(b))
+	rhs := pp.Pair(P, P).Exp(big.NewInt(77))
+	if !lhs.Equal(rhs) {
+		t.Fatal("generated params fail bilinearity")
+	}
+	if pp.Pair(P, P).IsOne() {
+		t.Fatal("generated params degenerate")
+	}
+}
+
+func TestGenerateRejectsTinyCofactor(t *testing.T) {
+	if _, err := Generate(rand.Reader, 32, 40); err == nil {
+		t.Fatal("cofactor gap below 16 bits must be rejected")
+	}
+}
+
+func TestQuickBilinearity(t *testing.T) {
+	pp := toyParams(t)
+	P := pp.Generator()
+	base := pp.Pair(P, P)
+	q64 := pp.Q().Int64() // toy q fits in 32 bits
+	cfg := &quick.Config{MaxCount: 15}
+	property := func(a, b uint32) bool {
+		ai := big.NewInt(int64(a) % q64)
+		bi := big.NewInt(int64(b) % q64)
+		lhs := pp.Pair(P.ScalarMul(ai), P.ScalarMul(bi))
+		rhs := base.Exp(new(big.Int).Mul(ai, bi))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package revoke
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"repro/internal/pairing"
+)
+
+const periodMsgLen = 32
+
+// periodFixture builds a PeriodPKG on a manually-driven virtual clock.
+func periodFixture(t *testing.T, period time.Duration) (*PeriodPKG, *time.Time) {
+	t.Helper()
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := Epoch
+	pkg, err := NewPeriodPKG(rand.Reader, pp, periodMsgLen, period, func() time.Time { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, &now
+}
+
+func TestPeriodPKGRoundTrip(t *testing.T) {
+	pkg, _ := periodFixture(t, 24*time.Hour)
+	if err := pkg.Enroll("alice@example.com"); err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte{7}, periodMsgLen)
+	c, idx, err := pkg.EncryptCurrent(rand.Reader, "alice@example.com", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pkg.Decrypt("alice@example.com", idx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("period-key decryption mismatch")
+	}
+}
+
+func TestPeriodPKGRevocationLagsUntilRollover(t *testing.T) {
+	// The paper's criticism made executable: a revoked key KEEPS WORKING
+	// for the rest of its validity period.
+	pkg, now := periodFixture(t, 24*time.Hour)
+	if err := pkg.Enroll("alice@example.com"); err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte{1}, periodMsgLen)
+
+	// Revoke 6 hours into day 0.
+	*now = Epoch.Add(6 * time.Hour)
+	pkg.Revoke("alice@example.com")
+
+	// A message sent 10 hours into day 0 — the revoked Alice still reads it
+	// with her day-0 key.
+	*now = Epoch.Add(10 * time.Hour)
+	c, idx, err := pkg.EncryptCurrent(rand.Reader, "alice@example.com", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pkg.Decrypt("alice@example.com", idx, c)
+	if err != nil {
+		t.Fatalf("revoked key should still work within its period: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("plaintext mismatch")
+	}
+
+	// Day 1: the PKG skips Alice at rollover; a day-1 message is sealed to
+	// a key she never receives.
+	*now = Epoch.Add(25 * time.Hour)
+	if err := pkg.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	c2, idx2, err := pkg.EncryptCurrent(rand.Reader, "alice@example.com", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pkg.Decrypt("alice@example.com", idx2, c2); err == nil {
+		t.Fatal("revoked user decrypted a next-period message")
+	}
+}
+
+func TestPeriodPKGReissueCost(t *testing.T) {
+	pkg, now := periodFixture(t, 24*time.Hour)
+	for _, id := range []string{"a@x", "b@x", "c@x"} {
+		if err := pkg.Enroll(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg.Revoke("c@x")
+	// Advance three days.
+	*now = Epoch.Add(3*24*time.Hour + time.Hour)
+	if err := pkg.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 rollovers × 2 live users = 6 reissues (c@x skipped).
+	if got := pkg.Reissues(); got != 6 {
+		t.Fatalf("reissues = %d, want 6", got)
+	}
+	// Live users can decrypt current-period traffic after the rollovers.
+	msg := bytes.Repeat([]byte{2}, periodMsgLen)
+	c, idx, err := pkg.EncryptCurrent(rand.Reader, "a@x", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pkg.Decrypt("a@x", idx, c); err != nil {
+		t.Fatalf("live user lost access after rollover: %v", err)
+	}
+}
+
+func TestPeriodPKGValidation(t *testing.T) {
+	pp, _ := pairing.Toy()
+	if _, err := NewPeriodPKG(rand.Reader, pp, periodMsgLen, 0, nil); err == nil {
+		t.Error("zero period accepted")
+	}
+	pkg, _ := periodFixture(t, time.Hour)
+	if err := pkg.Enroll("a@x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pkg.Enroll("a@x"); err == nil {
+		t.Error("duplicate enrollment accepted")
+	}
+	if _, err := pkg.Decrypt("ghost@x", 0, nil); err == nil {
+		t.Error("unenrolled decrypt accepted")
+	}
+}
+
+func TestPeriodIdentityFormat(t *testing.T) {
+	pkg, _ := periodFixture(t, 24*time.Hour)
+	id0 := pkg.PeriodIdentity("alice@example.com", Epoch)
+	id1 := pkg.PeriodIdentity("alice@example.com", Epoch.Add(25*time.Hour))
+	if id0 == id1 {
+		t.Fatal("different periods produced the same identity")
+	}
+	if id0 != "alice@example.com|0" {
+		t.Fatalf("period identity = %q", id0)
+	}
+}

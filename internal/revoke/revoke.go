@@ -1,0 +1,313 @@
+// Package revoke models the three revocation architectures the paper
+// compares, on a simulated clock, so the F1 experiment (revocation latency
+// and PKG cost) is reproducible and deterministic:
+//
+//   - SEM: the paper's proposal. Revocation takes effect at the identity's
+//     next mediated operation — the SEM simply refuses its half. No key is
+//     ever reissued.
+//   - Validity periods: the Boneh-Franklin built-in workaround ([4], [3])
+//     where identities are "ID ‖ period" and the PKG stops issuing next
+//     period's key for revoked users. A revoked key keeps working until its
+//     current period expires, and the PKG must reissue EVERY live user's key
+//     EVERY period.
+//   - CRL: classical certificate revocation lists published on a fixed
+//     schedule with a propagation delay; included as the PKI status quo the
+//     paper's introduction argues against.
+//
+// Each model answers Allowed(id, at) — can the identity still use its key
+// at this instant — and accounts the PKG/issuer work needed to sustain the
+// scheme over a window. Revocation latency is measured against these
+// predicates by binary search (they are monotone in time).
+package revoke
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Model is one revocation architecture under test.
+type Model interface {
+	// Name labels the model in experiment output.
+	Name() string
+	// Enroll registers identities at the epoch.
+	Enroll(ids []string)
+	// Revoke marks an identity revoked at the given instant.
+	Revoke(id string, at time.Time)
+	// Allowed reports whether the identity's key still works at the
+	// instant. Monotone: once false for an identity, it stays false.
+	Allowed(id string, at time.Time) bool
+	// KeysIssued returns how many private keys the PKG issues during
+	// [from, to) to keep the scheme running (initial enrollment excluded).
+	KeysIssued(from, to time.Time) int
+}
+
+// ErrNeverRevoked is returned by MeasureLatency when the key still works at
+// the horizon.
+var ErrNeverRevoked = errors.New("revoke: key still valid at measurement horizon")
+
+// Epoch is the simulation start; all models treat period boundaries as
+// aligned to it.
+var Epoch = time.Date(2003, time.July, 13, 0, 0, 0, 0, time.UTC) // PODC'03
+
+// SEMModel: instant revocation via an online mediator.
+type SEMModel struct {
+	enrolled map[string]bool
+	revoked  map[string]time.Time
+}
+
+// NewSEM returns the SEM revocation model.
+func NewSEM() *SEMModel {
+	return &SEMModel{enrolled: map[string]bool{}, revoked: map[string]time.Time{}}
+}
+
+// Name implements Model.
+func (m *SEMModel) Name() string { return "sem" }
+
+// Enroll implements Model.
+func (m *SEMModel) Enroll(ids []string) {
+	for _, id := range ids {
+		m.enrolled[id] = true
+	}
+}
+
+// Revoke implements Model.
+func (m *SEMModel) Revoke(id string, at time.Time) {
+	if cur, ok := m.revoked[id]; !ok || at.Before(cur) {
+		m.revoked[id] = at
+	}
+}
+
+// Allowed implements Model: the SEM refuses from the revocation instant on.
+func (m *SEMModel) Allowed(id string, at time.Time) bool {
+	if !m.enrolled[id] {
+		return false
+	}
+	rt, ok := m.revoked[id]
+	return !ok || at.Before(rt)
+}
+
+// KeysIssued implements Model: the SEM never reissues keys.
+func (m *SEMModel) KeysIssued(_, _ time.Time) int { return 0 }
+
+// ValidityPeriodModel: keys are bound to fixed periods; the PKG reissues
+// every live user's key at each boundary and simply skips revoked users.
+type ValidityPeriodModel struct {
+	period   time.Duration
+	enrolled map[string]bool
+	revoked  map[string]time.Time
+}
+
+// NewValidityPeriod returns the validity-period model with the given period
+// length.
+func NewValidityPeriod(period time.Duration) *ValidityPeriodModel {
+	return &ValidityPeriodModel{
+		period:   period,
+		enrolled: map[string]bool{},
+		revoked:  map[string]time.Time{},
+	}
+}
+
+// Name implements Model.
+func (m *ValidityPeriodModel) Name() string { return "validity-period" }
+
+// Enroll implements Model.
+func (m *ValidityPeriodModel) Enroll(ids []string) {
+	for _, id := range ids {
+		m.enrolled[id] = true
+	}
+}
+
+// Revoke implements Model.
+func (m *ValidityPeriodModel) Revoke(id string, at time.Time) {
+	if cur, ok := m.revoked[id]; !ok || at.Before(cur) {
+		m.revoked[id] = at
+	}
+}
+
+// periodEnd returns the end of the period containing the instant.
+func (m *ValidityPeriodModel) periodEnd(at time.Time) time.Time {
+	elapsed := at.Sub(Epoch)
+	n := elapsed / m.period
+	return Epoch.Add((n + 1) * m.period)
+}
+
+// Allowed implements Model: a key revoked at t_r keeps working until the end
+// of t_r's validity period (the PKG cannot claw back an issued key).
+func (m *ValidityPeriodModel) Allowed(id string, at time.Time) bool {
+	if !m.enrolled[id] {
+		return false
+	}
+	rt, ok := m.revoked[id]
+	if !ok {
+		return true
+	}
+	return at.Before(m.periodEnd(rt))
+}
+
+// KeysIssued implements Model: at every boundary in the window, one key per
+// still-live user.
+func (m *ValidityPeriodModel) KeysIssued(from, to time.Time) int {
+	if !to.After(from) {
+		return 0
+	}
+	issued := 0
+	// First boundary strictly after `from`.
+	b := m.periodEnd(from)
+	for ; b.Before(to); b = b.Add(m.period) {
+		for id := range m.enrolled {
+			if rt, ok := m.revoked[id]; ok && !b.Before(rt) {
+				continue // revoked before this boundary: PKG skips it
+			}
+			issued++
+			_ = id
+		}
+	}
+	return issued
+}
+
+// CRLModel: revocations take effect when the next scheduled CRL reaches
+// relying parties.
+type CRLModel struct {
+	interval    time.Duration
+	propagation time.Duration
+	enrolled    map[string]bool
+	revoked     map[string]time.Time
+}
+
+// NewCRL returns the CRL model with the given publication interval and
+// propagation delay.
+func NewCRL(interval, propagation time.Duration) *CRLModel {
+	return &CRLModel{
+		interval:    interval,
+		propagation: propagation,
+		enrolled:    map[string]bool{},
+		revoked:     map[string]time.Time{},
+	}
+}
+
+// Name implements Model.
+func (m *CRLModel) Name() string { return "crl" }
+
+// Enroll implements Model.
+func (m *CRLModel) Enroll(ids []string) {
+	for _, id := range ids {
+		m.enrolled[id] = true
+	}
+}
+
+// Revoke implements Model.
+func (m *CRLModel) Revoke(id string, at time.Time) {
+	if cur, ok := m.revoked[id]; !ok || at.Before(cur) {
+		m.revoked[id] = at
+	}
+}
+
+// effectiveAt returns when a revocation at rt is visible to relying parties.
+func (m *CRLModel) effectiveAt(rt time.Time) time.Time {
+	elapsed := rt.Sub(Epoch)
+	n := elapsed/m.interval + 1
+	return Epoch.Add(n * m.interval).Add(m.propagation)
+}
+
+// Allowed implements Model.
+func (m *CRLModel) Allowed(id string, at time.Time) bool {
+	if !m.enrolled[id] {
+		return false
+	}
+	rt, ok := m.revoked[id]
+	if !ok {
+		return true
+	}
+	return at.Before(m.effectiveAt(rt))
+}
+
+// KeysIssued implements Model: CRLs do not reissue keys; the recurring cost
+// is list distribution, not key generation.
+func (m *CRLModel) KeysIssued(_, _ time.Time) int { return 0 }
+
+// MeasureLatency returns how long after the revocation instant the key kept
+// working, by binary-searching the monotone Allowed predicate at the given
+// resolution. The horizon bounds the search.
+func MeasureLatency(m Model, id string, revokedAt time.Time, horizon, resolution time.Duration) (time.Duration, error) {
+	if resolution <= 0 {
+		return 0, fmt.Errorf("revoke: resolution must be positive")
+	}
+	if m.Allowed(id, revokedAt.Add(horizon)) {
+		return 0, fmt.Errorf("%w: %s", ErrNeverRevoked, id)
+	}
+	if !m.Allowed(id, revokedAt) {
+		return 0, nil // instant revocation (the SEM case)
+	}
+	lo, hi := time.Duration(0), horizon
+	// Invariant: Allowed at revokedAt+lo−ε may be true; not Allowed at hi.
+	for hi-lo > resolution {
+		mid := lo + (hi-lo)/2
+		if m.Allowed(id, revokedAt.Add(mid)) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// Scenario drives one population through one model and aggregates the F1
+// metrics.
+type Scenario struct {
+	Population  int
+	Duration    time.Duration   // simulation window length
+	RevokeTimes []time.Duration // offsets from Epoch at which user i is revoked
+}
+
+// Result summarizes one (model, scenario) run.
+type Result struct {
+	Model       string
+	Population  int
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+	KeysIssued  int
+}
+
+// Run enrolls the population, applies the revocations and measures latency
+// for each revoked user plus the PKG cost over the window.
+func (sc *Scenario) Run(m Model) (*Result, error) {
+	if sc.Population <= 0 {
+		return nil, fmt.Errorf("revoke: population must be positive")
+	}
+	ids := make([]string, sc.Population)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("user-%05d", i)
+	}
+	m.Enroll(ids)
+
+	var latencies []time.Duration
+	for i, off := range sc.RevokeTimes {
+		if i >= len(ids) {
+			break
+		}
+		at := Epoch.Add(off)
+		m.Revoke(ids[i], at)
+		lat, err := MeasureLatency(m, ids[i], at, sc.Duration, time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("measure %s: %w", ids[i], err)
+		}
+		latencies = append(latencies, lat)
+	}
+	res := &Result{
+		Model:      m.Name(),
+		Population: sc.Population,
+		KeysIssued: m.KeysIssued(Epoch, Epoch.Add(sc.Duration)),
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatency = sum / time.Duration(len(latencies))
+		res.MaxLatency = latencies[len(latencies)-1]
+	}
+	return res, nil
+}

@@ -1,0 +1,206 @@
+package revoke
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSEMInstantRevocation(t *testing.T) {
+	m := NewSEM()
+	m.Enroll([]string{"alice"})
+	at := Epoch.Add(3 * time.Hour)
+	if !m.Allowed("alice", at) {
+		t.Fatal("enrolled identity not allowed")
+	}
+	m.Revoke("alice", at)
+	if m.Allowed("alice", at) {
+		t.Fatal("SEM revocation must be effective at the revocation instant")
+	}
+	if !m.Allowed("alice", at.Add(-time.Second)) {
+		t.Fatal("SEM revocation affected the past")
+	}
+	lat, err := MeasureLatency(m, "alice", at, 24*time.Hour, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat > time.Second {
+		t.Fatalf("SEM latency = %v, want ≈ 0", lat)
+	}
+	if m.KeysIssued(Epoch, Epoch.Add(365*24*time.Hour)) != 0 {
+		t.Fatal("SEM model must not reissue keys")
+	}
+}
+
+func TestSEMUnknownIdentityNotAllowed(t *testing.T) {
+	m := NewSEM()
+	if m.Allowed("ghost", Epoch) {
+		t.Fatal("unenrolled identity allowed")
+	}
+}
+
+func TestValidityPeriodLatency(t *testing.T) {
+	period := 24 * time.Hour
+	m := NewValidityPeriod(period)
+	m.Enroll([]string{"alice"})
+	// Revoke 6 hours into a period: the key must work for 18 more hours.
+	at := Epoch.Add(6 * time.Hour)
+	m.Revoke("alice", at)
+	if !m.Allowed("alice", at.Add(17*time.Hour)) {
+		t.Fatal("key died before its period expired")
+	}
+	if m.Allowed("alice", at.Add(18*time.Hour+time.Second)) {
+		t.Fatal("key survived its period")
+	}
+	lat, err := MeasureLatency(m, "alice", at, 72*time.Hour, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 18 * time.Hour
+	if lat < want-2*time.Second || lat > want+2*time.Second {
+		t.Fatalf("latency = %v, want ≈ %v", lat, want)
+	}
+}
+
+func TestValidityPeriodReissueCost(t *testing.T) {
+	period := 24 * time.Hour
+	m := NewValidityPeriod(period)
+	ids := []string{"a", "b", "c", "d"}
+	m.Enroll(ids)
+	// Over 7 days there are 6 strictly-interior boundaries (day 1..6) when
+	// measuring [Epoch, Epoch+7d): boundaries at +24h, +48h, ... +144h.
+	got := m.KeysIssued(Epoch, Epoch.Add(7*24*time.Hour))
+	want := 6 * len(ids)
+	if got != want {
+		t.Fatalf("keys issued = %d, want %d", got, want)
+	}
+	// Revoking one user halfway stops their reissues from then on.
+	m.Revoke("a", Epoch.Add(3*24*time.Hour+time.Hour))
+	got = m.KeysIssued(Epoch, Epoch.Add(7*24*time.Hour))
+	// "a" gets keys at boundaries 1, 2, 3 only → 3 instead of 6.
+	want = 6*3 + 3
+	if got != want {
+		t.Fatalf("keys issued after revocation = %d, want %d", got, want)
+	}
+}
+
+func TestValidityKeysIssuedEmptyWindow(t *testing.T) {
+	m := NewValidityPeriod(time.Hour)
+	m.Enroll([]string{"a"})
+	if m.KeysIssued(Epoch, Epoch) != 0 {
+		t.Fatal("empty window issued keys")
+	}
+}
+
+func TestCRLLatency(t *testing.T) {
+	m := NewCRL(12*time.Hour, 30*time.Minute)
+	m.Enroll([]string{"alice"})
+	// Revoke 2 hours after a publication: next CRL is 10h later, plus 30m
+	// propagation.
+	at := Epoch.Add(2 * time.Hour)
+	m.Revoke("alice", at)
+	lat, err := MeasureLatency(m, "alice", at, 48*time.Hour, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10*time.Hour + 30*time.Minute
+	if lat < want-2*time.Second || lat > want+2*time.Second {
+		t.Fatalf("latency = %v, want ≈ %v", lat, want)
+	}
+}
+
+func TestMeasureLatencyNeverRevoked(t *testing.T) {
+	m := NewSEM()
+	m.Enroll([]string{"alice"})
+	if _, err := MeasureLatency(m, "alice", Epoch, time.Hour, time.Second); !errors.Is(err, ErrNeverRevoked) {
+		t.Fatalf("want ErrNeverRevoked, got %v", err)
+	}
+	if _, err := MeasureLatency(m, "alice", Epoch, time.Hour, 0); err == nil {
+		t.Fatal("zero resolution accepted")
+	}
+}
+
+func TestScenarioRun(t *testing.T) {
+	sc := &Scenario{
+		Population:  100,
+		Duration:    7 * 24 * time.Hour,
+		RevokeTimes: []time.Duration{6 * time.Hour, 30 * time.Hour, 50 * time.Hour},
+	}
+	sem, err := sc.Run(NewSEM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := sc.Run(NewValidityPeriod(24 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crl, err := sc.Run(NewCRL(24*time.Hour, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's F1 shape: SEM latency ≈ 0, the others grow with their
+	// period; only validity periods impose PKG reissue cost.
+	if sem.MeanLatency > time.Second {
+		t.Errorf("SEM mean latency = %v", sem.MeanLatency)
+	}
+	if vp.MeanLatency <= sem.MeanLatency {
+		t.Errorf("validity latency %v not above SEM %v", vp.MeanLatency, sem.MeanLatency)
+	}
+	if crl.MeanLatency <= sem.MeanLatency {
+		t.Errorf("CRL latency %v not above SEM %v", crl.MeanLatency, sem.MeanLatency)
+	}
+	if sem.KeysIssued != 0 || crl.KeysIssued != 0 {
+		t.Errorf("SEM/CRL issued keys: %d/%d", sem.KeysIssued, crl.KeysIssued)
+	}
+	if vp.KeysIssued == 0 {
+		t.Error("validity model issued no keys")
+	}
+	// 6 boundaries × 100 users minus the skipped reissues of the three
+	// revoked users (6 + 5 + 4).
+	if vp.KeysIssued != 585 {
+		t.Errorf("validity reissue cost %d, want 585", vp.KeysIssued)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	sc := &Scenario{Population: 0}
+	if _, err := sc.Run(NewSEM()); err == nil {
+		t.Fatal("zero population accepted")
+	}
+}
+
+func TestRevokeKeepsEarliestTime(t *testing.T) {
+	m := NewSEM()
+	m.Enroll([]string{"a"})
+	t1 := Epoch.Add(time.Hour)
+	t2 := Epoch.Add(2 * time.Hour)
+	m.Revoke("a", t2)
+	m.Revoke("a", t1) // earlier revocation wins
+	if m.Allowed("a", t1) {
+		t.Fatal("later revoke overwrote earlier one")
+	}
+}
+
+func TestValidityPeriodScalesWithPeriod(t *testing.T) {
+	// Mean latency over uniformly spread revocation instants ≈ period/2.
+	for _, period := range []time.Duration{6 * time.Hour, 24 * time.Hour} {
+		var total time.Duration
+		n := 24
+		for i := 0; i < n; i++ {
+			m := NewValidityPeriod(period)
+			m.Enroll([]string{"u"})
+			at := Epoch.Add(time.Duration(i) * period / time.Duration(n))
+			m.Revoke("u", at)
+			lat, err := MeasureLatency(m, "u", at, 10*period, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += lat
+		}
+		mean := total / time.Duration(n)
+		want := period / 2
+		if mean < want*8/10 || mean > want*12/10 {
+			t.Errorf("period %v: mean latency %v, want ≈ %v", period, mean, want)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package sem
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bf"
+	"repro/internal/bls"
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/gm"
+	"repro/internal/mrsa"
+	"repro/internal/pairing"
+)
+
+// Client is the user-side SEM connection. It multiplexes sequential
+// request/response pairs over one TCP connection; methods are safe for
+// concurrent use (calls serialize on the connection).
+//
+// The client tracks wire bytes per operation class, which is how the T2
+// communication experiment measures the paper's "160 bits vs 1024 bits"
+// claim on the actual protocol rather than on back-of-envelope sizes.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+
+	pairing *pairing.Params
+
+	statsMu sync.Mutex
+	stats   map[Op]*WireStats
+}
+
+// WireStats accumulates protocol traffic for one operation class.
+type WireStats struct {
+	Calls         int
+	BytesSent     int
+	BytesReceived int
+	// PayloadReceived counts only the SEM→user payload (the token/half),
+	// excluding protocol framing — the quantity the paper compares.
+	PayloadReceived int
+}
+
+// Dial connects to a SEM daemon. pp may be nil when only RSA/admin
+// operations will be used.
+func Dial(addr string, pp *pairing.Params, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial SEM: %w", err)
+	}
+	return NewClient(conn, pp), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe).
+func NewClient(conn net.Conn, pp *pairing.Params) *Client {
+	return &Client{conn: conn, pairing: pp, stats: make(map[Op]*WireStats)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Stats returns a snapshot of the wire statistics per operation.
+func (c *Client) Stats() map[Op]WireStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	out := make(map[Op]WireStats, len(c.stats))
+	for op, st := range c.stats {
+		out[op] = *st
+	}
+	return out
+}
+
+// roundTrip performs one request/response exchange.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sent, err := writeFrame(c.conn, req)
+	if err != nil {
+		return nil, fmt.Errorf("send %s: %w", req.Op, err)
+	}
+	var resp Response
+	recv, err := readFrame(c.conn, &resp)
+	if err != nil {
+		return nil, fmt.Errorf("receive %s: %w", req.Op, err)
+	}
+	c.statsMu.Lock()
+	st, ok := c.stats[req.Op]
+	if !ok {
+		st = &WireStats{}
+		c.stats[req.Op] = st
+	}
+	st.Calls++
+	st.BytesSent += sent
+	st.BytesReceived += recv
+	st.PayloadReceived += len(resp.Payload)
+	c.statsMu.Unlock()
+	if !resp.OK {
+		return nil, decodeError(&resp)
+	}
+	return &resp, nil
+}
+
+// decodeError maps protocol error codes back onto the typed core errors:
+// the returned error's message is the SEM's own message, and errors.Is
+// matches the corresponding sentinel.
+func decodeError(resp *Response) error {
+	switch resp.Code {
+	case CodeRevoked:
+		return &remoteError{msg: resp.Error, sentinel: core.ErrRevoked}
+	case CodeUnknownIdentity:
+		return &remoteError{msg: resp.Error, sentinel: core.ErrUnknownIdentity}
+	default:
+		return fmt.Errorf("sem: %s (%s)", resp.Error, resp.Code)
+	}
+}
+
+// remoteError carries a SEM-side message while unwrapping to the typed
+// sentinel the server classified it as.
+type remoteError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: OpPing})
+	return err
+}
+
+// IBEToken requests the decryption token ê(U, d_ID,sem) for a ciphertext's
+// U component.
+func (c *Client) IBEToken(id string, u *curve.Point) (*pairing.GT, error) {
+	if c.pairing == nil {
+		return nil, errors.New("sem: client has no pairing params")
+	}
+	resp, err := c.roundTrip(&Request{Op: OpIBEToken, ID: id, Payload: u.Marshal()})
+	if err != nil {
+		return nil, err
+	}
+	return c.pairing.GTFromBytes(resp.Payload)
+}
+
+// DecryptIBE runs the user side of the full mediated-IBE decryption
+// protocol over the network: request token, pair the user half, open.
+func (c *Client) DecryptIBE(pub *bf.PublicParams, key *core.UserKeyHalf, ct *bf.Ciphertext) ([]byte, error) {
+	token, err := c.IBEToken(key.ID, ct.U)
+	if err != nil {
+		return nil, err
+	}
+	return core.UserDecrypt(pub, key, ct, token)
+}
+
+// GDHHalfSign requests the SEM half-signature S_sem = x_sem·h for an
+// already-hashed message point.
+func (c *Client) GDHHalfSign(id string, h *curve.Point) (*curve.Point, error) {
+	if c.pairing == nil {
+		return nil, errors.New("sem: client has no pairing params")
+	}
+	resp, err := c.roundTrip(&Request{Op: OpGDHSign, ID: id, Payload: h.Marshal()})
+	if err != nil {
+		return nil, err
+	}
+	return c.pairing.Curve().Unmarshal(resp.Payload)
+}
+
+// SignGDH runs the user side of the full mediated-GDH signing protocol over
+// the network.
+func (c *Client) SignGDH(key *core.GDHUserKey, msg []byte) (*curve.Point, error) {
+	h, err := bls.HashMessage(key.Public.Pairing, msg)
+	if err != nil {
+		return nil, err
+	}
+	semHalf, err := c.GDHHalfSign(key.ID, h)
+	if err != nil {
+		return nil, err
+	}
+	return core.UserSign(key, msg, semHalf)
+}
+
+// RSAHalfDecrypt requests m_sem = c^{d_sem} mod n.
+func (c *Client) RSAHalfDecrypt(id string, ciphertext *big.Int) (*big.Int, error) {
+	resp, err := c.roundTrip(&Request{Op: OpRSADecrypt, ID: id, Payload: ciphertext.Bytes()})
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).SetBytes(resp.Payload), nil
+}
+
+// DecryptRSA runs the user side of the mediated-RSA decryption protocol
+// over the network.
+func (c *Client) DecryptRSA(pub *mrsa.PublicKey, id string, userHalf *mrsa.HalfKey, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) != pub.ModulusBytes() {
+		return nil, mrsa.ErrDecrypt
+	}
+	ci := new(big.Int).SetBytes(ciphertext)
+	if ci.Cmp(pub.N) >= 0 {
+		return nil, mrsa.ErrDecrypt
+	}
+	semHalf, err := c.RSAHalfDecrypt(id, ci)
+	if err != nil {
+		return nil, err
+	}
+	combined := mrsa.Combine(pub.N, userHalf.Op(ci), semHalf)
+	return mrsa.FinishDecrypt(pub, combined)
+}
+
+// RSAHalfSign requests EMSA(msg)^{d_sem} mod n.
+func (c *Client) RSAHalfSign(id string, msg []byte) (*big.Int, error) {
+	resp, err := c.roundTrip(&Request{Op: OpRSASign, ID: id, Payload: bytes.Clone(msg)})
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).SetBytes(resp.Payload), nil
+}
+
+// SignRSA runs the user side of the mediated-RSA signing protocol over the
+// network.
+func (c *Client) SignRSA(pub *mrsa.PublicKey, userHalf *mrsa.HalfKey, id string, msg []byte) ([]byte, error) {
+	semHalf, err := c.RSAHalfSign(id, msg)
+	if err != nil {
+		return nil, err
+	}
+	mine, err := mrsa.SignHalf(userHalf, msg)
+	if err != nil {
+		return nil, err
+	}
+	return mrsa.FinishSignature(pub, msg, mine, semHalf)
+}
+
+// GMHalfDecrypt requests the SEM half-results for a bitwise GM ciphertext.
+func (c *Client) GMHalfDecrypt(id string, cs []*big.Int) ([]*big.Int, error) {
+	payload, err := packInts(cs)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(&Request{Op: OpGMDecrypt, ID: id, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	halves, err := unpackInts(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(halves) != len(cs) {
+		return nil, fmt.Errorf("sem: GM response has %d elements, want %d", len(halves), len(cs))
+	}
+	return halves, nil
+}
+
+// DecryptGM runs the user side of the mediated Goldwasser-Micali
+// decryption protocol over the network.
+func (c *Client) DecryptGM(pk *gm.PublicKey, id string, userHalf *gm.HalfKey, cs []*big.Int) ([]byte, error) {
+	if len(cs)%8 != 0 {
+		return nil, fmt.Errorf("sem: GM ciphertext length %d not a multiple of 8", len(cs))
+	}
+	semParts, err := c.GMHalfDecrypt(id, cs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(cs)/8)
+	for i, ct := range cs {
+		bit, err := gm.CombineBit(pk, userHalf.Op(ct), semParts[i])
+		if err != nil {
+			return nil, fmt.Errorf("element %d: %w", i, err)
+		}
+		out[i/8] |= bit << uint(7-i%8)
+	}
+	return out, nil
+}
+
+// Revoke instructs the SEM to revoke an identity.
+func (c *Client) Revoke(id, reason string) error {
+	_, err := c.roundTrip(&Request{Op: OpRevoke, ID: id, Reason: reason})
+	return err
+}
+
+// Unrevoke restores an identity.
+func (c *Client) Unrevoke(id string) error {
+	_, err := c.roundTrip(&Request{Op: OpUnrevoke, ID: id})
+	return err
+}
+
+// Status reports whether an identity is revoked.
+func (c *Client) Status(id string) (bool, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStatus, ID: id})
+	if err != nil {
+		return false, err
+	}
+	return resp.Revoked, nil
+}
+
+// ListRevoked fetches the SEM's full revocation list.
+func (c *Client) ListRevoked() ([]core.RevocationEntry, error) {
+	resp, err := c.roundTrip(&Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	var entries []core.RevocationEntry
+	if err := json.Unmarshal(resp.Payload, &entries); err != nil {
+		return nil, fmt.Errorf("sem: parse revocation list: %w", err)
+	}
+	return entries, nil
+}

@@ -1,0 +1,87 @@
+// Package sem implements the paper's online security mediator as a network
+// service: a TCP daemon that holds the SEM key halves for all three
+// mediated schemes (pairing IBE, GDH signature, mRSA/IB-mRSA), enforces a
+// shared revocation list, and serves the per-operation protocol steps —
+// exactly the "SEM remains online all the system's lifetime" deployment the
+// paper describes, with the PKG offline after enrollment.
+//
+// Wire format: 4-byte big-endian length prefix followed by a JSON body.
+// One TCP connection carries any number of sequential request/response
+// pairs. Frames are capped at 1 MiB.
+package sem
+
+import (
+	"io"
+	"math/big"
+
+	"repro/internal/wire"
+)
+
+// Op identifies a protocol operation.
+type Op string
+
+// Protocol operations. The first group are the mediated crypto steps; the
+// second are the admin/introspection endpoints.
+const (
+	OpIBEToken   Op = "ibe_token"     // payload: compressed U → payload: GT bytes
+	OpGDHSign    Op = "gdh_half_sign" // payload: compressed h(M) → payload: compressed S_sem
+	OpRSADecrypt Op = "rsa_half_dec"  // payload: c bytes → payload: c^{d_sem} bytes
+	OpRSASign    Op = "rsa_half_sig"  // payload: message → payload: EMSA(m)^{d_sem} bytes
+	OpGMDecrypt  Op = "gm_half_dec"   // payload: packed GM elements → payload: packed half-results
+	OpRevoke     Op = "revoke"        // reason in Reason
+	OpUnrevoke   Op = "unrevoke"      //
+	OpStatus     Op = "status"        // → Revoked flag
+	OpList       Op = "list_revoked"  // → payload: JSON array of entries
+	OpPing       Op = "ping"          // liveness check
+)
+
+// ErrorCode classifies failures so clients can map them back to the typed
+// errors of internal/core.
+type ErrorCode string
+
+// Error codes carried in responses.
+const (
+	CodeRevoked         ErrorCode = "revoked"
+	CodeUnknownIdentity ErrorCode = "unknown_identity"
+	CodeBadRequest      ErrorCode = "bad_request"
+	CodeUnsupported     ErrorCode = "unsupported"
+	CodeInternal        ErrorCode = "internal"
+)
+
+// Request is one client → SEM message.
+type Request struct {
+	Op      Op     `json:"op"`
+	ID      string `json:"id,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// Response is one SEM → client message.
+type Response struct {
+	OK      bool      `json:"ok"`
+	Code    ErrorCode `json:"code,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Payload []byte    `json:"payload,omitempty"`
+	Revoked bool      `json:"revoked,omitempty"`
+}
+
+// maxFrame bounds a single protocol frame.
+const maxFrame = wire.MaxFrame
+
+// Framing errors, re-exported so existing callers keep their errors.Is
+// matches.
+var (
+	// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+	ErrFrameTooLarge = wire.ErrFrameTooLarge
+
+	// ErrProtocol is returned on malformed frames.
+	ErrProtocol = wire.ErrProtocol
+)
+
+func writeFrame(w io.Writer, v any) (int, error) { return wire.WriteFrame(w, v) }
+
+func readFrame(r io.Reader, v any) (int, error) { return wire.ReadFrame(r, v) }
+
+func packInts(xs []*big.Int) ([]byte, error) { return wire.PackInts(xs) }
+
+func unpackInts(data []byte) ([]*big.Int, error) { return wire.UnpackInts(data) }

@@ -1,0 +1,128 @@
+package sem
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := &Request{Op: OpIBEToken, ID: "alice@example.com", Payload: []byte{1, 2, 3}}
+	sent, err := writeFrame(&buf, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != buf.Len() {
+		t.Fatalf("reported %d bytes, wrote %d", sent, buf.Len())
+	}
+	var got Request
+	recv, err := readFrame(&buf, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recv != sent {
+		t.Fatalf("read %d bytes, wrote %d", recv, sent)
+	}
+	if got.Op != req.Op || got.ID != req.ID || !bytes.Equal(got.Payload, req.Payload) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	huge := &Request{Payload: make([]byte, maxFrame)}
+	if _, err := writeFrame(&buf, huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write accepted: %v", err)
+	}
+	// Oversized announced length on read.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var req Request
+	if _, err := readFrame(&buf, &req); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized read accepted: %v", err)
+	}
+}
+
+func TestFrameRejectsMalformed(t *testing.T) {
+	// Truncated body.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, 'x'})
+	var req Request
+	if _, err := readFrame(&buf, &req); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("truncated body accepted: %v", err)
+	}
+	// Non-JSON body.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 3, 'x', 'y', 'z'})
+	if _, err := readFrame(&buf, &req); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("non-JSON body accepted: %v", err)
+	}
+	// Empty reader → io error, not ErrProtocol (caller treats as EOF).
+	buf.Reset()
+	if _, err := readFrame(&buf, &req); err == nil {
+		t.Fatal("empty reader accepted")
+	}
+}
+
+func TestQuickFrameRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	property := func(op string, id string, payload []byte) bool {
+		if len(op) > 100 || len(id) > 1000 || len(payload) > 10000 {
+			return true // stay under the frame cap
+		}
+		var buf bytes.Buffer
+		req := &Request{Op: Op(op), ID: id, Payload: payload}
+		if _, err := writeFrame(&buf, req); err != nil {
+			return false
+		}
+		var got Request
+		if _, err := readFrame(&buf, &got); err != nil {
+			return false
+		}
+		payloadEqual := bytes.Equal(got.Payload, payload) ||
+			(len(payload) == 0 && len(got.Payload) == 0)
+		return got.Op == Op(op) && got.ID == id && payloadEqual
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPackIntsRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	property := func(raw [][]byte) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		xs := make([]*big.Int, len(raw))
+		for i, b := range raw {
+			if len(b) > 1000 {
+				b = b[:1000]
+			}
+			xs[i] = new(big.Int).SetBytes(b)
+		}
+		packed, err := packInts(xs)
+		if err != nil {
+			return false
+		}
+		back, err := unpackInts(packed)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if xs[i].Cmp(back[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+package sem
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pairing"
+)
+
+// Server is the SEM daemon. It serves whichever mediated schemes it was
+// configured with; requests for an unconfigured scheme get CodeUnsupported.
+// All schemes share one revocation registry: a single Revoke removes every
+// capability of the identity at once.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Config wires the SEM's scheme backends. Registry is required; the scheme
+// backends are optional but must share that registry.
+type Config struct {
+	Registry *core.Registry
+	IBE      *core.IBESEM
+	GDH      *core.GDHSEM
+	RSA      *core.RSASEM
+	GM       *core.GMSEM
+	// Journal, when set, persists revocation mutations (its Registry must
+	// be the same one the backends share).
+	Journal *core.Journal
+	// Pairing is required when IBE or GDH is configured (to parse points).
+	Pairing *pairing.Params
+	// Logf receives connection-level errors; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// NewServer validates the configuration and returns an unstarted server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("sem: config needs a Registry")
+	}
+	if (cfg.IBE != nil || cfg.GDH != nil) && cfg.Pairing == nil {
+		return nil, errors.New("sem: pairing params required for IBE/GDH backends")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve accepts connections on ln until Close is called. It blocks; run it
+// in a goroutine when the caller needs to continue.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("sem: server is closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("sem accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("sem listen: %w", err)
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address once Serve has been called.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes live connections and waits for handlers to
+// drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req Request
+		if _, err := readFrame(conn, &req); err != nil {
+			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
+				s.cfg.Logf("sem: read frame from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(&req)
+		if _, err := writeFrame(conn, resp); err != nil {
+			s.cfg.Logf("sem: write frame to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch routes one request. It never panics; unexpected failures become
+// CodeInternal responses.
+func (s *Server) dispatch(req *Request) *Response {
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+	case OpIBEToken:
+		return s.ibeToken(req)
+	case OpGDHSign:
+		return s.gdhSign(req)
+	case OpRSADecrypt:
+		return s.rsaDecrypt(req)
+	case OpRSASign:
+		return s.rsaSign(req)
+	case OpGMDecrypt:
+		return s.gmDecrypt(req)
+	case OpRevoke:
+		if s.cfg.Journal != nil {
+			if err := s.cfg.Journal.Revoke(req.ID, req.Reason); err != nil {
+				return errResponse(CodeInternal, err)
+			}
+		} else {
+			s.cfg.Registry.Revoke(req.ID, req.Reason)
+		}
+		return &Response{OK: true}
+	case OpUnrevoke:
+		if s.cfg.Journal != nil {
+			if err := s.cfg.Journal.Unrevoke(req.ID); err != nil {
+				return errResponse(CodeInternal, err)
+			}
+		} else {
+			s.cfg.Registry.Unrevoke(req.ID)
+		}
+		return &Response{OK: true}
+	case OpStatus:
+		return &Response{OK: true, Revoked: s.cfg.Registry.IsRevoked(req.ID)}
+	case OpList:
+		body, err := json.Marshal(s.cfg.Registry.Entries())
+		if err != nil {
+			return errResponse(CodeInternal, err)
+		}
+		return &Response{OK: true, Payload: body}
+	default:
+		return &Response{OK: false, Code: CodeBadRequest, Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) ibeToken(req *Request) *Response {
+	if s.cfg.IBE == nil {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "IBE backend not configured"}
+	}
+	u, err := s.cfg.Pairing.Curve().Unmarshal(req.Payload)
+	if err != nil {
+		return errResponse(CodeBadRequest, err)
+	}
+	token, err := s.cfg.IBE.Token(req.ID, u)
+	if err != nil {
+		return coreError(err)
+	}
+	return &Response{OK: true, Payload: token.Bytes()}
+}
+
+func (s *Server) gdhSign(req *Request) *Response {
+	if s.cfg.GDH == nil {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "GDH backend not configured"}
+	}
+	h, err := s.cfg.Pairing.Curve().Unmarshal(req.Payload)
+	if err != nil {
+		return errResponse(CodeBadRequest, err)
+	}
+	half, err := s.cfg.GDH.HalfSign(req.ID, h)
+	if err != nil {
+		return coreError(err)
+	}
+	return &Response{OK: true, Payload: half.Marshal()}
+}
+
+func (s *Server) rsaDecrypt(req *Request) *Response {
+	if s.cfg.RSA == nil {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "RSA backend not configured"}
+	}
+	c := new(big.Int).SetBytes(req.Payload)
+	half, err := s.cfg.RSA.HalfDecrypt(req.ID, c)
+	if err != nil {
+		return coreError(err)
+	}
+	return &Response{OK: true, Payload: half.Bytes()}
+}
+
+func (s *Server) rsaSign(req *Request) *Response {
+	if s.cfg.RSA == nil {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "RSA backend not configured"}
+	}
+	half, err := s.cfg.RSA.HalfSign(req.ID, req.Payload)
+	if err != nil {
+		return coreError(err)
+	}
+	return &Response{OK: true, Payload: half.Bytes()}
+}
+
+func (s *Server) gmDecrypt(req *Request) *Response {
+	if s.cfg.GM == nil {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "GM backend not configured"}
+	}
+	cs, err := unpackInts(req.Payload)
+	if err != nil {
+		return errResponse(CodeBadRequest, err)
+	}
+	halves, err := s.cfg.GM.HalfDecrypt(req.ID, cs)
+	if err != nil {
+		return coreError(err)
+	}
+	payload, err := packInts(halves)
+	if err != nil {
+		return errResponse(CodeInternal, err)
+	}
+	return &Response{OK: true, Payload: payload}
+}
+
+// coreError maps the typed errors of internal/core onto protocol codes.
+func coreError(err error) *Response {
+	switch {
+	case errors.Is(err, core.ErrRevoked):
+		return errResponse(CodeRevoked, err)
+	case errors.Is(err, core.ErrUnknownIdentity):
+		return errResponse(CodeUnknownIdentity, err)
+	default:
+		return errResponse(CodeBadRequest, err)
+	}
+}
+
+func errResponse(code ErrorCode, err error) *Response {
+	return &Response{OK: false, Code: code, Error: err.Error()}
+}

@@ -1,0 +1,102 @@
+// Package wire provides the length-prefixed JSON framing shared by the
+// repository's network services (the SEM daemon and the threshold-IBE
+// cluster): a 4-byte big-endian length followed by a JSON body, capped at
+// 1 MiB, plus a packed encoding for vectors of big integers.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// MaxFrame bounds a single protocol frame.
+const MaxFrame = 1 << 20
+
+var (
+	// ErrFrameTooLarge is returned when a peer announces or requests an
+	// oversized frame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds 1 MiB limit")
+
+	// ErrProtocol is returned on malformed frames.
+	ErrProtocol = errors.New("wire: protocol error")
+)
+
+// WriteFrame sends one length-prefixed JSON message and reports the bytes
+// written.
+func WriteFrame(w io.Writer, v any) (int, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, fmt.Errorf("encode frame: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return 0, ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(body)
+	return 4 + n, err
+}
+
+// ReadFrame receives one length-prefixed JSON message into v, returning
+// the wire size consumed.
+func ReadFrame(r io.Reader, v any) (int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return 0, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, fmt.Errorf("%w: truncated frame: %v", ErrProtocol, err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	return 4 + int(n), nil
+}
+
+// PackInts serializes a vector of non-negative integers as 2-byte-length-
+// prefixed big-endian chunks.
+func PackInts(xs []*big.Int) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, x := range xs {
+		b := x.Bytes()
+		if len(b) > 0xFFFF {
+			return nil, fmt.Errorf("wire: element too large (%d bytes)", len(b))
+		}
+		var hdr [2]byte
+		binary.BigEndian.PutUint16(hdr[:], uint16(len(b)))
+		buf.Write(hdr[:])
+		buf.Write(b)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnpackInts inverts PackInts.
+func UnpackInts(data []byte) ([]*big.Int, error) {
+	var out []*big.Int
+	for len(data) > 0 {
+		if len(data) < 2 {
+			return nil, fmt.Errorf("%w: truncated element header", ErrProtocol)
+		}
+		n := int(binary.BigEndian.Uint16(data[:2]))
+		data = data[2:]
+		if len(data) < n {
+			return nil, fmt.Errorf("%w: truncated element body", ErrProtocol)
+		}
+		out = append(out, new(big.Int).SetBytes(data[:n]))
+		data = data[n:]
+	}
+	return out, nil
+}

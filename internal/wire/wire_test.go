@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+type payload struct {
+	A string `json:"a"`
+	B []byte `json:"b"`
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &payload{A: "hello", B: []byte{1, 2, 3}}
+	sent, err := WriteFrame(&buf, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	recv, err := ReadFrame(&buf, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != recv {
+		t.Fatalf("sent %d, received %d", sent, recv)
+	}
+	if out.A != in.A || !bytes.Equal(out.B, in.B) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, &payload{B: make([]byte, MaxFrame)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write: %v", err)
+	}
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var out payload
+	if _, err := ReadFrame(&buf, &out); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized read: %v", err)
+	}
+}
+
+func TestFrameMalformed(t *testing.T) {
+	var out payload
+	// Truncated body.
+	buf := bytes.NewBuffer([]byte{0, 0, 0, 9, 'x'})
+	if _, err := ReadFrame(buf, &out); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("truncated body: %v", err)
+	}
+	// Invalid JSON.
+	buf = bytes.NewBuffer([]byte{0, 0, 0, 2, '{', 'x'})
+	if _, err := ReadFrame(buf, &out); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	// Unmarshalable value on write.
+	var w bytes.Buffer
+	if _, err := WriteFrame(&w, make(chan int)); err == nil {
+		t.Fatal("unencodable value accepted")
+	}
+}
+
+func TestPackIntsRoundTrip(t *testing.T) {
+	xs := []*big.Int{big.NewInt(0), big.NewInt(1), big.NewInt(1 << 40)}
+	packed, err := PackInts(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnpackInts(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(xs) {
+		t.Fatalf("got %d elements", len(back))
+	}
+	for i := range xs {
+		if xs[i].Cmp(back[i]) != 0 {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+	// Oversized element.
+	big1 := new(big.Int).Lsh(big.NewInt(1), 8*0x10000)
+	if _, err := PackInts([]*big.Int{big1}); err == nil {
+		t.Fatal("oversized element accepted")
+	}
+	// Truncations.
+	if _, err := UnpackInts(packed[:1]); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("truncated header: %v", err)
+	}
+	if _, err := UnpackInts(packed[:len(packed)-1]); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("truncated body: %v", err)
+	}
+}
+
+func TestQuickPackInts(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	property := func(raw [][]byte) bool {
+		xs := make([]*big.Int, 0, len(raw))
+		for _, b := range raw {
+			if len(b) > 2000 {
+				b = b[:2000]
+			}
+			xs = append(xs, new(big.Int).SetBytes(b))
+		}
+		packed, err := PackInts(xs)
+		if err != nil {
+			return false
+		}
+		back, err := UnpackInts(packed)
+		if err != nil || len(back) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if xs[i].Cmp(back[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
