@@ -199,14 +199,56 @@ func BenchmarkPairing(b *testing.B) {
 	}
 }
 
+// BenchmarkScalarMul compares the three scalar-multiplication strategies at
+// paper size: the default variable-base w-NAF/Jacobian path, the fixed-base
+// comb behind Params.GeneratorMul, and the original affine double-and-add
+// ladder kept as the correctness oracle.
 func BenchmarkScalarMul(b *testing.B) {
 	pp, _ := pairing.Paper()
 	P := pp.Generator()
 	k, _ := rand.Int(rand.Reader, pp.Q())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		P.ScalarMul(k)
+	pp.GeneratorMul(k) // force the lazy table build outside the timer
+	b.Run("variable-wnaf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			P.ScalarMul(k)
+		}
+	})
+	b.Run("fixed-base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pp.GeneratorMul(k)
+		}
+	})
+	b.Run("binary-ladder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			P.ScalarMulBinary(k)
+		}
+	})
+}
+
+// BenchmarkGTExp compares generic square-and-multiply GT exponentiation with
+// the fixed-base table the BF encryptor caches per recipient.
+func BenchmarkGTExp(b *testing.B) {
+	pp, _ := pairing.Paper()
+	Q, err := pp.Curve().HashToPoint("bench", []byte("x"))
+	if err != nil {
+		b.Fatal(err)
 	}
+	g := pp.Pair(pp.Generator(), Q)
+	tab, err := pairing.NewGTTable(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, _ := rand.Int(rand.Reader, pp.Q())
+	b.Run("square-multiply", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Exp(k)
+		}
+	})
+	b.Run("fixed-base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab.Exp(k)
+		}
+	})
 }
 
 func BenchmarkHashToPoint(b *testing.B) {
@@ -248,7 +290,9 @@ func BenchmarkAblationMiller(b *testing.B) {
 	})
 	b.Run("full-miller", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			pp.PairFull(P, Q)
+			if _, err := pp.PairFull(P, Q); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -30,9 +30,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment: t1,t2,t3,t4,f1,f2,f3,ext or all (comma-separated)")
-		params = fs.String("params", "paper", "pairing parameter set: toy, fast or paper")
-		quick  = fs.Bool("quick", false, "reduced iterations/sweeps for a fast pass")
+		exp      = fs.String("exp", "all", "experiment: t1,t2,t3,t4,f1,f2,f3,ext or all (comma-separated)")
+		params   = fs.String("params", "paper", "pairing parameter set: toy, fast or paper")
+		quick    = fs.Bool("quick", false, "reduced iterations/sweeps for a fast pass")
+		baseline = fs.String("baseline", "", "write a primitive-op baseline snapshot (JSON) to this file ('-' for stdout) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,6 +41,25 @@ func run(args []string, out io.Writer) error {
 	pp, err := pairing.ByName(*params)
 	if err != nil {
 		return err
+	}
+	if *baseline != "" {
+		iters, dur := 10, 200*time.Millisecond
+		if *quick {
+			iters, dur = 3, 20*time.Millisecond
+		}
+		report, err := bench.Baseline(pp, iters, dur)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		body, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		if *baseline == "-" {
+			_, err = out.Write(body)
+			return err
+		}
+		return os.WriteFile(*baseline, body, 0o644)
 	}
 	selected := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/bf"
+	"repro/internal/pairing"
+)
+
+// BaselineEntry is one timed primitive in a baseline snapshot.
+type BaselineEntry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int     `json:"iters"`
+}
+
+// BaselineReport is a machine-readable snapshot of the group-arithmetic
+// primitives the schemes are built from. A committed snapshot gives future
+// changes a reference point: rerun with the same parameter set and compare
+// ratios (absolute numbers are machine-dependent; the ratios between entries
+// and between two runs on one machine are the signal).
+type BaselineReport struct {
+	Params    string          `json:"params"`
+	QBits     int             `json:"q_bits"`
+	PBits     int             `json:"p_bits"`
+	GoVersion string          `json:"go_version"`
+	GOARCH    string          `json:"goarch"`
+	Entries   []BaselineEntry `json:"entries"`
+}
+
+// Baseline times the primitive operations behind every scheme: the pairing
+// (optimized and full-Miller oracle), the three scalar-multiplication
+// strategies, fixed-base vs generic GT exponentiation, and one BF FullIdent
+// encrypt/decrypt pair. Each body runs for at least minIters iterations and
+// minDuration wall time, whichever is larger.
+func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*BaselineReport, error) {
+	P := pp.Generator()
+	Q, err := pp.Curve().HashToPoint("baseline", []byte("x"))
+	if err != nil {
+		return nil, err
+	}
+	k, err := rand.Int(rand.Reader, pp.Q())
+	if err != nil {
+		return nil, err
+	}
+	g := pp.Pair(P, Q)
+	gtTab, err := pairing.NewGTTable(g)
+	if err != nil {
+		return nil, err
+	}
+	pp.GeneratorMul(k) // build the lazy generator table outside the timers
+
+	pkg, err := bf.Setup(rand.Reader, pp, 32)
+	if err != nil {
+		return nil, err
+	}
+	pub := pkg.Public()
+	const id = "baseline@example.com"
+	key, err := pkg.Extract(id)
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, 32)
+	ct, err := pub.Encrypt(rand.Reader, id, msg)
+	if err != nil {
+		return nil, err
+	}
+
+	bodies := []struct {
+		name string
+		run  func() error
+	}{
+		{"pair", func() error { pp.Pair(P, Q); return nil }},
+		{"pair.full-miller", func() error { _, err := pp.PairFull(P, Q); return err }},
+		{"scalarmul.variable-wnaf", func() error { P.ScalarMul(k); return nil }},
+		{"scalarmul.fixed-base", func() error { pp.GeneratorMul(k); return nil }},
+		{"scalarmul.binary-ladder", func() error { P.ScalarMulBinary(k); return nil }},
+		{"gtexp.square-multiply", func() error { g.Exp(k); return nil }},
+		{"gtexp.fixed-base", func() error { gtTab.Exp(k); return nil }},
+		{"bf.encrypt", func() error { _, err := pub.Encrypt(rand.Reader, id, msg); return err }},
+		{"bf.decrypt", func() error { _, err := pub.Decrypt(key, ct); return err }},
+	}
+
+	report := &BaselineReport{
+		Params:    pp.Name(),
+		QBits:     pp.Q().BitLen(),
+		PBits:     pp.P().BitLen(),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, body := range bodies {
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < minDuration || iters < minIters {
+			if err := body.run(); err != nil {
+				return nil, fmt.Errorf("baseline %s: %w", body.name, err)
+			}
+			iters++
+		}
+		elapsed := time.Since(start)
+		report.Entries = append(report.Entries, BaselineEntry{
+			Name:    body.name,
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
+			Iters:   iters,
+		})
+	}
+	return report, nil
+}
+
+// JSON renders the report with stable formatting for committing to the repo.
+func (r *BaselineReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

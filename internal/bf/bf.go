@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"repro/internal/curve"
 	"repro/internal/pairing"
@@ -58,11 +59,51 @@ var (
 
 // PublicParams are the system-wide public parameters published by the PKG:
 // the pairing groups, the generator P (inside params) and P_pub = s·P.
+//
+// PublicParams must be used by pointer (every method has a pointer receiver):
+// it lazily caches per-recipient fixed-base tables for the GT element
+// ê(P_pub, Q_ID), which depends only on the recipient identity, so repeat
+// encryptions to the same identity skip both the pairing and the generic
+// square-and-multiply exponentiation.
 type PublicParams struct {
 	Pairing *pairing.Params
 	PPub    *curve.Point
 	// MsgLen is the fixed plaintext length n in bytes.
 	MsgLen int
+
+	mu      sync.Mutex
+	gtCache map[string]*pairing.GTTable
+}
+
+// maxCachedRecipients bounds the per-identity table cache; beyond it new
+// identities are served without caching (first-come wins) so a sender
+// spraying unique identities cannot grow memory without bound.
+const maxCachedRecipients = 64
+
+// recipientPairing returns ê(P_pub, Q_ID)^r for the given identity, through
+// a cached fixed-base GT table when one is available.
+func (pub *PublicParams) recipientPairing(id string, qid *curve.Point, r *big.Int) *pairing.GT {
+	pub.mu.Lock()
+	tab, ok := pub.gtCache[id]
+	pub.mu.Unlock()
+	if ok {
+		return tab.Exp(r)
+	}
+	g := pub.Pairing.Pair(pub.PPub, qid)
+	tab, err := pairing.NewGTTable(g)
+	if err != nil {
+		// Degenerate pairing value (infinity inputs); exponentiate directly.
+		return g.Exp(r)
+	}
+	pub.mu.Lock()
+	if pub.gtCache == nil {
+		pub.gtCache = make(map[string]*pairing.GTTable)
+	}
+	if len(pub.gtCache) < maxCachedRecipients {
+		pub.gtCache[id] = tab
+	}
+	pub.mu.Unlock()
+	return tab.Exp(r)
 }
 
 // PrivateKey is an extracted identity key d_ID = s·Q_ID.
@@ -103,7 +144,7 @@ func SetupWithMaster(pp *pairing.Params, s *big.Int, msgLen int) (*PKG, error) {
 	return &PKG{
 		pub: &PublicParams{
 			Pairing: pp,
-			PPub:    pp.Generator().ScalarMul(sm),
+			PPub:    pp.GeneratorMul(sm),
 			MsgLen:  msgLen,
 		},
 		master: sm,
@@ -154,8 +195,8 @@ func (pub *PublicParams) EncryptBasic(rng io.Reader, id string, msg []byte) (*Ba
 	if err != nil {
 		return nil, err
 	}
-	u := pub.Pairing.Generator().ScalarMul(r)
-	g := pub.Pairing.Pair(pub.PPub, qid).Exp(r)
+	u := pub.Pairing.GeneratorMul(r)
+	g := pub.recipientPairing(id, qid, r)
 	v := xorBytes(msg, MaskGT(g, pub.MsgLen))
 	return &BasicCiphertext{U: u, V: v}, nil
 }
@@ -191,8 +232,8 @@ func (pub *PublicParams) Encrypt(rng io.Reader, id string, msg []byte) (*Ciphert
 		return nil, fmt.Errorf("sample sigma: %w", err)
 	}
 	r := DeriveR(sigma, msg, pub.Pairing.Q())
-	u := pub.Pairing.Generator().ScalarMul(r)
-	g := pub.Pairing.Pair(pub.PPub, qid).Exp(r)
+	u := pub.Pairing.GeneratorMul(r)
+	g := pub.recipientPairing(id, qid, r)
 	v := xorBytes(sigma, MaskGT(g, pub.MsgLen))
 	w := xorBytes(msg, MaskSigma(sigma, pub.MsgLen))
 	return &Ciphertext{U: u, V: v, W: w}, nil
@@ -216,7 +257,7 @@ func (pub *PublicParams) OpenWithPairingValue(g *pairing.GT, c *Ciphertext) ([]b
 	sigma := xorBytes(c.V, MaskGT(g, pub.MsgLen))
 	msg := xorBytes(c.W, MaskSigma(sigma, pub.MsgLen))
 	r := DeriveR(sigma, msg, pub.Pairing.Q())
-	if !pub.Pairing.Generator().ScalarMul(r).Equal(c.U) {
+	if !pub.Pairing.GeneratorMul(r).Equal(c.U) {
 		return nil, ErrInvalidCiphertext
 	}
 	return msg, nil

@@ -62,7 +62,7 @@ func KeyFromScalar(pp *pairing.Params, x *big.Int) (*PrivateKey, error) {
 		return nil, fmt.Errorf("bls: signing key must be nonzero mod q")
 	}
 	return &PrivateKey{
-		Public: &PublicKey{Pairing: pp, R: pp.Generator().ScalarMul(xm)},
+		Public: &PublicKey{Pairing: pp, R: pp.GeneratorMul(xm)},
 		X:      xm,
 	}, nil
 }
@@ -135,7 +135,7 @@ func NewThresholdDealer(rng io.Reader, pp *pairing.Params, t, n int) (*Threshold
 	}
 	vks := make([]*curve.Point, n)
 	for i, s := range shares {
-		vks[i] = pp.Generator().ScalarMul(s.Value)
+		vks[i] = pp.GeneratorMul(s.Value)
 	}
 	return &ThresholdDealer{group: key.Public, t: t, n: n, shares: shares, vks: vks}, nil
 }

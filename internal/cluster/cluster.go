@@ -212,12 +212,9 @@ func (p *PlayerServer) shareResponse(req *request) *response {
 	if !ok {
 		return &response{OK: false, Error: ErrUnknownIdentity.Error()}
 	}
-	u, err := p.params.Public.Pairing.Curve().Unmarshal(req.U)
+	u, err := wire.UnmarshalG1(p.params.Public.Pairing.Curve(), req.U)
 	if err != nil {
 		return &response{OK: false, Error: "bad ciphertext point: " + err.Error()}
-	}
-	if u.IsInfinity() || !u.InSubgroup() {
-		return &response{OK: false, Error: "ciphertext point outside G1"}
 	}
 	ds, err := p.params.ComputeShareWithProof(nil, key, u)
 	if err != nil {
@@ -344,7 +341,9 @@ func (r *Recombiner) decodeShare(resp *response) (*core.DecryptionShare, error) 
 	if err != nil {
 		return nil, fmt.Errorf("proof w2: %w", err)
 	}
-	v, err := pp.Curve().Unmarshal(resp.Proof.V)
+	// Proof points come from a possibly-misbehaving player; enforce the
+	// subgroup check before they enter verification arithmetic.
+	v, err := wire.UnmarshalG1(pp.Curve(), resp.Proof.V)
 	if err != nil {
 		return nil, fmt.Errorf("proof v: %w", err)
 	}

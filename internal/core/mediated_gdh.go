@@ -57,7 +57,7 @@ func (a *GDHAuthority) Keygen(rng io.Reader, id string) (*GDHUserKey, *GDHSEMKey
 	}
 	sum := new(big.Int).Add(xu, xs)
 	sum.Mod(sum, a.pp.Q())
-	pub := &bls.PublicKey{Pairing: a.pp, R: a.pp.Generator().ScalarMul(sum)}
+	pub := &bls.PublicKey{Pairing: a.pp, R: a.pp.GeneratorMul(sum)}
 	return &GDHUserKey{ID: id, X: xu, Public: pub}, &GDHSEMKey{ID: id, X: xs}, nil
 }
 

@@ -76,7 +76,7 @@ func (m *MediatedPKG) SplitExtract(rng io.Reader, id string) (*UserKeyHalf, *SEM
 	if err != nil {
 		return nil, nil, fmt.Errorf("sample user half: %w", err)
 	}
-	dUser := pp.Generator().ScalarMul(r)
+	dUser := pp.GeneratorMul(r)
 	dSem := full.D.Add(dUser.Neg())
 	return &UserKeyHalf{ID: id, D: dUser}, &SEMKeyHalf{ID: id, D: dSem}, nil
 }

@@ -218,7 +218,7 @@ func (p *ThresholdParams) ComputeShareWithProof(rng io.Reader, share *KeyShare, 
 	if err != nil {
 		return nil, fmt.Errorf("sample proof nonce: %w", err)
 	}
-	bigR := pp.Generator().ScalarMul(r)
+	bigR := pp.GeneratorMul(r)
 	g := pp.Pair(u, share.D)
 	w1 := pp.Pair(pp.Generator(), bigR)
 	w2 := pp.Pair(u, bigR)

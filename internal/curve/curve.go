@@ -10,10 +10,14 @@
 // The group G1 of the schemes is the order-q subgroup, where q is a prime
 // divisor of p + 1 chosen at parameter-generation time (see package pairing).
 //
-// Arithmetic is affine: correctness and auditability are the priority for a
-// reference implementation, and the Miller loop needs the line slopes that
-// affine addition computes anyway. The coordinates ablation benchmark
-// quantifies the cost of this choice.
+// The public Point API is affine and immutable (auditable, and the
+// denominator-tracking Miller oracle needs affine line slopes), but the hot
+// paths run on a Jacobian-coordinate layer underneath: ScalarMul uses
+// width-w NAF recoding over Jacobian doublings and mixed additions with a
+// single final normalization, and long-lived bases (the G1 generator,
+// public keys) get radix-2^w fixed-base tables via Precomputed. The affine
+// double-and-add ladder survives as ScalarMulBinary, the differential-test
+// oracle and ablation baseline.
 package curve
 
 import (
@@ -214,33 +218,29 @@ func (c *Curve) chord(p1, p2 *Point, lambda *big.Int) *Point {
 	return &Point{curve: c, x: x3, y: y3}
 }
 
-// ScalarMul returns k·P via left-to-right double-and-add. Negative scalars
-// are handled as (−k)·(−P).
-func (pt *Point) ScalarMul(k *big.Int) *Point {
-	c := pt.curve
-	if pt.inf || k.Sign() == 0 {
-		return c.Infinity()
-	}
-	base := pt
-	scalar := k
-	if k.Sign() < 0 {
-		base = pt.Neg()
-		scalar = new(big.Int).Neg(k)
-	}
-	acc := c.Infinity()
-	for i := scalar.BitLen() - 1; i >= 0; i-- {
-		acc = acc.Double()
-		if scalar.Bit(i) == 1 {
-			acc = acc.Add(base)
-		}
-	}
-	return acc
-}
-
 // InSubgroup reports whether the point lies in the prime-order subgroup G1,
 // i.e. q·P = O.
 func (pt *Point) InSubgroup() bool {
 	return pt.ScalarMul(pt.curve.q).IsInfinity()
+}
+
+// ErrNotInSubgroup is returned by Validate for points of E(F_p) outside the
+// order-q working subgroup G1 (e.g. cofactor-order points).
+var ErrNotInSubgroup = errors.New("curve: point is not in the order-q subgroup")
+
+// Validate checks that the point is a usable G1 element for untrusted
+// inputs: not the identity and inside the order-q subgroup. Unmarshal only
+// guarantees membership in the full group E(F_p), whose cofactor-order
+// components are outside the security argument — every network-facing
+// decode must call this (see wire.UnmarshalG1).
+func (pt *Point) Validate() error {
+	if pt.IsInfinity() {
+		return fmt.Errorf("%w: point at infinity", ErrNotInSubgroup)
+	}
+	if !pt.InSubgroup() {
+		return ErrNotInSubgroup
+	}
+	return nil
 }
 
 // RandomPoint returns a uniformly random point of the full group E(F_p)
@@ -324,20 +324,22 @@ func (c *Curve) HashToPoint(domain string, msg []byte) (*Point, error) {
 }
 
 // expandDigest produces at least n bytes of SHA-256 output bound to
-// (domain, ctr, msg) using simple counter-mode expansion.
+// (domain, ctr, msg) using simple counter-mode expansion. A single hash
+// state is reset and reused across blocks and the header is assembled in
+// one stack buffer, so each call allocates only the output slice.
 func expandDigest(domain string, ctr uint8, msg []byte, n int) []byte {
 	out := make([]byte, 0, ((n+31)/32)*32)
-	var block uint32
-	for len(out) < n {
-		h := sha256.New()
-		var be [4]byte
-		binary.BigEndian.PutUint32(be[:], block)
-		h.Write([]byte(domain))
-		h.Write([]byte{ctr})
-		h.Write(be[:])
+	h := sha256.New()
+	var hdr [5]byte
+	hdr[0] = ctr
+	for block := uint32(0); len(out) < n; block++ {
+		h.Reset()
+		binary.BigEndian.PutUint32(hdr[1:], block)
+		io.WriteString(h, domain)
+		h.Write(hdr[:1])
+		h.Write(hdr[1:])
 		h.Write(msg)
 		out = h.Sum(out)
-		block++
 	}
 	return out[:n]
 }

@@ -1,0 +1,246 @@
+// Jacobian-coordinate arithmetic: the performance layer under the public
+// affine Point API.
+//
+// A Jacobian triple (X, Y, Z) with Z ≠ 0 denotes the affine point
+// (X/Z², Y/Z³); Z = 0 denotes the point at infinity. Doubling and (mixed)
+// addition in this representation cost a handful of field multiplications
+// and no modular inversion, whereas every affine chord-and-tangent step
+// pays one big.Int.ModInverse — by far the most expensive field operation.
+// Scalar multiplication therefore runs entirely in Jacobian form and
+// converts back to affine exactly once; when several points need conversion
+// at the same time (precomputation tables), Montgomery's simultaneous-
+// inversion trick shares a single inversion among all of them.
+//
+// The formulas are the standard ones for short Weierstrass curves with a
+// generic a-coefficient (here a = 1, so M = 3X² + Z⁴):
+//
+//	doubling:   S = 4XY², M = 3X² + Z⁴,
+//	            X' = M² − 2S, Y' = M(S − X') − 8Y⁴, Z' = 2YZ
+//	mixed add:  U2 = x·Z², S2 = y·Z³, H = U2 − X, R = S2 − Y,
+//	            X' = R² − H³ − 2XH², Y' = R(XH² − X') − YH³, Z' = ZH
+//
+// The same formulas, interleaved with line-coefficient extraction, drive
+// the inversion-free Miller loop in internal/pairing.
+package curve
+
+import "math/big"
+
+// jacPoint is a mutable Jacobian-coordinate point. The zero value is not
+// usable; construct via newJac or (*Curve).toJac.
+type jacPoint struct {
+	x, y, z *big.Int
+}
+
+func newJac() *jacPoint {
+	return &jacPoint{x: new(big.Int), y: new(big.Int), z: new(big.Int)}
+}
+
+// setInfinity marks j as the identity (Z = 0).
+func (j *jacPoint) setInfinity() *jacPoint {
+	j.x.SetInt64(1)
+	j.y.SetInt64(1)
+	j.z.SetInt64(0)
+	return j
+}
+
+func (j *jacPoint) isInfinity() bool { return j.z.Sign() == 0 }
+
+// setAffine loads the affine point (x, y) with Z = 1.
+func (j *jacPoint) setAffine(x, y *big.Int) *jacPoint {
+	j.x.Set(x)
+	j.y.Set(y)
+	j.z.SetInt64(1)
+	return j
+}
+
+// set copies v into j.
+func (j *jacPoint) set(v *jacPoint) *jacPoint {
+	j.x.Set(v.x)
+	j.y.Set(v.y)
+	j.z.Set(v.z)
+	return j
+}
+
+// toJac lifts an affine point into Jacobian coordinates.
+func (c *Curve) toJac(pt *Point) *jacPoint {
+	j := newJac()
+	if pt.inf {
+		return j.setInfinity()
+	}
+	return j.setAffine(pt.x, pt.y)
+}
+
+// jacScratch holds the temporaries for one chain of Jacobian operations so
+// the hot loops of ScalarMul allocate a fixed number of big.Ints regardless
+// of scalar size.
+type jacScratch struct {
+	t1, t2, t3, t4, t5, t6 *big.Int
+}
+
+func newJacScratch() *jacScratch {
+	return &jacScratch{
+		t1: new(big.Int), t2: new(big.Int), t3: new(big.Int),
+		t4: new(big.Int), t5: new(big.Int), t6: new(big.Int),
+	}
+}
+
+// jacDouble sets v = 2v in place. The identity and 2-torsion (Y = 0) cases
+// degenerate gracefully to Z = 0.
+func (c *Curve) jacDouble(v *jacPoint, s *jacScratch) {
+	if v.isInfinity() {
+		return
+	}
+	p := c.p
+	xx := s.t1.Mul(v.x, v.x) // X²
+	xx.Mod(xx, p)
+	yy := s.t2.Mul(v.y, v.y) // Y²
+	yy.Mod(yy, p)
+	zz := s.t3.Mul(v.z, v.z) // Z²
+	zz.Mod(zz, p)
+
+	// S = 4·X·Y²
+	sS := s.t4.Mul(v.x, yy)
+	sS.Lsh(sS, 2)
+	sS.Mod(sS, p)
+
+	// M = 3·X² + Z⁴   (a = 1)
+	m := s.t5.Mul(zz, zz)
+	m.Add(m, xx)
+	m.Add(m, xx)
+	m.Add(m, xx)
+	m.Mod(m, p)
+
+	// Z' = 2·Y·Z (before Y is overwritten)
+	v.z.Mul(v.y, v.z)
+	v.z.Lsh(v.z, 1)
+	v.z.Mod(v.z, p)
+
+	// X' = M² − 2S
+	v.x.Mul(m, m)
+	v.x.Sub(v.x, sS)
+	v.x.Sub(v.x, sS)
+	v.x.Mod(v.x, p)
+
+	// Y' = M·(S − X') − 8·Y⁴
+	yyyy := s.t6.Mul(yy, yy)
+	yyyy.Lsh(yyyy, 3)
+	v.y.Sub(sS, v.x)
+	v.y.Mul(v.y, m)
+	v.y.Sub(v.y, yyyy)
+	v.y.Mod(v.y, p)
+}
+
+// jacAddMixed sets v = v + (ax, ay) in place, where (ax, ay) is an affine
+// non-identity point. Handles the degenerate cases: v = O, v = A (doubling)
+// and v = −A (result O).
+func (c *Curve) jacAddMixed(v *jacPoint, ax, ay *big.Int, s *jacScratch) {
+	if v.isInfinity() {
+		v.setAffine(ax, ay)
+		return
+	}
+	p := c.p
+	zz := s.t1.Mul(v.z, v.z) // Z²
+	zz.Mod(zz, p)
+	u2 := s.t2.Mul(ax, zz) // U2 = x·Z²
+	u2.Mod(u2, p)
+	s2 := s.t3.Mul(ay, zz) // S2 = y·Z³
+	s2.Mul(s2, v.z)
+	s2.Mod(s2, p)
+
+	h := u2.Sub(u2, v.x) // H = U2 − X
+	h.Mod(h, p)
+	r := s2.Sub(s2, v.y) // R = S2 − Y
+	r.Mod(r, p)
+
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			c.jacDouble(v, s) // same point: fall through to doubling
+		} else {
+			v.setInfinity() // opposite points: vertical line
+		}
+		return
+	}
+
+	hh := s.t4.Mul(h, h) // H²
+	hh.Mod(hh, p)
+	hhh := s.t5.Mul(hh, h) // H³
+	hhh.Mod(hhh, p)
+	xh2 := s.t6.Mul(v.x, hh) // X·H²
+	xh2.Mod(xh2, p)
+
+	// Z' = Z·H (before the rest clobbers scratch)
+	v.z.Mul(v.z, h)
+	v.z.Mod(v.z, p)
+
+	// X' = R² − H³ − 2·X·H²
+	v.x.Mul(r, r)
+	v.x.Sub(v.x, hhh)
+	v.x.Sub(v.x, xh2)
+	v.x.Sub(v.x, xh2)
+	v.x.Mod(v.x, p)
+
+	// Y' = R·(X·H² − X') − Y·H³
+	xh2.Sub(xh2, v.x)
+	xh2.Mul(xh2, r)
+	hhh.Mul(hhh, v.y)
+	v.y.Sub(xh2, hhh)
+	v.y.Mod(v.y, p)
+}
+
+// jacToAffine converts a single Jacobian point back to the immutable affine
+// representation (one modular inversion).
+func (c *Curve) jacToAffine(v *jacPoint) *Point {
+	if v.isInfinity() {
+		return c.Infinity()
+	}
+	zInv := new(big.Int).ModInverse(v.z, c.p)
+	zInv2 := new(big.Int).Mul(zInv, zInv)
+	zInv2.Mod(zInv2, c.p)
+	x := new(big.Int).Mul(v.x, zInv2)
+	x.Mod(x, c.p)
+	y := new(big.Int).Mul(v.y, zInv2)
+	y.Mul(y, zInv)
+	y.Mod(y, c.p)
+	return &Point{curve: c, x: x, y: y}
+}
+
+// batchToAffine normalizes a batch of Jacobian points with Montgomery's
+// simultaneous-inversion trick: prefix products of the Z coordinates, one
+// ModInverse on the total, then back-substitution — n points for the price
+// of one inversion and 3(n−1) multiplications.
+func (c *Curve) batchToAffine(pts []*jacPoint) []*Point {
+	out := make([]*Point, len(pts))
+	prefix := make([]*big.Int, len(pts))
+	acc := big.NewInt(1)
+	for i, v := range pts {
+		if v.isInfinity() {
+			continue
+		}
+		prefix[i] = new(big.Int).Set(acc)
+		acc = new(big.Int).Mul(acc, v.z)
+		acc.Mod(acc, c.p)
+	}
+	accInv := new(big.Int).ModInverse(acc, c.p)
+	for i := len(pts) - 1; i >= 0; i-- {
+		v := pts[i]
+		if v.isInfinity() {
+			out[i] = c.Infinity()
+			continue
+		}
+		// zInv = accInv · (product of the other points' Z so far)
+		zInv := new(big.Int).Mul(accInv, prefix[i])
+		zInv.Mod(zInv, c.p)
+		accInv.Mul(accInv, v.z)
+		accInv.Mod(accInv, c.p)
+
+		zInv2 := prefix[i].Mul(zInv, zInv) // reuse prefix slot as scratch
+		zInv2.Mod(zInv2, c.p)
+		x := new(big.Int).Mul(v.x, zInv2)
+		x.Mod(x, c.p)
+		y := new(big.Int).Mul(v.y, zInv2)
+		y.Mul(y, zInv)
+		y.Mod(y, c.p)
+		out[i] = &Point{curve: c, x: x, y: y}
+	}
+	return out
+}

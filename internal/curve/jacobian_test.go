@@ -1,0 +1,230 @@
+package curve
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+)
+
+// randScalarBits returns a uniform scalar of up to bits bits (occasionally
+// negative to exercise that path).
+func randScalarBits(t *testing.T, bits int, i int) *big.Int {
+	t.Helper()
+	k, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i%7 == 0 {
+		k.Neg(k)
+	}
+	return k
+}
+
+// TestScalarMulDifferential asserts that the Jacobian/w-NAF ScalarMul and
+// the affine double-and-add oracle produce bit-identical points on ~1000
+// random (point, scalar) pairs, including scalars wider than q.
+func TestScalarMulDifferential(t *testing.T) {
+	c := toyCurve(t)
+	points := make([]*Point, 10)
+	for i := range points {
+		P, err := c.RandomPoint(rand.Reader) // full group, not just G1
+		if err != nil {
+			t.Fatal(err)
+		}
+		points[i] = P
+	}
+	for i := 0; i < 1000; i++ {
+		P := points[i%len(points)]
+		bits := 8 + i%120 // from tiny scalars past |q| = 32 up to > |p|
+		k := randScalarBits(t, bits, i)
+		fast := P.ScalarMul(k)
+		slow := P.ScalarMulBinary(k)
+		if !fast.Equal(slow) {
+			t.Fatalf("iter %d: wNAF %v ≠ ladder %v for k=%v", i, fast, slow, k)
+		}
+		if !fast.IsInfinity() {
+			// Bit-identical serialization, not just group equality.
+			if string(fast.Marshal()) != string(slow.Marshal()) {
+				t.Fatalf("iter %d: encodings differ", i)
+			}
+		}
+	}
+}
+
+// TestScalarMulEdgeCases pins the identities the w-NAF rewrite must keep.
+func TestScalarMulEdgeCases(t *testing.T) {
+	c := toyCurve(t)
+	P, _ := c.RandomG1(rand.Reader)
+	if !P.ScalarMul(big.NewInt(0)).IsInfinity() {
+		t.Error("0·P ≠ O")
+	}
+	if !c.Infinity().ScalarMul(big.NewInt(5)).IsInfinity() {
+		t.Error("5·O ≠ O")
+	}
+	if !P.ScalarMul(c.Q()).IsInfinity() {
+		t.Error("q·P ≠ O for P ∈ G1")
+	}
+	if !P.ScalarMul(big.NewInt(-1)).Equal(P.Neg()) {
+		t.Error("(−1)·P ≠ −P")
+	}
+	// The order-2 point (0, 0) is on y² = x³ + x; doubling chains through it
+	// must collapse to O, not crash.
+	two, err := c.NewPoint(big.NewInt(0), big.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !two.ScalarMul(big.NewInt(2)).IsInfinity() {
+		t.Error("2·(0,0) ≠ O")
+	}
+	if !two.ScalarMul(big.NewInt(7)).Equal(two) {
+		t.Error("7·(0,0) ≠ (0,0)")
+	}
+}
+
+// TestPrecomputedDifferential asserts that fixed-base comb multiplication
+// agrees with the generic path on ~1000 random scalars.
+func TestPrecomputedDifferential(t *testing.T) {
+	c := toyCurve(t)
+	P, err := c.RandomG1(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPrecomputed(P, c.Q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := randScalarBits(t, 8+i%60, i) // exercises k > q and k < 0 (mod-order reduction)
+		fast := pc.ScalarMul(k)
+		slow := P.ScalarMulBinary(new(big.Int).Mod(k, c.Q()))
+		if !fast.Equal(slow) {
+			t.Fatalf("iter %d: comb %v ≠ ladder %v for k=%v", i, fast, slow, k)
+		}
+	}
+	if !pc.ScalarMul(big.NewInt(0)).IsInfinity() {
+		t.Error("comb 0·P ≠ O")
+	}
+	if !pc.ScalarMul(c.Q()).IsInfinity() {
+		t.Error("comb q·P ≠ O")
+	}
+	if pc.TableSize() != (c.Q().BitLen()+precompWindow-1)/precompWindow*(1<<precompWindow-1) {
+		t.Errorf("unexpected table size %d", pc.TableSize())
+	}
+}
+
+func TestPrecomputedRejectsBadInput(t *testing.T) {
+	c := toyCurve(t)
+	if _, err := NewPrecomputed(c.Infinity(), c.Q()); err == nil {
+		t.Error("precomputing O must fail")
+	}
+	P, _ := c.RandomG1(rand.Reader)
+	if _, err := NewPrecomputed(P, big.NewInt(0)); err == nil {
+		t.Error("non-positive order must fail")
+	}
+}
+
+// TestBatchToAffine checks the simultaneous-inversion normalization against
+// one-at-a-time conversion, including interleaved points at infinity.
+func TestBatchToAffine(t *testing.T) {
+	c := toyCurve(t)
+	s := newJacScratch()
+	var jacs []*jacPoint
+	var want []*Point
+	for i := 0; i < 40; i++ {
+		if i%5 == 3 {
+			jacs = append(jacs, newJac().setInfinity())
+			want = append(want, c.Infinity())
+			continue
+		}
+		P, err := c.RandomPoint(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Give the point a non-trivial Z by running it through a doubling
+		// and a mixed addition.
+		v := c.toJac(P)
+		c.jacDouble(v, s)
+		c.jacAddMixed(v, P.x, P.y, s)
+		jacs = append(jacs, v)
+		want = append(want, P.Double().Add(P))
+	}
+	got := c.batchToAffine(jacs)
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("batch normalization differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestValidateRejectsCofactorPoint feeds Unmarshal a point of cofactor
+// order: it decodes (it is on the curve) but Validate must reject it, which
+// is the subgroup check the untrusted-input boundaries rely on.
+func TestValidateRejectsCofactorPoint(t *testing.T) {
+	c := toyCurve(t)
+	var small *Point
+	for {
+		P, err := c.RandomPoint(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// q·P lands in the cofactor-order component; retry until nonzero.
+		small = P.ScalarMul(c.Q())
+		if !small.IsInfinity() {
+			break
+		}
+	}
+	if small.InSubgroup() {
+		t.Fatal("cofactor-order point claims G1 membership")
+	}
+	decoded, err := c.Unmarshal(small.Marshal())
+	if err != nil {
+		t.Fatalf("cofactor point must decode (it is on the curve): %v", err)
+	}
+	if err := decoded.Validate(); !errors.Is(err, ErrNotInSubgroup) {
+		t.Fatalf("Validate = %v, want ErrNotInSubgroup", err)
+	}
+	if err := c.Infinity().Validate(); !errors.Is(err, ErrNotInSubgroup) {
+		t.Fatalf("Validate(O) = %v, want ErrNotInSubgroup", err)
+	}
+	P, _ := c.RandomG1(rand.Reader)
+	if err := P.Validate(); err != nil {
+		t.Fatalf("Validate rejected a G1 point: %v", err)
+	}
+}
+
+func BenchmarkScalarMulStrategies(b *testing.B) {
+	p, _ := new(big.Int).SetString(toyPHex, 16)
+	q, _ := new(big.Int).SetString(toyQHex, 16)
+	c, err := New(p, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	P, err := c.RandomG1(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc, err := NewPrecomputed(P, c.Q())
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, _ := rand.Int(rand.Reader, c.Q())
+	b.Run("wnaf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			P.ScalarMul(k)
+		}
+	})
+	b.Run("fixed-base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pc.ScalarMul(k)
+		}
+	})
+	b.Run("binary-ladder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			P.ScalarMulBinary(k)
+		}
+	})
+}

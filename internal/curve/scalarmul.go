@@ -1,0 +1,262 @@
+// Scalar multiplication strategies.
+//
+// Variable base: width-w NAF over Jacobian coordinates. The scalar is
+// recoded into signed odd digits so that on average only 1/(w+1) of the
+// loop iterations perform an addition (vs 1/2 for double-and-add), and the
+// odd multiples ±P, ±3P, …, ±(2^(w−1)−1)P are precomputed once and
+// batch-normalized to affine so the loop uses cheap mixed additions.
+//
+// Fixed base: a Precomputed radix-2^w table (single-table comb) holding
+// d·2^(wj)·P for every window j and digit d. A fixed-base multiply is then
+// just one table lookup and one mixed addition per window — no doublings at
+// all — at the cost of (2^w − 1)·⌈bits/w⌉ stored affine points.
+package curve
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// wnafWidth picks the NAF window for a scalar of the given bit length:
+// the precomputation (2^(w−2) points) must amortize over bits/(w+1)
+// additions saved.
+func wnafWidth(bits int) uint {
+	switch {
+	case bits >= 128:
+		return 5
+	case bits >= 24:
+		return 4
+	default:
+		return 2 // plain NAF
+	}
+}
+
+// wnaf recodes a positive scalar into width-w non-adjacent form: digits in
+// {0, ±1, ±3, …, ±(2^(w−1)−1)}, least significant first, with at most one
+// nonzero digit in any w consecutive positions.
+func wnaf(k *big.Int, w uint) []int8 {
+	digits := make([]int8, 0, k.BitLen()+1)
+	n := new(big.Int).Set(k)
+	mask := big.Word(1)<<w - 1
+	half := int64(1) << (w - 1)
+	for n.Sign() > 0 {
+		if n.Bit(0) == 1 {
+			d := int64(n.Bits()[0] & mask)
+			if d >= half {
+				d -= int64(mask) + 1 // make the digit negative so the rest stays even
+			}
+			digits = append(digits, int8(d))
+			if d > 0 {
+				n.Sub(n, big.NewInt(d))
+			} else {
+				n.Add(n, big.NewInt(-d))
+			}
+		} else {
+			digits = append(digits, 0)
+		}
+		n.Rsh(n, 1)
+	}
+	return digits
+}
+
+// oddMultiples returns the affine points {1, 3, 5, …, 2m−1}·P, computed in
+// Jacobian coordinates and normalized with a single batch inversion.
+func (c *Curve) oddMultiples(pt *Point, m int) []*Point {
+	s := newJacScratch()
+	twoP := c.toJac(pt)
+	c.jacDouble(twoP, s)
+	twoPAff := c.jacToAffine(twoP)
+
+	jacs := make([]*jacPoint, m)
+	jacs[0] = c.toJac(pt)
+	for i := 1; i < m; i++ {
+		next := newJac().set(jacs[i-1])
+		if twoPAff.inf {
+			// 2P = O (order-2 base): every odd multiple equals P.
+			jacs[i] = next
+			continue
+		}
+		c.jacAddMixed(next, twoPAff.x, twoPAff.y, s)
+		jacs[i] = next
+	}
+	return c.batchToAffine(jacs)
+}
+
+// ScalarMul returns k·P. Negative scalars are handled as (−k)·(−P).
+//
+// The multiplication runs in Jacobian coordinates with a width-w NAF
+// recoding of the scalar; the final result is normalized back to affine
+// form, so outputs are bit-identical to the affine double-and-add ladder
+// (retained as ScalarMulBinary, the differential-test oracle).
+func (pt *Point) ScalarMul(k *big.Int) *Point {
+	c := pt.curve
+	if pt.inf || k.Sign() == 0 {
+		return c.Infinity()
+	}
+	base := pt
+	scalar := k
+	if k.Sign() < 0 {
+		base = pt.Neg()
+		scalar = new(big.Int).Neg(k)
+	}
+	w := wnafWidth(scalar.BitLen())
+	digits := wnaf(scalar, w)
+	// Odd digits reach 2^(w−1)−1, so the table holds the 2^(w−2) odd
+	// multiples {1, 3, …, 2^(w−1)−1}·P.
+	table := c.oddMultiples(base, 1<<(w-2))
+
+	s := newJacScratch()
+	acc := newJac().setInfinity()
+	negY := new(big.Int)
+	for i := len(digits) - 1; i >= 0; i-- {
+		c.jacDouble(acc, s)
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		if d > 0 {
+			e := table[(d-1)/2]
+			c.jacAddMixed(acc, e.x, e.y, s)
+		} else {
+			e := table[(-d-1)/2]
+			negY.Neg(e.y)
+			negY.Mod(negY, c.p)
+			c.jacAddMixed(acc, e.x, negY, s)
+		}
+	}
+	return c.jacToAffine(acc)
+}
+
+// ScalarMulBinary is the original affine left-to-right double-and-add
+// ladder. It is retained as the correctness oracle for the Jacobian/w-NAF
+// path (differential tests) and for the coordinates ablation benchmark.
+func (pt *Point) ScalarMulBinary(k *big.Int) *Point {
+	c := pt.curve
+	if pt.inf || k.Sign() == 0 {
+		return c.Infinity()
+	}
+	base := pt
+	scalar := k
+	if k.Sign() < 0 {
+		base = pt.Neg()
+		scalar = new(big.Int).Neg(k)
+	}
+	acc := c.Infinity()
+	for i := scalar.BitLen() - 1; i >= 0; i-- {
+		acc = acc.Double()
+		if scalar.Bit(i) == 1 {
+			acc = acc.Add(base)
+		}
+	}
+	return acc
+}
+
+// Precomputed is a fixed-base scalar-multiplication table for a long-lived
+// point (the G1 generator, the PKG public key, key halves): a radix-2^w
+// comb storing d·2^(wj)·base for every window j and digit d ∈ [1, 2^w−1].
+// Immutable and safe for concurrent use after construction.
+type Precomputed struct {
+	curve   *Curve
+	base    *Point
+	order   *big.Int // scalars are reduced modulo this (the point's order)
+	w       uint
+	windows int
+	table   [][]*Point // table[j][d-1] = d·2^(wj)·base
+}
+
+// precompWindow is the fixed-base radix; 4 keeps the table at
+// (2^4−1)·⌈|q|/4⌉ points (600 for a 160-bit order) while cutting a
+// multiply to ⌈|q|/4⌉ mixed additions.
+const precompWindow = 4
+
+// NewPrecomputed builds the fixed-base table for base, whose order must be
+// the given positive integer (q for G1 points). Building costs one pass of
+// Jacobian arithmetic plus one batch normalization; afterwards every
+// ScalarMul is ~⌈bits(order)/w⌉ mixed additions and a single inversion.
+func NewPrecomputed(base *Point, order *big.Int) (*Precomputed, error) {
+	if base == nil || base.IsInfinity() {
+		return nil, fmt.Errorf("curve: cannot precompute the point at infinity")
+	}
+	if order == nil || order.Sign() <= 0 {
+		return nil, fmt.Errorf("curve: precomputation needs a positive point order")
+	}
+	c := base.curve
+	w := uint(precompWindow)
+	windows := (order.BitLen() + precompWindow - 1) / precompWindow
+	perWindow := 1<<w - 1
+
+	s := newJacScratch()
+	flat := make([]*jacPoint, 0, windows*perWindow)
+	running := base // affine 2^(wj)·base for the current window
+	for j := 0; j < windows; j++ {
+		entry := newJac().setInfinity()
+		for d := 1; d <= perWindow; d++ {
+			if !running.inf {
+				c.jacAddMixed(entry, running.x, running.y, s)
+			}
+			flat = append(flat, newJac().set(entry))
+		}
+		// next window base: 2^w · running
+		nextJ := c.toJac(running)
+		for b := 0; b < precompWindow; b++ {
+			c.jacDouble(nextJ, s)
+		}
+		running = c.jacToAffine(nextJ)
+	}
+	aff := c.batchToAffine(flat)
+	table := make([][]*Point, windows)
+	for j := 0; j < windows; j++ {
+		table[j] = aff[j*perWindow : (j+1)*perWindow]
+	}
+	return &Precomputed{
+		curve:   c,
+		base:    base,
+		order:   new(big.Int).Set(order),
+		w:       w,
+		windows: windows,
+		table:   table,
+	}, nil
+}
+
+// Base returns the point the table was built for.
+func (pc *Precomputed) Base() *Point { return pc.base }
+
+// TableSize returns the number of stored points (memory diagnostics).
+func (pc *Precomputed) TableSize() int { return pc.windows * (1<<pc.w - 1) }
+
+// ScalarMul returns (k mod order)·base using only table lookups and mixed
+// additions — no doublings. The result is the same group element (and the
+// same affine encoding) that base.ScalarMul(k) produces.
+func (pc *Precomputed) ScalarMul(k *big.Int) *Point {
+	c := pc.curve
+	kr := new(big.Int).Mod(k, pc.order)
+	if kr.Sign() == 0 {
+		return c.Infinity()
+	}
+	s := newJacScratch()
+	acc := newJac().setInfinity()
+	mask := big.Word(1)<<pc.w - 1
+	words := kr.Bits()
+	const wordBits = 32 << (^big.Word(0) >> 63) // 32 or 64
+	for j := 0; j < pc.windows; j++ {
+		bit := uint(j) * pc.w
+		wi := bit / wordBits
+		if wi >= uint(len(words)) {
+			break
+		}
+		d := words[wi] >> (bit % wordBits)
+		if rem := wordBits - bit%wordBits; rem < pc.w && wi+1 < uint(len(words)) {
+			d |= words[wi+1] << rem
+		}
+		d &= mask
+		if d == 0 {
+			continue
+		}
+		e := pc.table[j][d-1]
+		if e.inf {
+			continue
+		}
+		c.jacAddMixed(acc, e.x, e.y, s)
+	}
+	return c.jacToAffine(acc)
+}

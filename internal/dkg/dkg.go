@@ -79,7 +79,7 @@ func NewParticipant(rng io.Reader, pp *pairing.Params, index, t, n int) (*Partic
 	// Lagrange interpolation in the exponent (see evalCommitment).
 	comms := make([]*curve.Point, t)
 	for k := 0; k < t; k++ {
-		comms[k] = pp.Generator().ScalarMul(poly.Eval(big.NewInt(int64(k))))
+		comms[k] = pp.GeneratorMul(poly.Eval(big.NewInt(int64(k))))
 	}
 	return &Participant{pp: pp, index: index, t: t, n: n, poly: poly, comms: comms}, nil
 }
@@ -129,7 +129,7 @@ func VerifyShare(pp *pairing.Params, dealerComms []*curve.Point, j int, share *b
 	if err != nil {
 		return err
 	}
-	got := pp.Generator().ScalarMul(share)
+	got := pp.GeneratorMul(share)
 	if !got.Equal(want) {
 		return ErrBadShare
 	}

@@ -68,6 +68,23 @@ func (f *Field) One() *Element { return f.NewElement(big.NewInt(1), big.NewInt(0
 // FromInt lifts an F_p element into F_p².
 func (f *Field) FromInt(a *big.Int) *Element { return f.NewElement(a, big.NewInt(0)) }
 
+// SetElement loads (a mod p) + (b mod p)·i into e, reusing e's existing
+// coordinate storage when present. Hot loops (the Miller loop's line
+// evaluations) use this to rebuild one persistent element per iteration
+// instead of allocating a fresh one.
+func (f *Field) SetElement(e *Element, a, b *big.Int) *Element {
+	if e.a == nil {
+		e.a = new(big.Int)
+	}
+	if e.b == nil {
+		e.b = new(big.Int)
+	}
+	e.f = f
+	e.a.Mod(a, f.p)
+	e.b.Mod(b, f.p)
+	return e
+}
+
 // Field returns the field the element belongs to.
 func (e *Element) Field() *Field { return e.f }
 
@@ -107,63 +124,84 @@ func (e *Element) Equal(x *Element) bool {
 	return e.a.Cmp(x.a) == 0 && e.b.Cmp(x.b) == 0
 }
 
-// Add sets e = x + y and returns e.
+// ensure makes the receiver's coordinate storage usable so the arithmetic
+// methods can compute in place. The Miller loop and GT exponentiation call
+// these methods millions of times; reusing receiver storage (big.Int keeps
+// its backing array across Set/Mod) removes two allocations per linear op.
+func (e *Element) ensure() {
+	if e.a == nil {
+		e.a = new(big.Int)
+	}
+	if e.b == nil {
+		e.b = new(big.Int)
+	}
+}
+
+// Add sets e = x + y and returns e. The coordinate-wise operations are
+// aliasing-safe (each output coordinate depends only on the matching input
+// coordinates), so the receiver's storage is reused directly.
 func (e *Element) Add(x, y *Element) *Element {
 	f := x.f
-	a := new(big.Int).Add(x.a, y.a)
-	a.Mod(a, f.p)
-	b := new(big.Int).Add(x.b, y.b)
-	b.Mod(b, f.p)
-	e.f, e.a, e.b = f, a, b
+	e.ensure()
+	e.a.Add(x.a, y.a)
+	e.a.Mod(e.a, f.p)
+	e.b.Add(x.b, y.b)
+	e.b.Mod(e.b, f.p)
+	e.f = f
 	return e
 }
 
 // Sub sets e = x − y and returns e.
 func (e *Element) Sub(x, y *Element) *Element {
 	f := x.f
-	a := new(big.Int).Sub(x.a, y.a)
-	a.Mod(a, f.p)
-	b := new(big.Int).Sub(x.b, y.b)
-	b.Mod(b, f.p)
-	e.f, e.a, e.b = f, a, b
+	e.ensure()
+	e.a.Sub(x.a, y.a)
+	e.a.Mod(e.a, f.p)
+	e.b.Sub(x.b, y.b)
+	e.b.Mod(e.b, f.p)
+	e.f = f
 	return e
 }
 
 // Neg sets e = −x and returns e.
 func (e *Element) Neg(x *Element) *Element {
 	f := x.f
-	a := new(big.Int).Neg(x.a)
-	a.Mod(a, f.p)
-	b := new(big.Int).Neg(x.b)
-	b.Mod(b, f.p)
-	e.f, e.a, e.b = f, a, b
+	e.ensure()
+	e.a.Neg(x.a)
+	e.a.Mod(e.a, f.p)
+	e.b.Neg(x.b)
+	e.b.Mod(e.b, f.p)
+	e.f = f
 	return e
 }
 
 // Mul sets e = x · y and returns e, using the schoolbook formula
-// (a+bi)(c+di) = (ac − bd) + (ad + bc)i.
+// (a+bi)(c+di) = (ac − bd) + (ad + bc)i. Cross-coordinate reads force
+// temporaries, but only three: the bd product is recycled for bc once the
+// real part is assembled, and the results are adopted, not copied.
 func (e *Element) Mul(x, y *Element) *Element {
 	f := x.f
 	ac := new(big.Int).Mul(x.a, y.a)
 	bd := new(big.Int).Mul(x.b, y.b)
 	ad := new(big.Int).Mul(x.a, y.b)
-	bc := new(big.Int).Mul(x.b, y.a)
-	a := ac.Sub(ac, bd)
-	a.Mod(a, f.p)
-	b := ad.Add(ad, bc)
-	b.Mod(b, f.p)
-	e.f, e.a, e.b = f, a, b
+	ac.Sub(ac, bd)
+	ac.Mod(ac, f.p)
+	bc := bd.Mul(x.b, y.a)
+	ad.Add(ad, bc)
+	ad.Mod(ad, f.p)
+	e.f, e.a, e.b = f, ac, ad
 	return e
 }
 
 // MulScalar sets e = k · x for k ∈ F_p and returns e.
 func (e *Element) MulScalar(x *Element, k *big.Int) *Element {
 	f := x.f
-	a := new(big.Int).Mul(x.a, k)
-	a.Mod(a, f.p)
-	b := new(big.Int).Mul(x.b, k)
-	b.Mod(b, f.p)
-	e.f, e.a, e.b = f, a, b
+	e.ensure()
+	e.a.Mul(x.a, k)
+	e.a.Mod(e.a, f.p)
+	e.b.Mul(x.b, k)
+	e.b.Mod(e.b, f.p)
+	e.f = f
 	return e
 }
 
@@ -173,12 +211,12 @@ func (e *Element) Square(x *Element) *Element {
 	f := x.f
 	sum := new(big.Int).Add(x.a, x.b)
 	diff := new(big.Int).Sub(x.a, x.b)
-	a := sum.Mul(sum, diff)
-	a.Mod(a, f.p)
 	b := new(big.Int).Mul(x.a, x.b)
 	b.Lsh(b, 1)
 	b.Mod(b, f.p)
-	e.f, e.a, e.b = f, a, b
+	sum.Mul(sum, diff)
+	sum.Mod(sum, f.p)
+	e.f, e.a, e.b = f, sum, b
 	return e
 }
 
@@ -186,9 +224,13 @@ func (e *Element) Square(x *Element) *Element {
 // the Frobenius map x ↦ x^p on F_p².
 func (e *Element) Conjugate(x *Element) *Element {
 	f := x.f
-	b := new(big.Int).Neg(x.b)
-	b.Mod(b, f.p)
-	e.f, e.a, e.b = f, new(big.Int).Set(x.a), b
+	e.ensure()
+	if e.a != x.a {
+		e.a.Set(x.a)
+	}
+	e.b.Neg(x.b)
+	e.b.Mod(e.b, f.p)
+	e.f = f
 	return e
 }
 

@@ -1,0 +1,158 @@
+package pairing
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	"testing"
+)
+
+// TestPairDifferentialRandom cross-checks the inversion-free Jacobian Miller
+// loop against the affine PairFull oracle on a larger random sample than the
+// basic agreement test, asserting bit-identical serialization (not just
+// group equality) so encoding-level regressions cannot hide.
+func TestPairDifferentialRandom(t *testing.T) {
+	pp := toyParams(t)
+	gen := pp.Generator()
+	q := pp.Q()
+	for i := 0; i < 100; i++ {
+		a, _ := rand.Int(rand.Reader, q)
+		b, _ := rand.Int(rand.Reader, q)
+		P := gen.ScalarMul(a)
+		Qpt := gen.ScalarMul(b)
+		if i%3 == 0 {
+			// Mix in hashed points: the schemes pair against H1(id) outputs.
+			h, err := pp.Curve().HashToPoint("diff-test", []byte(fmt.Sprintf("id-%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			Qpt = h
+		}
+		fast := pp.Pair(P, Qpt)
+		full, err := pp.PairFull(P, Qpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(fast.Bytes()) != string(full.Bytes()) {
+			t.Fatalf("iter %d: Jacobian and affine Miller loops differ bitwise", i)
+		}
+	}
+}
+
+// TestSlopeDegenerateErrors is the regression test for the unchecked
+// ModInverse returns: a zero slope denominator must surface ErrBadSlope, not
+// a nil-pointer panic in a later multiplication.
+func TestSlopeDegenerateErrors(t *testing.T) {
+	pp := toyParams(t)
+	p := pp.P()
+	// (0, 0) lies on y² = x³ + x; its tangent denominator 2y is zero.
+	two, err := pp.Curve().NewPoint(big.NewInt(0), big.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tangentSlope(two, p); !errors.Is(err, ErrBadSlope) {
+		t.Fatalf("tangentSlope at order-2 point: err = %v, want ErrBadSlope", err)
+	}
+	// A chord between two points with equal x has a zero denominator.
+	P := pp.Generator()
+	if _, err := chordSlope(P, P, p); !errors.Is(err, ErrBadSlope) {
+		t.Fatalf("chordSlope with equal x: err = %v, want ErrBadSlope", err)
+	}
+	if _, err := chordSlope(P, P.Neg(), p); !errors.Is(err, ErrBadSlope) {
+		t.Fatalf("chordSlope at vertical line: err = %v, want ErrBadSlope", err)
+	}
+	// Valid inputs still work.
+	if _, err := tangentSlope(P, p); err != nil {
+		t.Fatalf("tangentSlope at generator: %v", err)
+	}
+	Q := P.Double()
+	if _, err := chordSlope(P, Q, p); err != nil {
+		t.Fatalf("chordSlope generator→2·generator: %v", err)
+	}
+}
+
+// TestGTTableDifferential checks fixed-base GT exponentiation against the
+// square-and-multiply GT.Exp on random, negative, boundary and oversized
+// exponents, asserting bit-identical serialization.
+func TestGTTableDifferential(t *testing.T) {
+	pp := toyParams(t)
+	g := pp.Pair(pp.Generator(), pp.Generator())
+	tab, err := NewGTTable(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pp.Q()
+	check := func(k *big.Int, label string) {
+		t.Helper()
+		fast := tab.Exp(k)
+		slow := g.Exp(k)
+		if string(fast.Bytes()) != string(slow.Bytes()) {
+			t.Fatalf("%s: table exponentiation differs for k=%v", label, k)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		k, _ := rand.Int(rand.Reader, q)
+		if i%5 == 0 {
+			k.Neg(k)
+		}
+		if i%11 == 0 {
+			k.Mul(k, q) // force multi-limb reduction
+		}
+		check(k, "random")
+	}
+	check(big.NewInt(0), "zero")
+	check(big.NewInt(1), "one")
+	check(q, "order")
+	check(new(big.Int).Sub(q, big.NewInt(1)), "order−1")
+	if tab.TableSize() != (q.BitLen()+gtWindow-1)/gtWindow*(1<<gtWindow-1) {
+		t.Errorf("unexpected table size %d", tab.TableSize())
+	}
+}
+
+func TestGTTableRejectsDegenerate(t *testing.T) {
+	pp := toyParams(t)
+	if _, err := NewGTTable(pp.One()); err == nil {
+		t.Error("GT table for the identity must be rejected")
+	}
+	zero := &GT{v: pp.Field().Zero(), q: pp.Q()}
+	if _, err := NewGTTable(zero); err == nil {
+		t.Error("GT table for zero must be rejected")
+	}
+}
+
+// TestGeneratorMul checks the lazily-built fixed-base generator path against
+// the generic multiplication, including the concurrent first build.
+func TestGeneratorMul(t *testing.T) {
+	pp := toyParams(t)
+	gen := pp.Generator()
+	q := pp.Q()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			k := big.NewInt(seed)
+			pp.GeneratorMul(k) // races the sync.Once table build
+		}(int64(w + 1))
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	for i := 0; i < 50; i++ {
+		k, _ := rand.Int(rand.Reader, q)
+		if i%6 == 0 {
+			k.Neg(k)
+		}
+		fast := pp.GeneratorMul(k)
+		slow := gen.ScalarMul(k)
+		if !fast.Equal(slow) {
+			t.Fatalf("iter %d: GeneratorMul differs for k=%v", i, k)
+		}
+		if !fast.IsInfinity() && string(fast.Marshal()) != string(slow.Marshal()) {
+			t.Fatalf("iter %d: encodings differ", i)
+		}
+	}
+	if !pp.GeneratorMul(big.NewInt(0)).IsInfinity() {
+		t.Error("0·P ≠ O via GeneratorMul")
+	}
+}

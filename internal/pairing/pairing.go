@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"repro/internal/curve"
 	"repro/internal/gf"
@@ -38,7 +39,8 @@ var ErrDegenerate = errors.New("pairing: degenerate (identity) pairing value")
 
 // Params bundles everything the schemes need: the groups G1 (order-q curve
 // subgroup), GT (order-q subgroup of F_p²*) and the pairing between them.
-// Immutable and safe for concurrent use.
+// Immutable (the generator table is built lazily under a sync.Once) and safe
+// for concurrent use.
 type Params struct {
 	curve    *curve.Curve
 	field    *gf.Field
@@ -46,6 +48,9 @@ type Params struct {
 	expTail  *big.Int // (p+1)/q, the second stage of the final exponentiation
 	qBits    int
 	security string
+
+	genTabOnce sync.Once
+	genTab     *curve.Precomputed // fixed-base comb for gen, built on first GeneratorMul
 }
 
 // Generate creates fresh pairing parameters with a qBits-bit prime group
@@ -118,6 +123,27 @@ func (pp *Params) Field() *gf.Field { return pp.field }
 
 // Generator returns the fixed public generator P of G1.
 func (pp *Params) Generator() *curve.Point { return pp.gen }
+
+// GeneratorMul returns k·P for the fixed generator P, using a fixed-base
+// comb table built lazily on first use (and shared by all callers). Every
+// scheme layer multiplies the generator constantly — key generation, BLS
+// signing, DKG commitments, BF encryption — so this is the hot path the
+// table exists for. The result is bit-identical to Generator().ScalarMul(k).
+func (pp *Params) GeneratorMul(k *big.Int) *curve.Point {
+	pp.genTabOnce.Do(func() {
+		tab, err := curve.NewPrecomputed(pp.gen, pp.curve.Q())
+		if err == nil {
+			pp.genTab = tab
+		}
+		// err is impossible for a valid generator (non-infinity, positive
+		// order); if Params were built by hand with a bad generator we fall
+		// through to the generic path below.
+	})
+	if pp.genTab != nil {
+		return pp.genTab.ScalarMul(k)
+	}
+	return pp.gen.ScalarMul(k)
+}
 
 // Q returns a copy of the prime group order.
 func (pp *Params) Q() *big.Int { return pp.curve.Q() }
@@ -204,29 +230,242 @@ func (pp *Params) InGT(g *GT) bool {
 }
 
 // Pair computes the modified Tate pairing ê(P, Q) with denominator
-// elimination. ê(P, O) = ê(O, Q) = 1.
+// elimination and an inversion-free Miller loop. ê(P, O) = ê(O, Q) = 1.
 func (pp *Params) Pair(p1, q1 *curve.Point) *GT {
 	if p1.IsInfinity() || q1.IsInfinity() {
 		return pp.One()
 	}
-	f := pp.miller(p1, q1, false)
+	f := pp.millerJacobian(p1, q1)
 	return &GT{v: pp.finalExp(f), q: pp.curve.Q()}
 }
 
-// PairFull computes the same pairing without denominator elimination
-// (tracking vertical-line factors explicitly). It exists as a correctness
-// oracle and for the Miller-loop ablation benchmark.
-func (pp *Params) PairFull(p1, q1 *curve.Point) *GT {
+// PairFull computes the same pairing along the affine Miller loop without
+// denominator elimination (tracking vertical-line factors explicitly). It
+// exists as a correctness oracle for the optimized Jacobian loop and for
+// the Miller-loop ablation benchmark. It returns an error only on
+// degenerate line slopes, which valid odd-order inputs never produce.
+func (pp *Params) PairFull(p1, q1 *curve.Point) (*GT, error) {
 	if p1.IsInfinity() || q1.IsInfinity() {
-		return pp.One()
+		return pp.One(), nil
 	}
-	f := pp.miller(p1, q1, true)
-	return &GT{v: pp.finalExp(f), q: pp.curve.Q()}
+	f, err := pp.millerAffine(p1, q1, true)
+	if err != nil {
+		return nil, err
+	}
+	return &GT{v: pp.finalExp(f), q: pp.curve.Q()}, nil
 }
 
-// miller evaluates f_{q,P}(φ(Q)) by Miller's algorithm. When withDenominators
-// is true, vertical-line factors are divided out explicitly; otherwise they
-// are skipped (denominator elimination).
+// millerJacobian evaluates f_{q,P}(φ(Q)) with the running point V kept in
+// Jacobian coordinates, deriving the line coefficients directly from the
+// doubling/addition intermediates — no modular inversion anywhere in the
+// loop (the affine loop pays one ModInverse per iteration for the slope).
+//
+// Validity of the scaling: the affine line through V with slope λ = n/d is
+// replaced by d·l, i.e. each Miller factor is multiplied by some d ∈ F_p*.
+// The final exponentiation (p²−1)/q = (p−1)·(p+1)/q annihilates all of
+// F_p* — the same argument that justifies denominator elimination — so the
+// output GT element is bit-identical to the affine loop's.
+//
+// Line coefficients at φ(Q) = (−x_Q, i·y_Q), derived from the Jacobian
+// doubling intermediates (V = (X, Y, Z), M = 3X² + Z⁴, Z₃ = 2YZ), scaling
+// the affine tangent by 2YZ³:
+//
+//	l_dbl = [M·(X + Z²·x_Q) − 2Y²] + [Z₃·Z²·y_Q]·i
+//
+// and for mixed addition of the affine base P (H = x_P·Z² − X,
+// R = y_P·Z³ − Y, Z₃ = ZH), scaling the affine chord by Z₃:
+//
+//	l_add = [R·(x_Q + x_P) − Z₃·y_P] + [Z₃·y_Q]·i
+func (pp *Params) millerJacobian(p1, q1 *curve.Point) *gf.Element {
+	fld := pp.field
+	p := pp.curve.P()
+	xP, yP := p1.X(), p1.Y()
+	xQ, yQ := q1.X(), q1.Y()
+
+	f := fld.One()
+	line := fld.One()
+	n := pp.curve.Q()
+
+	// V = (X, Y, Z) in Jacobian coordinates, starting at P.
+	X := new(big.Int).Set(xP)
+	Y := new(big.Int).Set(yP)
+	Z := big.NewInt(1)
+
+	// Scratch for the interleaved point/line formulas.
+	var (
+		t1 = new(big.Int)
+		t2 = new(big.Int)
+		t3 = new(big.Int)
+		t4 = new(big.Int)
+		t5 = new(big.Int)
+		t6 = new(big.Int)
+		lr = new(big.Int) // line real part
+		li = new(big.Int) // line imaginary part
+	)
+
+	for i := n.BitLen() - 2; i >= 0; i-- {
+		f.Square(f)
+		if Z.Sign() != 0 {
+			if Y.Sign() == 0 {
+				// 2-torsion: the tangent is the vertical x = x_V, an F_p*
+				// factor the final exponentiation kills; 2V = O. (Unreachable
+				// from the odd-order subgroup; kept for completeness.)
+				Z.SetInt64(0)
+			} else {
+				// Doubling with line extraction (formulas shared with
+				// curve.jacDouble; see internal/curve/jacobian.go).
+				xx := t1.Mul(X, X)
+				xx.Mod(xx, p)
+				yy := t2.Mul(Y, Y)
+				yy.Mod(yy, p)
+				zz := t3.Mul(Z, Z)
+				zz.Mod(zz, p)
+				s := t4.Mul(X, yy) // S = 4XY²
+				s.Lsh(s, 2)
+				s.Mod(s, p)
+				m := t5.Mul(zz, zz) // M = 3X² + Z⁴
+				m.Add(m, xx)
+				m.Add(m, xx)
+				m.Add(m, xx)
+				m.Mod(m, p)
+
+				// l_dbl real = M·(X + Z²·x_Q) − 2Y²
+				lr.Mul(zz, xQ)
+				lr.Add(lr, X)
+				lr.Mul(lr, m)
+				lr.Sub(lr, yy)
+				lr.Sub(lr, yy)
+				lr.Mod(lr, p)
+
+				// Z₃ = 2YZ (before Y is clobbered)
+				Z.Mul(Y, Z)
+				Z.Lsh(Z, 1)
+				Z.Mod(Z, p)
+
+				// l_dbl imag = Z₃·Z²·y_Q
+				li.Mul(Z, zz)
+				li.Mul(li, yQ)
+				li.Mod(li, p)
+
+				// X₃ = M² − 2S, Y₃ = M·(S − X₃) − 8Y⁴
+				X.Mul(m, m)
+				X.Sub(X, s)
+				X.Sub(X, s)
+				X.Mod(X, p)
+				yyyy := t6.Mul(yy, yy)
+				yyyy.Lsh(yyyy, 3)
+				Y.Sub(s, X)
+				Y.Mul(Y, m)
+				Y.Sub(Y, yyyy)
+				Y.Mod(Y, p)
+
+				f.Mul(f, fld.SetElement(line, lr, li))
+			}
+		}
+		if n.Bit(i) == 1 {
+			if Z.Sign() == 0 {
+				// V = O: the "line" through O and P is the vertical at P,
+				// an F_p* factor — skip it and restart at P.
+				X.Set(xP)
+				Y.Set(yP)
+				Z.SetInt64(1)
+			} else {
+				// Mixed addition V + P with line extraction.
+				zz := t1.Mul(Z, Z)
+				zz.Mod(zz, p)
+				u2 := t2.Mul(xP, zz)
+				u2.Mod(u2, p)
+				s2 := t3.Mul(yP, zz)
+				s2.Mul(s2, Z)
+				s2.Mod(s2, p)
+				h := u2.Sub(u2, X) // H = x_P·Z² − X
+				h.Mod(h, p)
+				r := s2.Sub(s2, Y) // R = y_P·Z³ − Y
+				r.Mod(r, p)
+
+				switch {
+				case h.Sign() == 0 && r.Sign() == 0:
+					// V = P: the chord degenerates to the tangent at P, so
+					// this addition is a doubling. V is affine here (Z = 1
+					// after reduction), which simplifies to M = 3x_P² + 1 and
+					// line scale 2y_P.
+					yy := t4.Mul(yP, yP)
+					yy.Mod(yy, p)
+					m := t5.Mul(xP, xP)
+					m.Mod(m, p)
+					t6.Set(m)
+					m.Lsh(m, 1)
+					m.Add(m, t6)
+					m.Add(m, big.NewInt(1)) // M = 3x_P² + 1 (Z = 1)
+					m.Mod(m, p)
+					lr.Add(xP, xQ)
+					lr.Mul(lr, m)
+					lr.Sub(lr, yy)
+					lr.Sub(lr, yy)
+					lr.Mod(lr, p)
+					// Z₃ = 2y_P
+					Z.Lsh(yP, 1)
+					Z.Mod(Z, p)
+					li.Mul(Z, yQ)
+					li.Mod(li, p)
+					s := t4.Mul(xP, yy) // reuse: S = 4·x_P·y_P²
+					s.Lsh(s, 2)
+					s.Mod(s, p)
+					X.Mul(m, m)
+					X.Sub(X, s)
+					X.Sub(X, s)
+					X.Mod(X, p)
+					yyyy := t6.Mul(yy, yy)
+					yyyy.Lsh(yyyy, 3)
+					Y.Sub(s, X)
+					Y.Mul(Y, m)
+					Y.Sub(Y, yyyy)
+					Y.Mod(Y, p)
+					f.Mul(f, fld.SetElement(line, lr, li))
+				case h.Sign() == 0:
+					// V = −P: vertical line, an F_p* factor — skip; V + P = O.
+					Z.SetInt64(0)
+				default:
+					// l_add real = R·(x_Q + x_P) − Z₃·y_P, imag = Z₃·y_Q
+					hh := t4.Mul(h, h)
+					hh.Mod(hh, p)
+					hhh := t5.Mul(hh, h)
+					hhh.Mod(hhh, p)
+					xh2 := t6.Mul(X, hh)
+					xh2.Mod(xh2, p)
+
+					Z.Mul(Z, h) // Z₃ = Z·H
+					Z.Mod(Z, p)
+
+					lr.Add(xQ, xP)
+					lr.Mul(lr, r)
+					lr.Sub(lr, t2.Mul(Z, yP))
+					lr.Mod(lr, p)
+					li.Mul(Z, yQ)
+					li.Mod(li, p)
+
+					X.Mul(r, r)
+					X.Sub(X, hhh)
+					X.Sub(X, xh2)
+					X.Sub(X, xh2)
+					X.Mod(X, p)
+					xh2.Sub(xh2, X)
+					xh2.Mul(xh2, r)
+					hhh.Mul(hhh, Y)
+					Y.Sub(xh2, hhh)
+					Y.Mod(Y, p)
+
+					f.Mul(f, fld.SetElement(line, lr, li))
+				}
+			}
+		}
+	}
+	return f
+}
+
+// millerAffine evaluates f_{q,P}(φ(Q)) by the original affine Miller loop.
+// When withDenominators is true, vertical-line factors are divided out
+// explicitly; otherwise they are skipped (denominator elimination).
 //
 // With φ(Q) = (−x_Q, i·y_Q), the line through V with slope λ evaluated at
 // φ(Q) is
@@ -235,7 +474,7 @@ func (pp *Params) PairFull(p1, q1 *curve.Point) *GT {
 //
 // whose real part stays in F_p, so each step multiplies f by a cheap
 // "almost-F_p" element.
-func (pp *Params) miller(p1, q1 *curve.Point, withDenominators bool) *gf.Element {
+func (pp *Params) millerAffine(p1, q1 *curve.Point, withDenominators bool) (*gf.Element, error) {
 	fld := pp.field
 	pMod := pp.curve.P()
 	xQneg := new(big.Int).Neg(q1.X())
@@ -275,7 +514,10 @@ func (pp *Params) miller(p1, q1 *curve.Point, withDenominators bool) *gf.Element
 				f.Mul(f, vertical(v.X()))
 				v = v.Double()
 			} else {
-				lambda := tangentSlope(v, pMod)
+				lambda, err := tangentSlope(v, pMod)
+				if err != nil {
+					return nil, err
+				}
 				l := lineAt(v, lambda)
 				f.Mul(f, l)
 				v = v.Double()
@@ -292,14 +534,20 @@ func (pp *Params) miller(p1, q1 *curve.Point, withDenominators bool) *gf.Element
 				}
 				v = pp.curve.Infinity()
 			} else if v.Equal(p1) {
-				lambda := tangentSlope(v, pMod)
+				lambda, err := tangentSlope(v, pMod)
+				if err != nil {
+					return nil, err
+				}
 				f.Mul(f, lineAt(v, lambda))
 				v = v.Double()
 				if withDenominators && !v.IsInfinity() {
 					fden.Mul(fden, vertical(v.X()))
 				}
 			} else {
-				lambda := chordSlope(v, p1, pMod)
+				lambda, err := chordSlope(v, p1, pMod)
+				if err != nil {
+					return nil, err
+				}
 				f.Mul(f, lineAt(v, lambda))
 				v = v.Add(p1)
 				if withDenominators && !v.IsInfinity() {
@@ -310,32 +558,44 @@ func (pp *Params) miller(p1, q1 *curve.Point, withDenominators bool) *gf.Element
 	}
 	if withDenominators {
 		inv, err := new(gf.Element).Inverse(fden)
-		if err == nil {
-			f.Mul(f, inv)
+		if err != nil {
+			return nil, fmt.Errorf("pairing: invert denominator product: %w", err)
 		}
+		f.Mul(f, inv)
 	}
-	return f
+	return f, nil
 }
 
-func tangentSlope(v *curve.Point, p *big.Int) *big.Int {
+// ErrBadSlope reports a line-slope denominator that is not invertible mod p.
+// It cannot arise for points on the curve over a prime field (2y and x_W−x_V
+// are nonzero in the branches that compute a slope), so seeing it means the
+// inputs were corrupted; the affine loop surfaces it instead of letting
+// big.Int.ModInverse return nil and crash a later multiplication.
+var ErrBadSlope = errors.New("pairing: line slope denominator is not invertible")
+
+func tangentSlope(v *curve.Point, p *big.Int) (*big.Int, error) {
 	num := new(big.Int).Mul(v.X(), v.X())
 	num.Mul(num, big.NewInt(3))
 	num.Add(num, big.NewInt(1))
 	num.Mod(num, p)
 	den := new(big.Int).Lsh(v.Y(), 1)
-	den.ModInverse(den, p)
+	if den.ModInverse(den, p) == nil {
+		return nil, fmt.Errorf("%w: 2·y_V = %v (mod %v)", ErrBadSlope, new(big.Int).Lsh(v.Y(), 1), p)
+	}
 	num.Mul(num, den)
 	num.Mod(num, p)
-	return num
+	return num, nil
 }
 
-func chordSlope(v, w *curve.Point, p *big.Int) *big.Int {
+func chordSlope(v, w *curve.Point, p *big.Int) (*big.Int, error) {
 	num := new(big.Int).Sub(w.Y(), v.Y())
 	den := new(big.Int).Sub(w.X(), v.X())
-	den.ModInverse(den, p)
+	if den.ModInverse(den, p) == nil {
+		return nil, fmt.Errorf("%w: x_W − x_V = %v (mod %v)", ErrBadSlope, new(big.Int).Sub(w.X(), v.X()), p)
+	}
 	num.Mul(num, den)
 	num.Mod(num, p)
-	return num
+	return num, nil
 }
 
 // finalExp raises f to (p²−1)/q = (p−1)·(p+1)/q.

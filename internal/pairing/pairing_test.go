@@ -128,7 +128,10 @@ func TestDenominatorEliminationAgreesWithFullMiller(t *testing.T) {
 		P := gen.ScalarMul(a)
 		Q := gen.ScalarMul(b)
 		fast := pp.Pair(P, Q)
-		full := pp.PairFull(P, Q)
+		full, err := pp.PairFull(P, Q)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !fast.Equal(full) {
 			t.Fatalf("optimized and full Miller loops disagree (iter %d)", i)
 		}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/gm"
 	"repro/internal/mrsa"
 	"repro/internal/pairing"
+	"repro/internal/wire"
 )
 
 // Client is the user-side SEM connection. It multiplexes sequential
@@ -168,7 +169,9 @@ func (c *Client) GDHHalfSign(id string, h *curve.Point) (*curve.Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.pairing.Curve().Unmarshal(resp.Payload)
+	// The SEM's half-signature is also untrusted input: a compromised or
+	// impersonated SEM must not be able to feed back out-of-subgroup points.
+	return wire.UnmarshalG1(c.pairing.Curve(), resp.Payload)
 }
 
 // SignGDH runs the user side of the full mediated-GDH signing protocol over

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pairing"
+	"repro/internal/wire"
 )
 
 // Server is the SEM daemon. It serves whichever mediated schemes it was
@@ -210,7 +211,7 @@ func (s *Server) ibeToken(req *Request) *Response {
 	if s.cfg.IBE == nil {
 		return &Response{OK: false, Code: CodeUnsupported, Error: "IBE backend not configured"}
 	}
-	u, err := s.cfg.Pairing.Curve().Unmarshal(req.Payload)
+	u, err := wire.UnmarshalG1(s.cfg.Pairing.Curve(), req.Payload)
 	if err != nil {
 		return errResponse(CodeBadRequest, err)
 	}
@@ -225,7 +226,7 @@ func (s *Server) gdhSign(req *Request) *Response {
 	if s.cfg.GDH == nil {
 		return &Response{OK: false, Code: CodeUnsupported, Error: "GDH backend not configured"}
 	}
-	h, err := s.cfg.Pairing.Curve().Unmarshal(req.Payload)
+	h, err := wire.UnmarshalG1(s.cfg.Pairing.Curve(), req.Payload)
 	if err != nil {
 		return errResponse(CodeBadRequest, err)
 	}

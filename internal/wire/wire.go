@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+
+	"repro/internal/curve"
 )
 
 // MaxFrame bounds a single protocol frame.
@@ -64,6 +66,23 @@ func ReadFrame(r io.Reader, v any) (int, error) {
 		return 0, fmt.Errorf("%w: %v", ErrProtocol, err)
 	}
 	return 4 + int(n), nil
+}
+
+// UnmarshalG1 decodes a compressed curve point received from an untrusted
+// peer and checks order-q subgroup membership. curve.Unmarshal alone only
+// verifies the point is on the curve — the curve has cofactor c > 1, so a
+// malicious peer can otherwise smuggle in low-order components that leak
+// information through protocol responses (small-subgroup attacks). Every
+// network boundary (SEM daemon, cluster nodes) must decode through this.
+func UnmarshalG1(c *curve.Curve, data []byte) (*curve.Point, error) {
+	pt, err := c.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if err := pt.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	return pt, nil
 }
 
 // PackInts serializes a vector of non-negative integers as 2-byte-length-

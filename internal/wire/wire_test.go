@@ -2,10 +2,14 @@ package wire
 
 import (
 	"bytes"
+	"crypto/rand"
 	"errors"
 	"math/big"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/curve"
+	"repro/internal/pairing"
 )
 
 type payload struct {
@@ -62,6 +66,51 @@ func TestFrameMalformed(t *testing.T) {
 	var w bytes.Buffer
 	if _, err := WriteFrame(&w, make(chan int)); err == nil {
 		t.Fatal("unencodable value accepted")
+	}
+}
+
+// TestUnmarshalG1 pins the subgroup check at the network boundary: a point
+// of cofactor order is a valid curve point (plain Unmarshal accepts it) but
+// must be rejected by the hardened decoder the services use.
+func TestUnmarshalG1(t *testing.T) {
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := pp.Curve()
+
+	good, err := c.RandomG1(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := UnmarshalG1(c, good.Marshal())
+	if err != nil {
+		t.Fatalf("G1 point rejected: %v", err)
+	}
+	if !pt.Equal(good) {
+		t.Fatal("decoded point differs")
+	}
+
+	// Build a cofactor-order point: q·R for random R in the full group.
+	var small *curve.Point
+	for {
+		R, err := c.RandomPoint(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small = R.ScalarMul(c.Q())
+		if !small.IsInfinity() {
+			break
+		}
+	}
+	if _, err := c.Unmarshal(small.Marshal()); err != nil {
+		t.Fatalf("plain Unmarshal must accept on-curve point: %v", err)
+	}
+	if _, err := UnmarshalG1(c, small.Marshal()); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("cofactor-order point: err = %v, want ErrProtocol", err)
+	}
+	if _, err := UnmarshalG1(c, []byte{0x02, 0x01}); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("garbage encoding: err = %v, want ErrProtocol", err)
 	}
 }
 
