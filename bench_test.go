@@ -193,7 +193,7 @@ func BenchmarkPairing(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				pp.Pair(P, Q)
+				_, _ = pp.Pair(P, Q)
 			}
 		})
 	}
@@ -233,7 +233,10 @@ func BenchmarkGTExp(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	g := pp.Pair(pp.Generator(), Q)
+	g, err := pp.Pair(pp.Generator(), Q)
+	if err != nil {
+		b.Fatal(err)
+	}
 	tab, err := pairing.NewGTTable(g)
 	if err != nil {
 		b.Fatal(err)
@@ -241,7 +244,7 @@ func BenchmarkGTExp(b *testing.B) {
 	k, _ := rand.Int(rand.Reader, pp.Q())
 	b.Run("square-multiply", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			g.Exp(k)
+			_, _ = g.Exp(k)
 		}
 	})
 	b.Run("fixed-base", func(b *testing.B) {
@@ -285,7 +288,7 @@ func BenchmarkAblationMiller(b *testing.B) {
 	Q, _ := pp.Curve().HashToPoint("bench", []byte("x"))
 	b.Run("denominator-elimination", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			pp.Pair(P, Q)
+			_, _ = pp.Pair(P, Q)
 		}
 	})
 	b.Run("full-miller", func(b *testing.B) {
@@ -367,7 +370,9 @@ func BenchmarkAblationRobustness(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			shares := make([]*core.DecryptionShare, 3)
 			for j := 0; j < 3; j++ {
-				shares[j] = p.ComputeShare(keyShares[j], ct.U)
+				if shares[j], err = p.ComputeShare(keyShares[j], ct.U); err != nil {
+					b.Fatal(err)
+				}
 			}
 			if _, err := p.Recombine(shares, ct); err != nil {
 				b.Fatal(err)

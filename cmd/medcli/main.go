@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/keyfile"
 	"repro/internal/sem"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -238,7 +239,7 @@ func (c *cli) verify(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sig, err := pp.Curve().Unmarshal(sigRaw)
+	sig, err := wire.UnmarshalG1(pp.Curve(), sigRaw)
 	if err != nil {
 		return err
 	}

@@ -101,16 +101,22 @@ func run() error {
 
 	// --- Accountability: the honest majority reconstructs what player 2
 	// SHOULD have sent (Section 3.2's recovery step). ---
-	honest := []*core.DecryptionShare{
-		params.ComputeShare(shares[0], ct.U),
-		params.ComputeShare(shares[2], ct.U),
-		params.ComputeShare(shares[3], ct.U),
+	honest := make([]*core.DecryptionShare, 0, 3)
+	for _, i := range []int{0, 2, 3} {
+		s, err := params.ComputeShare(shares[i], ct.U)
+		if err != nil {
+			return err
+		}
+		honest = append(honest, s)
 	}
 	recovered, err := params.RecoverShare(honest, 2)
 	if err != nil {
 		return err
 	}
-	truth := params.ComputeShare(shares[1], ct.U)
+	truth, err := params.ComputeShare(shares[1], ct.U)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("honest players recovered player 2's true share: matches = %v\n",
 		recovered.G.Equal(truth.G))
 	return nil

@@ -1,0 +1,152 @@
+// Package analysistest runs one analyzer over a GOPATH-style fixture tree
+// and checks its diagnostics against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that fixtures
+// read the same way.
+//
+// Layout: <testdata>/src/<importpath>/*.go. Fixture packages may import
+// each other (stub repro packages live under src/repro/...) and the
+// standard library; everything is type-checked from source.
+//
+// Expectations are line-based: a comment
+//
+//	x := rand.Int() // want `math/rand`
+//	y := f(x)       // want "first" "second"
+//
+// requires every quoted regexp to match some diagnostic reported on that
+// line, and every diagnostic to be matched by some expectation.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// Run loads each fixture package under testdata/src, applies the analyzer,
+// and reports expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := load.NewOverlay(testdata + "/src")
+	var targets []*analysis.Package
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", path, err)
+		}
+		targets = append(targets, pkg)
+	}
+	diags, err := analysis.Run(targets, loader.Loaded(), []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg, f, wants)
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[re] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectWants parses the // want comments of one file. Each expectation is
+// attached to the line the comment starts on.
+func collectWants(t *testing.T, pkg *analysis.Package, f *ast.File, wants map[lineKey][]*regexp.Regexp) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			for _, pat := range parsePatterns(t, pos.String(), m[1]) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+				}
+				k := lineKey{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+}
+
+// parsePatterns extracts the sequence of quoted (double-quote or backquote)
+// patterns following a want marker.
+func parsePatterns(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			q, rest, err := scanQuoted(s)
+			if err != nil {
+				t.Fatalf("%s: malformed want pattern %q: %v", pos, s, err)
+			}
+			out = append(out, q)
+			s = rest
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated backquoted want pattern %q", pos, s)
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got %q", pos, s)
+		}
+	}
+}
+
+// scanQuoted unquotes the leading double-quoted Go string of s.
+func scanQuoted(s string) (string, string, error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			q, err := strconv.Unquote(s[:i+1])
+			return q, s[i+1:], err
+		}
+	}
+	return "", "", strconv.ErrSyntax
+}

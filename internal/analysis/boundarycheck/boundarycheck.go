@@ -1,0 +1,94 @@
+// Package boundarycheck enforces that network-facing packages decode wire
+// bytes only through the validated constructors in repro/internal/wire.
+//
+// A []byte arriving over a SEM or cluster connection is attacker-controlled:
+// decoding it with a raw constructor (curve.Unmarshal without a subgroup
+// check routed through wire, big.Int.SetBytes without a range check,
+// GTFromBytes without an order-q membership check) admits small-subgroup and
+// invalid-element attacks against the mediated and threshold schemes. The
+// wire package wraps every decoder with the appropriate validation, so the
+// rule is purely structural: in a package whose import path contains a sem,
+// cluster or cmd element, calls to the raw decoders are findings. The wire
+// package itself is exempt — it is the sanctioned implementation site.
+package boundarycheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the boundarycheck checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundarycheck",
+	Doc:  "require wire's validated decoders for []byte→element conversions in network-facing packages",
+	Run:  run,
+}
+
+// rawDecoder describes one banned decode entry point and its sanctioned
+// replacement.
+type rawDecoder struct {
+	pkgSuffix string // import-path suffix of the defining package
+	method    string
+	instead   string
+}
+
+var rawDecoders = []rawDecoder{
+	{"internal/curve", "Unmarshal", "wire.UnmarshalG1"},
+	{"internal/pairing", "GTFromBytes", "wire.UnmarshalGT"},
+	{"internal/gf", "ElementFromBytes", "wire.UnmarshalGT"},
+	{"math/big", "SetBytes", "wire.UnmarshalScalar"},
+}
+
+func run(pass *analysis.Pass) error {
+	if !networkFacing(pass.Pkg.Path) || exempt(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			for _, d := range rawDecoders {
+				if fn.Name() == d.method && pathMatches(fn.Pkg().Path(), d.pkgSuffix) {
+					pass.Reportf(call.Pos(), "raw %s.%s decode at a network boundary; use %s", fn.Pkg().Name(), d.method, d.instead)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// networkFacing reports whether the import path names a package that parses
+// peer-supplied bytes: the sem and cluster protocol packages and everything
+// under cmd/.
+func networkFacing(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		switch seg {
+		case "sem", "cluster", "cmd":
+			return true
+		}
+	}
+	return false
+}
+
+// exempt reports whether the package is a sanctioned decoder implementation.
+func exempt(path string) bool {
+	return path == "wire" || strings.HasSuffix(path, "/wire")
+}
+
+func pathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

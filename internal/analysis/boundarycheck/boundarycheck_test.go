@@ -1,0 +1,17 @@
+package boundarycheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/boundarycheck"
+)
+
+func TestBoundaryCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", boundarycheck.Analyzer,
+		"repro/internal/sem",
+		"repro/internal/cluster",
+		"repro/internal/core",
+		"repro/internal/wire",
+	)
+}

@@ -1,0 +1,29 @@
+// Package cluster exercises the boundarycheck negative cases: a
+// network-facing package that routes every decode through wire.
+package cluster
+
+import (
+	"math/big"
+
+	"repro/internal/curve"
+	"repro/internal/pairing"
+	"repro/internal/wire"
+)
+
+// HandlePoint decodes through the validated path.
+func HandlePoint(c *curve.Curve, payload []byte) (*curve.Point, error) {
+	return wire.UnmarshalG1(c, payload)
+}
+
+// HandleShare decodes a GT share and its proof scalar through wire.
+func HandleShare(pp *pairing.Params, g, e []byte, q *big.Int) (*pairing.GT, *big.Int, error) {
+	gt, err := wire.UnmarshalGT(pp, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := wire.UnmarshalScalar(e, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gt, s, nil
+}

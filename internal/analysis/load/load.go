@@ -1,0 +1,284 @@
+// Package load type-checks Go packages from source using only the standard
+// library (go/build for build-constraint file selection, go/parser and
+// go/types for the rest). It exists because the module is dependency-free:
+// golang.org/x/tools/go/packages is unavailable, and the go tool's export
+// data is not guaranteed to be present, so imports — including the standard
+// library — are resolved recursively from source.
+//
+// Two resolution roots are supported:
+//
+//   - module mode (New): "repro/..." import paths map into the module tree;
+//     everything else is found through go/build (GOROOT, including its
+//     vendored dependencies).
+//   - overlay mode (NewOverlay): a GOPATH-style src directory takes
+//     precedence for every import path, which is what the analysistest
+//     fixture trees use to stub out repro packages.
+//
+// Packages reached through the module or overlay root keep their syntax
+// (analyzers need it); standard-library dependencies contribute type
+// information only.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Loader loads and memoizes type-checked packages over one shared FileSet.
+// Not safe for concurrent use.
+type Loader struct {
+	fset       *token.FileSet
+	ctx        build.Context
+	modulePath string
+	moduleRoot string
+	overlay    string // GOPATH-style src root; "" outside analysistest
+	pkgs       map[string]*entry
+	loading    map[string]bool
+	loaded     []*analysis.Package // source-kept packages, in load order
+}
+
+type entry struct {
+	types *types.Package
+	err   error
+}
+
+// New returns a module-mode loader rooted at moduleRoot (the directory
+// holding go.mod).
+func New(moduleRoot string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	l.modulePath = modPath
+	l.moduleRoot = moduleRoot
+	return l, nil
+}
+
+// NewOverlay returns an overlay-mode loader: every import path is first
+// resolved under srcRoot/<path> before falling back to the standard library.
+func NewOverlay(srcRoot string) *Loader {
+	l := newLoader()
+	l.overlay = srcRoot
+	return l
+}
+
+func newLoader() *Loader {
+	ctx := build.Default
+	// Select the pure-Go file sets everywhere; type-checking does not link,
+	// and cgo-conditioned files cannot be parsed without cgo preprocessing.
+	ctx.CgoEnabled = false
+	return &Loader{
+		fset:    token.NewFileSet(),
+		ctx:     ctx,
+		pkgs:    make(map[string]*entry),
+		loading: make(map[string]bool),
+	}
+}
+
+// Fset returns the shared position set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Loaded returns every package whose syntax was kept (module and overlay
+// packages), in dependency-before-dependent order.
+func (l *Loader) Loaded() []*analysis.Package { return l.loaded }
+
+// Load type-checks the package at the given import path (and, recursively,
+// everything it imports) and returns it with syntax.
+func (l *Loader) Load(path string) (*analysis.Package, error) {
+	if _, err := l.importPath(path, ""); err != nil {
+		return nil, err
+	}
+	for _, p := range l.loaded {
+		if p.Path == path {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("load: %s resolved outside the module/overlay roots", path)
+}
+
+// ModulePackages lists the import paths of every package in the module tree
+// (directories containing at least one non-test .go file), skipping
+// testdata and hidden directories.
+func (l *Loader) ModulePackages() ([]string, error) {
+	if l.moduleRoot == "" {
+		return nil, fmt.Errorf("load: loader has no module root")
+	}
+	var paths []string
+	err := filepath.WalkDir(l.moduleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.moduleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(l.moduleRoot, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					paths = append(paths, l.modulePath)
+				} else {
+					paths = append(paths, l.modulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.importPath(path, "")
+}
+
+// ImportFrom implements types.ImporterFrom; srcDir lets go/build resolve
+// GOROOT-vendored import paths.
+func (l *Loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	return l.importPath(path, srcDir)
+}
+
+func (l *Loader) importPath(path, srcDir string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e, ok := l.pkgs[path]; ok {
+		return e.types, e.err
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, keep, err := l.resolve(path, srcDir)
+	var tpkg *types.Package
+	if err == nil {
+		tpkg, err = l.check(path, dir, keep)
+	}
+	l.pkgs[path] = &entry{types: tpkg, err: err}
+	return tpkg, err
+}
+
+// resolve maps an import path to a directory and reports whether the
+// package's syntax should be kept for analysis.
+func (l *Loader) resolve(path, srcDir string) (dir string, keep bool, err error) {
+	if l.overlay != "" {
+		d := filepath.Join(l.overlay, filepath.FromSlash(path))
+		if hasGoFiles(d) {
+			return d, true, nil
+		}
+	}
+	if l.modulePath != "" && (path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")) {
+		d := filepath.Join(l.moduleRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")))
+		if hasGoFiles(d) {
+			return d, true, nil
+		}
+		return "", false, fmt.Errorf("load: no Go files in module package %s", path)
+	}
+	bp, err := l.ctx.Import(path, srcDir, 0)
+	if err != nil {
+		return "", false, fmt.Errorf("load: resolve %s: %w", path, err)
+	}
+	return bp.Dir, false, nil
+}
+
+func (l *Loader) check(path, dir string, keep bool) (*types.Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: scan %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", l.ctx.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s: %w", path, err)
+	}
+	if keep {
+		l.loaded = append(l.loaded, &analysis.Package{
+			Path:  path,
+			Fset:  l.fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return tpkg, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("load: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mp := strings.TrimSpace(rest)
+			mp = strings.Trim(mp, `"`)
+			if mp != "" {
+				return mp, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("load: no module directive in %s", gomod)
+}

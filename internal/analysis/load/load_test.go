@@ -1,0 +1,96 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestLoadModulePackage(t *testing.T) {
+	l, err := New(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("repro/internal/wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types == nil || len(pkg.Files) == 0 {
+		t.Fatalf("package loaded without types or syntax: %+v", pkg)
+	}
+	if pkg.Types.Scope().Lookup("UnmarshalG1") == nil {
+		t.Error("wire.UnmarshalG1 not found in type information")
+	}
+	// The dependency repro/internal/curve must have been source-loaded too.
+	found := false
+	for _, p := range l.Loaded() {
+		if p.Path == "repro/internal/curve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dependency repro/internal/curve missing from Loaded()")
+	}
+}
+
+func TestModulePackagesListsTree(t *testing.T) {
+	l, err := New(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"repro":                  false,
+		"repro/internal/pairing": false,
+		"repro/cmd/cryptolint":   false,
+	}
+	for _, p := range paths {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, ok := range want {
+		if !ok {
+			t.Errorf("ModulePackages missing %s (got %v)", p, paths)
+		}
+	}
+}
+
+// TestLoadNetworkFacingClosure exercises the heaviest standard-library
+// closure the driver meets (net via internal/sem) to prove offline
+// source-based loading covers it.
+func TestLoadNetworkFacingClosure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full stdlib closure typecheck is slow")
+	}
+	l, err := New(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("repro/internal/sem"); err != nil {
+		t.Fatal(err)
+	}
+}

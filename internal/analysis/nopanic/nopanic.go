@@ -1,0 +1,169 @@
+// Package nopanic forbids panics reachable from the exported API of library
+// packages. A panic that attacker-controlled input can trigger is a denial
+// of service against the SEM: one malformed revocation request must never
+// take down the mediator serving every other user.
+//
+// The analyzer builds the intra-package static call graph (identifier and
+// selector calls resolved through the type checker; function literals are
+// attributed to their enclosing declaration), marks every exported function
+// and every exported method on an exported type as an entry point, and
+// reports each panic call site reachable from one. Dynamic calls through
+// interfaces and function values are not followed — the check is a
+// lower bound, which is the useful direction for a linter that must stay
+// free of false positives.
+//
+// main packages and everything under cmd/ are exempt: a command aborting on
+// startup misconfiguration is conventional. Test files never reach the
+// analyzer (the loader feeds it non-test sources only).
+package nopanic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nopanic checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panics reachable from the exported API of library packages",
+	Run:  run,
+}
+
+type funcInfo struct {
+	obj    *types.Func
+	panics []token.Pos
+	calls  map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Types.Name() == "main" || underCmd(pass.Pkg.Path) {
+		return nil
+	}
+
+	funcs := make(map[*types.Func]*funcInfo)
+	var order []*funcInfo
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{obj: obj, calls: make(map[*types.Func]bool)}
+			collect(pass, fd.Body, fi)
+			funcs[obj] = fi
+			order = append(order, fi)
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	for _, fi := range order {
+		if !entryPoint(fi.obj) {
+			continue
+		}
+		// Breadth-first walk of the call graph from this entry point.
+		seen := map[*types.Func]bool{fi.obj: true}
+		queue := []*types.Func{fi.obj}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			info := funcs[cur]
+			if info == nil {
+				continue
+			}
+			for _, pos := range info.panics {
+				if !reported[pos] {
+					reported[pos] = true
+					pass.Reportf(pos, "panic reachable from exported function %s", fi.obj.Name())
+				}
+			}
+			callees := make([]*types.Func, 0, len(info.calls))
+			for callee := range info.calls {
+				callees = append(callees, callee)
+			}
+			sort.Slice(callees, func(i, j int) bool { return callees[i].Pos() < callees[j].Pos() })
+			for _, callee := range callees {
+				if !seen[callee] {
+					seen[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collect records the panic sites and same-package callees of one function
+// body. Function literals are walked in place, attributing their panics and
+// calls to the enclosing declaration.
+func collect(pass *analysis.Pass, body *ast.BlockStmt, fi *funcInfo) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			switch obj := pass.Pkg.Info.Uses[fun].(type) {
+			case *types.Builtin:
+				if obj.Name() == "panic" {
+					fi.panics = append(fi.panics, call.Pos())
+				}
+			case *types.Func:
+				if samePackage(obj, pass) {
+					fi.calls[obj] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func); ok && samePackage(obj, pass) {
+				fi.calls[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+func samePackage(fn *types.Func, pass *analysis.Pass) bool {
+	return fn.Pkg() == pass.Pkg.Types
+}
+
+// entryPoint reports whether fn is part of the package's exported API: an
+// exported function, or an exported method on an exported type.
+func entryPoint(fn *types.Func) bool {
+	if !fn.Exported() {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return true
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Exported()
+	}
+	return false
+}
+
+func underCmd(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nopanic"
+)
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer,
+		"repro/internal/panicky",
+		"repro/cmd/panictool",
+	)
+}

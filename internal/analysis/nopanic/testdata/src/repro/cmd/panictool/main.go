@@ -1,0 +1,14 @@
+// Command panictool shows the cmd/ exemption: commands may panic on startup
+// misconfiguration.
+package main
+
+// Run aborts on bad configuration.
+func Run(configured bool) {
+	if !configured {
+		panic("panictool: not configured")
+	}
+}
+
+func main() {
+	Run(true)
+}

@@ -1,0 +1,57 @@
+// Package panicky exercises the nopanic positive cases.
+package panicky
+
+import "errors"
+
+// Decode panics directly on malformed input.
+func Decode(data []byte) []byte {
+	if len(data) == 0 {
+		panic("empty input") // want `panic reachable from exported function Decode`
+	}
+	return data
+}
+
+// Parse reaches a panic through an unexported helper.
+func Parse(data []byte) ([]byte, error) {
+	return helper(data), nil
+}
+
+func helper(data []byte) []byte {
+	if len(data) > 1<<20 {
+		panic("oversized input") // want `panic reachable from exported function Parse`
+	}
+	return data
+}
+
+// Codec is an exported type whose exported method panics two hops down.
+type Codec struct{ strict bool }
+
+// Check validates through a chain of unexported calls.
+func (c *Codec) Check(data []byte) error {
+	c.inner(data)
+	return nil
+}
+
+func (c *Codec) inner(data []byte) {
+	deep(data)
+}
+
+func deep(data []byte) {
+	if data == nil {
+		panic("nil input") // want `panic reachable from exported function Check`
+	}
+}
+
+// Validate shows the sanctioned pattern: errors, not panics.
+func Validate(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("empty input")
+	}
+	return nil
+}
+
+// unreachablePanic is never called from an exported function, so its panic
+// is not a finding.
+func unreachablePanic() {
+	panic("internal assertion")
+}

@@ -1,0 +1,91 @@
+// Package randsource forbids non-cryptographic randomness in the module's
+// internal crypto packages. Every nonce, blinding and key-share in the
+// Libert–Quisquater schemes must come from crypto/rand; importing math/rand
+// (or math/rand/v2, whose generators are trivially time-seeded) anywhere
+// under an internal/ tree is a finding, as is seeding anything from
+// time.Now.
+package randsource
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the randsource checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "randsource",
+	Doc:  "forbid math/rand and time-seeded randomness in internal crypto packages",
+	Run:  run,
+}
+
+var banned = map[string]string{
+	"math/rand":    "use crypto/rand",
+	"math/rand/v2": "use crypto/rand",
+}
+
+func run(pass *analysis.Pass) error {
+	if !guarded(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if hint, ok := banned[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s in crypto package %s; %s", path, pass.Pkg.Path, hint)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Seeding any generator from the clock defeats it even when the
+			// generator itself comes from an unbanned package.
+			if isSeedCall(call) && usesTimeNow(pass, call.Args) {
+				pass.Reportf(call.Pos(), "randomness seeded from time.Now in crypto package %s; use crypto/rand", pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guarded reports whether the package path falls under the rule: any package
+// inside an internal/ tree.
+func guarded(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+func isSeedCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Seed"
+}
+
+func usesTimeNow(pass *analysis.Pass, args []ast.Expr) bool {
+	found := false
+	for _, a := range args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Now" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,16 @@
+package randsource_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/randsource"
+)
+
+func TestRandSource(t *testing.T) {
+	analysistest.Run(t, "testdata", randsource.Analyzer,
+		"repro/internal/randbad",
+		"repro/internal/randgood",
+		"pub",
+	)
+}

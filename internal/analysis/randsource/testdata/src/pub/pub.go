@@ -1,0 +1,10 @@
+// Package pub is outside any internal/ tree, so math/rand is allowed
+// (simulation and benchmark helpers live in such packages).
+package pub
+
+import "math/rand"
+
+// Shuffle permutes indices for a load-balancing simulation.
+func Shuffle(n int) []int {
+	return rand.Perm(n)
+}

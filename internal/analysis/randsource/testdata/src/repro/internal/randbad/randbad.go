@@ -1,0 +1,19 @@
+// Package randbad exercises the randsource positive cases.
+package randbad
+
+import (
+	"math/rand" // want `import of math/rand in crypto package repro/internal/randbad`
+	"time"
+)
+
+type source struct{ r *rand.Rand }
+
+// Nonce draws from the banned generator.
+func Nonce() int64 {
+	return rand.Int63()
+}
+
+// Reseed seeds from the clock.
+func Reseed(s *rand.Rand) {
+	s.Seed(time.Now().UnixNano()) // want `randomness seeded from time.Now`
+}

@@ -1,0 +1,13 @@
+// Package randgood exercises the randsource negative cases: crypto/rand in
+// an internal package is fine.
+package randgood
+
+import (
+	"crypto/rand"
+	"math/big"
+)
+
+// Scalar draws a uniform scalar below max.
+func Scalar(max *big.Int) (*big.Int, error) {
+	return rand.Int(rand.Reader, max)
+}

@@ -1,0 +1,93 @@
+// Package secretcompare forbids variable-time comparisons of secret
+// material. Key halves, shares and tokens marked //cryptolint:secret must be
+// compared with crypto/subtle (ConstantTimeCompare and friends): ==,
+// bytes.Equal and reflect.DeepEqual all short-circuit on the first differing
+// byte, which turns a remote equality check into a timing oracle on d_user.
+package secretcompare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/secrets"
+)
+
+// Analyzer is the secretcompare checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "secretcompare",
+	Doc:  "require crypto/subtle for comparisons of //cryptolint:secret values",
+	Run:  run,
+}
+
+// variableTime lists non-constant-time comparison functions by defining
+// package path and name.
+var variableTime = map[[2]string]bool{
+	{"bytes", "Equal"}:       true,
+	{"reflect", "DeepEqual"}: true,
+}
+
+func run(pass *analysis.Pass) error {
+	set := secrets.Collect(pass.All)
+	if set.Names() == 0 {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				// Nil checks test presence, not key bytes; they carry no
+				// timing signal about the secret's value.
+				if isNil(info, x.X) || isNil(info, x.Y) {
+					return true
+				}
+				if set.SecretExpr(info, x.X) || set.SecretExpr(info, x.Y) {
+					pass.Reportf(x.OpPos, "secret-bearing value compared with %s; use crypto/subtle", x.Op)
+				}
+			case *ast.CallExpr:
+				fn, ok := calleeFunc(info, x)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if !variableTime[[2]string{fn.Pkg().Path(), fn.Name()}] {
+					return true
+				}
+				for _, arg := range x.Args {
+					if set.SecretExpr(info, arg) {
+						pass.Reportf(x.Pos(), "secret-bearing value passed to %s.%s; use crypto/subtle", fn.Pkg().Name(), fn.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, ok := info.Uses[fun].(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

@@ -1,0 +1,15 @@
+package secretcompare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/secretcompare"
+)
+
+func TestSecretCompare(t *testing.T) {
+	analysistest.Run(t, "testdata", secretcompare.Analyzer,
+		"repro/internal/cmpbad",
+		"repro/internal/cmpgood",
+	)
+}

@@ -1,0 +1,29 @@
+// Package cmpbad exercises the secretcompare positive cases.
+package cmpbad
+
+import (
+	"bytes"
+	"reflect"
+
+	"repro/internal/keys"
+)
+
+// SameKey compares secret exponent pointers with ==.
+func SameKey(a, b *keys.PrivateKey) bool {
+	return a.D == b.D // want `secret-bearing value compared with ==; use crypto/subtle`
+}
+
+// Changed compares with !=.
+func Changed(a, b *keys.PrivateKey) bool {
+	return a.D != b.D // want `secret-bearing value compared with !=; use crypto/subtle`
+}
+
+// MatchMaterial short-circuits over key bytes.
+func MatchMaterial(k *keys.PrivateKey, probe []byte) bool {
+	return bytes.Equal(k.Bytes, probe) // want `secret-bearing value passed to bytes.Equal; use crypto/subtle`
+}
+
+// DeepMatch reflects over the whole secret.
+func DeepMatch(a, b *keys.PrivateKey) bool {
+	return reflect.DeepEqual(a, b) // want `secret-bearing value passed to reflect.DeepEqual; use crypto/subtle`
+}

@@ -1,0 +1,25 @@
+// Package cmpgood exercises the secretcompare negative cases.
+package cmpgood
+
+import (
+	"crypto/subtle"
+
+	"repro/internal/keys"
+)
+
+// Owner compares metadata: basic-typed fields of a secret struct are not
+// secret.
+func Owner(k *keys.PrivateKey, id string) bool {
+	return k.ID == id
+}
+
+// MatchMaterial is the sanctioned constant-time comparison.
+func MatchMaterial(k *keys.PrivateKey, probe []byte) bool {
+	return subtle.ConstantTimeCompare(k.Material(), probe) == 1
+}
+
+// Loaded is a presence check: comparing a secret pointer against nil says
+// nothing about the key bytes.
+func Loaded(k *keys.PrivateKey) bool {
+	return k != nil && nil != k.D
+}

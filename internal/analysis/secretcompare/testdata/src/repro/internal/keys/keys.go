@@ -1,0 +1,17 @@
+// Package keys stubs an annotated key-holding type for fixture use.
+package keys
+
+import "math/big"
+
+//cryptolint:secret
+type PrivateKey struct {
+	ID    string // metadata
+	D     *big.Int
+	Bytes []byte
+}
+
+// Material exposes the raw key bytes.
+func (k *PrivateKey) Material() []byte { return k.Bytes }
+
+// String renders only metadata; basic-typed results are not secret.
+func (k *PrivateKey) String() string { return k.ID }

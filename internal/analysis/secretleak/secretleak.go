@@ -1,0 +1,68 @@
+// Package secretleak forbids secret material from flowing into formatting
+// and logging sinks. A //cryptolint:secret value passed to fmt, log or
+// log/slog ends up in process output, crash reports and aggregated log
+// pipelines — the exact channels the SEM threat model assumes an insider can
+// read. Log the metadata (IDs, indices), never the key material.
+package secretleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/secrets"
+)
+
+// Analyzer is the secretleak checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "secretleak",
+	Doc:  "forbid //cryptolint:secret values in fmt/log/error formatting",
+	Run:  run,
+}
+
+// sinkPkgs lists packages whose every function and method is a formatting
+// sink. Covers fmt.Errorf, so error construction is included.
+var sinkPkgs = map[string]bool{
+	"fmt":      true,
+	"log":      true,
+	"log/slog": true,
+}
+
+func run(pass *analysis.Pass) error {
+	set := secrets.Collect(pass.All)
+	if set.Names() == 0 {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeFunc(info, call)
+			if !ok || fn.Pkg() == nil || !sinkPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if set.SecretExpr(info, arg) {
+					pass.Reportf(arg.Pos(), "secret-bearing value passed to %s.%s; log metadata, not key material", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, ok := info.Uses[fun].(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}

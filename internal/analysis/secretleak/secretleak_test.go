@@ -1,0 +1,15 @@
+package secretleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/secretleak"
+)
+
+func TestSecretLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", secretleak.Analyzer,
+		"repro/internal/leakbad",
+		"repro/internal/leakgood",
+	)
+}

@@ -1,0 +1,24 @@
+// Package leakbad exercises the secretleak positive cases.
+package leakbad
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/keys"
+)
+
+// Dump prints the whole secret struct.
+func Dump(k *keys.PrivateKey) {
+	fmt.Printf("key: %v\n", k) // want `secret-bearing value passed to fmt.Printf`
+}
+
+// Trace logs the secret exponent.
+func Trace(k *keys.PrivateKey) {
+	log.Println("d =", k.D) // want `secret-bearing value passed to log.Println`
+}
+
+// Wrap folds key material into an error message.
+func Wrap(k *keys.PrivateKey) error {
+	return fmt.Errorf("rejected key %x", k.Material()) // want `secret-bearing value passed to fmt.Errorf`
+}

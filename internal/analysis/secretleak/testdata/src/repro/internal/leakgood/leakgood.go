@@ -1,0 +1,20 @@
+// Package leakgood exercises the secretleak negative cases: metadata may be
+// logged.
+package leakgood
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/keys"
+)
+
+// Announce logs basic-typed metadata fields.
+func Announce(k *keys.PrivateKey) {
+	log.Printf("serving key %s", k.ID)
+}
+
+// Describe formats through the metadata-only String method.
+func Describe(k *keys.PrivateKey) string {
+	return fmt.Sprintf("key[%s]", k.String())
+}

@@ -1,0 +1,141 @@
+// Package secrets resolves the //cryptolint:secret type annotation and
+// decides which expressions carry secret material. It is shared by the
+// secretcompare and secretleak analyzers.
+//
+// The annotation is written on a type declaration:
+//
+//	//cryptolint:secret
+//	type PrivateKey struct {
+//		ID string      // metadata, not secret
+//		D  *curve.Point // secret
+//	}
+//
+// A value whose type is an annotated named type (through any number of
+// pointers) is secret. Taint propagates structurally, not through data flow:
+//
+//   - selecting a field of a secret value yields a secret value, unless the
+//     field has basic type (int, string, bool, ...) — basic fields are
+//     treated as metadata (identifiers, indices, timestamps);
+//   - calling a method on a secret receiver yields a secret result, unless
+//     the result has basic type (String(), Len(), Equal() accessors);
+//   - indexing or slicing a secret slice yields a secret element.
+package secrets
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Marker is the annotation comment that declares a type secret-bearing.
+const Marker = "//cryptolint:secret"
+
+// Set holds the annotated type names of one analysis run.
+type Set struct {
+	names map[*types.TypeName]bool
+}
+
+// Collect scans every source-loaded package for Marker annotations on type
+// declarations and returns the resulting set.
+func Collect(all []*analysis.Package) *Set {
+	s := &Set{names: make(map[*types.TypeName]bool)}
+	for _, pkg := range all {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok.String() != "type" {
+					continue
+				}
+				declMarked := hasMarker(gd.Doc)
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !declMarked && !hasMarker(ts.Doc) && !hasMarker(ts.Comment) {
+						continue
+					}
+					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						s.names[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// Names reports how many annotated types the set holds.
+func (s *Set) Names() int { return len(s.names) }
+
+// SecretType reports whether t is (a pointer to) an annotated named type.
+func (s *Set) SecretType(t types.Type) bool {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if a, ok := t.(*types.Alias); ok {
+			return s.SecretType(types.Unalias(a))
+		}
+		return false
+	}
+	return s.names[named.Obj()]
+}
+
+// SecretExpr reports whether the expression e carries secret material under
+// the structural taint rules described in the package comment.
+func (s *Set) SecretExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && s.SecretType(tv.Type) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		// Field or method access on a secret value: basic-typed results are
+		// metadata, everything else stays secret.
+		if !s.SecretExpr(info, x.X) {
+			return false
+		}
+		return !isBasic(info.TypeOf(e))
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && s.SecretExpr(info, sel.X) {
+			return !isBasic(info.TypeOf(e))
+		}
+	case *ast.IndexExpr:
+		return s.SecretExpr(info, x.X)
+	case *ast.SliceExpr:
+		return s.SecretExpr(info, x.X)
+	case *ast.StarExpr:
+		return s.SecretExpr(info, x.X)
+	case *ast.UnaryExpr:
+		return s.SecretExpr(info, x.X)
+	}
+	return false
+}
+
+func isBasic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Basic)
+	return ok
+}

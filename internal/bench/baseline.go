@@ -47,7 +47,10 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 	if err != nil {
 		return nil, err
 	}
-	g := pp.Pair(P, Q)
+	g, err := pp.Pair(P, Q)
+	if err != nil {
+		return nil, err
+	}
 	gtTab, err := pairing.NewGTTable(g)
 	if err != nil {
 		return nil, err
@@ -74,12 +77,12 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 		name string
 		run  func() error
 	}{
-		{"pair", func() error { pp.Pair(P, Q); return nil }},
+		{"pair", func() error { _, err := pp.Pair(P, Q); return err }},
 		{"pair.full-miller", func() error { _, err := pp.PairFull(P, Q); return err }},
 		{"scalarmul.variable-wnaf", func() error { P.ScalarMul(k); return nil }},
 		{"scalarmul.fixed-base", func() error { pp.GeneratorMul(k); return nil }},
 		{"scalarmul.binary-ladder", func() error { P.ScalarMulBinary(k); return nil }},
-		{"gtexp.square-multiply", func() error { g.Exp(k); return nil }},
+		{"gtexp.square-multiply", func() error { _, err := g.Exp(k); return err }},
 		{"gtexp.fixed-base", func() error { gtTab.Exp(k); return nil }},
 		{"bf.encrypt", func() error { _, err := pub.Encrypt(rand.Reader, id, msg); return err }},
 		{"bf.decrypt", func() error { _, err := pub.Decrypt(key, ct); return err }},

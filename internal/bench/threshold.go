@@ -116,7 +116,9 @@ func thresholdCell(cfg ThresholdConfig, t, n int) (*ThresholdCell, error) {
 	}
 	plain := make([]*core.DecryptionShare, t)
 	for i := 0; i < t; i++ {
-		plain[i] = p.ComputeShare(keyShares[i], ct.U)
+		if plain[i], err = p.ComputeShare(keyShares[i], ct.U); err != nil {
+			return nil, err
+		}
 	}
 	if cell.CombineTime, err = timeIt(func() error {
 		_, err := p.CombineShares(plain)

@@ -59,7 +59,7 @@ func Throughput(w *World, cfg ThroughputConfig) (*Table, error) {
 			return err
 		}},
 		{"rsa-half-sign", func(c *sem.Client) error {
-			_, err := c.RSAHalfSign(w.ID, msg)
+			_, err := c.RSAHalfSign(w.RSAPub, w.ID, msg)
 			return err
 		}},
 	}

@@ -82,16 +82,18 @@ const maxCachedRecipients = 64
 
 // recipientPairing returns ê(P_pub, Q_ID)^r for the given identity, through
 // a cached fixed-base GT table when one is available.
-func (pub *PublicParams) recipientPairing(id string, qid *curve.Point, r *big.Int) *pairing.GT {
+func (pub *PublicParams) recipientPairing(id string, qid *curve.Point, r *big.Int) (*pairing.GT, error) {
 	pub.mu.Lock()
 	tab, ok := pub.gtCache[id]
 	pub.mu.Unlock()
 	if ok {
-		return tab.Exp(r)
+		return tab.Exp(r), nil
 	}
-	g := pub.Pairing.Pair(pub.PPub, qid)
-	tab, err := pairing.NewGTTable(g)
+	g, err := pub.Pairing.Pair(pub.PPub, qid)
 	if err != nil {
+		return nil, err
+	}
+	if tab, err = pairing.NewGTTable(g); err != nil {
 		// Degenerate pairing value (infinity inputs); exponentiate directly.
 		return g.Exp(r)
 	}
@@ -103,16 +105,20 @@ func (pub *PublicParams) recipientPairing(id string, qid *curve.Point, r *big.In
 		pub.gtCache[id] = tab
 	}
 	pub.mu.Unlock()
-	return tab.Exp(r)
+	return tab.Exp(r), nil
 }
 
 // PrivateKey is an extracted identity key d_ID = s·Q_ID.
+//
+//cryptolint:secret
 type PrivateKey struct {
 	ID string
 	D  *curve.Point
 }
 
 // PKG is the private key generator holding the master key s.
+//
+//cryptolint:secret
 type PKG struct {
 	pub    *PublicParams
 	master *big.Int
@@ -196,7 +202,10 @@ func (pub *PublicParams) EncryptBasic(rng io.Reader, id string, msg []byte) (*Ba
 		return nil, err
 	}
 	u := pub.Pairing.GeneratorMul(r)
-	g := pub.recipientPairing(id, qid, r)
+	g, err := pub.recipientPairing(id, qid, r)
+	if err != nil {
+		return nil, err
+	}
 	v := xorBytes(msg, MaskGT(g, pub.MsgLen))
 	return &BasicCiphertext{U: u, V: v}, nil
 }
@@ -207,7 +216,10 @@ func (pub *PublicParams) DecryptBasic(key *PrivateKey, c *BasicCiphertext) ([]by
 	if len(c.V) != pub.MsgLen {
 		return nil, fmt.Errorf("%w: ciphertext body %d bytes, want %d", ErrMessageLength, len(c.V), pub.MsgLen)
 	}
-	g := pub.Pairing.Pair(c.U, key.D)
+	g, err := pub.Pairing.Pair(c.U, key.D)
+	if err != nil {
+		return nil, err
+	}
 	return xorBytes(c.V, MaskGT(g, pub.MsgLen)), nil
 }
 
@@ -233,7 +245,10 @@ func (pub *PublicParams) Encrypt(rng io.Reader, id string, msg []byte) (*Ciphert
 	}
 	r := DeriveR(sigma, msg, pub.Pairing.Q())
 	u := pub.Pairing.GeneratorMul(r)
-	g := pub.recipientPairing(id, qid, r)
+	g, err := pub.recipientPairing(id, qid, r)
+	if err != nil {
+		return nil, err
+	}
 	v := xorBytes(sigma, MaskGT(g, pub.MsgLen))
 	w := xorBytes(msg, MaskSigma(sigma, pub.MsgLen))
 	return &Ciphertext{U: u, V: v, W: w}, nil
@@ -242,7 +257,10 @@ func (pub *PublicParams) Encrypt(rng io.Reader, id string, msg []byte) (*Ciphert
 // Decrypt recovers the plaintext with the identity's full private key,
 // performing the Fujisaki-Okamoto validity check.
 func (pub *PublicParams) Decrypt(key *PrivateKey, c *Ciphertext) ([]byte, error) {
-	g := pub.Pairing.Pair(c.U, key.D)
+	g, err := pub.Pairing.Pair(c.U, key.D)
+	if err != nil {
+		return nil, err
+	}
 	return pub.OpenWithPairingValue(g, c)
 }
 

@@ -174,8 +174,14 @@ func TestExtractConsistency(t *testing.T) {
 	pkg, pub := setup(t)
 	key, _ := pkg.Extract("dave@example.com")
 	qid, _ := HashIdentity(pub.Pairing, "dave@example.com")
-	lhs := pub.Pairing.Pair(pub.Pairing.Generator(), key.D)
-	rhs := pub.Pairing.Pair(pub.PPub, qid)
+	lhs, err := pub.Pairing.Pair(pub.Pairing.Generator(), key.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := pub.Pairing.Pair(pub.PPub, qid)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !lhs.Equal(rhs) {
 		t.Fatal("extracted key fails pairing consistency check")
 	}

@@ -40,6 +40,8 @@ type PublicKey struct {
 }
 
 // PrivateKey holds the signing scalar x.
+//
+//cryptolint:secret
 type PrivateKey struct {
 	Public *PublicKey
 	X      *big.Int
@@ -98,8 +100,14 @@ func (pk *PublicKey) Verify(msg []byte, sig *curve.Point) error {
 	if err != nil {
 		return err
 	}
-	lhs := pk.Pairing.Pair(pk.Pairing.Generator(), sig)
-	rhs := pk.Pairing.Pair(pk.R, h)
+	lhs, err := pk.Pairing.Pair(pk.Pairing.Generator(), sig)
+	if err != nil {
+		return err
+	}
+	rhs, err := pk.Pairing.Pair(pk.R, h)
+	if err != nil {
+		return err
+	}
 	if !lhs.Equal(rhs) {
 		return ErrInvalidSignature
 	}
@@ -181,8 +189,14 @@ func VerifyShare(pp *pairing.Params, vk *curve.Point, msg []byte, partial shamir
 	if err != nil {
 		return err
 	}
-	lhs := pp.Pair(pp.Generator(), partial.Value)
-	rhs := pp.Pair(vk, h)
+	lhs, err := pp.Pair(pp.Generator(), partial.Value)
+	if err != nil {
+		return err
+	}
+	rhs, err := pp.Pair(vk, h)
+	if err != nil {
+		return err
+	}
 	if !lhs.Equal(rhs) {
 		return fmt.Errorf("%w: player %d", ErrInvalidShare, partial.Index)
 	}

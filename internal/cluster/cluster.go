@@ -11,7 +11,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"math/big"
 	"net"
 	"sync"
 	"time"
@@ -325,27 +324,33 @@ func (r *Recombiner) fetchShare(addr, id string, c *bf.BasicCiphertext) (*core.D
 }
 
 func (r *Recombiner) decodeShare(resp *response) (*core.DecryptionShare, error) {
+	// Every component of the response comes from a possibly-misbehaving
+	// player: GT elements get the order-q membership check, the proof point
+	// the subgroup check, and the challenge the F_q range check, before any
+	// of them enters verification arithmetic.
 	pp := r.params.Public.Pairing
-	g, err := pp.GTFromBytes(resp.G)
+	g, err := wire.UnmarshalGT(pp, resp.G)
 	if err != nil {
 		return nil, fmt.Errorf("share value: %w", err)
 	}
 	if resp.Proof == nil {
 		return nil, errors.New("cluster: response missing proof")
 	}
-	w1, err := pp.GTFromBytes(resp.Proof.W1)
+	w1, err := wire.UnmarshalGT(pp, resp.Proof.W1)
 	if err != nil {
 		return nil, fmt.Errorf("proof w1: %w", err)
 	}
-	w2, err := pp.GTFromBytes(resp.Proof.W2)
+	w2, err := wire.UnmarshalGT(pp, resp.Proof.W2)
 	if err != nil {
 		return nil, fmt.Errorf("proof w2: %w", err)
 	}
-	// Proof points come from a possibly-misbehaving player; enforce the
-	// subgroup check before they enter verification arithmetic.
 	v, err := wire.UnmarshalG1(pp.Curve(), resp.Proof.V)
 	if err != nil {
 		return nil, fmt.Errorf("proof v: %w", err)
+	}
+	e, err := wire.UnmarshalScalar(resp.Proof.E, pp.Q())
+	if err != nil {
+		return nil, fmt.Errorf("proof e: %w", err)
 	}
 	return &core.DecryptionShare{
 		Index: resp.Index,
@@ -353,7 +358,7 @@ func (r *Recombiner) decodeShare(resp *response) (*core.DecryptionShare, error) 
 		Proof: &core.ShareProof{
 			W1: w1,
 			W2: w2,
-			E:  new(big.Int).SetBytes(resp.Proof.E),
+			E:  e,
 			V:  v,
 		},
 	}, nil

@@ -79,15 +79,15 @@ func TestThresholdIBEWithoutTrustedDealer(t *testing.T) {
 
 	// Share recovery also works on DKG material.
 	honest := []*DecryptionShare{
-		params.ComputeShare(keyShares[0], c.U),
-		params.ComputeShare(keyShares[1], c.U),
-		params.ComputeShare(keyShares[4], c.U),
+		mustShare(t, params, keyShares[0], c.U),
+		mustShare(t, params, keyShares[1], c.U),
+		mustShare(t, params, keyShares[4], c.U),
 	}
 	recovered, err := params.RecoverShare(honest, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	truth := params.ComputeShare(keyShares[3], c.U)
+	truth := mustShare(t, params, keyShares[3], c.U)
 	if !recovered.G.Equal(truth.G) {
 		t.Fatal("recovered share mismatch on DKG material")
 	}

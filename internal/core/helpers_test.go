@@ -1,0 +1,18 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/curve"
+)
+
+// mustShare computes a plain decryption share, failing the test on the
+// (never-expected) internal pairing error path.
+func mustShare(t testing.TB, p *ThresholdParams, ks *KeyShare, u *curve.Point) *DecryptionShare {
+	t.Helper()
+	s, err := p.ComputeShare(ks, u)
+	if err != nil {
+		t.Fatalf("ComputeShare: %v", err)
+	}
+	return s
+}

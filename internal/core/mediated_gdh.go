@@ -22,6 +22,8 @@ import (
 // releasing it. Verification is plain GDH: ê(P, S) = ê(R, h(M)).
 
 // GDHUserKey is the user's signing-scalar half.
+//
+//cryptolint:secret
 type GDHUserKey struct {
 	ID     string
 	X      *big.Int
@@ -29,6 +31,8 @@ type GDHUserKey struct {
 }
 
 // GDHSEMKey is the SEM's signing-scalar half.
+//
+//cryptolint:secret
 type GDHSEMKey struct {
 	ID string
 	X  *big.Int

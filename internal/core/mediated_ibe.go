@@ -33,12 +33,16 @@ import (
 var ErrTokenMismatch = errors.New("core: SEM token does not open this ciphertext")
 
 // UserKeyHalf is the user's piece d_ID,user of an identity key.
+//
+//cryptolint:secret
 type UserKeyHalf struct {
 	ID string
 	D  *curve.Point
 }
 
 // SEMKeyHalf is the mediator's piece d_ID,sem of an identity key.
+//
+//cryptolint:secret
 type SEMKeyHalf struct {
 	ID string
 	D  *curve.Point
@@ -119,14 +123,17 @@ func (s *IBESEM) Token(id string, u *curve.Point) (*pairing.GT, error) {
 	if u == nil || u.IsInfinity() || !u.InSubgroup() {
 		return nil, fmt.Errorf("core: ciphertext point U is not a valid G1 element")
 	}
-	return s.pub.Pairing.Pair(u, half.D), nil
+	return s.pub.Pairing.Pair(u, half.D)
 }
 
 // UserDecrypt completes decryption on the user side given the SEM token:
 // g = g_sem · ê(U, d_ID,user), then the FullIdent opening with its validity
 // check.
 func UserDecrypt(pub *bf.PublicParams, key *UserKeyHalf, c *bf.Ciphertext, token *pairing.GT) ([]byte, error) {
-	gUser := pub.Pairing.Pair(c.U, key.D)
+	gUser, err := pub.Pairing.Pair(c.U, key.D)
+	if err != nil {
+		return nil, err
+	}
 	g := token.Mul(gUser)
 	msg, err := pub.OpenWithPairingValue(g, c)
 	if err != nil {

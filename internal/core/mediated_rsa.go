@@ -5,6 +5,7 @@ import (
 	"math/big"
 
 	"repro/internal/mrsa"
+	"repro/internal/wire"
 )
 
 // RSASEM is the mediator side of mRSA / IB-mRSA — the paper's baseline —
@@ -36,6 +37,22 @@ func (s *RSASEM) HalfDecrypt(id string, c *big.Int) (*big.Int, error) {
 	}
 	if c.Sign() < 0 || c.Cmp(half.N) >= 0 {
 		return nil, fmt.Errorf("core: RSA ciphertext out of range")
+	}
+	return half.Op(c), nil
+}
+
+// HalfDecryptBytes is HalfDecrypt for a raw network payload: the ciphertext
+// is decoded through wire.UnmarshalScalar against the identity's modulus, so
+// out-of-range values are rejected before any arithmetic. The SEM daemon
+// must use this entry point rather than decoding the payload itself.
+func (s *RSASEM) HalfDecryptBytes(id string, payload []byte) (*big.Int, error) {
+	half, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	c, err := wire.UnmarshalScalar(payload, half.N)
+	if err != nil {
+		return nil, fmt.Errorf("core: RSA ciphertext: %w", err)
 	}
 	return half.Op(c), nil
 }

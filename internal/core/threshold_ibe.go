@@ -59,6 +59,8 @@ type ThresholdPKG struct {
 }
 
 // KeyShare is player i's share d_IDi = f(i)·Q_ID of an identity key.
+//
+//cryptolint:secret
 type KeyShare struct {
 	ID    string
 	Index int
@@ -185,8 +187,14 @@ func (p *ThresholdParams) VerifyKeyShare(share *KeyShare) error {
 	if err != nil {
 		return err
 	}
-	lhs := p.Public.Pairing.Pair(p.VerificationKeys[share.Index-1], qid)
-	rhs := p.Public.Pairing.Pair(p.Public.Pairing.Generator(), share.D)
+	lhs, err := p.Public.Pairing.Pair(p.VerificationKeys[share.Index-1], qid)
+	if err != nil {
+		return err
+	}
+	rhs, err := p.Public.Pairing.Pair(p.Public.Pairing.Generator(), share.D)
+	if err != nil {
+		return err
+	}
 	if !lhs.Equal(rhs) {
 		return fmt.Errorf("%w: player %d, identity %q", ErrShareVerification, share.Index, share.ID)
 	}
@@ -195,8 +203,12 @@ func (p *ThresholdParams) VerifyKeyShare(share *KeyShare) error {
 
 // ComputeShare produces player i's decryption share ê(U, d_IDi) for the
 // BasicIdent ciphertext component U, without a robustness proof.
-func (p *ThresholdParams) ComputeShare(share *KeyShare, u *curve.Point) *DecryptionShare {
-	return &DecryptionShare{Index: share.Index, G: p.Public.Pairing.Pair(u, share.D)}
+func (p *ThresholdParams) ComputeShare(share *KeyShare, u *curve.Point) (*DecryptionShare, error) {
+	g, err := p.Public.Pairing.Pair(u, share.D)
+	if err != nil {
+		return nil, err
+	}
+	return &DecryptionShare{Index: share.Index, G: g}, nil
 }
 
 // ShareProof is the non-interactive proof of Section 3.2 that a decryption
@@ -219,15 +231,27 @@ func (p *ThresholdParams) ComputeShareWithProof(rng io.Reader, share *KeyShare, 
 		return nil, fmt.Errorf("sample proof nonce: %w", err)
 	}
 	bigR := pp.GeneratorMul(r)
-	g := pp.Pair(u, share.D)
-	w1 := pp.Pair(pp.Generator(), bigR)
-	w2 := pp.Pair(u, bigR)
+	g, err := pp.Pair(u, share.D)
+	if err != nil {
+		return nil, err
+	}
+	w1, err := pp.Pair(pp.Generator(), bigR)
+	if err != nil {
+		return nil, err
+	}
+	w2, err := pp.Pair(u, bigR)
+	if err != nil {
+		return nil, err
+	}
 
 	qid, err := bf.HashIdentity(pp, share.ID)
 	if err != nil {
 		return nil, err
 	}
-	pubPair := pp.Pair(p.VerificationKeys[share.Index-1], qid)
+	pubPair, err := pp.Pair(p.VerificationKeys[share.Index-1], qid)
+	if err != nil {
+		return nil, err
+	}
 	e := proofChallenge(pp.Q(), g, pubPair, w1, w2)
 	v := bigR.Add(share.D.ScalarMul(e))
 	return &DecryptionShare{
@@ -256,19 +280,34 @@ func (p *ThresholdParams) VerifyShareProof(id string, u *curve.Point, ds *Decryp
 	if err != nil {
 		return err
 	}
-	pubPair := pp.Pair(p.VerificationKeys[ds.Index-1], qid)
+	pubPair, err := pp.Pair(p.VerificationKeys[ds.Index-1], qid)
+	if err != nil {
+		return err
+	}
 	e := proofChallenge(pp.Q(), ds.G, pubPair, ds.Proof.W1, ds.Proof.W2)
 	if e.Cmp(ds.Proof.E) != 0 {
 		return fmt.Errorf("%w: challenge mismatch (player %d)", ErrProofInvalid, ds.Index)
 	}
-	lhs1 := pp.Pair(pp.Generator(), ds.Proof.V)
-	rhs1 := ds.Proof.W1.Mul(pubPair.Exp(e))
-	if !lhs1.Equal(rhs1) {
+	lhs1, err := pp.Pair(pp.Generator(), ds.Proof.V)
+	if err != nil {
+		return err
+	}
+	pubPairE, err := pubPair.Exp(e)
+	if err != nil {
+		return err
+	}
+	if !lhs1.Equal(ds.Proof.W1.Mul(pubPairE)) {
 		return fmt.Errorf("%w: first equation (player %d)", ErrProofInvalid, ds.Index)
 	}
-	lhs2 := pp.Pair(u, ds.Proof.V)
-	rhs2 := ds.Proof.W2.Mul(ds.G.Exp(e))
-	if !lhs2.Equal(rhs2) {
+	lhs2, err := pp.Pair(u, ds.Proof.V)
+	if err != nil {
+		return err
+	}
+	shareE, err := ds.G.Exp(e)
+	if err != nil {
+		return err
+	}
+	if !lhs2.Equal(ds.Proof.W2.Mul(shareE)) {
 		return fmt.Errorf("%w: second equation (player %d)", ErrProofInvalid, ds.Index)
 	}
 	return nil
@@ -327,7 +366,11 @@ func (p *ThresholdParams) CombineShares(shares []*DecryptionShare) (*pairing.GT,
 		if err != nil {
 			return nil, fmt.Errorf("lagrange coefficient: %w", err)
 		}
-		g = g.Mul(s.G.Exp(li))
+		gi, err := s.G.Exp(li)
+		if err != nil {
+			return nil, err
+		}
+		g = g.Mul(gi)
 	}
 	return g, nil
 }
@@ -356,7 +399,11 @@ func (p *ThresholdParams) RecoverShare(shares []*DecryptionShare, j int) (*Decry
 		if err != nil {
 			return nil, fmt.Errorf("lagrange coefficient: %w", err)
 		}
-		g = g.Mul(s.G.Exp(li))
+		gi, err := s.G.Exp(li)
+		if err != nil {
+			return nil, err
+		}
+		g = g.Mul(gi)
 	}
 	return &DecryptionShare{Index: j, G: g}, nil
 }

@@ -75,7 +75,7 @@ func TestThresholdDecryption(t *testing.T) {
 	// Players 2, 4, 5 contribute.
 	var shares []*DecryptionShare
 	for _, i := range []int{2, 4, 5} {
-		shares = append(shares, p.ComputeShare(keyShares[i-1], c.U))
+		shares = append(shares, mustShare(t, p, keyShares[i-1], c.U))
 	}
 	got, err := p.Recombine(shares, c)
 	if err != nil {
@@ -97,8 +97,8 @@ func TestThresholdMatchesCentralizedDecryption(t *testing.T) {
 	c, _ := p.Public.EncryptBasic(rand.Reader, id, msg)
 
 	shares := []*DecryptionShare{
-		p.ComputeShare(keyShares[0], c.U),
-		p.ComputeShare(keyShares[2], c.U),
+		mustShare(t, p, keyShares[0], c.U),
+		mustShare(t, p, keyShares[2], c.U),
 	}
 	viaThreshold, err := p.Recombine(shares, c)
 	if err != nil {
@@ -117,8 +117,8 @@ func TestFewerThanTSharesFail(t *testing.T) {
 	msg := bytes.Repeat([]byte{1}, msgLen)
 	c, _ := p.Public.EncryptBasic(rand.Reader, id, msg)
 	shares := []*DecryptionShare{
-		p.ComputeShare(keyShares[0], c.U),
-		p.ComputeShare(keyShares[1], c.U),
+		mustShare(t, p, keyShares[0], c.U),
+		mustShare(t, p, keyShares[1], c.U),
 	}
 	if _, err := p.Recombine(shares, c); !errors.Is(err, ErrNotEnoughValidShares) {
 		t.Fatalf("t−1 shares recombined: %v", err)
@@ -255,15 +255,15 @@ func TestRecoverShare(t *testing.T) {
 	c, _ := p.Public.EncryptBasic(rand.Reader, id, msg)
 
 	honest := []*DecryptionShare{
-		p.ComputeShare(keyShares[0], c.U),
-		p.ComputeShare(keyShares[2], c.U),
-		p.ComputeShare(keyShares[3], c.U),
+		mustShare(t, p, keyShares[0], c.U),
+		mustShare(t, p, keyShares[2], c.U),
+		mustShare(t, p, keyShares[3], c.U),
 	}
 	recovered, err := p.RecoverShare(honest, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct := p.ComputeShare(keyShares[1], c.U)
+	direct := mustShare(t, p, keyShares[1], c.U)
 	if !recovered.G.Equal(direct.G) {
 		t.Fatal("recovered share differs from the player's true share")
 	}
@@ -285,9 +285,9 @@ func TestRecoverShareErrors(t *testing.T) {
 	msg := bytes.Repeat([]byte{1}, msgLen)
 	c, _ := p.Public.EncryptBasic(rand.Reader, id, msg)
 	shares := []*DecryptionShare{
-		p.ComputeShare(keyShares[0], c.U),
-		p.ComputeShare(keyShares[1], c.U),
-		p.ComputeShare(keyShares[2], c.U),
+		mustShare(t, p, keyShares[0], c.U),
+		mustShare(t, p, keyShares[1], c.U),
+		mustShare(t, p, keyShares[2], c.U),
 	}
 	if _, err := p.RecoverShare(shares[:2], 4); !errors.Is(err, ErrNotEnoughValidShares) {
 		t.Fatalf("recovery from t−1 shares: %v", err)
@@ -304,7 +304,7 @@ func TestDuplicateDecryptionShares(t *testing.T) {
 	keyShares := issueShares(t, pkg, id)
 	msg := bytes.Repeat([]byte{1}, msgLen)
 	c, _ := p.Public.EncryptBasic(rand.Reader, id, msg)
-	s := p.ComputeShare(keyShares[0], c.U)
+	s := mustShare(t, p, keyShares[0], c.U)
 	if _, err := p.Recombine([]*DecryptionShare{s, s}, c); err == nil {
 		t.Fatal("duplicate shares recombined")
 	}
@@ -331,7 +331,7 @@ func TestThresholdOneOfOne(t *testing.T) {
 	}
 	msg := bytes.Repeat([]byte{0xF0}, msgLen)
 	c, _ := p.Public.EncryptBasic(rand.Reader, id, msg)
-	got, err := p.Recombine([]*DecryptionShare{p.ComputeShare(ks, c.U)}, c)
+	got, err := p.Recombine([]*DecryptionShare{mustShare(t, p, ks, c.U)}, c)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,6 +47,8 @@ var (
 )
 
 // Participant is one player's DKG state.
+//
+//cryptolint:secret
 type Participant struct {
 	pp    *pairing.Params
 	index int

@@ -1,0 +1,39 @@
+package gf
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// FuzzElementSetBytes feeds arbitrary byte strings to the F_p² element
+// decoder. It must never panic, must reject out-of-range coordinates, and
+// every accepted element must re-serialize to exactly the input — the
+// encoding is fixed-width and canonical.
+func FuzzElementSetBytes(f *testing.F) {
+	p, ok := new(big.Int).SetString("c88410b59ac4fa20d9a0256b", 16)
+	if !ok {
+		f.Fatal("bad prime literal")
+	}
+	field, err := NewField(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	size := (p.BitLen() + 7) / 8
+
+	f.Add([]byte{})
+	f.Add(make([]byte, 2*size))
+	f.Add(field.One().Bytes())
+	f.Add(bytes.Repeat([]byte{0xff}, 2*size)) // both coordinates ≥ p
+	f.Add(make([]byte, 2*size+1))             // wrong length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := field.ElementFromBytes(data)
+		if err != nil {
+			return
+		}
+		if got := e.Bytes(); !bytes.Equal(got, data) {
+			t.Fatalf("accepted encoding %x re-serializes as %x", data, got)
+		}
+	})
+}

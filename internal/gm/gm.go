@@ -48,6 +48,8 @@ type PublicKey struct {
 
 // PrivateKey holds the residuosity-deciding exponent d = φ(n)/4 together
 // with φ(n) (needed for splitting).
+//
+//cryptolint:secret
 type PrivateKey struct {
 	Public *PublicKey
 	D      *big.Int
@@ -163,6 +165,8 @@ func (sk *PrivateKey) Decrypt(cs []*big.Int) ([]byte, error) {
 }
 
 // HalfKey is one additive half of the residuosity exponent.
+//
+//cryptolint:secret
 type HalfKey struct {
 	N    *big.Int
 	Half *big.Int

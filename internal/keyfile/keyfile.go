@@ -41,6 +41,8 @@ type System struct {
 }
 
 // SEMStore is the mediator's key material for all identities.
+//
+//cryptolint:secret
 type SEMStore struct {
 	// IBE maps identity → compressed d_ID,sem.
 	IBE map[string][]byte `json:"ibe,omitempty"`
@@ -51,6 +53,8 @@ type SEMStore struct {
 }
 
 // User is one user's private credential file.
+//
+//cryptolint:secret
 type User struct {
 	ID string `json:"id"`
 	// IBEHalf is the compressed d_ID,user.

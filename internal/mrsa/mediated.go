@@ -26,6 +26,8 @@ import (
 var ErrIdentityExponent = errors.New("mrsa: identity exponent not invertible mod φ(n)")
 
 // HalfKey is one half of a split private exponent, bound to the modulus.
+//
+//cryptolint:secret
 type HalfKey struct {
 	N    *big.Int
 	Half *big.Int
@@ -128,6 +130,8 @@ func FinishSignature(pub *PublicKey, msg []byte, userHalf, semHalf *big.Int) ([]
 // Unlike plain mRSA, *all* users share n — which is exactly why the paper
 // stresses that a single reassembled (e, d) pair destroys the whole system
 // (see FactorFromED).
+//
+//cryptolint:secret
 type IBPKG struct {
 	n   *big.Int
 	phi *big.Int

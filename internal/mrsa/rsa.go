@@ -49,6 +49,8 @@ type PublicKey struct {
 
 // KeyPair is a full RSA key with its factorization retained (the PKG and
 // the attack demonstrations need φ(n)).
+//
+//cryptolint:secret
 type KeyPair struct {
 	Public *PublicKey
 	D      *big.Int

@@ -19,10 +19,23 @@ func ExampleParams_Pair() {
 	a := big.NewInt(6)
 	b := big.NewInt(7)
 
-	lhs := pp.Pair(P.ScalarMul(a), P.ScalarMul(b))
-	rhs := pp.Pair(P, P).Exp(big.NewInt(42))
+	lhs, err := pp.Pair(P.ScalarMul(a), P.ScalarMul(b))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	base, err := pp.Pair(P, P)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rhs, err := base.Exp(big.NewInt(42))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
 	fmt.Println("bilinear:", lhs.Equal(rhs))
-	fmt.Println("non-degenerate:", !pp.Pair(P, P).IsOne())
+	fmt.Println("non-degenerate:", !base.IsOne())
 	// Output:
 	// bilinear: true
 	// non-degenerate: true

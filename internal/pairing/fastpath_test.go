@@ -29,7 +29,7 @@ func TestPairDifferentialRandom(t *testing.T) {
 			}
 			Qpt = h
 		}
-		fast := pp.Pair(P, Qpt)
+		fast := mustPair(t, pp, P, Qpt)
 		full, err := pp.PairFull(P, Qpt)
 		if err != nil {
 			t.Fatal(err)
@@ -77,7 +77,7 @@ func TestSlopeDegenerateErrors(t *testing.T) {
 // exponents, asserting bit-identical serialization.
 func TestGTTableDifferential(t *testing.T) {
 	pp := toyParams(t)
-	g := pp.Pair(pp.Generator(), pp.Generator())
+	g := mustPair(t, pp, pp.Generator(), pp.Generator())
 	tab, err := NewGTTable(g)
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestGTTableDifferential(t *testing.T) {
 	check := func(k *big.Int, label string) {
 		t.Helper()
 		fast := tab.Exp(k)
-		slow := g.Exp(k)
+		slow := mustExp(t, g, k)
 		if string(fast.Bytes()) != string(slow.Bytes()) {
 			t.Fatalf("%s: table exponentiation differs for k=%v", label, k)
 		}

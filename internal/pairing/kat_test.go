@@ -26,7 +26,7 @@ func TestPairingKnownAnswers(t *testing.T) {
 			t.Fatal(err)
 		}
 		P := pp.Generator()
-		g := pp.Pair(P.ScalarMul(a), P.ScalarMul(b))
+		g := mustPair(t, pp, P.ScalarMul(a), P.ScalarMul(b))
 		got := fmt.Sprintf("%x", sha256.Sum256(g.Bytes()))
 		if got != want {
 			t.Errorf("%s: pairing KAT mismatch\n got %s\nwant %s", name, got, want)

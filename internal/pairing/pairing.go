@@ -192,15 +192,18 @@ func (g *GT) Inverse() (*GT, error) {
 	return &GT{v: inv, q: g.q}, nil
 }
 
-// Exp returns g^k with k reduced modulo the group order (negative k allowed).
-func (g *GT) Exp(k *big.Int) *GT {
+// Exp returns g^k with k reduced modulo the group order (negative k
+// allowed). The exponent is non-negative after the reduction, so the
+// underlying field exponentiation can only fail on a corrupted receiver;
+// that condition is surfaced as an error rather than a panic so no request
+// path can crash the process.
+func (g *GT) Exp(k *big.Int) (*GT, error) {
 	e := new(big.Int).Mod(k, g.q)
 	out := new(gf.Element)
 	if _, err := out.Exp(g.v, e); err != nil {
-		// Exponent is non-negative after Mod; Exp cannot fail.
-		panic("pairing: internal exponentiation failure: " + err.Error())
+		return nil, fmt.Errorf("pairing: GT exponentiation: %w", err)
 	}
-	return &GT{v: out, q: g.q}
+	return &GT{v: out, q: g.q}, nil
 }
 
 // Bytes returns the canonical fixed-width serialization of g.
@@ -231,12 +234,18 @@ func (pp *Params) InGT(g *GT) bool {
 
 // Pair computes the modified Tate pairing ê(P, Q) with denominator
 // elimination and an inversion-free Miller loop. ê(P, O) = ê(O, Q) = 1.
-func (pp *Params) Pair(p1, q1 *curve.Point) *GT {
+// An error indicates corrupted inputs (the internal exponentiations cannot
+// fail for points produced by this package).
+func (pp *Params) Pair(p1, q1 *curve.Point) (*GT, error) {
 	if p1.IsInfinity() || q1.IsInfinity() {
-		return pp.One()
+		return pp.One(), nil
 	}
 	f := pp.millerJacobian(p1, q1)
-	return &GT{v: pp.finalExp(f), q: pp.curve.Q()}
+	v, err := pp.finalExp(f)
+	if err != nil {
+		return nil, err
+	}
+	return &GT{v: v, q: pp.curve.Q()}, nil
 }
 
 // PairFull computes the same pairing along the affine Miller loop without
@@ -252,7 +261,11 @@ func (pp *Params) PairFull(p1, q1 *curve.Point) (*GT, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &GT{v: pp.finalExp(f), q: pp.curve.Q()}, nil
+	v, err := pp.finalExp(f)
+	if err != nil {
+		return nil, err
+	}
+	return &GT{v: v, q: pp.curve.Q()}, nil
 }
 
 // millerJacobian evaluates f_{q,P}(φ(Q)) with the running point V kept in
@@ -598,20 +611,22 @@ func chordSlope(v, w *curve.Point, p *big.Int) (*big.Int, error) {
 	return num, nil
 }
 
-// finalExp raises f to (p²−1)/q = (p−1)·(p+1)/q.
-func (pp *Params) finalExp(f *gf.Element) *gf.Element {
+// finalExp raises f to (p²−1)/q = (p−1)·(p+1)/q. The exponent pp.expTail is
+// fixed at parameter construction, so a failure can only mean a corrupted
+// Miller value; it is returned as an error rather than panicking.
+func (pp *Params) finalExp(f *gf.Element) (*gf.Element, error) {
 	// f^(p−1) = conj(f) · f⁻¹
 	inv, err := new(gf.Element).Inverse(f)
 	if err != nil {
 		// A zero Miller value cannot occur for valid inputs (line functions
 		// vanish only on the points themselves).
-		return pp.field.One()
+		return pp.field.One(), nil
 	}
 	g := new(gf.Element).Conjugate(f)
 	g.Mul(g, inv)
 	out := new(gf.Element)
 	if _, err := out.Exp(g, pp.expTail); err != nil {
-		panic("pairing: internal exponentiation failure: " + err.Error())
+		return nil, fmt.Errorf("pairing: final exponentiation: %w", err)
 	}
-	return out
+	return out, nil
 }

@@ -51,7 +51,7 @@ func TestFixedSetSizes(t *testing.T) {
 func TestPairingNonDegenerate(t *testing.T) {
 	pp := toyParams(t)
 	P := pp.Generator()
-	g := pp.Pair(P, P)
+	g := mustPair(t, pp, P, P)
 	if g.IsOne() {
 		t.Fatal("ê(P, P) = 1: pairing degenerate")
 	}
@@ -64,10 +64,10 @@ func TestPairingWithInfinity(t *testing.T) {
 	pp := toyParams(t)
 	P := pp.Generator()
 	O := pp.Curve().Infinity()
-	if !pp.Pair(P, O).IsOne() {
+	if !mustPair(t, pp, P, O).IsOne() {
 		t.Error("ê(P, O) ≠ 1")
 	}
-	if !pp.Pair(O, P).IsOne() {
+	if !mustPair(t, pp, O, P).IsOne() {
 		t.Error("ê(O, P) ≠ 1")
 	}
 }
@@ -79,14 +79,14 @@ func TestBilinearity(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		a, _ := rand.Int(rand.Reader, q)
 		b, _ := rand.Int(rand.Reader, q)
-		lhs := pp.Pair(P.ScalarMul(a), P.ScalarMul(b))
-		rhs := pp.Pair(P, P).Exp(new(big.Int).Mul(a, b))
+		lhs := mustPair(t, pp, P.ScalarMul(a), P.ScalarMul(b))
+		rhs := mustExp(t, mustPair(t, pp, P, P), new(big.Int).Mul(a, b))
 		if !lhs.Equal(rhs) {
 			t.Fatalf("ê(aP, bP) ≠ ê(P,P)^(ab) for a=%v b=%v", a, b)
 		}
 		// one-sided linearity
-		l2 := pp.Pair(P.ScalarMul(a), P)
-		r2 := pp.Pair(P, P.ScalarMul(a))
+		l2 := mustPair(t, pp, P.ScalarMul(a), P)
+		r2 := mustPair(t, pp, P, P.ScalarMul(a))
 		if !l2.Equal(r2) {
 			t.Fatalf("ê(aP, P) ≠ ê(P, aP) for a=%v", a)
 		}
@@ -105,13 +105,13 @@ func TestPairingOfSum(t *testing.T) {
 		P := gen.ScalarMul(a)
 		Q := gen.ScalarMul(b)
 		R := gen.ScalarMul(c)
-		lhs := pp.Pair(P.Add(Q), R)
-		rhs := pp.Pair(P, R).Mul(pp.Pair(Q, R))
+		lhs := mustPair(t, pp, P.Add(Q), R)
+		rhs := mustPair(t, pp, P, R).Mul(mustPair(t, pp, Q, R))
 		if !lhs.Equal(rhs) {
 			t.Fatalf("additivity in first slot fails (iter %d)", i)
 		}
-		lhs2 := pp.Pair(R, P.Add(Q))
-		rhs2 := pp.Pair(R, P).Mul(pp.Pair(R, Q))
+		lhs2 := mustPair(t, pp, R, P.Add(Q))
+		rhs2 := mustPair(t, pp, R, P).Mul(mustPair(t, pp, R, Q))
 		if !lhs2.Equal(rhs2) {
 			t.Fatalf("additivity in second slot fails (iter %d)", i)
 		}
@@ -127,7 +127,7 @@ func TestDenominatorEliminationAgreesWithFullMiller(t *testing.T) {
 		b, _ := rand.Int(rand.Reader, q)
 		P := gen.ScalarMul(a)
 		Q := gen.ScalarMul(b)
-		fast := pp.Pair(P, Q)
+		fast := mustPair(t, pp, P, Q)
 		full, err := pp.PairFull(P, Q)
 		if err != nil {
 			t.Fatal(err)
@@ -148,9 +148,9 @@ func TestPairingHashToPointCompatible(t *testing.T) {
 	s, _ := rand.Int(rand.Reader, pp.Q())
 	P := pp.Generator()
 	// ê(sP, Q) == ê(P, sQ) == ê(P, Q)^s
-	l := pp.Pair(P.ScalarMul(s), Q)
-	m := pp.Pair(P, Q.ScalarMul(s))
-	r := pp.Pair(P, Q).Exp(s)
+	l := mustPair(t, pp, P.ScalarMul(s), Q)
+	m := mustPair(t, pp, P, Q.ScalarMul(s))
+	r := mustExp(t, mustPair(t, pp, P, Q), s)
 	if !l.Equal(m) || !l.Equal(r) {
 		t.Fatal("pairing incompatibility with hashed points")
 	}
@@ -158,7 +158,7 @@ func TestPairingHashToPointCompatible(t *testing.T) {
 
 func TestGTGroupOps(t *testing.T) {
 	pp := toyParams(t)
-	g := pp.Pair(pp.Generator(), pp.Generator())
+	g := mustPair(t, pp, pp.Generator(), pp.Generator())
 
 	inv, err := g.Inverse()
 	if err != nil {
@@ -167,18 +167,18 @@ func TestGTGroupOps(t *testing.T) {
 	if !g.Mul(inv).IsOne() {
 		t.Error("g · g⁻¹ ≠ 1")
 	}
-	if !g.Exp(big.NewInt(0)).IsOne() {
+	if !mustExp(t, g, big.NewInt(0)).IsOne() {
 		t.Error("g⁰ ≠ 1")
 	}
-	if !g.Exp(big.NewInt(1)).Equal(g) {
+	if !mustExp(t, g, big.NewInt(1)).Equal(g) {
 		t.Error("g¹ ≠ g")
 	}
 	// negative exponent = inverse
-	if !g.Exp(big.NewInt(-1)).Equal(inv) {
+	if !mustExp(t, g, big.NewInt(-1)).Equal(inv) {
 		t.Error("g⁻¹ via Exp mismatch")
 	}
 	// Exp reduces its exponent mod q, so g^q = g^0 = 1 by construction.
-	if !g.Exp(pp.Q()).IsOne() {
+	if !mustExp(t, g, pp.Q()).IsOne() {
 		t.Error("g^q ≠ 1 (exponent reduction broken)")
 	}
 	if !pp.InGT(g) {
@@ -188,7 +188,7 @@ func TestGTGroupOps(t *testing.T) {
 
 func TestGTBytesRoundTrip(t *testing.T) {
 	pp := toyParams(t)
-	g := pp.Pair(pp.Generator(), pp.Generator())
+	g := mustPair(t, pp, pp.Generator(), pp.Generator())
 	data := g.Bytes()
 	h, err := pp.GTFromBytes(data)
 	if err != nil {
@@ -227,12 +227,12 @@ func TestGenerateSmallParams(t *testing.T) {
 	P := pp.Generator()
 	a := big.NewInt(7)
 	b := big.NewInt(11)
-	lhs := pp.Pair(P.ScalarMul(a), P.ScalarMul(b))
-	rhs := pp.Pair(P, P).Exp(big.NewInt(77))
+	lhs := mustPair(t, pp, P.ScalarMul(a), P.ScalarMul(b))
+	rhs := mustExp(t, mustPair(t, pp, P, P), big.NewInt(77))
 	if !lhs.Equal(rhs) {
 		t.Fatal("generated params fail bilinearity")
 	}
-	if pp.Pair(P, P).IsOne() {
+	if mustPair(t, pp, P, P).IsOne() {
 		t.Fatal("generated params degenerate")
 	}
 }
@@ -246,14 +246,14 @@ func TestGenerateRejectsTinyCofactor(t *testing.T) {
 func TestQuickBilinearity(t *testing.T) {
 	pp := toyParams(t)
 	P := pp.Generator()
-	base := pp.Pair(P, P)
+	base := mustPair(t, pp, P, P)
 	q64 := pp.Q().Int64() // toy q fits in 32 bits
 	cfg := &quick.Config{MaxCount: 15}
 	property := func(a, b uint32) bool {
 		ai := big.NewInt(int64(a) % q64)
 		bi := big.NewInt(int64(b) % q64)
-		lhs := pp.Pair(P.ScalarMul(ai), P.ScalarMul(bi))
-		rhs := base.Exp(new(big.Int).Mul(ai, bi))
+		lhs := mustPair(t, pp, P.ScalarMul(ai), P.ScalarMul(bi))
+		rhs := mustExp(t, base, new(big.Int).Mul(ai, bi))
 		return lhs.Equal(rhs)
 	}
 	if err := quick.Check(property, cfg); err != nil {

@@ -68,6 +68,8 @@ type PublicKey struct {
 }
 
 // PrivateKey holds the square-root exponent d = (φ(n)+4)/8 and φ(n).
+//
+//cryptolint:secret
 type PrivateKey struct {
 	Public *PublicKey
 	D      *big.Int
@@ -247,6 +249,8 @@ func (pk *PublicKey) FinishDecrypt(c, s *big.Int, msgLen int) ([]byte, error) {
 }
 
 // HalfKey is one additive half of the square-root exponent.
+//
+//cryptolint:secret
 type HalfKey struct {
 	N    *big.Int
 	Half *big.Int

@@ -146,7 +146,10 @@ func (c *Client) IBEToken(id string, u *curve.Point) (*pairing.GT, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.pairing.GTFromBytes(resp.Payload)
+	// The token comes from the SEM, which the threat model treats as
+	// honest-but-curious at best: enforce order-q membership before the
+	// value enters the user's decryption arithmetic.
+	return wire.UnmarshalGT(c.pairing, resp.Payload)
 }
 
 // DecryptIBE runs the user side of the full mediated-IBE decryption
@@ -188,13 +191,14 @@ func (c *Client) SignGDH(key *core.GDHUserKey, msg []byte) (*curve.Point, error)
 	return core.UserSign(key, msg, semHalf)
 }
 
-// RSAHalfDecrypt requests m_sem = c^{d_sem} mod n.
-func (c *Client) RSAHalfDecrypt(id string, ciphertext *big.Int) (*big.Int, error) {
+// RSAHalfDecrypt requests m_sem = c^{d_sem} mod n. The public key carries
+// the modulus the SEM's response is range-checked against.
+func (c *Client) RSAHalfDecrypt(pub *mrsa.PublicKey, id string, ciphertext *big.Int) (*big.Int, error) {
 	resp, err := c.roundTrip(&Request{Op: OpRSADecrypt, ID: id, Payload: ciphertext.Bytes()})
 	if err != nil {
 		return nil, err
 	}
-	return new(big.Int).SetBytes(resp.Payload), nil
+	return wire.UnmarshalScalar(resp.Payload, pub.N)
 }
 
 // DecryptRSA runs the user side of the mediated-RSA decryption protocol
@@ -203,11 +207,11 @@ func (c *Client) DecryptRSA(pub *mrsa.PublicKey, id string, userHalf *mrsa.HalfK
 	if len(ciphertext) != pub.ModulusBytes() {
 		return nil, mrsa.ErrDecrypt
 	}
-	ci := new(big.Int).SetBytes(ciphertext)
-	if ci.Cmp(pub.N) >= 0 {
+	ci, err := wire.UnmarshalScalar(ciphertext, pub.N)
+	if err != nil {
 		return nil, mrsa.ErrDecrypt
 	}
-	semHalf, err := c.RSAHalfDecrypt(id, ci)
+	semHalf, err := c.RSAHalfDecrypt(pub, id, ci)
 	if err != nil {
 		return nil, err
 	}
@@ -215,19 +219,20 @@ func (c *Client) DecryptRSA(pub *mrsa.PublicKey, id string, userHalf *mrsa.HalfK
 	return mrsa.FinishDecrypt(pub, combined)
 }
 
-// RSAHalfSign requests EMSA(msg)^{d_sem} mod n.
-func (c *Client) RSAHalfSign(id string, msg []byte) (*big.Int, error) {
+// RSAHalfSign requests EMSA(msg)^{d_sem} mod n. The public key carries the
+// modulus the SEM's response is range-checked against.
+func (c *Client) RSAHalfSign(pub *mrsa.PublicKey, id string, msg []byte) (*big.Int, error) {
 	resp, err := c.roundTrip(&Request{Op: OpRSASign, ID: id, Payload: bytes.Clone(msg)})
 	if err != nil {
 		return nil, err
 	}
-	return new(big.Int).SetBytes(resp.Payload), nil
+	return wire.UnmarshalScalar(resp.Payload, pub.N)
 }
 
 // SignRSA runs the user side of the mediated-RSA signing protocol over the
 // network.
 func (c *Client) SignRSA(pub *mrsa.PublicKey, userHalf *mrsa.HalfKey, id string, msg []byte) ([]byte, error) {
-	semHalf, err := c.RSAHalfSign(id, msg)
+	semHalf, err := c.RSAHalfSign(pub, id, msg)
 	if err != nil {
 		return nil, err
 	}

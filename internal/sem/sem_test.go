@@ -217,7 +217,7 @@ func TestRevocationOverTheWire(t *testing.T) {
 	if _, err := f.client.SignGDH(f.gdhUser, msg); !errors.Is(err, core.ErrRevoked) {
 		t.Errorf("GDH after revoke: %v", err)
 	}
-	if _, err := f.client.RSAHalfSign(testID, msg); !errors.Is(err, core.ErrRevoked) {
+	if _, err := f.client.RSAHalfSign(f.rsaPub, testID, msg); !errors.Is(err, core.ErrRevoked) {
 		t.Errorf("RSA after revoke: %v", err)
 	}
 	// Unrevoke restores everything.
@@ -350,7 +350,11 @@ func TestUnsupportedBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.RSAHalfSign("x", []byte("m")); err == nil {
+	ibpkg, err := mrsa.FixedTestPKG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.RSAHalfSign(ibpkg.IdentityPublicKey("x"), "x", []byte("m")); err == nil {
 		t.Fatal("unsupported backend served a request")
 	}
 }

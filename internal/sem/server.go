@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/big"
 	"net"
 	"sync"
 
@@ -241,8 +240,7 @@ func (s *Server) rsaDecrypt(req *Request) *Response {
 	if s.cfg.RSA == nil {
 		return &Response{OK: false, Code: CodeUnsupported, Error: "RSA backend not configured"}
 	}
-	c := new(big.Int).SetBytes(req.Payload)
-	half, err := s.cfg.RSA.HalfDecrypt(req.ID, c)
+	half, err := s.cfg.RSA.HalfDecryptBytes(req.ID, req.Payload)
 	if err != nil {
 		return coreError(err)
 	}

@@ -33,6 +33,8 @@ var (
 
 // Share is one evaluation point (x = Index, y = Value) of the sharing
 // polynomial.
+//
+//cryptolint:secret
 type Share struct {
 	Index int      // player index, 1-based
 	Value *big.Int // f(Index) mod q
@@ -40,6 +42,8 @@ type Share struct {
 
 // Polynomial is a sharing polynomial over F_q. The constant term is the
 // shared secret. It is kept by the dealer only.
+//
+//cryptolint:secret
 type Polynomial struct {
 	q      *big.Int
 	coeffs []*big.Int // coeffs[0] = secret

@@ -1,0 +1,47 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pairing"
+	"repro/internal/wire"
+)
+
+// FuzzUnmarshalG1 throws arbitrary byte strings at the validated G1 decoder.
+// It must never panic, and every accepted point must round-trip through the
+// canonical compressed encoding — so an attacker cannot smuggle in a second
+// encoding of the same point past equality checks keyed on the wire bytes.
+func FuzzUnmarshalG1(f *testing.F) {
+	pp, err := pairing.Toy()
+	if err != nil {
+		f.Fatal(err)
+	}
+	c := pp.Curve()
+
+	f.Add([]byte{})
+	f.Add(pp.Generator().Marshal())
+	f.Add(make([]byte, 1+c.CoordinateSize())) // canonical infinity
+	bad := pp.Generator().Marshal()
+	bad[0] ^= 1 // flip the parity tag
+	f.Add(bad)
+	f.Add(bytes.Repeat([]byte{0xff}, 1+c.CoordinateSize()))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt, err := wire.UnmarshalG1(c, data)
+		if err != nil {
+			return
+		}
+		enc := pt.Marshal()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted non-canonical encoding %x (canonical %x)", data, enc)
+		}
+		again, err := wire.UnmarshalG1(c, enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted point failed: %v", err)
+		}
+		if !again.Equal(pt) {
+			t.Fatalf("round-trip changed the point")
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"math/big"
 
 	"repro/internal/curve"
+	"repro/internal/pairing"
 )
 
 // MaxFrame bounds a single protocol frame.
@@ -83,6 +84,47 @@ func UnmarshalG1(c *curve.Curve, data []byte) (*curve.Point, error) {
 		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
 	}
 	return pt, nil
+}
+
+// UnmarshalScalar decodes a big-endian scalar received from an untrusted
+// peer and range-checks it against max: the result lies in [0, max). A raw
+// big.Int.SetBytes accepts arbitrarily large values, which downstream code
+// would silently reduce (or worse, use unreduced in comparisons and
+// branchings), so every peer-supplied exponent, challenge or RSA residue
+// must decode through this with the appropriate modulus.
+func UnmarshalScalar(data []byte, max *big.Int) (*big.Int, error) {
+	if max == nil || max.Sign() <= 0 {
+		return nil, fmt.Errorf("%w: scalar bound must be positive", ErrProtocol)
+	}
+	// Oversized buffers are rejected before decoding: a minimal or
+	// fixed-width encoding of any value below max never exceeds the bound's
+	// own width, and this caps the bigint allocation at the modulus size.
+	if maxLen := (max.BitLen() + 7) / 8; len(data) > maxLen {
+		return nil, fmt.Errorf("%w: scalar encoding %d bytes exceeds bound width %d", ErrProtocol, len(data), maxLen)
+	}
+	x := new(big.Int).SetBytes(data)
+	if x.Cmp(max) >= 0 {
+		return nil, fmt.Errorf("%w: scalar out of range (%d bits, bound %d bits)", ErrProtocol, x.BitLen(), max.BitLen())
+	}
+	return x, nil
+}
+
+// UnmarshalGT decodes a GT element received from an untrusted peer and
+// checks order-q subgroup membership. GTFromBytes alone only verifies the
+// coordinates are canonical field elements — the multiplicative group of
+// F_p² has order p²−1 = c·q with a large cofactor, so an unchecked element
+// lets a malicious SEM or cluster node smuggle low-order components into
+// decryption tokens (the GT analogue of the small-subgroup attacks that
+// UnmarshalG1 blocks on the curve side).
+func UnmarshalGT(pp *pairing.Params, data []byte) (*pairing.GT, error) {
+	g, err := pp.GTFromBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if !pp.InGT(g) {
+		return nil, fmt.Errorf("%w: element outside the order-q subgroup of GT", ErrProtocol)
+	}
+	return g, nil
 }
 
 // PackInts serializes a vector of non-negative integers as 2-byte-length-
