@@ -6,9 +6,12 @@
 //	benchtab -exp all            # everything at paper parameters
 //	benchtab -exp t3 -quick      # one experiment, reduced iterations
 //	benchtab -exp f1             # revocation sweep (simulated clock)
+//	benchtab -baseline B.json    # snapshot primitive-op timings
+//	benchtab -check B.json       # re-measure and fail on >15% regression
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,10 +33,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: t1,t2,t3,t4,f1,f2,f3,ext or all (comma-separated)")
-		params   = fs.String("params", "paper", "pairing parameter set: toy, fast or paper")
-		quick    = fs.Bool("quick", false, "reduced iterations/sweeps for a fast pass")
-		baseline = fs.String("baseline", "", "write a primitive-op baseline snapshot (JSON) to this file ('-' for stdout) and exit")
+		exp       = fs.String("exp", "all", "experiment: t1,t2,t3,t4,f1,f2,f3,ext or all (comma-separated)")
+		params    = fs.String("params", "paper", "pairing parameter set: toy, fast or paper")
+		quick     = fs.Bool("quick", false, "reduced iterations/sweeps for a fast pass")
+		baseline  = fs.String("baseline", "", "write a primitive-op baseline snapshot (JSON) to this file ('-' for stdout) and exit")
+		check     = fs.String("check", "", "re-measure the primitives and exit non-zero if any entry regressed vs this committed snapshot")
+		tolerance = fs.Float64("tolerance", 15, "allowed per-entry slowdown (percent) for -check")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,6 +46,9 @@ func run(args []string, out io.Writer) error {
 	pp, err := pairing.ByName(*params)
 	if err != nil {
 		return err
+	}
+	if *check != "" {
+		return runCheck(pp, *check, *tolerance, *quick, out)
 	}
 	if *baseline != "" {
 		iters, dur := 10, 200*time.Millisecond
@@ -61,18 +69,58 @@ func run(args []string, out io.Writer) error {
 		}
 		return os.WriteFile(*baseline, body, 0o644)
 	}
+	return runExperiments(pp, *params, *exp, *quick, out)
+}
+
+// runCheck re-measures the primitive baseline and compares it against a
+// committed snapshot; a regression beyond the tolerance is a hard error so
+// CI fails the build. -quick trades statistical weight for speed (use a
+// generous tolerance with it: short timings are noisy).
+func runCheck(pp *pairing.Params, path string, tolerance float64, quick bool, out io.Writer) error {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	var ref bench.BaselineReport
+	if err := json.Unmarshal(body, &ref); err != nil {
+		return fmt.Errorf("check: parse %s: %w", path, err)
+	}
+	iters, dur := 10, 200*time.Millisecond
+	if quick {
+		iters, dur = 3, 20*time.Millisecond
+	}
+	fresh, err := bench.Baseline(pp, iters, dur)
+	if err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	regs, err := bench.CompareBaselines(&ref, fresh, tolerance)
+	if err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(out, "benchtab check: all entries within %.0f%% of %s\n", tolerance, path)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(out, "REGRESSION", r)
+	}
+	return fmt.Errorf("check: %d entries regressed more than %.0f%% vs %s", len(regs), tolerance, path)
+}
+
+func runExperiments(pp *pairing.Params, params, exp string, quick bool, out io.Writer) error {
 	selected := map[string]bool{}
-	for _, e := range strings.Split(*exp, ",") {
+	for _, e := range strings.Split(exp, ",") {
 		selected[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 	all := selected["all"]
 	want := func(id string) bool { return all || selected[id] }
 
 	var w *bench.World
+	var err error
 	needWorld := want("t2") || want("t3") || want("t4") || want("f3")
 	if needWorld {
 		rsaBits := 1024
-		if *quick {
+		if quick {
 			rsaBits = 512
 		}
 		w, err = bench.NewWorld(bench.WorldConfig{
@@ -106,7 +154,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("t3") {
 		iters, dur := 20, 200*time.Millisecond
-		if *quick {
+		if quick {
 			iters, dur = 3, 20*time.Millisecond
 		}
 		tbl, err := bench.TimeOps(w, iters, dur)
@@ -128,7 +176,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("f1") {
 		cfg := bench.DefaultRevocationConfig()
-		if *quick {
+		if quick {
 			cfg.Populations = []int{100}
 			cfg.Revocations = 5
 		}
@@ -142,13 +190,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("f2") {
 		cfg := bench.DefaultThresholdConfig()
-		if *quick {
+		if quick {
 			cfg.Thresholds = []int{1, 2, 3}
 			cfg.Iters = 1
 		}
 		// F2 runs at the "fast" set by default so the sweep stays tractable;
 		// -params toy/fast overrides.
-		if *params != "paper" {
+		if params != "paper" {
 			cfg.Pairing = pp
 		} else {
 			fast, err := pairing.Fast()
@@ -167,7 +215,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("ext") {
 		cfg := bench.ExtensionsConfig{}
-		if *quick {
+		if quick {
 			cfg.GMBits = 256
 			cfg.RabinBits = 512
 			cfg.Iters = 1
@@ -183,7 +231,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if want("f3") {
 		cfg := bench.DefaultThroughputConfig()
-		if *quick {
+		if quick {
 			cfg.Clients = []int{1, 4}
 			cfg.Duration = 200 * time.Millisecond
 		}

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
 )
 
 func TestBenchtabQuickSubset(t *testing.T) {
@@ -28,6 +33,74 @@ func TestBenchtabF2Quick(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "== F2") {
 		t.Errorf("missing F2 table:\n%s", out.String())
+	}
+}
+
+// writeSnapshot measures a quick toy-parameter baseline, rescales every
+// entry by factor, and writes it to a temp file — a synthetic "committed"
+// reference for the -check path.
+func writeSnapshot(t *testing.T, factor float64) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", "-", "-params", "toy", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var report bench.BaselineReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	for i := range report.Entries {
+		report.Entries[i].NsPerOp *= factor
+	}
+	body, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snapshot.json")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchtabCheckFailsOnRegression(t *testing.T) {
+	// A reference 1000× faster than the machine can possibly run makes the
+	// fresh measurement an unambiguous "regression".
+	path := writeSnapshot(t, 1.0/1000)
+	var out bytes.Buffer
+	err := run([]string{"-check", path, "-params", "toy", "-quick"}, &out)
+	if err == nil {
+		t.Fatalf("doctored snapshot passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("no regression lines printed:\n%s", out.String())
+	}
+}
+
+func TestBenchtabCheckPassesWithGenerousTolerance(t *testing.T) {
+	// A reference 1000× slower than reality cannot regress at any tolerance.
+	path := writeSnapshot(t, 1000)
+	var out bytes.Buffer
+	if err := run([]string{"-check", path, "-params", "toy", "-quick"}, &out); err != nil {
+		t.Fatalf("check failed against a generous snapshot: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all entries within") {
+		t.Fatalf("missing pass summary:\n%s", out.String())
+	}
+}
+
+func TestBenchtabCheckGuardsParamsMismatch(t *testing.T) {
+	path := writeSnapshot(t, 1) // snapshot taken at toy parameters
+	var out bytes.Buffer
+	if err := run([]string{"-check", path, "-params", "fast", "-quick"}, &out); err == nil {
+		t.Fatal("cross-parameter check accepted")
+	}
+}
+
+func TestBenchtabCheckMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-check", "/nonexistent.json", "-params", "toy", "-quick"}, &out); err == nil {
+		t.Fatal("missing snapshot accepted")
 	}
 }
 

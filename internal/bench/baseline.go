@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/bf"
+	"repro/internal/curve"
 	"repro/internal/pairing"
 )
 
@@ -55,6 +56,10 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 	if err != nil {
 		return nil, err
 	}
+	fp, err := pp.NewFixedPair(P)
+	if err != nil {
+		return nil, err
+	}
 	pp.GeneratorMul(k) // build the lazy generator table outside the timers
 
 	pkg, err := bf.Setup(rand.Reader, pp, 32)
@@ -79,6 +84,12 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 	}{
 		{"pair", func() error { _, err := pp.Pair(P, Q); return err }},
 		{"pair.full-miller", func() error { _, err := pp.PairFull(P, Q); return err }},
+		{"pair.fixed", func() error { _, err := fp.Pair(Q); return err }},
+		{"pair.fixed.precompute", func() error { _, err := pp.NewFixedPair(P); return err }},
+		{"multipair.2", func() error {
+			_, err := pp.MultiPair([]*curve.Point{P, Q}, []*curve.Point{Q, P})
+			return err
+		}},
 		{"scalarmul.variable-wnaf", func() error { P.ScalarMul(k); return nil }},
 		{"scalarmul.fixed-base", func() error { pp.GeneratorMul(k); return nil }},
 		{"scalarmul.binary-ladder", func() error { P.ScalarMulBinary(k); return nil }},

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regression describes one baseline entry that ran slower than the allowed
+// tolerance over its committed reference timing.
+type Regression struct {
+	Name    string  // entry name
+	RefNs   float64 // committed ns/op
+	FreshNs float64 // measured ns/op
+	Percent float64 // slowdown, percent over the reference
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op vs %.0f ns/op reference (+%.1f%%)",
+		r.Name, r.FreshNs, r.RefNs, r.Percent)
+}
+
+// CompareBaselines checks a freshly measured report against a committed
+// reference and returns the entries (by ascending name) whose ns/op grew by
+// more than tolerancePct percent. Only the intersection of entry names is
+// compared, so a reference from before a new primitive existed still guards
+// the old ones. The parameter sets must match — cross-parameter ratios are
+// meaningless — but Go version and GOARCH may differ (that is the point of
+// re-measuring).
+func CompareBaselines(ref, fresh *BaselineReport, tolerancePct float64) ([]Regression, error) {
+	if ref.Params != fresh.Params {
+		return nil, fmt.Errorf("bench: parameter sets differ (reference %q, fresh %q)", ref.Params, fresh.Params)
+	}
+	if tolerancePct < 0 {
+		return nil, fmt.Errorf("bench: negative tolerance %.1f%%", tolerancePct)
+	}
+	refNs := make(map[string]float64, len(ref.Entries))
+	for _, e := range ref.Entries {
+		if e.NsPerOp > 0 {
+			refNs[e.Name] = e.NsPerOp
+		}
+	}
+	var regs []Regression
+	common := 0
+	for _, e := range fresh.Entries {
+		old, ok := refNs[e.Name]
+		if !ok {
+			continue
+		}
+		common++
+		slowdown := (e.NsPerOp - old) / old * 100
+		if slowdown > tolerancePct {
+			regs = append(regs, Regression{Name: e.Name, RefNs: old, FreshNs: e.NsPerOp, Percent: slowdown})
+		}
+	}
+	if common == 0 {
+		return nil, fmt.Errorf("bench: no common entries between reference and fresh report")
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs, nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(params string, entries ...BaselineEntry) *BaselineReport {
+	return &BaselineReport{Params: params, Entries: entries}
+}
+
+func TestCompareBaselinesFlagsOnlyRealRegressions(t *testing.T) {
+	ref := report("paper",
+		BaselineEntry{Name: "pair", NsPerOp: 1000},
+		BaselineEntry{Name: "pair.fixed", NsPerOp: 500},
+		BaselineEntry{Name: "bf.encrypt", NsPerOp: 2000},
+	)
+	fresh := report("paper",
+		BaselineEntry{Name: "pair", NsPerOp: 1100},      // +10% — within tolerance
+		BaselineEntry{Name: "pair.fixed", NsPerOp: 900}, // +80% — regression
+		BaselineEntry{Name: "bf.encrypt", NsPerOp: 1500},
+		BaselineEntry{Name: "brand.new", NsPerOp: 1}, // not in ref — ignored
+	)
+	regs, err := CompareBaselines(ref, fresh, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "pair.fixed" {
+		t.Fatalf("regressions = %+v, want exactly pair.fixed", regs)
+	}
+	if regs[0].Percent < 79 || regs[0].Percent > 81 {
+		t.Fatalf("slowdown = %.1f%%, want ~80%%", regs[0].Percent)
+	}
+	if s := regs[0].String(); !strings.Contains(s, "pair.fixed") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestCompareBaselinesGenerousToleranceAcceptsAll(t *testing.T) {
+	ref := report("paper", BaselineEntry{Name: "pair", NsPerOp: 1000})
+	fresh := report("paper", BaselineEntry{Name: "pair", NsPerOp: 3000})
+	regs, err := CompareBaselines(ref, fresh, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %+v with 400%% tolerance", regs)
+	}
+}
+
+func TestCompareBaselinesGuards(t *testing.T) {
+	paper := report("paper", BaselineEntry{Name: "pair", NsPerOp: 1})
+	toy := report("toy", BaselineEntry{Name: "pair", NsPerOp: 1})
+	if _, err := CompareBaselines(paper, toy, 15); err == nil {
+		t.Error("parameter-set mismatch accepted")
+	}
+	disjoint := report("paper", BaselineEntry{Name: "other", NsPerOp: 1})
+	if _, err := CompareBaselines(paper, disjoint, 15); err == nil {
+		t.Error("disjoint entry sets accepted")
+	}
+	if _, err := CompareBaselines(paper, paper, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}

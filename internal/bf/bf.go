@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/curve"
+	"repro/internal/lru"
 	"repro/internal/pairing"
 )
 
@@ -71,49 +72,81 @@ type PublicParams struct {
 	// MsgLen is the fixed plaintext length n in bytes.
 	MsgLen int
 
-	mu      sync.Mutex
-	gtCache map[string]*pairing.GTTable
+	gtOnce  sync.Once
+	gtCache *lru.Cache[string, *pairing.GTTable]
 }
 
-// maxCachedRecipients bounds the per-identity table cache; beyond it new
-// identities are served without caching (first-come wins) so a sender
-// spraying unique identities cannot grow memory without bound.
+// maxCachedRecipients bounds the per-identity table cache; least recently
+// encrypted-to identities are evicted first, so a sender spraying unique
+// identities cannot grow memory without bound while a working set of hot
+// recipients stays cached.
 const maxCachedRecipients = 64
+
+// recipientCache returns the LRU of per-recipient GT tables, building it on
+// first use (PublicParams values are assembled by struct literal).
+func (pub *PublicParams) recipientCache() *lru.Cache[string, *pairing.GTTable] {
+	pub.gtOnce.Do(func() {
+		pub.gtCache = lru.New[string, *pairing.GTTable](maxCachedRecipients)
+	})
+	return pub.gtCache
+}
+
+// RecipientCacheStats reports the hit/miss/eviction counters of the
+// per-recipient GT-table cache.
+func (pub *PublicParams) RecipientCacheStats() lru.Stats {
+	return pub.recipientCache().Stats()
+}
 
 // recipientPairing returns ê(P_pub, Q_ID)^r for the given identity, through
 // a cached fixed-base GT table when one is available.
 func (pub *PublicParams) recipientPairing(id string, qid *curve.Point, r *big.Int) (*pairing.GT, error) {
-	pub.mu.Lock()
-	tab, ok := pub.gtCache[id]
-	pub.mu.Unlock()
-	if ok {
+	cache := pub.recipientCache()
+	if tab, ok := cache.Get(id); ok {
 		return tab.Exp(r), nil
 	}
 	g, err := pub.Pairing.Pair(pub.PPub, qid)
 	if err != nil {
 		return nil, err
 	}
-	if tab, err = pairing.NewGTTable(g); err != nil {
+	tab, err := pairing.NewGTTable(g)
+	if err != nil {
 		// Degenerate pairing value (infinity inputs); exponentiate directly.
 		return g.Exp(r)
 	}
-	pub.mu.Lock()
-	if pub.gtCache == nil {
-		pub.gtCache = make(map[string]*pairing.GTTable)
-	}
-	if len(pub.gtCache) < maxCachedRecipients {
-		pub.gtCache[id] = tab
-	}
-	pub.mu.Unlock()
+	cache.Add(id, tab)
 	return tab.Exp(r), nil
 }
 
 // PrivateKey is an extracted identity key d_ID = s·Q_ID.
 //
+// A key lazily carries the fixed-argument Miller program for ê(d_ID, ·), so
+// every decryption after the first skips all Miller-loop point arithmetic
+// (the pairing is symmetric: ê(U, d_ID) = ê(d_ID, U)). Use keys by pointer
+// once decryption has run; the cached program makes values non-copyable.
+//
 //cryptolint:secret
 type PrivateKey struct {
 	ID string
 	D  *curve.Point
+
+	fpOnce sync.Once
+	fp     *pairing.FixedPair
+}
+
+// pairing returns ê(U, d_ID) through the key's cached fixed-argument
+// program, falling back to the generic pairing for degenerate keys (D at
+// infinity or off the subgroup — nothing this package produces).
+func (k *PrivateKey) pairing(pp *pairing.Params, u *curve.Point) (*pairing.GT, error) {
+	k.fpOnce.Do(func() {
+		fp, err := pp.NewFixedPair(k.D)
+		if err == nil {
+			k.fp = fp
+		}
+	})
+	if k.fp != nil {
+		return k.fp.Pair(u)
+	}
+	return pp.Pair(u, k.D)
 }
 
 // PKG is the private key generator holding the master key s.
@@ -216,7 +249,7 @@ func (pub *PublicParams) DecryptBasic(key *PrivateKey, c *BasicCiphertext) ([]by
 	if len(c.V) != pub.MsgLen {
 		return nil, fmt.Errorf("%w: ciphertext body %d bytes, want %d", ErrMessageLength, len(c.V), pub.MsgLen)
 	}
-	g, err := pub.Pairing.Pair(c.U, key.D)
+	g, err := key.pairing(pub.Pairing, c.U)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +290,7 @@ func (pub *PublicParams) Encrypt(rng io.Reader, id string, msg []byte) (*Ciphert
 // Decrypt recovers the plaintext with the identity's full private key,
 // performing the Fujisaki-Okamoto validity check.
 func (pub *PublicParams) Decrypt(key *PrivateKey, c *Ciphertext) ([]byte, error) {
-	g, err := pub.Pairing.Pair(c.U, key.D)
+	g, err := key.pairing(pub.Pairing, c.U)
 	if err != nil {
 		return nil, err
 	}

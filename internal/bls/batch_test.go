@@ -1,0 +1,139 @@
+package bls
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/pairing"
+)
+
+func makeBatch(t testing.TB, key *PrivateKey, n int) ([][]byte, []*curve.Point) {
+	t.Helper()
+	msgs := make([][]byte, n)
+	sigs := make([]*curve.Point, n)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("message %d", i))
+		sig, err := key.Sign(msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[i] = sig
+	}
+	return msgs, sigs
+}
+
+func TestBatchVerifyAcceptsHonestBatch(t *testing.T) {
+	pp := toyParams(t)
+	key, err := GenerateKey(rand.Reader, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 7, 32} {
+		msgs, sigs := makeBatch(t, key, n)
+		if err := key.Public.BatchVerify(rand.Reader, msgs, sigs); err != nil {
+			t.Fatalf("honest batch of %d rejected: %v", n, err)
+		}
+	}
+}
+
+func TestBatchVerifyRejectsForgedMember(t *testing.T) {
+	pp := toyParams(t)
+	key, err := GenerateKey(rand.Reader, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, sigs := makeBatch(t, key, 8)
+
+	// A single corrupted signature must sink the whole batch.
+	sigs[5] = sigs[5].Add(pp.Generator())
+	err = key.Public.BatchVerify(rand.Reader, msgs, sigs)
+	if !errors.Is(err, ErrInvalidSignature) {
+		t.Fatalf("batch with forged member returned %v", err)
+	}
+
+	// A valid signature attached to the wrong message must also sink it.
+	msgs, sigs = makeBatch(t, key, 8)
+	sigs[2], sigs[3] = sigs[3], sigs[2]
+	err = key.Public.BatchVerify(rand.Reader, msgs, sigs)
+	if !errors.Is(err, ErrInvalidSignature) {
+		t.Fatalf("batch with swapped signatures returned %v", err)
+	}
+}
+
+func TestBatchVerifyRejectsMalformedInput(t *testing.T) {
+	pp := toyParams(t)
+	key, err := GenerateKey(rand.Reader, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, sigs := makeBatch(t, key, 2)
+
+	if err := key.Public.BatchVerify(rand.Reader, msgs, sigs[:1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := key.Public.BatchVerify(rand.Reader, nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	bad := append([]*curve.Point{}, sigs...)
+	bad[1] = pp.Curve().Infinity()
+	if err := key.Public.BatchVerify(rand.Reader, msgs, bad); !errors.Is(err, ErrInvalidSignature) {
+		t.Errorf("infinity member returned %v", err)
+	}
+	bad[1] = nil
+	if err := key.Public.BatchVerify(rand.Reader, msgs, bad); !errors.Is(err, ErrInvalidSignature) {
+		t.Errorf("nil member returned %v", err)
+	}
+}
+
+func benchKey(b *testing.B) *PrivateKey {
+	b.Helper()
+	pp, err := pairing.Paper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, err := GenerateKey(rand.Reader, pp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return key
+}
+
+func BenchmarkVerify(b *testing.B) {
+	key := benchKey(b)
+	msgs, sigs := makeBatch(b, key, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := key.Public.Verify(msgs[0], sigs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialVerify32 is the baseline the ≥3× BatchVerify32
+// acceptance criterion compares against.
+func BenchmarkSequentialVerify32(b *testing.B) {
+	key := benchKey(b)
+	msgs, sigs := makeBatch(b, key, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range msgs {
+			if err := key.Public.Verify(msgs[j], sigs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchVerify32(b *testing.B) {
+	key := benchKey(b)
+	msgs, sigs := makeBatch(b, key, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := key.Public.BatchVerify(rand.Reader, msgs, sigs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

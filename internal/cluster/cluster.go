@@ -259,6 +259,13 @@ func NewRecombiner(params *core.ThresholdParams, addrs []string, timeout time.Du
 // returned share's proof, and recombines t acceptable shares. It returns
 // the plaintext together with the indices of players whose responses were
 // rejected (unreachable, malformed, or failing the NIZK check).
+//
+// Proof verification — a multi-pairing per share — runs inside each
+// player's fetch goroutine, so the NIZK checks for fast responders overlap
+// the network wait for slow ones and each other; the decryption latency is
+// dominated by the slowest single fetch+verify chain rather than their sum.
+// ThresholdParams' verification-key pairing cache is safe under this
+// concurrency.
 func (r *Recombiner) Decrypt(id string, c *bf.BasicCiphertext) (msg []byte, rejected []int, err error) {
 	type outcome struct {
 		index int
@@ -277,6 +284,9 @@ func (r *Recombiner) Decrypt(id string, c *bf.BasicCiphertext) (msg []byte, reje
 		go func(i int, addr string) {
 			defer wg.Done()
 			share, err := r.fetchShare(addr, id, c)
+			if err == nil {
+				err = r.params.VerifyShareProof(id, c.U, share)
+			}
 			results <- outcome{index: i, share: share, err: err}
 		}(i, addr)
 	}
@@ -286,10 +296,6 @@ func (r *Recombiner) Decrypt(id string, c *bf.BasicCiphertext) (msg []byte, reje
 	valid := make([]*core.DecryptionShare, 0, r.params.N)
 	for out := range results {
 		if out.err != nil {
-			rejected = append(rejected, out.index)
-			continue
-		}
-		if err := r.params.VerifyShareProof(id, c.U, out.share); err != nil {
 			rejected = append(rejected, out.index)
 			continue
 		}

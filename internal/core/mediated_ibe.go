@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/bf"
 	"repro/internal/curve"
+	"repro/internal/lru"
 	"repro/internal/mathx"
 	"repro/internal/pairing"
 )
@@ -34,10 +36,33 @@ var ErrTokenMismatch = errors.New("core: SEM token does not open this ciphertext
 
 // UserKeyHalf is the user's piece d_ID,user of an identity key.
 //
+// The half lazily carries the fixed-argument Miller program for
+// ê(d_ID,user, ·), so every decryption after the first skips the Miller
+// loop's point arithmetic (ê is symmetric). Use halves by pointer once
+// decryption has run; the cached program makes values non-copyable.
+//
 //cryptolint:secret
 type UserKeyHalf struct {
 	ID string
 	D  *curve.Point
+
+	fpOnce sync.Once
+	fp     *pairing.FixedPair
+}
+
+// pairing returns ê(u, d_ID,user) through the half's cached fixed-argument
+// program, falling back to the generic pairing for degenerate halves.
+func (k *UserKeyHalf) pairing(pp *pairing.Params, u *curve.Point) (*pairing.GT, error) {
+	k.fpOnce.Do(func() {
+		fp, err := pp.NewFixedPair(k.D)
+		if err == nil {
+			k.fp = fp
+		}
+	})
+	if k.fp != nil {
+		return k.fp.Pair(u)
+	}
+	return pp.Pair(u, k.D)
 }
 
 // SEMKeyHalf is the mediator's piece d_ID,sem of an identity key.
@@ -88,20 +113,64 @@ func (m *MediatedPKG) SplitExtract(rng io.Reader, id string) (*UserKeyHalf, *SEM
 // IBESEM is the mediator's half of the mediated IBE: it stores the SEM key
 // halves, enforces revocation and issues decryption tokens. Safe for
 // concurrent use.
+//
+// Token issuance is the SEM's entire hot path — every decryption by every
+// user lands here — so the SEM keeps an LRU of fixed-argument Miller
+// programs (one per recently served identity): after the first token for an
+// identity, ê(U, d_ID,sem) costs a line-program replay instead of a full
+// Miller loop. Revoking or re-registering an identity drops its program.
 type IBESEM struct {
-	pub  *bf.PublicParams
-	reg  *Registry
-	keys *keyStore[*SEMKeyHalf]
+	pub     *bf.PublicParams
+	reg     *Registry
+	keys    *keyStore[*SEMKeyHalf]
+	pairers *lru.Cache[string, *semPairer]
 }
+
+// semPairer binds a precomputed pairing program to the exact key half it
+// was derived from, so a cached program can never serve a re-registered
+// identity's stale key.
+type semPairer struct {
+	d  *curve.Point
+	fp *pairing.FixedPair
+}
+
+// semPairerCapacity bounds the SEM's per-identity precomputation cache; the
+// working set of actively decrypting identities stays warm while idle ones
+// age out. Tunable per deployment with SetPairerCacheCapacity.
+const semPairerCapacity = 256
 
 // NewIBESEM constructs a SEM bound to the system parameters and a (possibly
-// shared) revocation registry.
+// shared) revocation registry. The SEM subscribes to the registry: revoking
+// an identity synchronously drops its precomputed pairing program.
 func NewIBESEM(pub *bf.PublicParams, reg *Registry) *IBESEM {
-	return &IBESEM{pub: pub, reg: reg, keys: newKeyStore[*SEMKeyHalf]()}
+	s := &IBESEM{
+		pub:     pub,
+		reg:     reg,
+		keys:    newKeyStore[*SEMKeyHalf](),
+		pairers: lru.New[string, *semPairer](semPairerCapacity),
+	}
+	reg.OnRevoke(func(id string) { s.pairers.Remove(id) })
+	return s
 }
 
-// Register installs an identity's SEM key half.
-func (s *IBESEM) Register(half *SEMKeyHalf) { s.keys.put(half.ID, half) }
+// Register installs an identity's SEM key half, invalidating any pairing
+// program precomputed for a previously registered half.
+func (s *IBESEM) Register(half *SEMKeyHalf) {
+	s.keys.put(half.ID, half)
+	s.pairers.Remove(half.ID)
+}
+
+// PairerCacheStats reports the hit/miss/eviction counters of the SEM's
+// precomputed-pairing cache.
+func (s *IBESEM) PairerCacheStats() lru.Stats { return s.pairers.Stats() }
+
+// PairerCacheLen returns the number of identities with a live precomputed
+// pairing program.
+func (s *IBESEM) PairerCacheLen() int { return s.pairers.Len() }
+
+// SetPairerCacheCapacity resizes the precomputation cache (values below 1
+// are clamped to 1).
+func (s *IBESEM) SetPairerCacheCapacity(n int) { s.pairers.Resize(n) }
 
 // Registry exposes the revocation registry (admin interface).
 func (s *IBESEM) Registry() *Registry { return s.reg }
@@ -123,14 +192,29 @@ func (s *IBESEM) Token(id string, u *curve.Point) (*pairing.GT, error) {
 	if u == nil || u.IsInfinity() || !u.InSubgroup() {
 		return nil, fmt.Errorf("core: ciphertext point U is not a valid G1 element")
 	}
-	return s.pub.Pairing.Pair(u, half.D)
+	// Serve from the per-identity precomputed Miller program when it matches
+	// the registered half; (re)build it otherwise. A concurrent revoke can
+	// race the Add and leave a cached program behind, but it can never be
+	// *served* for a revoked identity — the Check above runs on every call —
+	// and the entry is keyed to this exact half, so it is correct again if
+	// the identity is unrevoked.
+	if cached, ok := s.pairers.Get(id); ok && cached.d.Equal(half.D) {
+		return cached.fp.Pair(u)
+	}
+	fp, err := s.pub.Pairing.NewFixedPair(half.D)
+	if err != nil {
+		// Degenerate registered half; fall back to the generic pairing.
+		return s.pub.Pairing.Pair(u, half.D)
+	}
+	s.pairers.Add(id, &semPairer{d: half.D, fp: fp})
+	return fp.Pair(u)
 }
 
 // UserDecrypt completes decryption on the user side given the SEM token:
 // g = g_sem · ê(U, d_ID,user), then the FullIdent opening with its validity
 // check.
 func UserDecrypt(pub *bf.PublicParams, key *UserKeyHalf, c *bf.Ciphertext, token *pairing.GT) ([]byte, error) {
-	gUser, err := pub.Pairing.Pair(c.U, key.D)
+	gUser, err := key.pairing(pub.Pairing, c.U)
 	if err != nil {
 		return nil, err
 	}

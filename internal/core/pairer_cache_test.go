@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"testing"
+)
+
+func TestTokenPopulatesPairerCache(t *testing.T) {
+	pkg, sem := ibeFixture(t)
+	alice := enroll(t, pkg, sem, "alice@example.com")
+	msg := bytes.Repeat([]byte{0xA1}, msgLen)
+	c, err := pkg.Public().Encrypt(rand.Reader, "alice@example.com", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sem.PairerCacheLen() != 0 {
+		t.Fatalf("cache pre-populated: %d entries", sem.PairerCacheLen())
+	}
+	for i := 0; i < 3; i++ {
+		got, err := Decrypt(sem, alice, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round %d: wrong plaintext", i)
+		}
+	}
+	if sem.PairerCacheLen() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", sem.PairerCacheLen())
+	}
+	st := sem.PairerCacheStats()
+	// First token misses (and may re-probe), the two repeats must hit.
+	if st.Hits < 2 {
+		t.Fatalf("stats = %+v, want ≥2 hits", st)
+	}
+}
+
+func TestRevokeDropsPairerTable(t *testing.T) {
+	pkg, sem := ibeFixture(t)
+	alice := enroll(t, pkg, sem, "alice@example.com")
+	msg := bytes.Repeat([]byte{0xB2}, msgLen)
+	c, err := pkg.Public().Encrypt(rand.Reader, "alice@example.com", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(sem, alice, c); err != nil {
+		t.Fatal(err)
+	}
+	if sem.PairerCacheLen() != 1 {
+		t.Fatalf("cache holds %d entries before revoke", sem.PairerCacheLen())
+	}
+
+	sem.Registry().Revoke("alice@example.com", "compromised")
+	if sem.PairerCacheLen() != 0 {
+		t.Fatal("revocation must drop the identity's precomputed table")
+	}
+	if _, err := sem.Token("alice@example.com", c.U); err == nil {
+		t.Fatal("token issued for revoked identity")
+	}
+
+	// Unrevoking restores service (the table is rebuilt on demand).
+	sem.Registry().Unrevoke("alice@example.com")
+	got, err := Decrypt(sem, alice, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("wrong plaintext after unrevoke")
+	}
+	if sem.PairerCacheLen() != 1 {
+		t.Fatal("table not rebuilt after unrevoke")
+	}
+}
+
+func TestReRegisterInvalidatesPairerTable(t *testing.T) {
+	pkg, sem := ibeFixture(t)
+	alice := enroll(t, pkg, sem, "alice@example.com")
+	msg := bytes.Repeat([]byte{0xC3}, msgLen)
+	c, err := pkg.Public().Encrypt(rand.Reader, "alice@example.com", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(sem, alice, c); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh key split for the same identity: the old user half must stop
+	// working and the new one must succeed — a stale cached pairing program
+	// would break the second property.
+	alice2 := enroll(t, pkg, sem, "alice@example.com")
+	if sem.PairerCacheLen() != 0 {
+		t.Fatal("re-registration must invalidate the precomputed table")
+	}
+	if _, err := Decrypt(sem, alice, c); err == nil {
+		t.Fatal("old key half still decrypts after re-registration")
+	}
+	got, err := Decrypt(sem, alice2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("wrong plaintext with re-registered key")
+	}
+}
+
+func TestPairerCacheEviction(t *testing.T) {
+	pkg, sem := ibeFixture(t)
+	sem.SetPairerCacheCapacity(2)
+	msg := bytes.Repeat([]byte{0xD4}, msgLen)
+
+	users := make([]*UserKeyHalf, 3)
+	for i := range users {
+		id := fmt.Sprintf("user%d@example.com", i)
+		users[i] = enroll(t, pkg, sem, id)
+		c, err := pkg.Public().Encrypt(rand.Reader, id, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decrypt(sem, users[i], c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sem.PairerCacheLen(); got != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", got)
+	}
+	if st := sem.PairerCacheStats(); st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 eviction", st)
+	}
+
+	// The evicted identity (least recently used = user0) is still served,
+	// just recomputed.
+	c, err := pkg.Public().Encrypt(rand.Reader, "user0@example.com", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decrypt(sem, users[0], c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("wrong plaintext for evicted identity")
+	}
+}

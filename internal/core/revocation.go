@@ -41,9 +41,10 @@ type RevocationEntry struct {
 // decryption and signing capabilities simultaneously. Safe for concurrent
 // use; the zero value is not usable — construct with NewRegistry.
 type Registry struct {
-	mu      sync.RWMutex
-	revoked map[string]RevocationEntry
-	clock   func() time.Time
+	mu        sync.RWMutex
+	revoked   map[string]RevocationEntry
+	clock     func() time.Time
+	listeners []func(id string)
 }
 
 // NewRegistry returns an empty revocation registry.
@@ -55,11 +56,30 @@ func NewRegistry() *Registry {
 }
 
 // Revoke marks the identity revoked. Revoking an already-revoked identity
-// updates the reason and timestamp.
+// updates the reason and timestamp. Registered OnRevoke listeners run
+// synchronously before Revoke returns, so derived per-identity state (e.g.
+// a SEM's precomputed pairing tables) is gone by the time the caller
+// observes the revocation.
 func (r *Registry) Revoke(id, reason string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.revoked[id] = RevocationEntry{ID: id, Reason: reason, When: r.clock()}
+	listeners := r.listeners
+	r.mu.Unlock()
+	// Listeners run outside the lock: they are allowed to call back into the
+	// registry (and the id is already marked revoked, so no token can be
+	// issued concurrently with the cleanup).
+	for _, fn := range listeners {
+		fn(id)
+	}
+}
+
+// OnRevoke registers a listener invoked synchronously with the identity on
+// every Revoke. Listeners must be registered before the registry is shared
+// and must not block.
+func (r *Registry) OnRevoke(fn func(id string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.listeners = append(r.listeners, fn)
 }
 
 // Unrevoke restores the identity. It reports whether the identity was

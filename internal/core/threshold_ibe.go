@@ -1,11 +1,13 @@
 package core
 
 import (
+	"crypto/rand"
 	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"repro/internal/bf"
 	"repro/internal/curve"
@@ -44,11 +46,44 @@ var (
 
 // ThresholdParams are the public parameters of the threshold system: the
 // Boneh-Franklin publics plus the verification vector.
+//
+// Every share-verification equation pairs against the same n verification
+// keys, so the params lazily cache one fixed-argument Miller program per
+// key. Use by pointer (the caches make values non-copyable).
 type ThresholdParams struct {
 	Public *bf.PublicParams
 	T, N   int
 	// VerificationKeys[i-1] = P_pub^(i) = f(i)·P.
 	VerificationKeys []*curve.Point
+
+	vkMu      sync.Mutex
+	vkPairers map[int]*pairing.FixedPair
+}
+
+// vkPair computes ê(P_pub^(i), q1) through a per-index cached
+// fixed-argument program (i is 1-based and already range-checked by
+// callers).
+func (p *ThresholdParams) vkPair(i int, q1 *curve.Point) (*pairing.GT, error) {
+	vk := p.VerificationKeys[i-1]
+	p.vkMu.Lock()
+	fp, ok := p.vkPairers[i]
+	if !ok {
+		built, err := p.Public.Pairing.NewFixedPair(vk)
+		if err == nil {
+			if p.vkPairers == nil {
+				p.vkPairers = make(map[int]*pairing.FixedPair, p.N)
+			}
+			p.vkPairers[i] = built
+			fp = built
+		}
+		// A degenerate verification key (nothing this package constructs)
+		// leaves fp nil and falls through to the generic pairing.
+	}
+	p.vkMu.Unlock()
+	if fp != nil {
+		return fp.Pair(q1)
+	}
+	return p.Public.Pairing.Pair(vk, q1)
 }
 
 // ThresholdPKG is the trusted dealer: it holds the sharing polynomial and
@@ -187,11 +222,11 @@ func (p *ThresholdParams) VerifyKeyShare(share *KeyShare) error {
 	if err != nil {
 		return err
 	}
-	lhs, err := p.Public.Pairing.Pair(p.VerificationKeys[share.Index-1], qid)
+	lhs, err := p.vkPair(share.Index, qid)
 	if err != nil {
 		return err
 	}
-	rhs, err := p.Public.Pairing.Pair(p.Public.Pairing.Generator(), share.D)
+	rhs, err := p.Public.Pairing.PairWithGenerator(share.D)
 	if err != nil {
 		return err
 	}
@@ -235,7 +270,7 @@ func (p *ThresholdParams) ComputeShareWithProof(rng io.Reader, share *KeyShare, 
 	if err != nil {
 		return nil, err
 	}
-	w1, err := pp.Pair(pp.Generator(), bigR)
+	w1, err := pp.PairWithGenerator(bigR)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +283,7 @@ func (p *ThresholdParams) ComputeShareWithProof(rng io.Reader, share *KeyShare, 
 	if err != nil {
 		return nil, err
 	}
-	pubPair, err := pp.Pair(p.VerificationKeys[share.Index-1], qid)
+	pubPair, err := p.vkPair(share.Index, qid)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +302,17 @@ func (p *ThresholdParams) ComputeShareWithProof(rng io.Reader, share *KeyShare, 
 //	ê(P, V) ≟ W1 · ê(P_pub^(i), Q_ID)^e
 //	ê(U, V) ≟ W2 · share^e
 //
-// and that the challenge was honestly derived (Fiat-Shamir).
+// and that the challenge was honestly derived (Fiat-Shamir). The two
+// pairing equations are checked as one randomized combination: with a fresh
+// verifier-private ρ ← [1, q),
+//
+//	ê(P, V) · ê(ρ·U, V) ≟ (W1 · pubPair^e) · (W2 · share^e)^ρ,
+//
+// computed with a single two-pair MultiPair on the left. Writing the two
+// equations' quotients as A and B, the combined check is A·B^ρ = 1, which
+// for (A, B) ≠ (1, 1) holds for at most one ρ in the order-q group — a
+// cheating prover survives with probability ≤ 1/(q−1), far below the 2⁻ᵏ
+// soundness of the Fiat-Shamir challenge itself.
 func (p *ThresholdParams) VerifyShareProof(id string, u *curve.Point, ds *DecryptionShare) error {
 	if ds.Proof == nil {
 		return fmt.Errorf("%w: missing proof", ErrProofInvalid)
@@ -280,7 +325,7 @@ func (p *ThresholdParams) VerifyShareProof(id string, u *curve.Point, ds *Decryp
 	if err != nil {
 		return err
 	}
-	pubPair, err := pp.Pair(p.VerificationKeys[ds.Index-1], qid)
+	pubPair, err := p.vkPair(ds.Index, qid)
 	if err != nil {
 		return err
 	}
@@ -288,7 +333,14 @@ func (p *ThresholdParams) VerifyShareProof(id string, u *curve.Point, ds *Decryp
 	if e.Cmp(ds.Proof.E) != 0 {
 		return fmt.Errorf("%w: challenge mismatch (player %d)", ErrProofInvalid, ds.Index)
 	}
-	lhs1, err := pp.Pair(pp.Generator(), ds.Proof.V)
+	rho, err := mathx.RandomFieldElement(rand.Reader, pp.Q())
+	if err != nil {
+		return fmt.Errorf("sample verification scalar: %w", err)
+	}
+	lhs, err := pp.MultiPair(
+		[]*curve.Point{pp.Generator(), u.ScalarMul(rho)},
+		[]*curve.Point{ds.Proof.V, ds.Proof.V},
+	)
 	if err != nil {
 		return err
 	}
@@ -296,19 +348,16 @@ func (p *ThresholdParams) VerifyShareProof(id string, u *curve.Point, ds *Decryp
 	if err != nil {
 		return err
 	}
-	if !lhs1.Equal(ds.Proof.W1.Mul(pubPairE)) {
-		return fmt.Errorf("%w: first equation (player %d)", ErrProofInvalid, ds.Index)
-	}
-	lhs2, err := pp.Pair(u, ds.Proof.V)
-	if err != nil {
-		return err
-	}
 	shareE, err := ds.G.Exp(e)
 	if err != nil {
 		return err
 	}
-	if !lhs2.Equal(ds.Proof.W2.Mul(shareE)) {
-		return fmt.Errorf("%w: second equation (player %d)", ErrProofInvalid, ds.Index)
+	rhs2, err := ds.Proof.W2.Mul(shareE).Exp(rho)
+	if err != nil {
+		return err
+	}
+	if !lhs.Equal(ds.Proof.W1.Mul(pubPairE).Mul(rhs2)) {
+		return fmt.Errorf("%w: combined pairing equation (player %d)", ErrProofInvalid, ds.Index)
 	}
 	return nil
 }

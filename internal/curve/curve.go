@@ -291,6 +291,26 @@ func (c *Curve) RandomG1(rng io.Reader) (*Point, error) {
 // H1 oracle of the Boneh-Franklin scheme and the h(·) oracle of the GDH
 // signature.
 func (c *Curve) HashToPoint(domain string, msg []byte) (*Point, error) {
+	pt, err := c.HashToPointUncleared(domain, msg)
+	if err != nil {
+		return nil, err
+	}
+	return pt.ScalarMul(c.c), nil
+}
+
+// HashToPointUncleared is HashToPoint without the final cofactor
+// multiplication: it returns the raw try-and-increment point T ∈ E(F_p)
+// with HashToPoint(domain, msg) = c·T for cofactor c. Batch verifiers use
+// it to defer and merge cofactor clearing across many hashes
+// (Σ rᵢ·(c·Tᵢ) = c·Σ rᵢ·Tᵢ); anything needing a single subgroup element
+// should call HashToPoint.
+//
+// A candidate whose cleared image would be the identity (T of cofactor
+// order, probability q/(p+1) < 2⁻³⁵⁰ per attempt) is accepted here — the
+// check would cost the very scalar multiplication this variant exists to
+// skip. HashToPoint inherits the same behaviour: its output is the identity
+// with that probability, which no caller can observe.
+func (c *Curve) HashToPointUncleared(domain string, msg []byte) (*Point, error) {
 	size := c.CoordinateSize()
 	for ctr := 0; ctr < 256; ctr++ {
 		digest := expandDigest(domain, uint8(ctr), msg, size+16)
@@ -314,11 +334,7 @@ func (c *Curve) HashToPoint(domain string, msg []byte) (*Point, error) {
 		if err != nil {
 			continue
 		}
-		g := pt.ScalarMul(c.c)
-		if g.IsInfinity() {
-			continue
-		}
-		return g, nil
+		return pt, nil
 	}
 	return nil, ErrHashToPointFailed
 }

@@ -92,6 +92,33 @@ func TestConjugateIsFrobenius(t *testing.T) {
 	}
 }
 
+func TestSquareUnitaryMatchesSquare(t *testing.T) {
+	f := testField(t)
+	// Unitary elements are exactly the image of y ↦ y^(p−1) = conj(y)/y,
+	// which is how the final exponentiation's easy part produces them.
+	for i := int64(1); i <= 200; i++ {
+		y := f.NewElement(big.NewInt(i*7+1), big.NewInt(i*13+3))
+		inv, err := new(Element).Inverse(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := new(Element).Conjugate(y)
+		u.Mul(u, inv)
+
+		want := new(Element).Square(u)
+		got := new(Element).SquareUnitary(u)
+		if !got.Equal(want) {
+			t.Fatalf("iteration %d: SquareUnitary(%v) = %v, Square = %v", i, u, got, want)
+		}
+		// Aliased receiver: e.SquareUnitary(e).
+		aliased := u.Copy()
+		aliased.SquareUnitary(aliased)
+		if !aliased.Equal(want) {
+			t.Fatalf("iteration %d: aliased SquareUnitary diverges", i)
+		}
+	}
+}
+
 func TestExpMatchesRepeatedMul(t *testing.T) {
 	f := testField(t)
 	x := f.NewElement(big.NewInt(5), big.NewInt(3))

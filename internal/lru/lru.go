@@ -1,0 +1,142 @@
+// Package lru provides a small mutex-guarded LRU cache with hit/miss/
+// eviction counters. The SEM's fixed-argument pairing programs and the
+// Boneh-Franklin per-recipient GT tables are both keyed by identity and
+// unbounded in principle — millions of users — so every cache of derived
+// per-identity state in this codebase is bounded by this one policy.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a snapshot of a cache's counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Cache is a fixed-capacity least-recently-used map. All methods are safe
+// for concurrent use. The zero value is not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *entry[K, V]
+	items map[K]*list.Element
+	stats Stats
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an empty cache holding at most capacity entries. Capacities
+// below 1 are clamped to 1 — a degenerate but functional cache — rather
+// than rejected, so misconfiguration degrades performance, not correctness.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[K]*list.Element),
+	}
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Add inserts or replaces the value under key (marking it most recently
+// used) and reports whether an older entry was evicted to make room.
+func (c *Cache[K, V]) Add(key K, val V) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+	if c.order.Len() <= c.cap {
+		return false
+	}
+	c.evictOldest()
+	return true
+}
+
+// Remove drops the entry under key, reporting whether it was present.
+// Removals are deliberate invalidations (revocation, re-registration), not
+// capacity pressure, so they do not count as evictions.
+func (c *Cache[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Purge drops every entry (counters are preserved; purged entries are not
+// evictions).
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[K]*list.Element)
+}
+
+// Resize changes the capacity (clamped to ≥ 1), evicting oldest entries if
+// the cache is now over capacity.
+func (c *Cache[K, V]) Resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = capacity
+	for c.order.Len() > c.cap {
+		c.evictOldest()
+	}
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// evictOldest removes the least recently used entry. Caller holds c.mu.
+func (c *Cache[K, V]) evictOldest() {
+	oldest := c.order.Back()
+	if oldest == nil {
+		return
+	}
+	c.order.Remove(oldest)
+	delete(c.items, oldest.Value.(*entry[K, V]).key)
+	c.stats.Evictions++
+}

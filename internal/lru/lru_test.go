@@ -1,0 +1,133 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBasicGetAdd(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	if evicted := c.Add("a", 1); evicted {
+		t.Fatal("insert below capacity evicted")
+	}
+	v, ok := c.Get("a")
+	if !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 0 evictions", s)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Get("a") // a is now more recent than b
+	if evicted := c.Add("c", 3); !evicted {
+		t.Fatal("over-capacity insert did not evict")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+}
+
+func TestAddReplacesInPlace(t *testing.T) {
+	c := New[string, int](1)
+	c.Add("a", 1)
+	if evicted := c.Add("a", 2); evicted {
+		t.Fatal("replacing an existing key evicted")
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestRemoveIsNotAnEviction(t *testing.T) {
+	c := New[string, int](4)
+	c.Add("a", 1)
+	if !c.Remove("a") {
+		t.Fatal("Remove of present key reported absent")
+	}
+	if c.Remove("a") {
+		t.Fatal("Remove of absent key reported present")
+	}
+	if got := c.Stats().Evictions; got != 0 {
+		t.Fatalf("deliberate removal counted as eviction (%d)", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after removal", c.Len())
+	}
+}
+
+func TestCapacityClamped(t *testing.T) {
+	c := New[string, int](0)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if c.Len() != 1 {
+		t.Fatalf("capacity-0 cache holds %d entries, want clamp to 1", c.Len())
+	}
+}
+
+func TestPurgeAndResize(t *testing.T) {
+	c := New[int, int](8)
+	for i := 0; i < 8; i++ {
+		c.Add(i, i)
+	}
+	c.Resize(3)
+	if c.Len() != 3 {
+		t.Fatalf("len after Resize(3) = %d", c.Len())
+	}
+	// The three survivors are the most recently inserted.
+	for i := 5; i < 8; i++ {
+		if _, ok := c.Get(i); !ok {
+			t.Fatalf("entry %d missing after resize", i)
+		}
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after Purge = %d", c.Len())
+	}
+	if c.Stats().Evictions != 5 {
+		t.Fatalf("evictions = %d, want 5 from resize only", c.Stats().Evictions)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[string, int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%32)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Errorf("corrupt value %d", v)
+				}
+				c.Add(k, i)
+				if i%17 == 0 {
+					c.Remove(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

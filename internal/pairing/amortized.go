@@ -1,0 +1,514 @@
+// Amortized pairing engine: the Jacobian Miller-loop step machinery shared
+// by Pair, MultiPair and FixedPair.
+//
+// Every Miller-loop variant in this package walks the same addition chain —
+// the binary expansion of the group order q — and differs only in what it
+// does with the line function of each step. The line through the running
+// point V (and its tangent, for doublings) evaluated at the distorted point
+// φ(Q) = (−x_Q, i·y_Q) always has the shape
+//
+//	l(φQ) = (a + b·x_Q) + (c·y_Q)·i,   a, b, c ∈ F_p,
+//
+// where (a, b, c) depend only on V and P — not on Q. millerVars computes
+// these generic coefficients while advancing V with the inversion-free
+// Jacobian formulas of millerJacobian (see pairing.go for their derivation);
+// each step's overall F_p* scale is arbitrary because the final
+// exponentiation (p²−1)/q annihilates F_p*.
+//
+// Three consumers:
+//
+//   - Pair feeds (a, b, c) straight into the accumulator (pairing.go);
+//   - MultiPair runs n walks in lock-step sharing one accumulator squaring
+//     per iteration and a single final exponentiation;
+//   - FixedPair runs the walk once at construction, normalizes each line by
+//     1/c (another F_p* scale) to the two-coefficient form
+//     (α·x_Q + β) + y_Q·i, and replays the recorded program against any
+//     second argument with no point arithmetic at all.
+package pairing
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/curve"
+	"repro/internal/gf"
+)
+
+// millerVars is the running state of one Miller-loop traversal: the affine
+// base P, the running point V in Jacobian coordinates, and scratch storage
+// reused across steps.
+type millerVars struct {
+	p       *big.Int // field characteristic
+	xP, yP  *big.Int // affine base point P
+	X, Y, Z *big.Int // running point V (Jacobian)
+
+	t1, t2, t3, t4, t5, t6 *big.Int
+}
+
+func newMillerVars(p *big.Int, pt *curve.Point) *millerVars {
+	return &millerVars{
+		p:  p,
+		xP: pt.X(),
+		yP: pt.Y(),
+		X:  pt.X(),
+		Y:  pt.Y(),
+		Z:  big.NewInt(1),
+		t1: new(big.Int), t2: new(big.Int), t3: new(big.Int),
+		t4: new(big.Int), t5: new(big.Int), t6: new(big.Int),
+	}
+}
+
+// doubleStep advances V ← 2V and writes the tangent-line coefficients into
+// (a, b, c). It reports whether a line was produced — vertical tangents
+// (2-torsion, unreachable from the odd-order subgroup) and V = O contribute
+// only an F_p* factor and emit nothing.
+//
+// Derivation (V = (X, Y, Z), M = 3X² + Z⁴, Z₃ = 2YZ, tangent scaled by
+// 2YZ³): l = [M·X − 2Y² + M·Z²·x_Q] + [Z₃·Z²·y_Q]·i, so
+// a = M·X − 2Y², b = M·Z², c = Z₃·Z².
+func (m *millerVars) doubleStep(a, b, c *big.Int) bool {
+	if m.Z.Sign() == 0 {
+		return false
+	}
+	if m.Y.Sign() == 0 {
+		// 2-torsion: vertical tangent, 2V = O.
+		m.Z.SetInt64(0)
+		return false
+	}
+	p := m.p
+	xx := m.t1.Mul(m.X, m.X)
+	xx.Mod(xx, p)
+	yy := m.t2.Mul(m.Y, m.Y)
+	yy.Mod(yy, p)
+	zz := m.t3.Mul(m.Z, m.Z)
+	zz.Mod(zz, p)
+	s := m.t4.Mul(m.X, yy) // S = 4XY²
+	s.Lsh(s, 2)
+	s.Mod(s, p)
+	mm := m.t5.Mul(zz, zz) // M = 3X² + Z⁴
+	mm.Add(mm, xx)
+	mm.Add(mm, xx)
+	mm.Add(mm, xx)
+	mm.Mod(mm, p)
+
+	// a = M·X − 2Y², b = M·Z² (X still the pre-doubling coordinate).
+	a.Mul(mm, m.X)
+	a.Sub(a, yy)
+	a.Sub(a, yy)
+	a.Mod(a, p)
+	b.Mul(mm, zz)
+	b.Mod(b, p)
+
+	// Z₃ = 2YZ (before Y is clobbered), then c = Z₃·Z².
+	m.Z.Mul(m.Y, m.Z)
+	m.Z.Lsh(m.Z, 1)
+	m.Z.Mod(m.Z, p)
+	c.Mul(m.Z, zz)
+	c.Mod(c, p)
+
+	// X₃ = M² − 2S, Y₃ = M·(S − X₃) − 8Y⁴.
+	m.X.Mul(mm, mm)
+	m.X.Sub(m.X, s)
+	m.X.Sub(m.X, s)
+	m.X.Mod(m.X, p)
+	yyyy := m.t6.Mul(yy, yy)
+	yyyy.Lsh(yyyy, 3)
+	m.Y.Sub(s, m.X)
+	m.Y.Mul(m.Y, mm)
+	m.Y.Sub(m.Y, yyyy)
+	m.Y.Mod(m.Y, p)
+	return true
+}
+
+// addStep advances V ← V + P and writes the chord-line coefficients into
+// (a, b, c), reporting whether a line was produced. V = O restarts the walk
+// at P; V = −P yields the vertical chord (skipped, V becomes O); V = P
+// degenerates to a tangent doubling. Only the last case and the generic
+// chord emit a line.
+//
+// Generic chord (H = x_P·Z² − X, R = y_P·Z³ − Y, Z₃ = ZH, chord scaled by
+// Z₃): l = [R·x_P − Z₃·y_P + R·x_Q] + [Z₃·y_Q]·i, so a = R·x_P − Z₃·y_P,
+// b = R, c = Z₃.
+func (m *millerVars) addStep(a, b, c *big.Int) bool {
+	if m.Z.Sign() == 0 {
+		// V = O: the "line" through O and P is the vertical at P, an F_p*
+		// factor — restart at P.
+		m.X.Set(m.xP)
+		m.Y.Set(m.yP)
+		m.Z.SetInt64(1)
+		return false
+	}
+	p := m.p
+	zz := m.t1.Mul(m.Z, m.Z)
+	zz.Mod(zz, p)
+	u2 := m.t2.Mul(m.xP, zz)
+	u2.Mod(u2, p)
+	s2 := m.t3.Mul(m.yP, zz)
+	s2.Mul(s2, m.Z)
+	s2.Mod(s2, p)
+	h := u2.Sub(u2, m.X) // H = x_P·Z² − X
+	h.Mod(h, p)
+	r := s2.Sub(s2, m.Y) // R = y_P·Z³ − Y
+	r.Mod(r, p)
+
+	switch {
+	case h.Sign() == 0 && r.Sign() == 0:
+		// V = P: the chord degenerates to the tangent at P, so this addition
+		// is a doubling from the affine representative (x_P, y_P), where
+		// M = 3x_P² + 1 and the line scale is Z₃ = 2y_P. (Unreachable for
+		// odd-order P — the running multiplier never revisits 1 — kept so the
+		// walk matches the affine oracle on arbitrary curve points.)
+		yy := m.t4.Mul(m.yP, m.yP)
+		yy.Mod(yy, p)
+		mm := m.t5.Mul(m.xP, m.xP)
+		mm.Mod(mm, p)
+		m.t6.Set(mm)
+		mm.Lsh(mm, 1)
+		mm.Add(mm, m.t6)
+		mm.Add(mm, bigOne) // M = 3x_P² + 1 (Z = 1)
+		mm.Mod(mm, p)
+		a.Mul(mm, m.xP)
+		a.Sub(a, yy)
+		a.Sub(a, yy)
+		a.Mod(a, p)
+		b.Set(mm)
+		m.Z.Lsh(m.yP, 1) // Z₃ = 2y_P
+		m.Z.Mod(m.Z, p)
+		c.Set(m.Z)
+		s := m.t6.Mul(m.xP, yy) // S = 4·x_P·y_P²
+		s.Lsh(s, 2)
+		s.Mod(s, p)
+		m.X.Mul(mm, mm)
+		m.X.Sub(m.X, s)
+		m.X.Sub(m.X, s)
+		m.X.Mod(m.X, p)
+		yyyy := m.t4.Mul(yy, yy) // aliasing-safe: big.Int.Mul squares in place
+		yyyy.Lsh(yyyy, 3)
+		m.Y.Sub(s, m.X)
+		m.Y.Mul(m.Y, mm)
+		m.Y.Sub(m.Y, yyyy)
+		m.Y.Mod(m.Y, p)
+		return true
+	case h.Sign() == 0:
+		// V = −P: vertical line, an F_p* factor — V + P = O.
+		m.Z.SetInt64(0)
+		return false
+	default:
+		hh := m.t4.Mul(h, h)
+		hh.Mod(hh, p)
+		hhh := m.t5.Mul(hh, h)
+		hhh.Mod(hhh, p)
+		xh2 := m.t6.Mul(m.X, hh)
+		xh2.Mod(xh2, p)
+
+		m.Z.Mul(m.Z, h) // Z₃ = Z·H
+		m.Z.Mod(m.Z, p)
+
+		a.Mul(r, m.xP)
+		b.Mul(m.Z, m.yP) // scratch use of b for Z₃·y_P
+		a.Sub(a, b)
+		a.Mod(a, p)
+		b.Set(r)
+		c.Set(m.Z)
+
+		m.X.Mul(r, r)
+		m.X.Sub(m.X, hhh)
+		m.X.Sub(m.X, xh2)
+		m.X.Sub(m.X, xh2)
+		m.X.Mod(m.X, p)
+		xh2.Sub(xh2, m.X)
+		xh2.Mul(xh2, r)
+		hhh.Mul(hhh, m.Y)
+		m.Y.Sub(xh2, hhh)
+		m.Y.Mod(m.Y, p)
+		return true
+	}
+}
+
+var bigOne = big.NewInt(1)
+
+// MultiPair computes the pairing product ∏ᵢ ê(Pᵢ, Qᵢ) with one shared
+// Miller loop and a single final exponentiation. The accumulator squaring —
+// one per loop iteration regardless of n — and the final exponentiation are
+// shared across all pairs, so n-pair products cost far less than n calls to
+// Pair; product-form checks (BLS verification, batched share proofs) are the
+// intended callers. Pairs with an infinity member contribute the identity,
+// exactly as in Pair; an empty product is the identity. The shared squaring
+// is sound because ∏fᵢ² = (∏fᵢ)²: the per-pair Miller accumulators can be
+// folded into one before squaring.
+func (pp *Params) MultiPair(ps, qs []*curve.Point) (*GT, error) {
+	if len(ps) != len(qs) {
+		return nil, fmt.Errorf("pairing: MultiPair got %d first arguments and %d second", len(ps), len(qs))
+	}
+	fld := pp.field
+	p := pp.curve.P()
+	type livePair struct {
+		mv     *millerVars
+		xQ, yQ *big.Int
+	}
+	live := make([]livePair, 0, len(ps))
+	for i := range ps {
+		if ps[i] == nil || qs[i] == nil {
+			return nil, fmt.Errorf("pairing: MultiPair pair %d is nil", i)
+		}
+		if ps[i].IsInfinity() || qs[i].IsInfinity() {
+			continue // ê(P, O) = ê(O, Q) = 1
+		}
+		live = append(live, livePair{
+			mv: newMillerVars(p, ps[i]),
+			xQ: qs[i].X(),
+			yQ: qs[i].Y(),
+		})
+	}
+	if len(live) == 0 {
+		return pp.One(), nil
+	}
+
+	f := fld.One()
+	line := fld.One()
+	a, b, c := new(big.Int), new(big.Int), new(big.Int)
+	lr, li := new(big.Int), new(big.Int)
+	mulLine := func(lp *livePair) {
+		lr.Mul(b, lp.xQ)
+		lr.Add(lr, a)
+		lr.Mod(lr, p)
+		li.Mul(c, lp.yQ)
+		li.Mod(li, p)
+		f.Mul(f, fld.SetElement(line, lr, li))
+	}
+	n := pp.curve.Q()
+	for i := n.BitLen() - 2; i >= 0; i-- {
+		f.Square(f) // shared: (∏fⱼ)² = ∏fⱼ²
+		for j := range live {
+			if live[j].mv.doubleStep(a, b, c) {
+				mulLine(&live[j])
+			}
+		}
+		if n.Bit(i) == 1 {
+			for j := range live {
+				if live[j].mv.addStep(a, b, c) {
+					mulLine(&live[j])
+				}
+			}
+		}
+	}
+	v, err := pp.finalExp(f)
+	if err != nil {
+		return nil, err
+	}
+	return &GT{v: v, q: pp.curve.Q()}, nil
+}
+
+// fixedStep is one replayable instruction of a FixedPair program: square the
+// accumulator (doubling steps), then — unless the step's line was vertical —
+// multiply by (alpha·x_Q + beta) + y_Q·i.
+type fixedStep struct {
+	square      bool
+	alpha, beta *big.Int // nil alpha ⇒ no line this step
+}
+
+// FixedPair is a fixed-first-argument pairing evaluator: NewFixedPair walks
+// the Miller loop of ê(P, ·) once, records every line's coefficients
+// normalized to the monic form (α·x_Q + β) + y_Q·i (the 1/c scale is another
+// F_p* factor the final exponentiation kills), and Pair replays the program
+// against any second argument. A replay performs no point arithmetic and no
+// modular inversions — one multiplication per line evaluation plus the
+// accumulator update — which is where the ≥2× speedup over Pair comes from.
+//
+// The loop structure depends only on P and the group order, so the program
+// is valid for every Q. Immutable and safe for concurrent use after
+// construction. Memory: two field elements per recorded line, ~2·|q| lines.
+type FixedPair struct {
+	pp    *Params
+	steps []fixedStep
+}
+
+// NewFixedPair precomputes the Miller-loop program for ê(p1, ·). The fixed
+// argument must be a non-infinity point of the order-q subgroup — the same
+// precondition under which the recorded program's line normalization is
+// well-defined (every chord/tangent in the walk is non-degenerate).
+// Construction costs about one Miller loop plus a single batched inversion.
+func (pp *Params) NewFixedPair(p1 *curve.Point) (*FixedPair, error) {
+	if p1 == nil || p1.IsInfinity() {
+		return nil, fmt.Errorf("pairing: cannot precompute a Miller program for the point at infinity")
+	}
+	if !p1.InSubgroup() {
+		return nil, fmt.Errorf("pairing: fixed pairing argument escapes the order-q subgroup")
+	}
+	p := pp.curve.P()
+	mv := newMillerVars(p, p1)
+	n := pp.curve.Q()
+
+	steps := make([]fixedStep, 0, 2*n.BitLen())
+	// Raw per-line coefficients, normalized after the walk with one batched
+	// inversion of the c column.
+	var as, bs, cs []*big.Int
+	record := func(square bool, produced bool, a, b, c *big.Int) {
+		st := fixedStep{square: square}
+		if produced {
+			as = append(as, a)
+			bs = append(bs, b)
+			cs = append(cs, c)
+			st.alpha = b // placeholder; rewritten below
+		}
+		steps = append(steps, st)
+	}
+	for i := n.BitLen() - 2; i >= 0; i-- {
+		a, b, c := new(big.Int), new(big.Int), new(big.Int)
+		record(true, mv.doubleStep(a, b, c), a, b, c)
+		if n.Bit(i) == 1 {
+			a, b, c = new(big.Int), new(big.Int), new(big.Int)
+			record(false, mv.addStep(a, b, c), a, b, c)
+		}
+	}
+
+	invs, err := batchInvert(cs, p)
+	if err != nil {
+		// Impossible for subgroup points: every recorded line's scale
+		// c ∈ {2YZ³, Z·H·(…)} is nonzero off the degenerate cases, which emit
+		// no line. Surfaced for corrupted inputs rather than silently caching
+		// a wrong program.
+		return nil, fmt.Errorf("pairing: degenerate line in fixed-argument precomputation: %w", err)
+	}
+	li := 0
+	for i := range steps {
+		if steps[i].alpha == nil {
+			continue
+		}
+		alpha := bs[li].Mul(bs[li], invs[li])
+		alpha.Mod(alpha, p)
+		beta := as[li].Mul(as[li], invs[li])
+		beta.Mod(beta, p)
+		steps[i].alpha, steps[i].beta = alpha, beta
+		li++
+	}
+	return &FixedPair{pp: pp, steps: steps}, nil
+}
+
+// Pair computes ê(P, q1) for the fixed P by replaying the precomputed line
+// program, bit-identical to Params.Pair(P, q1). ê(P, O) = 1.
+func (fp *FixedPair) Pair(q1 *curve.Point) (*GT, error) {
+	pp := fp.pp
+	if q1.IsInfinity() {
+		return pp.One(), nil
+	}
+	fld := pp.field
+	p := pp.curve.P()
+	xQ, yQ := q1.X(), q1.Y()
+
+	f := fld.One()
+	line := fld.One()
+	re := new(big.Int)
+	for i := range fp.steps {
+		st := &fp.steps[i]
+		if st.square {
+			f.Square(f)
+		}
+		if st.alpha == nil {
+			continue
+		}
+		re.Mul(st.alpha, xQ)
+		re.Add(re, st.beta)
+		re.Mod(re, p)
+		f.Mul(f, fld.SetElement(line, re, yQ))
+	}
+	v, err := pp.finalExp(f)
+	if err != nil {
+		return nil, err
+	}
+	return &GT{v: v, q: pp.curve.Q()}, nil
+}
+
+// Lines returns the number of recorded line evaluations (memory
+// diagnostics: two field elements are stored per line).
+func (fp *FixedPair) Lines() int {
+	n := 0
+	for i := range fp.steps {
+		if fp.steps[i].alpha != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// batchInvert computes the modular inverses of xs with Montgomery's
+// simultaneous-inversion trick: one ModInverse plus 3(n−1) multiplications.
+// It errors if any element is zero (or shares a factor with p).
+func batchInvert(xs []*big.Int, p *big.Int) ([]*big.Int, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	prefix := make([]*big.Int, len(xs))
+	acc := big.NewInt(1)
+	for i, x := range xs {
+		if x.Sign() == 0 {
+			return nil, fmt.Errorf("element %d is zero", i)
+		}
+		prefix[i] = new(big.Int).Set(acc)
+		acc.Mul(acc, x)
+		acc.Mod(acc, p)
+	}
+	accInv := new(big.Int).ModInverse(acc, p)
+	if accInv == nil {
+		return nil, fmt.Errorf("product is not invertible mod p")
+	}
+	out := make([]*big.Int, len(xs))
+	for i := len(xs) - 1; i >= 0; i-- {
+		inv := new(big.Int).Mul(accInv, prefix[i])
+		inv.Mod(inv, p)
+		out[i] = inv
+		accInv.Mul(accInv, xs[i])
+		accInv.Mod(accInv, p)
+	}
+	return out, nil
+}
+
+// expUnitary computes g^e for a unitary g (norm 1 — the output of the final
+// exponentiation's easy part) with 4-bit fixed windows: each window costs
+// four cheap unitary squarings plus at most one general multiplication,
+// against the bit-at-a-time square-and-multiply of the generic gf exponent
+// path.
+func expUnitary(fld *gf.Field, g *gf.Element, e *big.Int) *gf.Element {
+	bits := e.BitLen()
+	if bits == 0 {
+		return fld.One()
+	}
+	// Odd and even powers g¹..g¹⁵; unitary elements stay unitary under
+	// multiplication, so every intermediate remains eligible for
+	// SquareUnitary.
+	var tab [15]*gf.Element
+	tab[0] = g.Copy()
+	for i := 1; i < 15; i++ {
+		tab[i] = new(gf.Element).Mul(tab[i-1], g)
+	}
+	windows := (bits + 3) / 4
+	out := fld.One()
+	started := false
+	for w := windows - 1; w >= 0; w-- {
+		if started {
+			out.SquareUnitary(out)
+			out.SquareUnitary(out)
+			out.SquareUnitary(out)
+			out.SquareUnitary(out)
+		}
+		d := 0
+		for b := 3; b >= 0; b-- {
+			d <<= 1
+			if e.Bit(4*w+b) == 1 {
+				d |= 1
+			}
+		}
+		if d != 0 {
+			if started {
+				out.Mul(out, tab[d-1])
+			} else {
+				out.Set(tab[d-1])
+				started = true
+			}
+		}
+	}
+	if !started {
+		return fld.One()
+	}
+	return out
+}

@@ -51,6 +51,9 @@ type Params struct {
 
 	genTabOnce sync.Once
 	genTab     *curve.Precomputed // fixed-base comb for gen, built on first GeneratorMul
+
+	genFPOnce sync.Once
+	genFP     *FixedPair // fixed-argument Miller program for gen, built on first PairWithGenerator
 }
 
 // Generate creates fresh pairing parameters with a qBits-bit prime group
@@ -248,6 +251,26 @@ func (pp *Params) Pair(p1, q1 *curve.Point) (*GT, error) {
 	return &GT{v: v, q: pp.curve.Q()}, nil
 }
 
+// PairWithGenerator computes ê(P, q1) for the fixed system generator P via
+// a lazily built FixedPair program shared by all callers — the pairing
+// analogue of GeneratorMul. Verification equations pair against the
+// generator constantly (BLS, threshold share proofs), which is the hot path
+// the cached program exists for. Bit-identical to Pair(Generator(), q1).
+func (pp *Params) PairWithGenerator(q1 *curve.Point) (*GT, error) {
+	pp.genFPOnce.Do(func() {
+		fp, err := pp.NewFixedPair(pp.gen)
+		if err == nil {
+			pp.genFP = fp
+		}
+		// err is impossible for a valid generator; hand-built Params with a
+		// bad generator fall through to the generic path below.
+	})
+	if pp.genFP != nil {
+		return pp.genFP.Pair(q1)
+	}
+	return pp.Pair(pp.gen, q1)
+}
+
 // PairFull computes the same pairing along the affine Miller loop without
 // denominator elimination (tracking vertical-line factors explicitly). It
 // exists as a correctness oracle for the optimized Jacobian loop and for
@@ -289,188 +312,40 @@ func (pp *Params) PairFull(p1, q1 *curve.Point) (*GT, error) {
 // R = y_P·Z³ − Y, Z₃ = ZH), scaling the affine chord by Z₃:
 //
 //	l_add = [R·(x_Q + x_P) − Z₃·y_P] + [Z₃·y_Q]·i
+//
+// The step formulas live in millerVars (amortized.go), which emits each line
+// as generic coefficients (a, b, c) with l = (a + b·x_Q) + (c·y_Q)·i; this
+// loop is one of three consumers of that machinery alongside MultiPair and
+// NewFixedPair.
 func (pp *Params) millerJacobian(p1, q1 *curve.Point) *gf.Element {
 	fld := pp.field
 	p := pp.curve.P()
-	xP, yP := p1.X(), p1.Y()
 	xQ, yQ := q1.X(), q1.Y()
+	mv := newMillerVars(p, p1)
 
 	f := fld.One()
 	line := fld.One()
+	a, b, c := new(big.Int), new(big.Int), new(big.Int)
+	lr, li := new(big.Int), new(big.Int)
 	n := pp.curve.Q()
-
-	// V = (X, Y, Z) in Jacobian coordinates, starting at P.
-	X := new(big.Int).Set(xP)
-	Y := new(big.Int).Set(yP)
-	Z := big.NewInt(1)
-
-	// Scratch for the interleaved point/line formulas.
-	var (
-		t1 = new(big.Int)
-		t2 = new(big.Int)
-		t3 = new(big.Int)
-		t4 = new(big.Int)
-		t5 = new(big.Int)
-		t6 = new(big.Int)
-		lr = new(big.Int) // line real part
-		li = new(big.Int) // line imaginary part
-	)
 
 	for i := n.BitLen() - 2; i >= 0; i-- {
 		f.Square(f)
-		if Z.Sign() != 0 {
-			if Y.Sign() == 0 {
-				// 2-torsion: the tangent is the vertical x = x_V, an F_p*
-				// factor the final exponentiation kills; 2V = O. (Unreachable
-				// from the odd-order subgroup; kept for completeness.)
-				Z.SetInt64(0)
-			} else {
-				// Doubling with line extraction (formulas shared with
-				// curve.jacDouble; see internal/curve/jacobian.go).
-				xx := t1.Mul(X, X)
-				xx.Mod(xx, p)
-				yy := t2.Mul(Y, Y)
-				yy.Mod(yy, p)
-				zz := t3.Mul(Z, Z)
-				zz.Mod(zz, p)
-				s := t4.Mul(X, yy) // S = 4XY²
-				s.Lsh(s, 2)
-				s.Mod(s, p)
-				m := t5.Mul(zz, zz) // M = 3X² + Z⁴
-				m.Add(m, xx)
-				m.Add(m, xx)
-				m.Add(m, xx)
-				m.Mod(m, p)
-
-				// l_dbl real = M·(X + Z²·x_Q) − 2Y²
-				lr.Mul(zz, xQ)
-				lr.Add(lr, X)
-				lr.Mul(lr, m)
-				lr.Sub(lr, yy)
-				lr.Sub(lr, yy)
-				lr.Mod(lr, p)
-
-				// Z₃ = 2YZ (before Y is clobbered)
-				Z.Mul(Y, Z)
-				Z.Lsh(Z, 1)
-				Z.Mod(Z, p)
-
-				// l_dbl imag = Z₃·Z²·y_Q
-				li.Mul(Z, zz)
-				li.Mul(li, yQ)
-				li.Mod(li, p)
-
-				// X₃ = M² − 2S, Y₃ = M·(S − X₃) − 8Y⁴
-				X.Mul(m, m)
-				X.Sub(X, s)
-				X.Sub(X, s)
-				X.Mod(X, p)
-				yyyy := t6.Mul(yy, yy)
-				yyyy.Lsh(yyyy, 3)
-				Y.Sub(s, X)
-				Y.Mul(Y, m)
-				Y.Sub(Y, yyyy)
-				Y.Mod(Y, p)
-
-				f.Mul(f, fld.SetElement(line, lr, li))
-			}
+		if mv.doubleStep(a, b, c) {
+			lr.Mul(b, xQ)
+			lr.Add(lr, a)
+			lr.Mod(lr, p)
+			li.Mul(c, yQ)
+			li.Mod(li, p)
+			f.Mul(f, fld.SetElement(line, lr, li))
 		}
-		if n.Bit(i) == 1 {
-			if Z.Sign() == 0 {
-				// V = O: the "line" through O and P is the vertical at P,
-				// an F_p* factor — skip it and restart at P.
-				X.Set(xP)
-				Y.Set(yP)
-				Z.SetInt64(1)
-			} else {
-				// Mixed addition V + P with line extraction.
-				zz := t1.Mul(Z, Z)
-				zz.Mod(zz, p)
-				u2 := t2.Mul(xP, zz)
-				u2.Mod(u2, p)
-				s2 := t3.Mul(yP, zz)
-				s2.Mul(s2, Z)
-				s2.Mod(s2, p)
-				h := u2.Sub(u2, X) // H = x_P·Z² − X
-				h.Mod(h, p)
-				r := s2.Sub(s2, Y) // R = y_P·Z³ − Y
-				r.Mod(r, p)
-
-				switch {
-				case h.Sign() == 0 && r.Sign() == 0:
-					// V = P: the chord degenerates to the tangent at P, so
-					// this addition is a doubling. V is affine here (Z = 1
-					// after reduction), which simplifies to M = 3x_P² + 1 and
-					// line scale 2y_P.
-					yy := t4.Mul(yP, yP)
-					yy.Mod(yy, p)
-					m := t5.Mul(xP, xP)
-					m.Mod(m, p)
-					t6.Set(m)
-					m.Lsh(m, 1)
-					m.Add(m, t6)
-					m.Add(m, big.NewInt(1)) // M = 3x_P² + 1 (Z = 1)
-					m.Mod(m, p)
-					lr.Add(xP, xQ)
-					lr.Mul(lr, m)
-					lr.Sub(lr, yy)
-					lr.Sub(lr, yy)
-					lr.Mod(lr, p)
-					// Z₃ = 2y_P
-					Z.Lsh(yP, 1)
-					Z.Mod(Z, p)
-					li.Mul(Z, yQ)
-					li.Mod(li, p)
-					s := t4.Mul(xP, yy) // reuse: S = 4·x_P·y_P²
-					s.Lsh(s, 2)
-					s.Mod(s, p)
-					X.Mul(m, m)
-					X.Sub(X, s)
-					X.Sub(X, s)
-					X.Mod(X, p)
-					yyyy := t6.Mul(yy, yy)
-					yyyy.Lsh(yyyy, 3)
-					Y.Sub(s, X)
-					Y.Mul(Y, m)
-					Y.Sub(Y, yyyy)
-					Y.Mod(Y, p)
-					f.Mul(f, fld.SetElement(line, lr, li))
-				case h.Sign() == 0:
-					// V = −P: vertical line, an F_p* factor — skip; V + P = O.
-					Z.SetInt64(0)
-				default:
-					// l_add real = R·(x_Q + x_P) − Z₃·y_P, imag = Z₃·y_Q
-					hh := t4.Mul(h, h)
-					hh.Mod(hh, p)
-					hhh := t5.Mul(hh, h)
-					hhh.Mod(hhh, p)
-					xh2 := t6.Mul(X, hh)
-					xh2.Mod(xh2, p)
-
-					Z.Mul(Z, h) // Z₃ = Z·H
-					Z.Mod(Z, p)
-
-					lr.Add(xQ, xP)
-					lr.Mul(lr, r)
-					lr.Sub(lr, t2.Mul(Z, yP))
-					lr.Mod(lr, p)
-					li.Mul(Z, yQ)
-					li.Mod(li, p)
-
-					X.Mul(r, r)
-					X.Sub(X, hhh)
-					X.Sub(X, xh2)
-					X.Sub(X, xh2)
-					X.Mod(X, p)
-					xh2.Sub(xh2, X)
-					xh2.Mul(xh2, r)
-					hhh.Mul(hhh, Y)
-					Y.Sub(xh2, hhh)
-					Y.Mod(Y, p)
-
-					f.Mul(f, fld.SetElement(line, lr, li))
-				}
-			}
+		if n.Bit(i) == 1 && mv.addStep(a, b, c) {
+			lr.Mul(b, xQ)
+			lr.Add(lr, a)
+			lr.Mod(lr, p)
+			li.Mul(c, yQ)
+			li.Mod(li, p)
+			f.Mul(f, fld.SetElement(line, lr, li))
 		}
 	}
 	return f
@@ -611,9 +486,12 @@ func chordSlope(v, w *curve.Point, p *big.Int) (*big.Int, error) {
 	return num, nil
 }
 
-// finalExp raises f to (p²−1)/q = (p−1)·(p+1)/q. The exponent pp.expTail is
-// fixed at parameter construction, so a failure can only mean a corrupted
-// Miller value; it is returned as an error rather than panicking.
+// finalExp raises f to (p²−1)/q = (p−1)·(p+1)/q. The easy part
+// f^(p−1) = conj(f)·f⁻¹ lands in the norm-1 (unitary) subgroup, so the tail
+// exponentiation by (p+1)/q runs with 4-bit windows over the cheap unitary
+// squaring — same result as the generic square-and-multiply, fewer and
+// cheaper F_p multiplications. The error return is kept for signature
+// stability with earlier revisions; the current implementation cannot fail.
 func (pp *Params) finalExp(f *gf.Element) (*gf.Element, error) {
 	// f^(p−1) = conj(f) · f⁻¹
 	inv, err := new(gf.Element).Inverse(f)
@@ -624,9 +502,5 @@ func (pp *Params) finalExp(f *gf.Element) (*gf.Element, error) {
 	}
 	g := new(gf.Element).Conjugate(f)
 	g.Mul(g, inv)
-	out := new(gf.Element)
-	if _, err := out.Exp(g, pp.expTail); err != nil {
-		return nil, fmt.Errorf("pairing: final exponentiation: %w", err)
-	}
-	return out, nil
+	return expUnitary(pp.field, g, pp.expTail), nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 
 	"repro/internal/core"
@@ -16,8 +17,20 @@ import (
 // configured with; requests for an unconfigured scheme get CodeUnsupported.
 // All schemes share one revocation registry: a single Revoke removes every
 // capability of the identity at once.
+//
+// Requests are executed by a bounded worker pool shared across connections,
+// so token issuance — a pairing per request — saturates the configured
+// parallelism even when clients arrive on few connections, and a flood of
+// connections cannot spawn an unbounded number of pairing computations.
+// Each connection pipelines: the reader keeps accepting frames while earlier
+// requests are still in flight, and a per-connection writer puts responses
+// back on the wire in request order.
 type Server struct {
 	cfg Config
+
+	jobs        chan job
+	workersOnce sync.Once
+	workerWG    sync.WaitGroup
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -25,6 +38,17 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 }
+
+// job is one request travelling through the worker pool. done is buffered,
+// so a worker never blocks on a slow (or dead) connection writer.
+type job struct {
+	req  *Request
+	done chan *Response
+}
+
+// pipelineDepth bounds the number of in-flight requests per connection;
+// beyond it the connection's reader stalls, back-pressuring the client.
+const pipelineDepth = 64
 
 // Config wires the SEM's scheme backends. Registry is required; the scheme
 // backends are optional but must share that registry.
@@ -41,6 +65,10 @@ type Config struct {
 	Pairing *pairing.Params
 	// Logf receives connection-level errors; nil silences them.
 	Logf func(format string, args ...any)
+	// Workers is the size of the request-execution pool; values ≤ 0 default
+	// to runtime.GOMAXPROCS(0). One worker serializes all requests (still
+	// across many pipelined connections); more workers add CPU parallelism.
+	Workers int
 }
 
 // NewServer validates the configuration and returns an unstarted server.
@@ -54,7 +82,31 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		cfg:   cfg,
+		jobs:  make(chan job, cfg.Workers),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Workers reports the size of the request-execution pool.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// startWorkers launches the execution pool (once, from Serve). Workers exit
+// when the jobs channel is closed by Close.
+func (s *Server) startWorkers() {
+	s.workerWG.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go func() {
+			defer s.workerWG.Done()
+			for j := range s.jobs {
+				j.done <- s.dispatch(j.req)
+			}
+		}()
+	}
 }
 
 // Serve accepts connections on ln until Close is called. It blocks; run it
@@ -67,6 +119,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	s.workersOnce.Do(s.startWorkers)
 
 	for {
 		conn, err := ln.Accept()
@@ -114,8 +167,8 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting, closes live connections and waits for handlers to
-// drain.
+// Close stops accepting, closes live connections, waits for handlers to
+// drain and then stops the worker pool.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -133,9 +186,17 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.wg.Wait()
+	// All connection handlers have drained, so nothing can submit another
+	// job; closing the channel releases the workers.
+	close(s.jobs)
+	s.workerWG.Wait()
 	return err
 }
 
+// handleConn is the per-connection reader: it decodes frames, reserves a
+// response slot in the FIFO and hands the request to the worker pool. A
+// companion writer goroutine drains the FIFO so responses leave in request
+// order no matter which worker finishes first.
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() {
 		_ = conn.Close()
@@ -143,20 +204,39 @@ func (s *Server) handleConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+
+	pending := make(chan chan *Response, pipelineDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for slot := range pending {
+			resp := <-slot
+			if broken {
+				continue // keep draining so the reader never wedges
+			}
+			if _, err := writeFrame(conn, resp); err != nil {
+				s.cfg.Logf("sem: write frame to %v: %v", conn.RemoteAddr(), err)
+				broken = true
+				_ = conn.Close() // unblock the reader
+			}
+		}
+	}()
+
 	for {
 		var req Request
 		if _, err := readFrame(conn, &req); err != nil {
 			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
 				s.cfg.Logf("sem: read frame from %v: %v", conn.RemoteAddr(), err)
 			}
-			return
+			break
 		}
-		resp := s.dispatch(&req)
-		if _, err := writeFrame(conn, resp); err != nil {
-			s.cfg.Logf("sem: write frame to %v: %v", conn.RemoteAddr(), err)
-			return
-		}
+		slot := make(chan *Response, 1)
+		pending <- slot
+		s.jobs <- job{req: &req, done: slot}
 	}
+	close(pending)
+	<-writerDone
 }
 
 // dispatch routes one request. It never panics; unexpected failures become

@@ -1,0 +1,372 @@
+package sem
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pairing"
+)
+
+// ibeFixture spins up a SEM daemon with only the IBE backend — the token
+// hot path the worker pool and the precomputation cache exist for — and
+// keeps a handle on the backend so tests can inspect cache state.
+type ibeOnlyFixture struct {
+	pp     *pairing.Params
+	reg    *core.Registry
+	pkg    *core.MediatedPKG
+	ibe    *core.IBESEM
+	server *Server
+	addr   string
+}
+
+func newIBEOnlyFixture(t *testing.T, workers int) *ibeOnlyFixture {
+	t.Helper()
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	pkg, err := core.NewMediatedPKG(rand.Reader, pp, msgLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ibe := core.NewIBESEM(pkg.Public(), reg)
+	srv, err := NewServer(Config{
+		Registry: reg,
+		IBE:      ibe,
+		Pairing:  pp,
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		wg.Wait()
+	})
+	return &ibeOnlyFixture{
+		pp:     pp,
+		reg:    reg,
+		pkg:    pkg,
+		ibe:    ibe,
+		server: srv,
+		addr:   ln.Addr().String(),
+	}
+}
+
+// enrollID splits an identity key and registers the SEM half, returning the
+// user half.
+func (f *ibeOnlyFixture) enrollID(t *testing.T, id string) *core.UserKeyHalf {
+	t.Helper()
+	user, semHalf, err := f.pkg.SplitExtract(rand.Reader, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ibe.Register(semHalf)
+	return user
+}
+
+// TestConcurrentTokenStress hammers the worker pool from many connections
+// and identities at once; run under -race it exercises the shared
+// precomputation cache, the registry, and the pipeline machinery together.
+func TestConcurrentTokenStress(t *testing.T) {
+	f := newIBEOnlyFixture(t, 0) // default pool = GOMAXPROCS
+	const (
+		nIdentities = 4
+		nConns      = 8
+		nRequests   = 6
+	)
+	users := make([]*core.UserKeyHalf, nIdentities)
+	for i := range users {
+		users[i] = f.enrollID(t, fmt.Sprintf("user%d@example.com", i))
+	}
+
+	errs := make(chan error, nConns)
+	for c := 0; c < nConns; c++ {
+		go func(c int) {
+			client, err := Dial(f.addr, f.pp, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			user := users[c%nIdentities]
+			msg := bytes.Repeat([]byte{byte(c)}, msgLen)
+			for r := 0; r < nRequests; r++ {
+				ct, err := f.pkg.Public().Encrypt(rand.Reader, user.ID, msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := client.DecryptIBE(f.pkg.Public(), user, ct)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, msg) {
+					errs <- fmt.Errorf("conn %d round %d: wrong plaintext", c, r)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	for c := 0; c < nConns; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := f.ibe.PairerCacheLen(); got != nIdentities {
+		t.Fatalf("cache holds %d programs, want %d", got, nIdentities)
+	}
+	st := f.ibe.PairerCacheStats()
+	// Every request beyond the first per identity should have hit.
+	if want := uint64(nConns*nRequests - nIdentities); st.Hits < want {
+		t.Fatalf("stats = %+v, want ≥%d hits", st, want)
+	}
+}
+
+// TestSingleWorkerServesManyConnections pins the pool to one worker: the
+// pipeline must still serve all connections (serialized, not deadlocked).
+func TestSingleWorkerServesManyConnections(t *testing.T) {
+	f := newIBEOnlyFixture(t, 1)
+	if got := f.server.Workers(); got != 1 {
+		t.Fatalf("Workers() = %d, want 1", got)
+	}
+	user := f.enrollID(t, testID)
+	msg := bytes.Repeat([]byte{7}, msgLen)
+
+	const nConns = 5
+	errs := make(chan error, nConns)
+	for c := 0; c < nConns; c++ {
+		go func() {
+			client, err := Dial(f.addr, f.pp, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			ct, err := f.pkg.Public().Encrypt(rand.Reader, testID, msg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := client.DecryptIBE(f.pkg.Public(), user, ct)
+			if err == nil && !bytes.Equal(got, msg) {
+				err = errors.New("wrong plaintext")
+			}
+			errs <- err
+		}()
+	}
+	for c := 0; c < nConns; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPipelinedFramesAnsweredInOrder writes a burst of frames without
+// reading any responses, then checks the responses come back in request
+// order — the FIFO contract of the per-connection writer.
+func TestPipelinedFramesAnsweredInOrder(t *testing.T) {
+	f := newIBEOnlyFixture(t, 0)
+	f.reg.Revoke("revoked@example.com", "pattern bit")
+
+	conn, err := net.Dial("tcp", f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	// Frame i asks for the revocation status of an identity whose status
+	// encodes i's parity, so a reordered response is detectable.
+	const n = 32
+	for i := 0; i < n; i++ {
+		id := "fine@example.com"
+		if i%2 == 1 {
+			id = "revoked@example.com"
+		}
+		if _, err := writeFrame(conn, &Request{Op: OpStatus, ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var resp Response
+		if _, err := readFrame(conn, &resp); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if !resp.OK {
+			t.Fatalf("response %d: %+v", i, resp)
+		}
+		if want := i%2 == 1; resp.Revoked != want {
+			t.Fatalf("response %d out of order: revoked=%v, want %v", i, resp.Revoked, want)
+		}
+	}
+}
+
+// TestCacheEvictionOverTheWire drives more identities through the daemon
+// than the precomputation cache holds and checks the stats see the
+// evictions while service is unaffected.
+func TestCacheEvictionOverTheWire(t *testing.T) {
+	f := newIBEOnlyFixture(t, 0)
+	f.ibe.SetPairerCacheCapacity(2)
+	msg := bytes.Repeat([]byte{0xE7}, msgLen)
+
+	client, err := Dial(f.addr, f.pp, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("evict%d@example.com", i)
+		user := f.enrollID(t, id)
+		ct, err := f.pkg.Public().Encrypt(rand.Reader, id, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.DecryptIBE(f.pkg.Public(), user, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("identity %d: wrong plaintext", i)
+		}
+	}
+	if got := f.ibe.PairerCacheLen(); got != 2 {
+		t.Fatalf("cache holds %d programs, want capacity 2", got)
+	}
+	if st := f.ibe.PairerCacheStats(); st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 eviction", st)
+	}
+}
+
+// TestRevocationDropsCachedProgramOverTheWire checks the wire-level
+// revocation path invalidates the identity's precomputed pairing program
+// and that unrevocation restores service with a rebuilt program.
+func TestRevocationDropsCachedProgramOverTheWire(t *testing.T) {
+	f := newIBEOnlyFixture(t, 0)
+	user := f.enrollID(t, testID)
+	msg := bytes.Repeat([]byte{0x5C}, msgLen)
+	ct, err := f.pkg.Public().Encrypt(rand.Reader, testID, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := Dial(f.addr, f.pp, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.DecryptIBE(f.pkg.Public(), user, ct); err != nil {
+		t.Fatal(err)
+	}
+	if f.ibe.PairerCacheLen() != 1 {
+		t.Fatal("no precomputed program after first decryption")
+	}
+
+	if err := client.Revoke(testID, "wire test"); err != nil {
+		t.Fatal(err)
+	}
+	if f.ibe.PairerCacheLen() != 0 {
+		t.Fatal("revocation over the wire left the precomputed program behind")
+	}
+	if _, err := client.DecryptIBE(f.pkg.Public(), user, ct); !errors.Is(err, core.ErrRevoked) {
+		t.Fatalf("revoked decryption: %v", err)
+	}
+
+	if err := client.Unrevoke(testID); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.DecryptIBE(f.pkg.Public(), user, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("wrong plaintext after unrevoke")
+	}
+	if f.ibe.PairerCacheLen() != 1 {
+		t.Fatal("program not rebuilt after unrevoke")
+	}
+}
+
+// TestRevokeRacesTokenIssuance revokes an identity while other connections
+// are mid-decryption: every response must be either a valid plaintext or
+// ErrRevoked — never a stale token — and the cache must be clean at the end.
+func TestRevokeRacesTokenIssuance(t *testing.T) {
+	f := newIBEOnlyFixture(t, 0)
+	user := f.enrollID(t, testID)
+	msg := bytes.Repeat([]byte{0xAB}, msgLen)
+
+	const nConns = 6
+	start := make(chan struct{})
+	errs := make(chan error, nConns)
+	for c := 0; c < nConns; c++ {
+		go func() {
+			client, err := Dial(f.addr, f.pp, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			<-start
+			for r := 0; r < 8; r++ {
+				ct, err := f.pkg.Public().Encrypt(rand.Reader, testID, msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := client.DecryptIBE(f.pkg.Public(), user, ct)
+				switch {
+				case err == nil:
+					if !bytes.Equal(got, msg) {
+						errs <- errors.New("wrong plaintext under revocation race")
+						return
+					}
+				case errors.Is(err, core.ErrRevoked):
+					// fine: the revoker won this round
+				default:
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	close(start)
+	time.Sleep(10 * time.Millisecond)
+	f.reg.Revoke(testID, "mid-flight")
+	for c := 0; c < nConns; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.ibe.PairerCacheLen() != 0 {
+		// A loser of the Revoke/Add race may have re-cached the program;
+		// that is harmless (Token re-checks revocation and the half), but
+		// the identity must still be refused.
+		if _, err := f.ibe.Token(testID, nil); !errors.Is(err, core.ErrRevoked) {
+			t.Fatalf("revoked identity served: %v", err)
+		}
+	}
+}
