@@ -192,6 +192,7 @@ func BenchmarkPairing(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, _ = pp.Pair(P, Q)
 			}
@@ -209,16 +210,19 @@ func BenchmarkScalarMul(b *testing.B) {
 	k, _ := rand.Int(rand.Reader, pp.Q())
 	pp.GeneratorMul(k) // force the lazy table build outside the timer
 	b.Run("variable-wnaf", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			P.ScalarMul(k)
 		}
 	})
 	b.Run("fixed-base", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			pp.GeneratorMul(k)
 		}
 	})
 	b.Run("binary-ladder", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			P.ScalarMulBinary(k)
 		}
@@ -243,11 +247,13 @@ func BenchmarkGTExp(b *testing.B) {
 	}
 	k, _ := rand.Int(rand.Reader, pp.Q())
 	b.Run("square-multiply", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, _ = g.Exp(k)
 		}
 	})
 	b.Run("fixed-base", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tab.Exp(k)
 		}
@@ -287,11 +293,13 @@ func BenchmarkAblationMiller(b *testing.B) {
 	P := pp.Generator()
 	Q, _ := pp.Curve().HashToPoint("bench", []byte("x"))
 	b.Run("denominator-elimination", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, _ = pp.Pair(P, Q)
 		}
 	})
 	b.Run("full-miller", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := pp.PairFull(P, Q); err != nil {
 				b.Fatal(err)

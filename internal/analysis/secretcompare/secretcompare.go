@@ -28,6 +28,17 @@ var variableTime = map[[2]string]bool{
 	{"reflect", "DeepEqual"}: true,
 }
 
+// variableTimeMethods lists non-constant-time comparison methods by defining
+// package path, receiver type name and method name. math/big's Cmp walks the
+// limbs most-significant first and returns at the first difference, so both
+// the receiver and the argument leak through its duration. Constant-time
+// residue comparisons go through fp.Field.Equal, which XOR-accumulates every
+// limb before collapsing to a verdict.
+var variableTimeMethods = map[[3]string]bool{
+	{"math/big", "Int", "Cmp"}:    true,
+	{"math/big", "Int", "CmpAbs"}: true,
+}
+
 func run(pass *analysis.Pass) error {
 	set := secrets.Collect(pass.All)
 	if set.Names() == 0 {
@@ -52,6 +63,28 @@ func run(pass *analysis.Pass) error {
 			case *ast.CallExpr:
 				fn, ok := calleeFunc(info, x)
 				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if recv := receiverTypeName(fn); recv != "" {
+					if !variableTimeMethods[[3]string{fn.Pkg().Path(), recv, fn.Name()}] {
+						return true
+					}
+					// The receiver is as much an input to the comparison as
+					// the arguments: k.D.Cmp(probe) and probe.Cmp(k.D) leak
+					// identically.
+					leaks := false
+					if sel, selOK := ast.Unparen(x.Fun).(*ast.SelectorExpr); selOK && set.SecretExpr(info, sel.X) {
+						leaks = true
+					}
+					for _, arg := range x.Args {
+						if set.SecretExpr(info, arg) {
+							leaks = true
+							break
+						}
+					}
+					if leaks {
+						pass.Reportf(x.Pos(), "secret-bearing value compared with %s.%s.%s; use crypto/subtle or fp.Field.Equal", fn.Pkg().Name(), recv, fn.Name())
+					}
 					return true
 				}
 				if !variableTime[[2]string{fn.Pkg().Path(), fn.Name()}] {
@@ -80,6 +113,24 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
 		return fn, ok
 	}
 	return nil, false
+}
+
+// receiverTypeName returns the name of fn's receiver type (through one
+// pointer), or "" if fn is not a method on a named type.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
 }
 
 // isNil reports whether e is the predeclared nil.

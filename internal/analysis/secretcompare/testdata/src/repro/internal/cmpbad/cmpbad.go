@@ -3,6 +3,7 @@ package cmpbad
 
 import (
 	"bytes"
+	"math/big"
 	"reflect"
 
 	"repro/internal/keys"
@@ -26,4 +27,16 @@ func MatchMaterial(k *keys.PrivateKey, probe []byte) bool {
 // DeepMatch reflects over the whole secret.
 func DeepMatch(a, b *keys.PrivateKey) bool {
 	return reflect.DeepEqual(a, b) // want `secret-bearing value passed to reflect.DeepEqual; use crypto/subtle`
+}
+
+// OrderKeys ranks secret exponents via the receiver of big.Int.Cmp, which
+// returns at the first differing limb.
+func OrderKeys(a, b *keys.PrivateKey) bool {
+	return a.D.Cmp(b.D) < 0 // want `secret-bearing value compared with big.Int.Cmp; use crypto/subtle or fp.Field.Equal`
+}
+
+// ProbeMagnitude leaks the secret through the CmpAbs argument even though
+// the receiver is public.
+func ProbeMagnitude(k *keys.PrivateKey, probe *big.Int) bool {
+	return probe.CmpAbs(k.D) == 0 // want `secret-bearing value compared with big.Int.CmpAbs; use crypto/subtle or fp.Field.Equal`
 }

@@ -3,6 +3,7 @@ package cmpgood
 
 import (
 	"crypto/subtle"
+	"math/big"
 
 	"repro/internal/keys"
 )
@@ -22,4 +23,16 @@ func MatchMaterial(k *keys.PrivateKey, probe []byte) bool {
 // nothing about the key bytes.
 func Loaded(k *keys.PrivateKey) bool {
 	return k != nil && nil != k.D
+}
+
+// InRange compares public parameters: big.Int.Cmp on non-secret values is
+// fine (moduli, group orders, wire-decoded coordinates).
+func InRange(x, p *big.Int) bool {
+	return x.Sign() > 0 && x.Cmp(p) < 0
+}
+
+// CiphertextInRange range-checks against the //cryptolint:public modulus
+// field of an otherwise secret key — a comparison of two public values.
+func CiphertextInRange(k *keys.PrivateKey, c *big.Int) bool {
+	return c.Sign() > 0 && c.Cmp(k.N) < 0
 }

@@ -5,7 +5,8 @@ import "math/big"
 
 //cryptolint:secret
 type PrivateKey struct {
-	ID    string // metadata
+	ID    string   // metadata
+	N     *big.Int //cryptolint:public (the modulus)
 	D     *big.Int
 	Bytes []byte
 }

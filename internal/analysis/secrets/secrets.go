@@ -19,6 +19,16 @@
 //   - calling a method on a secret receiver yields a secret result, unless
 //     the result has basic type (String(), Len(), Equal() accessors);
 //   - indexing or slicing a secret slice yields a secret element.
+//
+// A non-basic field that is nonetheless public — a key half's bound modulus,
+// a key pair's embedded public key — can opt out with a //cryptolint:public
+// comment on the field declaration:
+//
+//	//cryptolint:secret
+//	type HalfKey struct {
+//		N    *big.Int //cryptolint:public (the modulus)
+//		Half *big.Int
+//	}
 package secrets
 
 import (
@@ -32,15 +42,24 @@ import (
 // Marker is the annotation comment that declares a type secret-bearing.
 const Marker = "//cryptolint:secret"
 
-// Set holds the annotated type names of one analysis run.
+// PublicMarker is the field-level escape: a non-basic field of an annotated
+// struct carrying this comment is treated as metadata, not key material.
+const PublicMarker = "//cryptolint:public"
+
+// Set holds the annotated type names of one analysis run, plus the fields of
+// those types explicitly declared public.
 type Set struct {
-	names map[*types.TypeName]bool
+	names  map[*types.TypeName]bool
+	public map[types.Object]bool
 }
 
 // Collect scans every source-loaded package for Marker annotations on type
 // declarations and returns the resulting set.
 func Collect(all []*analysis.Package) *Set {
-	s := &Set{names: make(map[*types.TypeName]bool)}
+	s := &Set{
+		names:  make(map[*types.TypeName]bool),
+		public: make(map[types.Object]bool),
+	}
 	for _, pkg := range all {
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
@@ -48,17 +67,31 @@ func Collect(all []*analysis.Package) *Set {
 				if !ok || gd.Tok.String() != "type" {
 					continue
 				}
-				declMarked := hasMarker(gd.Doc)
+				declMarked := hasMarker(gd.Doc, Marker)
 				for _, spec := range gd.Specs {
 					ts, ok := spec.(*ast.TypeSpec)
 					if !ok {
 						continue
 					}
-					if !declMarked && !hasMarker(ts.Doc) && !hasMarker(ts.Comment) {
+					if !declMarked && !hasMarker(ts.Doc, Marker) && !hasMarker(ts.Comment, Marker) {
 						continue
 					}
 					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
 						s.names[tn] = true
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if !hasMarker(field.Doc, PublicMarker) && !hasMarker(field.Comment, PublicMarker) {
+							continue
+						}
+						for _, name := range field.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								s.public[obj] = true
+							}
+						}
 					}
 				}
 			}
@@ -67,12 +100,12 @@ func Collect(all []*analysis.Package) *Set {
 	return s
 }
 
-func hasMarker(cg *ast.CommentGroup) bool {
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
 	if cg == nil {
 		return false
 	}
 	for _, c := range cg.List {
-		if strings.HasPrefix(strings.TrimSpace(c.Text), Marker) {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), marker) {
 			return true
 		}
 	}
@@ -110,9 +143,13 @@ func (s *Set) SecretExpr(info *types.Info, e ast.Expr) bool {
 	}
 	switch x := e.(type) {
 	case *ast.SelectorExpr:
-		// Field or method access on a secret value: basic-typed results are
-		// metadata, everything else stays secret.
+		// Field or method access on a secret value: basic-typed results and
+		// //cryptolint:public fields are metadata, everything else stays
+		// secret.
 		if !s.SecretExpr(info, x.X) {
+			return false
+		}
+		if obj := info.Uses[x.Sel]; obj != nil && s.public[obj] {
 			return false
 		}
 		return !isBasic(info.TypeOf(e))

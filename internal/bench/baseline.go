@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/json"
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -13,10 +14,15 @@ import (
 )
 
 // BaselineEntry is one timed primitive in a baseline snapshot.
+// AllocsPerOp is the mean number of heap allocations per iteration — nil in
+// snapshots taken before the column existed, so comparisons can tell
+// "unmeasured" from a genuine zero (the limb-arithmetic entries are gated at
+// exactly zero).
 type BaselineEntry struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
-	Iters   int     `json:"iters"`
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	Iters       int      `json:"iters"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // BaselineReport is a machine-readable snapshot of the group-arithmetic
@@ -78,10 +84,31 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 		return nil, err
 	}
 
+	// Field-layer bodies: the F_p² tower and the raw Montgomery limb ops it
+	// is built from. These are the entries the zero-alloc gate watches.
+	fld := pp.Field()
+	e1 := fld.NewElement(P.X(), P.Y())
+	e2 := fld.NewElement(Q.X(), Q.Y())
+	eOut := fld.One()
+	F := fld.Fp()
+	fx, fy, fz := F.NewElt(), F.NewElt(), F.NewElt()
+	if err := F.FromBig(fx, P.X()); err != nil {
+		return nil, err
+	}
+	if err := F.FromBig(fy, Q.X()); err != nil {
+		return nil, err
+	}
+
 	bodies := []struct {
 		name string
 		run  func() error
 	}{
+		{"fp.add", func() error { F.Add(fz, fx, fy); return nil }},
+		{"fp.sub", func() error { F.Sub(fz, fx, fy); return nil }},
+		{"fp.mul", func() error { F.Mul(fz, fx, fy); return nil }},
+		{"fp.square", func() error { F.Square(fz, fx); return nil }},
+		{"gf.mul", func() error { eOut.Mul(e1, e2); return nil }},
+		{"gf.square", func() error { eOut.Square(e1); return nil }},
 		{"pair", func() error { _, err := pp.Pair(P, Q); return err }},
 		{"pair.full-miller", func() error { _, err := pp.PairFull(P, Q); return err }},
 		{"pair.fixed", func() error { _, err := fp.Pair(Q); return err }},
@@ -106,20 +133,39 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 	}
+	var m0, m1 runtime.MemStats
 	for _, body := range bodies {
-		iters := 0
+		iters, batch := 0, 1
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
-		for time.Since(start) < minDuration || iters < minIters {
-			if err := body.run(); err != nil {
-				return nil, fmt.Errorf("baseline %s: %w", body.name, err)
+		for {
+			for j := 0; j < batch; j++ {
+				if err := body.run(); err != nil {
+					return nil, fmt.Errorf("baseline %s: %w", body.name, err)
+				}
 			}
-			iters++
+			iters += batch
+			elapsed := time.Since(start)
+			if elapsed >= minDuration && iters >= minIters {
+				break
+			}
+			if batch == 1 && iters >= 64 && elapsed < minDuration/64 {
+				// Sub-microsecond body (the field-layer entries): batch
+				// iterations so the clock reads stop dominating the timing.
+				batch = 256
+			}
 		}
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		// Rounded to 1e-4 so a stray background-runtime allocation across
+		// millions of iterations does not smear the zero-alloc entries.
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+		allocs = math.Round(allocs*1e4) / 1e4
 		report.Entries = append(report.Entries, BaselineEntry{
-			Name:    body.name,
-			NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
-			Iters:   iters,
+			Name:        body.name,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+			Iters:       iters,
+			AllocsPerOp: &allocs,
 		})
 	}
 	return report, nil

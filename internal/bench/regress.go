@@ -5,18 +5,24 @@ import (
 	"sort"
 )
 
-// Regression describes one baseline entry that ran slower than the allowed
-// tolerance over its committed reference timing.
+// Regression describes one baseline entry that exceeded the allowed
+// tolerance over its committed reference — in time (Metric "ns/op") or in
+// heap allocations (Metric "allocs/op").
 type Regression struct {
 	Name    string  // entry name
-	RefNs   float64 // committed ns/op
-	FreshNs float64 // measured ns/op
-	Percent float64 // slowdown, percent over the reference
+	Metric  string  // "ns/op" or "allocs/op"
+	RefNs   float64 // committed reference value
+	FreshNs float64 // measured value
+	Percent float64 // growth, percent over the reference
 }
 
 func (r Regression) String() string {
-	return fmt.Sprintf("%s: %.0f ns/op vs %.0f ns/op reference (+%.1f%%)",
-		r.Name, r.FreshNs, r.RefNs, r.Percent)
+	metric := r.Metric
+	if metric == "" {
+		metric = "ns/op"
+	}
+	return fmt.Sprintf("%s: %.1f %s vs %.1f %s reference (+%.1f%%)",
+		r.Name, r.FreshNs, metric, r.RefNs, metric, r.Percent)
 }
 
 // CompareBaselines checks a freshly measured report against a committed
@@ -33,28 +39,50 @@ func CompareBaselines(ref, fresh *BaselineReport, tolerancePct float64) ([]Regre
 	if tolerancePct < 0 {
 		return nil, fmt.Errorf("bench: negative tolerance %.1f%%", tolerancePct)
 	}
-	refNs := make(map[string]float64, len(ref.Entries))
+	refEnt := make(map[string]BaselineEntry, len(ref.Entries))
 	for _, e := range ref.Entries {
 		if e.NsPerOp > 0 {
-			refNs[e.Name] = e.NsPerOp
+			refEnt[e.Name] = e
 		}
 	}
 	var regs []Regression
 	common := 0
 	for _, e := range fresh.Entries {
-		old, ok := refNs[e.Name]
+		old, ok := refEnt[e.Name]
 		if !ok {
 			continue
 		}
 		common++
-		slowdown := (e.NsPerOp - old) / old * 100
+		slowdown := (e.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
 		if slowdown > tolerancePct {
-			regs = append(regs, Regression{Name: e.Name, RefNs: old, FreshNs: e.NsPerOp, Percent: slowdown})
+			regs = append(regs, Regression{Name: e.Name, Metric: "ns/op", RefNs: old.NsPerOp, FreshNs: e.NsPerOp, Percent: slowdown})
+		}
+		// Allocation gate: only when both snapshots measured the column.
+		// Allocation counts are near-deterministic, so the bar is tighter
+		// than the timing tolerance: a zero reference admits (almost) no
+		// allocations at all, a nonzero one the same percent tolerance with
+		// a small absolute slack for background-runtime noise.
+		if old.AllocsPerOp == nil || e.AllocsPerOp == nil {
+			continue
+		}
+		refA, freshA := *old.AllocsPerOp, *e.AllocsPerOp
+		limit := refA*(1+tolerancePct/100) + 0.5
+		if freshA > limit {
+			pct := 100.0
+			if refA > 0 {
+				pct = (freshA - refA) / refA * 100
+			}
+			regs = append(regs, Regression{Name: e.Name, Metric: "allocs/op", RefNs: refA, FreshNs: freshA, Percent: pct})
 		}
 	}
 	if common == 0 {
 		return nil, fmt.Errorf("bench: no common entries between reference and fresh report")
 	}
-	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
 	return regs, nil
 }

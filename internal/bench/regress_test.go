@@ -36,6 +36,43 @@ func TestCompareBaselinesFlagsOnlyRealRegressions(t *testing.T) {
 	}
 }
 
+func fptr(v float64) *float64 { return &v }
+
+func TestCompareBaselinesAllocGate(t *testing.T) {
+	ref := report("paper",
+		BaselineEntry{Name: "fp.mul", NsPerOp: 100, AllocsPerOp: fptr(0)},
+		BaselineEntry{Name: "pair", NsPerOp: 1000, AllocsPerOp: fptr(100)},
+		BaselineEntry{Name: "legacy", NsPerOp: 1000}, // pre-column snapshot
+	)
+	fresh := report("paper",
+		BaselineEntry{Name: "fp.mul", NsPerOp: 100, AllocsPerOp: fptr(2)},   // zero-alloc claim broken
+		BaselineEntry{Name: "pair", NsPerOp: 1000, AllocsPerOp: fptr(105)},  // within tolerance
+		BaselineEntry{Name: "legacy", NsPerOp: 1000, AllocsPerOp: fptr(50)}, // no ref column — skipped
+	)
+	regs, err := CompareBaselines(ref, fresh, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "fp.mul" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regressions = %+v, want exactly fp.mul allocs/op", regs)
+	}
+	if s := regs[0].String(); !strings.Contains(s, "allocs/op") {
+		t.Fatalf("String() = %q, want allocs/op metric", s)
+	}
+
+	// A large allocation growth over a nonzero reference is flagged too.
+	fresh2 := report("paper",
+		BaselineEntry{Name: "pair", NsPerOp: 1000, AllocsPerOp: fptr(300)},
+	)
+	regs, err = CompareBaselines(ref, fresh2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regressions = %+v, want one allocs/op regression", regs)
+	}
+}
+
 func TestCompareBaselinesGenerousToleranceAcceptsAll(t *testing.T) {
 	ref := report("paper", BaselineEntry{Name: "pair", NsPerOp: 1000})
 	fresh := report("paper", BaselineEntry{Name: "pair", NsPerOp: 3000})

@@ -213,16 +213,19 @@ func BenchmarkScalarMulStrategies(b *testing.B) {
 	}
 	k, _ := rand.Int(rand.Reader, c.Q())
 	b.Run("wnaf", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			P.ScalarMul(k)
 		}
 	})
 	b.Run("fixed-base", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			pc.ScalarMul(k)
 		}
 	})
 	b.Run("binary-ladder", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			P.ScalarMulBinary(k)
 		}

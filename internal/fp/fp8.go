@@ -1,0 +1,53 @@
+// The specialized CIOS path for the paper shape: 8 limbs / 512-bit moduli.
+//
+// Generate produces runtime primes, so unlike the BLS12-381 stacks there
+// is no compile-time modulus to bake into the code; the specialization is
+// keyed off the limb count instead. Converting the operand slices to
+// fixed-size array pointers pins every loop bound at the constant 8, which
+// eliminates all bounds checks and lets the compiler fully unroll the
+// inner multiply-accumulate chains — the generic fallback pays per-access
+// bounds checks and unknown trip counts on exactly the same arithmetic.
+package fp
+
+import "math/bits"
+
+// montMul8 is montMulGeneric with every dimension fixed at 8 limbs.
+// z = x·y·R⁻¹ mod p; aliasing of z with x and/or y is allowed.
+func (f *Field) montMul8(z, x, y []uint64) {
+	xp := (*[8]uint64)(x)
+	yp := (*[8]uint64)(y)
+	pp := (*[8]uint64)(f.p)
+	n0 := f.n0
+
+	var t [10]uint64
+	for i := 0; i < 8; i++ {
+		yi := yp[i]
+		var c uint64
+		for j := 0; j < 8; j++ {
+			c, t[j] = madd(xp[j], yi, t[j], c)
+		}
+		var c2 uint64
+		t[8], c2 = bits.Add64(t[8], c, 0)
+		t[9] = c2
+
+		m := t[0] * n0
+		c, _ = madd(m, pp[0], t[0], 0)
+		for j := 1; j < 8; j++ {
+			c, t[j-1] = madd(m, pp[j], t[j], c)
+		}
+		t[7], c = bits.Add64(t[8], c, 0)
+		t[8], _ = bits.Add64(t[9], c, 0)
+	}
+
+	zp := (*[8]uint64)(z)
+	var s [8]uint64
+	var b uint64
+	for i := 0; i < 8; i++ {
+		s[i], b = bits.Sub64(t[i], pp[i], b)
+	}
+	_, keepT := bits.Sub64(t[8], 0, b) // borrow ⇒ t < p ⇒ keep t
+	mask := -keepT
+	for i := 0; i < 8; i++ {
+		zp[i] = (t[i] & mask) | (s[i] &^ mask)
+	}
+}

@@ -1,0 +1,397 @@
+package fp
+
+import (
+	"math/big"
+	"testing"
+)
+
+// testModuli spans the dispatch space: single-limb, the toy/fast/paper
+// pairing primes (2, 4 and 8 limbs — the 8-limb one exercises montMul8 and,
+// being exactly 512 bits, the non-lazy F_p² path), a 505-bit prime whose 8
+// limbs leave spare bits (lazy path on the specialized width), and a
+// 9-limb prime on the generic fallback. Entries without a hex literal are
+// derived deterministically: the smallest prime ≥ 2^(bits−1)+1.
+var testModuli = []struct {
+	name string
+	hex  string // known-prime literal, or ""
+	bits int    // used when hex == ""
+}{
+	{name: "1limb", bits: 64},
+	{name: "toy-2limb", hex: "c88410b59ac4fa20d9a0256b"},
+	{name: "fast-4limb", hex: "db19579dd2a906bb3f2f4f74c236e52c70115d99c09f7c474e96cdbe63e4da07"},
+	{name: "paper-8limb", hex: "b282da5c02935d5836473139df6751ee8e1fb07c917309c04088843b36435876d65dd173ce4ac63f883c05a59ad3a134e30ef32607e2a49c71e515d4dcc47eef"},
+	{name: "lazy-8limb", bits: 505},
+	{name: "9limb", bits: 513},
+}
+
+func primeWithBits(bits int) *big.Int {
+	p := new(big.Int).Lsh(big.NewInt(1), uint(bits-1))
+	p.Add(p, big.NewInt(1))
+	for !p.ProbablyPrime(20) {
+		p.Add(p, big.NewInt(2))
+	}
+	return p
+}
+
+func testModulus(t testing.TB, name string) *big.Int {
+	t.Helper()
+	for _, tm := range testModuli {
+		if tm.name != name {
+			continue
+		}
+		if tm.hex != "" {
+			p, ok := new(big.Int).SetString(tm.hex, 16)
+			if !ok {
+				t.Fatalf("bad prime literal %q", tm.hex)
+			}
+			return p
+		}
+		return primeWithBits(tm.bits)
+	}
+	t.Fatalf("unknown test modulus %q", name)
+	return nil
+}
+
+func mustField(t testing.TB, name string) (*Field, *big.Int) {
+	t.Helper()
+	p := testModulus(t, name)
+	if !p.ProbablyPrime(20) {
+		t.Fatalf("test modulus %s is not prime", name)
+	}
+	f, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, p
+}
+
+// boundaryValues returns the corner cases every op is checked on: 0, 1, 2,
+// p−1, p−2, a value with only the top limb set, and one with all limbs
+// high.
+func boundaryValues(p *big.Int) []*big.Int {
+	n := (p.BitLen() + 63) / 64
+	top := new(big.Int).Lsh(big.NewInt(1), uint(64*(n-1)))
+	top.Mod(top, p)
+	all := new(big.Int).Lsh(big.NewInt(1), uint(64*n))
+	all.Sub(all, big.NewInt(1))
+	all.Mod(all, p)
+	return []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(p, big.NewInt(1)),
+		new(big.Int).Sub(p, big.NewInt(2)),
+		top,
+		all,
+	}
+}
+
+func TestNewRejectsBadModuli(t *testing.T) {
+	for _, bad := range []*big.Int{
+		big.NewInt(0), big.NewInt(-7), big.NewInt(1), big.NewInt(10),
+		new(big.Int).Lsh(big.NewInt(1), 64*MaxLimbs), // too wide (and even)
+		new(big.Int).Add(new(big.Int).Lsh(big.NewInt(1), 64*MaxLimbs), big.NewInt(1)),
+	} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%v) accepted", bad)
+		}
+	}
+}
+
+func TestRoundTripAndConstants(t *testing.T) {
+	for _, tm := range testModuli {
+		t.Run(tm.name, func(t *testing.T) {
+			f, p := mustField(t, tm.name)
+			for _, v := range boundaryValues(p) {
+				z := f.NewElt()
+				if err := f.FromBig(z, v); err != nil {
+					t.Fatal(err)
+				}
+				if got := f.ToBig(z); got.Cmp(v) != 0 {
+					t.Fatalf("round trip %v → %v", v, got)
+				}
+			}
+			one := f.NewElt()
+			f.SetOne(one)
+			if got := f.ToBig(one); got.Cmp(big.NewInt(1)) != 0 {
+				t.Fatalf("Montgomery one decodes to %v", got)
+			}
+			if !f.IsOne(one) || f.IsZero(one) {
+				t.Fatal("IsOne/IsZero disagree on 1")
+			}
+			if err := f.FromBig(f.NewElt(), p); err == nil {
+				t.Fatal("FromBig accepted p itself")
+			}
+		})
+	}
+}
+
+func TestArithmeticMatchesBigInt(t *testing.T) {
+	for _, tm := range testModuli {
+		t.Run(tm.name, func(t *testing.T) {
+			f, p := mustField(t, tm.name)
+			vals := boundaryValues(p)
+			// A couple of mid-range values derived from p.
+			vals = append(vals,
+				new(big.Int).Div(p, big.NewInt(3)),
+				new(big.Int).Div(p, big.NewInt(7)))
+			x, y, z := f.NewElt(), f.NewElt(), f.NewElt()
+			for _, a := range vals {
+				for _, b := range vals {
+					if err := f.FromBig(x, a); err != nil {
+						t.Fatal(err)
+					}
+					if err := f.FromBig(y, b); err != nil {
+						t.Fatal(err)
+					}
+					check := func(op string, got []uint64, want *big.Int) {
+						t.Helper()
+						if g := f.ToBig(got); g.Cmp(want) != 0 {
+							t.Fatalf("%s(%v, %v) = %v, want %v", op, a, b, g, want)
+						}
+					}
+					f.Add(z, x, y)
+					check("Add", z, new(big.Int).Mod(new(big.Int).Add(a, b), p))
+					f.Sub(z, x, y)
+					check("Sub", z, new(big.Int).Mod(new(big.Int).Sub(a, b), p))
+					f.Mul(z, x, y)
+					check("Mul", z, new(big.Int).Mod(new(big.Int).Mul(a, b), p))
+				}
+				if err := f.FromBig(x, a); err != nil {
+					t.Fatal(err)
+				}
+				f.Square(z, x)
+				wantSq := new(big.Int).Mod(new(big.Int).Mul(a, a), p)
+				if g := f.ToBig(z); g.Cmp(wantSq) != 0 {
+					t.Fatalf("Square(%v) = %v, want %v", a, g, wantSq)
+				}
+				f.Neg(z, x)
+				wantNeg := new(big.Int).Mod(new(big.Int).Neg(a), p)
+				if g := f.ToBig(z); g.Cmp(wantNeg) != 0 {
+					t.Fatalf("Neg(%v) = %v, want %v", a, g, wantNeg)
+				}
+				f.Double(z, x)
+				wantDbl := new(big.Int).Mod(new(big.Int).Lsh(a, 1), p)
+				if g := f.ToBig(z); g.Cmp(wantDbl) != 0 {
+					t.Fatalf("Double(%v) = %v, want %v", a, g, wantDbl)
+				}
+			}
+		})
+	}
+}
+
+func TestAliasing(t *testing.T) {
+	f, p := mustField(t, "paper-8limb")
+	a := new(big.Int).Div(p, big.NewInt(5))
+	x := f.NewElt()
+	if err := f.FromBig(x, a); err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Mod(new(big.Int).Mul(a, a), p)
+	f.Mul(x, x, x) // full aliasing
+	if g := f.ToBig(x); g.Cmp(want) != 0 {
+		t.Fatalf("aliased Mul = %v, want %v", g, want)
+	}
+	f.Add(x, x, x)
+	want.Mod(want.Lsh(want, 1), p)
+	if g := f.ToBig(x); g.Cmp(want) != 0 {
+		t.Fatalf("aliased Add = %v, want %v", g, want)
+	}
+}
+
+func TestInvAndExp(t *testing.T) {
+	for _, tm := range testModuli {
+		t.Run(tm.name, func(t *testing.T) {
+			f, p := mustField(t, tm.name)
+			x, inv, prod := f.NewElt(), f.NewElt(), f.NewElt()
+			for _, a := range boundaryValues(p) {
+				if err := f.FromBig(x, a); err != nil {
+					t.Fatal(err)
+				}
+				err := f.Inv(inv, x)
+				if a.Sign() == 0 {
+					if err != ErrNotInvertible {
+						t.Fatalf("Inv(0) = %v, want ErrNotInvertible", err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Mul(prod, x, inv)
+				if !f.IsOne(prod) {
+					t.Fatalf("x·x⁻¹ ≠ 1 for x = %v", a)
+				}
+				vt := f.NewElt()
+				if err := f.InvVarTime(vt, x); err != nil {
+					t.Fatal(err)
+				}
+				if !f.Equal(vt, inv) {
+					t.Fatalf("InvVarTime disagrees with Inv for x = %v", a)
+				}
+			}
+			// Exp vs big.Int.Exp on a fixed base and exponent.
+			a := new(big.Int).Div(p, big.NewInt(11))
+			e := new(big.Int).Div(p, big.NewInt(13))
+			if err := f.FromBig(x, a); err != nil {
+				t.Fatal(err)
+			}
+			f.Exp(x, x, e)
+			want := new(big.Int).Exp(a, e, p)
+			if g := f.ToBig(x); g.Cmp(want) != 0 {
+				t.Fatalf("Exp = %v, want %v", g, want)
+			}
+		})
+	}
+}
+
+func TestFp2TowerMatchesOracle(t *testing.T) {
+	for _, tm := range testModuli {
+		t.Run(tm.name, func(t *testing.T) {
+			f, p := mustField(t, tm.name)
+			vals := boundaryValues(p)
+			ar, ai, br, bi := f.NewElt(), f.NewElt(), f.NewElt(), f.NewElt()
+			zr, zi := f.NewElt(), f.NewElt()
+			for i, a := range vals {
+				for j, b := range vals {
+					c := vals[(i+3)%len(vals)]
+					d := vals[(j+5)%len(vals)]
+					for _, e := range [][]*big.Int{{a, b, c, d}, {a, a, a, a}} {
+						a, b, c, d := e[0], e[1], e[2], e[3]
+						if err := f.FromBig(ar, a); err != nil {
+							t.Fatal(err)
+						}
+						if err := f.FromBig(ai, b); err != nil {
+							t.Fatal(err)
+						}
+						if err := f.FromBig(br, c); err != nil {
+							t.Fatal(err)
+						}
+						if err := f.FromBig(bi, d); err != nil {
+							t.Fatal(err)
+						}
+						// (a+bi)(c+di) = (ac − bd) + (ad + bc)i
+						wr := new(big.Int).Sub(new(big.Int).Mul(a, c), new(big.Int).Mul(b, d))
+						wr.Mod(wr, p)
+						wi := new(big.Int).Add(new(big.Int).Mul(a, d), new(big.Int).Mul(b, c))
+						wi.Mod(wi, p)
+						f.MulFp2(zr, zi, ar, ai, br, bi)
+						if gr, gi := f.ToBig(zr), f.ToBig(zi); gr.Cmp(wr) != 0 || gi.Cmp(wi) != 0 {
+							t.Fatalf("MulFp2((%v,%v),(%v,%v)) = (%v,%v), want (%v,%v)", a, b, c, d, gr, gi, wr, wi)
+						}
+						// (a+bi)²
+						sr := new(big.Int).Sub(new(big.Int).Mul(a, a), new(big.Int).Mul(b, b))
+						sr.Mod(sr, p)
+						si := new(big.Int).Mul(a, b)
+						si.Lsh(si, 1)
+						si.Mod(si, p)
+						f.SquareFp2(zr, zi, ar, ai)
+						if gr, gi := f.ToBig(zr), f.ToBig(zi); gr.Cmp(sr) != 0 || gi.Cmp(si) != 0 {
+							t.Fatalf("SquareFp2(%v,%v) = (%v,%v), want (%v,%v)", a, b, gr, gi, sr, si)
+						}
+						// Aliased outputs.
+						f.MulFp2(ar, ai, ar, ai, br, bi)
+						if gr, gi := f.ToBig(ar), f.ToBig(ai); gr.Cmp(wr) != 0 || gi.Cmp(wi) != 0 {
+							t.Fatalf("aliased MulFp2 = (%v,%v), want (%v,%v)", gr, gi, wr, wi)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLazyFlagPerModulus(t *testing.T) {
+	expect := map[string]bool{
+		"1limb":       false, // 2^64 − 977 uses all 64 bits
+		"toy-2limb":   true,  // 96 bits in 128
+		"fast-4limb":  false, // exactly 256 bits
+		"paper-8limb": false, // exactly 512 bits
+		"lazy-8limb":  true,  // 505 bits in 512
+		"9limb":       true,  // 513 bits in 576
+	}
+	for _, tm := range testModuli {
+		f, p := mustField(t, tm.name)
+		want, ok := expect[tm.name]
+		if !ok {
+			t.Fatalf("no expectation for %s", tm.name)
+		}
+		if f.Lazy() != want {
+			t.Errorf("%s (bitlen %d, %d limbs): Lazy() = %v, want %v",
+				tm.name, p.BitLen(), f.Limbs(), f.Lazy(), want)
+		}
+	}
+}
+
+func TestSelectAndEqual(t *testing.T) {
+	f, p := mustField(t, "paper-8limb")
+	x, y, z := f.NewElt(), f.NewElt(), f.NewElt()
+	if err := f.FromBig(x, big.NewInt(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FromBig(y, new(big.Int).Sub(p, big.NewInt(1))); err != nil {
+		t.Fatal(err)
+	}
+	Select(z, x, y, 1)
+	if !f.Equal(z, x) {
+		t.Fatal("Select(v=1) did not pick x")
+	}
+	Select(z, x, y, 0)
+	if !f.Equal(z, y) {
+		t.Fatal("Select(v=0) did not pick y")
+	}
+	if f.Equal(x, y) {
+		t.Fatal("Equal confuses distinct elements")
+	}
+}
+
+// TestZeroAllocs pins the headline property: no heap allocation per
+// operation, on both the specialized 8-limb path and the generic fallback.
+func TestZeroAllocs(t *testing.T) {
+	for _, name := range []string{"paper-8limb", "9limb", "lazy-8limb"} {
+		t.Run(name, func(t *testing.T) {
+			f, p := mustField(t, name)
+			x, y, z, zi := f.NewElt(), f.NewElt(), f.NewElt(), f.NewElt()
+			if err := f.FromBig(x, new(big.Int).Div(p, big.NewInt(3))); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.FromBig(y, new(big.Int).Div(p, big.NewInt(7))); err != nil {
+				t.Fatal(err)
+			}
+			ops := map[string]func(){
+				"Add":       func() { f.Add(z, x, y) },
+				"Sub":       func() { f.Sub(z, x, y) },
+				"Neg":       func() { f.Neg(z, x) },
+				"Mul":       func() { f.Mul(z, x, y) },
+				"Square":    func() { f.Square(z, x) },
+				"MulFp2":    func() { f.MulFp2(z, zi, x, y, y, x) },
+				"SquareFp2": func() { f.SquareFp2(z, zi, x, y) },
+				"Inv":       func() { _ = f.Inv(z, x) },
+			}
+			for opName, op := range ops {
+				if allocs := testing.AllocsPerRun(100, op); allocs != 0 {
+					t.Errorf("%s allocates %.1f objects/op, want 0", opName, allocs)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	for _, tm := range []string{"paper-8limb", "9limb"} {
+		f, p := mustField(b, tm)
+		x, y, z := f.NewElt(), f.NewElt(), f.NewElt()
+		if err := f.FromBig(x, new(big.Int).Div(p, big.NewInt(3))); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.FromBig(y, new(big.Int).Div(p, big.NewInt(7))); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tm, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f.Mul(z, x, y)
+			}
+		})
+	}
+}

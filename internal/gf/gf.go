@@ -5,6 +5,14 @@
 // substrate evaluates Miller line functions in this field and the target
 // group GT of the modified Tate pairing is its order-q subgroup.
 //
+// Coordinates are stored as Montgomery-form limb vectors backed by
+// internal/fp, so the tower multiplications run on raw uint64 arithmetic
+// with zero heap allocations; *big.Int appears only at the edges
+// (construction, serialization, String) where values enter or leave the
+// field. Because inversion is Fermat-based in the limb backend, the modulus
+// handed to NewField must be prime — every caller in this repository
+// constructs fields over the primes produced by param generation.
+//
 // All operations are immutable with respect to their operands: methods on
 // *Element write into the receiver and return it (math/big style), so
 // chains like e.Mul(x, y).Square(e) work, and no method retains references
@@ -15,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+
+	"repro/internal/fp"
 )
 
 // ErrNotInvertible is returned when inverting the zero element.
@@ -23,12 +33,16 @@ var ErrNotInvertible = errors.New("gf: zero element is not invertible")
 // Field describes F_p² for a fixed prime p ≡ 3 (mod 4). A Field value is
 // immutable after construction and safe for concurrent use.
 type Field struct {
-	p *big.Int
+	p    *big.Int
+	fp   *fp.Field
+	size int      // bytes per serialized coordinate
+	one  []uint64 // 1 in Montgomery form, for SquareUnitary
 }
 
 // NewField constructs the quadratic extension over the prime p.
 // It returns an error unless p ≡ 3 (mod 4) (needed for i² = −1 to define a
-// field: −1 must be a non-residue).
+// field: −1 must be a non-residue). Primality itself is the caller's
+// contract — inversion is computed as a Fermat power x^(p−2).
 func NewField(p *big.Int) (*Field, error) {
 	if p.Sign() <= 0 {
 		return nil, fmt.Errorf("gf: modulus must be positive")
@@ -36,105 +50,138 @@ func NewField(p *big.Int) (*Field, error) {
 	if p.Bit(0) != 1 || p.Bit(1) != 1 {
 		return nil, fmt.Errorf("gf: modulus must be ≡ 3 (mod 4), got %v (mod 4)", new(big.Int).Mod(p, big.NewInt(4)))
 	}
-	return &Field{p: new(big.Int).Set(p)}, nil
+	base, err := fp.New(p)
+	if err != nil {
+		return nil, fmt.Errorf("gf: %w", err)
+	}
+	f := &Field{
+		p:    new(big.Int).Set(p),
+		fp:   base,
+		size: (p.BitLen() + 7) / 8,
+		one:  base.NewElt(),
+	}
+	base.SetOne(f.one)
+	return f, nil
 }
 
-// P returns (a copy of) the characteristic.
+// P returns (a copy of) the characteristic. Each call allocates; hot loops
+// should hold the limb-level field from Fp instead.
 func (f *Field) P() *big.Int { return new(big.Int).Set(f.p) }
 
-// Element is an element a + b·i of F_p². The zero value is not usable;
-// construct via Field.NewElement or the arithmetic methods.
+// Fp exposes the Montgomery limb backend for the base field F_p. The
+// pairing Miller loop computes its line coefficients there and injects them
+// via SetMont, bypassing big.Int entirely.
+func (f *Field) Fp() *fp.Field { return f.fp }
+
+// Element is an element a + b·i of F_p², coordinates in Montgomery form.
+// The zero value is usable as the receiver of any arithmetic method
+// (storage is adopted from the operands' field on first use).
 type Element struct {
 	f    *Field
-	a, b *big.Int
+	a, b []uint64
+}
+
+// ensure makes the receiver's coordinate storage usable so the arithmetic
+// methods can compute in place. The Miller loop and GT exponentiation call
+// these methods millions of times; reusing receiver storage removes all
+// per-op allocation after the first touch.
+func (e *Element) ensure(f *Field) {
+	n := f.fp.Limbs()
+	if len(e.a) != n {
+		e.a = make([]uint64, n)
+	}
+	if len(e.b) != n {
+		e.b = make([]uint64, n)
+	}
+	e.f = f
 }
 
 // NewElement builds the element a + b·i (values are reduced mod p and copied).
 func (f *Field) NewElement(a, b *big.Int) *Element {
-	e := &Element{
-		f: f,
-		a: new(big.Int).Mod(a, f.p),
-		b: new(big.Int).Mod(b, f.p),
-	}
-	return e
+	e := new(Element)
+	return f.SetElement(e, a, b)
 }
 
 // Zero returns the additive identity.
-func (f *Field) Zero() *Element { return f.NewElement(big.NewInt(0), big.NewInt(0)) }
+func (f *Field) Zero() *Element {
+	e := new(Element)
+	e.ensure(f)
+	return e
+}
 
 // One returns the multiplicative identity.
-func (f *Field) One() *Element { return f.NewElement(big.NewInt(1), big.NewInt(0)) }
+func (f *Field) One() *Element {
+	e := f.Zero()
+	f.fp.Set(e.a, f.one)
+	return e
+}
 
 // FromInt lifts an F_p element into F_p².
 func (f *Field) FromInt(a *big.Int) *Element { return f.NewElement(a, big.NewInt(0)) }
 
 // SetElement loads (a mod p) + (b mod p)·i into e, reusing e's existing
-// coordinate storage when present. Hot loops (the Miller loop's line
-// evaluations) use this to rebuild one persistent element per iteration
-// instead of allocating a fresh one.
+// coordinate storage when present.
 func (f *Field) SetElement(e *Element, a, b *big.Int) *Element {
-	if e.a == nil {
-		e.a = new(big.Int)
+	e.ensure(f)
+	f.setCoord(e.a, a)
+	f.setCoord(e.b, b)
+	return e
+}
+
+func (f *Field) setCoord(dst []uint64, v *big.Int) {
+	if v.Sign() < 0 || v.Cmp(f.p) >= 0 {
+		v = new(big.Int).Mod(v, f.p)
 	}
-	if e.b == nil {
-		e.b = new(big.Int)
+	// In range after the reduction above, so FromBig cannot fail; the
+	// second reduction is defensive (keeps this path panic-free).
+	if err := f.fp.FromBig(dst, v); err != nil {
+		f.fp.SetZero(dst)
 	}
-	e.f = f
-	e.a.Mod(a, f.p)
-	e.b.Mod(b, f.p)
+}
+
+// SetMont loads the Montgomery-form F_p coordinates (re, im) into e. This
+// is the zero-conversion entry point for limb-level producers such as the
+// pairing line evaluator; the slices are copied, not retained.
+func (f *Field) SetMont(e *Element, re, im []uint64) *Element {
+	e.ensure(f)
+	f.fp.Set(e.a, re)
+	f.fp.Set(e.b, im)
 	return e
 }
 
 // Field returns the field the element belongs to.
 func (e *Element) Field() *Field { return e.f }
 
-// Re returns a copy of the real coordinate.
-func (e *Element) Re() *big.Int { return new(big.Int).Set(e.a) }
+// Re returns a copy of the real coordinate. Each call converts out of
+// Montgomery form and allocates; not for hot loops.
+func (e *Element) Re() *big.Int { return e.f.fp.ToBig(e.a) }
 
-// Im returns a copy of the imaginary coordinate.
-func (e *Element) Im() *big.Int { return new(big.Int).Set(e.b) }
+// Im returns a copy of the imaginary coordinate (same cost caveat as Re).
+func (e *Element) Im() *big.Int { return e.f.fp.ToBig(e.b) }
 
 // Copy returns an independent copy of e.
 func (e *Element) Copy() *Element {
-	return &Element{f: e.f, a: new(big.Int).Set(e.a), b: new(big.Int).Set(e.b)}
+	c := new(Element)
+	return c.Set(e)
 }
 
 // Set copies x into e and returns e.
 func (e *Element) Set(x *Element) *Element {
-	e.f = x.f
-	if e.a == nil {
-		e.a = new(big.Int)
-	}
-	if e.b == nil {
-		e.b = new(big.Int)
-	}
-	e.a.Set(x.a)
-	e.b.Set(x.b)
+	e.ensure(x.f)
+	x.f.fp.Set(e.a, x.a)
+	x.f.fp.Set(e.b, x.b)
 	return e
 }
 
 // IsZero reports whether e is the additive identity.
-func (e *Element) IsZero() bool { return e.a.Sign() == 0 && e.b.Sign() == 0 }
+func (e *Element) IsZero() bool { return e.f.fp.IsZero(e.a) && e.f.fp.IsZero(e.b) }
 
 // IsOne reports whether e is the multiplicative identity.
-func (e *Element) IsOne() bool { return e.a.Cmp(big.NewInt(1)) == 0 && e.b.Sign() == 0 }
+func (e *Element) IsOne() bool { return e.f.fp.IsOne(e.a) && e.f.fp.IsZero(e.b) }
 
 // Equal reports whether e and x denote the same field element.
 func (e *Element) Equal(x *Element) bool {
-	return e.a.Cmp(x.a) == 0 && e.b.Cmp(x.b) == 0
-}
-
-// ensure makes the receiver's coordinate storage usable so the arithmetic
-// methods can compute in place. The Miller loop and GT exponentiation call
-// these methods millions of times; reusing receiver storage (big.Int keeps
-// its backing array across Set/Mod) removes two allocations per linear op.
-func (e *Element) ensure() {
-	if e.a == nil {
-		e.a = new(big.Int)
-	}
-	if e.b == nil {
-		e.b = new(big.Int)
-	}
+	return e.f.fp.Equal(e.a, x.a) && e.f.fp.Equal(e.b, x.b)
 }
 
 // Add sets e = x + y and returns e. The coordinate-wise operations are
@@ -142,81 +189,57 @@ func (e *Element) ensure() {
 // coordinates), so the receiver's storage is reused directly.
 func (e *Element) Add(x, y *Element) *Element {
 	f := x.f
-	e.ensure()
-	e.a.Add(x.a, y.a)
-	e.a.Mod(e.a, f.p)
-	e.b.Add(x.b, y.b)
-	e.b.Mod(e.b, f.p)
-	e.f = f
+	e.ensure(f)
+	f.fp.Add(e.a, x.a, y.a)
+	f.fp.Add(e.b, x.b, y.b)
 	return e
 }
 
 // Sub sets e = x − y and returns e.
 func (e *Element) Sub(x, y *Element) *Element {
 	f := x.f
-	e.ensure()
-	e.a.Sub(x.a, y.a)
-	e.a.Mod(e.a, f.p)
-	e.b.Sub(x.b, y.b)
-	e.b.Mod(e.b, f.p)
-	e.f = f
+	e.ensure(f)
+	f.fp.Sub(e.a, x.a, y.a)
+	f.fp.Sub(e.b, x.b, y.b)
 	return e
 }
 
 // Neg sets e = −x and returns e.
 func (e *Element) Neg(x *Element) *Element {
 	f := x.f
-	e.ensure()
-	e.a.Neg(x.a)
-	e.a.Mod(e.a, f.p)
-	e.b.Neg(x.b)
-	e.b.Mod(e.b, f.p)
-	e.f = f
+	e.ensure(f)
+	f.fp.Neg(e.a, x.a)
+	f.fp.Neg(e.b, x.b)
 	return e
 }
 
-// Mul sets e = x · y and returns e, using the schoolbook formula
-// (a+bi)(c+di) = (ac − bd) + (ad + bc)i. Cross-coordinate reads force
-// temporaries, but only three: the bd product is recycled for bc once the
-// real part is assembled, and the results are adopted, not copied.
+// Mul sets e = x · y and returns e. The tower multiplication is Karatsuba
+// over the limb backend (three base-field multiplications, with lazy
+// reduction when the modulus leaves headroom in its top limb).
 func (e *Element) Mul(x, y *Element) *Element {
 	f := x.f
-	ac := new(big.Int).Mul(x.a, y.a)
-	bd := new(big.Int).Mul(x.b, y.b)
-	ad := new(big.Int).Mul(x.a, y.b)
-	ac.Sub(ac, bd)
-	ac.Mod(ac, f.p)
-	bc := bd.Mul(x.b, y.a)
-	ad.Add(ad, bc)
-	ad.Mod(ad, f.p)
-	e.f, e.a, e.b = f, ac, ad
+	e.ensure(f)
+	f.fp.MulFp2(e.a, e.b, x.a, x.b, y.a, y.b)
 	return e
 }
 
 // MulScalar sets e = k · x for k ∈ F_p and returns e.
 func (e *Element) MulScalar(x *Element, k *big.Int) *Element {
 	f := x.f
-	e.ensure()
-	e.a.Mul(x.a, k)
-	e.a.Mod(e.a, f.p)
-	e.b.Mul(x.b, k)
-	e.b.Mod(e.b, f.p)
-	e.f = f
+	e.ensure(f)
+	var buf [fp.MaxLimbs]uint64
+	km := buf[:f.fp.Limbs()]
+	f.setCoord(km, k)
+	f.fp.Mul(e.a, x.a, km)
+	f.fp.Mul(e.b, x.b, km)
 	return e
 }
 
-// Square sets e = x² and returns e, using
-// (a+bi)² = (a+b)(a−b) + 2ab·i.
+// Square sets e = x² and returns e, using (a+bi)² = (a+b)(a−b) + 2ab·i.
 func (e *Element) Square(x *Element) *Element {
 	f := x.f
-	sum := new(big.Int).Add(x.a, x.b)
-	diff := new(big.Int).Sub(x.a, x.b)
-	b := new(big.Int).Mul(x.a, x.b)
-	b.Lsh(b, 1)
-	b.Mod(b, f.p)
-	sum.Mul(sum, diff)
-	sum.Mod(sum, f.p)
-	e.f, e.a, e.b = f, sum, b
+	e.ensure(f)
+	f.fp.SquareFp2(e.a, e.b, x.a, x.b)
 	return e
 }
 
@@ -227,61 +250,61 @@ func (e *Element) Square(x *Element) *Element {
 //
 //	(a + bi)² = (2a² − 1) + ((a + b)² − 1)·i,
 //
-// two big-integer squarings instead of the three general multiplications of
-// Square — math/big squares operands noticeably faster than it multiplies
-// distinct ones. The caller must guarantee unitarity; for a general x the
-// result is simply wrong.
+// two base-field squarings instead of the three multiplications of Square.
+// The caller must guarantee unitarity; for a general x the result is
+// simply wrong.
 func (e *Element) SquareUnitary(x *Element) *Element {
 	f := x.f
-	aa := new(big.Int).Mul(x.a, x.a)
-	s := new(big.Int).Add(x.a, x.b)
-	s.Mul(s, s)
-	aa.Lsh(aa, 1)
-	aa.Sub(aa, oneInt)
-	aa.Mod(aa, f.p)
-	s.Sub(s, oneInt)
-	s.Mod(s, f.p)
-	e.f, e.a, e.b = f, aa, s
+	e.ensure(f)
+	var t1, t2 [fp.MaxLimbs]uint64
+	n := f.fp.Limbs()
+	aa, s := t1[:n], t2[:n]
+	f.fp.Square(aa, x.a)
+	f.fp.Double(aa, aa)
+	f.fp.Sub(aa, aa, f.one)
+	f.fp.Add(s, x.a, x.b)
+	f.fp.Square(s, s)
+	f.fp.Sub(s, s, f.one)
+	f.fp.Set(e.a, aa)
+	f.fp.Set(e.b, s)
 	return e
 }
-
-var oneInt = big.NewInt(1)
 
 // Conjugate sets e = a − b·i for x = a + b·i and returns e. Conjugation is
 // the Frobenius map x ↦ x^p on F_p².
 func (e *Element) Conjugate(x *Element) *Element {
 	f := x.f
-	e.ensure()
-	if e.a != x.a {
-		e.a.Set(x.a)
-	}
-	e.b.Neg(x.b)
-	e.b.Mod(e.b, f.p)
-	e.f = f
+	e.ensure(f)
+	f.fp.Set(e.a, x.a)
+	f.fp.Neg(e.b, x.b)
 	return e
 }
 
 // Inverse sets e = x⁻¹ and returns e, via x⁻¹ = conj(x)/(a² + b²).
 // It returns ErrNotInvertible for x = 0.
+//
+// The norm inversion is variable-time (binary extended GCD), as it always
+// has been in this package — F_p² inversion happens on public pairing
+// values (final exponentiation, GT division). Code inverting secret
+// residues should use fp.Field.Inv, the constant-exponent Fermat ladder.
 func (e *Element) Inverse(x *Element) (*Element, error) {
 	if x.IsZero() {
 		return nil, ErrNotInvertible
 	}
 	f := x.f
-	norm := new(big.Int).Mul(x.a, x.a)
-	bb := new(big.Int).Mul(x.b, x.b)
-	norm.Add(norm, bb)
-	norm.Mod(norm, f.p)
-	inv := new(big.Int).ModInverse(norm, f.p)
-	if inv == nil {
+	var t1, t2 [fp.MaxLimbs]uint64
+	n := f.fp.Limbs()
+	norm, bb := t1[:n], t2[:n]
+	f.fp.Square(norm, x.a)
+	f.fp.Square(bb, x.b)
+	f.fp.Add(norm, norm, bb)
+	if err := f.fp.InvVarTime(norm, norm); err != nil {
 		return nil, ErrNotInvertible
 	}
-	a := new(big.Int).Mul(x.a, inv)
-	a.Mod(a, f.p)
-	b := new(big.Int).Neg(x.b)
-	b.Mul(b, inv)
-	b.Mod(b, f.p)
-	e.f, e.a, e.b = f, a, b
+	e.ensure(f)
+	f.fp.Mul(bb, x.b, norm) // before e.a is written: e may alias x
+	f.fp.Mul(e.a, x.a, norm)
+	f.fp.Neg(e.b, bb)
 	return e, nil
 }
 
@@ -304,22 +327,22 @@ func (e *Element) Exp(x *Element, k *big.Int) (*Element, error) {
 
 // String renders the element as "a + b·i" for debugging.
 func (e *Element) String() string {
-	return fmt.Sprintf("%v + %v·i", e.a, e.b)
+	return fmt.Sprintf("%v + %v·i", e.Re(), e.Im())
 }
 
 // Bytes serializes the element as the fixed-width big-endian concatenation
 // a ‖ b, each ⌈|p|/8⌉ bytes.
 func (e *Element) Bytes() []byte {
-	size := (e.f.p.BitLen() + 7) / 8
+	size := e.f.size
 	out := make([]byte, 2*size)
-	e.a.FillBytes(out[:size])
-	e.b.FillBytes(out[size:])
+	e.Re().FillBytes(out[:size])
+	e.Im().FillBytes(out[size:])
 	return out
 }
 
 // ElementFromBytes parses the serialization produced by Element.Bytes.
 func (f *Field) ElementFromBytes(data []byte) (*Element, error) {
-	size := (f.p.BitLen() + 7) / 8
+	size := f.size
 	if len(data) != 2*size {
 		return nil, fmt.Errorf("gf: element encoding must be %d bytes, got %d", 2*size, len(data))
 	}

@@ -168,7 +168,7 @@ func (sk *PrivateKey) Decrypt(cs []*big.Int) ([]byte, error) {
 //
 //cryptolint:secret
 type HalfKey struct {
-	N    *big.Int
+	N    *big.Int //cryptolint:public (the modulus)
 	Half *big.Int
 }
 

@@ -29,7 +29,7 @@ var ErrIdentityExponent = errors.New("mrsa: identity exponent not invertible mod
 //
 //cryptolint:secret
 type HalfKey struct {
-	N    *big.Int
+	N    *big.Int //cryptolint:public (the modulus)
 	Half *big.Int
 }
 

@@ -52,7 +52,7 @@ type PublicKey struct {
 //
 //cryptolint:secret
 type KeyPair struct {
-	Public *PublicKey
+	Public *PublicKey //cryptolint:public
 	D      *big.Int
 	P, Q   *big.Int
 	Phi    *big.Int

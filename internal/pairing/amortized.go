@@ -31,31 +31,50 @@ import (
 	"math/big"
 
 	"repro/internal/curve"
+	"repro/internal/fp"
 	"repro/internal/gf"
 )
 
-// millerVars is the running state of one Miller-loop traversal: the affine
-// base P, the running point V in Jacobian coordinates, and scratch storage
-// reused across steps.
-type millerVars struct {
-	p       *big.Int // field characteristic
-	xP, yP  *big.Int // affine base point P
-	X, Y, Z *big.Int // running point V (Jacobian)
-
-	t1, t2, t3, t4, t5, t6 *big.Int
+// toMont converts a canonical affine coordinate (a residue in [0, p)) into
+// a freshly allocated Montgomery limb vector. Curve points only ever hold
+// canonical residues; the reduction branch is defensive.
+func toMont(F *fp.Field, v *big.Int) []uint64 {
+	z := F.NewElt()
+	if err := F.FromBig(z, v); err != nil {
+		_ = F.FromBig(z, new(big.Int).Mod(v, F.P()))
+	}
+	return z
 }
 
-func newMillerVars(p *big.Int, pt *curve.Point) *millerVars {
-	return &millerVars{
-		p:  p,
-		xP: pt.X(),
-		yP: pt.Y(),
-		X:  pt.X(),
-		Y:  pt.Y(),
-		Z:  big.NewInt(1),
-		t1: new(big.Int), t2: new(big.Int), t3: new(big.Int),
-		t4: new(big.Int), t5: new(big.Int), t6: new(big.Int),
+// millerVars is the running state of one Miller-loop traversal: the affine
+// base P, the running point V in Jacobian coordinates, and scratch storage
+// reused across steps. All coordinates are Montgomery limb vectors — the
+// entire walk runs on internal/fp with no big.Int arithmetic and no heap
+// allocation per step.
+type millerVars struct {
+	F       *fp.Field
+	xP, yP  []uint64 // affine base point P
+	X, Y, Z []uint64 // running point V (Jacobian)
+	one     []uint64 // 1 in Montgomery form
+
+	t1, t2, t3, t4, t5, t6 []uint64
+}
+
+func newMillerVars(F *fp.Field, pt *curve.Point) *millerVars {
+	mv := &millerVars{
+		F:   F,
+		xP:  toMont(F, pt.X()),
+		yP:  toMont(F, pt.Y()),
+		Z:   F.NewElt(),
+		one: F.NewElt(),
+		t1:  F.NewElt(), t2: F.NewElt(), t3: F.NewElt(),
+		t4: F.NewElt(), t5: F.NewElt(), t6: F.NewElt(),
 	}
+	mv.X = append([]uint64(nil), mv.xP...)
+	mv.Y = append([]uint64(nil), mv.yP...)
+	F.SetOne(mv.Z)
+	F.SetOne(mv.one)
+	return mv
 }
 
 // doubleStep advances V ← 2V and writes the tangent-line coefficients into
@@ -66,57 +85,55 @@ func newMillerVars(p *big.Int, pt *curve.Point) *millerVars {
 // Derivation (V = (X, Y, Z), M = 3X² + Z⁴, Z₃ = 2YZ, tangent scaled by
 // 2YZ³): l = [M·X − 2Y² + M·Z²·x_Q] + [Z₃·Z²·y_Q]·i, so
 // a = M·X − 2Y², b = M·Z², c = Z₃·Z².
-func (m *millerVars) doubleStep(a, b, c *big.Int) bool {
-	if m.Z.Sign() == 0 {
+func (m *millerVars) doubleStep(a, b, c []uint64) bool {
+	F := m.F
+	if F.IsZero(m.Z) {
 		return false
 	}
-	if m.Y.Sign() == 0 {
+	if F.IsZero(m.Y) {
 		// 2-torsion: vertical tangent, 2V = O.
-		m.Z.SetInt64(0)
+		F.SetZero(m.Z)
 		return false
 	}
-	p := m.p
-	xx := m.t1.Mul(m.X, m.X)
-	xx.Mod(xx, p)
-	yy := m.t2.Mul(m.Y, m.Y)
-	yy.Mod(yy, p)
-	zz := m.t3.Mul(m.Z, m.Z)
-	zz.Mod(zz, p)
-	s := m.t4.Mul(m.X, yy) // S = 4XY²
-	s.Lsh(s, 2)
-	s.Mod(s, p)
-	mm := m.t5.Mul(zz, zz) // M = 3X² + Z⁴
-	mm.Add(mm, xx)
-	mm.Add(mm, xx)
-	mm.Add(mm, xx)
-	mm.Mod(mm, p)
+	xx := m.t1
+	F.Square(xx, m.X)
+	yy := m.t2
+	F.Square(yy, m.Y)
+	zz := m.t3
+	F.Square(zz, m.Z)
+	s := m.t4 // S = 4XY²
+	F.Mul(s, m.X, yy)
+	F.Double(s, s)
+	F.Double(s, s)
+	mm := m.t5 // M = 3X² + Z⁴
+	F.Square(mm, zz)
+	F.Add(mm, mm, xx)
+	F.Add(mm, mm, xx)
+	F.Add(mm, mm, xx)
 
 	// a = M·X − 2Y², b = M·Z² (X still the pre-doubling coordinate).
-	a.Mul(mm, m.X)
-	a.Sub(a, yy)
-	a.Sub(a, yy)
-	a.Mod(a, p)
-	b.Mul(mm, zz)
-	b.Mod(b, p)
+	F.Mul(a, mm, m.X)
+	F.Sub(a, a, yy)
+	F.Sub(a, a, yy)
+	F.Mul(b, mm, zz)
 
 	// Z₃ = 2YZ (before Y is clobbered), then c = Z₃·Z².
-	m.Z.Mul(m.Y, m.Z)
-	m.Z.Lsh(m.Z, 1)
-	m.Z.Mod(m.Z, p)
-	c.Mul(m.Z, zz)
-	c.Mod(c, p)
+	F.Mul(m.Z, m.Y, m.Z)
+	F.Double(m.Z, m.Z)
+	F.Mul(c, m.Z, zz)
 
 	// X₃ = M² − 2S, Y₃ = M·(S − X₃) − 8Y⁴.
-	m.X.Mul(mm, mm)
-	m.X.Sub(m.X, s)
-	m.X.Sub(m.X, s)
-	m.X.Mod(m.X, p)
-	yyyy := m.t6.Mul(yy, yy)
-	yyyy.Lsh(yyyy, 3)
-	m.Y.Sub(s, m.X)
-	m.Y.Mul(m.Y, mm)
-	m.Y.Sub(m.Y, yyyy)
-	m.Y.Mod(m.Y, p)
+	F.Square(m.X, mm)
+	F.Sub(m.X, m.X, s)
+	F.Sub(m.X, m.X, s)
+	yyyy := m.t6
+	F.Square(yyyy, yy)
+	F.Double(yyyy, yyyy)
+	F.Double(yyyy, yyyy)
+	F.Double(yyyy, yyyy)
+	F.Sub(m.Y, s, m.X)
+	F.Mul(m.Y, m.Y, mm)
+	F.Sub(m.Y, m.Y, yyyy)
 	return true
 }
 
@@ -129,103 +146,96 @@ func (m *millerVars) doubleStep(a, b, c *big.Int) bool {
 // Generic chord (H = x_P·Z² − X, R = y_P·Z³ − Y, Z₃ = ZH, chord scaled by
 // Z₃): l = [R·x_P − Z₃·y_P + R·x_Q] + [Z₃·y_Q]·i, so a = R·x_P − Z₃·y_P,
 // b = R, c = Z₃.
-func (m *millerVars) addStep(a, b, c *big.Int) bool {
-	if m.Z.Sign() == 0 {
+func (m *millerVars) addStep(a, b, c []uint64) bool {
+	F := m.F
+	if F.IsZero(m.Z) {
 		// V = O: the "line" through O and P is the vertical at P, an F_p*
 		// factor — restart at P.
-		m.X.Set(m.xP)
-		m.Y.Set(m.yP)
-		m.Z.SetInt64(1)
+		F.Set(m.X, m.xP)
+		F.Set(m.Y, m.yP)
+		F.SetOne(m.Z)
 		return false
 	}
-	p := m.p
-	zz := m.t1.Mul(m.Z, m.Z)
-	zz.Mod(zz, p)
-	u2 := m.t2.Mul(m.xP, zz)
-	u2.Mod(u2, p)
-	s2 := m.t3.Mul(m.yP, zz)
-	s2.Mul(s2, m.Z)
-	s2.Mod(s2, p)
-	h := u2.Sub(u2, m.X) // H = x_P·Z² − X
-	h.Mod(h, p)
-	r := s2.Sub(s2, m.Y) // R = y_P·Z³ − Y
-	r.Mod(r, p)
+	zz := m.t1
+	F.Square(zz, m.Z)
+	u2 := m.t2
+	F.Mul(u2, m.xP, zz)
+	s2 := m.t3
+	F.Mul(s2, m.yP, zz)
+	F.Mul(s2, s2, m.Z)
+	h := u2 // H = x_P·Z² − X
+	F.Sub(h, u2, m.X)
+	r := s2 // R = y_P·Z³ − Y
+	F.Sub(r, s2, m.Y)
 
 	switch {
-	case h.Sign() == 0 && r.Sign() == 0:
+	case F.IsZero(h) && F.IsZero(r):
 		// V = P: the chord degenerates to the tangent at P, so this addition
 		// is a doubling from the affine representative (x_P, y_P), where
 		// M = 3x_P² + 1 and the line scale is Z₃ = 2y_P. (Unreachable for
 		// odd-order P — the running multiplier never revisits 1 — kept so the
 		// walk matches the affine oracle on arbitrary curve points.)
-		yy := m.t4.Mul(m.yP, m.yP)
-		yy.Mod(yy, p)
-		mm := m.t5.Mul(m.xP, m.xP)
-		mm.Mod(mm, p)
-		m.t6.Set(mm)
-		mm.Lsh(mm, 1)
-		mm.Add(mm, m.t6)
-		mm.Add(mm, bigOne) // M = 3x_P² + 1 (Z = 1)
-		mm.Mod(mm, p)
-		a.Mul(mm, m.xP)
-		a.Sub(a, yy)
-		a.Sub(a, yy)
-		a.Mod(a, p)
-		b.Set(mm)
-		m.Z.Lsh(m.yP, 1) // Z₃ = 2y_P
-		m.Z.Mod(m.Z, p)
-		c.Set(m.Z)
-		s := m.t6.Mul(m.xP, yy) // S = 4·x_P·y_P²
-		s.Lsh(s, 2)
-		s.Mod(s, p)
-		m.X.Mul(mm, mm)
-		m.X.Sub(m.X, s)
-		m.X.Sub(m.X, s)
-		m.X.Mod(m.X, p)
-		yyyy := m.t4.Mul(yy, yy) // aliasing-safe: big.Int.Mul squares in place
-		yyyy.Lsh(yyyy, 3)
-		m.Y.Sub(s, m.X)
-		m.Y.Mul(m.Y, mm)
-		m.Y.Sub(m.Y, yyyy)
-		m.Y.Mod(m.Y, p)
+		yy := m.t4
+		F.Square(yy, m.yP)
+		mm := m.t5
+		F.Square(mm, m.xP)
+		F.Set(m.t6, mm)
+		F.Double(mm, mm)
+		F.Add(mm, mm, m.t6)
+		F.Add(mm, mm, m.one) // M = 3x_P² + 1 (Z = 1)
+		F.Mul(a, mm, m.xP)
+		F.Sub(a, a, yy)
+		F.Sub(a, a, yy)
+		F.Set(b, mm)
+		F.Double(m.Z, m.yP) // Z₃ = 2y_P
+		F.Set(c, m.Z)
+		s := m.t6 // S = 4·x_P·y_P²
+		F.Mul(s, m.xP, yy)
+		F.Double(s, s)
+		F.Double(s, s)
+		F.Square(m.X, mm)
+		F.Sub(m.X, m.X, s)
+		F.Sub(m.X, m.X, s)
+		yyyy := yy
+		F.Square(yyyy, yy)
+		F.Double(yyyy, yyyy)
+		F.Double(yyyy, yyyy)
+		F.Double(yyyy, yyyy)
+		F.Sub(m.Y, s, m.X)
+		F.Mul(m.Y, m.Y, mm)
+		F.Sub(m.Y, m.Y, yyyy)
 		return true
-	case h.Sign() == 0:
+	case F.IsZero(h):
 		// V = −P: vertical line, an F_p* factor — V + P = O.
-		m.Z.SetInt64(0)
+		F.SetZero(m.Z)
 		return false
 	default:
-		hh := m.t4.Mul(h, h)
-		hh.Mod(hh, p)
-		hhh := m.t5.Mul(hh, h)
-		hhh.Mod(hhh, p)
-		xh2 := m.t6.Mul(m.X, hh)
-		xh2.Mod(xh2, p)
+		hh := m.t4
+		F.Square(hh, h)
+		hhh := m.t5
+		F.Mul(hhh, hh, h)
+		xh2 := m.t6
+		F.Mul(xh2, m.X, hh)
 
-		m.Z.Mul(m.Z, h) // Z₃ = Z·H
-		m.Z.Mod(m.Z, p)
+		F.Mul(m.Z, m.Z, h) // Z₃ = Z·H
 
-		a.Mul(r, m.xP)
-		b.Mul(m.Z, m.yP) // scratch use of b for Z₃·y_P
-		a.Sub(a, b)
-		a.Mod(a, p)
-		b.Set(r)
-		c.Set(m.Z)
+		F.Mul(a, r, m.xP)
+		F.Mul(b, m.Z, m.yP) // scratch use of b for Z₃·y_P
+		F.Sub(a, a, b)
+		F.Set(b, r)
+		F.Set(c, m.Z)
 
-		m.X.Mul(r, r)
-		m.X.Sub(m.X, hhh)
-		m.X.Sub(m.X, xh2)
-		m.X.Sub(m.X, xh2)
-		m.X.Mod(m.X, p)
-		xh2.Sub(xh2, m.X)
-		xh2.Mul(xh2, r)
-		hhh.Mul(hhh, m.Y)
-		m.Y.Sub(xh2, hhh)
-		m.Y.Mod(m.Y, p)
+		F.Square(m.X, r)
+		F.Sub(m.X, m.X, hhh)
+		F.Sub(m.X, m.X, xh2)
+		F.Sub(m.X, m.X, xh2)
+		F.Sub(xh2, xh2, m.X)
+		F.Mul(xh2, xh2, r)
+		F.Mul(hhh, hhh, m.Y)
+		F.Sub(m.Y, xh2, hhh)
 		return true
 	}
 }
-
-var bigOne = big.NewInt(1)
 
 // MultiPair computes the pairing product ∏ᵢ ê(Pᵢ, Qᵢ) with one shared
 // Miller loop and a single final exponentiation. The accumulator squaring —
@@ -241,10 +251,10 @@ func (pp *Params) MultiPair(ps, qs []*curve.Point) (*GT, error) {
 		return nil, fmt.Errorf("pairing: MultiPair got %d first arguments and %d second", len(ps), len(qs))
 	}
 	fld := pp.field
-	p := pp.curve.P()
+	F := fld.Fp()
 	type livePair struct {
 		mv     *millerVars
-		xQ, yQ *big.Int
+		xQ, yQ []uint64
 	}
 	live := make([]livePair, 0, len(ps))
 	for i := range ps {
@@ -255,9 +265,9 @@ func (pp *Params) MultiPair(ps, qs []*curve.Point) (*GT, error) {
 			continue // ê(P, O) = ê(O, Q) = 1
 		}
 		live = append(live, livePair{
-			mv: newMillerVars(p, ps[i]),
-			xQ: qs[i].X(),
-			yQ: qs[i].Y(),
+			mv: newMillerVars(F, ps[i]),
+			xQ: toMont(F, qs[i].X()),
+			yQ: toMont(F, qs[i].Y()),
 		})
 	}
 	if len(live) == 0 {
@@ -266,15 +276,13 @@ func (pp *Params) MultiPair(ps, qs []*curve.Point) (*GT, error) {
 
 	f := fld.One()
 	line := fld.One()
-	a, b, c := new(big.Int), new(big.Int), new(big.Int)
-	lr, li := new(big.Int), new(big.Int)
+	a, b, c := F.NewElt(), F.NewElt(), F.NewElt()
+	lr, li := F.NewElt(), F.NewElt()
 	mulLine := func(lp *livePair) {
-		lr.Mul(b, lp.xQ)
-		lr.Add(lr, a)
-		lr.Mod(lr, p)
-		li.Mul(c, lp.yQ)
-		li.Mod(li, p)
-		f.Mul(f, fld.SetElement(line, lr, li))
+		F.Mul(lr, b, lp.xQ)
+		F.Add(lr, lr, a)
+		F.Mul(li, c, lp.yQ)
+		f.Mul(f, fld.SetMont(line, lr, li))
 	}
 	n := pp.curve.Q()
 	for i := n.BitLen() - 2; i >= 0; i-- {
@@ -304,7 +312,7 @@ func (pp *Params) MultiPair(ps, qs []*curve.Point) (*GT, error) {
 // multiply by (alpha·x_Q + beta) + y_Q·i.
 type fixedStep struct {
 	square      bool
-	alpha, beta *big.Int // nil alpha ⇒ no line this step
+	alpha, beta []uint64 // Montgomery form; nil alpha ⇒ no line this step
 }
 
 // FixedPair is a fixed-first-argument pairing evaluator: NewFixedPair walks
@@ -335,15 +343,15 @@ func (pp *Params) NewFixedPair(p1 *curve.Point) (*FixedPair, error) {
 	if !p1.InSubgroup() {
 		return nil, fmt.Errorf("pairing: fixed pairing argument escapes the order-q subgroup")
 	}
-	p := pp.curve.P()
-	mv := newMillerVars(p, p1)
+	F := pp.field.Fp()
+	mv := newMillerVars(F, p1)
 	n := pp.curve.Q()
 
 	steps := make([]fixedStep, 0, 2*n.BitLen())
 	// Raw per-line coefficients, normalized after the walk with one batched
 	// inversion of the c column.
-	var as, bs, cs []*big.Int
-	record := func(square bool, produced bool, a, b, c *big.Int) {
+	var as, bs, cs [][]uint64
+	record := func(square bool, produced bool, a, b, c []uint64) {
 		st := fixedStep{square: square}
 		if produced {
 			as = append(as, a)
@@ -354,15 +362,15 @@ func (pp *Params) NewFixedPair(p1 *curve.Point) (*FixedPair, error) {
 		steps = append(steps, st)
 	}
 	for i := n.BitLen() - 2; i >= 0; i-- {
-		a, b, c := new(big.Int), new(big.Int), new(big.Int)
+		a, b, c := F.NewElt(), F.NewElt(), F.NewElt()
 		record(true, mv.doubleStep(a, b, c), a, b, c)
 		if n.Bit(i) == 1 {
-			a, b, c = new(big.Int), new(big.Int), new(big.Int)
+			a, b, c = F.NewElt(), F.NewElt(), F.NewElt()
 			record(false, mv.addStep(a, b, c), a, b, c)
 		}
 	}
 
-	invs, err := batchInvert(cs, p)
+	invs, err := batchInvert(F, cs)
 	if err != nil {
 		// Impossible for subgroup points: every recorded line's scale
 		// c ∈ {2YZ³, Z·H·(…)} is nonzero off the degenerate cases, which emit
@@ -375,11 +383,9 @@ func (pp *Params) NewFixedPair(p1 *curve.Point) (*FixedPair, error) {
 		if steps[i].alpha == nil {
 			continue
 		}
-		alpha := bs[li].Mul(bs[li], invs[li])
-		alpha.Mod(alpha, p)
-		beta := as[li].Mul(as[li], invs[li])
-		beta.Mod(beta, p)
-		steps[i].alpha, steps[i].beta = alpha, beta
+		F.Mul(bs[li], bs[li], invs[li])
+		F.Mul(as[li], as[li], invs[li])
+		steps[i].alpha, steps[i].beta = bs[li], as[li]
 		li++
 	}
 	return &FixedPair{pp: pp, steps: steps}, nil
@@ -393,12 +399,12 @@ func (fp *FixedPair) Pair(q1 *curve.Point) (*GT, error) {
 		return pp.One(), nil
 	}
 	fld := pp.field
-	p := pp.curve.P()
-	xQ, yQ := q1.X(), q1.Y()
+	F := fld.Fp()
+	xQ, yQ := toMont(F, q1.X()), toMont(F, q1.Y())
 
 	f := fld.One()
 	line := fld.One()
-	re := new(big.Int)
+	re := F.NewElt()
 	for i := range fp.steps {
 		st := &fp.steps[i]
 		if st.square {
@@ -407,10 +413,9 @@ func (fp *FixedPair) Pair(q1 *curve.Point) (*GT, error) {
 		if st.alpha == nil {
 			continue
 		}
-		re.Mul(st.alpha, xQ)
-		re.Add(re, st.beta)
-		re.Mod(re, p)
-		f.Mul(f, fld.SetElement(line, re, yQ))
+		F.Mul(re, st.alpha, xQ)
+		F.Add(re, re, st.beta)
+		f.Mul(f, fld.SetMont(line, re, yQ))
 	}
 	v, err := pp.finalExp(f)
 	if err != nil {
@@ -431,34 +436,34 @@ func (fp *FixedPair) Lines() int {
 	return n
 }
 
-// batchInvert computes the modular inverses of xs with Montgomery's
-// simultaneous-inversion trick: one ModInverse plus 3(n−1) multiplications.
-// It errors if any element is zero (or shares a factor with p).
-func batchInvert(xs []*big.Int, p *big.Int) ([]*big.Int, error) {
+// batchInvert computes the field inverses of xs with Montgomery's
+// simultaneous-inversion trick: one Fermat inversion plus 3(n−1)
+// multiplications, all in the limb domain. It errors if any element is
+// zero.
+func batchInvert(F *fp.Field, xs [][]uint64) ([][]uint64, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
-	prefix := make([]*big.Int, len(xs))
-	acc := big.NewInt(1)
+	prefix := make([][]uint64, len(xs))
+	acc := F.NewElt()
+	F.SetOne(acc)
 	for i, x := range xs {
-		if x.Sign() == 0 {
+		if F.IsZero(x) {
 			return nil, fmt.Errorf("element %d is zero", i)
 		}
-		prefix[i] = new(big.Int).Set(acc)
-		acc.Mul(acc, x)
-		acc.Mod(acc, p)
+		prefix[i] = F.NewElt()
+		F.Set(prefix[i], acc)
+		F.Mul(acc, acc, x)
 	}
-	accInv := new(big.Int).ModInverse(acc, p)
-	if accInv == nil {
+	// Line scales are public values; the variable-time inverse is safe here.
+	if err := F.InvVarTime(acc, acc); err != nil {
 		return nil, fmt.Errorf("product is not invertible mod p")
 	}
-	out := make([]*big.Int, len(xs))
+	out := make([][]uint64, len(xs))
 	for i := len(xs) - 1; i >= 0; i-- {
-		inv := new(big.Int).Mul(accInv, prefix[i])
-		inv.Mod(inv, p)
-		out[i] = inv
-		accInv.Mul(accInv, xs[i])
-		accInv.Mod(accInv, p)
+		out[i] = F.NewElt()
+		F.Mul(out[i], acc, prefix[i])
+		F.Mul(acc, acc, xs[i])
 	}
 	return out, nil
 }

@@ -236,6 +236,7 @@ func BenchmarkPair(b *testing.B) {
 	pp := benchParams(b)
 	P := randPoint(b, pp)
 	Q := randPoint(b, pp)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pp.Pair(P, Q); err != nil {
@@ -254,6 +255,7 @@ func BenchmarkFixedPair(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fp.Pair(Q); err != nil {
@@ -265,6 +267,7 @@ func BenchmarkFixedPair(b *testing.B) {
 func BenchmarkFixedPairPrecompute(b *testing.B) {
 	pp := benchParams(b)
 	P := randPoint(b, pp)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pp.NewFixedPair(P); err != nil {
@@ -277,6 +280,7 @@ func BenchmarkMultiPair2(b *testing.B) {
 	pp := benchParams(b)
 	ps := []*curve.Point{randPoint(b, pp), randPoint(b, pp)}
 	qs := []*curve.Point{randPoint(b, pp), randPoint(b, pp)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pp.MultiPair(ps, qs); err != nil {

@@ -319,33 +319,29 @@ func (pp *Params) PairFull(p1, q1 *curve.Point) (*GT, error) {
 // NewFixedPair.
 func (pp *Params) millerJacobian(p1, q1 *curve.Point) *gf.Element {
 	fld := pp.field
-	p := pp.curve.P()
-	xQ, yQ := q1.X(), q1.Y()
-	mv := newMillerVars(p, p1)
+	F := fld.Fp()
+	xQ, yQ := toMont(F, q1.X()), toMont(F, q1.Y())
+	mv := newMillerVars(F, p1)
 
 	f := fld.One()
 	line := fld.One()
-	a, b, c := new(big.Int), new(big.Int), new(big.Int)
-	lr, li := new(big.Int), new(big.Int)
+	a, b, c := F.NewElt(), F.NewElt(), F.NewElt()
+	lr, li := F.NewElt(), F.NewElt()
 	n := pp.curve.Q()
 
+	mulLine := func() {
+		F.Mul(lr, b, xQ)
+		F.Add(lr, lr, a)
+		F.Mul(li, c, yQ)
+		f.Mul(f, fld.SetMont(line, lr, li))
+	}
 	for i := n.BitLen() - 2; i >= 0; i-- {
 		f.Square(f)
 		if mv.doubleStep(a, b, c) {
-			lr.Mul(b, xQ)
-			lr.Add(lr, a)
-			lr.Mod(lr, p)
-			li.Mul(c, yQ)
-			li.Mod(li, p)
-			f.Mul(f, fld.SetElement(line, lr, li))
+			mulLine()
 		}
 		if n.Bit(i) == 1 && mv.addStep(a, b, c) {
-			lr.Mul(b, xQ)
-			lr.Add(lr, a)
-			lr.Mod(lr, p)
-			li.Mul(c, yQ)
-			li.Mod(li, p)
-			f.Mul(f, fld.SetElement(line, lr, li))
+			mulLine()
 		}
 	}
 	return f

@@ -252,7 +252,7 @@ func (pk *PublicKey) FinishDecrypt(c, s *big.Int, msgLen int) ([]byte, error) {
 //
 //cryptolint:secret
 type HalfKey struct {
-	N    *big.Int
+	N    *big.Int //cryptolint:public (the modulus)
 	Half *big.Int
 }
 
