@@ -19,13 +19,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/keyfile"
+	"repro/internal/obs"
 	"repro/internal/sem"
 )
 
 func main() {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	if err := run(os.Args[1:], sigCh, nil); err != nil {
+	if err := run(os.Args[1:], sigCh, nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "semd:", err)
 		os.Exit(1)
 	}
@@ -33,8 +34,9 @@ func main() {
 
 // run serves until an element arrives on stop. When ready is non-nil it
 // receives the bound listen address once the daemon is serving (tests use
-// this to connect to a ":0" listener).
-func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
+// this to connect to a ":0" listener); debugReady likewise receives the
+// bound -debug-addr address, or is closed when the debug endpoint is off.
+func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) error {
 	fs := flag.NewFlagSet("semd", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:7300", "listen address")
@@ -42,6 +44,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
 		storeFn   = fs.String("store", "deploy/sem-store.json", "SEM key-half store")
 		preRevoke = fs.String("revoked", "", "comma-separated identities to revoke at startup")
 		journalFn = fs.String("journal", "", "revocation journal file: persists revocations across restarts")
+		debugAddr = fs.String("debug-addr", "", "HTTP debug listener (Prometheus /metrics, /metrics.json, /debug/pprof); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,11 +63,21 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
 		reg     *core.Registry
 		journal *core.Journal
 	)
+	var metrics *obs.Registry
+	if *debugAddr != "" {
+		metrics = obs.NewRegistry()
+	}
 	if *journalFn != "" {
 		if journal, err = core.OpenJournal(*journalFn); err != nil {
 			return err
 		}
 		defer func() { _ = journal.Close() }()
+		journal.Instrument(metrics)
+		log.Printf("semd: journal replayed %d records", journal.Replayed())
+		if n := journal.DroppedLines(); n > 0 {
+			log.Printf("semd: WARNING: journal replay dropped %d line(s) after corruption; "+
+				"1 means a torn final write, more means the journal body is damaged", n)
+		}
 		reg = journal.Registry()
 	} else {
 		reg = core.NewRegistry()
@@ -96,9 +109,24 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
 		Journal:  journal,
 		Pairing:  pp,
 		Logf:     log.Printf,
+		Metrics:  metrics,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			return fmt.Errorf("semd debug listen: %w", err)
+		}
+		defer func() { _ = dbg.Close() }()
+		log.Printf("semd: debug endpoint (metrics + pprof) on http://%s", dbg.Addr)
+		if debugReady != nil {
+			debugReady <- dbg.Addr
+		}
+	} else if debugReady != nil {
+		close(debugReady)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -39,7 +42,7 @@ func TestSemdServeAndShutdown(t *testing.T) {
 			"-system", filepath.Join(dir, "system.json"),
 			"-store", filepath.Join(dir, "sem-store.json"),
 			"-revoked", "mallory@example.com",
-		}, stop, ready)
+		}, stop, ready, nil)
 	}()
 	var addr string
 	select {
@@ -81,14 +84,14 @@ func TestSemdServeAndShutdown(t *testing.T) {
 
 func TestSemdMissingFiles(t *testing.T) {
 	stop := make(chan os.Signal)
-	if err := run([]string{"-system", "/nonexistent.json"}, stop, nil); err == nil {
+	if err := run([]string{"-system", "/nonexistent.json"}, stop, nil, nil); err == nil {
 		t.Fatal("missing system file accepted")
 	}
 	dir := writeDeployment(t)
 	if err := run([]string{
 		"-system", filepath.Join(dir, "system.json"),
 		"-store", "/nonexistent.json",
-	}, stop, nil); err == nil {
+	}, stop, nil, nil); err == nil {
 		t.Fatal("missing store file accepted")
 	}
 }
@@ -100,7 +103,7 @@ func TestSemdBadAddress(t *testing.T) {
 		"-addr", "256.256.256.256:99999",
 		"-system", filepath.Join(dir, "system.json"),
 		"-store", filepath.Join(dir, "sem-store.json"),
-	}, stop, nil); err == nil {
+	}, stop, nil, nil); err == nil {
 		t.Fatal("unlistenable address accepted")
 	}
 }
@@ -123,7 +126,7 @@ func TestSemdJournalSurvivesRestart(t *testing.T) {
 	stop1 := make(chan os.Signal, 1)
 	ready1 := make(chan string, 1)
 	done1 := make(chan error, 1)
-	go func() { done1 <- run(args, stop1, ready1) }()
+	go func() { done1 <- run(args, stop1, ready1, nil) }()
 	addr := <-ready1
 	client, err := sem.Dial(addr, pp, 2*time.Second)
 	if err != nil {
@@ -142,7 +145,7 @@ func TestSemdJournalSurvivesRestart(t *testing.T) {
 	stop2 := make(chan os.Signal, 1)
 	ready2 := make(chan string, 1)
 	done2 := make(chan error, 1)
-	go func() { done2 <- run(args, stop2, ready2) }()
+	go func() { done2 <- run(args, stop2, ready2, nil) }()
 	addr = <-ready2
 	client2, err := sem.Dial(addr, pp, 2*time.Second)
 	if err != nil {
@@ -166,7 +169,7 @@ func TestSemdJournalSurvivesRestart(t *testing.T) {
 	stop3 := make(chan os.Signal, 1)
 	ready3 := make(chan string, 1)
 	done3 := make(chan error, 1)
-	go func() { done3 <- run(args, stop3, ready3) }()
+	go func() { done3 <- run(args, stop3, ready3, nil) }()
 	addr = <-ready3
 	client3, err := sem.Dial(addr, pp, 2*time.Second)
 	if err != nil {
@@ -180,5 +183,106 @@ func TestSemdJournalSurvivesRestart(t *testing.T) {
 	stop3 <- syscall.SIGTERM
 	if err := <-done3; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSemdMetricsEndpoint boots the daemon with -debug-addr and scrapes
+// the metrics endpoint end-to-end: op counters must move when requests
+// are served, and the pprof index must be mounted on the same listener.
+func TestSemdMetricsEndpoint(t *testing.T) {
+	dir := writeDeployment(t)
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	debugReady := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-debug-addr", "127.0.0.1:0",
+			"-system", filepath.Join(dir, "system.json"),
+			"-store", filepath.Join(dir, "sem-store.json"),
+			"-journal", filepath.Join(dir, "revocations.jsonl"),
+		}, stop, ready, debugReady)
+	}()
+	var addr, dbgAddr string
+	select {
+	case dbgAddr = <-debugReady:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("debug endpoint never became ready")
+	}
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sem.Dial(addr, pp, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := client.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Revoke("mallory@example.com", "e2e"); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+
+	scrape := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + dbgAddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := scrape("/metrics")
+	for _, want := range []string{
+		`sem_requests_total{op="ping"} 3`,
+		`sem_requests_total{op="revoke"} 1`,
+		`sem_service_seconds_count{op="ping"} 3`,
+		`sem_queue_depth 0`,
+		`lru_hits_total{cache="sem_pairers"}`,
+		`journal_append_seconds_count 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics endpoint missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("scrape:\n%s", metrics)
+	}
+	if js := scrape("/metrics.json"); !strings.Contains(js, `"sem_requests_total{op=\"ping\"}": 3`) {
+		t.Errorf("JSON endpoint missing ping counter:\n%s", js)
+	}
+	if idx := scrape("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("pprof index not mounted on debug listener")
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
 	}
 }

@@ -30,30 +30,50 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/keyfile"
+	"repro/internal/obs"
 )
 
 func main() {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	if err := run(os.Args[1:], sigCh, nil, os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], sigCh, nil, nil, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "thresholdd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stop <-chan os.Signal, ready chan<- string, stdin io.Reader, stdout io.Writer) error {
+// run executes one thresholdd invocation. ready (serve mode) and
+// debugReady (-debug-addr) receive the respective bound addresses when
+// non-nil; debugReady is closed when the debug endpoint is disabled.
+func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("thresholdd", flag.ContinueOnError)
 	var (
-		systemFn = fs.String("system", "tdeploy/threshold.json", "threshold system file")
-		playerFn = fs.String("player", "", "player share file (serve mode)")
-		addr     = fs.String("addr", "127.0.0.1:0", "listen address (serve mode)")
-		decrypt  = fs.Bool("decrypt", false, "recombiner mode: decrypt stdin (base64 BasicIdent ciphertext)")
-		encrypt  = fs.Bool("encrypt", false, "sender mode: encrypt stdin to -id, emit base64 ciphertext")
-		id       = fs.String("id", "", "identity (encrypt/decrypt modes)")
-		players  = fs.String("players", "", "comma-separated player addresses, entry i = player i (recombiner mode)")
+		systemFn  = fs.String("system", "tdeploy/threshold.json", "threshold system file")
+		playerFn  = fs.String("player", "", "player share file (serve mode)")
+		addr      = fs.String("addr", "127.0.0.1:0", "listen address (serve mode)")
+		decrypt   = fs.Bool("decrypt", false, "recombiner mode: decrypt stdin (base64 BasicIdent ciphertext)")
+		encrypt   = fs.Bool("encrypt", false, "sender mode: encrypt stdin to -id, emit base64 ciphertext")
+		id        = fs.String("id", "", "identity (encrypt/decrypt modes)")
+		players   = fs.String("players", "", "comma-separated player addresses, entry i = player i (recombiner mode)")
+		debugAddr = fs.String("debug-addr", "", "HTTP debug listener (Prometheus /metrics, /metrics.json, /debug/pprof); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var metrics *obs.Registry
+	if *debugAddr != "" {
+		metrics = obs.NewRegistry()
+		dbg, err := obs.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			return fmt.Errorf("thresholdd debug listen: %w", err)
+		}
+		defer func() { _ = dbg.Close() }()
+		log.Printf("thresholdd: debug endpoint (metrics + pprof) on http://%s", dbg.Addr)
+		if debugReady != nil {
+			debugReady <- dbg.Addr
+		}
+	} else if debugReady != nil {
+		close(debugReady)
 	}
 	var sys keyfile.ThresholdSystem
 	if err := keyfile.Load(*systemFn, &sys); err != nil {
@@ -67,7 +87,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, stdin io.Rea
 		return encryptTo(params, *id, stdin, stdout)
 	}
 	if *decrypt {
-		return recombine(params, *id, *players, stdin, stdout)
+		return recombine(params, *id, *players, metrics, stdin, stdout)
 	}
 	if *playerFn == "" {
 		return fmt.Errorf("serve mode needs -player (or pass -decrypt)")
@@ -80,6 +100,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, stdin io.Rea
 	if err != nil {
 		return err
 	}
+	srv.Instrument(metrics)
 	shares, err := pf.KeyShares(params)
 	if err != nil {
 		return err
@@ -132,7 +153,7 @@ func encryptTo(params *core.ThresholdParams, id string, stdin io.Reader, stdout 
 	return err
 }
 
-func recombine(params *core.ThresholdParams, id, players string, stdin io.Reader, stdout io.Writer) error {
+func recombine(params *core.ThresholdParams, id, players string, metrics *obs.Registry, stdin io.Reader, stdout io.Writer) error {
 	if id == "" {
 		return fmt.Errorf("recombiner mode needs -id")
 	}
@@ -147,6 +168,7 @@ func recombine(params *core.ThresholdParams, id, players string, stdin io.Reader
 	if err != nil {
 		return err
 	}
+	rec.Instrument(metrics)
 	raw, err := io.ReadAll(stdin)
 	if err != nil {
 		return err

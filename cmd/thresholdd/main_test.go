@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,7 +49,7 @@ func startPlayer(t *testing.T, dir string, index int) (string, func()) {
 			"-system", filepath.Join(dir, "threshold.json"),
 			"-player", filepath.Join(dir, "players", playerFile(index)),
 			"-addr", "127.0.0.1:0",
-		}, stop, ready, nil, nil)
+		}, stop, ready, nil, nil, nil)
 	}()
 	select {
 	case addr := <-ready:
@@ -82,7 +84,7 @@ func TestThresholdDaemonEndToEnd(t *testing.T) {
 	// Encrypt.
 	var ct bytes.Buffer
 	err := run([]string{"-system", system, "-encrypt", "-id", testIdent},
-		nil, nil, strings.NewReader("split me"), &ct)
+		nil, nil, nil, strings.NewReader("split me"), &ct)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestThresholdDaemonEndToEnd(t *testing.T) {
 	err = run([]string{
 		"-system", system, "-decrypt", "-id", testIdent,
 		"-players", a1 + ",," + a3,
-	}, nil, nil, bytes.NewReader(ct.Bytes()), &plain)
+	}, nil, nil, nil, bytes.NewReader(ct.Bytes()), &plain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,14 +111,14 @@ func TestThresholdDaemonFailsBelowT(t *testing.T) {
 
 	var ct bytes.Buffer
 	if err := run([]string{"-system", system, "-encrypt", "-id", testIdent},
-		nil, nil, strings.NewReader("x"), &ct); err != nil {
+		nil, nil, nil, strings.NewReader("x"), &ct); err != nil {
 		t.Fatal(err)
 	}
 	var plain bytes.Buffer
 	err := run([]string{
 		"-system", system, "-decrypt", "-id", testIdent,
 		"-players", a1 + ",,",
-	}, nil, nil, bytes.NewReader(ct.Bytes()), &plain)
+	}, nil, nil, nil, bytes.NewReader(ct.Bytes()), &plain)
 	if err == nil {
 		t.Fatal("decryption with 1 < t players succeeded")
 	}
@@ -125,28 +127,96 @@ func TestThresholdDaemonFailsBelowT(t *testing.T) {
 func TestThresholdDaemonArgErrors(t *testing.T) {
 	dir := writeThresholdDeployment(t)
 	system := filepath.Join(dir, "threshold.json")
-	if err := run([]string{"-system", "/nonexistent.json"}, nil, nil, nil, nil); err == nil {
+	if err := run([]string{"-system", "/nonexistent.json"}, nil, nil, nil, nil, nil); err == nil {
 		t.Error("missing system accepted")
 	}
-	if err := run([]string{"-system", system}, nil, nil, nil, nil); err == nil {
+	if err := run([]string{"-system", system}, nil, nil, nil, nil, nil); err == nil {
 		t.Error("serve mode without -player accepted")
 	}
-	if err := run([]string{"-system", system, "-decrypt"}, nil, nil, strings.NewReader(""), nil); err == nil {
+	if err := run([]string{"-system", system, "-decrypt"}, nil, nil, nil, strings.NewReader(""), nil); err == nil {
 		t.Error("decrypt without -id accepted")
 	}
-	if err := run([]string{"-system", system, "-encrypt"}, nil, nil, strings.NewReader(""), nil); err == nil {
+	if err := run([]string{"-system", system, "-encrypt"}, nil, nil, nil, strings.NewReader(""), nil); err == nil {
 		t.Error("encrypt without -id accepted")
 	}
 	var out bytes.Buffer
 	if err := run([]string{
 		"-system", system, "-decrypt", "-id", testIdent,
 		"-players", "a,b,c,d",
-	}, nil, nil, strings.NewReader("eA=="), &out); err == nil {
+	}, nil, nil, nil, strings.NewReader("eA=="), &out); err == nil {
 		t.Error("too many player addresses accepted")
 	}
 	long := strings.Repeat("x", 64)
 	if err := run([]string{"-system", system, "-encrypt", "-id", testIdent},
-		nil, nil, strings.NewReader(long), &out); err == nil {
+		nil, nil, nil, strings.NewReader(long), &out); err == nil {
 		t.Error("oversized plaintext accepted")
+	}
+}
+
+// TestThresholdDebugEndpoint starts a player with -debug-addr, routes one
+// decryption through it and checks the share-serving metrics moved.
+func TestThresholdDebugEndpoint(t *testing.T) {
+	dir := writeThresholdDeployment(t)
+	system := filepath.Join(dir, "threshold.json")
+
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	debugReady := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-system", system,
+			"-player", filepath.Join(dir, "players", playerFile(1)),
+			"-addr", "127.0.0.1:0",
+			"-debug-addr", "127.0.0.1:0",
+		}, stop, ready, debugReady, nil, nil)
+	}()
+	var a1, dbgAddr string
+	select {
+	case dbgAddr = <-debugReady:
+	case err := <-done:
+		t.Fatalf("player exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("debug endpoint never became ready")
+	}
+	a1 = <-ready
+	a3, stop3 := startPlayer(t, dir, 3)
+	defer stop3()
+
+	var ct bytes.Buffer
+	if err := run([]string{"-system", system, "-encrypt", "-id", testIdent},
+		nil, nil, nil, strings.NewReader("x"), &ct); err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if err := run([]string{
+		"-system", system, "-decrypt", "-id", testIdent,
+		"-players", a1 + ",," + a3,
+	}, nil, nil, nil, bytes.NewReader(ct.Bytes()), &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + dbgAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`player_share_requests_total{player="1"} 1`,
+		`player_share_seconds_count{player="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("player metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	stop <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown error: %v", err)
 	}
 }

@@ -3,6 +3,12 @@
 // log/slog ends up in process output, crash reports and aggregated log
 // pipelines — the exact channels the SEM threat model assumes an insider can
 // read. Log the metadata (IDs, indices), never the key material.
+//
+// The metrics registry (repro/internal/obs) is a sink for the same reason:
+// everything passed to it — series names and label values included — is
+// published verbatim on the -debug-addr scrape endpoint. Secrets are
+// detected inside composite-literal arguments too, so a value smuggled
+// through an obs.Label{Value: ...} field is caught.
 package secretleak
 
 import (
@@ -21,11 +27,13 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // sinkPkgs lists packages whose every function and method is a formatting
-// sink. Covers fmt.Errorf, so error construction is included.
+// sink. Covers fmt.Errorf, so error construction is included, and the
+// metrics registry, whose label values are exported over HTTP.
 var sinkPkgs = map[string]bool{
-	"fmt":      true,
-	"log":      true,
-	"log/slog": true,
+	"fmt":                true,
+	"log":                true,
+	"log/slog":           true,
+	"repro/internal/obs": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -45,12 +53,34 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			for _, arg := range call.Args {
-				if set.SecretExpr(info, arg) {
-					pass.Reportf(arg.Pos(), "secret-bearing value passed to %s.%s; log metadata, not key material", fn.Pkg().Name(), fn.Name())
+				if hit := secretIn(set, info, arg); hit != nil {
+					pass.Reportf(hit.Pos(), "secret-bearing value passed to %s.%s; log metadata, not key material", fn.Pkg().Name(), fn.Name())
 				}
 			}
 			return true
 		})
+	}
+	return nil
+}
+
+// secretIn finds a secret-bearing expression inside a sink argument: the
+// argument itself, or — for composite literals like obs.Label{Value: x} —
+// any element, recursively. It returns the offending expression for a
+// precise diagnostic position, or nil.
+func secretIn(set *secrets.Set, info *types.Info, e ast.Expr) ast.Expr {
+	if set.SecretExpr(info, e) {
+		return e
+	}
+	if cl, ok := ast.Unparen(e).(*ast.CompositeLit); ok {
+		for _, elt := range cl.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if hit := secretIn(set, info, v); hit != nil {
+				return hit
+			}
+		}
 	}
 	return nil
 }

@@ -11,5 +11,6 @@ func TestSecretLeak(t *testing.T) {
 	analysistest.Run(t, "testdata", secretleak.Analyzer,
 		"repro/internal/leakbad",
 		"repro/internal/leakgood",
+		"repro/internal/metricbad",
 	)
 }

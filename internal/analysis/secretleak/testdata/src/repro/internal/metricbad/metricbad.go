@@ -1,0 +1,21 @@
+// Package metricbad exercises the metrics-sink positive cases: everything
+// handed to the obs registry is published on the scrape endpoint, label
+// values included.
+package metricbad
+
+import (
+	"repro/internal/keys"
+	"repro/internal/obs"
+)
+
+// Labelled smuggles key material through a composite-literal label value.
+func Labelled(reg *obs.Registry, k *keys.PrivateKey) {
+	reg.Counter("requests_total", "requests",
+		obs.Label{Key: "key", Value: string(k.Bytes)}).Inc() // want `secret-bearing value passed to obs.Counter`
+}
+
+// Keyed labels a series by identity — metadata, allowed.
+func Keyed(reg *obs.Registry, k *keys.PrivateKey) {
+	reg.Counter("requests_total", "requests",
+		obs.Label{Key: "id", Value: k.ID}).Inc()
+}

@@ -1,0 +1,18 @@
+// Package obs stubs the metrics registry for fixture use: its import path
+// matches the real repro/internal/obs so the sinkPkgs entry applies.
+package obs
+
+// Label is one metric dimension.
+type Label struct{ Key, Value string }
+
+// Counter is a stub series handle.
+type Counter struct{}
+
+// Inc is a stub.
+func (c *Counter) Inc() {}
+
+// Registry is a stub metric registry.
+type Registry struct{}
+
+// Counter registers a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter { return &Counter{} }

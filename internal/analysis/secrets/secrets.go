@@ -18,7 +18,9 @@
 //     treated as metadata (identifiers, indices, timestamps);
 //   - calling a method on a secret receiver yields a secret result, unless
 //     the result has basic type (String(), Len(), Equal() accessors);
-//   - indexing or slicing a secret slice yields a secret element.
+//   - indexing or slicing a secret slice yields a secret element;
+//   - converting a secret value to another type — string(k.Bytes) — keeps
+//     it secret: a conversion renames the bits, it does not summarise them.
 //
 // A non-basic field that is nonetheless public — a key half's bound modulus,
 // a key pair's embedded public key — can opt out with a //cryptolint:public
@@ -154,6 +156,12 @@ func (s *Set) SecretExpr(info *types.Info, e ast.Expr) bool {
 		}
 		return !isBasic(info.TypeOf(e))
 	case *ast.CallExpr:
+		// A type conversion is the same bits under a new name: string(k.Bytes)
+		// is as secret as k.Bytes, even though the result type is basic. (A
+		// *method* with a basic result stays metadata — it computed something.)
+		if tv, ok := info.Types[ast.Unparen(x.Fun)]; ok && tv.IsType() && len(x.Args) == 1 {
+			return s.SecretExpr(info, x.Args[0])
+		}
 		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && s.SecretExpr(info, sel.X) {
 			return !isBasic(info.TypeOf(e))
 		}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/curve"
 	"repro/internal/lru"
+	"repro/internal/obs"
 	"repro/internal/pairing"
 )
 
@@ -89,6 +90,13 @@ func (pub *PublicParams) recipientCache() *lru.Cache[string, *pairing.GTTable] {
 		pub.gtCache = lru.New[string, *pairing.GTTable](maxCachedRecipients)
 	})
 	return pub.gtCache
+}
+
+// InstrumentRecipientCache exports the per-recipient GT-table cache's
+// counters through reg as the cache="bf_gt_tables" series of the shared
+// lru_* families.
+func (pub *PublicParams) InstrumentRecipientCache(reg *obs.Registry) {
+	pub.recipientCache().Instrument(reg, "bf_gt_tables")
 }
 
 // RecipientCacheStats reports the hit/miss/eviction counters of the

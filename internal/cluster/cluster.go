@@ -12,11 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/bf"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -72,6 +74,21 @@ type PlayerServer struct {
 	// misbehave, when set, corrupts outgoing shares — the test hook for
 	// byzantine behaviour.
 	misbehave func(*core.DecryptionShare) *core.DecryptionShare
+
+	shareRequests *obs.Counter   // player_share_requests_total
+	shareErrors   *obs.Counter   // player_share_errors_total
+	shareTime     *obs.Histogram // player_share_seconds
+}
+
+// Instrument registers the player's serving metrics with reg: share
+// request/error counters and the share service-time histogram (the
+// pairing-with-proof computation thresholdd spends its CPU on). Call
+// before Serve.
+func (p *PlayerServer) Instrument(reg *obs.Registry) {
+	l := obs.Label{Key: "player", Value: strconv.Itoa(p.index)}
+	p.shareRequests = reg.Counter("player_share_requests_total", "decryption-share requests received", l)
+	p.shareErrors = reg.Counter("player_share_errors_total", "share requests answered with an error", l)
+	p.shareTime = reg.Histogram("player_share_seconds", "share computation time (incl. proof)", l)
 }
 
 // NewPlayerServer creates player index's server.
@@ -198,7 +215,14 @@ func (p *PlayerServer) dispatch(req *request) *response {
 	case "ping":
 		return &response{OK: true, Index: p.index}
 	case "share":
-		return p.shareResponse(req)
+		p.shareRequests.Inc()
+		start := time.Now()
+		resp := p.shareResponse(req)
+		p.shareTime.Observe(time.Since(start))
+		if !resp.OK {
+			p.shareErrors.Inc()
+		}
+		return resp
 	default:
 		return &response{OK: false, Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -242,6 +266,78 @@ type Recombiner struct {
 	// addrs[i-1] is player i's address ("" = player not deployed).
 	addrs   []string
 	timeout time.Duration
+	met     *recombinerMetrics
+}
+
+// recombinerMetrics instruments the fan-out path: where a threshold
+// decryption actually spends its time (per-shareholder network+verify
+// latency, and the quorum wait that bounds the whole operation) and which
+// players are feeding the recombiner garbage.
+type recombinerMetrics struct {
+	fetch      []*obs.Histogram // cluster_fetch_seconds{player=...}, index i-1
+	verifyFail *obs.Counter     // cluster_verify_failures_total
+	quorumWait *obs.Histogram   // cluster_quorum_wait_seconds
+	decrypts   *obs.Counter     // cluster_decrypts_total
+	rejected   *obs.Counter     // cluster_rejected_shares_total
+}
+
+// Instrument registers the recombiner's series with reg: one
+// cluster_fetch_seconds histogram per player (fetch + NIZK verify, the
+// unit of the overlap the Decrypt pipeline exploits), the NIZK
+// verification failure counter, and the quorum wait histogram (time until
+// every player resolved — the paper's recombiner cannot finish earlier).
+// Call before Decrypt; safe to skip entirely.
+func (r *Recombiner) Instrument(reg *obs.Registry) {
+	m := &recombinerMetrics{
+		fetch:      make([]*obs.Histogram, r.params.N),
+		verifyFail: reg.Counter("cluster_verify_failures_total", "decryption shares rejected by the NIZK robustness check"),
+		quorumWait: reg.Histogram("cluster_quorum_wait_seconds", "time from fan-out until all player fetches resolved"),
+		decrypts:   reg.Counter("cluster_decrypts_total", "threshold decryptions attempted"),
+		rejected:   reg.Counter("cluster_rejected_shares_total", "player responses rejected (unreachable, malformed or failing verification)"),
+	}
+	for i := 1; i <= r.params.N; i++ {
+		m.fetch[i-1] = reg.Histogram("cluster_fetch_seconds", "per-player share fetch + proof verification time",
+			obs.Label{Key: "player", Value: strconv.Itoa(i)})
+	}
+	r.met = m
+}
+
+// The recording helpers are nil-safe so an uninstrumented recombiner pays
+// nothing but the receiver check.
+
+func (m *recombinerMetrics) decryptStarted() {
+	if m == nil {
+		return
+	}
+	m.decrypts.Inc()
+}
+
+func (m *recombinerMetrics) verifyFailed() {
+	if m == nil {
+		return
+	}
+	m.verifyFail.Inc()
+}
+
+func (m *recombinerMetrics) observeFetch(player int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.fetch[player-1].Observe(d)
+}
+
+func (m *recombinerMetrics) observeQuorumWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.quorumWait.Observe(d)
+}
+
+func (m *recombinerMetrics) shareRejected() {
+	if m == nil {
+		return
+	}
+	m.rejected.Inc()
 }
 
 // NewRecombiner binds a recombiner to the cluster topology.
@@ -272,6 +368,8 @@ func (r *Recombiner) Decrypt(id string, c *bf.BasicCiphertext) (msg []byte, reje
 		share *core.DecryptionShare
 		err   error
 	}
+	r.met.decryptStarted()
+	start := time.Now()
 	results := make(chan outcome, r.params.N)
 	var wg sync.WaitGroup
 	for i := 1; i <= r.params.N; i++ {
@@ -283,20 +381,26 @@ func (r *Recombiner) Decrypt(id string, c *bf.BasicCiphertext) (msg []byte, reje
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
+			fetchStart := time.Now()
 			share, err := r.fetchShare(addr, id, c)
 			if err == nil {
-				err = r.params.VerifyShareProof(id, c.U, share)
+				if err = r.params.VerifyShareProof(id, c.U, share); err != nil {
+					r.met.verifyFailed()
+				}
 			}
+			r.met.observeFetch(i, time.Since(fetchStart))
 			results <- outcome{index: i, share: share, err: err}
 		}(i, addr)
 	}
 	wg.Wait()
+	r.met.observeQuorumWait(time.Since(start))
 	close(results)
 
 	valid := make([]*core.DecryptionShare, 0, r.params.N)
 	for out := range results {
 		if out.err != nil {
 			rejected = append(rejected, out.index)
+			r.met.shareRejected()
 			continue
 		}
 		valid = append(valid, out.share)

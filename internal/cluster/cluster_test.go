@@ -5,10 +5,12 @@ import (
 	"crypto/rand"
 	"errors"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pairing"
 )
 
@@ -244,3 +246,40 @@ func TestClusterPing(t *testing.T) {
 // Test-only frame helpers delegating to the shared wire package.
 func writeFrameForTest(conn net.Conn, v any) (int, error) { return wireWrite(conn, v) }
 func readFrameForTest(conn net.Conn, v any) (int, error)  { return wireRead(conn, v) }
+
+// TestRecombinerMetrics drives an instrumented decryption past a byzantine
+// player and checks the exported series: per-player fetch timings, the
+// verification-failure and rejected-share counters, and quorum wait.
+func TestRecombinerMetrics(t *testing.T) {
+	d := deploy(t)
+	d.players[1].SetMisbehaviour(func(ds *core.DecryptionShare) *core.DecryptionShare {
+		return &core.DecryptionShare{Index: ds.Index, G: ds.G.Mul(ds.G), Proof: ds.Proof}
+	})
+	r := d.recombiner(t)
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+
+	msg := bytes.Repeat([]byte{0x33}, msgLen)
+	c, _ := d.params.Public.EncryptBasic(rand.Reader, ident, msg)
+	if _, _, err := r.Decrypt(ident, c); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`cluster_decrypts_total 1`,
+		`cluster_verify_failures_total 1`,
+		`cluster_rejected_shares_total 1`,
+		`cluster_quorum_wait_seconds_count 1`,
+		`cluster_fetch_seconds_count{player="1"} 1`,
+		`cluster_fetch_seconds_count{player="2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("recombiner metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Revocation durability. The paper's SEM "remains online all the system's
@@ -33,29 +35,49 @@ type Journal struct {
 	reg *Registry
 	f   *os.File
 	enc *json.Encoder
+
+	replayed     int
+	droppedLines int
+	appendTime   *obs.Histogram
 }
 
 // OpenJournal opens (creating if needed) the log at path, replays it into
 // a fresh Registry and returns the bound journal. Corrupt trailing lines
 // (a crash mid-write) are tolerated: replay stops at the first undecodable
-// line.
+// line. The outcome is never silent — Replayed reports how many records
+// took effect and DroppedLines how many non-empty lines were abandoned
+// after the corruption point, so operators can distinguish "torn final
+// write" (DroppedLines == 1, routine) from a truncated or damaged journal
+// body (DroppedLines > 1, revocations may have been lost). cmd/semd logs
+// both at startup.
 func OpenJournal(path string) (*Journal, error) {
 	reg := NewRegistry()
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("open revocation journal: %w", err)
 	}
+	j := &Journal{reg: reg}
 	scanner := bufio.NewScanner(f)
+	corrupt := false
 	for scanner.Scan() {
 		line := scanner.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		if corrupt {
+			// Count what the stop-at-corruption policy is discarding; a
+			// long valid suffix after a bad line means real damage, not a
+			// torn final write.
+			j.droppedLines++
+			continue
+		}
 		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			// Torn final write: stop replaying, keep what we have.
-			break
+			corrupt = true
+			j.droppedLines++
+			continue
 		}
+		j.replayed++
 		switch rec.Op {
 		case "revoke":
 			reg.mu.Lock()
@@ -75,7 +97,30 @@ func OpenJournal(path string) (*Journal, error) {
 		_ = f.Close()
 		return nil, fmt.Errorf("seek revocation journal: %w", err)
 	}
-	return &Journal{reg: reg, f: f, enc: json.NewEncoder(f)}, nil
+	j.f = f
+	j.enc = json.NewEncoder(f)
+	return j, nil
+}
+
+// Replayed reports how many journal records were applied by OpenJournal.
+func (j *Journal) Replayed() int { return j.replayed }
+
+// DroppedLines reports how many non-empty journal lines OpenJournal
+// abandoned at and after the first undecodable one. 0 means a clean
+// replay; 1 is the expected torn-final-write crash signature; larger
+// values indicate mid-file corruption and deserve operator attention.
+func (j *Journal) DroppedLines() int { return j.droppedLines }
+
+// Instrument registers the journal's series with reg: the append-latency
+// histogram (every revocation mutation pays an fsync — this is the number
+// that decides revocation throughput) plus replay/drop gauges from the
+// last OpenJournal.
+func (j *Journal) Instrument(reg *obs.Registry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendTime = reg.Histogram("journal_append_seconds", "revocation journal append + fsync time")
+	reg.Gauge("journal_replayed_records", "journal records replayed at startup").Set(int64(j.replayed))
+	reg.Gauge("journal_dropped_lines", "journal lines dropped at startup (corrupt tail)").Set(int64(j.droppedLines))
 }
 
 // Registry returns the replayed, live registry. SEMs share it as usual;
@@ -111,12 +156,14 @@ func (j *Journal) append(rec journalRecord) error {
 	if j.f == nil {
 		return errors.New("core: journal is closed")
 	}
+	start := time.Now()
 	if err := j.enc.Encode(rec); err != nil {
 		return fmt.Errorf("append revocation journal: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("sync revocation journal: %w", err)
 	}
+	j.appendTime.Observe(time.Since(start))
 	return nil
 }
 

@@ -4,7 +4,10 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestJournalPersistsAcrossReopen(t *testing.T) {
@@ -122,5 +125,99 @@ func TestJournalGatesSEM(t *testing.T) {
 	}
 	if err := j.Registry().Check("a@x"); !errors.Is(err, ErrRevoked) {
 		t.Fatal("journal mutation not visible through registry")
+	}
+}
+
+// TestJournalCorruptTailAccounting is the regression test for the silent
+// replay stop: corruption must be *visible* — replayed-record and
+// dropped-line counts — and a valid suffix after a corrupt line must not
+// be silently applied (the stop-at-corruption policy stands, loudly).
+func TestJournalCorruptTailAccounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "revocations.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Revoke("alice@example.com", "one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Revoke("bob@example.com", "two"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-file corruption: a damaged line followed by records that were
+	// once valid.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{corrupt!!\n" +
+		`{"op":"revoke","id":"carol@example.com"}` + "\n" +
+		`{"op":"unrevoke","id":"alice@example.com"}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("corrupt journal rejected: %v", err)
+	}
+	defer j2.Close()
+	if got := j2.Replayed(); got != 2 {
+		t.Errorf("Replayed = %d, want 2", got)
+	}
+	if got := j2.DroppedLines(); got != 3 {
+		t.Errorf("DroppedLines = %d, want 3 (corrupt line + abandoned suffix)", got)
+	}
+	reg := j2.Registry()
+	if !reg.IsRevoked("alice@example.com") || !reg.IsRevoked("bob@example.com") {
+		t.Error("intact prefix lost")
+	}
+	if reg.IsRevoked("carol@example.com") {
+		t.Error("record after the corruption point was applied")
+	}
+
+	// The torn-final-write crash signature stays the routine case: exactly
+	// one dropped line.
+	torn := filepath.Join(t.TempDir(), "torn.jsonl")
+	if err := os.WriteFile(torn, []byte(`{"op":"revoke","id":"a"}`+"\n"+`{"op":"rev`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Replayed() != 1 || j3.DroppedLines() != 1 {
+		t.Errorf("torn write: replayed %d dropped %d, want 1/1", j3.Replayed(), j3.DroppedLines())
+	}
+}
+
+// TestJournalInstrument covers the observability hook: append latency is
+// recorded and the replay gauges reflect OpenJournal's accounting.
+func TestJournalInstrument(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "revocations.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	reg := obs.NewRegistry()
+	j.Instrument(reg)
+	if err := j.Revoke("alice@example.com", "x"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "journal_append_seconds_count 1") {
+		t.Errorf("append latency not recorded:\n%s", out)
+	}
+	if !strings.Contains(out, "journal_replayed_records 0") {
+		t.Errorf("replay gauge missing:\n%s", out)
 	}
 }

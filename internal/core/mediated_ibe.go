@@ -11,6 +11,7 @@ import (
 	"repro/internal/curve"
 	"repro/internal/lru"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/pairing"
 )
 
@@ -158,6 +159,13 @@ func NewIBESEM(pub *bf.PublicParams, reg *Registry) *IBESEM {
 func (s *IBESEM) Register(half *SEMKeyHalf) {
 	s.keys.put(half.ID, half)
 	s.pairers.Remove(half.ID)
+}
+
+// InstrumentPairerCache exports the precomputation cache's hit/miss/
+// eviction counters and size through reg as the cache="sem_pairers"
+// series of the shared lru_* families.
+func (s *IBESEM) InstrumentPairerCache(reg *obs.Registry) {
+	s.pairers.Instrument(reg, "sem_pairers")
 }
 
 // PairerCacheStats reports the hit/miss/eviction counters of the SEM's

@@ -8,6 +8,8 @@ package lru
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Stats is a snapshot of a cache's counters.
@@ -128,6 +130,24 @@ func (c *Cache[K, V]) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// Instrument registers the cache's counters with reg under the shared
+// lru_* metric families, one series per cache distinguished by a
+// cache=<name> label: lru_hits_total, lru_misses_total,
+// lru_evictions_total and the lru_entries gauge. The series are
+// function-backed — export samples Stats()/Len() at scrape time, so
+// instrumentation adds nothing to the cache's own lock scope.
+func (c *Cache[K, V]) Instrument(reg *obs.Registry, name string) {
+	label := obs.Label{Key: "cache", Value: name}
+	reg.CounterFunc("lru_hits_total", "cache lookups served from the cache",
+		func() uint64 { return c.Stats().Hits }, label)
+	reg.CounterFunc("lru_misses_total", "cache lookups that missed",
+		func() uint64 { return c.Stats().Misses }, label)
+	reg.CounterFunc("lru_evictions_total", "entries evicted by capacity pressure",
+		func() uint64 { return c.Stats().Evictions }, label)
+	reg.GaugeFunc("lru_entries", "entries currently cached",
+		func() int64 { return int64(c.Len()) }, label)
 }
 
 // evictOldest removes the least recently used entry. Caller holds c.mu.

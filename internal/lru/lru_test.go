@@ -2,8 +2,11 @@ package lru
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestBasicGetAdd(t *testing.T) {
@@ -129,5 +132,32 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 16 {
 		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}
+
+func TestInstrumentExportsCounters(t *testing.T) {
+	c := New[string, int](2)
+	reg := obs.NewRegistry()
+	c.Instrument(reg, "test_cache")
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Get("a")
+	c.Get("zzz")
+	c.Add("c", 3) // evicts b
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lru_hits_total{cache="test_cache"} 1`,
+		`lru_misses_total{cache="test_cache"} 1`,
+		`lru_evictions_total{cache="test_cache"} 1`,
+		`lru_entries{cache="test_cache"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("lru metrics missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the debug endpoint the daemons mount behind -debug-addr:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  expvar-style JSON snapshot (with quantiles)
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// The mux is meant for a loopback or otherwise access-controlled listener:
+// pprof profiles and metric values are operational data, not public API.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts an HTTP server for DebugMux(reg) on addr and returns
+// it listening; the caller shuts it down with (*http.Server).Close. The
+// bound address is available as srv.Addr (resolved, so ":0" requests
+// report the real port).
+func ServeDebug(addr string, reg *Registry) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: DebugMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout. Durations are recorded in nanoseconds into
+// log-linear buckets: four sub-buckets per power of two (so any quantile
+// estimate is within ~12% of the true value), spanning 1µs-ish to ~73
+// minutes. Everything below 2^histMinBits ns lands in bucket 0 and
+// everything at or above 2^histMaxBits ns in the overflow bucket — the
+// serving stack's interesting latencies (pairings through network round
+// trips) live comfortably inside the range.
+const (
+	histMinBits = 10 // bucket 0 upper bound: 1024ns
+	histMaxBits = 42 // overflow above ~73min
+	histSubBits = 2  // 4 sub-buckets per octave
+	histSub     = 1 << histSubBits
+
+	// numBuckets = underflow + 4 per octave + overflow.
+	numBuckets = 1 + (histMaxBits-histMinBits)*histSub + 1
+)
+
+// bucketBounds[i] is the exclusive upper bound, in nanoseconds, of bucket
+// i; the final overflow bucket is unbounded (+Inf).
+var bucketBounds = func() [numBuckets - 1]uint64 {
+	var b [numBuckets - 1]uint64
+	b[0] = 1 << histMinBits
+	for i := 1; i < len(b); i++ {
+		octave := histMinBits + (i-1)/histSub
+		sub := uint64((i-1)%histSub) + 1
+		b[i] = 1<<octave + sub<<(octave-histSubBits)
+	}
+	return b
+}()
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(ns uint64) int {
+	if ns < 1<<histMinBits {
+		return 0
+	}
+	if ns >= 1<<histMaxBits {
+		return numBuckets - 1
+	}
+	octave := bits.Len64(ns) - 1
+	sub := (ns >> (uint(octave) - histSubBits)) & (histSub - 1)
+	return 1 + (octave-histMinBits)*histSub + int(sub)
+}
+
+// Histogram is a log-bucketed latency histogram. The zero value is ready
+// to use; Observe is safe for concurrent use, lock-free and
+// allocation-free. Quantile estimates come from Snapshot.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations record as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// Since records the time elapsed since start; the idiomatic call is
+// `defer h.Since(time.Now())`.
+func (h *Histogram) Since(start time.Time) {
+	h.Observe(time.Since(start))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state. The
+// copy is not atomic across buckets — concurrent Observe calls may land in
+// the count but not yet a bucket — so Quantile clamps rather than assumes
+// exact agreement; for monitoring this skew is harmless.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	buckets [numBuckets]uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) as the upper bound of
+// the bucket holding that rank — a conservative (over-) estimate within
+// one sub-bucket of the truth. Returns 0 for an empty histogram; ranks
+// landing in the overflow bucket report the largest tracked bound.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank > 0 {
+		rank-- // 1-based rank of the sample we want, 0-indexed
+	}
+	var cum uint64
+	for i, c := range s.buckets {
+		cum += c
+		if cum > rank {
+			if i >= len(bucketBounds) {
+				break // overflow bucket
+			}
+			return time.Duration(bucketBounds[i])
+		}
+	}
+	return time.Duration(bucketBounds[len(bucketBounds)-1])
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

@@ -1,0 +1,133 @@
+// Package obs is the serving stack's observability subsystem: atomic
+// counters and gauges, log-bucketed latency histograms with quantile
+// snapshots, a registry that renders both Prometheus text format and an
+// expvar-style JSON document, and a debug HTTP mux that serves them next to
+// net/http/pprof.
+//
+// The paper's SEM "remains online all the system's lifetime"; a mediator
+// serving millions of users needs its request rates, error mix, service
+// times and cache behaviour visible while it runs, not only in benchmarks.
+// obs is stdlib-only and designed around one contract: the record path —
+// Counter.Add, Gauge.Set, Histogram.Observe — performs no allocation and
+// takes no lock, so instrumentation can sit on the pairing hot paths
+// without disturbing the zero-alloc discipline established by the limb
+// field backend (asserted by testing.AllocsPerRun in the package tests).
+// All allocation happens at registration time, which is why metric labels
+// are fixed at construction: a per-op counter is one registered series per
+// op, looked up by the caller, never rendered per event.
+//
+// Every constructor is nil-tolerant: calling Counter/Gauge/Histogram on a
+// nil *Registry returns a live, unregistered metric, so instrumented
+// components need no "is observability on?" branches — recording into an
+// unregistered metric is cheap and invisible.
+package obs
+
+import (
+	"strings"
+	"sync/atomic"
+)
+
+// Label is one key="value" pair attached to a metric series at
+// registration. Label values are rendered once, at registration — never on
+// the record path — so they must be static (an op name, a player index),
+// not per-event data. Identities and payloads do not belong in labels.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; all methods are safe for concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value. The zero value is ready to use;
+// all methods are safe for concurrent use and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds delta (negative deltas decrease the gauge).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// renderLabels formats a label set as {k="v",k2="v2"} with Prometheus
+// escaping, or "" for an empty set. Called only at registration.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

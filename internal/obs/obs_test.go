@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"math/bits"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecordPathZeroAlloc is the package's contract: incrementing a
+// counter, moving a gauge and recording into a histogram allocate nothing.
+// Instrumentation sits on the pairing hot paths, so this is load-bearing,
+// not cosmetic — the same discipline PR4 asserts for field ops.
+func TestRecordPathZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_total", "test", Label{"op", "x"})
+	g := reg.Gauge("t_gauge", "test")
+	h := reg.Histogram("t_seconds", "test")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); n != 0 {
+		t.Fatalf("counter record path allocates %v bytes/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7); g.Add(-2); g.Inc(); g.Dec() }); n != 0 {
+		t.Fatalf("gauge record path allocates %v bytes/op", n)
+	}
+	d := 380 * time.Microsecond
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(d) }); n != 0 {
+		t.Fatalf("histogram record path allocates %v bytes/op", n)
+	}
+	// Nil metrics (uninstrumented components) are also alloc- and
+	// panic-free.
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	if n := testing.AllocsPerRun(1000, func() { nc.Inc(); ng.Set(1); nh.Observe(d) }); n != 0 {
+		t.Fatalf("nil record path allocates %v bytes/op", n)
+	}
+}
+
+func TestCounterGaugeValues(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	g.Dec()
+	g.Inc()
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestNilRegistryReturnsLiveMetrics(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("nil-registry counter is not live")
+	}
+	h := r.Histogram("x_seconds", "")
+	h.Observe(time.Millisecond)
+	if h.Snapshot().Count != 1 {
+		t.Fatal("nil-registry histogram is not live")
+	}
+	r.CounterFunc("f_total", "", func() uint64 { return 0 })
+	r.GaugeFunc("f_gauge", "", func() int64 { return 0 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "h", Label{"op", "a"})
+	b := reg.Counter("dup_total", "h", Label{"op", "a"})
+	if a != b {
+		t.Fatal("same (name, labels) did not return the same counter")
+	}
+	other := reg.Counter("dup_total", "h", Label{"op", "b"})
+	if a == other {
+		t.Fatal("different labels returned the same counter")
+	}
+	// Kind conflict: live but unregistered, first registration keeps the
+	// name.
+	g := reg.Gauge("dup_total", "h")
+	g.Set(5)
+	if g.Value() != 5 {
+		t.Fatal("conflicting registration is not live")
+	}
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "# TYPE dup_total gauge") {
+		t.Fatal("kind conflict overwrote the family type")
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	// Every bucket's samples fall strictly below its bound and at or above
+	// the previous bound.
+	prev := -1
+	for ns := uint64(1); ns < 1<<50; ns += ns/3 + 1 {
+		idx := bucketIndex(ns)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d after %d", ns, idx, prev)
+		}
+		prev = idx
+		if idx < len(bucketBounds) && ns >= bucketBounds[idx] {
+			t.Fatalf("value %d ≥ its bucket bound %d", ns, bucketBounds[idx])
+		}
+		if idx > 0 && idx-1 < len(bucketBounds) && ns < bucketBounds[idx-1] {
+			t.Fatalf("value %d < previous bound %d", ns, bucketBounds[idx-1])
+		}
+	}
+	if got := bucketIndex(0); got != 0 {
+		t.Fatalf("bucketIndex(0) = %d", got)
+	}
+	if got := bucketIndex(1 << 63); got != numBuckets-1 {
+		t.Fatalf("bucketIndex(huge) = %d, want overflow %d", got, numBuckets-1)
+	}
+	_ = bits.Len64 // keep the import honest if constants change
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations at 1ms, 10 at 10ms, 1 at 100ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 111 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	check := func(q float64, want time.Duration) {
+		t.Helper()
+		got := s.Quantile(q)
+		// Log-linear buckets with 4 sub-buckets per octave: within 25%.
+		if got < want || float64(got) > float64(want)*1.25 {
+			t.Fatalf("q%v = %v, want within [%v, %v]", q, got, want, time.Duration(float64(want)*1.25))
+		}
+	}
+	check(0.50, time.Millisecond)
+	check(0.95, 10*time.Millisecond)
+	check(0.999, 100*time.Millisecond)
+	if m := s.Mean(); m < time.Millisecond || m > 3*time.Millisecond {
+		t.Fatalf("mean = %v", m)
+	}
+	var empty Histogram
+	if q := empty.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
+// TestConcurrentRecordingAndSnapshots drives counters and histograms from
+// many goroutines while snapshots and exports run concurrently; under
+// -race this is the subsystem's thread-safety proof, and the final totals
+// must be exact (atomic, not racy, accumulation).
+func TestConcurrentRecordingAndSnapshots(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("cc_total", "concurrent counter")
+	h := reg.Histogram("ch_seconds", "concurrent histogram")
+	g := reg.Gauge("cg_inflight", "concurrent gauge")
+	const workers = 8
+	const perWorker = 5000
+	stop := make(chan struct{})
+	var scrapers, recorders sync.WaitGroup
+	// Concurrent scrapers: exports and snapshots must be safe (and sane)
+	// while recording is in full flight.
+	for i := 0; i < 2; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := reg.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				s := h.Snapshot()
+				if s.Sum < 0 {
+					t.Error("negative snapshot sum")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		recorders.Add(1)
+		go func() {
+			defer recorders.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(time.Duration(j%1000) * time.Microsecond)
+				g.Dec()
+			}
+		}()
+	}
+	recorders.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketSum uint64
+	for _, b := range s.buckets {
+		bucketSum += b
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d in a quiescent snapshot", bucketSum, s.Count)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d after balanced inc/dec", g.Value())
+	}
+}

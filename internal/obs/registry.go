@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// kind is the Prometheus metric type of a family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// collector is one registered series: it can render itself as Prometheus
+// text lines and as a JSON value. Export samples the live metric, so
+// function-backed series (queue depths, cache stats) are read at scrape
+// time.
+type collector interface {
+	writeProm(w io.Writer, name, labels string) error
+	jsonValue() any
+}
+
+// series is one labelled instance within a family.
+type series struct {
+	labels string // rendered, "" or `{k="v",...}`
+	col    collector
+}
+
+// family groups the series sharing one metric name (and therefore one
+// HELP/TYPE header).
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []*series
+	index  map[string]*series
+}
+
+// Registry holds named metrics and renders them. All methods are safe for
+// concurrent use, and safe on a nil *Registry: registration on nil returns
+// a live, unregistered metric, so components can be instrumented
+// unconditionally and wired to a registry only where one exists.
+//
+// Registration is idempotent: requesting an existing (name, labels) pair
+// of the same kind returns the already-registered metric. A kind conflict
+// (the same name registered as two different types) does not panic — the
+// conflicting registration returns a functional but unregistered metric,
+// and the first registration wins the name. This keeps the API total: a
+// misnamed metric degrades visibility, never the serving path.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register finds or creates the series for (name, labels); mk builds the
+// collector when the series is new.
+func (r *Registry) register(k kind, name, help string, labels []Label, mk func() collector) collector {
+	if r == nil {
+		return mk()
+	}
+	rendered := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: k, index: make(map[string]*series)}
+		r.families[name] = fam
+	}
+	if fam.kind != k {
+		return mk() // kind conflict: live but unregistered
+	}
+	if s, ok := fam.index[rendered]; ok {
+		return s.col
+	}
+	s := &series{labels: rendered, col: mk()}
+	fam.index[rendered] = s
+	fam.series = append(fam.series, s)
+	return s.col
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := r.register(kindCounter, name, help, labels, func() collector { return new(Counter) })
+	if c, ok := c.(*Counter); ok {
+		return c
+	}
+	return new(Counter)
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	c := r.register(kindGauge, name, help, labels, func() collector { return new(Gauge) })
+	if g, ok := c.(*Gauge); ok {
+		return g
+	}
+	return new(Gauge)
+}
+
+// Histogram registers (or finds) a latency histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	c := r.register(kindHistogram, name, help, labels, func() collector { return new(Histogram) })
+	if h, ok := c.(*Histogram); ok {
+		return h
+	}
+	return new(Histogram)
+}
+
+// funcCounter samples a monotonic external counter at export time.
+type funcCounter struct{ f func() uint64 }
+
+// funcGauge samples an external instantaneous value at export time.
+type funcGauge struct{ f func() int64 }
+
+// CounterFunc registers a counter series whose value is sampled from f at
+// every export — the bridge for components that keep their own atomic
+// counters (the pairing engine, lru caches). f must be safe for concurrent
+// use and monotonic.
+func (r *Registry) CounterFunc(name, help string, f func() uint64, labels ...Label) {
+	r.register(kindCounter, name, help, labels, func() collector { return &funcCounter{f: f} })
+}
+
+// GaugeFunc registers a gauge series sampled from f at every export (queue
+// depths, open connections, cache sizes). f must be safe for concurrent
+// use.
+func (r *Registry) GaugeFunc(name, help string, f func() int64, labels ...Label) {
+	r.register(kindGauge, name, help, labels, func() collector { return &funcGauge{f: f} })
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4). Histograms render in seconds, with
+// only their non-empty buckets (cumulative counts stay correct — a
+// Prometheus histogram may expose any subset of bounds plus +Inf).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.kind); err != nil {
+			return err
+		}
+		for _, s := range fam.series {
+			if err := s.col.writeProm(w, fam.name, s.labels); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders an expvar-style JSON object: one key per series (name
+// plus rendered labels), counters and gauges as numbers, histograms as
+// {count, sum_seconds, mean_seconds, p50/p95/p99 in seconds}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, fam := range r.sortedFamilies() {
+		for _, s := range fam.series {
+			out[fam.name+s.labels] = s.col.jsonValue()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func (c *Counter) writeProm(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
+	return err
+}
+
+func (c *Counter) jsonValue() any { return c.Value() }
+
+func (g *Gauge) writeProm(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, g.Value())
+	return err
+}
+
+func (g *Gauge) jsonValue() any { return g.Value() }
+
+func (c *funcCounter) writeProm(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, c.f())
+	return err
+}
+
+func (c *funcCounter) jsonValue() any { return c.f() }
+
+func (g *funcGauge) writeProm(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, g.f())
+	return err
+}
+
+func (g *funcGauge) jsonValue() any { return g.f() }
+
+// secondsString formats a nanosecond quantity as seconds for exposition.
+func secondsString(ns uint64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+func (h *Histogram) writeProm(w io.Writer, name, labels string) error {
+	s := h.Snapshot()
+	// Labels for _bucket lines need le merged into the existing set.
+	open := "{"
+	if labels != "" {
+		open = labels[:len(labels)-1] + ","
+	}
+	var cum uint64
+	for i, bound := range bucketBounds {
+		c := s.buckets[i]
+		cum += c
+		if c == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"%s\"} %d\n", name, open, secondsString(bound), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, secondsString(uint64(s.Sum))); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+	return err
+}
+
+func (h *Histogram) jsonValue() any {
+	s := h.Snapshot()
+	return map[string]any{
+		"count":        s.Count,
+		"sum_seconds":  s.Sum.Seconds(),
+		"mean_seconds": s.Mean().Seconds(),
+		"p50_seconds":  s.Quantile(0.50).Seconds(),
+		"p95_seconds":  s.Quantile(0.95).Seconds(),
+		"p99_seconds":  s.Quantile(0.99).Seconds(),
+	}
+}
+
+// Timer measures one interval into a histogram:
+//
+//	defer reg.Histogram("op_seconds", "…").Start().Stop()
+//
+// is spelled here as two small methods so call sites that cannot defer
+// (pipelined loops) can hold the start explicitly.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins timing against h.
+func (h *Histogram) Start() Timer {
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed time.
+func (t Timer) Stop() {
+	t.h.Observe(time.Since(t.start))
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("req_total", "requests", Label{"op", "ping"}).Add(3)
+	reg.Counter("req_total", "requests", Label{"op", "ibe_token"}).Add(5)
+	reg.Gauge("queue_depth", "jobs waiting").Set(2)
+	reg.GaugeFunc("conns_open", "open connections", func() int64 { return 4 })
+	reg.CounterFunc("builds_total", "programs built", func() uint64 { return 9 })
+	h := reg.Histogram("svc_seconds", "service time", Label{"op", "ping"})
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE req_total counter",
+		`req_total{op="ping"} 3`,
+		`req_total{op="ibe_token"} 5`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+		"conns_open 4",
+		"builds_total 9",
+		"# TYPE svc_seconds histogram",
+		`svc_seconds_bucket{op="ping",le="+Inf"} 3`,
+		`svc_seconds_count{op="ping"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket lines: the 2ms bucket holds 2, and some later
+	// bucket reaches 3 before +Inf.
+	if !regexp.MustCompile(`svc_seconds_bucket\{op="ping",le="0\.002[0-9]*"\} 2`).MatchString(out) {
+		t.Fatalf("missing 2ms bucket line:\n%s", out)
+	}
+	if !regexp.MustCompile(`svc_seconds_sum\{op="ping"\} 0\.04[0-9]*`).MatchString(out) {
+		t.Fatalf("missing/incorrect sum line:\n%s", out)
+	}
+	// Families render sorted by name, HELP/TYPE once per family.
+	if strings.Count(out, "# TYPE req_total") != 1 {
+		t.Fatal("family header repeated")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("j_total", "", Label{"op", "x"}).Add(7)
+	h := reg.Histogram("j_seconds", "")
+	for i := 0; i < 10; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if got := doc[`j_total{op="x"}`]; got != float64(7) {
+		t.Fatalf("counter in JSON = %v", got)
+	}
+	hist, ok := doc["j_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram not an object: %v", doc["j_seconds"])
+	}
+	if hist["count"] != float64(10) {
+		t.Fatalf("histogram count = %v", hist["count"])
+	}
+	p50 := hist["p50_seconds"].(float64)
+	if p50 < 0.003 || p50 > 0.004 {
+		t.Fatalf("p50 = %v", p50)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "", Label{"v", `a"b\c` + "\n"}).Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{v="a\"b\\c\n"} 1`) {
+		t.Fatalf("bad escaping:\n%s", sb.String())
+	}
+}
+
+// TestDebugServer scrapes a live debug endpoint: Prometheus text, the JSON
+// snapshot and the pprof index must all answer.
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dbg_total", "debug counter").Add(11)
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "dbg_total 11") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, `"dbg_total": 11`) {
+		t.Fatalf("/metrics.json missing counter:\n%s", out)
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Fatal("pprof index not served")
+	}
+}

@@ -270,6 +270,8 @@ func (pp *Params) MultiPair(ps, qs []*curve.Point) (*GT, error) {
 			yQ: toMont(F, qs[i].Y()),
 		})
 	}
+	engineCounters.multiCalls.Add(1)
+	engineCounters.multiPairs.Add(uint64(len(ps)))
 	if len(live) == 0 {
 		return pp.One(), nil
 	}
@@ -388,6 +390,7 @@ func (pp *Params) NewFixedPair(p1 *curve.Point) (*FixedPair, error) {
 		steps[i].alpha, steps[i].beta = bs[li], as[li]
 		li++
 	}
+	engineCounters.fixedBuilds.Add(1)
 	return &FixedPair{pp: pp, steps: steps}, nil
 }
 

@@ -1,0 +1,56 @@
+package pairing
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Amortized-engine accounting. The engine's economics — how often fixed
+// Miller programs are (re)built versus replayed, and how large the
+// multi-pairing products actually are in production — decide whether the
+// PR3 amortizations pay for themselves outside benchmarks, so the serving
+// daemons export them. Counters are process-global (programs are built
+// across many Params-sharing components) and atomic; recording adds one
+// uncontended atomic add to construction paths only, never to replays.
+var engineCounters struct {
+	fixedBuilds atomic.Uint64 // FixedPair programs constructed
+	multiCalls  atomic.Uint64 // MultiPair invocations
+	multiPairs  atomic.Uint64 // pairs summed across MultiPair invocations
+}
+
+// EngineStats is a snapshot of the amortized engine's counters.
+type EngineStats struct {
+	// FixedPairBuilds counts NewFixedPair precomputations (each costs
+	// roughly one Miller loop; a high rate relative to replays means the
+	// per-identity caches are thrashing).
+	FixedPairBuilds uint64
+	// MultiPairCalls counts MultiPair invocations.
+	MultiPairCalls uint64
+	// MultiPairPairs counts the pairs summed over all MultiPair
+	// invocations; divided by MultiPairCalls it gives the mean product
+	// size, the quantity that decides the shared-squaring payoff.
+	MultiPairPairs uint64
+}
+
+// AmortizedEngineStats returns the current engine counters.
+func AmortizedEngineStats() EngineStats {
+	return EngineStats{
+		FixedPairBuilds: engineCounters.fixedBuilds.Load(),
+		MultiPairCalls:  engineCounters.multiCalls.Load(),
+		MultiPairPairs:  engineCounters.multiPairs.Load(),
+	}
+}
+
+// RegisterEngineMetrics exports the engine counters through reg as
+// function-backed series (sampled at scrape time). Idempotent — the
+// registry deduplicates the series — so every instrumented component may
+// call it without coordination.
+func RegisterEngineMetrics(reg *obs.Registry) {
+	reg.CounterFunc("pairing_fixed_programs_total", "fixed-argument Miller programs precomputed",
+		func() uint64 { return engineCounters.fixedBuilds.Load() })
+	reg.CounterFunc("pairing_multipair_calls_total", "MultiPair product evaluations",
+		func() uint64 { return engineCounters.multiCalls.Load() })
+	reg.CounterFunc("pairing_multipair_pairs_total", "pairs accumulated across MultiPair evaluations",
+		func() uint64 { return engineCounters.multiPairs.Load() })
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/curve"
 	"repro/internal/gm"
 	"repro/internal/mrsa"
+	"repro/internal/obs"
 	"repro/internal/pairing"
 	"repro/internal/wire"
 )
@@ -26,15 +27,25 @@ import (
 //
 // The client tracks wire bytes per operation class, which is how the T2
 // communication experiment measures the paper's "160 bits vs 1024 bits"
-// claim on the actual protocol rather than on back-of-envelope sizes.
+// claim on the actual protocol rather than on back-of-envelope sizes. The
+// accounting lives in obs counters (optionally exported by Instrument);
+// Stats keeps presenting the accumulated WireStats view.
+//
+// Every round trip runs under an operation deadline (SetOpTimeout,
+// default 30s), so a hung or glacial SEM fails the call instead of
+// stalling the caller forever — Dial's timeout only ever covered the
+// connection attempt.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu        sync.Mutex
+	conn      net.Conn
+	opTimeout time.Duration
 
 	pairing *pairing.Params
 
 	statsMu sync.Mutex
-	stats   map[Op]*WireStats
+	stats   map[Op]*opStats
+	reg     *obs.Registry
+	latency *obs.Histogram
 }
 
 // WireStats accumulates protocol traffic for one operation class.
@@ -47,8 +58,22 @@ type WireStats struct {
 	PayloadReceived int
 }
 
+// opStats is the per-op counter set behind WireStats. The counters are
+// plain obs metrics; Instrument swaps in registered series.
+type opStats struct {
+	calls   *obs.Counter
+	sent    *obs.Counter
+	recv    *obs.Counter
+	payload *obs.Counter
+}
+
+// defaultOpTimeout bounds one request/response exchange unless
+// SetOpTimeout overrides it.
+const defaultOpTimeout = 30 * time.Second
+
 // Dial connects to a SEM daemon. pp may be nil when only RSA/admin
-// operations will be used.
+// operations will be used. timeout covers the connection attempt; the
+// per-operation deadline defaults to 30s (SetOpTimeout adjusts it).
 func Dial(addr string, pp *pairing.Params, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -59,11 +84,59 @@ func Dial(addr string, pp *pairing.Params, timeout time.Duration) (*Client, erro
 
 // NewClient wraps an established connection (tests use net.Pipe).
 func NewClient(conn net.Conn, pp *pairing.Params) *Client {
-	return &Client{conn: conn, pairing: pp, stats: make(map[Op]*WireStats)}
+	return &Client{
+		conn:      conn,
+		opTimeout: defaultOpTimeout,
+		pairing:   pp,
+		stats:     make(map[Op]*opStats),
+	}
+}
+
+// SetOpTimeout changes the per-operation deadline applied to each round
+// trip; d ≤ 0 disables deadlines.
+func (c *Client) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opTimeout = d
+}
+
+// Instrument exports the client's wire accounting through reg:
+// semclient_requests_total / semclient_bytes_sent_total /
+// semclient_bytes_received_total / semclient_payload_bytes_total, each
+// labelled by op, plus the semclient_roundtrip_seconds histogram. Call it
+// before issuing requests — ops already exercised keep counting, but on
+// unregistered series.
+func (c *Client) Instrument(reg *obs.Registry) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	c.reg = reg
+	c.latency = reg.Histogram("semclient_roundtrip_seconds", "full request/response round trip time")
 }
 
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// getStats returns (creating if needed) the counter set for op, plus the
+// round-trip histogram (nil until Instrument; nil histograms record
+// nothing).
+func (c *Client) getStats(op Op) (*opStats, *obs.Histogram) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	st, ok := c.stats[op]
+	if !ok {
+		l := obs.Label{Key: "op", Value: string(op)}
+		// A nil registry hands back live, unregistered counters, so the
+		// uninstrumented client needs no separate path.
+		st = &opStats{
+			calls:   c.reg.Counter("semclient_requests_total", "client requests, by protocol op", l),
+			sent:    c.reg.Counter("semclient_bytes_sent_total", "wire bytes sent, by protocol op", l),
+			recv:    c.reg.Counter("semclient_bytes_received_total", "wire bytes received, by protocol op", l),
+			payload: c.reg.Counter("semclient_payload_bytes_total", "SEM→user payload bytes (excluding framing), by protocol op", l),
+		}
+		c.stats[op] = st
+	}
+	return st, c.latency
+}
 
 // Stats returns a snapshot of the wire statistics per operation.
 func (c *Client) Stats() map[Op]WireStats {
@@ -71,7 +144,12 @@ func (c *Client) Stats() map[Op]WireStats {
 	defer c.statsMu.Unlock()
 	out := make(map[Op]WireStats, len(c.stats))
 	for op, st := range c.stats {
-		out[op] = *st
+		out[op] = WireStats{
+			Calls:           int(st.calls.Value()),
+			BytesSent:       int(st.sent.Value()),
+			BytesReceived:   int(st.recv.Value()),
+			PayloadReceived: int(st.payload.Value()),
+		}
 	}
 	return out
 }
@@ -80,6 +158,10 @@ func (c *Client) Stats() map[Op]WireStats {
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
+	if c.opTimeout > 0 {
+		_ = c.conn.SetDeadline(start.Add(c.opTimeout))
+	}
 	sent, err := writeFrame(c.conn, req)
 	if err != nil {
 		return nil, fmt.Errorf("send %s: %w", req.Op, err)
@@ -89,17 +171,15 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("receive %s: %w", req.Op, err)
 	}
-	c.statsMu.Lock()
-	st, ok := c.stats[req.Op]
-	if !ok {
-		st = &WireStats{}
-		c.stats[req.Op] = st
+	if c.opTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Time{})
 	}
-	st.Calls++
-	st.BytesSent += sent
-	st.BytesReceived += recv
-	st.PayloadReceived += len(resp.Payload)
-	c.statsMu.Unlock()
+	st, lat := c.getStats(req.Op)
+	st.calls.Inc()
+	st.sent.Add(uint64(sent))
+	st.recv.Add(uint64(recv))
+	st.payload.Add(uint64(len(resp.Payload)))
+	lat.Observe(time.Since(start))
 	if !resp.OK {
 		return nil, decodeError(&resp)
 	}

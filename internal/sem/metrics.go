@@ -1,0 +1,107 @@
+package sem
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pairing"
+)
+
+// Metric naming (see DESIGN.md §8): the server exports under the sem_
+// prefix, the client under semclient_, and every per-op series carries an
+// op="..." label whose value is the wire op name. Label values are always
+// protocol constants — never identities, reasons or payloads — so no
+// request-controlled (or secret-tainted) data can reach the metric
+// namespace.
+
+// knownOps enumerates every protocol operation, for per-op series
+// registration. Requests with an op outside this set (rejected as
+// CodeBadRequest) account under op="other".
+var knownOps = []Op{
+	OpIBEToken, OpGDHSign, OpRSADecrypt, OpRSASign, OpGMDecrypt,
+	OpRevoke, OpUnrevoke, OpStatus, OpList, OpPing,
+}
+
+// knownCodes enumerates the protocol error codes for the error-mix
+// counters.
+var knownCodes = []ErrorCode{
+	CodeRevoked, CodeUnknownIdentity, CodeBadRequest, CodeUnsupported, CodeInternal,
+}
+
+// serverMetrics is the SEM daemon's instrumentation. All series are
+// registered at server construction; the per-request record path is two
+// map lookups and a handful of atomic adds — no locks, no allocation
+// (asserted by TestServerRecordPathZeroAlloc).
+type serverMetrics struct {
+	requests map[Op]*obs.Counter        // sem_requests_total{op=...}
+	latency  map[Op]*obs.Histogram      // sem_service_seconds{op=...}
+	errors   map[ErrorCode]*obs.Counter // sem_errors_total{code=...}
+	otherReq *obs.Counter
+	otherLat *obs.Histogram
+	otherErr *obs.Counter
+	inflight *obs.Gauge // sem_inflight_requests
+}
+
+// newServerMetrics registers the server's series. reg may be nil (the
+// metrics stay live but unexported). The queue-depth, connection-count and
+// cache gauges are function-backed: they sample the server at scrape time
+// instead of adding bookkeeping to the serving path.
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		requests: make(map[Op]*obs.Counter, len(knownOps)),
+		latency:  make(map[Op]*obs.Histogram, len(knownOps)),
+		errors:   make(map[ErrorCode]*obs.Counter, len(knownCodes)),
+	}
+	for _, op := range knownOps {
+		l := obs.Label{Key: "op", Value: string(op)}
+		m.requests[op] = reg.Counter("sem_requests_total", "requests dispatched, by protocol op", l)
+		m.latency[op] = reg.Histogram("sem_service_seconds", "request service time (dispatch, excluding queue wait)", l)
+	}
+	other := obs.Label{Key: "op", Value: "other"}
+	m.otherReq = reg.Counter("sem_requests_total", "requests dispatched, by protocol op", other)
+	m.otherLat = reg.Histogram("sem_service_seconds", "request service time (dispatch, excluding queue wait)", other)
+	for _, code := range knownCodes {
+		m.errors[code] = reg.Counter("sem_errors_total", "failed requests, by protocol error code",
+			obs.Label{Key: "code", Value: string(code)})
+	}
+	m.otherErr = reg.Counter("sem_errors_total", "failed requests, by protocol error code",
+		obs.Label{Key: "code", Value: "other"})
+	m.inflight = reg.Gauge("sem_inflight_requests", "requests currently executing in the worker pool")
+
+	reg.GaugeFunc("sem_queue_depth", "requests waiting in the worker-pool queue",
+		func() int64 { return int64(len(s.jobs)) })
+	reg.GaugeFunc("sem_open_connections", "live client connections",
+		func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.conns))
+		})
+	reg.Gauge("sem_workers", "size of the request-execution pool").Set(int64(s.cfg.Workers))
+
+	if s.cfg.IBE != nil {
+		s.cfg.IBE.InstrumentPairerCache(reg)
+	}
+	pairing.RegisterEngineMetrics(reg)
+	return m
+}
+
+// observe records one dispatched request. Safe on a nil receiver (servers
+// are always instrumented, but the guard keeps the method total).
+func (m *serverMetrics) observe(op Op, resp *Response, d time.Duration) {
+	if m == nil {
+		return
+	}
+	req, lat := m.requests[op], m.latency[op]
+	if req == nil {
+		req, lat = m.otherReq, m.otherLat
+	}
+	req.Inc()
+	lat.Observe(d)
+	if resp != nil && !resp.OK {
+		errc := m.errors[resp.Code]
+		if errc == nil {
+			errc = m.otherErr
+		}
+		errc.Inc()
+	}
+}

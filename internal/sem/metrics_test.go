@@ -1,0 +1,185 @@
+package sem
+
+import (
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// metricsFixture is a minimal SEM (registry-only backends) with an obs
+// registry wired in: enough to exercise the dispatch path and the
+// exported series without the full crypto enrollment.
+func metricsFixture(t *testing.T, cfg Config) (*Server, *Client, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	if cfg.Registry == nil {
+		cfg.Registry = core.NewRegistry()
+	}
+	cfg.Metrics = reg
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = srv.Serve(ln) }()
+	client, err := Dial(ln.Addr().String(), nil, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = srv.Close()
+		wg.Wait()
+	})
+	return srv, client, reg
+}
+
+func TestServerMetricsExported(t *testing.T) {
+	_, client, reg := metricsFixture(t, Config{})
+	clientReg := obs.NewRegistry()
+	client.Instrument(clientReg)
+
+	for i := 0; i < 3; i++ {
+		if err := client.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Revoke("mallory@example.com", "test"); err != nil {
+		t.Fatal(err)
+	}
+	// An unsupported op becomes an error-code metric.
+	if _, err := client.roundTrip(&Request{Op: OpIBEToken, ID: "x"}); err == nil {
+		t.Fatal("IBE op on IBE-less server succeeded")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`sem_requests_total{op="ping"} 3`,
+		`sem_requests_total{op="revoke"} 1`,
+		`sem_errors_total{code="unsupported"} 1`,
+		`sem_service_seconds_count{op="ping"} 3`,
+		"sem_queue_depth 0",
+		"sem_workers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("server metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := clientReg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	for _, want := range []string{
+		`semclient_requests_total{op="ping"} 3`,
+		`semclient_bytes_sent_total{op="ping"}`,
+		"semclient_roundtrip_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("client metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	// The folded counters still present the WireStats view.
+	stats := client.Stats()
+	if st := stats[OpPing]; st.Calls != 3 || st.BytesSent == 0 || st.BytesReceived == 0 {
+		t.Fatalf("folded WireStats = %+v", st)
+	}
+}
+
+// TestServerRecordPathZeroAlloc pins the instrumentation contract on the
+// dispatch path: per-request accounting allocates nothing.
+func TestServerRecordPathZeroAlloc(t *testing.T) {
+	srv, err := NewServer(Config{Registry: core.NewRegistry(), Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okResp := &Response{OK: true}
+	errResp := &Response{OK: false, Code: CodeRevoked}
+	if n := testing.AllocsPerRun(1000, func() {
+		srv.met.observe(OpPing, okResp, 42*time.Microsecond)
+		srv.met.observe(OpIBEToken, errResp, 1300*time.Microsecond)
+		srv.met.observe(Op("bogus"), errResp, time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("server metric record path allocates %v bytes/op", n)
+	}
+}
+
+// TestClientOpTimeout proves the deadline satellite: a SEM that accepts
+// and then hangs fails the call within the operation timeout instead of
+// stalling the caller forever.
+func TestClientOpTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	hung := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		hung <- conn // accept, read nothing, answer nothing
+	}()
+	client, err := Dial(ln.Addr().String(), nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	client.SetOpTimeout(100 * time.Millisecond)
+	start := time.Now()
+	err = client.Ping()
+	if err == nil {
+		t.Fatal("ping against a hung SEM succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("timeout took %v", waited)
+	}
+	select {
+	case conn := <-hung:
+		_ = conn.Close()
+	default:
+	}
+}
+
+// TestServerIdleTimeout proves the server side: a peer that goes silent
+// past the IO timeout has its connection released.
+func TestServerIdleTimeout(t *testing.T) {
+	_, client, _ := metricsFixture(t, Config{IOTimeout: 100 * time.Millisecond})
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Go idle past the server's limit; the server must drop the
+	// connection, so the next op fails.
+	time.Sleep(300 * time.Millisecond)
+	err := client.Ping()
+	if err == nil {
+		t.Fatal("ping on an idle-reaped connection succeeded")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) && !strings.Contains(err.Error(), "EOF") &&
+		!strings.Contains(err.Error(), "reset") && !strings.Contains(err.Error(), "closed") {
+		t.Logf("connection failed as expected: %v", err)
+	}
+}

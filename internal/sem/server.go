@@ -7,8 +7,10 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pairing"
 	"repro/internal/wire"
 )
@@ -27,6 +29,7 @@ import (
 // back on the wire in request order.
 type Server struct {
 	cfg Config
+	met *serverMetrics
 
 	jobs        chan job
 	workersOnce sync.Once
@@ -69,7 +72,21 @@ type Config struct {
 	// to runtime.GOMAXPROCS(0). One worker serializes all requests (still
 	// across many pipelined connections); more workers add CPU parallelism.
 	Workers int
+	// IOTimeout bounds each frame read (so it doubles as the per-connection
+	// idle limit) and each response write, protecting the daemon from hung
+	// or glacial peers. 0 selects the default (2 minutes); negative
+	// disables deadlines entirely.
+	IOTimeout time.Duration
+	// Metrics, when set, registers the server's instrumentation (request
+	// counts, error mix, service-time histograms, queue/in-flight/
+	// connection gauges, pairer-cache stats) with the registry. Nil keeps
+	// the server uninstrumented at zero additional cost on the wire path.
+	Metrics *obs.Registry
 }
+
+// defaultIOTimeout is the per-frame read/write deadline applied when
+// Config.IOTimeout is zero.
+const defaultIOTimeout = 2 * time.Minute
 
 // NewServer validates the configuration and returns an unstarted server.
 func NewServer(cfg Config) (*Server, error) {
@@ -85,11 +102,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Server{
+	if cfg.IOTimeout == 0 {
+		cfg.IOTimeout = defaultIOTimeout
+	}
+	s := &Server{
 		cfg:   cfg,
 		jobs:  make(chan job, cfg.Workers),
 		conns: make(map[net.Conn]struct{}),
-	}, nil
+	}
+	s.met = newServerMetrics(cfg.Metrics, s)
+	return s, nil
 }
 
 // Workers reports the size of the request-execution pool.
@@ -103,7 +125,12 @@ func (s *Server) startWorkers() {
 		go func() {
 			defer s.workerWG.Done()
 			for j := range s.jobs {
-				j.done <- s.dispatch(j.req)
+				s.met.inflight.Inc()
+				start := time.Now()
+				resp := s.dispatch(j.req)
+				s.met.observe(j.req.Op, resp, time.Since(start))
+				s.met.inflight.Dec()
+				j.done <- resp
 			}
 		}()
 	}
@@ -215,6 +242,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			if broken {
 				continue // keep draining so the reader never wedges
 			}
+			if s.cfg.IOTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+			}
 			if _, err := writeFrame(conn, resp); err != nil {
 				s.cfg.Logf("sem: write frame to %v: %v", conn.RemoteAddr(), err)
 				broken = true
@@ -225,6 +255,12 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	for {
 		var req Request
+		if s.cfg.IOTimeout > 0 {
+			// A per-frame read deadline: a peer that stops mid-frame (or
+			// goes idle past the limit) releases the handler instead of
+			// pinning it for the daemon's lifetime.
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+		}
 		if _, err := readFrame(conn, &req); err != nil {
 			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
 				s.cfg.Logf("sem: read frame from %v: %v", conn.RemoteAddr(), err)
