@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/big"
 	"runtime"
 	"time"
 
 	"repro/internal/bf"
+	"repro/internal/bls"
 	"repro/internal/curve"
 	"repro/internal/pairing"
 )
@@ -84,6 +86,78 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 		return nil, err
 	}
 
+	// Batch-kernel fixtures: a 256-member MSM input (Add-chain points, cheap
+	// even at paper size; random sub-q scalars) and a 256-signature batch
+	// under one key, plus 8 pairing pairs for the chunked Miller walk.
+	cv := pp.Curve()
+	const msmN = 256
+	msmPts := make([]*curve.Point, msmN)
+	msmKs := make([]*big.Int, msmN)
+	chain := Q
+	for i := 0; i < msmN; i++ {
+		msmPts[i] = chain
+		chain = chain.Add(Q)
+		if msmKs[i], err = rand.Int(rand.Reader, pp.Q()); err != nil {
+			return nil, err
+		}
+	}
+	sk, err := bls.GenerateKey(rand.Reader, pp)
+	if err != nil {
+		return nil, err
+	}
+	const batchN = 256
+	batchMsgs := make([][]byte, batchN)
+	batchSigs := make([]*curve.Point, batchN)
+	for i := 0; i < batchN; i++ {
+		batchMsgs[i] = []byte(fmt.Sprintf("baseline batch message %d", i))
+		if batchSigs[i], err = sk.Sign(batchMsgs[i]); err != nil {
+			return nil, err
+		}
+	}
+	mpPs := make([]*curve.Point, 8)
+	mpQs := make([]*curve.Point, 8)
+	for i := range mpPs {
+		mpPs[i] = msmPts[2*i]
+		mpQs[i] = msmPts[2*i+1]
+	}
+
+	// batchVerifySequential replays the pre-Pippenger batch loop through the
+	// public API — full-order ScalarMul subgroup checks and per-member
+	// accumulation — as the committed comparator for batchverify.256.
+	batchVerifySequential := func() error {
+		sAcc := cv.Infinity()
+		tAcc := cv.Infinity()
+		var buf [8]byte
+		for i, sig := range batchSigs {
+			if !sig.ScalarMul(cv.Q()).IsInfinity() {
+				return fmt.Errorf("batch member %d outside G1", i)
+			}
+			ti, err := cv.HashToPointUncleared("GDH-SIG-H", batchMsgs[i])
+			if err != nil {
+				return err
+			}
+			if _, err := rand.Read(buf[:]); err != nil {
+				return err
+			}
+			r := new(big.Int).SetBytes(buf[:])
+			r.Add(r, big.NewInt(1))
+			sAcc = sAcc.Add(sig.ScalarMul(r))
+			tAcc = tAcc.Add(ti.ScalarMul(r))
+		}
+		hAcc := tAcc.ScalarMul(cv.Cofactor())
+		prod, err := pp.MultiPair(
+			[]*curve.Point{pp.Generator(), sk.Public.R.Neg()},
+			[]*curve.Point{sAcc, hAcc},
+		)
+		if err != nil {
+			return err
+		}
+		if !prod.IsOne() {
+			return fmt.Errorf("sequential batch comparator rejected a valid batch")
+		}
+		return nil
+	}
+
 	// Field-layer bodies: the F_p² tower and the raw Montgomery limb ops it
 	// is built from. These are the entries the zero-alloc gate watches.
 	fld := pp.Field()
@@ -124,6 +198,26 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 		{"gtexp.fixed-base", func() error { gtTab.Exp(k); return nil }},
 		{"bf.encrypt", func() error { _, err := pub.Encrypt(rand.Reader, id, msg); return err }},
 		{"bf.decrypt", func() error { _, err := pub.Decrypt(key, ct); return err }},
+		{"msm.64", func() error {
+			_, err := cv.MSM(msmKs[:64], msmPts[:64])
+			return err
+		}},
+		{"msm.256", func() error {
+			_, err := cv.MSM(msmKs, msmPts)
+			return err
+		}},
+		{"msm.256.sequential", func() error {
+			_, err := cv.MSMSequential(msmKs, msmPts)
+			return err
+		}},
+		{"batchverify.256", func() error {
+			return sk.Public.BatchVerify(rand.Reader, batchMsgs, batchSigs)
+		}},
+		{"batchverify.256.sequential", batchVerifySequential},
+		{"multipair.8.parallel", func() error {
+			_, err := pp.MultiPair(mpPs, mpQs)
+			return err
+		}},
 	}
 
 	report := &BaselineReport{

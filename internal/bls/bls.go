@@ -19,6 +19,7 @@ import (
 	"repro/internal/curve"
 	"repro/internal/mathx"
 	"repro/internal/pairing"
+	"repro/internal/parallel"
 	"repro/internal/shamir"
 )
 
@@ -140,27 +141,55 @@ func (pk *PublicKey) BatchVerify(rng io.Reader, msgs [][]byte, sigs []*curve.Poi
 		return fmt.Errorf("bls: empty batch")
 	}
 	cv := pk.Pairing.Curve()
-	sAcc := cv.Infinity()
-	tAcc := cv.Infinity() // Σ r_i·T_i over the raw (uncleared) hash points
+
+	// Coefficients are drawn up front (rng readers need not be concurrency
+	// safe), then member validation and hashing fan out across workers —
+	// each index writes only its own slots, and the first error by index
+	// wins so the reported member is schedule-independent.
+	rs := make([]*big.Int, len(msgs))
 	var buf [8]byte
-	for i, sig := range sigs {
-		if sig == nil || sig.IsInfinity() {
-			return fmt.Errorf("%w: batch member %d", ErrInvalidSignature, i)
-		}
-		if !sig.InSubgroup() {
-			return fmt.Errorf("%w: batch member %d outside G1", ErrInvalidSignature, i)
-		}
-		ti, err := cv.HashToPointUncleared(domainH, msgs[i])
-		if err != nil {
-			return fmt.Errorf("hash message: %w", err)
-		}
+	for i := range rs {
 		if _, err := io.ReadFull(rng, buf[:]); err != nil {
 			return fmt.Errorf("bls: sample batch coefficient: %w", err)
 		}
 		r := new(big.Int).SetBytes(buf[:])
 		r.Add(r, big.NewInt(1)) // r_i ∈ [1, 2⁶⁴]: a zero coefficient would ignore the member
-		sAcc = sAcc.Add(sig.ScalarMul(r))
-		tAcc = tAcc.Add(ti.ScalarMul(r))
+		rs[i] = r
+	}
+	tis := make([]*curve.Point, len(msgs)) // raw (uncleared) hash points T_i
+	memberErrs := make([]error, len(msgs))
+	parallel.Fan(len(msgs), func(i int) {
+		sig := sigs[i]
+		if sig == nil || sig.IsInfinity() {
+			memberErrs[i] = fmt.Errorf("%w: batch member %d", ErrInvalidSignature, i)
+			return
+		}
+		if !sig.InSubgroup() {
+			memberErrs[i] = fmt.Errorf("%w: batch member %d outside G1", ErrInvalidSignature, i)
+			return
+		}
+		ti, err := cv.HashToPointUncleared(domainH, msgs[i])
+		if err != nil {
+			memberErrs[i] = fmt.Errorf("hash message: %w", err)
+			return
+		}
+		tis[i] = ti
+	})
+	for _, err := range memberErrs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// The two aggregations Σ r_i·S_i and Σ r_i·T_i are Pippenger multi-scalar
+	// sums; cofactor clearing stays merged into one multiplication at the end.
+	sAcc, err := cv.MSM(rs, sigs)
+	if err != nil {
+		return err
+	}
+	tAcc, err := cv.MSM(rs, tis)
+	if err != nil {
+		return err
 	}
 	hAcc := tAcc.ScalarMul(cv.Cofactor())
 	prod, err := pk.Pairing.MultiPair(

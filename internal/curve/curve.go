@@ -27,7 +27,10 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/fp"
 	"repro/internal/mathx"
 )
 
@@ -48,6 +51,17 @@ type Curve struct {
 	p *big.Int // field characteristic, p ≡ 3 (mod 4)
 	q *big.Int // prime order of the working subgroup G1
 	c *big.Int // cofactor, p + 1 = q·c
+
+	// limb caches the lazily built internal/fp backend and the constants
+	// the limb kernels derive from the (immutable) parameters; see limb.go.
+	limb struct {
+		once    sync.Once
+		F       *fp.Field
+		sqrtExp *big.Int // (p+1)/4, the p ≡ 3 (mod 4) square-root exponent
+		qW      uint     // w-NAF width used for the subgroup ladder
+		qNAF    []int8   // w-NAF digits of q, least significant first
+		err     error    // fp.New failure: all limb paths fall back to big.Int
+	}
 }
 
 // New constructs the curve. It validates that p ≡ 3 (mod 4) and that
@@ -89,6 +103,12 @@ type Point struct {
 	curve *Curve
 	x, y  *big.Int
 	inf   bool
+
+	// g1 memoizes the subgroup-membership verdict (0 unknown, 1 in G1,
+	// 2 outside). Immutability makes the verdict permanent; the atomic
+	// makes concurrent validation of a shared point race-free. Benign
+	// duplicate stores write the same value.
+	g1 atomic.Int32
 }
 
 // Infinity returns the identity element O.
@@ -155,7 +175,10 @@ func (pt *Point) Neg() *Point {
 	}
 	ny := new(big.Int).Neg(pt.y)
 	ny.Mod(ny, pt.curve.p)
-	return &Point{curve: pt.curve, x: new(big.Int).Set(pt.x), y: ny}
+	out := &Point{curve: pt.curve, x: new(big.Int).Set(pt.x), y: ny}
+	// −P has the same order as P: the subgroup verdict carries over.
+	out.g1.Store(pt.g1.Load())
+	return out
 }
 
 // Add returns P + Q using the affine chord-and-tangent rules.
@@ -219,9 +242,26 @@ func (c *Curve) chord(p1, p2 *Point, lambda *big.Int) *Point {
 }
 
 // InSubgroup reports whether the point lies in the prime-order subgroup G1,
-// i.e. q·P = O.
+// i.e. q·P = O. The verdict is computed with the limb-backend ladder of
+// subgroup.go (no final inversion, shared q recoding) and memoized on the
+// point, so re-validating a long-lived element is a single atomic load.
 func (pt *Point) InSubgroup() bool {
-	return pt.ScalarMul(pt.curve.q).IsInfinity()
+	if pt.inf {
+		return true // O is in every subgroup
+	}
+	if s := pt.g1.Load(); s != 0 {
+		return s == 1
+	}
+	in, ok := pt.curve.inSubgroupLimb(pt)
+	if !ok {
+		in = pt.ScalarMul(pt.curve.q).IsInfinity()
+	}
+	if in {
+		pt.g1.Store(1)
+	} else {
+		pt.g1.Store(2)
+	}
+	return in
 }
 
 // ErrNotInSubgroup is returned by Validate for points of E(F_p) outside the
@@ -255,7 +295,7 @@ func (c *Curve) RandomPoint(rng io.Reader) (*Point, error) {
 		rhs.Mul(rhs, x)
 		rhs.Add(rhs, x)
 		rhs.Mod(rhs, c.p)
-		y, err := mathx.SqrtModP(rhs, c.p)
+		y, err := c.sqrtMod(rhs)
 		if err != nil {
 			continue
 		}
@@ -280,6 +320,7 @@ func (c *Curve) RandomG1(rng io.Reader) (*Point, error) {
 		}
 		g := pt.ScalarMul(c.c)
 		if !g.IsInfinity() {
+			g.g1.Store(1) // cofactor-cleared by construction
 			return g, nil
 		}
 	}
@@ -295,7 +336,11 @@ func (c *Curve) HashToPoint(domain string, msg []byte) (*Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	return pt.ScalarMul(c.c), nil
+	out := pt.ScalarMul(c.c)
+	if !out.inf {
+		out.g1.Store(1) // cofactor-cleared by construction
+	}
+	return out, nil
 }
 
 // HashToPointUncleared is HashToPoint without the final cofactor
@@ -320,7 +365,7 @@ func (c *Curve) HashToPointUncleared(domain string, msg []byte) (*Point, error) 
 		rhs.Mul(rhs, x)
 		rhs.Add(rhs, x)
 		rhs.Mod(rhs, c.p)
-		y, err := mathx.SqrtModP(rhs, c.p)
+		y, err := c.sqrtMod(rhs)
 		if err != nil {
 			continue
 		}
@@ -399,7 +444,7 @@ func (c *Curve) Unmarshal(data []byte) (*Point, error) {
 		rhs.Mul(rhs, x)
 		rhs.Add(rhs, x)
 		rhs.Mod(rhs, c.p)
-		y, err := mathx.SqrtModP(rhs, c.p)
+		y, err := c.sqrtMod(rhs)
 		if err != nil {
 			return nil, ErrNotOnCurve
 		}

@@ -1,0 +1,338 @@
+// Limb-domain Jacobian arithmetic: the internal/fp-backed layer under the
+// batch kernels (MSM, the cached subgroup check, square roots for decoding
+// and hashing).
+//
+// The big.Int Jacobian layer in jacobian.go pays a modular reduction
+// allocation on every multiplication; at the paper's 512-bit prime one
+// big.Int field multiplication costs ~1µs against ~180ns for the Montgomery
+// limb multiplication in internal/fp. Kernels that perform thousands of
+// field operations per call (Pippenger bucket accumulation, the q·P
+// subgroup ladder) therefore run here, on the same formulas as jacobian.go
+// — identical group elements in, identical affine coordinates out, so the
+// two layers are interchangeable and differential-testable against each
+// other.
+//
+// The fp.Field for the curve prime is constructed lazily on first use and
+// cached on the Curve (curves are immutable and shared); if construction
+// fails (p beyond fp.MaxLimbs) every caller falls back to the big.Int path,
+// so the limb layer is a pure accelerator, never a requirement.
+package curve
+
+import (
+	"math/big"
+
+	"repro/internal/fp"
+	"repro/internal/mathx"
+)
+
+// limbField returns the cached fp.Field for the curve prime, constructing
+// it (plus the derived constants the limb kernels share) on first use.
+// The second result reports availability; callers must fall back to the
+// big.Int layer when it is false.
+func (c *Curve) limbField() (*fp.Field, bool) {
+	c.limb.once.Do(func() {
+		F, err := fp.New(c.p)
+		if err != nil {
+			c.limb.err = err
+			return
+		}
+		c.limb.F = F
+		// (p+1)/4: the square-root exponent for p ≡ 3 (mod 4), guaranteed
+		// by New's validation.
+		e := new(big.Int).Add(c.p, big.NewInt(1))
+		c.limb.sqrtExp = e.Rsh(e, 2)
+		// w-NAF digits of the fixed subgroup order q, shared by every
+		// subgroup check on this curve.
+		c.limb.qW = wnafWidth(c.q.BitLen())
+		c.limb.qNAF = wnaf(c.q, c.limb.qW)
+	})
+	return c.limb.F, c.limb.err == nil
+}
+
+// sqrtMod computes a square root of the canonical residue a (0 ≤ a < p)
+// modulo the curve prime, returning the principal root a^((p+1)/4) exactly
+// as mathx.SqrtModP does for p ≡ 3 (mod 4) — decoders and hash-to-point
+// depend on the two paths being bit-identical. Non-residues yield
+// mathx.ErrNoSquareRoot.
+func (c *Curve) sqrtMod(a *big.Int) (*big.Int, error) {
+	F, ok := c.limbField()
+	if !ok {
+		return mathx.SqrtModP(a, c.p)
+	}
+	if a.Sign() == 0 {
+		return new(big.Int), nil
+	}
+	m := F.NewElt()
+	if err := F.FromBig(m, a); err != nil {
+		return mathx.SqrtModP(a, c.p) // unreduced input: defensive fallback
+	}
+	r := F.NewElt()
+	F.Exp(r, m, c.limb.sqrtExp)
+	// For p ≡ 3 (mod 4), a is a residue iff (a^((p+1)/4))² = a; this check
+	// replaces the Jacobi-symbol pretest of the big.Int path.
+	chk := F.NewElt()
+	F.Square(chk, r)
+	if !F.Equal(chk, m) {
+		return nil, mathx.ErrNoSquareRoot
+	}
+	return F.ToBig(r), nil
+}
+
+// limbJac is a mutable Jacobian point over fp limb vectors in Montgomery
+// form: (X, Y, Z) with Z ≠ 0 denotes (X/Z², Y/Z³); Z = 0 is the identity.
+type limbJac struct {
+	x, y, z []uint64
+}
+
+func newLimbJac(F *fp.Field) limbJac {
+	return limbJac{x: F.NewElt(), y: F.NewElt(), z: F.NewElt()} // Z = 0: identity
+}
+
+// setAffine loads the Montgomery-form affine point (ax, ay) with Z = 1.
+func (v *limbJac) setAffine(F *fp.Field, ax, ay []uint64) {
+	F.Set(v.x, ax)
+	F.Set(v.y, ay)
+	F.SetOne(v.z)
+}
+
+// ljScratch holds the temporaries for a chain of limb Jacobian operations;
+// one instance per goroutine, reused across every step.
+type ljScratch struct {
+	t1, t2, t3, t4, t5, t6, t7, t8 []uint64
+}
+
+func newLjScratch(F *fp.Field) *ljScratch {
+	return &ljScratch{
+		t1: F.NewElt(), t2: F.NewElt(), t3: F.NewElt(), t4: F.NewElt(),
+		t5: F.NewElt(), t6: F.NewElt(), t7: F.NewElt(), t8: F.NewElt(),
+	}
+}
+
+// ljDouble sets v = 2v in place — the limb transcription of jacDouble
+// (a = 1: M = 3X² + Z⁴). The 2-torsion case degenerates to Z' = 2YZ = 0.
+func ljDouble(F *fp.Field, v *limbJac, s *ljScratch) {
+	if F.IsZero(v.z) {
+		return
+	}
+	xx := s.t1
+	F.Square(xx, v.x)
+	yy := s.t2
+	F.Square(yy, v.y)
+	zz := s.t3
+	F.Square(zz, v.z)
+
+	// S = 4·X·Y²
+	sS := s.t4
+	F.Mul(sS, v.x, yy)
+	F.Double(sS, sS)
+	F.Double(sS, sS)
+
+	// M = 3·X² + Z⁴
+	m := s.t5
+	F.Square(m, zz)
+	F.Add(m, m, xx)
+	F.Add(m, m, xx)
+	F.Add(m, m, xx)
+
+	// Z' = 2·Y·Z (before Y is overwritten)
+	F.Mul(v.z, v.y, v.z)
+	F.Double(v.z, v.z)
+
+	// X' = M² − 2S
+	F.Square(v.x, m)
+	F.Sub(v.x, v.x, sS)
+	F.Sub(v.x, v.x, sS)
+
+	// Y' = M·(S − X') − 8·Y⁴
+	yyyy := s.t6
+	F.Square(yyyy, yy)
+	F.Double(yyyy, yyyy)
+	F.Double(yyyy, yyyy)
+	F.Double(yyyy, yyyy)
+	F.Sub(v.y, sS, v.x)
+	F.Mul(v.y, v.y, m)
+	F.Sub(v.y, v.y, yyyy)
+}
+
+// ljAddMixed sets v = v + (ax, ay) in place for a Montgomery-form affine
+// non-identity point, with the same degenerate handling as jacAddMixed:
+// v = O loads the point, v = A doubles, v = −A yields O.
+func ljAddMixed(F *fp.Field, v *limbJac, ax, ay []uint64, s *ljScratch) {
+	if F.IsZero(v.z) {
+		v.setAffine(F, ax, ay)
+		return
+	}
+	zz := s.t1
+	F.Square(zz, v.z)
+	u2 := s.t2
+	F.Mul(u2, ax, zz) // U2 = x·Z²
+	s2 := s.t3
+	F.Mul(s2, ay, zz) // S2 = y·Z³
+	F.Mul(s2, s2, v.z)
+
+	h := u2 // H = U2 − X
+	F.Sub(h, u2, v.x)
+	r := s2 // R = S2 − Y
+	F.Sub(r, s2, v.y)
+
+	if F.IsZero(h) {
+		if F.IsZero(r) {
+			ljDouble(F, v, s)
+		} else {
+			F.SetZero(v.z)
+		}
+		return
+	}
+
+	hh := s.t4
+	F.Square(hh, h)
+	hhh := s.t5
+	F.Mul(hhh, hh, h)
+	xh2 := s.t6
+	F.Mul(xh2, v.x, hh)
+
+	// Z' = Z·H
+	F.Mul(v.z, v.z, h)
+
+	// X' = R² − H³ − 2·X·H²
+	F.Square(v.x, r)
+	F.Sub(v.x, v.x, hhh)
+	F.Sub(v.x, v.x, xh2)
+	F.Sub(v.x, v.x, xh2)
+
+	// Y' = R·(X·H² − X') − Y·H³
+	F.Sub(xh2, xh2, v.x)
+	F.Mul(xh2, xh2, r)
+	F.Mul(hhh, hhh, v.y)
+	F.Sub(v.y, xh2, hhh)
+}
+
+// ljAdd sets v = v + u in place for two general Jacobian points (the
+// bucket-sum and window-merge additions, where neither side is affine).
+// Standard Z1Z1/Z2Z2 formulas; v = u degenerates to a doubling, v = −u
+// to the identity.
+func ljAdd(F *fp.Field, v, u *limbJac, s *ljScratch) {
+	if F.IsZero(u.z) {
+		return
+	}
+	if F.IsZero(v.z) {
+		F.Set(v.x, u.x)
+		F.Set(v.y, u.y)
+		F.Set(v.z, u.z)
+		return
+	}
+	z1z1 := s.t1
+	F.Square(z1z1, v.z)
+	z2z2 := s.t2
+	F.Square(z2z2, u.z)
+	u1 := s.t3
+	F.Mul(u1, v.x, z2z2)
+	u2 := s.t4
+	F.Mul(u2, u.x, z1z1)
+	s1 := s.t5
+	F.Mul(s1, v.y, u.z)
+	F.Mul(s1, s1, z2z2)
+	s2 := s.t6
+	F.Mul(s2, u.y, v.z)
+	F.Mul(s2, s2, z1z1)
+
+	h := u2 // H = U2 − U1
+	F.Sub(h, u2, u1)
+	r := s2 // R = S2 − S1
+	F.Sub(r, s2, s1)
+
+	if F.IsZero(h) {
+		if F.IsZero(r) {
+			ljDouble(F, v, s)
+		} else {
+			F.SetZero(v.z)
+		}
+		return
+	}
+
+	hh := s.t7
+	F.Square(hh, h)
+	hhh := s.t8
+	F.Mul(hhh, hh, h)
+	u1hh := u1 // U1·H²
+	F.Mul(u1hh, u1, hh)
+
+	// Z3 = Z1·Z2·H
+	F.Mul(v.z, v.z, u.z)
+	F.Mul(v.z, v.z, h)
+
+	// X3 = R² − H³ − 2·U1·H²
+	F.Square(v.x, r)
+	F.Sub(v.x, v.x, hhh)
+	F.Sub(v.x, v.x, u1hh)
+	F.Sub(v.x, v.x, u1hh)
+
+	// Y3 = R·(U1·H² − X3) − S1·H³
+	F.Sub(u1hh, u1hh, v.x)
+	F.Mul(u1hh, u1hh, r)
+	F.Mul(hhh, hhh, s1)
+	F.Sub(v.y, u1hh, hhh)
+}
+
+// ljBatchNormalize converts every non-identity point in pts to affine form
+// (Z = 1) in place with Montgomery's simultaneous-inversion trick: one
+// variable-time inversion (the coordinates are public) plus three
+// multiplications per point. prefix is a caller-owned slab of at least
+// len(pts) field elements reused across calls. Identity points are left
+// untouched (Z stays 0).
+func ljBatchNormalize(F *fp.Field, pts []limbJac, prefix [][]uint64, s *ljScratch) error {
+	acc := s.t1
+	F.SetOne(acc)
+	live := 0
+	for i := range pts {
+		if F.IsZero(pts[i].z) {
+			continue
+		}
+		F.Set(prefix[i], acc)
+		F.Mul(acc, acc, pts[i].z)
+		live++
+	}
+	if live == 0 {
+		return nil
+	}
+	if err := F.InvVarTime(acc, acc); err != nil {
+		// Unreachable: every factor is a nonzero residue mod the prime p.
+		return err
+	}
+	zInv := s.t2
+	zInv2 := s.t3
+	for i := len(pts) - 1; i >= 0; i-- {
+		if F.IsZero(pts[i].z) {
+			continue
+		}
+		F.Mul(zInv, acc, prefix[i])
+		F.Mul(acc, acc, pts[i].z)
+		F.Square(zInv2, zInv)
+		F.Mul(pts[i].x, pts[i].x, zInv2)
+		F.Mul(pts[i].y, pts[i].y, zInv2)
+		F.Mul(pts[i].y, pts[i].y, zInv)
+		F.SetOne(pts[i].z)
+	}
+	return nil
+}
+
+// ljToPoint normalizes v back to the immutable affine representation
+// (one inversion), producing the same canonical coordinates as the big.Int
+// jacToAffine for the same group element.
+func (c *Curve) ljToPoint(F *fp.Field, v *limbJac, s *ljScratch) *Point {
+	if F.IsZero(v.z) {
+		return c.Infinity()
+	}
+	zInv := s.t1
+	if err := F.InvVarTime(zInv, v.z); err != nil {
+		return c.Infinity() // unreachable: Z ≠ 0 mod prime p
+	}
+	zInv2 := s.t2
+	F.Square(zInv2, zInv)
+	x := s.t3
+	F.Mul(x, v.x, zInv2)
+	y := s.t4
+	F.Mul(y, v.y, zInv2)
+	F.Mul(y, y, zInv)
+	return &Point{curve: c, x: F.ToBig(x), y: F.ToBig(y)}
+}

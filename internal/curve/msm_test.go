@@ -1,0 +1,403 @@
+package curve
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"math/big"
+	mrand "math/rand"
+	"sync"
+	"testing"
+)
+
+// Paper-size parameters (|p| = 512, |q| = 160) for the kernel benchmarks.
+// These mirror internal/pairing's "paper" fixed set; they are duplicated
+// here because importing pairing from curve's internal tests would cycle.
+const (
+	paperPHex = "b282da5c02935d5836473139df6751ee8e1fb07c917309c04088843b36435876d65dd173ce4ac63f883c05a59ad3a134e30ef32607e2a49c71e515d4dcc47eef"
+	paperQHex = "d766107fb0eace0a6ccd9d42e9492ba8bf2298ed"
+)
+
+func paperCurve(tb testing.TB) *Curve {
+	tb.Helper()
+	p, _ := new(big.Int).SetString(paperPHex, 16)
+	q, _ := new(big.Int).SetString(paperQHex, 16)
+	c, err := New(p, q)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+// msmFixture builds n distinct points (an Add-chain from a random G1 base,
+// cheap even at paper size) and n scalars below q drawn from a deterministic
+// stream.
+func msmFixture(tb testing.TB, c *Curve, n int, seed int64) ([]*big.Int, []*Point) {
+	tb.Helper()
+	base, err := c.RandomG1(rand.Reader)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	scalars := make([]*big.Int, n)
+	points := make([]*Point, n)
+	acc := base
+	for i := 0; i < n; i++ {
+		points[i] = acc
+		acc = acc.Add(base)
+		scalars[i] = new(big.Int).Rand(rng, c.Q())
+	}
+	return scalars, points
+}
+
+func mustMSMBytes(t *testing.T, c *Curve, scalars []*big.Int, points []*Point) ([]byte, []byte) {
+	t.Helper()
+	got, err := c.MSM(scalars, points)
+	if err != nil {
+		t.Fatalf("MSM: %v", err)
+	}
+	want, err := c.MSMSequential(scalars, points)
+	if err != nil {
+		t.Fatalf("MSMSequential: %v", err)
+	}
+	return got.Marshal(), want.Marshal()
+}
+
+// TestMSMMatchesSequential drives the Pippenger kernel through the scalar
+// and point shapes the schemes produce — zero/one/q−1/negative/unreduced
+// scalars, repeated points, identities, cofactor-order points — and demands
+// bit-identical output against the per-point oracle.
+func TestMSMMatchesSequential(t *testing.T) {
+	c := toyCurve(t)
+	P, err := c.RandomG1(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cof *Point
+	for {
+		R, err := c.RandomPoint(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cof = R.ScalarMul(c.Q()); !cof.IsInfinity() {
+			break
+		}
+	}
+	q := c.Q()
+	qm1 := new(big.Int).Sub(q, big.NewInt(1))
+	big1 := new(big.Int).Lsh(q, 13) // far wider than the group order
+	big1.Add(big1, big.NewInt(77))
+
+	cases := []struct {
+		name    string
+		scalars []*big.Int
+		points  []*Point
+	}{
+		{"empty", nil, nil},
+		{"single", []*big.Int{big.NewInt(5)}, []*Point{P}},
+		{"single.one", []*big.Int{big.NewInt(1)}, []*Point{P}},
+		{"single.zero", []*big.Int{big.NewInt(0)}, []*Point{P}},
+		{"single.neg", []*big.Int{big.NewInt(-9)}, []*Point{P}},
+		{"single.qm1", []*big.Int{qm1}, []*Point{P}},
+		{"single.q", []*big.Int{new(big.Int).Set(q)}, []*Point{P}},
+		{"single.wide", []*big.Int{big1}, []*Point{P}},
+		{"infinity.only", []*big.Int{big.NewInt(7)}, []*Point{c.Infinity()}},
+		{"cofactor.point", []*big.Int{big.NewInt(11), big.NewInt(3)}, []*Point{cof, P}},
+		{"repeated.point", []*big.Int{big.NewInt(2), big.NewInt(3), big.NewInt(4)}, []*Point{P, P, P}},
+		{"cancel", []*big.Int{big.NewInt(6), big.NewInt(-6)}, []*Point{P, P}},
+		{"mixed", []*big.Int{big.NewInt(0), qm1, big.NewInt(-1), big1, new(big.Int).Set(q)},
+			[]*Point{P, P.Double(), c.Infinity(), cof, P.Add(P.Double())}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, want := mustMSMBytes(t, c, tc.scalars, tc.points)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MSM diverges from sequential oracle: %x vs %x", got, want)
+			}
+		})
+	}
+
+	for _, n := range []int{1, 2, 3, 7, 17, 64, 129} {
+		scalars, points := msmFixture(t, c, n, int64(1000+n))
+		got, want := mustMSMBytes(t, c, scalars, points)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: MSM diverges from sequential oracle", n)
+		}
+	}
+}
+
+// TestMSMOrderTwoPoint exercises the order-2 point (0, 0) — the hardest
+// degenerate input, since its doublings collapse to O inside the bucket
+// arithmetic.
+func TestMSMOrderTwoPoint(t *testing.T) {
+	c := toyCurve(t)
+	T, err := c.NewPoint(big.NewInt(0), big.NewInt(0))
+	if err != nil {
+		t.Fatalf("(0,0) must be on y² = x³ + x: %v", err)
+	}
+	P, err := c.RandomG1(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd, err := c.MSM([]*big.Int{big.NewInt(5)}, []*Point{T})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !odd.Equal(T) {
+		t.Fatalf("5·(0,0) = %v, want (0,0)", odd)
+	}
+	even, err := c.MSM([]*big.Int{big.NewInt(4)}, []*Point{T})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !even.IsInfinity() {
+		t.Fatalf("4·(0,0) = %v, want O", even)
+	}
+	mixed, err := c.MSM([]*big.Int{big.NewInt(3), big.NewInt(2)}, []*Point{T, P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mixed.Equal(T.Add(P.Double())) {
+		t.Fatalf("3·(0,0) + 2·P mismatch")
+	}
+	if T.InSubgroup() {
+		t.Fatal("order-2 point claims G1 membership (q is odd)")
+	}
+}
+
+func TestMSMErrors(t *testing.T) {
+	c := toyCurve(t)
+	P, err := c.RandomG1(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := big.NewInt(1)
+	if _, err := c.MSM([]*big.Int{one, one}, []*Point{P}); !errors.Is(err, errMSMShape) {
+		t.Fatalf("length mismatch: err = %v", err)
+	}
+	if _, err := c.MSM([]*big.Int{nil}, []*Point{P}); !errors.Is(err, errMSMShape) {
+		t.Fatalf("nil scalar: err = %v", err)
+	}
+	if _, err := c.MSM([]*big.Int{one}, []*Point{nil}); !errors.Is(err, errMSMShape) {
+		t.Fatalf("nil point: err = %v", err)
+	}
+	if _, err := c.MSMSequential([]*big.Int{one}, []*Point{nil}); !errors.Is(err, errMSMShape) {
+		t.Fatalf("sequential nil point: err = %v", err)
+	}
+}
+
+// TestMSMConcurrent hammers one shared input from many goroutines; run with
+// -race -cpu 1,4 it checks both the worker fan-out and the Point/Curve
+// caches for data races, and that every run returns identical bytes.
+func TestMSMConcurrent(t *testing.T) {
+	c := toyCurve(t)
+	scalars, points := msmFixture(t, c, 48, 42)
+	want, err := c.MSM(scalars, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := want.Marshal()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				got, err := c.MSM(scalars, points)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got.Marshal(), wantBytes) {
+					errs <- errors.New("concurrent MSM returned different bytes")
+					return
+				}
+				for _, pt := range points[:8] {
+					if !pt.InSubgroup() {
+						errs <- errors.New("shared G1 point failed InSubgroup")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestInSubgroupCached checks the limb ladder + memoized verdict against the
+// definitional q·P oracle across subgroup, cofactor-order and random points,
+// and that Neg propagates the cache.
+func TestInSubgroupCached(t *testing.T) {
+	c := toyCurve(t)
+	oracle := func(pt *Point) bool { return pt.ScalarMul(c.Q()).IsInfinity() }
+
+	for i := 0; i < 20; i++ {
+		P, err := c.RandomPoint(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracle(P)
+		if got := P.InSubgroup(); got != want {
+			t.Fatalf("InSubgroup(%v) = %v, oracle says %v", P, got, want)
+		}
+		if got := P.InSubgroup(); got != want {
+			t.Fatalf("cached InSubgroup flipped to %v", got)
+		}
+		if got := P.Neg().InSubgroup(); got != want {
+			t.Fatalf("InSubgroup(−P) = %v, want %v", got, want)
+		}
+	}
+	G, err := c.RandomG1(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !G.InSubgroup() {
+		t.Fatal("RandomG1 output rejected")
+	}
+	if !c.Infinity().InSubgroup() {
+		t.Fatal("O must be in the subgroup")
+	}
+	var cof *Point
+	for {
+		R, err := c.RandomPoint(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cof = R.ScalarMul(c.Q()); !cof.IsInfinity() {
+			break
+		}
+	}
+	if cof.InSubgroup() {
+		t.Fatal("cofactor-order point accepted")
+	}
+	if cof.InSubgroup() {
+		t.Fatal("cached cofactor verdict flipped")
+	}
+}
+
+// FuzzMSM is the differential fuzzer of the acceptance criteria: random
+// sizes, scalar shapes (zero, one, q−1, negative, unreduced) and point
+// multisets (repeats, identity) must keep MSM bit-identical to the
+// sequential oracle.
+func FuzzMSM(f *testing.F) {
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(2), uint8(3))
+	f.Add(int64(3), uint8(17))
+	f.Add(int64(99), uint8(64))
+	p, _ := new(big.Int).SetString(toyPHex, 16)
+	qv, _ := new(big.Int).SetString(toyQHex, 16)
+	c, err := New(p, qv)
+	if err != nil {
+		f.Fatal(err)
+	}
+	base, err := c.RandomG1(rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	qm1 := new(big.Int).Sub(qv, big.NewInt(1))
+
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8) {
+		n := int(nRaw % 40)
+		rng := mrand.New(mrand.NewSource(seed))
+		scalars := make([]*big.Int, n)
+		points := make([]*Point, n)
+		var prev *Point
+		for i := 0; i < n; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				scalars[i] = big.NewInt(0)
+			case 1:
+				scalars[i] = big.NewInt(1)
+			case 2:
+				scalars[i] = new(big.Int).Set(qm1)
+			case 3:
+				scalars[i] = new(big.Int).Neg(new(big.Int).Rand(rng, qv))
+			case 4: // unreduced: k + q·r
+				k := new(big.Int).Rand(rng, qv)
+				scalars[i] = k.Add(k, new(big.Int).Lsh(qv, uint(rng.Intn(8)+1)))
+			default:
+				scalars[i] = new(big.Int).Rand(rng, qv)
+			}
+			switch {
+			case rng.Intn(10) == 0:
+				points[i] = c.Infinity()
+			case prev != nil && rng.Intn(4) == 0:
+				points[i] = prev // repeated point
+			default:
+				k := new(big.Int).Rand(rng, qv)
+				points[i] = base.ScalarMul(k)
+			}
+			prev = points[i]
+		}
+		got, err := c.MSM(scalars, points)
+		if err != nil {
+			t.Fatalf("MSM: %v", err)
+		}
+		want, err := c.MSMSequential(scalars, points)
+		if err != nil {
+			t.Fatalf("MSMSequential: %v", err)
+		}
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("seed=%d n=%d: MSM %x differs from oracle %x",
+				seed, n, got.Marshal(), want.Marshal())
+		}
+	})
+}
+
+// BenchmarkMSM measures the Pippenger kernel against the per-point loop at
+// paper size (512-bit p), the comparison behind the msm.* benchtab entries.
+func BenchmarkMSM(b *testing.B) {
+	c := paperCurve(b)
+	for _, n := range []int{64, 256} {
+		scalars, points := msmFixture(b, c, n, int64(n))
+		b.Run(benchName("pippenger", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.MSM(scalars, points); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(benchName("sequential", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.MSMSequential(scalars, points); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(kind string, n int) string {
+	return kind + "." + big.NewInt(int64(n)).String()
+}
+
+// BenchmarkValidateDecoded measures the untrusted-ingest path: decompress a
+// wire point and run the subgroup check, each iteration on a fresh Point so
+// the memoized verdict cannot help — this is the cost the limb ladder and
+// limb square root actually removed.
+func BenchmarkValidateDecoded(b *testing.B) {
+	c := paperCurve(b)
+	G, err := c.RandomG1(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wire := G.Marshal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := c.Unmarshal(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pt.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

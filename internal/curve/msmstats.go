@@ -1,0 +1,71 @@
+package curve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// MSM kernel accounting: how large the multi-scalar sums are in production
+// and what the kernel costs decide whether the Pippenger machinery pays for
+// itself outside benchmarks, so the serving daemons export them (same
+// pattern as the pairing engine counters). Recording is a handful of
+// uncontended atomic adds per MSM call — never per point.
+var msmCounters struct {
+	calls      atomic.Uint64                 // MSM invocations
+	points     atomic.Uint64                 // contributing (nonzero) terms across calls
+	windows    atomic.Uint64                 // Pippenger windows processed across calls
+	windowBits atomic.Int64                  // window width chosen by the last call
+	latency    atomic.Pointer[obs.Histogram] // kernel latency, set by RegisterMSMMetrics
+}
+
+// recordMSM logs one kernel invocation.
+func recordMSM(points, windows, windowBits int, d time.Duration) {
+	msmCounters.calls.Add(1)
+	msmCounters.points.Add(uint64(points))
+	msmCounters.windows.Add(uint64(windows))
+	msmCounters.windowBits.Store(int64(windowBits))
+	if h := msmCounters.latency.Load(); h != nil {
+		h.Observe(d)
+	}
+}
+
+// MSMStats is a snapshot of the MSM kernel counters.
+type MSMStats struct {
+	// Calls counts MSM invocations (including empty sums).
+	Calls uint64
+	// Points counts the contributing terms across all calls; Points/Calls
+	// is the mean input size, the quantity that decides the Pippenger
+	// window width.
+	Points uint64
+	// Windows counts processed Pippenger windows across all calls.
+	Windows uint64
+	// WindowBits is the bucket-index width the most recent call selected.
+	WindowBits int
+}
+
+// KernelStats returns the current MSM counters.
+func KernelStats() MSMStats {
+	return MSMStats{
+		Calls:      msmCounters.calls.Load(),
+		Points:     msmCounters.points.Load(),
+		Windows:    msmCounters.windows.Load(),
+		WindowBits: int(msmCounters.windowBits.Load()),
+	}
+}
+
+// RegisterMSMMetrics exports the MSM counters and the kernel latency
+// histogram through reg. Idempotent — the registry deduplicates series —
+// so every instrumented component may call it without coordination.
+func RegisterMSMMetrics(reg *obs.Registry) {
+	reg.CounterFunc("curve_msm_calls_total", "Pippenger MSM kernel invocations",
+		func() uint64 { return msmCounters.calls.Load() })
+	reg.CounterFunc("curve_msm_points_total", "scalar-point terms summed across MSM invocations",
+		func() uint64 { return msmCounters.points.Load() })
+	reg.CounterFunc("curve_msm_windows_total", "Pippenger windows processed across MSM invocations",
+		func() uint64 { return msmCounters.windows.Load() })
+	reg.GaugeFunc("curve_msm_window_bits", "window width selected by the most recent MSM call",
+		func() int64 { return msmCounters.windowBits.Load() })
+	msmCounters.latency.Store(reg.Histogram("curve_msm_seconds", "MSM kernel latency"))
+}

@@ -1,0 +1,90 @@
+// The subgroup-membership ladder: q·P = O evaluated on the limb Jacobian
+// layer, with the verdict cached on the Point.
+//
+// Every network-facing decode funnels through Point.Validate, whose cost is
+// one full-order scalar multiplication — the dominant term of batch
+// verification and share ingestion. Two properties make it much cheaper
+// than a generic ScalarMul: the scalar is the fixed public order q (its
+// w-NAF recoding is computed once per curve and shared), and only the
+// identity-or-not verdict is needed, so the final Jacobian-to-affine
+// inversion is skipped entirely — the ladder ends at a Z = 0 test.
+//
+// Points are immutable, so the verdict never changes; InSubgroup memoizes
+// it in an atomic tri-state on the Point, making repeated validation of a
+// long-lived element (a cached public key, a batch re-verified under a new
+// random combination) free after the first check.
+package curve
+
+// inSubgroupLimb reports whether q·pt = O using the cached q recoding and
+// the limb Jacobian layer; the second result is false when the limb backend
+// is unavailable and the caller must fall back to the big.Int path.
+// pt must be a non-identity affine point.
+func (c *Curve) inSubgroupLimb(pt *Point) (bool, bool) {
+	F, ok := c.limbField()
+	if !ok {
+		return false, false
+	}
+	digits := c.limb.qNAF
+	m := 1 << (c.limb.qW - 2) // odd multiples {1, 3, …, 2m−1}·P
+	s := newLjScratch(F)
+
+	bx, by := F.NewElt(), F.NewElt()
+	if err := F.FromBig(bx, pt.x); err != nil {
+		return false, false
+	}
+	if err := F.FromBig(by, pt.y); err != nil {
+		return false, false
+	}
+
+	// Odd-multiple table, batch-normalized to affine with one inversion so
+	// the ladder uses only mixed additions (mirrors oddMultiples).
+	twoP := newLimbJac(F)
+	twoP.setAffine(F, bx, by)
+	ljDouble(F, &twoP, s)
+	table := make([]limbJac, m)
+	prefix := make([][]uint64, m+1)
+	table[0] = newLimbJac(F)
+	table[0].setAffine(F, bx, by)
+	prefix[0] = F.NewElt()
+	twoPInf := F.IsZero(twoP.z)
+	for i := 1; i < m; i++ {
+		table[i] = newLimbJac(F)
+		F.Set(table[i].x, table[i-1].x)
+		F.Set(table[i].y, table[i-1].y)
+		F.Set(table[i].z, table[i-1].z)
+		prefix[i] = F.NewElt()
+		if twoPInf {
+			continue // order-2 base: every odd multiple equals P
+		}
+		ljAdd(F, &table[i], &twoP, s)
+	}
+	if err := ljBatchNormalize(F, table, prefix[:m], s); err != nil {
+		return false, false
+	}
+
+	ny := F.NewElt()
+	acc := newLimbJac(F)
+	for i := len(digits) - 1; i >= 0; i-- {
+		ljDouble(F, &acc, s)
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		var e *limbJac
+		if d > 0 {
+			e = &table[(d-1)/2]
+		} else {
+			e = &table[(-d-1)/2]
+		}
+		if F.IsZero(e.z) {
+			continue // odd multiple collapsed to O (tiny-order input): adds nothing
+		}
+		if d > 0 {
+			ljAddMixed(F, &acc, e.x, e.y, s)
+		} else {
+			F.Neg(ny, e.y)
+			ljAddMixed(F, &acc, e.x, ny, s)
+		}
+	}
+	return F.IsZero(acc.z), true
+}

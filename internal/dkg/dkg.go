@@ -113,15 +113,16 @@ func evalCommitment(pp *pairing.Params, comms []*curve.Point, x *big.Int) (*curv
 	for k := 0; k < t; k++ {
 		xs[k] = big.NewInt(int64(k))
 	}
-	acc := pp.Curve().Infinity()
+	// Σ λ_k(x)·C_k as one Pippenger multi-scalar sum.
+	lks := make([]*big.Int, t)
 	for k := 0; k < t; k++ {
 		lk, err := mathx.LagrangeAt(k, xs, x, pp.Q())
 		if err != nil {
 			return nil, err
 		}
-		acc = acc.Add(comms[k].ScalarMul(lk))
+		lks[k] = lk
 	}
-	return acc, nil
+	return pp.Curve().MSM(lks, comms)
 }
 
 // VerifyShare checks an incoming share from a dealer against that dealer's

@@ -33,6 +33,7 @@ import (
 	"repro/internal/curve"
 	"repro/internal/fp"
 	"repro/internal/gf"
+	"repro/internal/parallel"
 )
 
 // toMont converts a canonical affine coordinate (a residue in [0, p)) into
@@ -250,12 +251,7 @@ func (pp *Params) MultiPair(ps, qs []*curve.Point) (*GT, error) {
 	if len(ps) != len(qs) {
 		return nil, fmt.Errorf("pairing: MultiPair got %d first arguments and %d second", len(ps), len(qs))
 	}
-	fld := pp.field
-	F := fld.Fp()
-	type livePair struct {
-		mv     *millerVars
-		xQ, yQ []uint64
-	}
+	F := pp.field.Fp()
 	live := make([]livePair, 0, len(ps))
 	for i := range ps {
 		if ps[i] == nil || qs[i] == nil {
@@ -276,6 +272,47 @@ func (pp *Params) MultiPair(ps, qs []*curve.Point) (*GT, error) {
 		return pp.One(), nil
 	}
 
+	// Independent Miller walks split across workers. Chunking trades the
+	// single shared accumulator squaring for one squaring per chunk —
+	// profitable only when the chunks actually run on separate cores and
+	// each worker keeps at least two pairs, hence the len/2 bound. The
+	// split is exact: ∏ₖ (chunk product)ₖ = ∏ᵢ fᵢ because every fᵢ is the
+	// same field element regardless of which accumulator it folds into,
+	// and the index-ordered merge makes the result bit-identical across
+	// schedules (and to the single-chunk walk).
+	var f *gf.Element
+	if w := parallel.Workers(len(live) / 2); w <= 1 {
+		f = pp.millerProduct(live)
+	} else {
+		fs := make([]*gf.Element, w)
+		parallel.Fan(w, func(k int) {
+			lo, hi := k*len(live)/w, (k+1)*len(live)/w
+			fs[k] = pp.millerProduct(live[lo:hi])
+		})
+		f = fs[0]
+		for _, fk := range fs[1:] {
+			f.Mul(f, fk)
+		}
+	}
+	v, err := pp.finalExp(f)
+	if err != nil {
+		return nil, err
+	}
+	return &GT{v: v, q: pp.curve.Q()}, nil
+}
+
+// livePair is one contributing (P, Q) pair of a MultiPair product: the
+// Miller walk state for P and the distorted second argument's coordinates.
+type livePair struct {
+	mv     *millerVars
+	xQ, yQ []uint64
+}
+
+// millerProduct runs the lock-step shared-squaring Miller loop over live and
+// returns the un-exponentiated accumulator ∏ᵢ fᵢ.
+func (pp *Params) millerProduct(live []livePair) *gf.Element {
+	fld := pp.field
+	F := fld.Fp()
 	f := fld.One()
 	line := fld.One()
 	a, b, c := F.NewElt(), F.NewElt(), F.NewElt()
@@ -302,11 +339,7 @@ func (pp *Params) MultiPair(ps, qs []*curve.Point) (*GT, error) {
 			}
 		}
 	}
-	v, err := pp.finalExp(f)
-	if err != nil {
-		return nil, err
-	}
-	return &GT{v: v, q: pp.curve.Q()}, nil
+	return f
 }
 
 // fixedStep is one replayable instruction of a FixedPair program: square the

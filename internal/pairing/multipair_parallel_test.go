@@ -1,0 +1,87 @@
+package pairing
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/curve"
+)
+
+// TestMultiPairParallelMatchesSequential forces a multi-worker fan (the
+// chunked Miller walk) and checks the product is bit-identical to the
+// single-chunk lock-step walk and to ∏ Pair. GOMAXPROCS is raised
+// explicitly so the parallel path is exercised even on single-core hosts.
+func TestMultiPairParallelMatchesSequential(t *testing.T) {
+	pp := toyParams(t)
+	for _, n := range []int{4, 5, 9, 16} {
+		ps := make([]*curve.Point, n)
+		qs := make([]*curve.Point, n)
+		want := pp.One()
+		for i := range ps {
+			ps[i] = randPoint(t, pp)
+			qs[i] = randPoint(t, pp)
+			want = want.Mul(mustPair(t, pp, ps[i], qs[i]))
+		}
+
+		prev := runtime.GOMAXPROCS(4)
+		parGot, parErr := pp.MultiPair(ps, qs)
+		runtime.GOMAXPROCS(1)
+		seqGot, seqErr := pp.MultiPair(ps, qs)
+		runtime.GOMAXPROCS(prev)
+		if parErr != nil || seqErr != nil {
+			t.Fatalf("MultiPair(%d): parallel err=%v sequential err=%v", n, parErr, seqErr)
+		}
+		if !bytes.Equal(parGot.Bytes(), seqGot.Bytes()) {
+			t.Fatalf("MultiPair(%d): parallel fan diverges from sequential walk", n)
+		}
+		if !bytes.Equal(parGot.Bytes(), want.Bytes()) {
+			t.Fatalf("MultiPair(%d): parallel fan ≠ ∏ Pair", n)
+		}
+	}
+}
+
+// TestMultiPairConcurrent runs MultiPair on shared inputs from many
+// goroutines; with -race -cpu 1,4 it checks the fan, the pairing engine and
+// the shared Params for data races and for schedule-independent output.
+func TestMultiPairConcurrent(t *testing.T) {
+	pp := toyParams(t)
+	const n = 8
+	ps := make([]*curve.Point, n)
+	qs := make([]*curve.Point, n)
+	for i := range ps {
+		ps[i] = randPoint(t, pp)
+		qs[i] = randPoint(t, pp)
+	}
+	want, err := pp.MultiPair(ps, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := want.Bytes()
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				got, err := pp.MultiPair(ps, qs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got.Bytes(), wantBytes) {
+					errs <- errors.New("concurrent MultiPair returned different bytes")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

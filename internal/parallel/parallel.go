@@ -1,0 +1,136 @@
+// Package parallel is a minimal worker-fan helper for the batch kernels:
+// it splits n independent tasks into one contiguous chunk per worker and
+// runs the chunks on up to GOMAXPROCS goroutines.
+//
+// The package exists so the deterministic-merge discipline lives in one
+// place: callers index results by task number (never by completion order)
+// and combine them in index order after the fan returns, so the output of a
+// parallel kernel is bit-identical to its sequential run regardless of
+// scheduling. The fan itself adds no ordering — it only guarantees that
+// every index in [0, n) is processed exactly once and that all work is done
+// when the call returns.
+//
+// Chunks are contiguous (worker k gets [k·n/w, (k+1)·n/w)) rather than
+// strided so per-worker scratch — bucket slabs in the MSM kernel, Miller
+// accumulators in MultiPair — is reused across a whole range without false
+// sharing of neighbouring results.
+//
+// With GOMAXPROCS = 1 (or n = 1) the chunk runs inline on the caller's
+// goroutine: the parallel path degenerates to the sequential one with no
+// goroutine or channel traffic, which keeps single-core latency unchanged
+// and makes -cpu=1 test runs exercise the same code path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// poolCounters is the process-global utilization accounting for every fan
+// in the process (MSM windows, Miller-loop chunks, batch-verify hashing).
+// Atomic, recorded unconditionally; exported through RegisterPoolMetrics.
+var poolCounters struct {
+	fans    atomic.Uint64 // Fan/FanChunks invocations
+	tasks   atomic.Uint64 // task indices processed across all fans
+	workers atomic.Uint64 // workers launched across all fans (1 per inline run)
+	active  atomic.Int64  // currently running workers (gauge)
+}
+
+// Workers returns the number of workers a fan over n independent tasks
+// uses: min(GOMAXPROCS, n), at least 1. Exposed so callers can pre-size
+// per-worker result slots and decide whether a parallel split is worth its
+// chunking overhead (pass a derated n, e.g. pairs/2, to require a minimum
+// chunk size).
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Fan runs fn(i) for every i in [0, n) across Workers(n) goroutines and
+// returns when all calls have completed. fn must be safe for concurrent
+// invocation on distinct indices; writes belong in per-index slots.
+func Fan(n int, fn func(i int)) {
+	FanChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// FanChunks splits [0, n) into one contiguous chunk per worker and runs
+// chunk(lo, hi) for each, returning when every chunk has completed. chunk
+// must not panic: every caller lives in a package whose exported API the
+// nopanic analyzer keeps panic-free, so a worker panic is a kernel bug and
+// gets Go's default unrecovered-goroutine crash (full stack, fail fast)
+// rather than a recover that could mask it.
+func FanChunks(n int, chunk func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(n)
+	poolCounters.fans.Add(1)
+	poolCounters.tasks.Add(uint64(n))
+	poolCounters.workers.Add(uint64(w))
+	if w == 1 {
+		poolCounters.active.Add(1)
+		defer poolCounters.active.Add(-1)
+		chunk(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		lo, hi := k*n/w, (k+1)*n/w
+		go func(lo, hi int) {
+			defer wg.Done()
+			poolCounters.active.Add(1)
+			defer poolCounters.active.Add(-1)
+			chunk(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// PoolStats is a snapshot of the fan counters.
+type PoolStats struct {
+	// Fans counts Fan/FanChunks invocations.
+	Fans uint64
+	// Tasks counts task indices processed across all fans; Tasks/Fans is
+	// the mean fan width.
+	Tasks uint64
+	// Workers counts workers launched across all fans; Workers/Fans is the
+	// mean parallelism actually achieved (1 on single-core hosts).
+	Workers uint64
+}
+
+// Stats returns the current pool counters.
+func Stats() PoolStats {
+	return PoolStats{
+		Fans:    poolCounters.fans.Load(),
+		Tasks:   poolCounters.tasks.Load(),
+		Workers: poolCounters.workers.Load(),
+	}
+}
+
+// RegisterPoolMetrics exports the fan counters through reg as
+// function-backed series sampled at scrape time. Idempotent (the registry
+// deduplicates), so every instrumented component may call it.
+func RegisterPoolMetrics(reg *obs.Registry) {
+	reg.CounterFunc("parallel_fan_calls_total", "worker-fan invocations",
+		func() uint64 { return poolCounters.fans.Load() })
+	reg.CounterFunc("parallel_fan_tasks_total", "tasks processed across all worker fans",
+		func() uint64 { return poolCounters.tasks.Load() })
+	reg.CounterFunc("parallel_fan_workers_total", "workers launched across all worker fans",
+		func() uint64 { return poolCounters.workers.Load() })
+	reg.GaugeFunc("parallel_fan_active_workers", "currently running fan workers",
+		func() int64 { return poolCounters.active.Load() })
+}

@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFanCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		seen := make([]atomic.Int32, n)
+		Fan(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestFanChunksPartition(t *testing.T) {
+	const n = 97
+	seen := make([]atomic.Int32, n)
+	FanChunks(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad chunk [%d, %d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			seen[i].Add(1)
+		}
+	})
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Errorf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Errorf("Workers(1) = %d, want 1", w)
+	}
+	max := runtime.GOMAXPROCS(0)
+	if w := Workers(1 << 20); w != max {
+		t.Errorf("Workers(big) = %d, want GOMAXPROCS = %d", w, max)
+	}
+}
+
+func TestFanMultiWorkerCoverage(t *testing.T) {
+	// Force the goroutine path even on single-core hosts and check the
+	// partition still covers every index exactly once.
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, n := range []int{4, 5, 97, 256} {
+		seen := make([]atomic.Int32, n)
+		Fan(n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestStatsAdvance(t *testing.T) {
+	before := Stats()
+	Fan(10, func(int) {})
+	after := Stats()
+	if after.Fans != before.Fans+1 {
+		t.Errorf("fan count: %d -> %d", before.Fans, after.Fans)
+	}
+	if after.Tasks != before.Tasks+10 {
+		t.Errorf("task count: %d -> %d", before.Tasks, after.Tasks)
+	}
+	if after.Workers <= before.Workers {
+		t.Errorf("worker count did not advance: %d -> %d", before.Workers, after.Workers)
+	}
+}

@@ -3,8 +3,10 @@ package sem
 import (
 	"time"
 
+	"repro/internal/curve"
 	"repro/internal/obs"
 	"repro/internal/pairing"
+	"repro/internal/parallel"
 )
 
 // Metric naming (see DESIGN.md §8): the server exports under the sem_
@@ -82,6 +84,8 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		s.cfg.IBE.InstrumentPairerCache(reg)
 	}
 	pairing.RegisterEngineMetrics(reg)
+	curve.RegisterMSMMetrics(reg)
+	parallel.RegisterPoolMetrics(reg)
 	return m
 }
 

@@ -1,0 +1,66 @@
+package shamir
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// benchPoly builds a 512-bit-order polynomial of the paper's threshold
+// sizes; the scalar-field hot loops (Eval, interpolation) must run
+// allocation-free per iteration after the scratch hoisting.
+func benchPoly(b *testing.B, t int) (*Polynomial, *big.Int) {
+	b.Helper()
+	q, _ := new(big.Int).SetString(
+		"d766107fb0eace0a6ccd9d42e9492ba8bf2298ed", 16)
+	secret, err := rand.Int(rand.Reader, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	poly, err := NewPolynomial(rand.Reader, secret, q, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return poly, q
+}
+
+func BenchmarkPolynomialEval(b *testing.B) {
+	poly, q := benchPoly(b, 16)
+	x, err := rand.Int(rand.Reader, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, tmp, quo := new(big.Int), new(big.Int), new(big.Int)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poly.evalInto(dst, x, tmp, quo)
+	}
+}
+
+func BenchmarkIssueShares(b *testing.B) {
+	poly, _ := benchPoly(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := poly.IssueShares(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpolateAt(b *testing.B) {
+	poly, q := benchPoly(b, 16)
+	shares, err := poly.IssueShares(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := big.NewInt(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InterpolateAt(shares, 16, at, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -75,13 +75,24 @@ func (p *Polynomial) Secret() *big.Int { return new(big.Int).Set(p.coeffs[0]) }
 
 // Eval returns f(x) mod q (Horner's rule).
 func (p *Polynomial) Eval(x *big.Int) *big.Int {
-	acc := new(big.Int)
+	return p.evalInto(new(big.Int), x, new(big.Int), new(big.Int))
+}
+
+// evalInto is Eval with caller-owned storage: the Horner accumulator lands
+// in dst, intermediate products in tmp, and the reduction quotient in quo,
+// so a loop issuing many evaluations (IssueShares, VerificationVector)
+// allocates nothing per step. The tmp/dst split matters — Mul with an
+// aliased receiver falls off math/big's fast path and allocates a fresh
+// limb array — and QuoRem is used instead of Mod because Mod hides a
+// freshly allocated quotient on every call.
+func (p *Polynomial) evalInto(dst, x, tmp, quo *big.Int) *big.Int {
+	dst.SetInt64(0)
 	for i := len(p.coeffs) - 1; i >= 0; i-- {
-		acc.Mul(acc, x)
-		acc.Add(acc, p.coeffs[i])
-		acc.Mod(acc, p.q)
+		tmp.Mul(dst, x)
+		tmp.Add(tmp, p.coeffs[i])
+		quo.QuoRem(tmp, p.q, dst) // dst = tmp mod q (tmp ≥ 0)
 	}
-	return acc
+	return dst
 }
 
 // IssueShares evaluates the polynomial at x = 1..n.
@@ -90,8 +101,10 @@ func (p *Polynomial) IssueShares(n int) ([]Share, error) {
 		return nil, fmt.Errorf("%w: n = %d < t = %d", ErrThreshold, n, p.Threshold())
 	}
 	shares := make([]Share, n)
+	x, tmp, quo := new(big.Int), new(big.Int), new(big.Int)
 	for i := 1; i <= n; i++ {
-		shares[i-1] = Share{Index: i, Value: p.Eval(big.NewInt(int64(i)))}
+		x.SetInt64(int64(i))
+		shares[i-1] = Share{Index: i, Value: p.evalInto(new(big.Int), x, tmp, quo)}
 	}
 	return shares, nil
 }
@@ -101,8 +114,10 @@ func (p *Polynomial) IssueShares(n int) ([]Share, error) {
 // P_pub^(i) published by the PKG.
 func (p *Polynomial) VerificationVector(base *curve.Point, n int) ([]*curve.Point, *curve.Point) {
 	vec := make([]*curve.Point, n)
+	x, val, tmp, quo := new(big.Int), new(big.Int), new(big.Int), new(big.Int)
 	for i := 1; i <= n; i++ {
-		vec[i-1] = base.ScalarMul(p.Eval(big.NewInt(int64(i))))
+		x.SetInt64(int64(i))
+		vec[i-1] = base.ScalarMul(p.evalInto(val, x, tmp, quo))
 	}
 	return vec, base.ScalarMul(p.coeffs[0])
 }
@@ -128,15 +143,15 @@ func InterpolateAt(shares []Share, t int, at, q *big.Int) (*big.Int, error) {
 		seen[s.Index] = true
 		xs[i] = big.NewInt(int64(s.Index))
 	}
-	acc := new(big.Int)
+	acc, term := new(big.Int), new(big.Int)
 	for i, s := range use {
 		li, err := mathx.LagrangeAt(i, xs, at, q)
 		if err != nil {
 			return nil, fmt.Errorf("lagrange coefficient %d: %w", i, err)
 		}
-		term := new(big.Int).Mul(li, s.Value)
-		acc.Add(acc, term)
-		acc.Mod(acc, q)
+		term.Mul(li, s.Value)
+		term.Add(term, acc)
+		acc.Mod(term, q)
 	}
 	return acc, nil
 }
@@ -152,13 +167,21 @@ func VerifyVector(vec []*curve.Point, commitment *curve.Point, subset []int, q *
 		}
 		xs[i] = big.NewInt(int64(idx))
 	}
-	sum := commitment.Curve().Infinity()
+	// Σ λ_i·vec[i−1] is one Pippenger multi-scalar sum instead of |S|
+	// independent ladders.
+	lis := make([]*big.Int, len(subset))
+	pts := make([]*curve.Point, len(subset))
 	for i, idx := range subset {
 		li, err := mathx.Lagrange0(i, xs, q)
 		if err != nil {
 			return fmt.Errorf("lagrange coefficient: %w", err)
 		}
-		sum = sum.Add(vec[idx-1].ScalarMul(li))
+		lis[i] = li
+		pts[i] = vec[idx-1]
+	}
+	sum, err := commitment.Curve().MSM(lis, pts)
+	if err != nil {
+		return fmt.Errorf("shamir: aggregate verification vector: %w", err)
 	}
 	if !sum.Equal(commitment) {
 		return errors.New("shamir: verification vector inconsistent with commitment")
@@ -194,13 +217,16 @@ func InterpolatePointAt(shares []PointShare, t int, at, q *big.Int) (*curve.Poin
 		seen[s.Index] = true
 		xs[i] = big.NewInt(int64(s.Index))
 	}
-	acc := use[0].Value.Curve().Infinity()
+	// Σ λ_i·S_i as one multi-scalar sum.
+	lis := make([]*big.Int, t)
+	pts := make([]*curve.Point, t)
 	for i, s := range use {
 		li, err := mathx.LagrangeAt(i, xs, at, q)
 		if err != nil {
 			return nil, fmt.Errorf("lagrange coefficient %d: %w", i, err)
 		}
-		acc = acc.Add(s.Value.ScalarMul(li))
+		lis[i] = li
+		pts[i] = s.Value
 	}
-	return acc, nil
+	return use[0].Value.Curve().MSM(lis, pts)
 }
