@@ -4,22 +4,44 @@
 // Usage:
 //
 //	go run ./cmd/cryptolint ./...
-//	go run ./cmd/cryptolint repro/internal/sem repro/internal/cluster
+//	go run ./cmd/cryptolint -json ./... > findings.json
+//	go run ./cmd/cryptolint -enable cttime,secretleak repro/internal/sem
+//	go run ./cmd/cryptolint -disable allocfree ./...
 //
 // The pattern ./... (or no arguments) analyzes every package in the module.
 // Everything is loaded and type-checked from source — the tool is
 // self-contained and needs neither network access nor installed export data.
 //
+// With -json, machine-readable output goes to stdout as a single object:
+//
+//	{"findings": [{"file": ..., "line": ..., "col": ...,
+//	               "analyzer": ..., "message": ...}, ...],
+//	 "loadErrors": ["...", ...]}
+//
+// A package that fails to load (parse or type-check error) does not stop
+// the run: the remaining targets are still analyzed, the error is recorded,
+// and the exit status is 2 regardless of how clean the rest looked — a
+// package the loader cannot see is a package the analyzers cannot clear.
+//
 // Exit status: 0 clean, 1 findings, 2 load or usage error.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/allocfree"
 	"repro/internal/analysis/boundarycheck"
+	"repro/internal/analysis/cttime"
+	"repro/internal/analysis/deadlinecheck"
+	"repro/internal/analysis/fanmerge"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/nopanic"
 	"repro/internal/analysis/randsource"
@@ -33,62 +55,186 @@ var analyzers = []*analysis.Analyzer{
 	nopanic.Analyzer,
 	secretcompare.Analyzer,
 	secretleak.Analyzer,
+	cttime.Analyzer,
+	allocfree.Analyzer,
+	deadlinecheck.Analyzer,
+	fanmerge.Analyzer,
 }
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
-	root, err := moduleRoot()
+// jsonDiag is one finding in -json output.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Findings   []jsonDiag `json:"findings"`
+	LoadErrors []string   `json:"loadErrors"`
+}
+
+// run executes one cryptolint invocation rooted at dir and returns the
+// process exit code. It is main minus the process plumbing, so tests can
+// drive it against throwaway module trees.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cryptolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings and load errors as JSON on stdout")
+	enableFlag := fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
+	disableFlag := fs.String("disable", "", "comma-separated analyzer names to skip")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	active, err := selectAnalyzers(*enableFlag, *disableFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cryptolint:", err)
+		fmt.Fprintln(stderr, "cryptolint:", err)
+		return 2
+	}
+
+	root, err := moduleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "cryptolint:", err)
 		return 2
 	}
 	loader, err := load.New(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cryptolint:", err)
+		fmt.Fprintln(stderr, "cryptolint:", err)
 		return 2
 	}
 
-	paths := args
+	paths := fs.Args()
 	if len(paths) == 0 || (len(paths) == 1 && paths[0] == "./...") {
 		paths, err = loader.ModulePackages()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cryptolint:", err)
+			fmt.Fprintln(stderr, "cryptolint:", err)
 			return 2
 		}
 	}
 
+	// Load errors are collected, not fatal: one broken package must neither
+	// hide findings in the others nor — the actual bug this structure
+	// fixes — let the run report "clean" with exit 0 when part of the tree
+	// was never analyzed.
 	var targets []*analysis.Package
+	var loadErrs []string
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cryptolint:", err)
-			return 2
+			loadErrs = append(loadErrs, err.Error())
+			continue
 		}
 		targets = append(targets, pkg)
 	}
 
-	diags, err := analysis.Run(targets, loader.Loaded(), analyzers)
+	diags, err := analysis.Run(targets, loader.Loaded(), active)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cryptolint:", err)
+		fmt.Fprintln(stderr, "cryptolint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+
+	if *jsonOut {
+		report := jsonReport{Findings: []jsonDiag{}, LoadErrors: []string{}}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		report.LoadErrors = append(report.LoadErrors, loadErrs...)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "cryptolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stderr, d)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "cryptolint: %d finding(s)\n", len(diags))
+	for _, e := range loadErrs {
+		fmt.Fprintln(stderr, "cryptolint:", e)
+	}
+
+	switch {
+	case len(loadErrs) > 0:
+		fmt.Fprintf(stderr, "cryptolint: %d finding(s), %d load error(s)\n", len(diags), len(loadErrs))
+		return 2
+	case len(diags) > 0:
+		fmt.Fprintf(stderr, "cryptolint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
 }
 
-// moduleRoot walks up from the working directory to the directory holding
-// go.mod.
-func moduleRoot() (string, error) {
-	dir, err := os.Getwd()
+// selectAnalyzers applies the -enable/-disable flags to the registry.
+// Unknown names are usage errors, not silence: a typo in -disable must not
+// re-enable the analyzer it meant to skip.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	parse := func(flagName, list string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if list == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				known := make([]string, 0, len(byName))
+				for n := range byName {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (known: %s)", flagName, name, strings.Join(known, ", "))
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	enabled, err := parse("enable", enable)
+	if err != nil {
+		return nil, err
+	}
+	disabled, err := parse("disable", disable)
+	if err != nil {
+		return nil, err
+	}
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if len(enabled) > 0 && !enabled[a.Name] {
+			continue
+		}
+		if disabled[a.Name] {
+			continue
+		}
+		active = append(active, a)
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("flag selection leaves no analyzer enabled")
+	}
+	return active, nil
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
 	if err != nil {
 		return "", err
 	}

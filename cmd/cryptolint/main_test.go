@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestLoadErrorExitCode pins the loader-failure contract: a package that
+// does not type-check must produce exit status 2, never a clean 0 — a
+// broken package is unanalyzed, not finding-free. The sibling package must
+// still be loaded and analyzed.
+func TestLoadErrorExitCode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run("testdata/brokenmod", []string{"./..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("run over broken module: exit %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "brokenmod/broken") {
+		t.Errorf("stderr does not identify the broken package:\n%s", stderr.String())
+	}
+}
+
+// TestLoadErrorJSON checks that -json reports the load error in the
+// document (so CI archives it) and still exits 2.
+func TestLoadErrorJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run("testdata/brokenmod", []string{"-json", "./..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("run -json over broken module: exit %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(report.LoadErrors) != 1 || !strings.Contains(report.LoadErrors[0], "brokenmod/broken") {
+		t.Errorf("loadErrors = %q, want one entry naming brokenmod/broken", report.LoadErrors)
+	}
+	if len(report.Findings) != 0 {
+		t.Errorf("findings = %v, want none from the ok package", report.Findings)
+	}
+}
+
+// TestCleanSubtree checks exit 0 and an empty JSON document when only the
+// healthy package is targeted.
+func TestCleanSubtree(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run("testdata/brokenmod", []string{"-json", "brokenmod/ok"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run over clean package: exit %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(report.Findings) != 0 || len(report.LoadErrors) != 0 {
+		t.Errorf("want empty report, got %+v", report)
+	}
+}
+
+// TestAnalyzerSelection exercises the -enable/-disable flags, including
+// the typo guard.
+func TestAnalyzerSelection(t *testing.T) {
+	if _, err := selectAnalyzers("cttime,nopanic", ""); err != nil {
+		t.Errorf("enable two known analyzers: %v", err)
+	}
+	if _, err := selectAnalyzers("", "allocfree"); err != nil {
+		t.Errorf("disable one known analyzer: %v", err)
+	}
+	if _, err := selectAnalyzers("", "alocfree"); err == nil {
+		t.Error("misspelled -disable silently accepted; want usage error")
+	}
+	if _, err := selectAnalyzers("cttime", "cttime"); err == nil {
+		t.Error("empty selection accepted; want usage error")
+	}
+	active, err := selectAnalyzers("", "")
+	if err != nil || len(active) != len(analyzers) {
+		t.Errorf("default selection: %d analyzers, err %v; want all %d", len(active), err, len(analyzers))
+	}
+}

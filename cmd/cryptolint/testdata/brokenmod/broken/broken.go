@@ -1,0 +1,6 @@
+// Package broken fails to type-check: the loader must surface this as an
+// error, not as "no findings".
+package broken
+
+// Mangle references an undefined identifier.
+func Mangle() int { return undefinedIdentifier }

@@ -1,0 +1,5 @@
+// Package ok type-checks cleanly and carries no findings.
+package ok
+
+// Add adds.
+func Add(a, b int) int { return a + b }

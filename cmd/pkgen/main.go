@@ -123,10 +123,10 @@ func generateParams(qBits, pBits int) error {
 		return err
 	}
 	gen := pp.Generator()
-	fmt.Printf("p  = %x\n", pp.P())
-	fmt.Printf("q  = %x\n", pp.Q())
-	fmt.Printf("gx = %x\n", gen.X())
-	fmt.Printf("gy = %x\n", gen.Y())
+	fmt.Printf("p  = %x\n", pp.P())  //cryptolint:public (freshly generated public parameters; printing them is the tool's purpose)
+	fmt.Printf("q  = %x\n", pp.Q())  //cryptolint:public (freshly generated public parameters; printing them is the tool's purpose)
+	fmt.Printf("gx = %x\n", gen.X()) //cryptolint:public (freshly generated public parameters; printing them is the tool's purpose)
+	fmt.Printf("gy = %x\n", gen.Y()) //cryptolint:public (freshly generated public parameters; printing them is the tool's purpose)
 	fmt.Println("add these to internal/pairing/fixed.go to use them as a named set")
 	return nil
 }

@@ -36,7 +36,7 @@ import (
 func main() {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	if err := run(os.Args[1:], sigCh, nil, nil, os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], sigCh, nil, nil, os.Stdin, os.Stdout); err != nil { //cryptolint:nodeadline (stdio is local; player and recombiner connections set per-frame deadlines internally)
 		fmt.Fprintln(os.Stderr, "thresholdd:", err)
 		os.Exit(1)
 	}

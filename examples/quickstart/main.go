@@ -70,7 +70,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Bob decrypted: %q\n", plain[:len(msg)])
+	fmt.Printf("Bob decrypted: %q\n", plain[:len(msg)]) //cryptolint:public (the demo prints the recovered plaintext by design)
 
 	// 6. Bob leaves the company. One call — no CRL, no key reissue.
 	sem.Registry().Revoke(bob, "left the company")

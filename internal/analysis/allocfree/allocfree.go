@@ -1,0 +1,187 @@
+// Package allocfree enforces the zero-allocation discipline on functions
+// marked //cryptolint:hotpath: the limb field kernels (internal/fp), the
+// obs record paths, the MSM inner loops and the Miller loop. Those
+// functions sit inside per-element loops measured by AllocsPerRun guards;
+// this analyzer turns the guard's "0 allocs" observation into a reviewable
+// source-level rule.
+//
+// Inside a hotpath body the analyzer flags the constructs that defeat
+// stack allocation or drag in allocation-heavy machinery:
+//
+//   - calls into fmt or reflect (interface boxing, scan state, method
+//     caches);
+//   - function literals (closure environments escape);
+//   - append (growth reallocates; hot paths index into pre-sized slabs);
+//   - slice, map and address-taken composite literals (value struct
+//     literals stay, they live in registers or on the stack);
+//   - concrete-to-interface conversions at calls, returns and assignments
+//     (boxing allocates for anything wider than a word).
+//
+// The marker is the escape in reverse: an unmarked function is not
+// checked, and the fix for a false positive is to narrow the marker to
+// the genuinely hot callee, not to annotate around the rule.
+package allocfree
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the allocfree checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "forbid allocating constructs (fmt/reflect, closures, append, boxing) in //cryptolint:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasMarker(fd.Doc, analysis.MarkerHotpath) {
+				continue
+			}
+			sig, _ := info.Defs[fd.Name].Type().(*types.Signature)
+			checkBody(pass, info, sig, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, info *types.Info, sig *types.Signature, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure in hotpath function: the environment escapes to the heap")
+			return false // the literal runs elsewhere; don't double-report its body
+		case *ast.CallExpr:
+			checkCall(pass, info, x)
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "address-taken composite literal in hotpath function escapes to the heap")
+					ast.Inspect(cl, func(n ast.Node) bool { checkInner(pass, info, n); return true })
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if isRefLit(info.TypeOf(x)) {
+				pass.Reportf(x.Pos(), "slice/map literal allocates in hotpath function; use a pre-sized slab")
+			}
+		case *ast.ReturnStmt:
+			if sig == nil {
+				break
+			}
+			res := sig.Results()
+			if res.Len() != len(x.Results) {
+				break // naked return or multi-value pass-through: nothing converts here
+			}
+			for i, r := range x.Results {
+				if boxes(info, r, res.At(i).Type()) {
+					pass.Reportf(r.Pos(), "concrete value boxed into interface %s at hotpath return", res.At(i).Type())
+				}
+			}
+		case *ast.AssignStmt:
+			if x.Tok.String() != "=" || len(x.Lhs) != len(x.Rhs) {
+				break
+			}
+			for i, r := range x.Rhs {
+				if boxes(info, r, info.TypeOf(x.Lhs[i])) {
+					pass.Reportf(r.Pos(), "concrete value boxed into interface %s in hotpath assignment", info.TypeOf(x.Lhs[i]))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkInner re-checks nodes nested under an already-reported literal so a
+// closure or fmt call inside it still gets its own diagnostic.
+func checkInner(pass *analysis.Pass, info *types.Info, n ast.Node) {
+	if call, ok := n.(*ast.CallExpr); ok {
+		checkCall(pass, info, call)
+	}
+}
+
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			pass.Reportf(call.Pos(), "append in hotpath function may grow and reallocate; index into a pre-sized slab")
+			return
+		}
+	}
+	if fn := callee(info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "reflect":
+			pass.Reportf(call.Pos(), "%s.%s call in hotpath function (boxing and scan state allocate)", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarded slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(info, arg, pt) {
+			pass.Reportf(arg.Pos(), "concrete value boxed into interface %s at hotpath call", pt)
+		}
+	}
+}
+
+// boxes reports whether assigning expr e to destination type dst performs a
+// concrete-to-interface conversion.
+func boxes(info *types.Info, e ast.Expr, dst types.Type) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		return tv.Value == nil // untyped constants fold; anything else still boxes
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// isRefLit reports whether t is a slice or map type (whose literals allocate
+// backing storage). Arrays and structs are value types.
+func isRefLit(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer,
+		"repro/internal/hotbad",
+		"repro/internal/hotgood",
+	)
+}

@@ -1,0 +1,50 @@
+// Package hotbad exercises the allocfree positive cases.
+package hotbad
+
+import "fmt"
+
+var sink interface{}
+
+type point struct{ x, y uint64 }
+
+func consume(v interface{}) {}
+
+// Accumulate is marked hot and trips every allocation rule.
+//
+//cryptolint:hotpath
+func Accumulate(xs []uint64) uint64 {
+	var acc uint64
+	for i, x := range xs {
+		fmt.Printf("step %d\n", i) // want `fmt.Printf call in hotpath function`
+		f := func() uint64 { return x } // want `closure in hotpath function`
+		acc += f()
+	}
+	return acc
+}
+
+// Grow reallocates on the hot path.
+//
+//cryptolint:hotpath
+func Grow(xs []uint64) []uint64 {
+	out := []uint64{} // want `slice/map literal allocates in hotpath function`
+	for _, x := range xs {
+		out = append(out, x) // want `append in hotpath function may grow`
+	}
+	return out
+}
+
+// Escape heap-allocates a scratch struct per call.
+//
+//cryptolint:hotpath
+func Escape(x, y uint64) *point {
+	return &point{x, y} // want `address-taken composite literal in hotpath function`
+}
+
+// Box converts a concrete value to an interface in three positions.
+//
+//cryptolint:hotpath
+func Box(n uint64) interface{} {
+	sink = n // want `concrete value boxed into interface interface\{\} in hotpath assignment`
+	consume(n) // want `concrete value boxed into interface interface\{\} at hotpath call`
+	return n // want `concrete value boxed into interface interface\{\} at hotpath return`
+}

@@ -1,0 +1,27 @@
+// Package hotgood exercises the allocfree negative cases: the unmarked
+// twin of every hotbad construct, and a marked kernel written in the
+// slab-indexing style the rule wants.
+package hotgood
+
+import "fmt"
+
+type point struct{ x, y uint64 }
+
+// Report is not marked //cryptolint:hotpath; nothing in it is checked.
+func Report(xs []uint64) []string {
+	var out []string
+	for i, x := range xs {
+		out = append(out, fmt.Sprintf("%d: %d", i, x))
+	}
+	return out
+}
+
+// Sum is marked hot and stays allocation-free: value struct literals,
+// indexed writes into a caller-sized slab, no boxing.
+//
+//cryptolint:hotpath
+func Sum(dst []point, xs, ys []uint64) {
+	for i := range dst {
+		dst[i] = point{xs[i], ys[i]}
+	}
+}

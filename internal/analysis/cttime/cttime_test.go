@@ -1,0 +1,16 @@
+package cttime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cttime"
+)
+
+func TestCTTime(t *testing.T) {
+	analysistest.Run(t, "testdata", cttime.Analyzer,
+		"repro/internal/cttbad",
+		"repro/internal/cttgood",
+		"repro/internal/cttlegacy",
+	)
+}

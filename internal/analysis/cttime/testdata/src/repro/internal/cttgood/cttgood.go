@@ -1,0 +1,70 @@
+// Package cttgood exercises the cttime negative cases: metadata verdicts,
+// nil presence checks, public fields, and the sanctioned escapes.
+package cttgood
+
+import (
+	"crypto/subtle"
+	"math/big"
+
+	"repro/internal/keys"
+)
+
+// Presence checks carry no value timing signal.
+func Loaded(k *keys.PrivateKey) bool {
+	if k.D == nil {
+		return false
+	}
+	return true
+}
+
+// Metadata verdicts (basic-typed method results) are public.
+func Usable(k *keys.PrivateKey) bool {
+	if k.D.Sign() == 0 {
+		return false
+	}
+	return k.String() != ""
+}
+
+// Match branches on a constant-time comparison verdict.
+func Match(k *keys.PrivateKey, probe []byte) bool {
+	if subtle.ConstantTimeCompare(k.Bytes, probe) == 1 {
+		return true
+	}
+	return false
+}
+
+// PublicModulus works on the declared-public field; no taint.
+func PublicModulus(k *keys.PrivateKey, x *big.Int) *big.Int {
+	return new(big.Int).Mod(x, k.N)
+}
+
+// Marshal is a sanctioned keyfile edge, annotated on the line.
+func Marshal(k *keys.PrivateKey) []byte {
+	return k.D.Bytes() //cryptolint:public (keyfile serialization edge)
+}
+
+// Recode is a documented variable-time helper; the whole body is
+// sanctioned.
+//
+//cryptolint:vartime (offline extract-time recoding, not on the serving path)
+func Recode(k *keys.PrivateKey) int {
+	w := 0
+	for d := new(big.Int).Set(k.D); d.Sign() > 0; d.Rsh(d, 1) {
+		w++
+	}
+	return w
+}
+
+// store is a minimal generic container: instantiating it with an explicit
+// type argument parses as an ast.IndexExpr whose index is a *type*, not a
+// memory access.
+type store[T any] struct{ items []T }
+
+func newStore[T any]() *store[T] { return &store[T]{} }
+
+// Instantiate names the secret-marked key type as a type argument; the
+// index position of newStore[*keys.PrivateKey] must not be reported as a
+// secret-tainted index.
+func Instantiate() *store[*keys.PrivateKey] {
+	return newStore[*keys.PrivateKey]()
+}

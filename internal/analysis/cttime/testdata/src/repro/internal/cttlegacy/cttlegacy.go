@@ -1,0 +1,20 @@
+// Package cttlegacy is a sanctioned variable-time domain: the marker on
+// the package clause switches cttime off wholesale, the way the legacy
+// math/big scheme implementations opt out.
+//
+//cryptolint:vartime (legacy math/big scheme; the limb discipline does not apply)
+package cttlegacy
+
+import (
+	"math/big"
+
+	"repro/internal/keys"
+)
+
+// Decrypt would trip every cttime rule; the package marker sanctions it.
+func Decrypt(k *keys.PrivateKey, c, n *big.Int) *big.Int {
+	if k.Bytes[0] != 0 {
+		return new(big.Int).Exp(c, k.D, n)
+	}
+	return nil
+}

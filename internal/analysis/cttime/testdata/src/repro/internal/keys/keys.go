@@ -1,0 +1,20 @@
+// Package keys stubs an annotated key-holding type for fixture use.
+package keys
+
+import (
+	"math/big"
+
+	"repro/internal/fp"
+)
+
+//cryptolint:secret
+type PrivateKey struct {
+	ID    string   // metadata
+	N     *big.Int //cryptolint:public (the modulus)
+	D     *big.Int
+	E     *fp.Element
+	Bytes []byte
+}
+
+// String renders only metadata; basic-typed results are not secret.
+func (k *PrivateKey) String() string { return k.ID }

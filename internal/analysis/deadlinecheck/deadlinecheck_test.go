@@ -1,0 +1,15 @@
+package deadlinecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/deadlinecheck"
+)
+
+func TestDeadlineCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", deadlinecheck.Analyzer,
+		"repro/internal/connbad",
+		"repro/internal/conngood",
+	)
+}

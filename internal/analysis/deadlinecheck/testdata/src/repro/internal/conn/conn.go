@@ -1,0 +1,19 @@
+// Package conn stubs a net.Conn-shaped connection so fixtures don't have
+// to type-check the real net package; deadlinecheck is duck-typed on the
+// SetReadDeadline method.
+package conn
+
+import "time"
+
+// Conn is a stub connection.
+type Conn struct{}
+
+// Dial returns a fresh stub connection.
+func Dial(addr string) (*Conn, error) { return &Conn{}, nil }
+
+func (c *Conn) Read(p []byte) (int, error)        { return 0, nil }
+func (c *Conn) Write(p []byte) (int, error)       { return len(p), nil }
+func (c *Conn) Close() error                      { return nil }
+func (c *Conn) SetDeadline(t time.Time) error      { return nil }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return nil }

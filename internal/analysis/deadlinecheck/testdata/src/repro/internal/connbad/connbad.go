@@ -1,0 +1,67 @@
+// Package connbad exercises the deadlinecheck positive cases.
+package connbad
+
+import (
+	"repro/internal/conn"
+	"repro/internal/wire"
+)
+
+// Probe reads directly from a freshly dialed connection with no deadline.
+func Probe(addr string) ([]byte, error) {
+	c, err := conn.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	buf := make([]byte, 64)
+	if _, err := c.Read(buf); err != nil { // want `direct Read on connection without a preceding SetDeadline`
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Send funnels through the framing helper; the I/O classification follows
+// the connection into wire.WriteFrame.
+func Send(addr string, msg []byte) error {
+	c, err := conn.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, err = wire.WriteFrame(c, msg) // want `WriteFrame \(which reads/writes the connection\) on connection without a preceding SetDeadline`
+	return err
+}
+
+// pump does undeadlined I/O on its parameter: not flagged here (the
+// caller owns the connection), but classified I/O-performing.
+func pump(c *conn.Conn, buf []byte) error {
+	_, err := wire.ReadFrame(c, buf)
+	return err
+}
+
+// Fetch owns the connection and delegates to pump without a deadline; the
+// classification surfaces the flag at this call site.
+func Fetch(addr string) ([]byte, error) {
+	c, err := conn.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	buf := make([]byte, 64)
+	if err := pump(c, buf); err != nil { // want `pump \(which reads/writes the connection\) on connection without a preceding SetDeadline`
+		return nil, err
+	}
+	return buf, nil
+}
+
+// server holds a connection in a field; field-rooted I/O carries the same
+// duty.
+type server struct {
+	c *conn.Conn
+}
+
+// Greet writes through the field without a deadline.
+func (s *server) Greet() error {
+	_, err := s.c.Write([]byte("hello")) // want `direct Write on connection without a preceding SetDeadline`
+	return err
+}

@@ -1,0 +1,17 @@
+// Package wire stubs the framing helpers for fixture use: both perform
+// I/O on their first parameter without setting a deadline (they cannot —
+// the parameter is a plain io.Reader/io.Writer), so the classification
+// layer marks them I/O-performing and the duty lands on their callers.
+package wire
+
+import "io"
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, v []byte) (int, error) {
+	return w.Write(v)
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader, v []byte) (int, error) {
+	return io.ReadFull(r, v)
+}

@@ -1,0 +1,133 @@
+// Package fanmerge pins the deterministic-merge discipline of
+// internal/parallel: a Fan/FanChunks callback writes results into
+// per-index slots, and the caller combines them in index order after the
+// fan returns. That is the whole argument for why a parallel kernel is
+// bit-identical to its sequential run; any completion-order collection
+// inside the callback silently reintroduces schedule dependence.
+//
+// Inside a function literal passed to parallel.Fan or parallel.FanChunks
+// the analyzer flags the constructs that order results by completion
+// rather than by index:
+//
+//   - select statements (whichever case is ready first wins);
+//   - channel sends and receives (the channel serializes results in
+//     completion order);
+//   - range over a map (iteration order is randomized);
+//   - append to a slice declared outside the callback (elements land in
+//     completion order, racing besides).
+//
+// Writes like sums[i] = ... or copies into chunk-local scratch are the
+// sanctioned pattern and pass untouched. There is no escape marker: a
+// callback that needs a channel is not a fan callback, it is a pipeline,
+// and should not run under parallel.Fan's determinism contract.
+package fanmerge
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the fanmerge checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "fanmerge",
+	Doc:  "forbid completion-order collection (channels, select, map ranges, shared append) in parallel.Fan/FanChunks callbacks",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "repro/internal/parallel" {
+				return true
+			}
+			if fn.Name() != "Fan" && fn.Name() != "FanChunks" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			if lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit); ok {
+				checkCallback(pass, info, fn.Name(), lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCallback(pass *analysis.Pass, info *types.Info, fan string, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			pass.Reportf(x.Pos(), "select in %s callback collects results in completion order; write into per-index slots instead", fan)
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "channel send in %s callback serializes results in completion order; write into per-index slots instead", fan)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pass.Reportf(x.Pos(), "channel receive in %s callback depends on completion order; write into per-index slots instead", fan)
+			}
+		case *ast.RangeStmt:
+			if isMap(info.TypeOf(x.X)) {
+				pass.Reportf(x.Pos(), "map iteration in %s callback is randomly ordered; iterate the index range instead", fan)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isAppend(info, call) || i >= len(x.Lhs) {
+					continue
+				}
+				if obj := identObj(info, x.Lhs[i]); obj != nil && obj.Pos() < lit.Pos() {
+					pass.Reportf(rhs.Pos(), "append to %s declared outside the %s callback merges in completion order (and races); write into per-index slots instead", obj.Name(), fan)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package fanmerge_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fanmerge"
+)
+
+func TestFanMerge(t *testing.T) {
+	analysistest.Run(t, "testdata", fanmerge.Analyzer,
+		"repro/internal/fanbad",
+		"repro/internal/fangood",
+	)
+}

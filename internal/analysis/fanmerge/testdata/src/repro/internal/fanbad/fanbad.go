@@ -1,0 +1,60 @@
+// Package fanbad exercises the fanmerge positive cases: every
+// completion-order collection pattern inside a fan callback.
+package fanbad
+
+import "repro/internal/parallel"
+
+// SumChan serializes results through a channel: completion order.
+func SumChan(xs []int) int {
+	ch := make(chan int, len(xs))
+	parallel.Fan(len(xs), func(i int) {
+		ch <- xs[i] * xs[i] // want `channel send in Fan callback serializes results in completion order`
+	})
+	total := 0
+	for range xs {
+		total += <-ch
+	}
+	return total
+}
+
+// Steal pulls work items off a shared channel inside the callback.
+func Steal(work chan int, out []int) {
+	parallel.FanChunks(len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = <-work // want `channel receive in FanChunks callback depends on completion order`
+		}
+	})
+}
+
+// Race selects whichever result is ready first.
+func Race(a, b chan int, out []int) {
+	parallel.Fan(len(out), func(i int) {
+		select { // want `select in Fan callback collects results in completion order`
+		case v := <-a:
+			out[i] = v
+		case v := <-b:
+			out[i] = v
+		}
+	})
+}
+
+// Walk iterates a map inside the callback: randomized order.
+func Walk(m map[string]int, out []int) {
+	parallel.FanChunks(1, func(lo, hi int) {
+		for _, v := range m { // want `map iteration in FanChunks callback is randomly ordered`
+			out[0] += v
+		}
+	})
+}
+
+// Collect appends to a slice declared outside the callback: elements land
+// in completion order, racing besides.
+func Collect(xs []int) []int {
+	var out []int
+	parallel.FanChunks(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out = append(out, xs[i]) // want `append to out declared outside the FanChunks callback merges in completion order`
+		}
+	})
+	return out
+}

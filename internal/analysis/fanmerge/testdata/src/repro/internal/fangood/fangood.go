@@ -1,0 +1,51 @@
+// Package fangood exercises the fanmerge negative cases: the per-index
+// slot discipline the analyzer wants, including chunk-local scratch.
+package fangood
+
+import "repro/internal/parallel"
+
+// Squares writes into per-index slots and merges in index order after the
+// fan returns.
+func Squares(xs []int) int {
+	out := make([]int, len(xs))
+	parallel.Fan(len(xs), func(i int) {
+		out[i] = xs[i] * xs[i]
+	})
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+// ChunkSums uses chunk-local scratch — append to a slice declared inside
+// the callback is fine — and a per-chunk result slot.
+func ChunkSums(xs []int, sums []int) {
+	parallel.FanChunks(len(xs), func(lo, hi int) {
+		local := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			local = append(local, xs[i])
+		}
+		s := 0
+		for _, v := range local {
+			s += v
+		}
+		sums[lo] = s
+	})
+}
+
+// ChanOutside may merge however it likes after the fan has returned; the
+// rule only constrains the callback.
+func ChanOutside(xs []int) int {
+	out := make([]int, len(xs))
+	parallel.Fan(len(xs), func(i int) {
+		out[i] = xs[i]
+	})
+	ch := make(chan int, 1)
+	ch <- 0
+	total := <-ch
+	for _, v := range out {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,17 @@
+// Package parallel stubs the worker-fan API for fixture use; the analyzer
+// matches callees by import path and name, not by behaviour.
+package parallel
+
+// Fan runs fn(i) for every i in [0, n).
+func Fan(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// FanChunks runs chunk over [0, n) in one piece.
+func FanChunks(n int, chunk func(lo, hi int)) {
+	if n > 0 {
+		chunk(0, n)
+	}
+}

@@ -14,7 +14,10 @@
 //
 // main packages and everything under cmd/ are exempt: a command aborting on
 // startup misconfiguration is conventional. Test files never reach the
-// analyzer (the loader feeds it non-test sources only).
+// analyzer (the loader feeds it non-test sources only). A panic call on a
+// line carrying //cryptolint:panic-ok is sanctioned — the marker exists for
+// deliberate re-raises, like internal/parallel re-panicking a worker's
+// panic on the caller's goroutine, and is expected to carry a reason.
 package nopanic
 
 import (
@@ -45,6 +48,7 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 
+	marks := analysis.CollectLineMarks(pass.Pkg, analysis.MarkerPanicOK)
 	funcs := make(map[*types.Func]*funcInfo)
 	var order []*funcInfo
 	for _, f := range pass.Pkg.Files {
@@ -58,7 +62,7 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			fi := &funcInfo{obj: obj, calls: make(map[*types.Func]bool)}
-			collect(pass, fd.Body, fi)
+			collect(pass, marks, fd.Body, fi)
 			funcs[obj] = fi
 			order = append(order, fi)
 		}
@@ -103,8 +107,9 @@ func run(pass *analysis.Pass) error {
 
 // collect records the panic sites and same-package callees of one function
 // body. Function literals are walked in place, attributing their panics and
-// calls to the enclosing declaration.
-func collect(pass *analysis.Pass, body *ast.BlockStmt, fi *funcInfo) {
+// calls to the enclosing declaration. Panic calls on //cryptolint:panic-ok
+// lines are skipped.
+func collect(pass *analysis.Pass, marks *analysis.LineMarks, body *ast.BlockStmt, fi *funcInfo) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -114,7 +119,7 @@ func collect(pass *analysis.Pass, body *ast.BlockStmt, fi *funcInfo) {
 		case *ast.Ident:
 			switch obj := pass.Pkg.Info.Uses[fun].(type) {
 			case *types.Builtin:
-				if obj.Name() == "panic" {
+				if obj.Name() == "panic" && !marks.Has(analysis.MarkerPanicOK, call.Pos()) {
 					fi.panics = append(fi.panics, call.Pos())
 				}
 			case *types.Func:

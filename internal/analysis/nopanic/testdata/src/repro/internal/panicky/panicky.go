@@ -55,3 +55,14 @@ func Validate(data []byte) error {
 func unreachablePanic() {
 	panic("internal assertion")
 }
+
+// Rethrow shows the sanctioned deliberate re-raise: a recovered worker
+// panic re-thrown on the caller's goroutine, annotated on the line.
+func Rethrow(f func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			panic(v) //cryptolint:panic-ok (deliberate re-raise on the caller's goroutine)
+		}
+	}()
+	f()
+}

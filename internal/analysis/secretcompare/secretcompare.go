@@ -3,6 +3,18 @@
 // compared with crypto/subtle (ConstantTimeCompare and friends): ==,
 // bytes.Equal and reflect.DeepEqual all short-circuit on the first differing
 // byte, which turns a remote equality check into a timing oracle on d_user.
+//
+// Secrets are tracked by the interprocedural taint layer (package taint),
+// so material that moved through an assignment, a helper's return value or
+// a struct field since leaving its annotated type is still recognized.
+//
+// The checker shares cttime's escape vocabulary — the two enforce the same
+// constant-time discipline at different granularities. A //cryptolint:vartime
+// marker on the package clause or a function's doc comment sanctions the
+// deliberately variable-time code (the legacy math/big schemes), and a
+// //cryptolint:public comment on the finding's line sanctions a single
+// comparison (the accumulated-verdict collapse of a branch-free compare, a
+// bounds check on a wire input).
 package secretcompare
 
 import (
@@ -11,7 +23,7 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
-	"repro/internal/analysis/secrets"
+	"repro/internal/analysis/taint"
 )
 
 // Analyzer is the secretcompare checker.
@@ -40,65 +52,80 @@ var variableTimeMethods = map[[3]string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	set := secrets.Collect(pass.All)
-	if set.Names() == 0 {
+	ta := taint.For(pass.All)
+	if ta.Secrets.Names() == 0 {
+		return nil
+	}
+	if analysis.PackageMarked(pass.Pkg, analysis.MarkerVartime) {
 		return nil
 	}
 	info := pass.Pkg.Info
-	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.BinaryExpr:
-				if x.Op != token.EQL && x.Op != token.NEQ {
+	marks := analysis.CollectLineMarks(pass.Pkg, analysis.MarkerPublic)
+
+	check := func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op != token.EQL && x.Op != token.NEQ {
+				return true
+			}
+			// Nil checks test presence, not key bytes; they carry no
+			// timing signal about the secret's value.
+			if isNil(info, x.X) || isNil(info, x.Y) {
+				return true
+			}
+			if (ta.Tainted(info, x.X) || ta.Tainted(info, x.Y)) && !marks.Has(analysis.MarkerPublic, x.OpPos) {
+				pass.Reportf(x.OpPos, "secret-bearing value compared with %s; use crypto/subtle", x.Op)
+			}
+		case *ast.CallExpr:
+			fn, ok := calleeFunc(info, x)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if recv := receiverTypeName(fn); recv != "" {
+				if !variableTimeMethods[[3]string{fn.Pkg().Path(), recv, fn.Name()}] {
 					return true
 				}
-				// Nil checks test presence, not key bytes; they carry no
-				// timing signal about the secret's value.
-				if isNil(info, x.X) || isNil(info, x.Y) {
-					return true
-				}
-				if set.SecretExpr(info, x.X) || set.SecretExpr(info, x.Y) {
-					pass.Reportf(x.OpPos, "secret-bearing value compared with %s; use crypto/subtle", x.Op)
-				}
-			case *ast.CallExpr:
-				fn, ok := calleeFunc(info, x)
-				if !ok || fn.Pkg() == nil {
-					return true
-				}
-				if recv := receiverTypeName(fn); recv != "" {
-					if !variableTimeMethods[[3]string{fn.Pkg().Path(), recv, fn.Name()}] {
-						return true
-					}
-					// The receiver is as much an input to the comparison as
-					// the arguments: k.D.Cmp(probe) and probe.Cmp(k.D) leak
-					// identically.
-					leaks := false
-					if sel, selOK := ast.Unparen(x.Fun).(*ast.SelectorExpr); selOK && set.SecretExpr(info, sel.X) {
-						leaks = true
-					}
-					for _, arg := range x.Args {
-						if set.SecretExpr(info, arg) {
-							leaks = true
-							break
-						}
-					}
-					if leaks {
-						pass.Reportf(x.Pos(), "secret-bearing value compared with %s.%s.%s; use crypto/subtle or fp.Field.Equal", fn.Pkg().Name(), recv, fn.Name())
-					}
-					return true
-				}
-				if !variableTime[[2]string{fn.Pkg().Path(), fn.Name()}] {
-					return true
+				// The receiver is as much an input to the comparison as
+				// the arguments: k.D.Cmp(probe) and probe.Cmp(k.D) leak
+				// identically.
+				leaks := false
+				if sel, selOK := ast.Unparen(x.Fun).(*ast.SelectorExpr); selOK && ta.Tainted(info, sel.X) {
+					leaks = true
 				}
 				for _, arg := range x.Args {
-					if set.SecretExpr(info, arg) {
-						pass.Reportf(x.Pos(), "secret-bearing value passed to %s.%s; use crypto/subtle", fn.Pkg().Name(), fn.Name())
+					if ta.Tainted(info, arg) {
+						leaks = true
 						break
 					}
 				}
+				if leaks && !marks.Has(analysis.MarkerPublic, x.Pos()) {
+					pass.Reportf(x.Pos(), "secret-bearing value compared with %s.%s.%s; use crypto/subtle or fp.Field.Equal", fn.Pkg().Name(), recv, fn.Name())
+				}
+				return true
 			}
-			return true
-		})
+			if !variableTime[[2]string{fn.Pkg().Path(), fn.Name()}] {
+				return true
+			}
+			for _, arg := range x.Args {
+				if ta.Tainted(info, arg) {
+					if !marks.Has(analysis.MarkerPublic, x.Pos()) {
+						pass.Reportf(x.Pos(), "secret-bearing value passed to %s.%s; use crypto/subtle", fn.Pkg().Name(), fn.Name())
+					}
+					break
+				}
+			}
+		}
+		return true
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || analysis.HasMarker(fd.Doc, analysis.MarkerVartime) {
+				continue
+			}
+			ast.Inspect(fd.Body, check)
+		}
 	}
 	return nil
 }

@@ -40,3 +40,14 @@ func OrderKeys(a, b *keys.PrivateKey) bool {
 func ProbeMagnitude(k *keys.PrivateKey, probe *big.Int) bool {
 	return probe.CmpAbs(k.D) == 0 // want `secret-bearing value compared with big.Int.CmpAbs; use crypto/subtle or fp.Field.Equal`
 }
+
+// material moves the key bytes through a call boundary; the interprocedural
+// taint layer tracks the result summary.
+func material(k *keys.PrivateKey) []byte { return k.Bytes }
+
+// MatchDerived compares bytes that are two hops from the annotated type:
+// a helper return assigned to a local.
+func MatchDerived(k *keys.PrivateKey, probe []byte) bool {
+	m := material(k)
+	return bytes.Equal(m, probe) // want `secret-bearing value passed to bytes.Equal; use crypto/subtle`
+}

@@ -9,6 +9,18 @@
 // published verbatim on the -debug-addr scrape endpoint. Secrets are
 // detected inside composite-literal arguments too, so a value smuggled
 // through an obs.Label{Value: ...} field is caught.
+//
+// Secrets are tracked by the interprocedural taint layer (package taint):
+// key material that was copied into a local, returned from a helper or
+// stashed in an unannotated struct field before reaching the sink is still
+// recognized.
+//
+// Two escapes. A sink package is exempt from its own rule — the registry's
+// internal plumbing handing a label slice to its own render helper is the
+// sink working, not a leak into it; the boundary that matters is the call
+// from outside. And a //cryptolint:public comment on the finding's line
+// sanctions a deliberate disclosure with its reason (a key-generation
+// tool's output path is the canonical one).
 package secretleak
 
 import (
@@ -16,7 +28,7 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
-	"repro/internal/analysis/secrets"
+	"repro/internal/analysis/taint"
 )
 
 // Analyzer is the secretleak checker.
@@ -37,11 +49,12 @@ var sinkPkgs = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	set := secrets.Collect(pass.All)
-	if set.Names() == 0 {
+	ta := taint.For(pass.All)
+	if ta.Secrets.Names() == 0 {
 		return nil
 	}
 	info := pass.Pkg.Info
+	marks := analysis.CollectLineMarks(pass.Pkg, analysis.MarkerPublic)
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -52,8 +65,12 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Pkg() == nil || !sinkPkgs[fn.Pkg().Path()] {
 				return true
 			}
+			// A sink package's own internals are the sink, not callers of it.
+			if fn.Pkg().Path() == pass.Pkg.Path {
+				return true
+			}
 			for _, arg := range call.Args {
-				if hit := secretIn(set, info, arg); hit != nil {
+				if hit := secretIn(ta, info, arg); hit != nil && !marks.Has(analysis.MarkerPublic, hit.Pos()) {
 					pass.Reportf(hit.Pos(), "secret-bearing value passed to %s.%s; log metadata, not key material", fn.Pkg().Name(), fn.Name())
 				}
 			}
@@ -63,24 +80,24 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// secretIn finds a secret-bearing expression inside a sink argument: the
-// argument itself, or — for composite literals like obs.Label{Value: x} —
-// any element, recursively. It returns the offending expression for a
-// precise diagnostic position, or nil.
-func secretIn(set *secrets.Set, info *types.Info, e ast.Expr) ast.Expr {
-	if set.SecretExpr(info, e) {
-		return e
-	}
+// secretIn finds a secret-bearing expression inside a sink argument. The
+// composite-literal recursion runs first so the diagnostic lands on the
+// offending element, not the whole literal.
+func secretIn(ta *taint.Analysis, info *types.Info, e ast.Expr) ast.Expr {
 	if cl, ok := ast.Unparen(e).(*ast.CompositeLit); ok {
 		for _, elt := range cl.Elts {
 			v := elt
 			if kv, ok := elt.(*ast.KeyValueExpr); ok {
 				v = kv.Value
 			}
-			if hit := secretIn(set, info, v); hit != nil {
+			if hit := secretIn(ta, info, v); hit != nil {
 				return hit
 			}
 		}
+		return nil
+	}
+	if ta.Tainted(info, e) {
+		return e
 	}
 	return nil
 }

@@ -22,3 +22,16 @@ func Trace(k *keys.PrivateKey) {
 func Wrap(k *keys.PrivateKey) error {
 	return fmt.Errorf("rejected key %x", k.Material()) // want `secret-bearing value passed to fmt.Errorf`
 }
+
+// halves splits the secret; both results inherit its taint.
+func halves(k *keys.PrivateKey) ([]byte, []byte) {
+	n := len(k.Bytes) / 2
+	return k.Bytes[:n], k.Bytes[n:]
+}
+
+// TraceDerived logs material that flowed through a local and a helper
+// return — invisible to a structural check, tracked by the taint layer.
+func TraceDerived(k *keys.PrivateKey) {
+	lo, _ := halves(k)
+	log.Printf("low half %x", lo) // want `secret-bearing value passed to log.Printf`
+}

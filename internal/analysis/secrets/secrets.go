@@ -75,12 +75,17 @@ func Collect(all []*analysis.Package) *Set {
 					if !ok {
 						continue
 					}
-					if !declMarked && !hasMarker(ts.Doc, Marker) && !hasMarker(ts.Comment, Marker) {
-						continue
+					if declMarked || hasMarker(ts.Doc, Marker) || hasMarker(ts.Comment, Marker) {
+						if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+							s.names[tn] = true
+						}
 					}
-					if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
-						s.names[tn] = true
-					}
+					// Public field markers are honoured on every struct, not
+					// just secret-marked ones: interprocedural flow taints
+					// unannotated types too (a Point computed from a secret
+					// scalar), and their parameter back-references — the
+					// curve a point lives on, the field a curve caches —
+					// need the same opt-out.
 					st, ok := ts.Type.(*ast.StructType)
 					if !ok {
 						continue
@@ -116,6 +121,11 @@ func hasMarker(cg *ast.CommentGroup, marker string) bool {
 
 // Names reports how many annotated types the set holds.
 func (s *Set) Names() int { return len(s.names) }
+
+// Public reports whether obj is a struct field explicitly declared
+// //cryptolint:public inside an annotated type. The taint layer uses it to
+// stop propagation through declared-public fields.
+func (s *Set) Public(obj types.Object) bool { return s.public[obj] }
 
 // SecretType reports whether t is (a pointer to) an annotated named type.
 func (s *Set) SecretType(t types.Type) bool {

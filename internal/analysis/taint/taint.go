@@ -1,0 +1,656 @@
+// Package taint is the interprocedural secret-taint layer under the
+// cryptolint analyzers. The structural rules of package secrets answer "is
+// this expression secret by its type?"; this package adds data flow: a
+// //cryptolint:secret value assigned to a local, passed to a function,
+// returned from one, or stored into a field taints the local, the
+// parameter, the call result and the field. The analyzers (cttime,
+// secretcompare, secretleak) then ask one question — Tainted(expr) — and
+// get the union of both views.
+//
+// The engine builds a module-wide index of function declarations (the call
+// graph's nodes; edges are the identifier/selector call sites resolved
+// through the type checker) and runs a monotone fixed point over three
+// fact sets:
+//
+//   - tainted objects: parameters, locals, named results and package
+//     variables observed to receive secret material;
+//   - tainted fields: struct fields of un-annotated types observed to
+//     receive secret material (annotated types are covered structurally);
+//   - function summaries: per-result-index taint for every module function,
+//     so call results propagate across package boundaries.
+//
+// Mutation is modelled conservatively: a call with a tainted input taints
+// every other mutable (pointer, slice, map, interface) argument and the
+// receiver, which is what makes out-parameter kernels — F.Square(dst, src),
+// z.Mod(x, q) — propagate without per-API modelling. Two deliberate
+// stops keep the flood bounded: basic-typed method results are metadata
+// (k.D.Sign() is not the key), and comparison operators produce public
+// verdicts (acting on an equality result is the point of computing it;
+// the comparison itself is secretcompare's business).
+//
+// Dynamic calls through interfaces and function values are not followed —
+// like nopanic's call graph, the engine is a lower bound, which is the
+// useful direction for a linter that must stay free of false positives.
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/secrets"
+)
+
+// maxRounds bounds the fixed point; each round only ever adds facts, so
+// the loop terminates as soon as a round adds nothing.
+const maxRounds = 64
+
+// Analysis is the module-wide taint fixed point.
+type Analysis struct {
+	// Secrets carries the type-level annotations the flow facts grow from.
+	Secrets *secrets.Set
+
+	pkgs    []*analysis.Package
+	bodies  map[*types.Func]*funcBody
+	objs    map[types.Object]bool
+	fields  map[types.Object]bool
+	writes  map[types.Object]bool
+	results map[*types.Func][]bool
+	changed bool
+}
+
+type funcBody struct {
+	pkg  *analysis.Package
+	decl *ast.FuncDecl
+}
+
+// cache memoizes the fixed point for one loaded package set: every
+// analyzer pass of a cryptolint run shares the same slice, and the fixed
+// point is deterministic, so recomputing it per pass would only burn time.
+var cache struct {
+	key []*analysis.Package
+	a   *Analysis
+}
+
+// For returns the taint analysis over all source-loaded packages,
+// computing the fixed point on first use per package set.
+func For(all []*analysis.Package) *Analysis {
+	if cache.a != nil && len(cache.key) == len(all) {
+		same := true
+		for i := range all {
+			if cache.key[i] != all[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return cache.a
+		}
+	}
+	a := compute(all)
+	cache.key = append([]*analysis.Package(nil), all...)
+	cache.a = a
+	return a
+}
+
+func compute(all []*analysis.Package) *Analysis {
+	a := &Analysis{
+		Secrets: secrets.Collect(all),
+		pkgs:    all,
+		bodies:  make(map[*types.Func]*funcBody),
+		objs:    make(map[types.Object]bool),
+		fields:  make(map[types.Object]bool),
+		writes:  make(map[types.Object]bool),
+		results: make(map[*types.Func][]bool),
+	}
+	for _, pkg := range all {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					a.bodies[fn] = &funcBody{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	if a.Secrets.Names() == 0 {
+		return a
+	}
+	for round := 0; round < maxRounds; round++ {
+		a.changed = false
+		for _, pkg := range all {
+			a.propagatePackage(pkg)
+		}
+		if !a.changed {
+			break
+		}
+	}
+	return a
+}
+
+// Tainted reports whether e carries secret material: secret by type
+// (package secrets' structural rules) or secret by flow (the fixed point's
+// object, field and summary facts).
+func (a *Analysis) Tainted(info *types.Info, e ast.Expr) bool {
+	return a.tainted(info, e, 0)
+}
+
+// TaintedObj reports whether a variable object was observed to receive
+// secret material.
+func (a *Analysis) TaintedObj(obj types.Object) bool { return a.objs[obj] }
+
+// Body returns the declaration of a module function, or nil for functions
+// without source (standard library, interface methods).
+func (a *Analysis) Body(fn *types.Func) *ast.FuncDecl {
+	if b := a.bodies[fn]; b != nil {
+		return b.decl
+	}
+	return nil
+}
+
+func (a *Analysis) tainted(info *types.Info, e ast.Expr, depth int) bool {
+	if depth > 32 {
+		return false
+	}
+	e = ast.Unparen(e)
+	// An error is a report about the data, not the data: wrapping a secret
+	// into an error message is secretleak's finding at the format site, and
+	// letting the error value itself carry taint would smear err across
+	// every return path in the module.
+	if tv, ok := info.Types[e]; ok && isErrorType(tv.Type) {
+		return false
+	}
+	if a.Secrets.SecretExpr(info, e) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := useOrDef(info, x); obj != nil {
+			return a.objs[obj]
+		}
+	case *ast.SelectorExpr:
+		obj := info.Uses[x.Sel]
+		if _, isFunc := obj.(*types.Func); isFunc {
+			// A method value is code, not data; its calls are judged by the
+			// CallExpr rules.
+			return false
+		}
+		if obj != nil && a.Secrets.Public(obj) {
+			return false
+		}
+		if obj != nil && (a.fields[obj] || a.objs[obj]) {
+			return true
+		}
+		// Field or method value on a flow-tainted base: same metadata rule
+		// as the structural layer — basic-typed selections are identifiers
+		// and sizes, not key material.
+		if a.tainted(info, x.X, depth+1) {
+			return !isBasic(info.TypeOf(e))
+		}
+	case *ast.CallExpr:
+		// A conversion renames the bits; string(k.Bytes) stays secret.
+		if tv, ok := info.Types[ast.Unparen(x.Fun)]; ok && tv.IsType() && len(x.Args) == 1 {
+			return a.tainted(info, x.Args[0], depth+1)
+		}
+		if fn := callee(info, x); fn != nil {
+			for _, t := range a.results[fn] {
+				if t {
+					return true
+				}
+			}
+		}
+		// A method on a tainted receiver returns tainted non-basic values
+		// (big.Int chaining: z.Mod(secret, q) returns z). Basic results —
+		// Sign(), BitLen(), Cmp() — are metadata/verdicts.
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && a.tainted(info, sel.X, depth+1) {
+			return !isBasic(info.TypeOf(e))
+		}
+		// A sourceless callee (standard library) with a tainted argument:
+		// assume the non-basic result is derived from it.
+		if fn := callee(info, x); fn == nil || a.bodies[fn] == nil {
+			for _, arg := range x.Args {
+				if a.tainted(info, arg, depth+1) {
+					return !isBasic(info.TypeOf(e))
+				}
+			}
+		}
+	case *ast.IndexExpr:
+		return a.tainted(info, x.X, depth+1)
+	case *ast.SliceExpr:
+		return a.tainted(info, x.X, depth+1)
+	case *ast.StarExpr:
+		return a.tainted(info, x.X, depth+1)
+	case *ast.UnaryExpr:
+		return a.tainted(info, x.X, depth+1)
+	case *ast.BinaryExpr:
+		// Comparison verdicts are public (see the package comment);
+		// arithmetic on secret operands stays secret.
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return false
+		}
+		return a.tainted(info, x.X, depth+1) || a.tainted(info, x.Y, depth+1)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if a.tainted(info, v, depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// propagatePackage runs one monotone round over every declaration of pkg.
+func (a *Analysis) propagatePackage(pkg *analysis.Package) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					a.propagateAssign(info, identExprs(vs.Names), vs.Values)
+				}
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				fn, _ := info.Defs[d.Name].(*types.Func)
+				a.propagateBody(pkg, fn, d.Body)
+			}
+		}
+	}
+}
+
+// propagateBody walks one function body, recording flows. Statements inside
+// function literals are walked too (their assignments and calls propagate
+// the same way); only their return statements are skipped, since a literal
+// has no *types.Func to summarize.
+func (a *Analysis) propagateBody(pkg *analysis.Package, fn *types.Func, body *ast.BlockStmt) {
+	info := pkg.Info
+	var walk func(n ast.Node, owner *types.Func) bool
+	walk = func(n ast.Node, owner *types.Func) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(x.Body, func(n ast.Node) bool { return walk(n, nil) })
+			return false
+		case *ast.AssignStmt:
+			a.propagateAssign(info, x.Lhs, x.Rhs)
+		case *ast.RangeStmt:
+			if a.tainted(info, x.X, 0) {
+				if x.Value != nil {
+					a.markLHS(info, x.Value)
+				}
+				if x.Key != nil && isMap(info.TypeOf(x.X)) {
+					a.markLHS(info, x.Key)
+				}
+			}
+		case *ast.ReturnStmt:
+			if owner != nil {
+				a.propagateReturn(info, owner, x)
+			}
+		case *ast.CallExpr:
+			a.propagateCall(info, x)
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, fn) })
+}
+
+// propagateAssign marks LHS targets receiving tainted RHS values, handling
+// both the pairwise form and the single multi-value call form.
+func (a *Analysis) propagateAssign(info *types.Info, lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			if fn := callee(info, call); fn != nil {
+				for i, t := range a.results[fn] {
+					if t && i < len(lhs) {
+						a.markLHS(info, lhs[i])
+					}
+				}
+			}
+			return
+		}
+		// Comma-ok forms: v, ok := m[k] / ch recv / type assert.
+		if a.tainted(info, rhs[0], 0) {
+			a.markLHS(info, lhs[0])
+		}
+		return
+	}
+	for i, r := range rhs {
+		if i < len(lhs) && a.tainted(info, r, 0) {
+			a.markLHS(info, lhs[i])
+		}
+	}
+}
+
+// propagateReturn folds returned taint into fn's summary.
+func (a *Analysis) propagateReturn(info *types.Info, fn *types.Func, ret *ast.ReturnStmt) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results() == nil {
+		return
+	}
+	nres := sig.Results().Len()
+	if nres == 0 {
+		return
+	}
+	summary := a.results[fn]
+	if summary == nil {
+		summary = make([]bool, nres)
+		a.results[fn] = summary
+	}
+	switch {
+	case len(ret.Results) == 0:
+		// Naked return: named results are ordinary objects the walk has
+		// already been marking.
+		for i := 0; i < nres; i++ {
+			if a.objs[sig.Results().At(i)] {
+				a.markResult(summary, i)
+			}
+		}
+	case len(ret.Results) == 1 && nres > 1:
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			if callee := callee(info, call); callee != nil {
+				for i, t := range a.results[callee] {
+					if t && i < nres {
+						a.markResult(summary, i)
+					}
+				}
+			}
+		}
+	default:
+		for i, r := range ret.Results {
+			if i < nres && !isErrorType(sig.Results().At(i).Type()) && a.tainted(info, r, 0) {
+				a.markResult(summary, i)
+			}
+		}
+	}
+}
+
+// propagateCall pushes argument taint into callee parameters and applies
+// the call-site mutation rule: a call with a tainted input taints the
+// site's other mutable arguments (the out-parameter kernels: F.Square(dst,
+// secret) taints dst here, not at every other Square site), and — for
+// fluent mutator methods only, where the result type is the receiver type,
+// the z.Mod(x, y) / e.Mul(x, y) shape — the receiver. Engine receivers
+// (pp.Pair, c.MSM) are never smeared: tainting the parameter set or the
+// curve object would taint every public computation that shares it.
+func (a *Analysis) propagateCall(info *types.Info, call *ast.CallExpr) {
+	fn := callee(info, call)
+
+	var recvExpr ast.Expr
+	var sig *types.Signature
+	if fn != nil {
+		sig, _ = fn.Type().(*types.Signature)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sig != nil && sig.Recv() != nil {
+		recvExpr = sel.X
+	}
+
+	anyTainted := recvExpr != nil && a.tainted(info, recvExpr, 0)
+	for _, arg := range call.Args {
+		if anyTainted {
+			break
+		}
+		anyTainted = a.tainted(info, arg, 0)
+	}
+	if !anyTainted {
+		return
+	}
+
+	// Parameter marking, for callees with source.
+	if fn != nil && a.bodies[fn] != nil {
+		a.markParams(info, fn, call, recvExpr)
+	}
+
+	if recvExpr != nil && isFluent(sig) && isMutable(info.TypeOf(recvExpr)) {
+		a.markLHS(info, recvExpr)
+	}
+	// Out-parameter smear: only pointer and slice arguments, the shapes the
+	// kernels actually write through (F.Square(dst, src), bucket slabs). An
+	// interface argument is a sink, not an out-parameter — smearing it would
+	// taint every io.Writer and net.Conn a secret is ever serialized into.
+	//
+	// For a callee with source the smear is further gated on the callee's
+	// own view of the parameter: unless the callee's body (or something it
+	// calls) stores secret material THROUGH that parameter — a writes fact,
+	// not mere input taint — nothing can have flowed back out and the
+	// argument stays clean. This is what keeps context pointers — the
+	// *Curve threaded through every Jacobian helper next to secret
+	// coordinates, the modulus handed to a constructor that also gets
+	// secrets from elsewhere — from being swallowed whole.
+	//
+	// Sourceless callees (the stdlib) have no parameter view, so the gate
+	// is by shape instead: a stdlib METHOD writes its receiver (covered by
+	// the fluent rule above) and treats its arguments as inputs —
+	// acc.Mod(secret, q) must not smear the modulus q. Only sourceless
+	// plain functions (rand.Read(buf), hkdf-style fills) smear their
+	// pointer arguments unconditionally.
+	sourceless := fn == nil || a.bodies[fn] == nil
+	if sourceless && sig != nil && sig.Recv() != nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if !isOutParam(info.TypeOf(arg)) || a.tainted(info, arg, 0) {
+			continue
+		}
+		// The callee's declared parameter type wins over the argument's
+		// shape: a *big.Int handed to fmt.Errorf's ...any lands in an
+		// interface — a sink, not a writable pointer.
+		if pt := paramTypeAt(sig, i); pt != nil && !isOutParam(pt) {
+			continue
+		}
+		if !sourceless && !a.writes[paramAt(sig, i)] {
+			continue
+		}
+		a.markLHS(info, arg)
+	}
+}
+
+// paramTypeAt returns the declared type of the parameter receiving argument
+// i, unwrapping the variadic slice; nil when the signature is unknown.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	if sig == nil || sig.Params().Len() == 0 {
+		return nil
+	}
+	last := sig.Params().Len() - 1
+	if i >= last && sig.Variadic() {
+		if s, ok := sig.Params().At(last).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+	}
+	if i > last {
+		i = last
+	}
+	return sig.Params().At(i).Type()
+}
+
+// paramAt returns the i'th parameter object of sig, clamping into the
+// variadic tail; nil when sig carries no parameters.
+func paramAt(sig *types.Signature, i int) types.Object {
+	if sig == nil || sig.Params().Len() == 0 {
+		return nil
+	}
+	if i >= sig.Params().Len() {
+		i = sig.Params().Len() - 1
+	}
+	return sig.Params().At(i)
+}
+
+// isOutParam reports whether an argument of type t can act as an
+// out-parameter a callee writes results through.
+func isOutParam(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// isFluent reports the mutator-method shape: the first result has the
+// receiver's type, so the receiver is (by convention) written in place.
+func isFluent(sig *types.Signature) bool {
+	if sig == nil || sig.Recv() == nil || sig.Results() == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	return types.Identical(sig.Results().At(0).Type(), sig.Recv().Type())
+}
+
+// markParams taints the callee's parameter objects fed by tainted
+// arguments (and its receiver when the receiver expression is tainted).
+func (a *Analysis) markParams(info *types.Info, fn *types.Func, call *ast.CallExpr, recvExpr ast.Expr) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if !a.tainted(info, arg, 0) {
+			continue
+		}
+		idx := i
+		if idx >= params.Len() {
+			idx = params.Len() - 1 // variadic tail
+		}
+		if idx >= 0 {
+			a.markObj(params.At(idx))
+		}
+	}
+	if recvExpr != nil && sig.Recv() != nil && a.tainted(info, recvExpr, 0) {
+		a.markObj(sig.Recv())
+	}
+}
+
+// markLHS taints the object behind an assignable expression: identifiers
+// directly, selectors as field facts, and container writes as taint on the
+// container's base.
+func (a *Analysis) markLHS(info *types.Info, e ast.Expr) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		if obj := useOrDef(info, x); obj != nil {
+			a.markWrite(obj)
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[x.Sel]; obj != nil && !a.Secrets.Public(obj) {
+			if !a.fields[obj] {
+				a.fields[obj] = true
+				a.changed = true
+			}
+		}
+	case *ast.IndexExpr:
+		a.markLHS(info, x.X)
+	case *ast.StarExpr:
+		a.markLHS(info, x.X)
+	}
+}
+
+func (a *Analysis) markObj(obj types.Object) {
+	if obj == nil || a.objs[obj] || isErrorType(obj.Type()) {
+		return
+	}
+	a.objs[obj] = true
+	a.changed = true
+}
+
+// markWrite records that obj had secret material stored INTO it — an
+// assignment target or a smeared out-parameter — as opposed to receiving
+// it as a call input. The distinction gates the out-parameter smear: only
+// a parameter some body writes through can carry taint back out of a call.
+func (a *Analysis) markWrite(obj types.Object) {
+	if obj == nil || isErrorType(obj.Type()) {
+		return
+	}
+	if !a.writes[obj] {
+		a.writes[obj] = true
+		a.changed = true
+	}
+	a.markObj(obj)
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func (a *Analysis) markResult(summary []bool, i int) {
+	if !summary[i] {
+		summary[i] = true
+		a.changed = true
+	}
+}
+
+// identExprs adapts a ValueSpec's name list to the assignment walker.
+func identExprs(names []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(names))
+	for i, n := range names {
+		out[i] = n
+	}
+	return out
+}
+
+// callee resolves the static callee of a call, or nil for dynamic calls.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func useOrDef(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func isBasic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Basic)
+	return ok
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isMutable reports whether a value of type t lets a callee write through
+// it (the mutation rule's targets).
+func isMutable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Interface, *types.Chan:
+		return true
+	}
+	return false
+}

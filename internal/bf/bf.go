@@ -161,7 +161,7 @@ func (k *PrivateKey) pairing(pp *pairing.Params, u *curve.Point) (*pairing.GT, e
 //
 //cryptolint:secret
 type PKG struct {
-	pub    *PublicParams
+	pub    *PublicParams //cryptolint:public (system parameters)
 	master *big.Int
 }
 
@@ -180,6 +180,8 @@ func Setup(rng io.Reader, pp *pairing.Params, msgLen int) (*PKG, error) {
 
 // SetupWithMaster builds a PKG from an explicit master key; the threshold
 // dealer and the security-game reductions need this.
+//
+//cryptolint:vartime (offline PKG setup; the one-time master-key reduction is not an online path)
 func SetupWithMaster(pp *pairing.Params, s *big.Int, msgLen int) (*PKG, error) {
 	if msgLen <= 0 {
 		return nil, fmt.Errorf("bf: message length %d must be positive", msgLen)
@@ -333,6 +335,8 @@ func MaskSigma(sigma []byte, n int) []byte {
 }
 
 // DeriveR is the H3 oracle: r = H3(σ, M) ∈ [1, q).
+//
+//cryptolint:vartime (big.Int hash-to-scalar reduction; the digest width hides the value and the bias is negligible)
 func DeriveR(sigma, msg []byte, q *big.Int) *big.Int {
 	payload := make([]byte, 0, 8+len(sigma)+len(msg))
 	var lenPrefix [8]byte
@@ -372,6 +376,7 @@ func xorBytes(a, b []byte) []byte {
 	return out
 }
 
+//cryptolint:vartime (rejection-free big.Int scalar sampling; rand.Int is variable-time by nature)
 func randScalar(rng io.Reader, q *big.Int) (*big.Int, error) {
 	r, err := rand.Int(orDefaultRand(rng), new(big.Int).Sub(q, big.NewInt(1)))
 	if err != nil {

@@ -44,7 +44,7 @@ type PublicKey struct {
 //
 //cryptolint:secret
 type PrivateKey struct {
-	Public *PublicKey
+	Public *PublicKey //cryptolint:public (the public key)
 	X      *big.Int
 }
 
@@ -59,6 +59,8 @@ func GenerateKey(rng io.Reader, pp *pairing.Params) (*PrivateKey, error) {
 
 // KeyFromScalar builds a key pair from an explicit scalar (used by the
 // mediated scheme's trusted dealer, which must know both halves' sum).
+//
+//cryptolint:vartime (offline dealing at the TA; the one-time reduction mod q is not an online path)
 func KeyFromScalar(pp *pairing.Params, x *big.Int) (*PrivateKey, error) {
 	xm := new(big.Int).Mod(x, pp.Q())
 	if xm.Sign() == 0 {

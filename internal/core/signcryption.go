@@ -101,7 +101,7 @@ func (sc *Signcrypter) Designcrypt(recipient *UserKeyHalf, senderID string, send
 		return nil, fmt.Errorf("%w: short block", ErrDesigncrypt)
 	}
 	msgLen := int(block[0])<<8 | int(block[1])
-	if msgLen > sc.MaxMessageLen() || 2+msgLen+sigLen > len(block) {
+	if msgLen > sc.MaxMessageLen() || 2+msgLen+sigLen > len(block) { //cryptolint:public (framing validation on the recovered plaintext; the length is revealed by design)
 		return nil, fmt.Errorf("%w: malformed framing", ErrDesigncrypt)
 	}
 	msg := bytes.Clone(block[2 : 2+msgLen])

@@ -330,7 +330,7 @@ func (p *ThresholdParams) VerifyShareProof(id string, u *curve.Point, ds *Decryp
 		return err
 	}
 	e := proofChallenge(pp.Q(), ds.G, pubPair, ds.Proof.W1, ds.Proof.W2)
-	if e.Cmp(ds.Proof.E) != 0 {
+	if e.Cmp(ds.Proof.E) != 0 { //cryptolint:public (Fiat–Shamir challenge check; the proof and challenge are public values)
 		return fmt.Errorf("%w: challenge mismatch (player %d)", ErrProofInvalid, ds.Index)
 	}
 	rho, err := mathx.RandomFieldElement(rand.Reader, pp.Q())

@@ -18,6 +18,8 @@
 // public keys) get radix-2^w fixed-base tables via Precomputed. The affine
 // double-and-add ladder survives as ScalarMulBinary, the differential-test
 // oracle and ablation baseline.
+//
+//cryptolint:vartime (big.Int affine/Jacobian backend; constant-time execution is the fp limb backend's contract)
 package curve
 
 import (
@@ -48,12 +50,14 @@ var (
 // prime subgroup order q and cofactor c = (p+1)/q. Immutable and safe for
 // concurrent use after construction.
 type Curve struct {
-	p *big.Int // field characteristic, p ≡ 3 (mod 4)
-	q *big.Int // prime order of the working subgroup G1
-	c *big.Int // cofactor, p + 1 = q·c
+	p *big.Int //cryptolint:public (curve parameters)
+	q *big.Int //cryptolint:public (curve parameters)
+	c *big.Int //cryptolint:public (curve parameters)
 
 	// limb caches the lazily built internal/fp backend and the constants
 	// the limb kernels derive from the (immutable) parameters; see limb.go.
+	//
+	//cryptolint:public (derived from public curve parameters)
 	limb struct {
 		once    sync.Once
 		F       *fp.Field
@@ -100,7 +104,7 @@ func (c *Curve) CoordinateSize() int { return (c.p.BitLen() + 7) / 8 }
 // Point is a point of E(F_p) in affine coordinates, or the point at
 // infinity. Points are immutable: all group operations return new points.
 type Point struct {
-	curve *Curve
+	curve *Curve //cryptolint:public (curve parameters)
 	x, y  *big.Int
 	inf   bool
 
@@ -454,7 +458,7 @@ func (c *Curve) Unmarshal(data []byte) (*Point, error) {
 		}
 		return c.NewPoint(x, y)
 	default:
-		return nil, fmt.Errorf("curve: unknown compression tag 0x%02x", data[0])
+		return nil, fmt.Errorf("curve: unknown compression tag 0x%02x", data[0]) //cryptolint:public (the format tag byte, not coordinate material)
 	}
 }
 

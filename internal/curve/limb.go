@@ -89,6 +89,8 @@ func newLimbJac(F *fp.Field) limbJac {
 }
 
 // setAffine loads the Montgomery-form affine point (ax, ay) with Z = 1.
+//
+//cryptolint:hotpath
 func (v *limbJac) setAffine(F *fp.Field, ax, ay []uint64) {
 	F.Set(v.x, ax)
 	F.Set(v.y, ay)
@@ -110,6 +112,8 @@ func newLjScratch(F *fp.Field) *ljScratch {
 
 // ljDouble sets v = 2v in place — the limb transcription of jacDouble
 // (a = 1: M = 3X² + Z⁴). The 2-torsion case degenerates to Z' = 2YZ = 0.
+//
+//cryptolint:hotpath
 func ljDouble(F *fp.Field, v *limbJac, s *ljScratch) {
 	if F.IsZero(v.z) {
 		return
@@ -157,6 +161,8 @@ func ljDouble(F *fp.Field, v *limbJac, s *ljScratch) {
 // ljAddMixed sets v = v + (ax, ay) in place for a Montgomery-form affine
 // non-identity point, with the same degenerate handling as jacAddMixed:
 // v = O loads the point, v = A doubles, v = −A yields O.
+//
+//cryptolint:hotpath
 func ljAddMixed(F *fp.Field, v *limbJac, ax, ay []uint64, s *ljScratch) {
 	if F.IsZero(v.z) {
 		v.setAffine(F, ax, ay)
@@ -211,6 +217,8 @@ func ljAddMixed(F *fp.Field, v *limbJac, ax, ay []uint64, s *ljScratch) {
 // bucket-sum and window-merge additions, where neither side is affine).
 // Standard Z1Z1/Z2Z2 formulas; v = u degenerates to a doubling, v = −u
 // to the identity.
+//
+//cryptolint:hotpath
 func ljAdd(F *fp.Field, v, u *limbJac, s *ljScratch) {
 	if F.IsZero(u.z) {
 		return
@@ -280,6 +288,8 @@ func ljAdd(F *fp.Field, v, u *limbJac, s *ljScratch) {
 // multiplications per point. prefix is a caller-owned slab of at least
 // len(pts) field elements reused across calls. Identity points are left
 // untouched (Z stays 0).
+//
+//cryptolint:hotpath
 func ljBatchNormalize(F *fp.Field, pts []limbJac, prefix [][]uint64, s *ljScratch) error {
 	acc := s.t1
 	F.SetOne(acc)

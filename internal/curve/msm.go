@@ -87,6 +87,8 @@ func scalarWords(k *big.Int) []uint64 {
 }
 
 // windowDigit extracts b bits of words starting at bit position bit.
+//
+//cryptolint:hotpath
 func windowDigit(words []uint64, bit, b int) uint64 {
 	wi := bit >> 6
 	if wi >= len(words) {

@@ -156,9 +156,9 @@ func (pt *Point) ScalarMulBinary(k *big.Int) *Point {
 // comb storing d·2^(wj)·base for every window j and digit d ∈ [1, 2^w−1].
 // Immutable and safe for concurrent use after construction.
 type Precomputed struct {
-	curve   *Curve
+	curve   *Curve //cryptolint:public (curve parameters)
 	base    *Point
-	order   *big.Int // scalars are reduced modulo this (the point's order)
+	order   *big.Int //cryptolint:public (the point's public order)
 	w       uint
 	windows int
 	table   [][]*Point // table[j][d-1] = d·2^(wj)·base

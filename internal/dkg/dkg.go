@@ -19,6 +19,8 @@
 // core.ThresholdParams consumes — so the existing share verification,
 // robustness proofs and recombination machinery work unchanged on DKG
 // output.
+//
+//cryptolint:vartime (big.Int polynomial arithmetic over F_q; the dealing round is an offline operation)
 package dkg
 
 import (
@@ -50,11 +52,11 @@ var (
 //
 //cryptolint:secret
 type Participant struct {
-	pp    *pairing.Params
+	pp    *pairing.Params //cryptolint:public (system parameters)
 	index int
 	t, n  int
 	poly  *shamir.Polynomial
-	comms []*curve.Point
+	comms []*curve.Point //cryptolint:public (broadcast Feldman commitments)
 }
 
 // NewParticipant creates player index's dealing: a random polynomial and

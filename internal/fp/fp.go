@@ -123,6 +123,8 @@ func (f *Field) P() *big.Int { return new(big.Int).Set(f.pBig) }
 func (f *Field) NewElt() []uint64 { return make([]uint64, f.n) }
 
 // SetZero sets z = 0.
+//
+//cryptolint:hotpath
 func (f *Field) SetZero(z []uint64) {
 	for i := range z {
 		z[i] = 0
@@ -130,43 +132,55 @@ func (f *Field) SetZero(z []uint64) {
 }
 
 // SetOne sets z = 1 (Montgomery form R mod p).
+//
+//cryptolint:hotpath
 func (f *Field) SetOne(z []uint64) { copy(z, f.one) }
 
 // Set copies x into z.
+//
+//cryptolint:hotpath
 func (f *Field) Set(z, x []uint64) { copy(z, x) }
 
 // IsZero reports whether x = 0, accumulating over all limbs before the
 // final collapse (no data-dependent early exit).
+//
+//cryptolint:hotpath
 func (f *Field) IsZero(x []uint64) bool {
 	var acc uint64
 	for i := 0; i < f.n; i++ {
 		acc |= x[i]
 	}
-	return acc == 0
+	return acc == 0 //cryptolint:public (branch-free accumulator collapse; the bool verdict is the API)
 }
 
 // IsOne reports whether x = 1 (branch-free over the limbs).
+//
+//cryptolint:hotpath
 func (f *Field) IsOne(x []uint64) bool {
 	var acc uint64
 	for i := 0; i < f.n; i++ {
 		acc |= x[i] ^ f.one[i]
 	}
-	return acc == 0
+	return acc == 0 //cryptolint:public (branch-free accumulator collapse; the bool verdict is the API)
 }
 
 // Equal reports whether x = y. Like IsZero it XOR-accumulates every limb
 // pair before collapsing, so timing is independent of where the vectors
 // first differ.
+//
+//cryptolint:hotpath
 func (f *Field) Equal(x, y []uint64) bool {
 	var acc uint64
 	for i := 0; i < f.n; i++ {
 		acc |= x[i] ^ y[i]
 	}
-	return acc == 0
+	return acc == 0 //cryptolint:public (branch-free accumulator collapse; the bool verdict is the API)
 }
 
 // Select sets z = x if v = 1 and z = y if v = 0, in constant time
 // (crypto/subtle's ConstantTimeSelect lifted to limb vectors).
+//
+//cryptolint:hotpath
 func Select(z, x, y []uint64, v int) {
 	m := uint64(0) - uint64(v&1)
 	for i := range z {
@@ -181,6 +195,8 @@ func nonzeroMask(v uint64) uint64 {
 
 // ctSelect folds the CIOS/Add tail: z[i] = keep[i] if mask is all-ones,
 // else z[i] unchanged (z already holds the other candidate).
+//
+//cryptolint:hotpath
 func ctSelect(z, keep []uint64, mask uint64) {
 	for i := range z {
 		z[i] = (keep[i] & mask) | (z[i] &^ mask)
@@ -189,6 +205,8 @@ func ctSelect(z, keep []uint64, mask uint64) {
 
 // Add sets z = x + y mod p. Aliasing of z with x or y is allowed (all
 // linear ops here are single-pass with carries in registers).
+//
+//cryptolint:hotpath
 func (f *Field) Add(z, x, y []uint64) {
 	n := f.n
 	var sb [MaxLimbs]uint64
@@ -208,9 +226,13 @@ func (f *Field) Add(z, x, y []uint64) {
 }
 
 // Double sets z = 2x mod p.
+//
+//cryptolint:hotpath
 func (f *Field) Double(z, x []uint64) { f.Add(z, x, x) }
 
 // Sub sets z = x − y mod p (aliasing allowed).
+//
+//cryptolint:hotpath
 func (f *Field) Sub(z, x, y []uint64) {
 	n := f.n
 	var b uint64
@@ -226,6 +248,8 @@ func (f *Field) Sub(z, x, y []uint64) {
 }
 
 // Neg sets z = −x mod p (0 maps to 0).
+//
+//cryptolint:hotpath
 func (f *Field) Neg(z, x []uint64) {
 	n := f.n
 	var acc uint64
@@ -242,6 +266,8 @@ func (f *Field) Neg(z, x []uint64) {
 
 // madd returns the high and low words of a·b + c + d. The sum cannot
 // overflow 128 bits: (2^64−1)² + 2·(2^64−1) = 2^128 − 1.
+//
+//cryptolint:hotpath
 func madd(a, b, c, d uint64) (hi, lo uint64) {
 	hi, lo = bits.Mul64(a, b)
 	var carry uint64
@@ -256,6 +282,8 @@ func madd(a, b, c, d uint64) (hi, lo uint64) {
 // multiplication when all three live in Montgomery form. Aliasing of z
 // with x and/or y is allowed. Dispatches to the unrolled 8-limb path for
 // the paper shape; any other width takes the generic CIOS fallback.
+//
+//cryptolint:hotpath
 func (f *Field) Mul(z, x, y []uint64) {
 	if f.n == 8 {
 		f.montMul8(z, x, y)
@@ -265,11 +293,15 @@ func (f *Field) Mul(z, x, y []uint64) {
 }
 
 // Square sets z = x²·R⁻¹ mod p.
+//
+//cryptolint:hotpath
 func (f *Field) Square(z, x []uint64) { f.Mul(z, x, x) }
 
 // montMulGeneric is CIOS Montgomery multiplication for any width up to
 // MaxLimbs: one fused pass interleaving the product accumulation of x·y[i]
 // with the reduction step that cancels the lowest live limb.
+//
+//cryptolint:hotpath
 func (f *Field) montMulGeneric(z, x, y []uint64) {
 	n := f.n
 	p := f.p
@@ -312,7 +344,7 @@ func (f *Field) montMulGeneric(z, x, y []uint64) {
 // loading, hashing, deserialization) and the only fp entry point fed by
 // math/big values.
 func (f *Field) FromBig(z []uint64, x *big.Int) error {
-	if x.Sign() < 0 || x.Cmp(f.pBig) >= 0 {
+	if x.Sign() < 0 || x.Cmp(f.pBig) >= 0 { //cryptolint:public (range-validity check against the public modulus at the sanctioned big.Int edge)
 		return fmt.Errorf("fp: FromBig input out of range [0, p)")
 	}
 	limbsFromBig(z, x)
@@ -335,6 +367,8 @@ func (f *Field) ToBig(x []uint64) *big.Int {
 // Exp sets z = x^e mod p (Montgomery in, Montgomery out) by MSB-first
 // square-and-multiply. The bit pattern of e is treated as public — the
 // only in-repo exponent is the modulus-derived p−2 of Inv.
+//
+//cryptolint:hotpath
 func (f *Field) Exp(z, x []uint64, e *big.Int) {
 	n := f.n
 	var rb, bb [MaxLimbs]uint64
@@ -355,6 +389,8 @@ func (f *Field) Exp(z, x []uint64, e *big.Int) {
 // The exponent ladder is fixed by the public modulus, so unlike the
 // extended-Euclidean big.Int.ModInverse it has no secret-dependent
 // branching or allocation.
+//
+//cryptolint:hotpath
 func (f *Field) Inv(z, x []uint64) error {
 	if f.IsZero(x) {
 		return ErrNotInvertible
@@ -386,6 +422,8 @@ func (f *Field) InvVarTime(z, x []uint64) error {
 func (f *Field) Lazy() bool { return f.lazy }
 
 // mulWide sets t (2n limbs) = x·y, full product, no reduction.
+//
+//cryptolint:hotpath
 func (f *Field) mulWide(t, x, y []uint64) {
 	n := f.n
 	for i := 0; i < 2*n; i++ {
@@ -398,6 +436,8 @@ func (f *Field) mulWide(t, x, y []uint64) {
 
 // addMulVVW sets z += x·y for a single word y and returns the carry out of
 // the top; len(x) = len(z).
+//
+//cryptolint:hotpath
 func addMulVVW(z, x []uint64, y uint64) (carry uint64) {
 	for i := 0; i < len(z); i++ {
 		hi, lo := bits.Mul64(x[i], y)
@@ -414,6 +454,8 @@ func addMulVVW(z, x []uint64, y uint64) (carry uint64) {
 // 2n-limb accumulator t < p·R, destroying t. This is the REDC half of a
 // Montgomery multiplication, split out so the F_p² tower can sum several
 // wide products first and reduce once.
+//
+//cryptolint:hotpath
 func (f *Field) reduceWide(z, t []uint64) {
 	n := f.n
 	p := f.p
@@ -437,6 +479,8 @@ func (f *Field) reduceWide(z, t []uint64) {
 
 // addWide sets t += u over 2n limbs (caller guarantees no overflow; all
 // lazy-path sums are bounded below p·R < 2^(128n)/4).
+//
+//cryptolint:hotpath
 func addWide(t, u []uint64) {
 	var c uint64
 	for i := 0; i < len(t); i++ {
@@ -445,6 +489,8 @@ func addWide(t, u []uint64) {
 }
 
 // subWide sets t −= u over 2n limbs (caller guarantees t ≥ u).
+//
+//cryptolint:hotpath
 func subWide(t, u []uint64) {
 	var b uint64
 	for i := 0; i < len(t); i++ {
@@ -469,6 +515,8 @@ func subWide(t, u []uint64) {
 // reductions against schoolbook's four multiplications.
 //
 // Any of zr, zi may alias any input coordinate.
+//
+//cryptolint:hotpath
 func (f *Field) MulFp2(zr, zi, ar, ai, br, bi []uint64) {
 	n := f.n
 	var sb1, sb2 [MaxLimbs]uint64
@@ -518,6 +566,8 @@ func (f *Field) MulFp2(zr, zi, ar, ai, br, bi []uint64) {
 // SquareFp2 computes (zr + zi·i) = (ar + ai·i)² via
 // (a+bi)² = (a+b)(a−b) + (2ab)i — two base multiplications. Outputs may
 // alias inputs.
+//
+//cryptolint:hotpath
 func (f *Field) SquareFp2(zr, zi, ar, ai []uint64) {
 	n := f.n
 	var sb, db, rb [MaxLimbs]uint64

@@ -13,6 +13,8 @@ import "math/bits"
 
 // montMul8 is montMulGeneric with every dimension fixed at 8 limbs.
 // z = x·y·R⁻¹ mod p; aliasing of z with x and/or y is allowed.
+//
+//cryptolint:hotpath
 func (f *Field) montMul8(z, x, y []uint64) {
 	xp := (*[8]uint64)(x)
 	yp := (*[8]uint64)(y)

@@ -17,6 +17,8 @@
 // *Element write into the receiver and return it (math/big style), so
 // chains like e.Mul(x, y).Square(e) work, and no method retains references
 // to argument internals.
+//
+//cryptolint:vartime (big.Int extension-field backend; the constant-time GT path is the fp limb backend)
 package gf
 
 import (
@@ -33,10 +35,10 @@ var ErrNotInvertible = errors.New("gf: zero element is not invertible")
 // Field describes F_p² for a fixed prime p ≡ 3 (mod 4). A Field value is
 // immutable after construction and safe for concurrent use.
 type Field struct {
-	p    *big.Int
-	fp   *fp.Field
-	size int      // bytes per serialized coordinate
-	one  []uint64 // 1 in Montgomery form, for SquareUnitary
+	p    *big.Int  //cryptolint:public (field parameters)
+	fp   *fp.Field //cryptolint:public (field parameters)
+	size int       // bytes per serialized coordinate
+	one  []uint64  // 1 in Montgomery form, for SquareUnitary
 }
 
 // NewField constructs the quadratic extension over the prime p.
@@ -312,7 +314,7 @@ func (e *Element) Inverse(x *Element) (*Element, error) {
 // A negative k is rejected; invert first when needed.
 func (e *Element) Exp(x *Element, k *big.Int) (*Element, error) {
 	if k.Sign() < 0 {
-		return nil, fmt.Errorf("gf: negative exponent %v", k)
+		return nil, errors.New("gf: negative exponent")
 	}
 	result := x.f.One()
 	base := x.Copy()

@@ -17,6 +17,8 @@
 // The exponent d = φ(n)/4 splits additively exactly like the mRSA
 // exponent: d = d_user + d_sem (mod φ(n)), and the two half-results
 // multiply — so the SEM architecture transfers verbatim.
+//
+//cryptolint:vartime (legacy math/big scheme implementation; the limb discipline does not apply)
 package gm
 
 import (
@@ -51,7 +53,7 @@ type PublicKey struct {
 //
 //cryptolint:secret
 type PrivateKey struct {
-	Public *PublicKey
+	Public *PublicKey //cryptolint:public (the public key)
 	D      *big.Int
 	Phi    *big.Int
 }

@@ -130,7 +130,7 @@ func (s *System) RSAPublicKey(id string) (*mrsa.PublicKey, error) {
 		return nil, fmt.Errorf("keyfile: system has no RSA modulus")
 	}
 	return &mrsa.PublicKey{
-		N: new(big.Int).SetBytes(s.RSAModulus),
+		N: new(big.Int).SetBytes(s.RSAModulus), //cryptolint:public (sanctioned keyfile serialization edge; the modulus is public)
 		E: mrsa.IdentityExponent(id),
 	}, nil
 }
@@ -175,7 +175,7 @@ func (u *User) GDHUserKey(pp *pairing.Params) (*core.GDHUserKey, error) {
 	}
 	return &core.GDHUserKey{
 		ID:     u.ID,
-		X:      new(big.Int).SetBytes(u.GDHHalf),
+		X:      new(big.Int).SetBytes(u.GDHHalf), //cryptolint:public (sanctioned keyfile serialization edge)
 		Public: &bls.PublicKey{Pairing: pp, R: r},
 	}, nil
 }
@@ -189,8 +189,8 @@ func (u *User) RSAUserKey(sys *System) (*mrsa.HalfKey, error) {
 		return nil, fmt.Errorf("keyfile: system has no RSA modulus")
 	}
 	return &mrsa.HalfKey{
-		N:    new(big.Int).SetBytes(sys.RSAModulus),
-		Half: new(big.Int).SetBytes(u.RSAHalf),
+		N:    new(big.Int).SetBytes(sys.RSAModulus), //cryptolint:public (sanctioned keyfile serialization edge; the modulus is public)
+		Half: new(big.Int).SetBytes(u.RSAHalf),      //cryptolint:public (sanctioned keyfile serialization edge)
 	}, nil
 }
 
@@ -207,13 +207,13 @@ func (st *SEMStore) BuildSEMs(sys *System, reg *core.Registry) (*core.IBESEM, *c
 	for id, raw := range st.IBE {
 		d, err := pp.Curve().Unmarshal(raw)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("SEM IBE half for %q: %w", id, err)
+			return nil, nil, nil, fmt.Errorf("SEM IBE half for %q: %w", id, err) //cryptolint:public (the identity label, not the key half)
 		}
 		ibe.Register(&core.SEMKeyHalf{ID: id, D: d})
 	}
 	gdh := core.NewGDHSEM(pp, reg)
 	for id, raw := range st.GDH {
-		gdh.Register(&core.GDHSEMKey{ID: id, X: new(big.Int).SetBytes(raw)})
+		gdh.Register(&core.GDHSEMKey{ID: id, X: new(big.Int).SetBytes(raw)}) //cryptolint:public (sanctioned keyfile serialization edge)
 	}
 	var rsa *core.RSASEM
 	if len(st.RSA) > 0 {
@@ -221,9 +221,9 @@ func (st *SEMStore) BuildSEMs(sys *System, reg *core.Registry) (*core.IBESEM, *c
 			return nil, nil, nil, fmt.Errorf("keyfile: SEM store has RSA halves but system has no modulus")
 		}
 		rsa = core.NewRSASEM(reg)
-		n := new(big.Int).SetBytes(sys.RSAModulus)
+		n := new(big.Int).SetBytes(sys.RSAModulus) //cryptolint:public (sanctioned keyfile serialization edge; the modulus is public)
 		for id, raw := range st.RSA {
-			rsa.Register(id, &mrsa.HalfKey{N: new(big.Int).Set(n), Half: new(big.Int).SetBytes(raw)})
+			rsa.Register(id, &mrsa.HalfKey{N: new(big.Int).Set(n), Half: new(big.Int).SetBytes(raw)}) //cryptolint:public (sanctioned keyfile serialization edge)
 		}
 	}
 	return ibe, gdh, rsa, nil

@@ -62,7 +62,7 @@ func (pf *PlayerFile) KeyShares(params *core.ThresholdParams) ([]*core.KeyShare,
 	for id, raw := range pf.Shares {
 		d, err := pp.Curve().Unmarshal(raw)
 		if err != nil {
-			return nil, fmt.Errorf("share for %q: %w", id, err)
+			return nil, fmt.Errorf("share for %q: %w", id, err) //cryptolint:public (the share-holder label, not the share)
 		}
 		out = append(out, &core.KeyShare{ID: id, Index: pf.Index, D: d})
 	}

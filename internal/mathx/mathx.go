@@ -4,6 +4,8 @@
 //
 // Everything operates on math/big integers; callers own the values they pass
 // in and receive fresh values back (no aliasing of inputs).
+//
+//cryptolint:vartime (big.Int utility arithmetic (prime generation, CRT, sampling); timing is accepted as value-dependent)
 package mathx
 
 import (
@@ -83,7 +85,7 @@ func InverseMod(x, m *big.Int) (*big.Int, error) {
 // RandomInRange returns a uniform random integer in [min, max).
 func RandomInRange(rng io.Reader, min, max *big.Int) (*big.Int, error) {
 	if min.Cmp(max) >= 0 {
-		return nil, fmt.Errorf("mathx: empty range [%v, %v)", min, max)
+		return nil, errors.New("mathx: empty range: min >= max")
 	}
 	span := new(big.Int).Sub(max, min)
 	r, err := rand.Int(rng, span)

@@ -8,6 +8,8 @@
 // None of this is intended for production use — it exists so the mediated
 // pairing schemes can be benchmarked against exactly the baseline the paper
 // compares with, using the same measurement harness.
+//
+//cryptolint:vartime (legacy math/big scheme implementation; the limb discipline does not apply)
 package mrsa
 
 import (

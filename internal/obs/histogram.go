@@ -60,6 +60,8 @@ type Histogram struct {
 }
 
 // Observe records one duration. Negative durations record as zero.
+//
+//cryptolint:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return
@@ -75,6 +77,8 @@ func (h *Histogram) Observe(d time.Duration) {
 
 // Since records the time elapsed since start; the idiomatic call is
 // `defer h.Since(time.Now())`.
+//
+//cryptolint:hotpath
 func (h *Histogram) Since(start time.Time) {
 	h.Observe(time.Since(start))
 }

@@ -53,10 +53,10 @@ func toMont(F *fp.Field, v *big.Int) []uint64 {
 // entire walk runs on internal/fp with no big.Int arithmetic and no heap
 // allocation per step.
 type millerVars struct {
-	F       *fp.Field
-	xP, yP  []uint64 // affine base point P
-	X, Y, Z []uint64 // running point V (Jacobian)
-	one     []uint64 // 1 in Montgomery form
+	F       *fp.Field //cryptolint:public (field parameters)
+	xP, yP  []uint64  // affine base point P
+	X, Y, Z []uint64  // running point V (Jacobian)
+	one     []uint64  // 1 in Montgomery form
 
 	t1, t2, t3, t4, t5, t6 []uint64
 }
@@ -86,6 +86,8 @@ func newMillerVars(F *fp.Field, pt *curve.Point) *millerVars {
 // Derivation (V = (X, Y, Z), M = 3X² + Z⁴, Z₃ = 2YZ, tangent scaled by
 // 2YZ³): l = [M·X − 2Y² + M·Z²·x_Q] + [Z₃·Z²·y_Q]·i, so
 // a = M·X − 2Y², b = M·Z², c = Z₃·Z².
+//
+//cryptolint:hotpath
 func (m *millerVars) doubleStep(a, b, c []uint64) bool {
 	F := m.F
 	if F.IsZero(m.Z) {
@@ -147,6 +149,8 @@ func (m *millerVars) doubleStep(a, b, c []uint64) bool {
 // Generic chord (H = x_P·Z² − X, R = y_P·Z³ − Y, Z₃ = ZH, chord scaled by
 // Z₃): l = [R·x_P − Z₃·y_P + R·x_Q] + [Z₃·y_Q]·i, so a = R·x_P − Z₃·y_P,
 // b = R, c = Z₃.
+//
+//cryptolint:hotpath
 func (m *millerVars) addStep(a, b, c []uint64) bool {
 	F := m.F
 	if F.IsZero(m.Z) {
@@ -362,7 +366,7 @@ type fixedStep struct {
 // is valid for every Q. Immutable and safe for concurrent use after
 // construction. Memory: two field elements per recorded line, ~2·|q| lines.
 type FixedPair struct {
-	pp    *Params
+	pp    *Params //cryptolint:public (system parameters)
 	steps []fixedStep
 }
 

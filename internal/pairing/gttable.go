@@ -15,7 +15,7 @@ import (
 // same base for a given recipient — exactly the shape this table serves.
 // Immutable and safe for concurrent use after construction.
 type GTTable struct {
-	q       *big.Int
+	q       *big.Int //cryptolint:public (the subgroup order)
 	w       uint
 	windows int
 	table   [][]*gf.Element // table[j][d-1] = g^(d·2^(wj))

@@ -19,6 +19,8 @@
 //     exists for the ablation benchmark and as a cross-check oracle in tests.
 //   - Final exponentiation: f^(p−1) = conj(f)/f (Frobenius on F_p² is
 //     conjugation), then one square-and-multiply by (p+1)/q.
+//
+//cryptolint:vartime (big.Int Miller loop and GT arithmetic; constant-time execution is the fp limb backend's contract)
 package pairing
 
 import (
@@ -42,18 +44,18 @@ var ErrDegenerate = errors.New("pairing: degenerate (identity) pairing value")
 // Immutable (the generator table is built lazily under a sync.Once) and safe
 // for concurrent use.
 type Params struct {
-	curve    *curve.Curve
-	field    *gf.Field
-	gen      *curve.Point
-	expTail  *big.Int // (p+1)/q, the second stage of the final exponentiation
+	curve    *curve.Curve //cryptolint:public (system parameters)
+	field    *gf.Field    //cryptolint:public (system parameters)
+	gen      *curve.Point //cryptolint:public (system parameters)
+	expTail  *big.Int     //cryptolint:public (derived from public p and q)
 	qBits    int
 	security string
 
 	genTabOnce sync.Once
-	genTab     *curve.Precomputed // fixed-base comb for gen, built on first GeneratorMul
+	genTab     *curve.Precomputed //cryptolint:public (comb for the public generator)
 
 	genFPOnce sync.Once
-	genFP     *FixedPair // fixed-argument Miller program for gen, built on first PairWithGenerator
+	genFP     *FixedPair //cryptolint:public (Miller program for the public generator)
 }
 
 // Generate creates fresh pairing parameters with a qBits-bit prime group
@@ -464,7 +466,7 @@ func tangentSlope(v *curve.Point, p *big.Int) (*big.Int, error) {
 	num.Mod(num, p)
 	den := new(big.Int).Lsh(v.Y(), 1)
 	if den.ModInverse(den, p) == nil {
-		return nil, fmt.Errorf("%w: 2·y_V = %v (mod %v)", ErrBadSlope, new(big.Int).Lsh(v.Y(), 1), p)
+		return nil, fmt.Errorf("%w: 2·y_V not invertible mod p", ErrBadSlope)
 	}
 	num.Mul(num, den)
 	num.Mod(num, p)
@@ -475,7 +477,7 @@ func chordSlope(v, w *curve.Point, p *big.Int) (*big.Int, error) {
 	num := new(big.Int).Sub(w.Y(), v.Y())
 	den := new(big.Int).Sub(w.X(), v.X())
 	if den.ModInverse(den, p) == nil {
-		return nil, fmt.Errorf("%w: x_W − x_V = %v (mod %v)", ErrBadSlope, new(big.Int).Sub(w.X(), v.X()), p)
+		return nil, fmt.Errorf("%w: x_W − x_V not invertible mod p", ErrBadSlope)
 	}
 	num.Mul(num, den)
 	num.Mod(num, p)

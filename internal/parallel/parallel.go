@@ -22,6 +22,7 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -66,12 +67,38 @@ func Fan(n int, fn func(i int)) {
 	})
 }
 
+// WorkerPanic wraps a panic recovered on a fan worker goroutine. FanChunks
+// re-raises it on the caller's goroutine, so the panic surfaces at the call
+// site like a sequential panic would — but by then the worker's own stack
+// is gone, so the wrapper carries a runtime.Stack snapshot taken inside the
+// panicking worker. It implements error so a recover()-and-report layer can
+// treat it uniformly; Error and String include the worker stack.
+type WorkerPanic struct {
+	// Value is the value the worker's chunk panicked with.
+	Value any
+	// Stack is the panicking worker's stack trace, captured by
+	// runtime.Stack at recovery, with the kernel frames that caused the
+	// panic still on it.
+	Stack []byte
+}
+
+// Error renders the original panic value followed by the worker stack.
+func (wp *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n\nworker stack:\n%s", wp.Value, wp.Stack)
+}
+
+// String makes the worker stack visible when the re-raised panic is
+// printed by the runtime's crash handler.
+func (wp *WorkerPanic) String() string { return wp.Error() }
+
 // FanChunks splits [0, n) into one contiguous chunk per worker and runs
-// chunk(lo, hi) for each, returning when every chunk has completed. chunk
-// must not panic: every caller lives in a package whose exported API the
-// nopanic analyzer keeps panic-free, so a worker panic is a kernel bug and
-// gets Go's default unrecovered-goroutine crash (full stack, fail fast)
-// rather than a recover that could mask it.
+// chunk(lo, hi) for each, returning when every chunk has completed. A
+// panicking chunk is a kernel bug: the first worker panic is captured with
+// its goroutine's stack and re-raised on the caller's goroutine as a
+// *WorkerPanic after all workers have stopped, so the failure points at
+// the offending kernel frame instead of crashing the process from an
+// anonymous goroutine. On the inline single-worker path the chunk panics
+// straight through with its stack intact.
 func FanChunks(n int, chunk func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -86,18 +113,29 @@ func FanChunks(n int, chunk func(lo, hi int)) {
 		chunk(0, n)
 		return
 	}
+	var first atomic.Pointer[WorkerPanic]
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
 		lo, hi := k*n/w, (k+1)*n/w
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					buf := make([]byte, 64<<10)
+					buf = buf[:runtime.Stack(buf, false)]
+					first.CompareAndSwap(nil, &WorkerPanic{Value: v, Stack: buf})
+				}
+			}()
 			poolCounters.active.Add(1)
 			defer poolCounters.active.Add(-1)
 			chunk(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if wp := first.Load(); wp != nil {
+		panic(wp) //cryptolint:panic-ok (deliberate re-raise of a worker panic on the caller's goroutine)
+	}
 }
 
 // PoolStats is a snapshot of the fan counters.

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -78,4 +79,55 @@ func TestStatsAdvance(t *testing.T) {
 	if after.Workers <= before.Workers {
 		t.Errorf("worker count did not advance: %d -> %d", before.Workers, after.Workers)
 	}
+}
+
+// explodeAt panics from a named helper so the test can assert the worker
+// frame survives into the re-raised panic.
+func explodeAt(i int) int {
+	if i >= 0 {
+		panic("kernel bug at index")
+	}
+	return i
+}
+
+func TestWorkerPanicCarriesWorkerStack(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4)) // force the parallel path
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("worker panic was not re-raised on the caller goroutine")
+		}
+		wp, ok := v.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("re-raised panic is %T (%v), want *WorkerPanic", v, v)
+		}
+		if wp.Value != "kernel bug at index" {
+			t.Errorf("Value = %v, want the original panic value", wp.Value)
+		}
+		if !strings.Contains(string(wp.Stack), "explodeAt") {
+			t.Errorf("worker stack does not contain the panicking frame explodeAt:\n%s", wp.Stack)
+		}
+		if !strings.Contains(wp.Error(), "explodeAt") {
+			t.Error("Error() does not render the worker stack")
+		}
+	}()
+	FanChunks(64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			explodeAt(i)
+		}
+	})
+}
+
+func TestInlinePanicPassesThrough(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1)) // force the inline path
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("inline panic did not propagate")
+		}
+		if _, wrapped := v.(*WorkerPanic); wrapped {
+			t.Fatal("inline path wrapped the panic; it should pass through with the caller stack intact")
+		}
+	}()
+	FanChunks(4, func(lo, hi int) { explodeAt(lo) })
 }

@@ -20,6 +20,8 @@
 // the exponentiation land on ±x; the SAEP redundancy then picks the sign.
 // Signers loop a counter until the full-domain hash is an actual QR
 // (checkable after the root computation: s² ≟ h), expected two attempts.
+//
+//cryptolint:vartime (legacy math/big scheme implementation; the limb discipline does not apply)
 package rabin
 
 import (
@@ -71,7 +73,7 @@ type PublicKey struct {
 //
 //cryptolint:secret
 type PrivateKey struct {
-	Public *PublicKey
+	Public *PublicKey //cryptolint:public (the public key)
 	D      *big.Int
 	Phi    *big.Int
 }

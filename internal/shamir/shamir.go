@@ -7,6 +7,8 @@
 // with player i holding f(i). The package also produces the public
 // verification vector {f(i)·P} that lets players check
 // Σ λ_i·P_pub^(i) = P_pub for any t-subset before accepting their shares.
+//
+//cryptolint:vartime (big.Int secret sharing over F_q; dealing and reconstruction are offline operations)
 package shamir
 
 import (
@@ -45,7 +47,7 @@ type Share struct {
 //
 //cryptolint:secret
 type Polynomial struct {
-	q      *big.Int
+	q      *big.Int   //cryptolint:public (the field modulus)
 	coeffs []*big.Int // coeffs[0] = secret
 }
 

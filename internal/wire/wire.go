@@ -103,7 +103,7 @@ func UnmarshalScalar(data []byte, max *big.Int) (*big.Int, error) {
 		return nil, fmt.Errorf("%w: scalar encoding %d bytes exceeds bound width %d", ErrProtocol, len(data), maxLen)
 	}
 	x := new(big.Int).SetBytes(data)
-	if x.Cmp(max) >= 0 {
+	if x.Cmp(max) >= 0 { //cryptolint:public (range-validity check against the public bound at the wire edge)
 		return nil, fmt.Errorf("%w: scalar out of range (%d bits, bound %d bits)", ErrProtocol, x.BitLen(), max.BitLen())
 	}
 	return x, nil
@@ -132,7 +132,7 @@ func UnmarshalGT(pp *pairing.Params, data []byte) (*pairing.GT, error) {
 func PackInts(xs []*big.Int) ([]byte, error) {
 	var buf bytes.Buffer
 	for _, x := range xs {
-		b := x.Bytes()
+		b := x.Bytes() //cryptolint:public (sanctioned wire serialization edge)
 		if len(b) > 0xFFFF {
 			return nil, fmt.Errorf("wire: element too large (%d bytes)", len(b))
 		}
