@@ -8,6 +8,7 @@
 //	medcli -system deploy/system.json encrypt -to bob@example.com <plain.txt >ct.b64
 //	medcli -system deploy/system.json -user deploy/users/bob_at_example.com.json \
 //	       -sem 127.0.0.1:7300 decrypt <ct.b64 >plain.txt
+//	medcli ... decrypt -batch <cts.b64lines >plain.b64lines
 //	medcli ... sign <doc.txt >sig.b64
 //	medcli -system ... verify -id alice@example.com -sig sig.b64 <doc.txt
 //	medcli -sem ... revoke -id bob@example.com -reason "left the company"
@@ -18,13 +19,19 @@
 package main
 
 import (
+	"bufio"
 	"encoding/base64"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/bf"
+	"repro/internal/core"
+	"repro/internal/curve"
 	"repro/internal/keyfile"
 	"repro/internal/sem"
 	"repro/internal/wire"
@@ -149,7 +156,12 @@ func (c *cli) encrypt(args []string, stdin io.Reader, stdout io.Writer) error {
 	return err
 }
 
-func (c *cli) decrypt(_ []string, stdin io.Reader, stdout io.Writer) error {
+func (c *cli) decrypt(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("decrypt", flag.ContinueOnError)
+	batch := fs.Bool("batch", false, "read one base64 ciphertext per line, fetch all tokens in one protocol-v2 frame, write one base64 plaintext per line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if c.user == nil {
 		return fmt.Errorf("decrypt: pass -user <credential file>")
 	}
@@ -157,16 +169,7 @@ func (c *cli) decrypt(_ []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pp := pub.Pairing
-	raw, err := readBase64(stdin)
-	if err != nil {
-		return err
-	}
-	ct, err := pub.UnmarshalCiphertext(raw)
-	if err != nil {
-		return err
-	}
-	userKey, err := c.user.IBEUserKey(pp)
+	userKey, err := c.user.IBEUserKey(pub.Pairing)
 	if err != nil {
 		return err
 	}
@@ -175,6 +178,17 @@ func (c *cli) decrypt(_ []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	defer func() { _ = client.Close() }()
+	if *batch {
+		return c.decryptBatch(pub, userKey, client, stdin, stdout)
+	}
+	raw, err := readBase64(stdin)
+	if err != nil {
+		return err
+	}
+	ct, err := pub.UnmarshalCiphertext(raw)
+	if err != nil {
+		return err
+	}
 	padded, err := client.DecryptIBE(pub, userKey, ct)
 	if err != nil {
 		return err
@@ -185,6 +199,78 @@ func (c *cli) decrypt(_ []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	_, err = stdout.Write(msg)
 	return err
+}
+
+// decryptBatch decrypts one base64 ciphertext per input line, requesting
+// all the SEM tokens in a single batched round trip. Plaintexts come out
+// base64-encoded one per line so binary messages stay line-aligned with
+// their inputs; a failed line prints as "ERROR <reason>" and the command
+// exits nonzero after processing every line.
+func (c *cli) decryptBatch(pub *bf.PublicParams, userKey *core.UserKeyHalf, client *sem.Client, stdin io.Reader, stdout io.Writer) error {
+	var cts []*bf.Ciphertext
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		raw, err := base64.StdEncoding.DecodeString(line)
+		if err != nil {
+			return fmt.Errorf("line %d: decode base64 input: %w", lineNo, err)
+		}
+		ct, err := pub.UnmarshalCiphertext(raw)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		cts = append(cts, ct)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(cts) == 0 {
+		return fmt.Errorf("decrypt -batch: no ciphertexts on stdin")
+	}
+	ids := make([]string, len(cts))
+	us := make([]*curve.Point, len(cts))
+	for i, ct := range cts {
+		ids[i] = userKey.ID
+		us[i] = ct.U
+	}
+	tokens, errs, err := client.TokenBatch(ids, us)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for i, ct := range cts {
+		if errs[i] != nil {
+			failed++
+			if _, err := fmt.Fprintf(stdout, "ERROR %v\n", errs[i]); err != nil {
+				return err
+			}
+			continue
+		}
+		padded, err := core.UserDecrypt(pub, userKey, ct, tokens[i])
+		if err == nil {
+			var msg []byte
+			if msg, err = unpad(padded); err == nil {
+				if _, werr := fmt.Fprintln(stdout, base64.StdEncoding.EncodeToString(msg)); werr != nil {
+					return werr
+				}
+				continue
+			}
+		}
+		failed++
+		if _, werr := fmt.Fprintf(stdout, "ERROR %v\n", err); werr != nil {
+			return werr
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("decrypt -batch: %d of %d ciphertexts failed", failed, len(cts))
+	}
+	return nil
 }
 
 func (c *cli) sign(_ []string, stdin io.Reader, stdout io.Writer) error {
@@ -306,7 +392,13 @@ func (c *cli) list(stdout io.Writer) error {
 	defer func() { _ = client.Close() }()
 	entries, err := client.ListRevoked()
 	if err != nil {
-		return err
+		// A partially-invalid list still carries every entry the server
+		// sent intact: print what survived and warn instead of failing
+		// the whole administrative query.
+		if !errors.Is(err, sem.ErrPartialList) {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "medcli: warning:", err)
 	}
 	if len(entries) == 0 {
 		_, err = fmt.Fprintln(stdout, "no revoked identities")

@@ -45,6 +45,8 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 		preRevoke = fs.String("revoked", "", "comma-separated identities to revoke at startup")
 		journalFn = fs.String("journal", "", "revocation journal file: persists revocations across restarts")
 		debugAddr = fs.String("debug-addr", "", "HTTP debug listener (Prometheus /metrics, /metrics.json, /debug/pprof); empty disables")
+		maxBatch  = fs.Int("max-batch", 0, "protocol-v2 items per frame announced to clients (0 = default)")
+		maxFrame  = fs.Int("max-frame", 0, "per-connection frame size cap in bytes, both protocol versions (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +112,8 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 		Pairing:  pp,
 		Logf:     log.Printf,
 		Metrics:  metrics,
+		MaxBatch: *maxBatch,
+		MaxFrame: *maxFrame,
 	})
 	if err != nil {
 		return err

@@ -1,18 +1,23 @@
 package bench
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/json"
 	"fmt"
 	"math"
 	"math/big"
+	"net"
 	"runtime"
 	"time"
 
 	"repro/internal/bf"
 	"repro/internal/bls"
+	"repro/internal/core"
 	"repro/internal/curve"
 	"repro/internal/pairing"
+	"repro/internal/sem"
+	"repro/internal/wire"
 )
 
 // BaselineEntry is one timed primitive in a baseline snapshot.
@@ -121,6 +126,51 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 		mpQs[i] = msmPts[2*i+1]
 	}
 
+	// Protocol-v2 codec fixtures: a 64-item request frame round-tripped
+	// through preallocated encoder/decoder state. These are the committed
+	// zero-alloc gate on the wire hot path — their AllocsPerOp entries must
+	// stay at exactly 0.
+	const codecK = 64
+	codecItems := make([]wire.ReqItem, codecK)
+	codecPayload := make([]byte, 64)
+	for i := range codecItems {
+		codecItems[i] = wire.ReqItem{ID: []byte(id), Payload: codecPayload}
+	}
+	var codecEnc wire.FrameEncoder
+	var codecDec wire.FrameDecoder
+	codecFrame, err := codecEnc.EncodeRequest(1, codecItems, 0)
+	if err != nil {
+		return nil, err
+	}
+	codecReader := bytes.NewReader(codecFrame)
+
+	// v1 comparator: the JSON-per-op frame the v2 codec replaces. One
+	// request per frame, measured per op so wire.v1.* ÷ (wire.v2.*/64) is
+	// the committed wire-path speedup.
+	v1Req := &sem.Request{Op: sem.OpIBEToken, ID: id, Payload: codecPayload}
+	var v1Buf bytes.Buffer
+	if _, err := wire.WriteFrame(&v1Buf, v1Req); err != nil {
+		return nil, err
+	}
+	v1Frame := append([]byte(nil), v1Buf.Bytes()...)
+	v1Reader := bytes.NewReader(v1Frame)
+
+	// SEM protocol fixtures: a live loopback daemon serving the IBE token
+	// op, measured one request per round trip (v1-era cost model) and 64
+	// requests per v2 batch frame. The committed pair documents the
+	// batching speedup and gates it against regression.
+	semWorld, err := newBaselineSEM(pp, id)
+	if err != nil {
+		return nil, err
+	}
+	defer semWorld.close()
+	semIDs := make([]string, codecK)
+	semUs := make([]*curve.Point, codecK)
+	for i := range semIDs {
+		semIDs[i] = id
+		semUs[i] = ct.U
+	}
+
 	// batchVerifySequential replays the pre-Pippenger batch loop through the
 	// public API — full-order ScalarMul subgroup checks and per-member
 	// accumulation — as the committed comparator for batchverify.256.
@@ -218,6 +268,42 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 			_, err := pp.MultiPair(mpPs, mpQs)
 			return err
 		}},
+		{"wire.v1.encode", func() error {
+			v1Buf.Reset()
+			_, err := wire.WriteFrame(&v1Buf, v1Req)
+			return err
+		}},
+		{"wire.v1.decode", func() error {
+			v1Reader.Reset(v1Frame)
+			var req sem.Request
+			_, err := wire.ReadFrame(v1Reader, &req)
+			return err
+		}},
+		{"wire.v2.encode.64", func() error {
+			_, err := codecEnc.EncodeRequest(1, codecItems, 0)
+			return err
+		}},
+		{"wire.v2.decode.64", func() error {
+			codecReader.Reset(codecFrame)
+			_, _, _, err := codecDec.ReadRequest(codecReader, 0, 0)
+			return err
+		}},
+		{"sem.token.single", func() error {
+			_, err := semWorld.client.IBEToken(id, ct.U)
+			return err
+		}},
+		{"sem.token.batch64", func() error {
+			_, errs, err := semWorld.client.TokenBatch(semIDs, semUs)
+			if err != nil {
+				return err
+			}
+			for _, e := range errs {
+				if e != nil {
+					return e
+				}
+			}
+			return nil
+		}},
 	}
 
 	report := &BaselineReport{
@@ -229,6 +315,13 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 	}
 	var m0, m1 runtime.MemStats
 	for _, body := range bodies {
+		// One unmeasured warm-up call so lazily-built shared state (comb
+		// tables, window recodings, connection buffers) lands outside the
+		// counted window — with few -quick iterations its one-time
+		// allocations would otherwise smear the per-op allocs column.
+		if err := body.run(); err != nil {
+			return nil, fmt.Errorf("baseline %s (warm-up): %w", body.name, err)
+		}
 		iters, batch := 0, 1
 		runtime.ReadMemStats(&m0)
 		start := time.Now()
@@ -263,6 +356,48 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 		})
 	}
 	return report, nil
+}
+
+// baselineSEM is the minimal live SEM deployment behind the sem.token.*
+// baseline entries: one loopback daemon serving the mediated-IBE token op
+// for a single enrolled identity, and one connected (v2-negotiated) client.
+type baselineSEM struct {
+	server *sem.Server
+	client *sem.Client
+}
+
+func newBaselineSEM(pp *pairing.Params, id string) (*baselineSEM, error) {
+	reg := core.NewRegistry()
+	mpkg, err := core.NewMediatedPKG(rand.Reader, pp, 32)
+	if err != nil {
+		return nil, err
+	}
+	ibeSEM := core.NewIBESEM(mpkg.Public(), reg)
+	_, semHalf, err := mpkg.SplitExtract(rand.Reader, id)
+	if err != nil {
+		return nil, err
+	}
+	ibeSEM.Register(semHalf)
+	srv, err := sem.NewServer(sem.Config{Registry: reg, IBE: ibeSEM, Pairing: pp})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	client, err := sem.Dial(ln.Addr().String(), pp, 10*time.Second)
+	if err != nil {
+		_ = srv.Close()
+		return nil, err
+	}
+	return &baselineSEM{server: srv, client: client}, nil
+}
+
+func (b *baselineSEM) close() {
+	_ = b.client.Close()
+	_ = b.server.Close()
 }
 
 // JSON renders the report with stable formatting for committing to the repo.

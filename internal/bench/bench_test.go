@@ -248,8 +248,8 @@ func TestThroughputSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 3 {
-		t.Fatalf("F3 has %d rows, want 3", len(tbl.Rows))
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("F3 has %d rows, want 6 (three single ops + three 64-batches)", len(tbl.Rows))
 	}
 	for _, row := range tbl.Rows {
 		rate, err := strconv.ParseFloat(row[2], 64)
@@ -299,4 +299,34 @@ func TestExtensionsTable(t *testing.T) {
 			t.Errorf("row %v has zero timing", row)
 		}
 	}
+}
+
+// TestBatchVsSingleThroughput is the committed form of the PR's central
+// claim: serving k requests per protocol-v2 frame beats k single-op round
+// trips. Run over toy parameters so the comparison is framing-dominated.
+func TestBatchVsSingleThroughput(t *testing.T) {
+	w := testWorld(t, true)
+	tbl, err := Throughput(w, ThroughputConfig{Clients: []int{1}, Duration: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{}
+	for _, row := range tbl.Rows {
+		rate, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		rates[row[0]] = rate
+	}
+	single, batch := rates["ibe-token"], rates["ibe-token-batch64"]
+	if single <= 0 || batch <= 0 {
+		t.Fatalf("missing rates: %v", rates)
+	}
+	// On a loaded or race-instrumented single-core runner the two rates
+	// converge (the crypto dominates both); the guarded property is that
+	// batching never becomes materially slower, so allow 15% jitter.
+	if batch < 0.85*single {
+		t.Fatalf("batch token rate %.0f/s below single-op rate %.0f/s", batch, single)
+	}
+	t.Logf("ibe-token: single %.0f/s, batch64 %.0f/s (%.1fx)", single, batch, batch/single)
 }

@@ -34,9 +34,10 @@ var (
 
 // request is one recombiner → player message.
 type request struct {
-	Op string `json:"op"` // "share" | "ping"
-	ID string `json:"id,omitempty"`
-	U  []byte `json:"u,omitempty"` // compressed ciphertext point
+	Op string   `json:"op"` // "share" | "shares" | "ping"
+	ID string   `json:"id,omitempty"`
+	U  []byte   `json:"u,omitempty"`  // compressed ciphertext point ("share")
+	Us [][]byte `json:"us,omitempty"` // batched ciphertext points ("shares")
 }
 
 // proofWire serializes a core.ShareProof.
@@ -49,11 +50,12 @@ type proofWire struct {
 
 // response is one player → recombiner message.
 type response struct {
-	OK    bool       `json:"ok"`
-	Error string     `json:"error,omitempty"`
-	Index int        `json:"index,omitempty"`
-	G     []byte     `json:"g,omitempty"`
-	Proof *proofWire `json:"proof,omitempty"`
+	OK     bool        `json:"ok"`
+	Error  string      `json:"error,omitempty"`
+	Index  int         `json:"index,omitempty"`
+	G      []byte      `json:"g,omitempty"`
+	Proof  *proofWire  `json:"proof,omitempty"`
+	Shares []shareItem `json:"shares,omitempty"` // batched "shares" results
 }
 
 // PlayerServer is one decryption server of the cluster. Safe for
@@ -230,6 +232,15 @@ func (p *PlayerServer) dispatch(req *request) *response {
 		p.shareRequests.Inc()
 		start := time.Now()
 		resp := p.shareResponse(req)
+		p.shareTime.Observe(time.Since(start))
+		if !resp.OK {
+			p.shareErrors.Inc()
+		}
+		return resp
+	case "shares":
+		p.shareRequests.Add(uint64(len(req.Us)))
+		start := time.Now()
+		resp := p.sharesResponse(req)
 		p.shareTime.Observe(time.Since(start))
 		if !resp.OK {
 			p.shareErrors.Inc()

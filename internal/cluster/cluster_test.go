@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bf"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pairing"
@@ -281,5 +282,107 @@ func TestRecombinerMetrics(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("recombiner metrics missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// encryptBatch produces k distinct ciphertexts for ident.
+func encryptBatch(t *testing.T, d *deployment, k int) ([][]byte, []*bf.BasicCiphertext) {
+	t.Helper()
+	msgs := make([][]byte, k)
+	cs := make([]*bf.BasicCiphertext, k)
+	for i := 0; i < k; i++ {
+		msgs[i] = bytes.Repeat([]byte{byte(0x50 + i)}, msgLen)
+		c, err := d.params.Public.EncryptBasic(rand.Reader, ident, msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[i] = c
+	}
+	return msgs, cs
+}
+
+func TestClusterBatchDecryption(t *testing.T) {
+	d := deploy(t)
+	r := d.recombiner(t)
+	msgs, cs := encryptBatch(t, d, 4)
+	got, rejected, err := r.DecryptBatch(ident, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejected) != 0 {
+		t.Fatalf("rejected = %v with all players honest", rejected)
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("ciphertext %d: decrypted %x, want %x", i, got[i], msgs[i])
+		}
+	}
+	// The empty batch is a no-op.
+	if got, rejected, err := r.DecryptBatch(ident, nil); got != nil || rejected != nil || err != nil {
+		t.Fatalf("empty batch: %v %v %v", got, rejected, err)
+	}
+}
+
+func TestClusterBatchToleratesByzantinePlayer(t *testing.T) {
+	d := deploy(t)
+	// Player 3 corrupts every share in the batch.
+	d.players[2].SetMisbehaviour(func(ds *core.DecryptionShare) *core.DecryptionShare {
+		return &core.DecryptionShare{Index: ds.Index, G: ds.G.Mul(ds.G), Proof: ds.Proof}
+	})
+	r := d.recombiner(t)
+	msgs, cs := encryptBatch(t, d, 3)
+	got, rejected, err := r.DecryptBatch(ident, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejected) != 1 || rejected[0] != 3 {
+		t.Fatalf("rejected = %v, want [3]", rejected)
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("byzantine-tolerant batch decryption failed at %d", i)
+		}
+	}
+}
+
+func TestClusterBatchFailsBelowThreshold(t *testing.T) {
+	d := deploy(t)
+	for _, i := range []int{0, 1, 2} {
+		_ = d.players[i].Close()
+	}
+	r := d.recombiner(t)
+	_, cs := encryptBatch(t, d, 2)
+	if _, _, err := r.DecryptBatch(ident, cs); !errors.Is(err, ErrNotEnoughShares) {
+		t.Fatalf("sub-threshold batch decrypted: %v", err)
+	}
+}
+
+// TestClusterSharesOpPartialMalformed drives the raw batched op: one
+// malformed ciphertext point fails only its own slot.
+func TestClusterSharesOpPartialMalformed(t *testing.T) {
+	d := deploy(t)
+	msgs, cs := encryptBatch(t, d, 2)
+	_ = msgs
+	conn, err := net.Dial("tcp", d.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	us := [][]byte{cs[0].U.Marshal(), {1, 2}, cs[1].U.Marshal()}
+	if _, err := writeFrameForTest(conn, &request{Op: "shares", ID: ident, Us: us}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if _, err := readFrameForTest(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || len(resp.Shares) != 3 {
+		t.Fatalf("shares response = %+v", resp)
+	}
+	if !resp.Shares[0].OK || !resp.Shares[2].OK {
+		t.Fatal("valid slots failed")
+	}
+	if resp.Shares[1].OK || !strings.Contains(resp.Shares[1].Error, "bad ciphertext point") {
+		t.Fatalf("malformed slot = %+v", resp.Shares[1])
 	}
 }

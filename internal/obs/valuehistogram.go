@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// ValueHistogram bucket layout. The latency histogram's buckets start at
+// 1024 (nanoseconds below a microsecond are uninteresting), but raw values
+// such as batch sizes start at 1 — so the value layout keeps the same
+// four-sub-buckets-per-octave scheme with its own range: exact buckets up
+// to 2^vhMinBits and log-linear growth to 2^vhMaxBits (~17 G), far above
+// any frame size the wire layer can negotiate.
+const (
+	vhMinBits = 3  // buckets 0..8 are exact: one per value 0..2^vhMinBits
+	vhMaxBits = 34 // overflow above ~17e9
+	vhSubBits = 2  // 4 sub-buckets per octave
+	vhSub     = 1 << vhSubBits
+
+	// vhNumBuckets = exact region + 4 per octave + overflow.
+	vhNumBuckets = (1 << vhMinBits) + 1 + (vhMaxBits-vhMinBits)*vhSub + 1
+)
+
+// vhBounds[i] is the inclusive upper bound of bucket i; the final overflow
+// bucket is unbounded.
+var vhBounds = func() [vhNumBuckets - 1]uint64 {
+	var b [vhNumBuckets - 1]uint64
+	for i := 0; i <= 1<<vhMinBits; i++ {
+		b[i] = uint64(i)
+	}
+	for i := (1 << vhMinBits) + 1; i < len(b); i++ {
+		k := i - (1 << vhMinBits) // 1-based sub-bucket rank past the exact region
+		octave := vhMinBits + (k-1)/vhSub
+		sub := uint64((k-1)%vhSub) + 1
+		b[i] = 1<<octave + sub<<(octave-vhSubBits)
+	}
+	return b
+}()
+
+// vhBucketIndex maps a value to its bucket.
+func vhBucketIndex(v uint64) int {
+	if v <= 1<<vhMinBits {
+		return int(v)
+	}
+	if v > 1<<vhMaxBits {
+		return vhNumBuckets - 1
+	}
+	// Values in (2^o, 2^(o+1)] land in octave o; bounds are inclusive, so
+	// index off v−1.
+	octave := bits.Len64(v-1) - 1
+	sub := ((v - 1) >> (uint(octave) - vhSubBits)) & (vhSub - 1)
+	return 1<<vhMinBits + 1 + (octave-vhMinBits)*vhSub + int(sub)
+}
+
+// ValueHistogram is a log-bucketed histogram over raw non-negative values
+// (batch sizes, frame bytes) rather than durations: small values bucket
+// exactly and larger ones log-linearly, and exposition renders bounds and
+// sums as plain numbers instead of seconds. The zero value is ready to
+// use; Observe is safe for concurrent use, lock-free and allocation-free.
+type ValueHistogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [vhNumBuckets]atomic.Uint64
+}
+
+// Observe records one value. Negative values record as zero.
+//
+//cryptolint:hotpath
+func (h *ValueHistogram) Observe(v int) {
+	if h == nil {
+		return
+	}
+	u := uint64(0)
+	if v > 0 {
+		u = uint64(v)
+	}
+	h.count.Add(1)
+	h.sum.Add(u)
+	h.buckets[vhBucketIndex(u)].Add(1)
+}
+
+// ValueHistogramSnapshot is a point-in-time copy of a value histogram's
+// state, with the same cross-bucket skew caveat as HistogramSnapshot.
+type ValueHistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	buckets [vhNumBuckets]uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *ValueHistogram) Snapshot() ValueHistogramSnapshot {
+	var s ValueHistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) as the upper bound of
+// the bucket holding that rank — exact for values up to 2^vhMinBits and a
+// conservative overestimate within one sub-bucket beyond. Returns 0 for an
+// empty histogram; ranks in the overflow bucket report the largest tracked
+// bound.
+func (s ValueHistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank > 0 {
+		rank--
+	}
+	var cum uint64
+	for i, c := range s.buckets {
+		cum += c
+		if cum > rank {
+			if i >= len(vhBounds) {
+				break
+			}
+			return vhBounds[i]
+		}
+	}
+	return vhBounds[len(vhBounds)-1]
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s ValueHistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// ValueHistogram registers (or finds) a raw-value histogram series.
+func (r *Registry) ValueHistogram(name, help string, labels ...Label) *ValueHistogram {
+	c := r.register(kindHistogram, name, help, labels, func() collector { return new(ValueHistogram) })
+	if h, ok := c.(*ValueHistogram); ok {
+		return h
+	}
+	return new(ValueHistogram)
+}
+
+func (h *ValueHistogram) writeProm(w io.Writer, name, labels string) error {
+	s := h.Snapshot()
+	open := "{"
+	if labels != "" {
+		open = labels[:len(labels)-1] + ","
+	}
+	var cum uint64
+	for i, bound := range vhBounds {
+		c := s.buckets[i]
+		cum += c
+		if c == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"%d\"} %d\n", name, open, bound, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+	return err
+}
+
+func (h *ValueHistogram) jsonValue() any {
+	s := h.Snapshot()
+	return map[string]any{
+		"count": s.Count,
+		"sum":   s.Sum,
+		"mean":  s.Mean(),
+		"p50":   s.Quantile(0.50),
+		"p95":   s.Quantile(0.95),
+		"p99":   s.Quantile(0.99),
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValueHistogramBasics(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.ValueHistogram("sem_batch_size", "ops per v2 frame")
+	for i := 1; i <= 64; i++ {
+		h.Observe(i)
+	}
+	h.Observe(-5) // clamps to 0
+
+	s := h.Snapshot()
+	if s.Count != 65 {
+		t.Fatalf("count = %d, want 65", s.Count)
+	}
+	if want := uint64(64 * 65 / 2); s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+	if m := s.Mean(); m <= 0 || m > 64 {
+		t.Fatalf("mean = %v out of range", m)
+	}
+	// Median of 0,1..64 is 32; the bucket upper bound may overshoot by one
+	// sub-bucket (~25% at this magnitude).
+	if q := s.Quantile(0.5); q < 32 || q > 48 {
+		t.Fatalf("p50 = %d, want within [32,48]", q)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Raw-value rendering: integral le bounds and an integral sum, never
+	// the seconds scaling of the latency histogram.
+	if !strings.Contains(out, "sem_batch_size_count 65") {
+		t.Fatalf("missing count line:\n%s", out)
+	}
+	if !strings.Contains(out, "sem_batch_size_sum 2080") {
+		t.Fatalf("sum not rendered raw:\n%s", out)
+	}
+	if !strings.Contains(out, `sem_batch_size_bucket{le="+Inf"} 65`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if strings.Contains(out, `le="1.024e-06"`) {
+		t.Fatalf("value histogram rendered with seconds bounds:\n%s", out)
+	}
+}
+
+func TestValueHistogramNilAndZeroAlloc(t *testing.T) {
+	var nilH *ValueHistogram
+	nilH.Observe(7) // must not panic
+	if s := nilH.Snapshot(); s.Count != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+
+	h := new(ValueHistogram)
+	if n := testing.AllocsPerRun(200, func() { h.Observe(4096) }); n != 0 {
+		t.Fatalf("Observe allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestValueHistogramLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.ValueHistogram("sem_frame_bytes", "frame sizes", Label{Key: "dir", Value: "rx"}).Observe(900)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `sem_frame_bytes_bucket{dir="rx",le="1024"} 1`) {
+		t.Fatalf("labelled bucket line missing or mis-rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `sem_frame_bytes_count{dir="rx"} 1`) {
+		t.Fatalf("labelled count line missing:\n%s", out)
+	}
+}

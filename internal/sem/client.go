@@ -35,10 +35,24 @@ import (
 // default 30s), so a hung or glacial SEM fails the call instead of
 // stalling the caller forever — Dial's timeout only ever covered the
 // connection attempt.
+//
+// Protocol version: a client constructed by Dial/NewClient negotiates the
+// binary v2 protocol on first use (preamble + ack, then binary frames and
+// batch support within the server's announced limits). NewClientV1/DialV1
+// construct a JSON-only client for servers predating v2 — the server
+// serves both on one listener, so this is strictly a compatibility knob.
 type Client struct {
 	mu        sync.Mutex
 	conn      net.Conn
 	opTimeout time.Duration
+
+	// Protocol state, guarded by mu.
+	version    int // 0 until negotiated, then 1 or 2
+	maxBatch   int // server's announced per-frame item cap (v2)
+	maxFrame   int // server's announced frame cap (v2)
+	enc        wire.FrameEncoder
+	dec        wire.FrameDecoder
+	reqScratch []wire.ReqItem
 
 	pairing *pairing.Params
 
@@ -82,7 +96,8 @@ func Dial(addr string, pp *pairing.Params, timeout time.Duration) (*Client, erro
 	return NewClient(conn, pp), nil
 }
 
-// NewClient wraps an established connection (tests use net.Pipe).
+// NewClient wraps an established connection (tests use net.Pipe). The
+// first operation negotiates protocol v2 with the server.
 func NewClient(conn net.Conn, pp *pairing.Params) *Client {
 	return &Client{
 		conn:      conn,
@@ -90,6 +105,67 @@ func NewClient(conn net.Conn, pp *pairing.Params) *Client {
 		pairing:   pp,
 		stats:     make(map[Op]*opStats),
 	}
+}
+
+// DialV1 connects to a SEM daemon speaking only the v1 JSON protocol.
+func DialV1(addr string, pp *pairing.Params, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial SEM: %w", err)
+	}
+	return NewClientV1(conn, pp), nil
+}
+
+// NewClientV1 wraps an established connection with the legacy JSON
+// protocol pinned — no preamble is sent, every op is one JSON frame.
+// Batch methods still work, executed as sequential round trips.
+func NewClientV1(conn net.Conn, pp *pairing.Params) *Client {
+	c := NewClient(conn, pp)
+	c.version = 1
+	c.maxFrame = wire.MaxFrame
+	return c
+}
+
+// negotiate runs the v2 preamble exchange once. Callers hold c.mu.
+func (c *Client) negotiate() error {
+	if c.version != 0 {
+		return nil
+	}
+	if c.opTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
+	if err := wire.WriteV2Hello(c.conn, wire.V2Version); err != nil {
+		return fmt.Errorf("sem: send v2 preamble: %w", err)
+	}
+	version, maxBatch, maxFrame, err := wire.ReadV2Ack(c.conn)
+	if err != nil {
+		return fmt.Errorf("sem: v2 negotiation: %w", err)
+	}
+	if version != wire.V2Version {
+		return fmt.Errorf("sem: server negotiated unsupported version %d", version)
+	}
+	c.version = 2
+	c.maxBatch = maxBatch
+	c.maxFrame = maxFrame
+	return nil
+}
+
+// Version reports the negotiated protocol version (0 before the first
+// operation of a v2-capable client).
+func (c *Client) Version() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// MaxBatch reports the server's announced per-frame batch limit (0 before
+// negotiation or on a v1 connection). Larger batches passed to the batch
+// methods are split transparently.
+func (c *Client) MaxBatch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxBatch
 }
 
 // SetOpTimeout changes the per-operation deadline applied to each round
@@ -154,20 +230,27 @@ func (c *Client) Stats() map[Op]WireStats {
 	return out
 }
 
-// roundTrip performs one request/response exchange.
+// roundTrip performs one request/response exchange over whichever protocol
+// version the connection negotiated.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.negotiate(); err != nil {
+		return nil, err
+	}
+	if c.version == 2 {
+		return c.roundTripV2(req)
+	}
 	start := time.Now()
 	if c.opTimeout > 0 {
 		_ = c.conn.SetDeadline(start.Add(c.opTimeout))
 	}
-	sent, err := writeFrame(c.conn, req)
+	sent, err := writeFrame(c.conn, req, c.maxFrame)
 	if err != nil {
 		return nil, fmt.Errorf("send %s: %w", req.Op, err)
 	}
 	var resp Response
-	recv, err := readFrame(c.conn, &resp)
+	recv, err := readFrame(c.conn, &resp, c.maxFrame)
 	if err != nil {
 		return nil, fmt.Errorf("receive %s: %w", req.Op, err)
 	}
@@ -184,6 +267,125 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, decodeError(&resp)
 	}
 	return &resp, nil
+}
+
+// v2ByteFor maps a protocol Op to its v2 op byte (0 for ops with no v2
+// encoding — there are none today).
+func v2ByteFor(op Op) byte {
+	switch op {
+	case OpIBEToken:
+		return v2OpIBEToken
+	case OpGDHSign:
+		return v2OpGDHSign
+	case OpRSADecrypt:
+		return v2OpRSADecrypt
+	case OpRSASign:
+		return v2OpRSASign
+	case OpGMDecrypt:
+		return v2OpGMDecrypt
+	case OpRevoke:
+		return v2OpRevoke
+	case OpUnrevoke:
+		return v2OpUnrevoke
+	case OpStatus:
+		return v2OpStatus
+	case OpList:
+		return v2OpList
+	case OpPing:
+		return v2OpPing
+	default:
+		return 0 // no v2 encoding; the server rejects op 0 as bad request
+	}
+}
+
+// roundTripV2 sends one request as a single-item v2 frame and converts the
+// response item back into the v1 Response shape so every public method
+// works identically across protocol versions. Callers hold c.mu.
+func (c *Client) roundTripV2(req *Request) (*Response, error) {
+	opByte := v2ByteFor(req.Op)
+	payload := req.Payload
+	if req.Op == OpRevoke {
+		payload = []byte(req.Reason)
+	}
+	if cap(c.reqScratch) < 1 {
+		c.reqScratch = make([]wire.ReqItem, 1)
+	}
+	c.reqScratch = c.reqScratch[:1]
+	c.reqScratch[0] = wire.ReqItem{ID: []byte(req.ID), Payload: payload}
+	items, err := c.exchangeV2(req.Op, opByte, c.reqScratch)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) != 1 {
+		return nil, fmt.Errorf("%w: v2 response carries %d items, want 1", ErrProtocol, len(items))
+	}
+	resp := responseFromV2(req.Op, items[0])
+	if !resp.OK {
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+// exchangeV2 writes one v2 frame and reads its response frame, updating
+// the wire accounting. The returned items alias the client's decoder and
+// are valid until the next exchange; callers hold c.mu and must convert
+// before releasing it.
+func (c *Client) exchangeV2(op Op, opByte byte, reqs []wire.ReqItem) ([]wire.RespItem, error) {
+	start := time.Now()
+	if c.opTimeout > 0 {
+		_ = c.conn.SetDeadline(start.Add(c.opTimeout))
+	}
+	frame, err := c.enc.EncodeRequest(opByte, reqs, c.maxFrame)
+	if err != nil {
+		return nil, fmt.Errorf("encode %s batch: %w", op, err)
+	}
+	if _, err := c.conn.Write(frame); err != nil {
+		return nil, fmt.Errorf("send %s: %w", op, err)
+	}
+	respOp, items, recv, err := c.dec.ReadResponse(c.conn, c.maxFrame, 0)
+	if err != nil {
+		return nil, fmt.Errorf("receive %s: %w", op, err)
+	}
+	if respOp != opByte {
+		return nil, fmt.Errorf("%w: v2 response op %#x does not match request op %#x", ErrProtocol, respOp, opByte)
+	}
+	if c.opTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	// A single-item error response to a multi-item batch is the server's
+	// frame-level refusal (over-batch / over-frame).
+	if len(reqs) != 1 && len(items) == 1 && items[0].Status != v2StatusOK {
+		return nil, decodeError(responseFromV2(op, items[0]))
+	}
+	if len(items) != len(reqs) {
+		return nil, fmt.Errorf("%w: v2 response carries %d items, want %d", ErrProtocol, len(items), len(reqs))
+	}
+	st, lat := c.getStats(op)
+	st.calls.Add(uint64(len(reqs)))
+	st.sent.Add(uint64(len(frame)))
+	st.recv.Add(uint64(recv))
+	var payloadBytes int
+	for i := range items {
+		if items[i].Status == v2StatusOK {
+			payloadBytes += len(items[i].Data)
+		}
+	}
+	st.payload.Add(uint64(payloadBytes))
+	lat.Observe(time.Since(start))
+	return items, nil
+}
+
+// responseFromV2 converts one v2 response item into the v1 Response shape.
+// The data is copied out of the decoder buffer, so the result outlives the
+// next exchange.
+func responseFromV2(op Op, item wire.RespItem) *Response {
+	if item.Status != v2StatusOK {
+		return &Response{OK: false, Code: codeForV2Status(item.Status), Error: string(item.Data)}
+	}
+	if op == OpStatus {
+		return &Response{OK: true, Revoked: len(item.Data) == 1 && item.Data[0] == 1}
+	}
+	return &Response{OK: true, Payload: bytes.Clone(item.Data)}
 }
 
 // decodeError maps protocol error codes back onto the typed core errors:
@@ -385,15 +587,212 @@ func (c *Client) Status(id string) (bool, error) {
 	return resp.Revoked, nil
 }
 
-// ListRevoked fetches the SEM's full revocation list.
+// ErrPartialList reports that ListRevoked dropped entries it could not
+// parse; the returned slice still carries every valid entry.
+var ErrPartialList = errors.New("sem: revocation list contained invalid entries")
+
+// ListRevoked fetches the SEM's full revocation list. A malformed element
+// in the server's response does not void the whole call: valid entries are
+// returned alongside an ErrPartialList error describing how many were
+// dropped, so an operator listing revocations during an incident still
+// sees everything parseable.
 func (c *Client) ListRevoked() ([]core.RevocationEntry, error) {
 	resp, err := c.roundTrip(&Request{Op: OpList})
 	if err != nil {
 		return nil, err
 	}
-	var entries []core.RevocationEntry
-	if err := json.Unmarshal(resp.Payload, &entries); err != nil {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(resp.Payload, &raw); err != nil {
 		return nil, fmt.Errorf("sem: parse revocation list: %w", err)
 	}
+	entries := make([]core.RevocationEntry, 0, len(raw))
+	dropped := 0
+	for _, el := range raw {
+		var e core.RevocationEntry
+		if err := json.Unmarshal(el, &e); err != nil || e.ID == "" {
+			dropped++
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if dropped > 0 {
+		return entries, fmt.Errorf("%w: dropped %d of %d", ErrPartialList, dropped, len(raw))
+	}
 	return entries, nil
+}
+
+// batchCall runs one op over k (id, payload) items: a single v2 frame per
+// maxBatch-sized chunk on a v2 connection, or sequential round trips on
+// v1. Results and errs are index-aligned with the inputs (errs[i] nil on
+// success); the returned error reports transport/protocol failures that
+// voided the remaining items.
+func (c *Client) batchCall(op Op, ids []string, payloads [][]byte) ([][]byte, []error, error) {
+	if len(ids) != len(payloads) {
+		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d payloads", len(ids), len(payloads))
+	}
+	results := make([][]byte, len(ids))
+	errs := make([]error, len(ids))
+	if len(ids) == 0 {
+		return results, errs, nil
+	}
+
+	c.mu.Lock()
+	if err := c.negotiate(); err != nil {
+		c.mu.Unlock()
+		return nil, nil, err
+	}
+	version := c.version
+	c.mu.Unlock()
+
+	if version != 2 {
+		// v1 fallback: the batch degrades to sequential calls so callers
+		// never need a version switch of their own.
+		for i := range ids {
+			resp, err := c.roundTrip(&Request{Op: op, ID: ids[i], Payload: payloads[i]})
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			results[i] = resp.Payload
+		}
+		return results, errs, nil
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	opByte := v2ByteFor(op)
+	for lo := 0; lo < len(ids); lo += c.maxBatch {
+		hi := lo + c.maxBatch
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		n := hi - lo
+		if cap(c.reqScratch) < n {
+			c.reqScratch = make([]wire.ReqItem, n)
+		}
+		c.reqScratch = c.reqScratch[:n]
+		for i := 0; i < n; i++ {
+			c.reqScratch[i] = wire.ReqItem{ID: []byte(ids[lo+i]), Payload: payloads[lo+i]}
+		}
+		items, err := c.exchangeV2(op, opByte, c.reqScratch)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < n; i++ {
+			if items[i].Status != v2StatusOK {
+				errs[lo+i] = decodeError(responseFromV2(op, items[i]))
+				continue
+			}
+			// The item data aliases the decoder buffer; copy it out
+			// before the next chunk overwrites it.
+			results[lo+i] = bytes.Clone(items[i].Data)
+		}
+	}
+	return results, errs, nil
+}
+
+// TokenBatch requests decryption tokens for k (id, U) pairs in one v2
+// frame (chunked to the server's negotiated batch limit) and validates the
+// returned tokens with a single batched subgroup check — the batch
+// counterpart of IBEToken. tokens and errs are index-aligned with the
+// inputs; err reports transport failures that voided the whole call.
+func (c *Client) TokenBatch(ids []string, us []*curve.Point) (tokens []*pairing.GT, errs []error, err error) {
+	if c.pairing == nil {
+		return nil, nil, errors.New("sem: client has no pairing params")
+	}
+	if len(ids) != len(us) {
+		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d points", len(ids), len(us))
+	}
+	payloads := make([][]byte, len(us))
+	for i, u := range us {
+		payloads[i] = u.Marshal()
+	}
+	raws, errs, err := c.batchCall(OpIBEToken, ids, payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Decode and validate through the batch variant of wire.UnmarshalGT:
+	// order-q membership of the whole batch costs one combined
+	// exponentiation instead of k, with per-item fallback pinpointing
+	// offenders only when something is actually bad.
+	okRaws := make([][]byte, len(raws))
+	for i, raw := range raws {
+		if errs[i] == nil {
+			okRaws[i] = raw
+		}
+	}
+	tokens, gtErrs, berr := wire.UnmarshalGTBatch(c.pairing, okRaws)
+	if berr != nil {
+		return nil, nil, fmt.Errorf("sem: batch token validation: %w", berr)
+	}
+	for i, e := range gtErrs {
+		if errs[i] == nil && e != nil {
+			errs[i] = e
+		}
+	}
+	return tokens, errs, nil
+}
+
+// GDHHalfSignBatch requests SEM half-signatures for k (id, h(M)) pairs in
+// one v2 frame — the batch counterpart of GDHHalfSign. Each returned point
+// passes the same subgroup validation as the single-op path.
+func (c *Client) GDHHalfSignBatch(ids []string, hs []*curve.Point) (halves []*curve.Point, errs []error, err error) {
+	if c.pairing == nil {
+		return nil, nil, errors.New("sem: client has no pairing params")
+	}
+	if len(ids) != len(hs) {
+		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d points", len(ids), len(hs))
+	}
+	payloads := make([][]byte, len(hs))
+	for i, h := range hs {
+		payloads[i] = h.Marshal()
+	}
+	raws, errs, err := c.batchCall(OpGDHSign, ids, payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+	halves = make([]*curve.Point, len(ids))
+	for i, raw := range raws {
+		if errs[i] != nil {
+			continue
+		}
+		pt, perr := wire.UnmarshalG1(c.pairing.Curve(), raw)
+		if perr != nil {
+			errs[i] = perr
+			continue
+		}
+		halves[i] = pt
+	}
+	return halves, errs, nil
+}
+
+// RSAHalfDecryptBatch requests m_sem = c^{d_sem} mod n for k ciphertexts
+// in one v2 frame — the batch counterpart of RSAHalfDecrypt. Responses are
+// range-checked against the public modulus like the single-op path.
+func (c *Client) RSAHalfDecryptBatch(pub *mrsa.PublicKey, ids []string, cts []*big.Int) (halves []*big.Int, errs []error, err error) {
+	if len(ids) != len(cts) {
+		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d ciphertexts", len(ids), len(cts))
+	}
+	payloads := make([][]byte, len(cts))
+	for i, ct := range cts {
+		payloads[i] = ct.Bytes() //cryptolint:public (sanctioned wire serialization edge; the ciphertext is on the wire by design)
+	}
+	raws, errs, err := c.batchCall(OpRSADecrypt, ids, payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+	halves = make([]*big.Int, len(ids))
+	for i, raw := range raws {
+		if errs[i] != nil {
+			continue
+		}
+		x, xerr := wire.UnmarshalScalar(raw, pub.N)
+		if xerr != nil {
+			errs[i] = xerr
+			continue
+		}
+		halves[i] = x
+	}
+	return halves, errs, nil
 }

@@ -42,6 +42,12 @@ type serverMetrics struct {
 	otherLat *obs.Histogram
 	otherErr *obs.Counter
 	inflight *obs.Gauge // sem_inflight_requests
+
+	connV1    *obs.Counter        // sem_connections_total{version="1"}
+	connV2    *obs.Counter        // sem_connections_total{version="2"}
+	batchSize *obs.ValueHistogram // sem_batch_size
+	rxBytes   *obs.ValueHistogram // sem_frame_bytes{dir="rx"}
+	txBytes   *obs.ValueHistogram // sem_frame_bytes{dir="tx"}
 }
 
 // newServerMetrics registers the server's series. reg may be nil (the
@@ -70,6 +76,16 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		obs.Label{Key: "code", Value: "other"})
 	m.inflight = reg.Gauge("sem_inflight_requests", "requests currently executing in the worker pool")
 
+	m.connV1 = reg.Counter("sem_connections_total", "accepted client connections, by protocol version",
+		obs.Label{Key: "version", Value: "1"})
+	m.connV2 = reg.Counter("sem_connections_total", "accepted client connections, by protocol version",
+		obs.Label{Key: "version", Value: "2"})
+	m.batchSize = reg.ValueHistogram("sem_batch_size", "ops per received v2 frame")
+	m.rxBytes = reg.ValueHistogram("sem_frame_bytes", "protocol frame sizes in bytes, by direction",
+		obs.Label{Key: "dir", Value: "rx"})
+	m.txBytes = reg.ValueHistogram("sem_frame_bytes", "protocol frame sizes in bytes, by direction",
+		obs.Label{Key: "dir", Value: "tx"})
+
 	reg.GaugeFunc("sem_queue_depth", "requests waiting in the worker-pool queue",
 		func() int64 { return int64(len(s.jobs)) })
 	reg.GaugeFunc("sem_open_connections", "live client connections",
@@ -87,6 +103,43 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	curve.RegisterMSMMetrics(reg)
 	parallel.RegisterPoolMetrics(reg)
 	return m
+}
+
+// connects counts one accepted connection of the given protocol version.
+func (m *serverMetrics) connects(version int) {
+	if m == nil {
+		return
+	}
+	if version == 2 {
+		m.connV2.Inc()
+		return
+	}
+	m.connV1.Inc()
+}
+
+// batch records the item count of one received v2 frame.
+func (m *serverMetrics) batch(n int) {
+	if m == nil {
+		return
+	}
+	m.batchSize.Observe(n)
+}
+
+// frameRx records the wire size of one received frame (0, from a failed
+// read, records nothing).
+func (m *serverMetrics) frameRx(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.rxBytes.Observe(n)
+}
+
+// frameTx records the wire size of one sent frame.
+func (m *serverMetrics) frameTx(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.txBytes.Observe(n)
 }
 
 // observe records one dispatched request. Safe on a nil receiver (servers

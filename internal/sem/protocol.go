@@ -5,9 +5,11 @@
 // exactly the "SEM remains online all the system's lifetime" deployment the
 // paper describes, with the PKG offline after enrollment.
 //
-// Wire format: 4-byte big-endian length prefix followed by a JSON body.
-// One TCP connection carries any number of sequential request/response
-// pairs. Frames are capped at 1 MiB.
+// Wire format: two protocol versions share one listener. v1 is a 4-byte
+// big-endian length prefix followed by a JSON body, one op per frame. v2
+// (see protocolv2.go) is a binary framing negotiated by a "SEM2" preamble
+// that carries batches of ops per frame with a zero-allocation codec.
+// Frames are capped per connection at Config.MaxFrame (default 1 MiB).
 package sem
 
 import (
@@ -65,8 +67,19 @@ type Response struct {
 	Revoked bool      `json:"revoked,omitempty"`
 }
 
-// maxFrame bounds a single protocol frame.
-const maxFrame = wire.MaxFrame
+// Frame limits. The per-connection cap is part of Config (MaxFrame,
+// MaxBatch) and is announced to v2 clients in the negotiation ack; these
+// are the defaults when the config leaves them zero. The frame cap is
+// bounded above by wire.V2MaxFrame so the version-sniffing byte stays
+// unambiguous.
+const (
+	// DefaultMaxFrame is the per-connection frame cap applied when
+	// Config.MaxFrame is zero.
+	DefaultMaxFrame = wire.MaxFrame
+	// DefaultMaxBatch is the per-frame batch cap applied when
+	// Config.MaxBatch is zero.
+	DefaultMaxBatch = 64
+)
 
 // Framing errors, re-exported so existing callers keep their errors.Is
 // matches.
@@ -74,13 +87,21 @@ var (
 	// ErrFrameTooLarge is returned when a peer announces an oversized frame.
 	ErrFrameTooLarge = wire.ErrFrameTooLarge
 
+	// ErrBatchTooLarge is returned when a v2 peer sends more items in one
+	// frame than the negotiated batch limit.
+	ErrBatchTooLarge = wire.ErrBatchTooLarge
+
 	// ErrProtocol is returned on malformed frames.
 	ErrProtocol = wire.ErrProtocol
 )
 
-func writeFrame(w io.Writer, v any) (int, error) { return wire.WriteFrame(w, v) }
+func writeFrame(w io.Writer, v any, maxFrame int) (int, error) {
+	return wire.WriteFrameLimit(w, v, maxFrame)
+}
 
-func readFrame(r io.Reader, v any) (int, error) { return wire.ReadFrame(r, v) }
+func readFrame(r io.Reader, v any, maxFrame int) (int, error) {
+	return wire.ReadFrameLimit(r, v, maxFrame)
+}
 
 func packInts(xs []*big.Int) ([]byte, error) { return wire.PackInts(xs) }
 

@@ -11,7 +11,7 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	req := &Request{Op: OpIBEToken, ID: "alice@example.com", Payload: []byte{1, 2, 3}}
-	sent, err := writeFrame(&buf, req)
+	sent, err := writeFrame(&buf, req, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatalf("reported %d bytes, wrote %d", sent, buf.Len())
 	}
 	var got Request
-	recv, err := readFrame(&buf, &got)
+	recv, err := readFrame(&buf, &got, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,15 +33,15 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestFrameRejectsOversized(t *testing.T) {
 	var buf bytes.Buffer
-	huge := &Request{Payload: make([]byte, maxFrame)}
-	if _, err := writeFrame(&buf, huge); !errors.Is(err, ErrFrameTooLarge) {
+	huge := &Request{Payload: make([]byte, DefaultMaxFrame)}
+	if _, err := writeFrame(&buf, huge, 0); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversized write accepted: %v", err)
 	}
 	// Oversized announced length on read.
 	buf.Reset()
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	var req Request
-	if _, err := readFrame(&buf, &req); !errors.Is(err, ErrFrameTooLarge) {
+	if _, err := readFrame(&buf, &req, 0); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversized read accepted: %v", err)
 	}
 }
@@ -51,18 +51,18 @@ func TestFrameRejectsMalformed(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0, 0, 0, 10, 'x'})
 	var req Request
-	if _, err := readFrame(&buf, &req); !errors.Is(err, ErrProtocol) {
+	if _, err := readFrame(&buf, &req, 0); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("truncated body accepted: %v", err)
 	}
 	// Non-JSON body.
 	buf.Reset()
 	buf.Write([]byte{0, 0, 0, 3, 'x', 'y', 'z'})
-	if _, err := readFrame(&buf, &req); !errors.Is(err, ErrProtocol) {
+	if _, err := readFrame(&buf, &req, 0); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("non-JSON body accepted: %v", err)
 	}
 	// Empty reader → io error, not ErrProtocol (caller treats as EOF).
 	buf.Reset()
-	if _, err := readFrame(&buf, &req); err == nil {
+	if _, err := readFrame(&buf, &req, 0); err == nil {
 		t.Fatal("empty reader accepted")
 	}
 }
@@ -75,11 +75,11 @@ func TestQuickFrameRoundTrip(t *testing.T) {
 		}
 		var buf bytes.Buffer
 		req := &Request{Op: Op(op), ID: id, Payload: payload}
-		if _, err := writeFrame(&buf, req); err != nil {
+		if _, err := writeFrame(&buf, req, 0); err != nil {
 			return false
 		}
 		var got Request
-		if _, err := readFrame(&buf, &got); err != nil {
+		if _, err := readFrame(&buf, &got, 0); err != nil {
 			return false
 		}
 		payloadEqual := bytes.Equal(got.Payload, payload) ||

@@ -1,0 +1,124 @@
+package sem
+
+import (
+	"repro/internal/wire"
+)
+
+// Protocol v2: the binary framing of internal/wire (framev2.go) carried
+// over the same listener as the v1 JSON protocol. A v2 connection opens
+// with the client preamble ("SEM2" + version); the server answers with an
+// acknowledgement carrying the negotiated per-connection limits (max batch
+// size, max frame bytes) and then speaks length-delimited binary frames
+// only. Each frame carries one op byte and up to maxBatch items, answered
+// by one in-order response frame; items within a batch execute through the
+// worker pool in one pass and their results keep request order.
+//
+// Every v1 operation has a v2 op byte. The three mediated hot ops
+// (ibe_token, gdh_half_sign, rsa_half_dec) are the reason v2 exists —
+// their items are raw compressed points / ciphertext bytes with no JSON or
+// base64 in the path — but admin traffic uses the same frames so one
+// connection never mixes protocol versions.
+const (
+	v2OpIBEToken   byte = 1  // item: id, compressed U → GT bytes
+	v2OpGDHSign    byte = 2  // item: id, compressed h(M) → compressed S_sem
+	v2OpRSADecrypt byte = 3  // item: id, c bytes → c^{d_sem} bytes
+	v2OpRSASign    byte = 4  // item: id, message → EMSA(m)^{d_sem} bytes
+	v2OpGMDecrypt  byte = 5  // item: id, packed GM elements → packed halves
+	v2OpRevoke     byte = 6  // item: id, reason bytes → empty
+	v2OpUnrevoke   byte = 7  // item: id → empty
+	v2OpStatus     byte = 8  // item: id → 1 byte (1 = revoked)
+	v2OpList       byte = 9  // item: none → JSON array of entries
+	v2OpPing       byte = 10 // item: none → empty
+)
+
+// v2 response status bytes. Zero is success; the rest mirror the v1
+// ErrorCode vocabulary so both protocol versions classify failures
+// identically.
+const (
+	v2StatusOK              byte = 0
+	v2StatusRevoked         byte = 1
+	v2StatusUnknownIdentity byte = 2
+	v2StatusBadRequest      byte = 3
+	v2StatusUnsupported     byte = 4
+	v2StatusInternal        byte = 5
+)
+
+// opForV2 maps a v2 op byte to the protocol Op ("" for unknown bytes).
+func opForV2(b byte) Op {
+	switch b {
+	case v2OpIBEToken:
+		return OpIBEToken
+	case v2OpGDHSign:
+		return OpGDHSign
+	case v2OpRSADecrypt:
+		return OpRSADecrypt
+	case v2OpRSASign:
+		return OpRSASign
+	case v2OpGMDecrypt:
+		return OpGMDecrypt
+	case v2OpRevoke:
+		return OpRevoke
+	case v2OpUnrevoke:
+		return OpUnrevoke
+	case v2OpStatus:
+		return OpStatus
+	case v2OpList:
+		return OpList
+	case v2OpPing:
+		return OpPing
+	default:
+		return ""
+	}
+}
+
+// v2StatusFor maps a response's error code to its v2 status byte.
+func v2StatusFor(resp *Response) byte {
+	if resp.OK {
+		return v2StatusOK
+	}
+	switch resp.Code {
+	case CodeRevoked:
+		return v2StatusRevoked
+	case CodeUnknownIdentity:
+		return v2StatusUnknownIdentity
+	case CodeBadRequest:
+		return v2StatusBadRequest
+	case CodeUnsupported:
+		return v2StatusUnsupported
+	default:
+		return v2StatusInternal
+	}
+}
+
+// codeForV2Status inverts v2StatusFor for the client's error mapping.
+func codeForV2Status(st byte) ErrorCode {
+	switch st {
+	case v2StatusRevoked:
+		return CodeRevoked
+	case v2StatusUnknownIdentity:
+		return CodeUnknownIdentity
+	case v2StatusBadRequest:
+		return CodeBadRequest
+	case v2StatusUnsupported:
+		return CodeUnsupported
+	default:
+		return CodeInternal
+	}
+}
+
+// v2RespItemFor converts a dispatched Response into its v2 wire item. The
+// status op folds the Revoked flag into a one-byte payload; error
+// responses carry the error message as data.
+func v2RespItemFor(op byte, resp *Response) wire.RespItem {
+	st := v2StatusFor(resp)
+	if st != v2StatusOK {
+		return wire.RespItem{Status: st, Data: []byte(resp.Error)}
+	}
+	if op == v2OpStatus {
+		if resp.Revoked {
+			return wire.RespItem{Status: v2StatusOK, Data: []byte{1}}
+		}
+		return wire.RespItem{Status: v2StatusOK, Data: []byte{0}}
+	}
+	return wire.RespItem{Status: v2StatusOK, Data: resp.Payload}
+}

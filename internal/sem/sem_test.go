@@ -361,7 +361,7 @@ func TestUnsupportedBackend(t *testing.T) {
 
 func TestFrameLimit(t *testing.T) {
 	f := newFixture(t)
-	huge := make([]byte, maxFrame+1)
+	huge := make([]byte, DefaultMaxFrame+1)
 	if _, err := f.client.roundTrip(&Request{Op: OpRSASign, ID: testID, Payload: huge}); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversized frame: %v", err)
 	}

@@ -1,0 +1,449 @@
+package sem
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/mrsa"
+	"repro/internal/wire"
+)
+
+func TestV2Negotiated(t *testing.T) {
+	f := newFixture(t)
+	if err := f.client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if v := f.client.Version(); v != 2 {
+		t.Fatalf("negotiated version %d, want 2", v)
+	}
+	if mb := f.client.MaxBatch(); mb != DefaultMaxBatch {
+		t.Fatalf("negotiated max batch %d, want %d", mb, DefaultMaxBatch)
+	}
+}
+
+// randomPoints returns n distinct order-q subgroup points for batch
+// payloads (hashed, so they pass the server's subgroup screening).
+func randomPoints(t *testing.T, f *fixture, n int) []*curve.Point {
+	t.Helper()
+	pts := make([]*curve.Point, n)
+	for i := range pts {
+		var err error
+		pts[i], err = f.pp.Curve().HashToPoint("semv2-test", []byte{byte(i), byte(i >> 8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pts
+}
+
+func TestTokenBatchMatchesSingleOps(t *testing.T) {
+	f := newFixture(t)
+	const k = 5
+	us := randomPoints(t, f, k)
+	ids := make([]string, k)
+	for i := range ids {
+		ids[i] = testID
+	}
+	tokens, errs, err := f.client.TokenBatch(ids, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatalf("item %d failed: %v", i, errs[i])
+		}
+		single, err := f.client.IBEToken(testID, us[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tokens[i].Equal(single) {
+			t.Fatalf("batch token %d differs from the single-op token", i)
+		}
+	}
+}
+
+func TestTokenBatchPartialFailures(t *testing.T) {
+	f := newFixture(t)
+	us := randomPoints(t, f, 4)
+	ids := []string{testID, "nobody@example.com", testID, "nobody@example.com"}
+	tokens, errs, err := f.client.TokenBatch(ids, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if id == testID {
+			if errs[i] != nil || tokens[i] == nil {
+				t.Fatalf("valid item %d failed: %v", i, errs[i])
+			}
+			continue
+		}
+		if !errors.Is(errs[i], core.ErrUnknownIdentity) {
+			t.Fatalf("item %d: want ErrUnknownIdentity, got %v", i, errs[i])
+		}
+		if tokens[i] != nil {
+			t.Fatalf("failed item %d still has a token", i)
+		}
+	}
+}
+
+func TestTokenBatchSplitsOverMaxBatch(t *testing.T) {
+	f := newFixture(t)
+	// Force several chunks through the negotiated limit.
+	if err := f.client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	k := f.client.MaxBatch()*2 + 3
+	us := randomPoints(t, f, k)
+	ids := make([]string, k)
+	for i := range ids {
+		ids[i] = testID
+	}
+	tokens, errs, err := f.client.TokenBatch(ids, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tokens {
+		if errs[i] != nil || tokens[i] == nil {
+			t.Fatalf("item %d of a chunked batch failed: %v", i, errs[i])
+		}
+	}
+}
+
+func TestGDHHalfSignBatch(t *testing.T) {
+	f := newFixture(t)
+	hs := randomPoints(t, f, 3)
+	ids := []string{testID, testID, testID}
+	halves, errs, err := f.client.GDHHalfSignBatch(ids, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range halves {
+		if errs[i] != nil {
+			t.Fatalf("item %d: %v", i, errs[i])
+		}
+		single, err := f.client.GDHHalfSign(testID, hs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !halves[i].Equal(single) {
+			t.Fatalf("batch half %d differs from the single-op half", i)
+		}
+	}
+}
+
+func TestRSAHalfDecryptBatch(t *testing.T) {
+	f := newFixture(t)
+	const k = 3
+	ids := make([]string, k)
+	cts := make([]*big.Int, k)
+	msgs := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		ids[i] = testID
+		msgs[i] = []byte(fmt.Sprintf("batch message %d", i))
+		raw, err := f.rsaPub.EncryptOAEP(rand.Reader, msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i], err = wire.UnmarshalScalar(raw, f.rsaPub.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	halves, errs, err := f.client.RSAHalfDecryptBatch(f.rsaPub, ids, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Combine each SEM half with the local user half and finish the OAEP
+	// decryption, matching what Client.DecryptRSA does per item.
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatalf("item %d: %v", i, errs[i])
+		}
+		combined := mrsa.Combine(f.rsaPub.N, f.rsaUser.Op(cts[i]), halves[i])
+		got, err := mrsa.FinishDecrypt(f.rsaPub, combined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msgs[i]) {
+			t.Fatalf("batch-decrypted %q, want %q", got, msgs[i])
+		}
+	}
+}
+
+// TestMixedVersionClients serves a v1 JSON client and a v2 batch client on
+// the same listener concurrently — the compat guarantee of the versioned
+// framing (run under -race in CI).
+func TestMixedVersionClients(t *testing.T) {
+	f := newFixture(t)
+
+	v1, err := DialV1(f.server.Addr().String(), f.pp, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = v1.Close() }()
+
+	const perClient = 20
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perClient; i++ {
+			u, err := f.pp.Curve().HashToPoint("semv2-v1", []byte{byte(i)})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := v1.IBEToken(testID, u); err != nil {
+				errCh <- fmt.Errorf("v1 client: %w", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		us := randomPoints(t, f, 8)
+		ids := make([]string, len(us))
+		for i := range ids {
+			ids[i] = testID
+		}
+		for i := 0; i < perClient/4; i++ {
+			_, errs, err := f.client.TokenBatch(ids, us)
+			if err != nil {
+				errCh <- fmt.Errorf("v2 client: %w", err)
+				return
+			}
+			for _, e := range errs {
+				if e != nil {
+					errCh <- fmt.Errorf("v2 item: %w", e)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if v := v1.Version(); v != 1 {
+		t.Fatalf("v1 client reports version %d", v)
+	}
+	if v := f.client.Version(); v != 2 {
+		t.Fatalf("v2 client reports version %d", v)
+	}
+}
+
+// rawV2Conn dials addr and completes the v2 handshake manually, for
+// protocol-level misbehavior tests.
+func rawV2Conn(t *testing.T, addr string, proposeVersion byte) (net.Conn, int, int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := wire.WriteV2Hello(conn, proposeVersion); err != nil {
+		t.Fatal(err)
+	}
+	version, maxBatch, maxFrame, err := wire.ReadV2Ack(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != wire.V2Version {
+		t.Fatalf("ack version %d, want %d", version, wire.V2Version)
+	}
+	return conn, maxBatch, maxFrame
+}
+
+func TestV2UnknownVersionDowngrades(t *testing.T) {
+	f := newFixture(t)
+	conn, _, _ := rawV2Conn(t, f.server.Addr().String(), 9) // proposes a future version
+	// The connection still speaks v2 after the downgrade ack.
+	var enc wire.FrameEncoder
+	frame, err := enc.EncodeRequest(v2OpPing, []wire.ReqItem{{}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	var dec wire.FrameDecoder
+	op, items, _, err := dec.ReadResponse(conn, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != v2OpPing || len(items) != 1 || items[0].Status != v2StatusOK {
+		t.Fatalf("ping after downgrade: op=%d items=%+v", op, items)
+	}
+}
+
+func TestV2OverBatchGetsTypedRefusal(t *testing.T) {
+	_, addr := newFixtureWithLimits(t, 4096, 2)
+	conn, maxBatch, _ := rawV2Conn(t, addr, wire.V2Version)
+	if maxBatch != 2 {
+		t.Fatalf("announced max batch %d, want 2", maxBatch)
+	}
+	var enc wire.FrameEncoder
+	items := []wire.ReqItem{{}, {}, {}} // 3 > 2
+	frame, err := enc.EncodeRequest(v2OpPing, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	var dec wire.FrameDecoder
+	op, resp, _, err := dec.ReadResponse(conn, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != v2OpPing || len(resp) != 1 || resp[0].Status != v2StatusBadRequest {
+		t.Fatalf("over-batch refusal: op=%d resp=%+v", op, resp)
+	}
+	// The stream stays synchronized: a conforming frame still works.
+	frame, err = enc.EncodeRequest(v2OpPing, items[:2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	_, resp, _, err = dec.ReadResponse(conn, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 2 || resp[0].Status != v2StatusOK {
+		t.Fatalf("conforming frame after refusal: %+v", resp)
+	}
+}
+
+func TestV2OversizeFrameGetsTypedRefusal(t *testing.T) {
+	_, addr := newFixtureWithLimits(t, 4096, 8)
+	conn, _, maxFrame := rawV2Conn(t, addr, wire.V2Version)
+	if maxFrame != 4096 {
+		t.Fatalf("announced max frame %d, want 4096", maxFrame)
+	}
+	var enc wire.FrameEncoder
+	oversize := []wire.ReqItem{{ID: []byte(testID), Payload: make([]byte, 8192)}}
+	frame, err := enc.EncodeRequest(v2OpRSADecrypt, oversize, 0) // beyond server cap, below wire default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	var dec wire.FrameDecoder
+	_, resp, _, err := dec.ReadResponse(conn, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 1 || resp[0].Status != v2StatusBadRequest {
+		t.Fatalf("oversize refusal: %+v", resp)
+	}
+	// An unsynchronizable stream: the server hangs up afterwards.
+	if _, _, _, err := dec.ReadResponse(conn, 0, 0); err == nil {
+		t.Fatal("connection survived an unsynchronizable oversize frame")
+	}
+}
+
+// TestV1OversizeFrameGetsTypedError covers the same refusal on the JSON
+// protocol: the server answers CodeBadRequest before hanging up instead of
+// silently dropping the connection.
+func TestV1OversizeFrameGetsTypedError(t *testing.T) {
+	_, addr := newFixtureWithLimits(t, 4096, 8)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	huge := &Request{Op: OpRSASign, ID: testID, Payload: make([]byte, 8192)}
+	if _, err := wire.WriteFrame(conn, huge); err != nil { // default 1 MiB cap on the sender
+		t.Fatal(err)
+	}
+	var resp Response
+	if _, err := wire.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != CodeBadRequest {
+		t.Fatalf("oversize v1 frame: %+v", resp)
+	}
+}
+
+// newFixtureWithLimits spins up a bare server (no crypto backends — the
+// limit tests never reach dispatch) with explicit frame/batch caps and
+// returns its address.
+func newFixtureWithLimits(t *testing.T, maxFrame, maxBatch int) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(Config{
+		Registry: core.NewRegistry(),
+		MaxFrame: maxFrame,
+		MaxBatch: maxBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// TestListRevokedPartialEntries is the regression test for the hardened
+// ListRevoked: one malformed element in the server's response must not
+// void the whole call.
+func TestListRevokedPartialEntries(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer func() { _ = cli.Close() }()
+	go func() {
+		defer func() { _ = srv.Close() }()
+		var req Request
+		if _, err := wire.ReadFrame(srv, &req); err != nil {
+			return
+		}
+		good1 := core.RevocationEntry{ID: "alice@example.com", Reason: "lost key", When: time.Now()}
+		good2 := core.RevocationEntry{ID: "carol@example.com", Reason: "left org", When: time.Now()}
+		payload, _ := json.Marshal([]any{good1, 42, map[string]string{"reason": "no id"}, good2})
+		_, _ = wire.WriteFrame(srv, &Response{OK: true, Payload: payload})
+	}()
+
+	c := NewClientV1(cli, nil)
+	c.SetOpTimeout(2 * time.Second)
+	entries, err := c.ListRevoked()
+	if !errors.Is(err, ErrPartialList) {
+		t.Fatalf("want ErrPartialList, got %v", err)
+	}
+	if len(entries) != 2 || entries[0].ID != "alice@example.com" || entries[1].ID != "carol@example.com" {
+		t.Fatalf("valid entries not preserved: %+v", entries)
+	}
+}
+
+// TestListRevokedCleanStaysErrorFree pins the happy path: a fully valid
+// list returns no error at all.
+func TestListRevokedCleanStaysErrorFree(t *testing.T) {
+	f := newFixture(t)
+	if err := f.client.Revoke(testID, "test"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := f.client.ListRevoked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].ID != testID {
+		t.Fatalf("entries = %+v", entries)
+	}
+}

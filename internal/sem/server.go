@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -42,11 +43,14 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// job is one request travelling through the worker pool. done is buffered,
-// so a worker never blocks on a slow (or dead) connection writer.
+// job is one unit of work travelling through the worker pool: either a
+// single v1 request (req/done) or a whole v2 batch (batch). done and
+// batch.ready are buffered, so a worker never blocks on a slow (or dead)
+// connection writer.
 type job struct {
-	req  *Request
-	done chan *Response
+	req   *Request
+	done  chan *Response
+	batch *v2job
 }
 
 // pipelineDepth bounds the number of in-flight requests per connection;
@@ -77,6 +81,15 @@ type Config struct {
 	// or glacial peers. 0 selects the default (2 minutes); negative
 	// disables deadlines entirely.
 	IOTimeout time.Duration
+	// MaxFrame caps a single protocol frame (both versions; announced to
+	// v2 clients in the negotiation ack). 0 selects DefaultMaxFrame
+	// (1 MiB); values above wire.V2MaxFrame are rejected because the v1/v2
+	// sniffing byte must stay unambiguous. Size it to MaxBatch times the
+	// largest per-item payload the deployment serves.
+	MaxFrame int
+	// MaxBatch caps the number of items in one v2 frame. 0 selects
+	// DefaultMaxBatch (64); the hard ceiling is wire.V2MaxBatch.
+	MaxBatch int
 	// Metrics, when set, registers the server's instrumentation (request
 	// counts, error mix, service-time histograms, queue/in-flight/
 	// connection gauges, pairer-cache stats) with the registry. Nil keeps
@@ -105,6 +118,18 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.IOTimeout == 0 {
 		cfg.IOTimeout = defaultIOTimeout
 	}
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.MaxFrame < 1024 || cfg.MaxFrame > wire.V2MaxFrame {
+		return nil, fmt.Errorf("sem: MaxFrame %d outside [1024, %d]", cfg.MaxFrame, wire.V2MaxFrame)
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBatch < 1 || cfg.MaxBatch > wire.V2MaxBatch {
+		return nil, fmt.Errorf("sem: MaxBatch %d outside [1, %d]", cfg.MaxBatch, wire.V2MaxBatch)
+	}
 	s := &Server{
 		cfg:   cfg,
 		jobs:  make(chan job, cfg.Workers),
@@ -126,6 +151,12 @@ func (s *Server) startWorkers() {
 			defer s.workerWG.Done()
 			for j := range s.jobs {
 				s.met.inflight.Inc()
+				if j.batch != nil {
+					s.executeBatch(j.batch)
+					s.met.inflight.Dec()
+					j.batch.ready <- struct{}{}
+					continue
+				}
 				start := time.Now()
 				resp := s.dispatch(j.req)
 				s.met.observe(j.req.Op, resp, time.Since(start))
@@ -220,10 +251,11 @@ func (s *Server) Close() error {
 	return err
 }
 
-// handleConn is the per-connection reader: it decodes frames, reserves a
-// response slot in the FIFO and hands the request to the worker pool. A
-// companion writer goroutine drains the FIFO so responses leave in request
-// order no matter which worker finishes first.
+// handleConn sniffs the protocol version from the connection's first byte
+// and hands off to the matching serving loop. A v1 frame always opens with
+// a 0x00 length byte (MaxFrame is capped below 2^24), while a v2
+// connection opens with the "SEM2" preamble — so one listener serves both
+// protocol generations.
 func (s *Server) handleConn(conn net.Conn) {
 	defer func() {
 		_ = conn.Close()
@@ -231,6 +263,47 @@ func (s *Server) handleConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+
+	if s.cfg.IOTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+	}
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return // connected and left without a byte; not worth logging
+	}
+	if first[0] == wire.V2MagicByte {
+		version, err := wire.ReadV2HelloTail(conn)
+		if err != nil {
+			s.cfg.Logf("sem: v2 preamble from %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+		// Unknown proposed versions downgrade to the newest the server
+		// speaks — the ack carries the version actually in force.
+		if version > wire.V2Version || version < wire.V2Version {
+			version = wire.V2Version
+		}
+		if s.cfg.IOTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+		}
+		if err := wire.WriteV2Ack(conn, version, s.cfg.MaxBatch, s.cfg.MaxFrame); err != nil {
+			s.cfg.Logf("sem: v2 ack to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+		s.met.connects(2)
+		s.serveV2(conn)
+		return
+	}
+	s.met.connects(1)
+	s.serveV1(conn, first[0])
+}
+
+// serveV1 is the JSON-protocol reader: it decodes frames, reserves a
+// response slot in the FIFO and hands the request to the worker pool. A
+// companion writer goroutine drains the FIFO so responses leave in request
+// order no matter which worker finishes first. firstByte is the
+// already-sniffed first byte of the first frame's length prefix.
+func (s *Server) serveV1(conn net.Conn, firstByte byte) {
+	rd := &prefixedReader{first: firstByte, r: conn}
 
 	pending := make(chan chan *Response, pipelineDepth)
 	writerDone := make(chan struct{})
@@ -245,7 +318,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			if s.cfg.IOTimeout > 0 {
 				_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
 			}
-			if _, err := writeFrame(conn, resp); err != nil {
+			n, err := writeFrame(conn, resp, s.cfg.MaxFrame)
+			s.met.frameTx(n)
+			if err != nil {
 				s.cfg.Logf("sem: write frame to %v: %v", conn.RemoteAddr(), err)
 				broken = true
 				_ = conn.Close() // unblock the reader
@@ -261,8 +336,18 @@ func (s *Server) handleConn(conn net.Conn) {
 			// pinning it for the daemon's lifetime.
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
 		}
-		if _, err := readFrame(conn, &req); err != nil {
-			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
+		n, err := readFrame(rd, &req, s.cfg.MaxFrame)
+		s.met.frameRx(n)
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// The peer gets told why before the (unsynchronizable)
+				// connection drops, instead of a silent hangup.
+				resp := oversizeResponse(s.cfg.MaxFrame)
+				slot := make(chan *Response, 1)
+				slot <- resp
+				pending <- slot
+				s.met.observe("", resp, 0)
+			} else if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
 				s.cfg.Logf("sem: read frame from %v: %v", conn.RemoteAddr(), err)
 			}
 			break
@@ -273,6 +358,36 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	close(pending)
 	<-writerDone
+}
+
+// prefixedReader replays the sniffed first byte ahead of the connection
+// stream.
+type prefixedReader struct {
+	first byte
+	used  bool
+	r     io.Reader
+}
+
+func (p *prefixedReader) Read(b []byte) (int, error) {
+	if !p.used {
+		if len(b) == 0 {
+			return 0, nil
+		}
+		b[0] = p.first
+		p.used = true
+		return 1, nil
+	}
+	return p.r.Read(b)
+}
+
+// oversizeResponse is the typed refusal for frames beyond the connection's
+// negotiated cap.
+func oversizeResponse(maxFrame int) *Response {
+	return &Response{
+		OK:    false,
+		Code:  CodeBadRequest,
+		Error: fmt.Sprintf("frame exceeds the %d-byte limit", maxFrame),
+	}
 }
 
 // dispatch routes one request. It never panics; unexpected failures become

@@ -1,0 +1,195 @@
+package sem
+
+import (
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/wire"
+)
+
+// v2job is one in-flight v2 frame. Each job owns its own frame decoder and
+// encoder: decoded items alias the decoder's buffer, so with pipelining a
+// shared decoder would be overwritten while earlier batches still execute.
+// Jobs cycle through a per-connection free list, so a settled connection
+// serves batches with no per-frame allocation in the framing layer (the
+// dispatch layer allocates its crypto objects as in v1).
+type v2job struct {
+	dec     wire.FrameDecoder
+	enc     wire.FrameEncoder
+	op      byte
+	items   []wire.ReqItem
+	results []wire.RespItem
+	reqs    []Request
+	ready   chan struct{}
+	// failed, when non-nil, short-circuits the writer with a single-item
+	// error frame built by the reader (over-batch refusals).
+	failed []wire.RespItem
+}
+
+// executeBatch runs every item of a v2 batch through the scheme backends
+// in one pass, fanning across the configured parallelism, and stores the
+// per-item results in request order. Executed on a worker-pool goroutine,
+// so one batch occupies one queue slot no matter its size.
+func (s *Server) executeBatch(j *v2job) {
+	n := len(j.items)
+	if cap(j.results) < n {
+		j.results = make([]wire.RespItem, n)
+	}
+	j.results = j.results[:n]
+	if cap(j.reqs) < n {
+		j.reqs = make([]Request, n)
+	}
+	j.reqs = j.reqs[:n]
+
+	op := opForV2(j.op)
+	if op == "" {
+		for i := range j.results {
+			j.results[i] = wire.RespItem{Status: v2StatusBadRequest, Data: []byte("unknown v2 op")}
+		}
+		return
+	}
+
+	// Width derates with the batch so tiny batches stay inline; the fan
+	// re-raises worker panics, but dispatch never panics by contract.
+	width := n
+	if width > s.cfg.Workers {
+		width = s.cfg.Workers
+	}
+	parallel.FanChunks(width, func(lo, hi int) {
+		chunkLo, chunkHi := lo*n/width, hi*n/width
+		for i := chunkLo; i < chunkHi; i++ {
+			item := j.items[i]
+			req := &j.reqs[i]
+			req.Op = op
+			req.ID = string(item.ID)
+			req.Reason = ""
+			req.Payload = item.Payload
+			if j.op == v2OpRevoke {
+				// The revoke item carries the reason where crypto ops
+				// carry their operand.
+				req.Reason = string(item.Payload)
+				req.Payload = nil
+			}
+			start := time.Now()
+			resp := s.dispatch(req)
+			s.met.observe(op, resp, time.Since(start))
+			j.results[i] = v2RespItemFor(j.op, resp)
+		}
+	})
+}
+
+// serveV2 is the binary-protocol counterpart of serveV1: a reader that
+// decodes frames into pooled jobs and submits each batch to the worker
+// pool as one unit, and a writer that encodes and sends response frames in
+// request order.
+func (s *Server) serveV2(conn net.Conn) {
+	free := make(chan *v2job, pipelineDepth)
+	pending := make(chan *v2job, pipelineDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for j := range pending {
+			results := j.failed
+			if results == nil {
+				<-j.ready
+				results = j.results
+			}
+			if broken {
+				free <- j
+				continue // keep draining so the reader never wedges
+			}
+			frame, err := j.enc.EncodeResponse(j.op, results, s.cfg.MaxFrame)
+			if err != nil {
+				// The batch's results exceed the frame cap (or the batch
+				// grew past the wire ceiling) — the stream cannot carry
+				// the response, so refuse it in one typed item instead.
+				j.failed = j.failed[:0]
+				j.failed = append(j.failed, wire.RespItem{
+					Status: v2StatusBadRequest,
+					Data:   []byte("response exceeds the negotiated frame limit"),
+				})
+				frame, err = j.enc.EncodeResponse(j.op, j.failed, s.cfg.MaxFrame)
+				if err != nil {
+					s.cfg.Logf("sem: encode v2 refusal: %v", err)
+					broken = true
+					_ = conn.Close()
+					free <- j
+					continue
+				}
+			}
+			if s.cfg.IOTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+			}
+			_, werr := conn.Write(frame)
+			s.met.frameTx(len(frame))
+			if werr != nil {
+				s.cfg.Logf("sem: write v2 frame to %v: %v", conn.RemoteAddr(), werr)
+				broken = true
+				_ = conn.Close() // unblock the reader
+			}
+			free <- j
+		}
+	}()
+
+	created := 0
+	for {
+		var j *v2job
+		select {
+		case j = <-free:
+		default:
+			if created < pipelineDepth {
+				j = &v2job{ready: make(chan struct{}, 1)}
+				created++
+			} else {
+				j = <-free
+			}
+		}
+		j.failed = nil
+
+		if s.cfg.IOTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+		}
+		op, items, n, err := j.dec.ReadRequest(conn, s.cfg.MaxFrame, s.cfg.MaxBatch)
+		s.met.frameRx(n)
+		if err != nil {
+			if errors.Is(err, wire.ErrBatchTooLarge) {
+				// The frame was fully consumed — the stream is still
+				// synchronized — but its batch breaks the negotiated
+				// contract. Refuse it with a typed single-item response
+				// (the op echo lets a pipelined client correlate it) and
+				// keep serving.
+				s.refuseV2(j, op, "batch exceeds the negotiated limit", pending)
+				continue
+			}
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// The announced body was never read, so the stream cannot
+				// be resynchronized: answer with a typed refusal, then
+				// drop the connection.
+				s.refuseV2(j, op, "frame exceeds the negotiated limit", pending)
+			} else if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("sem: read v2 frame from %v: %v", conn.RemoteAddr(), err)
+			}
+			break
+		}
+		s.met.batch(len(items))
+		j.op, j.items = op, items
+		pending <- j
+		s.jobs <- job{batch: j}
+	}
+	close(pending)
+	<-writerDone
+}
+
+// refuseV2 queues a typed single-item CodeBadRequest response for a frame
+// the reader rejected at the protocol layer.
+func (s *Server) refuseV2(j *v2job, op byte, msg string, pending chan *v2job) {
+	resp := &Response{OK: false, Code: CodeBadRequest, Error: msg}
+	s.met.observe(opForV2(op), resp, 0)
+	j.op = op
+	j.failed = []wire.RespItem{{Status: v2StatusBadRequest, Data: []byte(msg)}}
+	pending <- j
+}

@@ -205,13 +205,13 @@ func TestPipelinedFramesAnsweredInOrder(t *testing.T) {
 		if i%2 == 1 {
 			id = "revoked@example.com"
 		}
-		if _, err := writeFrame(conn, &Request{Op: OpStatus, ID: id}); err != nil {
+		if _, err := writeFrame(conn, &Request{Op: OpStatus, ID: id}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < n; i++ {
 		var resp Response
-		if _, err := readFrame(conn, &resp); err != nil {
+		if _, err := readFrame(conn, &resp, 0); err != nil {
 			t.Fatalf("response %d: %v", i, err)
 		}
 		if !resp.OK {

@@ -1,0 +1,367 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func mkReqItems(n int) []ReqItem {
+	items := make([]ReqItem, n)
+	for i := range items {
+		id := []byte{'u', byte(i), '@', 'e', 'x'}
+		pay := bytes.Repeat([]byte{byte(i + 1)}, 65)
+		items[i] = ReqItem{ID: id, Payload: pay}
+	}
+	return items
+}
+
+func mkRespItems(n int) []RespItem {
+	items := make([]RespItem, n)
+	for i := range items {
+		items[i] = RespItem{Status: byte(i % 3), Data: bytes.Repeat([]byte{byte(i)}, 129)}
+	}
+	return items
+}
+
+func TestV2RequestRoundTrip(t *testing.T) {
+	var enc FrameEncoder
+	var dec FrameDecoder
+	for _, n := range []int{0, 1, 2, 64} {
+		items := mkReqItems(n)
+		frame, err := enc.EncodeRequest(0x07, items, 0)
+		if err != nil {
+			t.Fatalf("encode n=%d: %v", n, err)
+		}
+		op, got, wireN, err := dec.ReadRequest(bytes.NewReader(frame), 0, 0)
+		if err != nil {
+			t.Fatalf("decode n=%d: %v", n, err)
+		}
+		if op != 0x07 {
+			t.Fatalf("op = %#x, want 0x07", op)
+		}
+		if wireN != len(frame) {
+			t.Fatalf("wire size = %d, want %d", wireN, len(frame))
+		}
+		if len(got) != n {
+			t.Fatalf("decoded %d items, want %d", len(got), n)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i].ID, items[i].ID) || !bytes.Equal(got[i].Payload, items[i].Payload) {
+				t.Fatalf("item %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestV2ResponseRoundTrip(t *testing.T) {
+	var enc FrameEncoder
+	var dec FrameDecoder
+	for _, n := range []int{0, 1, 5, 100} {
+		items := mkRespItems(n)
+		frame, err := enc.EncodeResponse(0x11, items, 0)
+		if err != nil {
+			t.Fatalf("encode n=%d: %v", n, err)
+		}
+		op, got, _, err := dec.ReadResponse(bytes.NewReader(frame), 0, 0)
+		if err != nil {
+			t.Fatalf("decode n=%d: %v", n, err)
+		}
+		if op != 0x11 || len(got) != n {
+			t.Fatalf("op=%#x len=%d, want 0x11/%d", op, len(got), n)
+		}
+		for i := range got {
+			if got[i].Status != items[i].Status || !bytes.Equal(got[i].Data, items[i].Data) {
+				t.Fatalf("item %d mismatch", i)
+			}
+		}
+	}
+}
+
+// Empty payloads and empty IDs must survive the round trip distinctly from
+// absent items.
+func TestV2EmptyFields(t *testing.T) {
+	var enc FrameEncoder
+	var dec FrameDecoder
+	items := []ReqItem{{ID: nil, Payload: nil}, {ID: []byte("x"), Payload: nil}, {ID: nil, Payload: []byte{9}}}
+	frame, err := enc.EncodeRequest(1, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, _, err := dec.ReadRequest(bytes.NewReader(frame), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(got[0].ID) != 0 || len(got[0].Payload) != 0 ||
+		string(got[1].ID) != "x" || len(got[2].Payload) != 1 {
+		t.Fatalf("empty-field round trip mangled: %+v", got)
+	}
+}
+
+func TestV2HelloAck(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteV2Hello(&buf, V2Version); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := buf.ReadByte()
+	if first != V2MagicByte {
+		t.Fatalf("preamble first byte %#x, want %#x", first, V2MagicByte)
+	}
+	ver, err := ReadV2HelloTail(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != V2Version {
+		t.Fatalf("hello version %d, want %d", ver, V2Version)
+	}
+
+	buf.Reset()
+	if err := WriteV2Ack(&buf, V2Version, 64, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	gotVer, maxBatch, maxFrame, err := ReadV2Ack(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotVer != V2Version || maxBatch != 64 || maxFrame != 1<<20 {
+		t.Fatalf("ack = (%d, %d, %d)", gotVer, maxBatch, maxFrame)
+	}
+
+	// Corrupted magic and unsupported version are both protocol errors.
+	if _, err := ReadV2HelloTail(bytes.NewReader([]byte{'X', 'M', '2', 2})); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("bad magic tail: %v", err)
+	}
+	bad := []byte{'S', 'E', 'M', '2', 9, 0, 64, 0, 0, 16, 0}
+	if _, _, _, err := ReadV2Ack(bytes.NewReader(bad)); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("bad ack version: %v", err)
+	}
+	if err := WriteV2Ack(io.Discard, V2Version, 0, 1<<20); err == nil {
+		t.Fatal("ack accepted maxBatch 0")
+	}
+	if err := WriteV2Ack(io.Discard, V2Version, 1, V2MaxFrame+1); err == nil {
+		t.Fatal("ack accepted maxFrame beyond the sniffable bound")
+	}
+}
+
+func TestV2Limits(t *testing.T) {
+	var enc FrameEncoder
+	var dec FrameDecoder
+
+	// Encoder-side: frame cap and batch cap.
+	if _, err := enc.EncodeRequest(1, mkReqItems(3), 16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize encode: %v", err)
+	}
+	if _, err := enc.EncodeResponse(1, mkRespItems(2), 16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize response encode: %v", err)
+	}
+
+	// Decoder-side frame cap: the announced body must be rejected before
+	// any allocation or read of the body.
+	frame, err := enc.EncodeRequest(1, mkReqItems(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := dec.ReadRequest(bytes.NewReader(frame), 64, 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize decode: %v", err)
+	}
+
+	// Decoder-side batch cap.
+	if _, _, _, err := dec.ReadRequest(bytes.NewReader(frame), 0, 4); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("over-batch decode: %v", err)
+	}
+	resp, err := enc.EncodeResponse(1, mkRespItems(8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := dec.ReadResponse(bytes.NewReader(resp), 0, 4); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("over-batch response decode: %v", err)
+	}
+}
+
+func TestV2Malformed(t *testing.T) {
+	var enc FrameEncoder
+	var dec FrameDecoder
+	frame, err := enc.EncodeRequest(2, mkReqItems(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean EOF before any byte surfaces as io.EOF so servers can tell a
+	// closed connection from a torn frame.
+	if _, _, _, err := dec.ReadRequest(bytes.NewReader(nil), 0, 0); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+
+	// Every strict prefix of a valid frame must fail as a protocol error
+	// (or unexpected EOF inside the length prefix), never succeed.
+	for cut := 1; cut < len(frame); cut++ {
+		_, _, _, err := dec.ReadRequest(bytes.NewReader(frame[:cut]), 0, 0)
+		if err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+
+	// A declared item length overrunning the frame is a protocol error.
+	over := bytes.Clone(frame)
+	binary.BigEndian.PutUint32(over[len(over)-4-65:], 1<<20)
+	if _, _, _, err := dec.ReadRequest(bytes.NewReader(over), 0, 0); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("overrunning item: %v", err)
+	}
+
+	// Trailing bytes after the last item are a protocol error.
+	junk := bytes.Clone(frame)
+	junk = append(junk, 0xAA)
+	binary.BigEndian.PutUint32(junk[:4], uint32(len(junk)-4))
+	if _, _, _, err := dec.ReadRequest(bytes.NewReader(junk), 0, 0); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("trailing garbage: %v", err)
+	}
+
+	// A body shorter than the op+count header is a protocol error.
+	short := []byte{0, 0, 0, 2, 1, 0}
+	if _, _, _, err := dec.ReadRequest(bytes.NewReader(short), 0, 0); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("short body: %v", err)
+	}
+}
+
+// resettableReader replays one frame without per-iteration allocation so
+// AllocsPerRun measures only the codec.
+type resettableReader struct {
+	data []byte
+	off  int
+}
+
+func (r *resettableReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func TestV2CodecZeroAlloc(t *testing.T) {
+	var enc FrameEncoder
+	var dec FrameDecoder
+	items := mkReqItems(64)
+	resp := mkRespItems(64)
+
+	// Warm the reused buffers once.
+	frame, err := enc.EncodeRequest(1, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := &resettableReader{data: bytes.Clone(frame)}
+	if _, _, _, err := dec.ReadRequest(rr, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := enc.EncodeRequest(1, items, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("EncodeRequest allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		rr.off = 0
+		if _, _, _, err := dec.ReadRequest(rr, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ReadRequest allocates %.1f/op, want 0", n)
+	}
+
+	respFrame, err := enc.EncodeResponse(1, resp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr2 := &resettableReader{data: bytes.Clone(respFrame)}
+	if _, _, _, err := dec.ReadResponse(rr2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := enc.EncodeResponse(1, resp, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("EncodeResponse allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		rr2.off = 0
+		if _, _, _, err := dec.ReadResponse(rr2, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ReadResponse allocates %.1f/op, want 0", n)
+	}
+}
+
+// Decoded views must alias the decoder buffer (zero-copy), so a second
+// Read invalidates them — the documented contract.
+func TestV2DecodeAliasesBuffer(t *testing.T) {
+	var enc FrameEncoder
+	var dec FrameDecoder
+	a, _ := enc.EncodeRequest(1, []ReqItem{{ID: []byte("alice"), Payload: []byte{1, 2, 3}}}, 0)
+	a = bytes.Clone(a)
+	b, _ := enc.EncodeRequest(1, []ReqItem{{ID: []byte("bobby"), Payload: []byte{9, 9, 9}}}, 0)
+
+	_, first, _, err := dec.ReadRequest(bytes.NewReader(a), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := first[0].ID
+	if _, _, _, err := dec.ReadRequest(bytes.NewReader(b), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(id) == "alice" {
+		t.Fatal("decode copied the buffer; expected aliasing reuse")
+	}
+}
+
+func FuzzFrameV2(f *testing.F) {
+	var seedEnc FrameEncoder
+	seed1, _ := seedEnc.EncodeRequest(1, mkReqItems(3), 0)
+	f.Add(bytes.Clone(seed1), true)
+	seed2, _ := seedEnc.EncodeResponse(2, mkRespItems(2), 0)
+	f.Add(bytes.Clone(seed2), false)
+	f.Add([]byte{0, 0, 0, 3, 1, 0, 0}, true)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, false)
+	f.Add([]byte{}, true)
+
+	f.Fuzz(func(t *testing.T, data []byte, asRequest bool) {
+		var dec FrameDecoder
+		var enc FrameEncoder
+		if asRequest {
+			op, items, n, err := dec.ReadRequest(bytes.NewReader(data), 0, 0)
+			if err != nil {
+				return
+			}
+			if n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			// Differential check: re-encoding the decoded view must
+			// reproduce the consumed bytes exactly.
+			re, err := enc.EncodeRequest(op, items, 0)
+			if err != nil {
+				t.Fatalf("re-encode of valid decode failed: %v", err)
+			}
+			if !bytes.Equal(re, data[:n]) {
+				t.Fatalf("request round trip mismatch:\n in  %x\n out %x", data[:n], re)
+			}
+		} else {
+			op, items, n, err := dec.ReadResponse(bytes.NewReader(data), 0, 0)
+			if err != nil {
+				return
+			}
+			re, err := enc.EncodeResponse(op, items, 0)
+			if err != nil {
+				t.Fatalf("re-encode of valid decode failed: %v", err)
+			}
+			if !bytes.Equal(re, data[:n]) {
+				t.Fatalf("response round trip mismatch:\n in  %x\n out %x", data[:n], re)
+			}
+		}
+	})
+}

@@ -1,7 +1,10 @@
-// Package wire provides the length-prefixed JSON framing shared by the
-// repository's network services (the SEM daemon and the threshold-IBE
-// cluster): a 4-byte big-endian length followed by a JSON body, capped at
-// 1 MiB, plus a packed encoding for vectors of big integers.
+// Package wire provides the framing shared by the repository's network
+// services (the SEM daemon and the threshold-IBE cluster): the v1 framing
+// is a 4-byte big-endian length followed by a JSON body, capped at MaxFrame
+// by default or at a caller-negotiated limit; framev2.go adds the binary
+// batched v2 framing. The package also carries the untrusted-input decoders
+// (points, scalars, GT elements) every network boundary must use, plus a
+// packed encoding for vectors of big integers.
 package wire
 
 import (
@@ -17,26 +20,36 @@ import (
 	"repro/internal/pairing"
 )
 
-// MaxFrame bounds a single protocol frame.
+// MaxFrame bounds a single protocol frame when the caller does not
+// negotiate a per-connection limit of its own.
 const MaxFrame = 1 << 20
 
 var (
-	// ErrFrameTooLarge is returned when a peer announces or requests an
-	// oversized frame.
-	ErrFrameTooLarge = errors.New("wire: frame exceeds 1 MiB limit")
+	// ErrFrameTooLarge is returned when a peer announces or requests a
+	// frame beyond the applicable limit.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
 	// ErrProtocol is returned on malformed frames.
 	ErrProtocol = errors.New("wire: protocol error")
 )
 
 // WriteFrame sends one length-prefixed JSON message and reports the bytes
-// written.
+// written, capping the body at the package default MaxFrame.
 func WriteFrame(w io.Writer, v any) (int, error) {
+	return WriteFrameLimit(w, v, MaxFrame)
+}
+
+// WriteFrameLimit is WriteFrame with a caller-chosen body cap (maxFrame
+// ≤ 0 selects the package default).
+func WriteFrameLimit(w io.Writer, v any, maxFrame int) (int, error) {
+	if maxFrame <= 0 {
+		maxFrame = MaxFrame
+	}
 	body, err := json.Marshal(v)
 	if err != nil {
 		return 0, fmt.Errorf("encode frame: %w", err)
 	}
-	if len(body) > MaxFrame {
+	if len(body) > maxFrame {
 		return 0, ErrFrameTooLarge
 	}
 	var hdr [4]byte
@@ -49,14 +62,25 @@ func WriteFrame(w io.Writer, v any) (int, error) {
 }
 
 // ReadFrame receives one length-prefixed JSON message into v, returning
-// the wire size consumed.
+// the wire size consumed and capping the body at the package default
+// MaxFrame.
 func ReadFrame(r io.Reader, v any) (int, error) {
+	return ReadFrameLimit(r, v, MaxFrame)
+}
+
+// ReadFrameLimit is ReadFrame with a caller-chosen body cap (maxFrame ≤ 0
+// selects the package default). On ErrFrameTooLarge the announced body has
+// not been consumed, so the connection cannot be resynchronized.
+func ReadFrameLimit(r io.Reader, v any, maxFrame int) (int, error) {
+	if maxFrame <= 0 {
+		maxFrame = MaxFrame
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
+	if n > uint32(maxFrame) {
 		return 0, ErrFrameTooLarge
 	}
 	body := make([]byte, n)
@@ -125,6 +149,41 @@ func UnmarshalGT(pp *pairing.Params, data []byte) (*pairing.GT, error) {
 		return nil, fmt.Errorf("%w: element outside the order-q subgroup of GT", ErrProtocol)
 	}
 	return g, nil
+}
+
+// UnmarshalGTBatch decodes k GT elements received from an untrusted peer
+// and checks order-q subgroup membership of the whole batch with one
+// random-linear-combination exponentiation (pairing.BatchInGT) instead of
+// k independent q-exponentiations — the validated decoder behind the batch
+// token path. A nil raws[i] yields a nil element with a nil error (the
+// caller already failed that slot upstream); a malformed or out-of-subgroup
+// element sets errs[i] and leaves gs[i] nil. The error return is non-nil
+// only for batch-level failures such as randomness exhaustion.
+func UnmarshalGTBatch(pp *pairing.Params, raws [][]byte) (gs []*pairing.GT, errs []error, err error) {
+	gs = make([]*pairing.GT, len(raws))
+	errs = make([]error, len(raws))
+	for i, raw := range raws {
+		if raw == nil {
+			continue
+		}
+		g, gerr := pp.GTFromBytes(raw)
+		if gerr != nil {
+			errs[i] = fmt.Errorf("%w: %v", ErrProtocol, gerr)
+			continue
+		}
+		gs[i] = g
+	}
+	ok, berr := pp.BatchInGT(gs)
+	if berr != nil {
+		return nil, nil, fmt.Errorf("batch GT validation: %w", berr)
+	}
+	for i := range gs {
+		if gs[i] != nil && !ok[i] {
+			gs[i] = nil
+			errs[i] = fmt.Errorf("%w: element outside the order-q subgroup of GT", ErrProtocol)
+		}
+	}
+	return gs, errs, nil
 }
 
 // PackInts serializes a vector of non-negative integers as 2-byte-length-
