@@ -1,87 +1,31 @@
 package pairing
 
 import (
-	"crypto/rand"
-	"math/big"
-
-	"repro/internal/gf"
+	"repro/internal/parallel"
 )
 
 // BatchInGT reports, per element, whether each gᵢ lies in the order-q
 // subgroup of F_p²* — the batched form of InGT for validating a batch of
 // decryption tokens in one pass.
 //
-// A single InGT costs one full q-width exponentiation, which at paper
-// sizes rivals the pairing that produced the token; checking a batch of k
-// one by one costs k of them. Instead this draws independent uniform
-// 64-bit coefficients rᵢ (crypto/rand; unpredictable to whoever produced
-// the elements), forms the random linear combination t = ∏ gᵢ^{rᵢ}, and
-// checks t^q = 1 with ONE q-width exponentiation plus k cheap 64-bit
-// exponentiations. Writing gᵢ = hᵢ·εᵢ with hᵢ order-q and εᵢ the cofactor
-// component, t^q = ∏ εᵢ^{q·rᵢ}; if any εᵢ ≠ 1 the combination survives
-// unless the rᵢ hit one of the adversary's kernel cosets, probability at
-// most 2⁻⁶⁴ per offending element. On combination failure (or a zero
-// element, which can never be in the subgroup) it falls back to individual
-// InGT checks so the caller learns exactly which items were bad.
+// Each element gets its own full q-width exponentiation (exactly InGT),
+// fanned across cores with parallel.Fan; the wall-clock cost of a batch of
+// k is ~⌈k/cores⌉ exponentiations. An earlier version combined the batch
+// into one exponentiation via a random linear combination t = ∏ gᵢ^{rᵢ},
+// but that check is UNSOUND here: the cofactor c = (p²−1)/q is even, so
+// F_p²* has small-order components outside the q-subgroup (e.g. −1, order
+// 2), and gᵢ·ε with ord(ε) = m slips through whenever rᵢ ≡ 0 (mod m) —
+// probability 1/m per attempt, retryable, nowhere near 2⁻⁶⁴. Random
+// combinations only reach 2⁻λ soundness when the quotient group has no
+// small-order subgroups, which this one structurally cannot satisfy, so
+// the deterministic per-element check is the batch check.
 //
-// The returned slice has len(gs) entries; a nil element reports false. The
-// error reports a randomness or arithmetic failure, not a membership
-// verdict.
+// The returned slice has len(gs) entries; a nil or zero element reports
+// false. The error return is kept for API stability and is always nil.
 func (pp *Params) BatchInGT(gs []*GT) ([]bool, error) {
 	ok := make([]bool, len(gs))
-	if len(gs) == 0 {
-		return ok, nil
-	}
-	// Zero or nil elements would absorb the whole product; screen them out
-	// of the combination and report them false directly.
-	live := make([]*GT, 0, len(gs))
-	liveIdx := make([]int, 0, len(gs))
-	for i, g := range gs {
-		if g == nil || g.v.IsZero() {
-			continue
-		}
-		live = append(live, g)
-		liveIdx = append(liveIdx, i)
-	}
-	if len(live) == 0 {
-		return ok, nil
-	}
-
-	// t = ∏ gᵢ^{rᵢ} with fresh uniform 64-bit rᵢ. The coefficients are
-	// public once used, but must be unpredictable before the elements are
-	// fixed — crypto/rand, never a seeded PRNG.
-	var buf [8]byte
-	r := new(big.Int)
-	acc := pp.field.One()
-	term := new(gf.Element)
-	for _, g := range live {
-		if _, err := rand.Read(buf[:]); err != nil {
-			return nil, err
-		}
-		// Force the top bit so rᵢ ≠ 0 never wastes an element; the
-		// adversary's hit probability is unchanged at 2⁻⁶³ ≈ 2⁻⁶⁴.
-		buf[0] |= 0x80
-		r.SetBytes(buf[:])
-		if _, err := term.Exp(g.v, r); err != nil {
-			return nil, err
-		}
-		acc.Mul(acc, term)
-	}
-	raw := new(gf.Element)
-	if _, err := raw.Exp(acc, pp.curve.Q()); err != nil {
-		return nil, err
-	}
-	if raw.IsOne() {
-		for _, i := range liveIdx {
-			ok[i] = true
-		}
-		return ok, nil
-	}
-
-	// At least one live element is outside the subgroup: identify the
-	// culprits individually.
-	for j, g := range live {
-		ok[liveIdx[j]] = pp.InGT(g)
-	}
+	parallel.Fan(len(gs), func(i int) {
+		ok[i] = gs[i] != nil && pp.InGT(gs[i])
+	})
 	return ok, nil
 }

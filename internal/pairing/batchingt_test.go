@@ -57,10 +57,30 @@ func TestBatchInGT(t *testing.T) {
 		}
 	})
 
+	// A member multiplied by −1 (an order-2 element of F_p²*, outside the
+	// odd-order q-subgroup) must be rejected every single time. This pins
+	// the soundness bug in the retired random-linear-combination variant,
+	// which accepted such an element whenever its 64-bit coefficient was
+	// even — probability 1/2 per call, and freely retryable by the peer.
+	t.Run("order-2 tampering always rejected", func(t *testing.T) {
+		tampered := &GT{v: pp.Field().Zero().Neg(g.v), q: pp.Q()}
+		if pp.InGT(tampered) {
+			t.Fatal("−g reported inside the odd-order subgroup")
+		}
+		for trial := 0; trial < 64; trial++ {
+			ok, err := pp.BatchInGT([]*GT{g, tampered, members[1]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok[0] || ok[1] || !ok[2] {
+				t.Fatalf("trial %d: verdicts = %v, want [true false true]", trial, ok)
+			}
+		}
+	})
+
 	// The batched verdict must agree with per-element InGT across many
-	// randomized batches (membership is decided by the fallback whenever
-	// the combination trips, so agreement failing would mean a
-	// false-accept of the combination check).
+	// batches (the batch check IS per-element InGT fanned across cores,
+	// so disagreement would mean a results-placement bug in the fan).
 	t.Run("agrees with InGT", func(t *testing.T) {
 		for trial := 0; trial < 8; trial++ {
 			batch := []*GT{

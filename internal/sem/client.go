@@ -624,8 +624,10 @@ func (c *Client) ListRevoked() ([]core.RevocationEntry, error) {
 // batchCall runs one op over k (id, payload) items: a single v2 frame per
 // maxBatch-sized chunk on a v2 connection, or sequential round trips on
 // v1. Results and errs are index-aligned with the inputs (errs[i] nil on
-// success); the returned error reports transport/protocol failures that
-// voided the remaining items.
+// success). A transport/protocol failure mid-batch is returned as the
+// call error AND stamped into errs[i] for every item the failure voided —
+// results from chunks that already completed are kept, so callers get the
+// tokens/halves they paid round trips for even when a later chunk dies.
 func (c *Client) batchCall(op Op, ids []string, payloads [][]byte) ([][]byte, []error, error) {
 	if len(ids) != len(payloads) {
 		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d payloads", len(ids), len(payloads))
@@ -676,7 +678,12 @@ func (c *Client) batchCall(op Op, ids []string, payloads [][]byte) ([][]byte, []
 		}
 		items, err := c.exchangeV2(op, opByte, c.reqScratch)
 		if err != nil {
-			return nil, nil, err
+			// The failed chunk and everything after it never produced
+			// results; keep the chunks already fetched and mark the rest.
+			for i := lo; i < len(ids); i++ {
+				errs[i] = err
+			}
+			return results, errs, err
 		}
 		for i := 0; i < n; i++ {
 			if items[i].Status != v2StatusOK {
@@ -695,7 +702,9 @@ func (c *Client) batchCall(op Op, ids []string, payloads [][]byte) ([][]byte, []
 // frame (chunked to the server's negotiated batch limit) and validates the
 // returned tokens with a single batched subgroup check — the batch
 // counterpart of IBEToken. tokens and errs are index-aligned with the
-// inputs; err reports transport failures that voided the whole call.
+// inputs; a non-nil err reports a transport failure partway through, in
+// which case tokens fetched before the failure are still returned and the
+// voided slots carry that error in errs.
 func (c *Client) TokenBatch(ids []string, us []*curve.Point) (tokens []*pairing.GT, errs []error, err error) {
 	if c.pairing == nil {
 		return nil, nil, errors.New("sem: client has no pairing params")
@@ -708,7 +717,7 @@ func (c *Client) TokenBatch(ids []string, us []*curve.Point) (tokens []*pairing.
 		payloads[i] = u.Marshal()
 	}
 	raws, errs, err := c.batchCall(OpIBEToken, ids, payloads)
-	if err != nil {
+	if raws == nil {
 		return nil, nil, err
 	}
 
@@ -731,7 +740,7 @@ func (c *Client) TokenBatch(ids []string, us []*curve.Point) (tokens []*pairing.
 			errs[i] = e
 		}
 	}
-	return tokens, errs, nil
+	return tokens, errs, err
 }
 
 // GDHHalfSignBatch requests SEM half-signatures for k (id, h(M)) pairs in
@@ -749,7 +758,7 @@ func (c *Client) GDHHalfSignBatch(ids []string, hs []*curve.Point) (halves []*cu
 		payloads[i] = h.Marshal()
 	}
 	raws, errs, err := c.batchCall(OpGDHSign, ids, payloads)
-	if err != nil {
+	if raws == nil {
 		return nil, nil, err
 	}
 	halves = make([]*curve.Point, len(ids))
@@ -764,7 +773,7 @@ func (c *Client) GDHHalfSignBatch(ids []string, hs []*curve.Point) (halves []*cu
 		}
 		halves[i] = pt
 	}
-	return halves, errs, nil
+	return halves, errs, err
 }
 
 // RSAHalfDecryptBatch requests m_sem = c^{d_sem} mod n for k ciphertexts
@@ -779,7 +788,7 @@ func (c *Client) RSAHalfDecryptBatch(pub *mrsa.PublicKey, ids []string, cts []*b
 		payloads[i] = ct.Bytes() //cryptolint:public (sanctioned wire serialization edge; the ciphertext is on the wire by design)
 	}
 	raws, errs, err := c.batchCall(OpRSADecrypt, ids, payloads)
-	if err != nil {
+	if raws == nil {
 		return nil, nil, err
 	}
 	halves = make([]*big.Int, len(ids))
@@ -794,5 +803,5 @@ func (c *Client) RSAHalfDecryptBatch(pub *mrsa.PublicKey, ids []string, cts []*b
 		}
 		halves[i] = x
 	}
-	return halves, errs, nil
+	return halves, errs, err
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"net"
 	"sync"
@@ -430,6 +431,101 @@ func TestListRevokedPartialEntries(t *testing.T) {
 	if len(entries) != 2 || entries[0].ID != "alice@example.com" || entries[1].ID != "carol@example.com" {
 		t.Fatalf("valid entries not preserved: %+v", entries)
 	}
+}
+
+// TestBatchCallKeepsCompletedChunks is the regression test for mid-batch
+// transport failures: results from chunks the server already answered must
+// survive a later chunk's connection error, with the voided slots carrying
+// that error, instead of the whole call collapsing to nil.
+func TestBatchCallKeepsCompletedChunks(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer func() { _ = cli.Close() }()
+	go func() {
+		defer func() { _ = srv.Close() }()
+		var first [1]byte
+		if _, err := io.ReadFull(srv, first[:]); err != nil {
+			return
+		}
+		if _, err := wire.ReadV2HelloTail(srv); err != nil {
+			return
+		}
+		// Announce maxBatch 2 so four items split into two chunks.
+		if err := wire.WriteV2Ack(srv, wire.V2Version, 2, wire.MaxFrame); err != nil {
+			return
+		}
+		var dec wire.FrameDecoder
+		var enc wire.FrameEncoder
+		op, items, _, err := dec.ReadRequest(srv, 0, 2)
+		if err != nil {
+			return
+		}
+		resp := make([]wire.RespItem, len(items))
+		for i := range items {
+			resp[i] = wire.RespItem{Status: v2StatusOK, Data: []byte{byte(i + 1)}}
+		}
+		frame, err := enc.EncodeResponse(op, resp, 0)
+		if err != nil {
+			return
+		}
+		if _, err := srv.Write(frame); err != nil {
+			return
+		}
+		// Swallow the second chunk, then hang up without answering it.
+		_, _, _, _ = dec.ReadRequest(srv, 0, 2)
+	}()
+
+	c := NewClient(cli, nil)
+	c.SetOpTimeout(2 * time.Second)
+	ids := []string{"a", "b", "c", "d"}
+	payloads := [][]byte{{1}, {2}, {3}, {4}}
+	results, errs, err := c.batchCall(OpRSADecrypt, ids, payloads)
+	if err == nil {
+		t.Fatal("want a transport error for the dead second chunk")
+	}
+	if len(results) != 4 || len(errs) != 4 {
+		t.Fatalf("lengths: %d results, %d errs", len(results), len(errs))
+	}
+	if errs[0] != nil || errs[1] != nil || !bytes.Equal(results[0], []byte{1}) || !bytes.Equal(results[1], []byte{2}) {
+		t.Fatalf("completed chunk lost: results=%v errs=%v", results, errs)
+	}
+	for i := 2; i < 4; i++ {
+		if errs[i] == nil || results[i] != nil {
+			t.Fatalf("voided slot %d: result=%v err=%v", i, results[i], errs[i])
+		}
+	}
+}
+
+// TestFanWidthBounded pins the batch-fan permit accounting: concurrent
+// batches share the configured parallelism instead of multiplying it
+// (each fan gets 1 plus whatever free permits remain, never Workers each).
+func TestFanWidthBounded(t *testing.T) {
+	srv, err := NewServer(Config{Registry: core.NewRegistry(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := srv.acquireFanWidth(16); w != 4 {
+		t.Fatalf("first fan width = %d, want Workers (4)", w)
+	}
+	// All permits are held: a concurrent batch must run inline, width 1.
+	if w := srv.acquireFanWidth(16); w != 1 {
+		t.Fatalf("fan width under load = %d, want 1", w)
+	}
+	srv.releaseFanWidth(4)
+	srv.releaseFanWidth(1)
+	// Width also derates to the batch size.
+	if w := srv.acquireFanWidth(2); w != 2 {
+		t.Fatalf("small-batch fan width = %d, want 2", w)
+	}
+	srv.releaseFanWidth(2)
+
+	solo, err := NewServer(Config{Registry: core.NewRegistry(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := solo.acquireFanWidth(8); w != 1 {
+		t.Fatalf("single-worker fan width = %d, want 1", w)
+	}
+	solo.releaseFanWidth(1)
 }
 
 // TestListRevokedCleanStaysErrorFree pins the happy path: a fully valid

@@ -35,6 +35,10 @@ type Server struct {
 	jobs        chan job
 	workersOnce sync.Once
 	workerWG    sync.WaitGroup
+	// fanSlots holds the Workers−1 permits for widening a v2 batch fan
+	// beyond the worker's own goroutine (see Server.acquireFanWidth), so
+	// concurrent batches share — not multiply — the configured parallelism.
+	fanSlots chan struct{}
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -131,9 +135,13 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("sem: MaxBatch %d outside [1, %d]", cfg.MaxBatch, wire.V2MaxBatch)
 	}
 	s := &Server{
-		cfg:   cfg,
-		jobs:  make(chan job, cfg.Workers),
-		conns: make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		jobs:     make(chan job, cfg.Workers),
+		conns:    make(map[net.Conn]struct{}),
+		fanSlots: make(chan struct{}, cfg.Workers-1),
+	}
+	for i := 0; i < cfg.Workers-1; i++ {
+		s.fanSlots <- struct{}{}
 	}
 	s.met = newServerMetrics(cfg.Metrics, s)
 	return s, nil

@@ -52,12 +52,15 @@ func (s *Server) executeBatch(j *v2job) {
 		return
 	}
 
-	// Width derates with the batch so tiny batches stay inline; the fan
+	// Width derates with the batch so tiny batches stay inline, and with
+	// the server's load: extra width beyond this worker's own goroutine is
+	// borrowed from the shared fanSlots permits, so concurrent batch jobs
+	// cannot multiply into Workers² crypto goroutines (the bounded-
+	// parallelism invariant: at most 2·Workers−1 in flight, exactly
+	// Workers at saturation, when every fan runs width 1 inline). The fan
 	// re-raises worker panics, but dispatch never panics by contract.
-	width := n
-	if width > s.cfg.Workers {
-		width = s.cfg.Workers
-	}
+	width := s.acquireFanWidth(n)
+	defer s.releaseFanWidth(width)
 	parallel.FanChunks(width, func(lo, hi int) {
 		chunkLo, chunkHi := lo*n/width, hi*n/width
 		for i := chunkLo; i < chunkHi; i++ {
@@ -79,6 +82,36 @@ func (s *Server) executeBatch(j *v2job) {
 			j.results[i] = v2RespItemFor(j.op, resp)
 		}
 	})
+}
+
+// acquireFanWidth returns the parallelism a batch of n items may use right
+// now: 1 for the calling worker's own goroutine plus however many of the
+// shared fanSlots permits are free, capped at min(n, Workers). It never
+// blocks — under load it degrades to 1 and the batch executes inline on
+// its worker, which is exactly the bounded-pool behavior of the v1 path.
+// Pair every call with releaseFanWidth(width).
+func (s *Server) acquireFanWidth(n int) int {
+	width := 1
+	limit := n
+	if limit > s.cfg.Workers {
+		limit = s.cfg.Workers
+	}
+	for width < limit {
+		select {
+		case <-s.fanSlots:
+			width++
+		default:
+			return width
+		}
+	}
+	return width
+}
+
+// releaseFanWidth returns the width−1 borrowed fan permits.
+func (s *Server) releaseFanWidth(width int) {
+	for i := 1; i < width; i++ {
+		s.fanSlots <- struct{}{}
+	}
 }
 
 // serveV2 is the binary-protocol counterpart of serveV1: a reader that

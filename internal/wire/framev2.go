@@ -294,10 +294,14 @@ func (d *FrameDecoder) readBody(r io.Reader, maxFrame int) ([]byte, int, error) 
 	if _, err := io.ReadFull(r, d.hdr[:]); err != nil {
 		return nil, 0, err
 	}
-	n := int(binary.BigEndian.Uint32(d.hdr[:]))
-	if n > maxFrame {
+	// Unsigned compare before narrowing so a length ≥ 2³¹ classifies as
+	// ErrFrameTooLarge on 32-bit platforms too, instead of wrapping
+	// negative.
+	n32 := binary.BigEndian.Uint32(d.hdr[:])
+	if uint64(n32) > uint64(maxFrame) {
 		return nil, 0, ErrFrameTooLarge
 	}
+	n := int(n32)
 	if n < v2BodyHdrLen {
 		return nil, 0, errV2Truncated
 	}
@@ -349,11 +353,16 @@ func (d *FrameDecoder) ReadRequest(r io.Reader, maxFrame, maxBatch int) (op byte
 		}
 		id := body[off : off+idLen]
 		off += idLen
-		payLen := int(binary.BigEndian.Uint32(body[off : off+4]))
+		// Compare the 32-bit wire length unsigned before narrowing to int:
+		// on 32-bit platforms int(Uint32) goes negative for lengths ≥ 2³¹
+		// and a signed `< payLen` guard would let the slice expression
+		// panic on attacker-chosen input.
+		payLen32 := binary.BigEndian.Uint32(body[off : off+4])
 		off += 4
-		if len(body)-off < payLen {
+		if uint64(payLen32) > uint64(len(body)-off) {
 			return op, nil, n, errV2BadItem
 		}
+		payLen := int(payLen32)
 		d.req[i] = ReqItem{ID: id, Payload: body[off : off+payLen]}
 		off += payLen
 	}
@@ -395,11 +404,13 @@ func (d *FrameDecoder) ReadResponse(r io.Reader, maxFrame, maxBatch int) (op byt
 		}
 		status := body[off]
 		off++
-		dataLen := int(binary.BigEndian.Uint32(body[off : off+4]))
+		// Unsigned bound check before narrowing — see ReadRequest.
+		dataLen32 := binary.BigEndian.Uint32(body[off : off+4])
 		off += 4
-		if len(body)-off < dataLen {
+		if uint64(dataLen32) > uint64(len(body)-off) {
 			return op, nil, n, errV2BadItem
 		}
+		dataLen := int(dataLen32)
 		d.resp[i] = RespItem{Status: status, Data: body[off : off+dataLen]}
 		off += dataLen
 	}

@@ -210,6 +210,15 @@ func TestV2Malformed(t *testing.T) {
 		t.Fatalf("overrunning item: %v", err)
 	}
 
+	// An item length with the sign bit set (≥ 2³¹) must be the same
+	// protocol error — on 32-bit platforms int(uint32) wraps negative, and
+	// a signed bound check would let the slice expression panic.
+	huge := bytes.Clone(frame)
+	binary.BigEndian.PutUint32(huge[len(huge)-4-65:], 1<<31)
+	if _, _, _, err := dec.ReadRequest(bytes.NewReader(huge), 0, 0); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("sign-bit item length: %v", err)
+	}
+
 	// Trailing bytes after the last item are a protocol error.
 	junk := bytes.Clone(frame)
 	junk = append(junk, 0xAA)

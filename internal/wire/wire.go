@@ -152,10 +152,12 @@ func UnmarshalGT(pp *pairing.Params, data []byte) (*pairing.GT, error) {
 }
 
 // UnmarshalGTBatch decodes k GT elements received from an untrusted peer
-// and checks order-q subgroup membership of the whole batch with one
-// random-linear-combination exponentiation (pairing.BatchInGT) instead of
-// k independent q-exponentiations — the validated decoder behind the batch
-// token path. A nil raws[i] yields a nil element with a nil error (the
+// and checks order-q subgroup membership of the whole batch with
+// pairing.BatchInGT, which fans the per-element q-exponentiations across
+// cores — the validated decoder behind the batch token path. Each element
+// is checked deterministically (random-linear-combination batching is
+// unsound in GT: the cofactor has small-order subgroups, see BatchInGT).
+// A nil raws[i] yields a nil element with a nil error (the
 // caller already failed that slot upstream); a malformed or out-of-subgroup
 // element sets errs[i] and leaves gs[i] nil. The error return is non-nil
 // only for batch-level failures such as randomness exhaustion.
