@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strings"
 	"time"
 
@@ -39,16 +40,25 @@ func run(args []string, out io.Writer) error {
 		baseline  = fs.String("baseline", "", "write a primitive-op baseline snapshot (JSON) to this file ('-' for stdout) and exit")
 		check     = fs.String("check", "", "re-measure the primitives and exit non-zero if any entry regressed vs this committed snapshot")
 		tolerance = fs.Float64("tolerance", 15, "allowed per-entry slowdown (percent) for -check")
+		filter    = fs.String("filter", "", "regexp restricting which entries -baseline writes and -check compares")
+		serving   = fs.Bool("serving", false, "also measure the serving-layer transport entries (sem.token.*, cluster.token.*; -check infers this from the snapshot)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var filterRe *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if filterRe, err = regexp.Compile(*filter); err != nil {
+			return fmt.Errorf("-filter: %w", err)
+		}
 	}
 	pp, err := pairing.ByName(*params)
 	if err != nil {
 		return err
 	}
 	if *check != "" {
-		return runCheck(pp, *check, *tolerance, *quick, out)
+		return runCheck(pp, *check, *tolerance, *quick, *serving, filterRe, out)
 	}
 	if *baseline != "" {
 		iters, dur := 10, 200*time.Millisecond
@@ -58,6 +68,17 @@ func run(args []string, out io.Writer) error {
 		report, err := bench.Baseline(pp, iters, dur)
 		if err != nil {
 			return fmt.Errorf("baseline: %w", err)
+		}
+		if *serving {
+			extra, err := bench.ServingEntries(servingWindow(*quick))
+			if err != nil {
+				return fmt.Errorf("baseline: %w", err)
+			}
+			report.Entries = append(report.Entries, extra...)
+		}
+		filterEntries(report, filterRe)
+		if len(report.Entries) == 0 {
+			return fmt.Errorf("baseline: -filter %q matched no entries", *filter)
 		}
 		body, err := report.JSON()
 		if err != nil {
@@ -72,11 +93,55 @@ func run(args []string, out io.Writer) error {
 	return runExperiments(pp, *params, *exp, *quick, out)
 }
 
+// servingWindow is the per-entry measurement window for the serving-layer
+// transports (they need longer windows than primitive ops: each sample is
+// a full networked round trip at 32-way concurrency).
+func servingWindow(quick bool) time.Duration {
+	if quick {
+		return 150 * time.Millisecond
+	}
+	return 1 * time.Second
+}
+
+// filterEntries drops report entries not matching re (nil keeps all).
+func filterEntries(report *bench.BaselineReport, re *regexp.Regexp) {
+	if re == nil {
+		return
+	}
+	kept := report.Entries[:0]
+	for _, e := range report.Entries {
+		if re.MatchString(e.Name) {
+			kept = append(kept, e)
+		}
+	}
+	report.Entries = kept
+}
+
+// servingPrefixed reports whether any entry belongs to the serving-layer
+// transport set (the ".c32" closed-loop entries), which -check must then
+// re-measure. The plain sem.token.single/batch64 microbenches are part of
+// the ordinary primitive baseline and do not trigger a fleet spin-up.
+func servingPrefixed(entries []bench.BaselineEntry) bool {
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name, ".c32") {
+			continue
+		}
+		if strings.HasPrefix(e.Name, "sem.token.") || strings.HasPrefix(e.Name, "cluster.token.") {
+			return true
+		}
+	}
+	return false
+}
+
 // runCheck re-measures the primitive baseline and compares it against a
 // committed snapshot; a regression beyond the tolerance is a hard error so
 // CI fails the build. -quick trades statistical weight for speed (use a
-// generous tolerance with it: short timings are noisy).
-func runCheck(pp *pairing.Params, path string, tolerance float64, quick bool, out io.Writer) error {
+// generous tolerance with it: short timings are noisy). A -filter regexp
+// restricts the comparison to matching snapshot entries, letting one
+// snapshot file gate microbenches and serving-layer entries separately;
+// serving-layer entries in the (filtered) snapshot are re-measured
+// automatically.
+func runCheck(pp *pairing.Params, path string, tolerance float64, quick, serving bool, filterRe *regexp.Regexp, out io.Writer) error {
 	body, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("check: %w", err)
@@ -85,6 +150,10 @@ func runCheck(pp *pairing.Params, path string, tolerance float64, quick bool, ou
 	if err := json.Unmarshal(body, &ref); err != nil {
 		return fmt.Errorf("check: parse %s: %w", path, err)
 	}
+	filterEntries(&ref, filterRe)
+	if len(ref.Entries) == 0 {
+		return fmt.Errorf("check: -filter matched no entries of %s", path)
+	}
 	iters, dur := 10, 200*time.Millisecond
 	if quick {
 		iters, dur = 3, 20*time.Millisecond
@@ -92,6 +161,13 @@ func runCheck(pp *pairing.Params, path string, tolerance float64, quick bool, ou
 	fresh, err := bench.Baseline(pp, iters, dur)
 	if err != nil {
 		return fmt.Errorf("check: %w", err)
+	}
+	if serving || servingPrefixed(ref.Entries) {
+		extra, err := bench.ServingEntries(servingWindow(quick))
+		if err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		fresh.Entries = append(fresh.Entries, extra...)
 	}
 	regs, err := bench.CompareBaselines(&ref, fresh, tolerance)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -118,5 +119,102 @@ func TestBenchtabUnknownExperimentIsNoop(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Fatalf("unexpected output for unknown experiment: %q", out.String())
+	}
+}
+
+// TestBenchtabFilter covers the -filter regexp: a doctored snapshot whose
+// pair.* entries regressed catastrophically must fail an unfiltered check
+// but pass when the filter excludes them — and a filter matching nothing
+// is an error, not a silent pass.
+func TestBenchtabFilter(t *testing.T) {
+	path := writeSnapshot(t, 1)
+	var report bench.BaselineReport
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	poisoned, kept := 0, ""
+	for i := range report.Entries {
+		if strings.HasPrefix(report.Entries[i].Name, "pair.") {
+			report.Entries[i].NsPerOp /= 1000 // impossible reference → guaranteed regression
+			poisoned++
+		} else if kept == "" {
+			report.Entries[i].NsPerOp *= 1000 // generous → cannot regress
+			kept = report.Entries[i].Name
+		}
+	}
+	if poisoned == 0 || kept == "" {
+		t.Fatalf("snapshot shape unexpected: %d pair entries, kept=%q", poisoned, kept)
+	}
+	body, err = report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-check", path, "-params", "toy", "-quick"}, &out); err == nil {
+		t.Fatalf("poisoned snapshot passed unfiltered:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-check", path, "-params", "toy", "-quick", "-filter", "^" + regexp.QuoteMeta(kept) + "$"}, &out); err != nil {
+		t.Fatalf("filtered check failed: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-check", path, "-params", "toy", "-quick", "-filter", "^no-such-entry$"}, &out); err == nil {
+		t.Fatal("filter matching nothing passed")
+	}
+	out.Reset()
+	if err := run([]string{"-check", path, "-params", "toy", "-quick", "-filter", "("}, &out); err == nil {
+		t.Fatal("invalid regexp accepted")
+	}
+}
+
+// TestBenchtabServingBaseline measures the serving-layer entries through
+// the -serving -filter path and then gates them with -check, exercising
+// the auto re-measure of sem.token.*/cluster.token.* snapshot entries.
+func TestBenchtabServingBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving fleet benchmark")
+	}
+	path := filepath.Join(t.TempDir(), "serving.json")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path, "-params", "toy", "-quick", "-serving", "-filter", `^(cluster|sem)\.token\..*\.c32$`}, &out); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bench.BaselineReport
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range report.Entries {
+		names[e.Name] = true
+		if e.NsPerOp <= 0 || e.Iters <= 0 {
+			t.Fatalf("entry %s has no measurement: %+v", e.Name, e)
+		}
+	}
+	for _, want := range []string{"sem.token.conn.c32", "sem.token.pooled.c32", "cluster.token.shard1.c32", "cluster.token.shard4.c32"} {
+		if !names[want] {
+			t.Fatalf("serving baseline missing %s (have %v)", want, names)
+		}
+	}
+	if len(names) != 4 {
+		t.Fatalf("filter leaked extra entries: %v", names)
+	}
+
+	// Gate against itself with a generous tolerance: same machine, moments
+	// later — must pass, via the serving auto re-measure.
+	out.Reset()
+	if err := run([]string{"-check", path, "-params", "toy", "-quick", "-tolerance", "400", "-filter", `^(cluster|sem)\.token\..*\.c32$`}, &out); err != nil {
+		t.Fatalf("serving self-check failed: %v\n%s", err, out.String())
 	}
 }

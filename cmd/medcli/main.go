@@ -14,6 +14,11 @@
 //	medcli -sem ... revoke -id bob@example.com -reason "left the company"
 //	medcli -sem ... status -id bob@example.com
 //
+// Against a sharded fleet, pass -shards a:7300,b:7300,c:7300 instead of
+// -sem: ops route to the identity's shard on a consistent-hash ring with
+// replica failover, revocation broadcasts fleet-wide, and list unions
+// every shard's journal.
+//
 // Plaintexts for encrypt are limited to msgLen−1 bytes (one byte carries
 // the length inside the fixed-size IBE block).
 package main
@@ -33,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/curve"
 	"repro/internal/keyfile"
+	"repro/internal/pairing"
 	"repro/internal/sem"
 	"repro/internal/wire"
 )
@@ -48,6 +54,20 @@ type cli struct {
 	system *keyfile.System
 	user   *keyfile.User
 	semAdr string
+	shards []string
+}
+
+// mediator is the SEM-side surface medcli needs; *sem.Client (one daemon)
+// and *sem.ShardedClient (a fleet behind -shards) both satisfy it.
+type mediator interface {
+	DecryptIBE(pub *bf.PublicParams, key *core.UserKeyHalf, ct *bf.Ciphertext) ([]byte, error)
+	TokenBatch(ids []string, us []*curve.Point) ([]*pairing.GT, []error, error)
+	SignGDH(key *core.GDHUserKey, msg []byte) (*curve.Point, error)
+	Revoke(id, reason string) error
+	Unrevoke(id string) error
+	Status(id string) (bool, error)
+	ListRevoked() ([]core.RevocationEntry, error)
+	Close() error
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -56,6 +76,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		systemFn = fs.String("system", "deploy/system.json", "system parameters file")
 		userFn   = fs.String("user", "", "user credential file (for decrypt/sign)")
 		semAddr  = fs.String("sem", "127.0.0.1:7300", "SEM daemon address")
+		shardsFl = fs.String("shards", "", "comma-separated SEM shard addresses; selects consistent-hash routing with replica failover instead of -sem")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +86,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("missing command: encrypt|decrypt|sign|verify|revoke|unrevoke|status|list")
 	}
 	c := &cli{semAdr: *semAddr}
+	for _, a := range strings.Split(*shardsFl, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			c.shards = append(c.shards, a)
+		}
+	}
 	c.system = &keyfile.System{}
 	if err := keyfile.Load(*systemFn, c.system); err != nil {
 		return err
@@ -119,10 +145,13 @@ func min(a, b int) int {
 	return b
 }
 
-func (c *cli) dial() (*sem.Client, error) {
+func (c *cli) dial() (mediator, error) {
 	pp, err := c.system.Params()
 	if err != nil {
 		return nil, err
+	}
+	if len(c.shards) > 0 {
+		return sem.NewShardedClient(c.shards, pp, sem.ShardedConfig{Replicas: 2})
 	}
 	return sem.Dial(c.semAdr, pp, 5*time.Second)
 }
@@ -206,7 +235,7 @@ func (c *cli) decrypt(args []string, stdin io.Reader, stdout io.Writer) error {
 // base64-encoded one per line so binary messages stay line-aligned with
 // their inputs; a failed line prints as "ERROR <reason>" and the command
 // exits nonzero after processing every line.
-func (c *cli) decryptBatch(pub *bf.PublicParams, userKey *core.UserKeyHalf, client *sem.Client, stdin io.Reader, stdout io.Writer) error {
+func (c *cli) decryptBatch(pub *bf.PublicParams, userKey *core.UserKeyHalf, client mediator, stdin io.Reader, stdout io.Writer) error {
 	var cts []*bf.Ciphertext
 	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)

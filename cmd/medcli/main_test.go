@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/base64"
 	"net"
 	"os"
 	"path/filepath"
@@ -204,5 +205,156 @@ func TestCLIList(t *testing.T) {
 	}
 	if !strings.Contains(out, "bob@example.com") || !strings.Contains(out, "offboarded") {
 		t.Fatalf("list output: %q", out)
+	}
+}
+
+// newShardedCLIWorld is newCLIWorld with n independent SEM shards, each
+// serving the full deployment store (as after a fleet-wide enrollment
+// broadcast).
+func newShardedCLIWorld(t *testing.T, n int) *cliWorld {
+	t.Helper()
+	d, err := keyfile.NewDeployment(keyfile.DeploymentConfig{ParamSet: "toy", MsgLen: 48, RSABits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"alice@example.com", "bob@example.com", "carol@example.com"} {
+		if err := d.Enroll(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	if err := d.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	pp, err := d.System().Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &cliWorld{dir: dir}
+	var addrs []string
+	for i := 0; i < n; i++ {
+		reg := core.NewRegistry()
+		ibe, gdh, rsa, err := d.Store().BuildSEMs(d.System(), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := sem.NewServer(sem.Config{Registry: reg, IBE: ibe, GDH: gdh, RSA: rsa, Pairing: pp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs = append(addrs, ln.Addr().String())
+	}
+	w.semAddr = strings.Join(addrs, ",")
+	return w
+}
+
+func (w *cliWorld) execSharded(t *testing.T, stdin string, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	base := []string{
+		"-system", filepath.Join(w.dir, "system.json"),
+		"-shards", w.semAddr,
+	}
+	err := run(append(base, args...), strings.NewReader(stdin), &out)
+	return out.String(), err
+}
+
+// TestCLISharded drives the user-facing flows through -shards routing:
+// mediated decryption routes to the owning shard, revocation broadcasts to
+// the whole fleet, and list unions the shards' journals.
+func TestCLISharded(t *testing.T) {
+	w := newShardedCLIWorld(t, 3)
+
+	ct, err := w.execSharded(t, "fleet secret", "encrypt", "-to", "bob@example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append(w.userFlag("bob@example.com"), "decrypt")
+	plain, err := w.execSharded(t, ct, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != "fleet secret" {
+		t.Fatalf("decrypted %q", plain)
+	}
+
+	signArgs := append(w.userFlag("alice@example.com"), "sign")
+	sig, err := w.execSharded(t, "doc", signArgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigFile := filepath.Join(w.dir, "sig.b64")
+	if err := os.WriteFile(sigFile, []byte(sig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := w.execSharded(t, "doc", "verify", "-id", "alice@example.com", "-sig", sigFile); err != nil || !strings.Contains(out, "signature OK") {
+		t.Fatalf("verify: %q %v", out, err)
+	}
+
+	// Revocation must bite on EVERY shard: decrypt routes by ring, so if
+	// the broadcast missed the owning shard the next decrypt would succeed.
+	if _, err := w.execSharded(t, "", "revoke", "-id", "bob@example.com", "-reason", "fleet test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.execSharded(t, ct, args...); err == nil {
+		t.Fatal("revoked identity decrypted through the fleet")
+	}
+	out, err := w.execSharded(t, "", "status", "-id", "bob@example.com")
+	if err != nil || !strings.Contains(out, "REVOKED") {
+		t.Fatalf("status: %q %v", out, err)
+	}
+	out, err = w.execSharded(t, "", "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bob@example.com") || strings.Count(out, "bob@example.com") != 1 {
+		t.Fatalf("list union wrong: %q", out)
+	}
+	if _, err := w.execSharded(t, "", "unrevoke", "-id", "bob@example.com"); err != nil {
+		t.Fatal(err)
+	}
+	plain, err = w.execSharded(t, ct, args...)
+	if err != nil || plain != "fleet secret" {
+		t.Fatalf("post-unrevoke decrypt: %q %v", plain, err)
+	}
+}
+
+// TestCLIShardedBatchDecrypt routes a batch across the ring: every line
+// must come back in input order even though the ids map to one shard and
+// the frames split per shard under the hood.
+func TestCLIShardedBatchDecrypt(t *testing.T) {
+	w := newShardedCLIWorld(t, 3)
+	var lines []string
+	msgs := []string{"first", "second", "third", "fourth"}
+	for _, m := range msgs {
+		ct, err := w.execSharded(t, m, "encrypt", "-to", "carol@example.com")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, strings.TrimSpace(ct))
+	}
+	args := append(w.userFlag("carol@example.com"), "decrypt", "-batch")
+	out, err := w.execSharded(t, strings.Join(lines, "\n")+"\n", args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Fields(strings.TrimSpace(out))
+	if len(got) != len(msgs) {
+		t.Fatalf("got %d lines for %d inputs:\n%s", len(got), len(msgs), out)
+	}
+	for i, m := range msgs {
+		raw, err := base64.StdEncoding.DecodeString(got[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != m {
+			t.Errorf("line %d: got %q want %q", i, raw, m)
+		}
 	}
 }

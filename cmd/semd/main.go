@@ -14,6 +14,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -47,14 +48,31 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 		debugAddr = fs.String("debug-addr", "", "HTTP debug listener (Prometheus /metrics, /metrics.json, /debug/pprof); empty disables")
 		maxBatch  = fs.Int("max-batch", 0, "protocol-v2 items per frame announced to clients (0 = default)")
 		maxFrame  = fs.Int("max-frame", 0, "per-connection frame size cap in bytes, both protocol versions (0 = default)")
+		workers   = fs.Int("workers", 0, "request-execution worker pool size (0 = GOMAXPROCS)")
+		shardID   = fs.String("shard", "", "shard label for logs and metrics when this daemon is one of a fleet")
+		allowReg  = fs.Bool("allow-register", false, "accept register_ibe/register_gdh ops (enrollment over the wire; same trust model as unauthenticated revoke)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Reject nonsense tunables outright instead of limping along on an
+	// accidental default: an explicitly-set size must be ≥ 1 (leave a flag
+	// unset for the built-in default).
+	var flagErr error
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "workers", "max-batch", "max-frame":
+			if v, err := strconv.Atoi(f.Value.String()); err != nil || v < 1 {
+				flagErr = fmt.Errorf("-%s must be >= 1, got %s", f.Name, f.Value)
+			}
+		}
+	})
+	if flagErr != nil {
+		return flagErr
+	}
 
 	var sys keyfile.System
-	err := keyfile.Load(*systemFn, &sys)
-	if err != nil {
+	if err := keyfile.Load(*systemFn, &sys); err != nil {
 		return err
 	}
 	var store keyfile.SEMStore
@@ -64,6 +82,7 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 	var (
 		reg     *core.Registry
 		journal *core.Journal
+		err     error
 	)
 	var metrics *obs.Registry
 	if *debugAddr != "" {
@@ -103,17 +122,28 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 	if err != nil {
 		return err
 	}
+	logf := log.Printf
+	if *shardID != "" {
+		prefix := fmt.Sprintf("[shard %s] ", *shardID)
+		logf = func(format string, v ...any) { log.Printf(prefix+format, v...) }
+		if metrics != nil {
+			metrics.Gauge("semd_shard_info", "constant 1, labeled with this daemon's shard id",
+				obs.Label{Key: "shard", Value: *shardID}).Set(1)
+		}
+	}
 	srv, err := sem.NewServer(sem.Config{
-		Registry: reg,
-		IBE:      ibe,
-		GDH:      gdh,
-		RSA:      rsa,
-		Journal:  journal,
-		Pairing:  pp,
-		Logf:     log.Printf,
-		Metrics:  metrics,
-		MaxBatch: *maxBatch,
-		MaxFrame: *maxFrame,
+		Registry:      reg,
+		IBE:           ibe,
+		GDH:           gdh,
+		RSA:           rsa,
+		Journal:       journal,
+		Pairing:       pp,
+		Logf:          logf,
+		Metrics:       metrics,
+		MaxBatch:      *maxBatch,
+		MaxFrame:      *maxFrame,
+		Workers:       *workers,
+		AllowRegister: *allowReg,
 	})
 	if err != nil {
 		return err

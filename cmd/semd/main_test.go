@@ -286,3 +286,69 @@ func TestSemdMetricsEndpoint(t *testing.T) {
 		t.Fatal("daemon did not shut down")
 	}
 }
+
+// TestSemdFlagValidation checks the startup tunable validation: explicitly
+// setting -workers/-max-batch/-max-frame below 1 must be rejected before
+// any file is touched, while valid values (and the 0-means-default of an
+// unset flag) boot normally.
+func TestSemdFlagValidation(t *testing.T) {
+	stop := make(chan os.Signal)
+	for _, bad := range [][]string{
+		{"-workers", "0"},
+		{"-workers", "-3"},
+		{"-max-batch", "0"},
+		{"-max-batch", "-1"},
+		{"-max-frame", "0"},
+		{"-max-frame", "-64"},
+	} {
+		err := run(bad, stop, nil, nil)
+		if err == nil {
+			t.Fatalf("args %v accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "must be >= 1") {
+			t.Fatalf("args %v: error %q does not name the constraint", bad, err)
+		}
+	}
+
+	// Valid explicit values serve fine (and -shard/-allow-register parse).
+	dir := writeDeployment(t)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	stopOK := make(chan os.Signal, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-system", filepath.Join(dir, "system.json"),
+			"-store", filepath.Join(dir, "sem-store.json"),
+			"-workers", "2",
+			"-max-batch", "16",
+			"-max-frame", "65536",
+			"-shard", "s0",
+			"-allow-register",
+		}, stopOK, ready, nil)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sem.Dial(addr, pp, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	stopOK <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

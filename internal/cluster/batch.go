@@ -3,7 +3,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"net"
 	"sync"
 	"time"
 
@@ -158,17 +157,8 @@ func (r *Recombiner) DecryptBatch(id string, cs []*bf.BasicCiphertext) (msgs [][
 // decodes the full column of shares, validating all GT elements with one
 // batched subgroup check.
 func (r *Recombiner) fetchShares(addr, id string, us [][]byte) ([]*core.DecryptionShare, error) {
-	conn, err := net.DialTimeout("tcp", addr, r.timeout)
-	if err != nil {
-		return nil, err
-	}
-	defer func() { _ = conn.Close() }()
-	_ = conn.SetDeadline(time.Now().Add(r.timeout))
-	if _, err := wire.WriteFrame(conn, &request{Op: "shares", ID: id, Us: us}); err != nil {
-		return nil, err
-	}
 	var resp response
-	if _, err := wire.ReadFrame(conn, &resp); err != nil {
+	if err := r.roundTrip(addr, &request{Op: "shares", ID: id, Us: us}, &resp); err != nil {
 		return nil, err
 	}
 	if !resp.OK {

@@ -283,13 +283,86 @@ func (p *PlayerServer) shareResponse(req *request) *response {
 }
 
 // Recombiner is the designated-player client: it collects, verifies and
-// combines decryption shares from the player servers.
+// combines decryption shares from the player servers. Connections to
+// players persist across decryptions in a small per-player pool, so a
+// steady stream of threshold decryptions pays the TCP handshake once per
+// player instead of once per operation.
 type Recombiner struct {
 	params *core.ThresholdParams
 	// addrs[i-1] is player i's address ("" = player not deployed).
 	addrs   []string
 	timeout time.Duration
 	met     *recombinerMetrics
+	pool    *connPool
+}
+
+// connPool caches idle player connections keyed by address. Players close
+// idle peers after their IOTimeout, so a cached connection may be stale —
+// the round-trip path absorbs that with one fresh-dial retry.
+type connPool struct {
+	mu      sync.Mutex
+	idle    map[string][]net.Conn
+	closed  bool
+	maxIdle int // per address
+}
+
+// maxIdlePerPlayer bounds cached connections per player: one decryption fan
+// uses one connection per player, so anything beyond a couple only covers
+// concurrent Decrypt callers.
+const maxIdlePerPlayer = 2
+
+func newConnPool() *connPool {
+	return &connPool{idle: make(map[string][]net.Conn), maxIdle: maxIdlePerPlayer}
+}
+
+// get pops an idle connection for addr, or nil when the caller must dial.
+func (cp *connPool) get(addr string) net.Conn {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	conns := cp.idle[addr]
+	if len(conns) == 0 {
+		return nil
+	}
+	c := conns[len(conns)-1]
+	cp.idle[addr] = conns[:len(conns)-1]
+	return c
+}
+
+// put returns a healthy connection to the pool (closing it instead when the
+// pool is full or closed).
+func (cp *connPool) put(addr string, c net.Conn) {
+	cp.mu.Lock()
+	if cp.closed || len(cp.idle[addr]) >= cp.maxIdle {
+		cp.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	cp.idle[addr] = append(cp.idle[addr], c)
+	cp.mu.Unlock()
+}
+
+// size reports the total idle connections (for the cluster_pool_idle gauge).
+func (cp *connPool) size() int64 {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	n := 0
+	for _, conns := range cp.idle {
+		n += len(conns)
+	}
+	return int64(n)
+}
+
+// closeAll closes every idle connection and refuses further caching.
+func (cp *connPool) closeAll() {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.closed = true
+	for addr, conns := range cp.idle {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		delete(cp.idle, addr)
+	}
 }
 
 // recombinerMetrics instruments the fan-out path: where a threshold
@@ -302,6 +375,9 @@ type recombinerMetrics struct {
 	quorumWait *obs.Histogram   // cluster_quorum_wait_seconds
 	decrypts   *obs.Counter     // cluster_decrypts_total
 	rejected   *obs.Counter     // cluster_rejected_shares_total
+	poolDials  *obs.Counter     // cluster_pool_dials_total
+	poolReuses *obs.Counter     // cluster_pool_reuses_total
+	poolRetry  *obs.Counter     // cluster_pool_stale_retries_total
 }
 
 // Instrument registers the recombiner's series with reg: one
@@ -317,11 +393,15 @@ func (r *Recombiner) Instrument(reg *obs.Registry) {
 		quorumWait: reg.Histogram("cluster_quorum_wait_seconds", "time from fan-out until all player fetches resolved"),
 		decrypts:   reg.Counter("cluster_decrypts_total", "threshold decryptions attempted"),
 		rejected:   reg.Counter("cluster_rejected_shares_total", "player responses rejected (unreachable, malformed or failing verification)"),
+		poolDials:  reg.Counter("cluster_pool_dials_total", "player connections dialed by the recombiner"),
+		poolReuses: reg.Counter("cluster_pool_reuses_total", "share fetches served over a pooled player connection"),
+		poolRetry:  reg.Counter("cluster_pool_stale_retries_total", "fetches replayed on a fresh dial after a pooled connection went stale"),
 	}
 	for i := 1; i <= r.params.N; i++ {
 		m.fetch[i-1] = reg.Histogram("cluster_fetch_seconds", "per-player share fetch + proof verification time",
 			obs.Label{Key: "player", Value: strconv.Itoa(i)})
 	}
+	reg.GaugeFunc("cluster_pool_idle", "idle pooled player connections", r.pool.size)
 	r.met = m
 }
 
@@ -363,6 +443,27 @@ func (m *recombinerMetrics) shareRejected() {
 	m.rejected.Inc()
 }
 
+func (m *recombinerMetrics) pooledDial() {
+	if m == nil {
+		return
+	}
+	m.poolDials.Inc()
+}
+
+func (m *recombinerMetrics) pooledReuse() {
+	if m == nil {
+		return
+	}
+	m.poolReuses.Inc()
+}
+
+func (m *recombinerMetrics) pooledStaleRetry() {
+	if m == nil {
+		return
+	}
+	m.poolRetry.Inc()
+}
+
 // NewRecombiner binds a recombiner to the cluster topology.
 func NewRecombiner(params *core.ThresholdParams, addrs []string, timeout time.Duration) (*Recombiner, error) {
 	if len(addrs) != params.N {
@@ -371,7 +472,65 @@ func NewRecombiner(params *core.ThresholdParams, addrs []string, timeout time.Du
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	return &Recombiner{params: params, addrs: addrs, timeout: timeout}, nil
+	return &Recombiner{params: params, addrs: addrs, timeout: timeout, pool: newConnPool()}, nil
+}
+
+// Close releases the recombiner's pooled player connections. The
+// recombiner stays usable — subsequent decryptions dial fresh.
+func (r *Recombiner) Close() error {
+	r.pool.closeAll()
+	return nil
+}
+
+// roundTrip performs one framed request/response exchange with a player
+// over a pooled connection. A transport failure on a reused connection is
+// indistinguishable from the player having idle-closed it, so the exchange
+// is replayed exactly once on a fresh dial; failures on fresh connections
+// are real and propagate.
+func (r *Recombiner) roundTrip(addr string, req *request, resp *response) error {
+	conn := r.pool.get(addr)
+	reused := conn != nil
+	if reused {
+		r.met.pooledReuse()
+	} else {
+		var err error
+		r.met.pooledDial()
+		conn, err = net.DialTimeout("tcp", addr, r.timeout)
+		if err != nil {
+			return err
+		}
+	}
+	err := exchangeFrames(conn, req, resp, r.timeout)
+	if err != nil {
+		_ = conn.Close()
+		if !reused {
+			return err
+		}
+		r.met.pooledStaleRetry()
+		r.met.pooledDial()
+		conn, err = net.DialTimeout("tcp", addr, r.timeout)
+		if err != nil {
+			return err
+		}
+		*resp = response{}
+		if err = exchangeFrames(conn, req, resp, r.timeout); err != nil {
+			_ = conn.Close()
+			return err
+		}
+	}
+	r.pool.put(addr, conn)
+	return nil
+}
+
+// exchangeFrames writes one request frame and reads one response frame
+// under the round-trip deadline.
+func exchangeFrames(conn net.Conn, req *request, resp *response, timeout time.Duration) error {
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := wire.WriteFrame(conn, req); err != nil {
+		return err
+	}
+	_, err := wire.ReadFrame(conn, resp)
+	return err
 }
 
 // Decrypt fans the ciphertext out to every reachable player, verifies each
@@ -435,19 +594,11 @@ func (r *Recombiner) Decrypt(id string, c *bf.BasicCiphertext) (msg []byte, reje
 	return msg, rejected, err
 }
 
-// fetchShare performs one share request against a player.
+// fetchShare performs one share request against a player over a pooled
+// connection.
 func (r *Recombiner) fetchShare(addr, id string, c *bf.BasicCiphertext) (*core.DecryptionShare, error) {
-	conn, err := net.DialTimeout("tcp", addr, r.timeout)
-	if err != nil {
-		return nil, err
-	}
-	defer func() { _ = conn.Close() }()
-	_ = conn.SetDeadline(time.Now().Add(r.timeout))
-	if _, err := wire.WriteFrame(conn, &request{Op: "share", ID: id, U: c.U.Marshal()}); err != nil {
-		return nil, err
-	}
 	var resp response
-	if _, err := wire.ReadFrame(conn, &resp); err != nil {
+	if err := r.roundTrip(addr, &request{Op: "share", ID: id, U: c.U.Marshal()}, &resp); err != nil {
 		return nil, err
 	}
 	if !resp.OK {

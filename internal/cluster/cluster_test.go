@@ -386,3 +386,78 @@ func TestClusterSharesOpPartialMalformed(t *testing.T) {
 		t.Fatalf("malformed slot = %+v", resp.Shares[1])
 	}
 }
+
+// TestRecombinerConnPool checks the pooled-connection path: the first
+// decryption dials every player, the second rides the cached connections,
+// and a cache full of dead sockets is absorbed by the stale-retry replay
+// without the caller seeing an error.
+func TestRecombinerConnPool(t *testing.T) {
+	d := deploy(t)
+	r := d.recombiner(t)
+	defer func() { _ = r.Close() }()
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+
+	msg := bytes.Repeat([]byte{0xD0}, msgLen)
+	c, err := d.params.Public.EncryptBasic(rand.Reader, ident, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		got, rejected, err := r.Decrypt(ident, c)
+		if err != nil || len(rejected) != 0 {
+			t.Fatalf("round %d: rejected=%v err=%v", round, rejected, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round %d: decrypted %x, want %x", round, got, msg)
+		}
+	}
+	if dials := r.met.poolDials.Value(); dials != nn {
+		t.Fatalf("dials = %d, want %d (second round must reuse)", dials, nn)
+	}
+	if reuses := r.met.poolReuses.Value(); reuses != nn {
+		t.Fatalf("reuses = %d, want %d", reuses, nn)
+	}
+
+	// Poison the cache: close every pooled socket out from under the
+	// recombiner, as a player's idle timeout would. The next decryption must
+	// detect the stale connections and replay on fresh dials.
+	r.pool.mu.Lock()
+	for _, conns := range r.pool.idle {
+		for _, pc := range conns {
+			_ = pc.Close()
+		}
+	}
+	r.pool.mu.Unlock()
+	got, rejected, err := r.Decrypt(ident, c)
+	if err != nil || len(rejected) != 0 {
+		t.Fatalf("post-poison decrypt: rejected=%v err=%v", rejected, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("post-poison decrypted %x, want %x", got, msg)
+	}
+	if retries := r.met.poolRetry.Value(); retries != nn {
+		t.Fatalf("stale retries = %d, want %d", retries, nn)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cluster_pool_dials_total", "cluster_pool_reuses_total", "cluster_pool_stale_retries_total", "cluster_pool_idle"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Close drains the cache; decryption still works by dialing fresh.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.pool.size(); n != 0 {
+		t.Fatalf("idle conns after Close = %d", n)
+	}
+	if _, _, err := r.Decrypt(ident, c); err != nil {
+		t.Fatalf("decrypt after Close: %v", err)
+	}
+}

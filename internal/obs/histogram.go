@@ -128,7 +128,7 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	var cum uint64
 	for i, c := range s.buckets {
 		cum += c
-		if cum > rank {
+		if cum > rank { //cryptolint:public (aggregate latency-bucket counts; quantile walks are observability, not key material)
 			if i >= len(bucketBounds) {
 				break // overflow bucket
 			}

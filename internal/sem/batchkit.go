@@ -1,0 +1,148 @@
+package sem
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/curve"
+	"repro/internal/mrsa"
+	"repro/internal/pairing"
+	"repro/internal/wire"
+)
+
+// batchCaller is the raw-bytes batch transport shared by every client
+// flavor: the single-conn Client, the multiplexed Pool, and the
+// ring-routing ShardedClient. Results and errs are index-aligned with the
+// inputs; err reports a transport failure partway through, with the voided
+// slots carrying that error in errs (see Client.batchCall for the full
+// contract).
+type batchCaller interface {
+	batchCall(op Op, ids []string, payloads [][]byte) ([][]byte, []error, error)
+}
+
+// tokenBatch is the shared front half of TokenBatch: marshal the U points,
+// run the op through whichever transport, then decode and validate the
+// returned tokens with the batch variant of wire.UnmarshalGT (order-q
+// membership for the whole batch in one combined exponentiation, per-item
+// fallback pinpointing offenders only when something is actually bad).
+func tokenBatch(bc batchCaller, pp *pairing.Params, ids []string, us []*curve.Point) ([]*pairing.GT, []error, error) {
+	if pp == nil {
+		return nil, nil, errors.New("sem: client has no pairing params")
+	}
+	if len(ids) != len(us) {
+		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d points", len(ids), len(us))
+	}
+	payloads := make([][]byte, len(us))
+	for i, u := range us {
+		payloads[i] = u.Marshal()
+	}
+	raws, errs, err := bc.batchCall(OpIBEToken, ids, payloads)
+	if raws == nil {
+		return nil, nil, err
+	}
+	okRaws := make([][]byte, len(raws))
+	for i, raw := range raws {
+		if errs[i] == nil {
+			okRaws[i] = raw
+		}
+	}
+	tokens, gtErrs, berr := wire.UnmarshalGTBatch(pp, okRaws)
+	if berr != nil {
+		return nil, nil, fmt.Errorf("sem: batch token validation: %w", berr)
+	}
+	for i, e := range gtErrs {
+		if errs[i] == nil && e != nil {
+			errs[i] = e
+		}
+	}
+	return tokens, errs, err
+}
+
+// gdhHalfSignBatch is the shared front half of GDHHalfSignBatch; each
+// returned point passes the same subgroup validation as the single-op path.
+func gdhHalfSignBatch(bc batchCaller, pp *pairing.Params, ids []string, hs []*curve.Point) ([]*curve.Point, []error, error) {
+	if pp == nil {
+		return nil, nil, errors.New("sem: client has no pairing params")
+	}
+	if len(ids) != len(hs) {
+		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d points", len(ids), len(hs))
+	}
+	payloads := make([][]byte, len(hs))
+	for i, h := range hs {
+		payloads[i] = h.Marshal()
+	}
+	raws, errs, err := bc.batchCall(OpGDHSign, ids, payloads)
+	if raws == nil {
+		return nil, nil, err
+	}
+	halves := make([]*curve.Point, len(ids))
+	for i, raw := range raws {
+		if errs[i] != nil {
+			continue
+		}
+		pt, perr := wire.UnmarshalG1(pp.Curve(), raw)
+		if perr != nil {
+			errs[i] = perr
+			continue
+		}
+		halves[i] = pt
+	}
+	return halves, errs, err
+}
+
+// rsaHalfDecryptBatch is the shared front half of RSAHalfDecryptBatch;
+// responses are range-checked against the public modulus like the
+// single-op path.
+func rsaHalfDecryptBatch(bc batchCaller, pub *mrsa.PublicKey, ids []string, cts []*big.Int) ([]*big.Int, []error, error) {
+	if len(ids) != len(cts) {
+		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d ciphertexts", len(ids), len(cts))
+	}
+	payloads := make([][]byte, len(cts))
+	for i, ct := range cts {
+		payloads[i] = ct.Bytes() //cryptolint:public (sanctioned wire serialization edge; the ciphertext is on the wire by design)
+	}
+	raws, errs, err := bc.batchCall(OpRSADecrypt, ids, payloads)
+	if raws == nil {
+		return nil, nil, err
+	}
+	halves := make([]*big.Int, len(ids))
+	for i, raw := range raws {
+		if errs[i] != nil {
+			continue
+		}
+		x, xerr := wire.UnmarshalScalar(raw, pub.N)
+		if xerr != nil {
+			errs[i] = xerr
+			continue
+		}
+		halves[i] = x
+	}
+	return halves, errs, err
+}
+
+// registerIBEBatch is the shared front half of RegisterIBEBatch.
+func registerIBEBatch(bc batchCaller, ids []string, ds []*curve.Point) ([]error, error) {
+	if len(ids) != len(ds) {
+		return nil, fmt.Errorf("sem: batch has %d ids but %d points", len(ids), len(ds))
+	}
+	payloads := make([][]byte, len(ds))
+	for i, d := range ds {
+		payloads[i] = d.Marshal()
+	}
+	_, errs, err := bc.batchCall(OpRegisterIBE, ids, payloads)
+	return errs, err
+}
+
+// registerGDHBatch is the shared front half of RegisterGDHBatch.
+func registerGDHBatch(bc batchCaller, ids []string, xs []*big.Int) ([]error, error) {
+	if len(ids) != len(xs) {
+		return nil, fmt.Errorf("sem: batch has %d ids but %d scalars", len(ids), len(xs))
+	}
+	payloads := make([][]byte, len(xs))
+	for i, x := range xs {
+		payloads[i] = x.Bytes() //cryptolint:public (sanctioned wire serialization edge; SEM half delivery is the enrollment protocol)
+	}
+	_, errs, err := bc.batchCall(OpRegisterGDH, ids, payloads)
+	return errs, err
+}

@@ -8,6 +8,7 @@ import (
 	"math/big"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bf"
@@ -44,6 +45,8 @@ import (
 type Client struct {
 	mu        sync.Mutex
 	conn      net.Conn
+	closeOnce sync.Once
+	closed    atomic.Bool
 	opTimeout time.Duration
 
 	// Protocol state, guarded by mu.
@@ -189,8 +192,44 @@ func (c *Client) Instrument(reg *obs.Registry) {
 	c.latency = reg.Histogram("semclient_roundtrip_seconds", "full request/response round trip time")
 }
 
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// ErrClientClosed is returned by every operation on a client whose Close
+// has been called. The pool layer relies on the distinction: an op failing
+// with ErrClientClosed means "we tore this connection down ourselves"
+// (eviction, shutdown) and is retried on another connection, while a raw
+// net error means the peer died.
+var ErrClientClosed = errors.New("sem: client closed")
+
+// Close closes the underlying connection. It is idempotent: the first call
+// closes the connection and returns its error, later calls return nil.
+// Close never waits for an in-flight op — closing the conn wakes a blocked
+// read, and that op then fails with ErrClientClosed.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		err = c.conn.Close()
+	})
+	return err
+}
+
+// checkOpen reports ErrClientClosed once Close has run.
+func (c *Client) checkOpen() error {
+	if c.closed.Load() {
+		return ErrClientClosed
+	}
+	return nil
+}
+
+// opError converts a transport failure into ErrClientClosed when the client
+// was closed while the op was in flight (the conn error is then our own
+// teardown, not the peer's). Server-answered errors pass through: the
+// exchange completed before the teardown.
+func (c *Client) opError(err error) error {
+	if err != nil && c.closed.Load() && !errors.Is(err, ErrRemote) {
+		return ErrClientClosed
+	}
+	return err
+}
 
 // getStats returns (creating if needed) the counter set for op, plus the
 // round-trip histogram (nil until Instrument; nil histograms record
@@ -235,11 +274,15 @@ func (c *Client) Stats() map[Op]WireStats {
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.negotiate(); err != nil {
+	if err := c.checkOpen(); err != nil {
 		return nil, err
 	}
+	if err := c.negotiate(); err != nil {
+		return nil, c.opError(err)
+	}
 	if c.version == 2 {
-		return c.roundTripV2(req)
+		resp, err := c.roundTripV2(req)
+		return resp, c.opError(err)
 	}
 	start := time.Now()
 	if c.opTimeout > 0 {
@@ -247,12 +290,12 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	}
 	sent, err := writeFrame(c.conn, req, c.maxFrame)
 	if err != nil {
-		return nil, fmt.Errorf("send %s: %w", req.Op, err)
+		return nil, c.opError(fmt.Errorf("send %s: %w", req.Op, err))
 	}
 	var resp Response
 	recv, err := readFrame(c.conn, &resp, c.maxFrame)
 	if err != nil {
-		return nil, fmt.Errorf("receive %s: %w", req.Op, err)
+		return nil, c.opError(fmt.Errorf("receive %s: %w", req.Op, err))
 	}
 	if c.opTimeout > 0 {
 		_ = c.conn.SetDeadline(time.Time{})
@@ -293,6 +336,10 @@ func v2ByteFor(op Op) byte {
 		return v2OpList
 	case OpPing:
 		return v2OpPing
+	case OpRegisterIBE:
+		return v2OpRegisterIBE
+	case OpRegisterGDH:
+		return v2OpRegisterGDH
 	default:
 		return 0 // no v2 encoding; the server rejects op 0 as bad request
 	}
@@ -388,9 +435,16 @@ func responseFromV2(op Op, item wire.RespItem) *Response {
 	return &Response{OK: true, Payload: bytes.Clone(item.Data)}
 }
 
+// ErrRemote marks every error the SEM answered over a healthy connection —
+// revoked, unknown identity, bad request, internal failure. errors.Is(err,
+// ErrRemote) == false therefore means a transport failure (dial, write,
+// read, protocol violation), which is the router's cue to fail over to the
+// next ring replica; a remote error would only repeat there.
+var ErrRemote = errors.New("sem: remote error")
+
 // decodeError maps protocol error codes back onto the typed core errors:
 // the returned error's message is the SEM's own message, and errors.Is
-// matches the corresponding sentinel.
+// matches the corresponding sentinel as well as ErrRemote.
 func decodeError(resp *Response) error {
 	switch resp.Code {
 	case CodeRevoked:
@@ -398,19 +452,25 @@ func decodeError(resp *Response) error {
 	case CodeUnknownIdentity:
 		return &remoteError{msg: resp.Error, sentinel: core.ErrUnknownIdentity}
 	default:
-		return fmt.Errorf("sem: %s (%s)", resp.Error, resp.Code)
+		return &remoteError{msg: fmt.Sprintf("sem: %s (%s)", resp.Error, resp.Code)}
 	}
 }
 
 // remoteError carries a SEM-side message while unwrapping to the typed
-// sentinel the server classified it as.
+// sentinel the server classified it as, plus ErrRemote.
 type remoteError struct {
 	msg      string
-	sentinel error
+	sentinel error // nil when the code has no typed sentinel
 }
 
 func (e *remoteError) Error() string { return e.msg }
-func (e *remoteError) Unwrap() error { return e.sentinel }
+
+func (e *remoteError) Unwrap() []error {
+	if e.sentinel == nil {
+		return []error{ErrRemote}
+	}
+	return []error{e.sentinel, ErrRemote}
+}
 
 // Ping checks liveness.
 func (c *Client) Ping() error {
@@ -578,6 +638,34 @@ func (c *Client) Unrevoke(id string) error {
 	return err
 }
 
+// RegisterIBE installs the SEM half of id's mediated IBE key on the
+// server. The server must have been started with AllowRegister.
+func (c *Client) RegisterIBE(id string, d *curve.Point) error {
+	_, err := c.roundTrip(&Request{Op: OpRegisterIBE, ID: id, Payload: d.Marshal()})
+	return err
+}
+
+// RegisterGDH installs the SEM half of id's GDH signing key on the server.
+// The server must have been started with AllowRegister.
+func (c *Client) RegisterGDH(id string, x *big.Int) error {
+	_, err := c.roundTrip(&Request{Op: OpRegisterGDH, ID: id, Payload: x.Bytes()}) //cryptolint:public (sanctioned wire serialization edge; SEM half delivery is the enrollment protocol)
+	return err
+}
+
+// RegisterIBEBatch installs k SEM IBE halves in one v2 frame per
+// negotiated chunk — the bulk-enrollment path semload uses to seed a
+// million identities. errs is index-aligned; err reports a transport
+// failure partway through (see batchCall).
+func (c *Client) RegisterIBEBatch(ids []string, ds []*curve.Point) ([]error, error) {
+	return registerIBEBatch(c, ids, ds)
+}
+
+// RegisterGDHBatch installs k SEM GDH halves in one v2 frame per
+// negotiated chunk.
+func (c *Client) RegisterGDHBatch(ids []string, xs []*big.Int) ([]error, error) {
+	return registerGDHBatch(c, ids, xs)
+}
+
 // Status reports whether an identity is revoked.
 func (c *Client) Status(id string) (bool, error) {
 	resp, err := c.roundTrip(&Request{Op: OpStatus, ID: id})
@@ -601,8 +689,15 @@ func (c *Client) ListRevoked() ([]core.RevocationEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseRevocationList(resp.Payload)
+}
+
+// parseRevocationList decodes a revocation-list payload tolerantly: valid
+// entries survive a malformed sibling, which instead surfaces as an
+// ErrPartialList error alongside them.
+func parseRevocationList(payload []byte) ([]core.RevocationEntry, error) {
 	var raw []json.RawMessage
-	if err := json.Unmarshal(resp.Payload, &raw); err != nil {
+	if err := json.Unmarshal(payload, &raw); err != nil {
 		return nil, fmt.Errorf("sem: parse revocation list: %w", err)
 	}
 	entries := make([]core.RevocationEntry, 0, len(raw))
@@ -639,9 +734,13 @@ func (c *Client) batchCall(op Op, ids []string, payloads [][]byte) ([][]byte, []
 	}
 
 	c.mu.Lock()
-	if err := c.negotiate(); err != nil {
+	if err := c.checkOpen(); err != nil {
 		c.mu.Unlock()
 		return nil, nil, err
+	}
+	if err := c.negotiate(); err != nil {
+		c.mu.Unlock()
+		return nil, nil, c.opError(err)
 	}
 	version := c.version
 	c.mu.Unlock()
@@ -680,6 +779,7 @@ func (c *Client) batchCall(op Op, ids []string, payloads [][]byte) ([][]byte, []
 		if err != nil {
 			// The failed chunk and everything after it never produced
 			// results; keep the chunks already fetched and mark the rest.
+			err = c.opError(err)
 			for i := lo; i < len(ids); i++ {
 				errs[i] = err
 			}
@@ -706,102 +806,19 @@ func (c *Client) batchCall(op Op, ids []string, payloads [][]byte) ([][]byte, []
 // which case tokens fetched before the failure are still returned and the
 // voided slots carry that error in errs.
 func (c *Client) TokenBatch(ids []string, us []*curve.Point) (tokens []*pairing.GT, errs []error, err error) {
-	if c.pairing == nil {
-		return nil, nil, errors.New("sem: client has no pairing params")
-	}
-	if len(ids) != len(us) {
-		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d points", len(ids), len(us))
-	}
-	payloads := make([][]byte, len(us))
-	for i, u := range us {
-		payloads[i] = u.Marshal()
-	}
-	raws, errs, err := c.batchCall(OpIBEToken, ids, payloads)
-	if raws == nil {
-		return nil, nil, err
-	}
-
-	// Decode and validate through the batch variant of wire.UnmarshalGT:
-	// order-q membership of the whole batch costs one combined
-	// exponentiation instead of k, with per-item fallback pinpointing
-	// offenders only when something is actually bad.
-	okRaws := make([][]byte, len(raws))
-	for i, raw := range raws {
-		if errs[i] == nil {
-			okRaws[i] = raw
-		}
-	}
-	tokens, gtErrs, berr := wire.UnmarshalGTBatch(c.pairing, okRaws)
-	if berr != nil {
-		return nil, nil, fmt.Errorf("sem: batch token validation: %w", berr)
-	}
-	for i, e := range gtErrs {
-		if errs[i] == nil && e != nil {
-			errs[i] = e
-		}
-	}
-	return tokens, errs, err
+	return tokenBatch(c, c.pairing, ids, us)
 }
 
 // GDHHalfSignBatch requests SEM half-signatures for k (id, h(M)) pairs in
 // one v2 frame — the batch counterpart of GDHHalfSign. Each returned point
 // passes the same subgroup validation as the single-op path.
 func (c *Client) GDHHalfSignBatch(ids []string, hs []*curve.Point) (halves []*curve.Point, errs []error, err error) {
-	if c.pairing == nil {
-		return nil, nil, errors.New("sem: client has no pairing params")
-	}
-	if len(ids) != len(hs) {
-		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d points", len(ids), len(hs))
-	}
-	payloads := make([][]byte, len(hs))
-	for i, h := range hs {
-		payloads[i] = h.Marshal()
-	}
-	raws, errs, err := c.batchCall(OpGDHSign, ids, payloads)
-	if raws == nil {
-		return nil, nil, err
-	}
-	halves = make([]*curve.Point, len(ids))
-	for i, raw := range raws {
-		if errs[i] != nil {
-			continue
-		}
-		pt, perr := wire.UnmarshalG1(c.pairing.Curve(), raw)
-		if perr != nil {
-			errs[i] = perr
-			continue
-		}
-		halves[i] = pt
-	}
-	return halves, errs, err
+	return gdhHalfSignBatch(c, c.pairing, ids, hs)
 }
 
 // RSAHalfDecryptBatch requests m_sem = c^{d_sem} mod n for k ciphertexts
 // in one v2 frame — the batch counterpart of RSAHalfDecrypt. Responses are
 // range-checked against the public modulus like the single-op path.
 func (c *Client) RSAHalfDecryptBatch(pub *mrsa.PublicKey, ids []string, cts []*big.Int) (halves []*big.Int, errs []error, err error) {
-	if len(ids) != len(cts) {
-		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d ciphertexts", len(ids), len(cts))
-	}
-	payloads := make([][]byte, len(cts))
-	for i, ct := range cts {
-		payloads[i] = ct.Bytes() //cryptolint:public (sanctioned wire serialization edge; the ciphertext is on the wire by design)
-	}
-	raws, errs, err := c.batchCall(OpRSADecrypt, ids, payloads)
-	if raws == nil {
-		return nil, nil, err
-	}
-	halves = make([]*big.Int, len(ids))
-	for i, raw := range raws {
-		if errs[i] != nil {
-			continue
-		}
-		x, xerr := wire.UnmarshalScalar(raw, pub.N)
-		if xerr != nil {
-			errs[i] = xerr
-			continue
-		}
-		halves[i] = x
-	}
-	return halves, errs, err
+	return rsaHalfDecryptBatch(c, pub, ids, cts)
 }

@@ -22,6 +22,7 @@ import (
 var knownOps = []Op{
 	OpIBEToken, OpGDHSign, OpRSADecrypt, OpRSASign, OpGMDecrypt,
 	OpRevoke, OpUnrevoke, OpStatus, OpList, OpPing,
+	OpRegisterIBE, OpRegisterGDH,
 }
 
 // knownCodes enumerates the protocol error codes for the error-mix

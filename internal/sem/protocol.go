@@ -35,6 +35,15 @@ const (
 	OpStatus     Op = "status"        // → Revoked flag
 	OpList       Op = "list_revoked"  // → payload: JSON array of entries
 	OpPing       Op = "ping"          // liveness check
+
+	// Enrollment ops, served only when Config.AllowRegister is set: the
+	// PKG/TA (or a load generator standing in for one) delivers SEM key
+	// halves over the wire instead of at construction time. Like
+	// revoke/unrevoke they are unauthenticated — the daemon trusts its
+	// network perimeter — so production deployments keep them disabled
+	// unless the enrollment plane really runs through this listener.
+	OpRegisterIBE Op = "register_ibe" // payload: compressed D_sem point
+	OpRegisterGDH Op = "register_gdh" // payload: x_sem scalar bytes (big-endian)
 )
 
 // ErrorCode classifies failures so clients can map them back to the typed

@@ -29,6 +29,9 @@ const (
 	v2OpStatus     byte = 8  // item: id → 1 byte (1 = revoked)
 	v2OpList       byte = 9  // item: none → JSON array of entries
 	v2OpPing       byte = 10 // item: none → empty
+
+	v2OpRegisterIBE byte = 11 // item: id, compressed D_sem → empty
+	v2OpRegisterGDH byte = 12 // item: id, x_sem scalar bytes → empty
 )
 
 // v2 response status bytes. Zero is success; the rest mirror the v1
@@ -66,6 +69,10 @@ func opForV2(b byte) Op {
 		return OpList
 	case v2OpPing:
 		return OpPing
+	case v2OpRegisterIBE:
+		return OpRegisterIBE
+	case v2OpRegisterGDH:
+		return OpRegisterGDH
 	default:
 		return ""
 	}

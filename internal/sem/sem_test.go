@@ -22,6 +22,7 @@ const msgLen = 32
 type fixture struct {
 	t       *testing.T
 	pp      *pairing.Params
+	addr    string
 	server  *Server
 	client  *Client
 	reg     *core.Registry
@@ -90,12 +91,13 @@ func newFixture(t *testing.T) *fixture {
 	gmSEM.Register(testID, gmSEMHalf)
 
 	srv, err := NewServer(Config{
-		Registry: reg,
-		IBE:      ibeSEM,
-		GDH:      gdhSEM,
-		RSA:      rsaSEM,
-		GM:       gmSEM,
-		Pairing:  pp,
+		Registry:      reg,
+		IBE:           ibeSEM,
+		GDH:           gdhSEM,
+		RSA:           rsaSEM,
+		GM:            gmSEM,
+		Pairing:       pp,
+		AllowRegister: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -122,6 +124,7 @@ func newFixture(t *testing.T) *fixture {
 	return &fixture{
 		t:       t,
 		pp:      pp,
+		addr:    ln.Addr().String(),
 		server:  srv,
 		client:  client,
 		reg:     reg,

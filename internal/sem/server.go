@@ -94,6 +94,11 @@ type Config struct {
 	// MaxBatch caps the number of items in one v2 frame. 0 selects
 	// DefaultMaxBatch (64); the hard ceiling is wire.V2MaxBatch.
 	MaxBatch int
+	// AllowRegister enables the register_ibe/register_gdh enrollment ops,
+	// letting a PKG/TA (or load generator) install SEM key halves over the
+	// wire. Off by default: enrollment is normally done at construction
+	// time, and the op is as unauthenticated as revoke.
+	AllowRegister bool
 	// Metrics, when set, registers the server's instrumentation (request
 	// counts, error mix, service-time histograms, queue/in-flight/
 	// connection gauges, pairer-cache stats) with the registry. Nil keeps
@@ -432,6 +437,10 @@ func (s *Server) dispatch(req *Request) *Response {
 			s.cfg.Registry.Unrevoke(req.ID)
 		}
 		return &Response{OK: true}
+	case OpRegisterIBE:
+		return s.registerIBE(req)
+	case OpRegisterGDH:
+		return s.registerGDH(req)
 	case OpStatus:
 		return &Response{OK: true, Revoked: s.cfg.Registry.IsRevoked(req.ID)}
 	case OpList:
@@ -514,6 +523,42 @@ func (s *Server) gmDecrypt(req *Request) *Response {
 		return errResponse(CodeInternal, err)
 	}
 	return &Response{OK: true, Payload: payload}
+}
+
+func (s *Server) registerIBE(req *Request) *Response {
+	if !s.cfg.AllowRegister {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "registration not enabled (AllowRegister)"}
+	}
+	if s.cfg.IBE == nil {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "IBE backend not configured"}
+	}
+	if req.ID == "" {
+		return &Response{OK: false, Code: CodeBadRequest, Error: "register needs an identity"}
+	}
+	d, err := wire.UnmarshalG1(s.cfg.Pairing.Curve(), req.Payload)
+	if err != nil {
+		return errResponse(CodeBadRequest, err)
+	}
+	s.cfg.IBE.Register(&core.SEMKeyHalf{ID: req.ID, D: d})
+	return &Response{OK: true}
+}
+
+func (s *Server) registerGDH(req *Request) *Response {
+	if !s.cfg.AllowRegister {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "registration not enabled (AllowRegister)"}
+	}
+	if s.cfg.GDH == nil {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "GDH backend not configured"}
+	}
+	if req.ID == "" {
+		return &Response{OK: false, Code: CodeBadRequest, Error: "register needs an identity"}
+	}
+	x, err := wire.UnmarshalScalar(req.Payload, s.cfg.Pairing.Q())
+	if err != nil || x.Sign() <= 0 {
+		return &Response{OK: false, Code: CodeBadRequest, Error: "x_sem scalar outside [1, q-1]"}
+	}
+	s.cfg.GDH.Register(&core.GDHSEMKey{ID: req.ID, X: x})
+	return &Response{OK: true}
 }
 
 // coreError maps the typed errors of internal/core onto protocol codes.

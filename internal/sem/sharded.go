@@ -1,0 +1,495 @@
+package sem
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync/atomic"
+
+	"repro/internal/bf"
+	"repro/internal/bls"
+	"repro/internal/core"
+	"repro/internal/curve"
+	"repro/internal/mrsa"
+	"repro/internal/obs"
+	"repro/internal/pairing"
+	"repro/internal/parallel"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// ShardedClient routes SEM traffic across a fleet of shards. Identities map
+// to shards by consistent hashing (stable under fleet growth), each shard is
+// served by a multiplexed Pool, and per-identity ops fail over to the next
+// ring replica when a shard dies mid-request. Batches split shard-aware: one
+// sub-batch per owning shard, fanned in parallel, merged back in input order.
+//
+// Replica failover assumes the identity's key half is enrolled on every
+// replica (Register* methods do exactly that), and that revocations reach
+// every shard (Revoke/Unrevoke broadcast). Transport errors trigger
+// failover; errors the server answered (ErrRemote) never do — a revoked
+// identity stays revoked on the next replica too.
+type ShardedClient struct {
+	pp    *pairing.Params
+	ring  *shard.Ring
+	pools map[string]*Pool
+	addrs []string
+	reps  int
+	met   *shardedMetrics
+
+	closed atomic.Bool
+}
+
+// ShardedConfig tunes a ShardedClient.
+type ShardedConfig struct {
+	// Replicas is how many ring replicas serve each identity (primary
+	// first); ops fail over down this list on transport errors. ≤ 0
+	// selects 1 (no failover).
+	Replicas int
+	// VirtualNodes tunes ring smoothness; ≤ 0 selects the shard package
+	// default.
+	VirtualNodes int
+	// Pool tunes every per-shard pool. Pool.Metrics is overridden by
+	// Metrics below.
+	Pool PoolConfig
+	// Metrics, when set, instruments the ring (shard_ring_*), the fleet's
+	// pools (sempool_*, aggregated across shards) and the sharded client
+	// itself (shardclient_*).
+	Metrics *obs.Registry
+}
+
+type shardedMetrics struct {
+	failovers    *obs.Counter
+	shardBatches *obs.Counter
+	broadcasts   *obs.Counter
+}
+
+func newShardedMetrics(reg *obs.Registry) *shardedMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &shardedMetrics{
+		failovers:    reg.Counter("shardclient_failovers_total", "per-identity ops retried on the next ring replica after a transport failure"),
+		shardBatches: reg.Counter("shardclient_shard_batches_total", "per-shard sub-batches dispatched by sharded batch splitting"),
+		broadcasts:   reg.Counter("shardclient_broadcasts_total", "fleet-wide broadcast ops (revoke/unrevoke)"),
+	}
+}
+
+// NewShardedClient builds a client over the given shard addresses. No
+// connection is dialed until the first operation. pp may be nil when only
+// RSA/admin ops will be used.
+func NewShardedClient(addrs []string, pp *pairing.Params, cfg ShardedConfig) (*ShardedClient, error) {
+	ring, err := shard.New(addrs, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Metrics != nil {
+		ring.Instrument(cfg.Metrics)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > ring.Len() {
+		cfg.Replicas = ring.Len()
+	}
+	poolCfg := cfg.Pool
+	poolCfg.Metrics = cfg.Metrics
+	sc := &ShardedClient{
+		pp:    pp,
+		ring:  ring,
+		pools: make(map[string]*Pool, len(addrs)),
+		addrs: ring.Nodes(),
+		reps:  cfg.Replicas,
+		met:   newShardedMetrics(cfg.Metrics),
+	}
+	for _, addr := range sc.addrs {
+		sc.pools[addr] = NewPool(addr, pp, poolCfg) //cryptolint:public (shard addresses are deployment metadata, not key material)
+	}
+	return sc, nil
+}
+
+// Ring exposes the routing ring (read-only use: Lookup/Distribution).
+func (sc *ShardedClient) Ring() *shard.Ring { return sc.ring }
+
+// Addrs reports the fleet's shard addresses (sorted, deduplicated).
+func (sc *ShardedClient) Addrs() []string {
+	return append([]string(nil), sc.addrs...)
+}
+
+// Close tears down every shard pool. Idempotent.
+func (sc *ShardedClient) Close() error {
+	if sc.closed.Swap(true) {
+		return nil
+	}
+	for _, p := range sc.pools {
+		_ = p.Close()
+	}
+	return nil
+}
+
+// replicasFor returns the ring replica addresses serving id, primary first.
+func (sc *ShardedClient) replicasFor(dst []string, id string) []string {
+	return sc.ring.Replicas(dst, id, sc.reps)
+}
+
+// callReplicated runs one per-identity op against the identity's primary
+// shard, failing over down the replica list on transport errors. Errors the
+// server answered (ErrRemote) and our own close (ErrClientClosed) return
+// immediately — retrying those elsewhere is useless or wrong.
+func (sc *ShardedClient) callReplicated(op Op, id string, payload []byte) ([]byte, error) {
+	if sc.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	var scratch [4]string
+	reps := sc.replicasFor(scratch[:0], id)
+	var lastErr error
+	for i, addr := range reps {
+		if i > 0 {
+			sc.met.failovers.Inc()
+		}
+		raw, err := sc.pools[addr].single(op, id, payload) //cryptolint:public (replica-walk routing on shard addresses; deployment metadata)
+		if err == nil {
+			return raw, nil
+		}
+		if errors.Is(err, ErrRemote) || errors.Is(err, ErrClientClosed) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("sem: all %d replicas for %q failed: %w", len(reps), id, lastErr) //cryptolint:public (identities are public protocol metadata, not key material)
+}
+
+// batchCall is the ShardedClient's raw transport (the batchCaller
+// contract): split the items by owning shard, fan one sub-batch per shard
+// in parallel, and on shard failure retry the voided slots on each item's
+// next ring replica. Register ops instead broadcast every item to its full
+// replica set (enrollment must land everywhere failover can read from).
+// Results and errs come back in input order.
+func (sc *ShardedClient) batchCall(op Op, ids []string, payloads [][]byte) ([][]byte, []error, error) {
+	if len(ids) != len(payloads) {
+		return nil, nil, fmt.Errorf("sem: batch has %d ids but %d payloads", len(ids), len(payloads))
+	}
+	if sc.closed.Load() {
+		return nil, nil, ErrClientClosed
+	}
+	results := make([][]byte, len(ids))
+	errs := make([]error, len(ids))
+	if len(ids) == 0 {
+		return results, errs, nil
+	}
+	if op == OpRegisterIBE || op == OpRegisterGDH {
+		err := sc.broadcastRegister(op, ids, payloads, errs)
+		return results, errs, err
+	}
+
+	pending := make([]int, len(ids))
+	for i := range pending {
+		pending[i] = i
+	}
+	for attempt := 0; attempt < sc.reps && len(pending) > 0; attempt++ {
+		if attempt > 0 {
+			sc.met.failovers.Add(uint64(len(pending)))
+		}
+		groups, order := sc.groupByReplica(ids, pending, attempt)
+		parallel.FanChunks(len(order), func(lo, hi int) {
+			for g := lo; g < hi; g++ {
+				sc.runShardBatch(op, order[g], groups[order[g]], ids, payloads, results, errs) //cryptolint:public (fan-out over shard-address groups; deployment metadata)
+			}
+		})
+		// Slots that failed in transport stay pending for the next replica;
+		// ok slots and server-answered errors are settled.
+		next := pending[:0]
+		for _, i := range pending {
+			if errs[i] != nil && !errors.Is(errs[i], ErrRemote) && !errors.Is(errs[i], ErrClientClosed) {
+				next = append(next, i)
+			}
+		}
+		pending = next
+	}
+	var err error
+	for _, i := range pending {
+		if errs[i] != nil {
+			err = errs[i]
+			break
+		}
+	}
+	return results, errs, err
+}
+
+// groupByReplica buckets the pending input slots by the shard serving each
+// identity at the given replica attempt. Identities with fewer replicas
+// than attempt keep their existing error.
+func (sc *ShardedClient) groupByReplica(ids []string, pending []int, attempt int) (map[string][]int, []string) {
+	groups := make(map[string][]int)
+	var order []string
+	var scratch [4]string
+	for _, i := range pending {
+		reps := sc.replicasFor(scratch[:0], ids[i])
+		if attempt >= len(reps) {
+			continue
+		}
+		addr := reps[attempt]
+		if _, ok := groups[addr]; !ok { //cryptolint:public (grouping by shard address; deployment metadata)
+			order = append(order, addr)
+		}
+		groups[addr] = append(groups[addr], i) //cryptolint:public (grouping by shard address; deployment metadata)
+	}
+	return groups, order
+}
+
+// runShardBatch runs one shard's sub-batch and writes its slots of the
+// result arrays (disjoint across shards, so concurrent writers are safe).
+func (sc *ShardedClient) runShardBatch(op Op, addr string, idxs []int, ids []string, payloads [][]byte, results [][]byte, errs []error) {
+	sc.met.shardBatches.Inc()
+	subIDs := make([]string, len(idxs))
+	subPayloads := make([][]byte, len(idxs))
+	for j, i := range idxs {
+		subIDs[j] = ids[i]
+		subPayloads[j] = payloads[i]
+	}
+	subResults, subErrs, err := sc.pools[addr].batchCall(op, subIDs, subPayloads) //cryptolint:public (pool lookup by shard address; deployment metadata)
+	for j, i := range idxs {
+		switch {
+		case subResults == nil:
+			errs[i] = err
+		case subErrs[j] != nil:
+			errs[i] = subErrs[j]
+		default:
+			errs[i] = nil
+			results[i] = subResults[j]
+		}
+	}
+}
+
+// broadcastRegister enrolls every item on its full replica set: failover
+// reads from any replica, so enrollment is complete only when all of them
+// hold the key half. An item's error is its first failing replica's.
+func (sc *ShardedClient) broadcastRegister(op Op, ids []string, payloads [][]byte, errs []error) error {
+	// One pass per replica rank reuses the shard-batch machinery; every
+	// rank must succeed for an item to be cleanly enrolled.
+	all := make([]int, len(ids))
+	for i := range all {
+		all[i] = i
+	}
+	rankErrs := make([]error, len(ids))
+	for attempt := 0; attempt < sc.reps; attempt++ {
+		groups, order := sc.groupByReplica(ids, all, attempt)
+		for i := range rankErrs {
+			rankErrs[i] = nil
+		}
+		parallel.FanChunks(len(order), func(lo, hi int) {
+			for g := lo; g < hi; g++ {
+				sc.runShardBatch(op, order[g], groups[order[g]], ids, payloads, make([][]byte, len(ids)), rankErrs) //cryptolint:public (fan-out over shard-address groups; deployment metadata)
+			}
+		})
+		for i, e := range rankErrs {
+			if e != nil && errs[i] == nil {
+				errs[i] = e
+			}
+		}
+	}
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, ErrRemote) {
+			return e
+		}
+	}
+	return nil
+}
+
+// broadcast runs one op against every shard in the fleet and returns the
+// first error (all shards must accept).
+func (sc *ShardedClient) broadcast(op Op, id string, payload []byte) error {
+	if sc.closed.Load() {
+		return ErrClientClosed
+	}
+	sc.met.broadcasts.Inc()
+	errsByShard := make([]error, len(sc.addrs))
+	parallel.Fan(len(sc.addrs), func(i int) {
+		_, errsByShard[i] = sc.pools[sc.addrs[i]].single(op, id, payload) //cryptolint:public (broadcast over the shard-address list; deployment metadata)
+	})
+	for i, err := range errsByShard {
+		if err != nil {
+			return fmt.Errorf("sem: shard %s: %w", sc.addrs[i], err) //cryptolint:public (shard address in an operator-facing error; deployment metadata)
+		}
+	}
+	return nil
+}
+
+// Ping checks liveness of every shard in the fleet.
+func (sc *ShardedClient) Ping() error {
+	if sc.closed.Load() {
+		return ErrClientClosed
+	}
+	errsByShard := make([]error, len(sc.addrs))
+	parallel.Fan(len(sc.addrs), func(i int) {
+		errsByShard[i] = sc.pools[sc.addrs[i]].Ping() //cryptolint:public (liveness sweep over the shard-address list; deployment metadata)
+	})
+	for i, err := range errsByShard {
+		if err != nil {
+			return fmt.Errorf("sem: shard %s: %w", sc.addrs[i], err) //cryptolint:public (shard address in an operator-facing error; deployment metadata)
+		}
+	}
+	return nil
+}
+
+// ListRevoked unions the revocation lists of every shard, deduplicated by
+// identity (revocations broadcast fleet-wide, so healthy shards agree; the
+// union covers shards that missed a broadcast while partitioned). Every
+// shard must answer — an unreachable shard fails the query, since its
+// entries could be missing from the union. Partial-list parse errors are
+// tolerated per shard and surface once alongside the merged entries.
+func (sc *ShardedClient) ListRevoked() ([]core.RevocationEntry, error) {
+	if sc.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	lists := make([][]core.RevocationEntry, len(sc.addrs))
+	errsByShard := make([]error, len(sc.addrs))
+	parallel.Fan(len(sc.addrs), func(i int) {
+		lists[i], errsByShard[i] = sc.pools[sc.addrs[i]].ListRevoked()
+	})
+	var partial error
+	for i, err := range errsByShard {
+		if errors.Is(err, ErrPartialList) {
+			partial = err
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sem: shard %s: %w", sc.addrs[i], err)
+		}
+	}
+	seen := make(map[string]bool)
+	var merged []core.RevocationEntry
+	for _, list := range lists {
+		for _, e := range list {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				merged = append(merged, e)
+			}
+		}
+	}
+	return merged, partial
+}
+
+// IBEToken requests ê(U, d_ID,sem) from the identity's shard (with replica
+// failover).
+func (sc *ShardedClient) IBEToken(id string, u *curve.Point) (*pairing.GT, error) {
+	if sc.pp == nil {
+		return nil, errors.New("sem: sharded client has no pairing params")
+	}
+	raw, err := sc.callReplicated(OpIBEToken, id, u.Marshal())
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalGT(sc.pp, raw)
+}
+
+// GDHHalfSign requests S_sem = x_sem·h from the identity's shard.
+func (sc *ShardedClient) GDHHalfSign(id string, h *curve.Point) (*curve.Point, error) {
+	if sc.pp == nil {
+		return nil, errors.New("sem: sharded client has no pairing params")
+	}
+	raw, err := sc.callReplicated(OpGDHSign, id, h.Marshal())
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalG1(sc.pp.Curve(), raw)
+}
+
+// RSAHalfDecrypt requests c^{d_sem} mod n from the identity's shard.
+func (sc *ShardedClient) RSAHalfDecrypt(pub *mrsa.PublicKey, id string, ciphertext *big.Int) (*big.Int, error) {
+	raw, err := sc.callReplicated(OpRSADecrypt, id, ciphertext.Bytes()) //cryptolint:public (sanctioned wire serialization edge; the ciphertext is on the wire by design)
+	if err != nil {
+		return nil, err
+	}
+	return wire.UnmarshalScalar(raw, pub.N)
+}
+
+// DecryptIBE runs the user side of mediated-IBE decryption against the
+// fleet: request token from the owning shard, pair the user half, open.
+func (sc *ShardedClient) DecryptIBE(pub *bf.PublicParams, key *core.UserKeyHalf, ct *bf.Ciphertext) ([]byte, error) {
+	token, err := sc.IBEToken(key.ID, ct.U)
+	if err != nil {
+		return nil, err
+	}
+	return core.UserDecrypt(pub, key, ct, token)
+}
+
+// SignGDH runs the user side of mediated-GDH signing against the fleet.
+func (sc *ShardedClient) SignGDH(key *core.GDHUserKey, msg []byte) (*curve.Point, error) {
+	h, err := bls.HashMessage(key.Public.Pairing, msg)
+	if err != nil {
+		return nil, err
+	}
+	semHalf, err := sc.GDHHalfSign(key.ID, h)
+	if err != nil {
+		return nil, err
+	}
+	return core.UserSign(key, msg, semHalf)
+}
+
+// Revoke disables an identity on every shard: instant fleet-wide
+// revocation is the paper's central claim, and any replica may serve the
+// identity after a failover, so the revocation must land everywhere.
+func (sc *ShardedClient) Revoke(id, reason string) error {
+	return sc.broadcast(OpRevoke, id, []byte(reason))
+}
+
+// Unrevoke restores an identity on every shard.
+func (sc *ShardedClient) Unrevoke(id string) error {
+	return sc.broadcast(OpUnrevoke, id, nil)
+}
+
+// Status reports whether an identity is revoked, read from its primary
+// shard (with replica failover).
+func (sc *ShardedClient) Status(id string) (bool, error) {
+	raw, err := sc.callReplicated(OpStatus, id, nil)
+	if err != nil {
+		return false, err
+	}
+	return len(raw) == 1 && raw[0] == 1, nil //cryptolint:public (one-byte revocation status straight off the wire)
+}
+
+// RegisterIBE enrolls an SEM IBE key half on every replica serving id.
+func (sc *ShardedClient) RegisterIBE(id string, d *curve.Point) error {
+	errs, err := sc.RegisterIBEBatch([]string{id}, []*curve.Point{d})
+	if err != nil {
+		return err
+	}
+	return errs[0]
+}
+
+// RegisterGDH enrolls an SEM GDH scalar half on every replica serving id.
+func (sc *ShardedClient) RegisterGDH(id string, x *big.Int) error {
+	errs, err := sc.RegisterGDHBatch([]string{id}, []*big.Int{x})
+	if err != nil {
+		return err
+	}
+	return errs[0]
+}
+
+// TokenBatch requests k tokens, shard-split (see Client.TokenBatch for the
+// result contract).
+func (sc *ShardedClient) TokenBatch(ids []string, us []*curve.Point) ([]*pairing.GT, []error, error) {
+	return tokenBatch(sc, sc.pp, ids, us)
+}
+
+// GDHHalfSignBatch requests k half-signatures, shard-split.
+func (sc *ShardedClient) GDHHalfSignBatch(ids []string, hs []*curve.Point) ([]*curve.Point, []error, error) {
+	return gdhHalfSignBatch(sc, sc.pp, ids, hs)
+}
+
+// RSAHalfDecryptBatch requests k half-decryptions, shard-split.
+func (sc *ShardedClient) RSAHalfDecryptBatch(pub *mrsa.PublicKey, ids []string, cts []*big.Int) ([]*big.Int, []error, error) {
+	return rsaHalfDecryptBatch(sc, pub, ids, cts)
+}
+
+// RegisterIBEBatch bulk-enrolls SEM IBE halves across the fleet (every
+// replica of every id).
+func (sc *ShardedClient) RegisterIBEBatch(ids []string, ds []*curve.Point) ([]error, error) {
+	return registerIBEBatch(sc, ids, ds)
+}
+
+// RegisterGDHBatch bulk-enrolls SEM GDH halves across the fleet.
+func (sc *ShardedClient) RegisterGDHBatch(ids []string, xs []*big.Int) ([]error, error) {
+	return registerGDHBatch(sc, ids, xs)
+}

@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func ids(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("user%06d@load.test", i)
+	}
+	return out
+}
+
+func TestLookupStableAndOrderInsensitive(t *testing.T) {
+	nodes := []string{"10.0.0.3:7300", "10.0.0.1:7300", "10.0.0.2:7300"}
+	r1, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New([]string{nodes[2], nodes[0], nodes[1], nodes[0]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids(500) {
+		if a, b := r1.Lookup(id), r2.Lookup(id); a != b {
+			t.Fatalf("lookup of %q depends on node order: %q vs %q", id, a, b)
+		}
+		// Replicas[0] is the owner.
+		reps := r1.Replicas(nil, id, 2)
+		if reps[0] != r1.Lookup(id) {
+			t.Fatalf("Replicas()[0] %q != Lookup() %q", reps[0], r1.Lookup(id))
+		}
+		if len(reps) != 2 || reps[0] == reps[1] {
+			t.Fatalf("replica list not distinct: %v", reps)
+		}
+	}
+}
+
+func TestDistributionRoughlyEven(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	r, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := r.Distribution(ids(20000))
+	for node, n := range dist {
+		// Perfect split is 5000; accept a generous ±60% so the test guards
+		// against broken hashing (all keys on one node), not statistics.
+		if n < 2000 || n > 8000 {
+			t.Fatalf("node %s holds %d of 20000 identities: %v", node, n, dist)
+		}
+	}
+	if len(dist) != len(nodes) {
+		t.Fatalf("only %d of %d nodes received identities: %v", len(dist), len(nodes), dist)
+	}
+}
+
+// TestRebalanceChurn verifies the consistent-hashing contract: growing the
+// fleet from 4 to 5 nodes moves roughly 1/5 of the identity space, never
+// most of it, and the moved-vnode counter reflects the same fraction.
+func TestRebalanceChurn(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	r, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+
+	all := ids(10000)
+	before := make(map[string]string, len(all))
+	for _, id := range all {
+		before[id] = r.Lookup(id)
+	}
+	if err := r.SetNodes(append(nodes, "e:1")); err != nil {
+		t.Fatal(err)
+	}
+	movedIDs := 0
+	for _, id := range all {
+		if r.Lookup(id) != before[id] {
+			movedIDs++
+		}
+	}
+	// Ideal churn is 1/5 = 2000; fail only on consistent-hashing being
+	// broken (modulo-style ~80% reshuffles).
+	if movedIDs == 0 || movedIDs > 4000 {
+		t.Fatalf("adding 1 of 5 nodes moved %d of %d identities", movedIDs, len(all))
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"shard_ring_moved_vnodes_total", "shard_ring_rebuilds_total 1", "shard_ring_nodes 5"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestReplicasClampAndFailoverOrderStable(t *testing.T) {
+	r, err := New([]string{"a:1", "b:1", "c:1"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids(50) {
+		all := r.Replicas(nil, id, 99)
+		if len(all) != 3 {
+			t.Fatalf("k beyond node count not clamped: %v", all)
+		}
+		again := r.Replicas(make([]string, 0, 3), id, 99)
+		for i := range all {
+			if all[i] != again[i] {
+				t.Fatalf("replica order unstable for %q: %v vs %v", id, all, again)
+			}
+		}
+	}
+}
+
+func TestEmptyRingRejected(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := New([]string{"", ""}, 0); err == nil {
+		t.Fatal("blank-only node list accepted")
+	}
+	r, err := New([]string{"a:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetNodes(nil); err == nil {
+		t.Fatal("SetNodes(nil) accepted")
+	}
+	// The failed SetNodes left the ring serving.
+	if got := r.Lookup("x"); got != "a:1" {
+		t.Fatalf("ring damaged by rejected SetNodes: %q", got)
+	}
+}
+
+// TestConcurrentLookupAndRebuild runs lookups against concurrent SetNodes
+// under -race.
+func TestConcurrentLookupAndRebuild(t *testing.T) {
+	r, err := New([]string{"a:1", "b:1"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := make([]string, 0, 4)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("u%d-%d", w, i)
+				if r.Lookup(id) == "" {
+					t.Error("empty lookup")
+					return
+				}
+				if len(r.Replicas(scratch, id, 2)) == 0 {
+					t.Error("empty replicas")
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		set := []string{"a:1", "b:1"}
+		if i%2 == 0 {
+			set = append(set, "c:1")
+		}
+		if err := r.SetNodes(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

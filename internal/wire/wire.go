@@ -126,8 +126,8 @@ func UnmarshalScalar(data []byte, max *big.Int) (*big.Int, error) {
 	if maxLen := (max.BitLen() + 7) / 8; len(data) > maxLen {
 		return nil, fmt.Errorf("%w: scalar encoding %d bytes exceeds bound width %d", ErrProtocol, len(data), maxLen)
 	}
-	x := new(big.Int).SetBytes(data)
-	if x.Cmp(max) >= 0 { //cryptolint:public (range-validity check against the public bound at the wire edge)
+	x := new(big.Int).SetBytes(data) //cryptolint:public (sanctioned wire decode edge; the encoding length is attacker-visible on the wire by definition)
+	if x.Cmp(max) >= 0 {             //cryptolint:public (range-validity check against the public bound at the wire edge)
 		return nil, fmt.Errorf("%w: scalar out of range (%d bits, bound %d bits)", ErrProtocol, x.BitLen(), max.BitLen())
 	}
 	return x, nil
