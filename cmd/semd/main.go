@@ -17,12 +17,18 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/keyfile"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/sem"
 )
+
+// replDialTimeout bounds each connection attempt the leader makes to a
+// follower; the retry loop in internal/repl handles the rest.
+const replDialTimeout = 5 * time.Second
 
 func main() {
 	sigCh := make(chan os.Signal, 1)
@@ -51,6 +57,9 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 		workers   = fs.Int("workers", 0, "request-execution worker pool size (0 = GOMAXPROCS)")
 		shardID   = fs.String("shard", "", "shard label for logs and metrics when this daemon is one of a fleet")
 		allowReg  = fs.Bool("allow-register", false, "accept register_ibe/register_gdh ops (enrollment over the wire; same trust model as unauthenticated revoke)")
+		replLead  = fs.Bool("repl-leader", false, "act as the fleet's revocation leader: sequence journal appends and stream them to -repl-peers (requires -journal)")
+		replPeers = fs.String("repl-peers", "", "comma-separated follower addresses the leader replicates the revocation journal to")
+		replEpoch = fs.Uint64("repl-epoch", 1, "this leader's epoch; bump when promoting a new leader so the fleet fences the old one")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +78,15 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 	})
 	if flagErr != nil {
 		return flagErr
+	}
+	if (*replLead || *replPeers != "") && *journalFn == "" {
+		return fmt.Errorf("replication requires a durable journal: set -journal")
+	}
+	if *replPeers != "" && !*replLead {
+		return fmt.Errorf("-repl-peers only makes sense on the leader: set -repl-leader")
+	}
+	if *replEpoch == 0 {
+		return fmt.Errorf("-repl-epoch must be >= 1 (epoch 0 is the pre-replication journal state)")
 	}
 
 	var sys keyfile.System
@@ -94,10 +112,15 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 		}
 		defer func() { _ = journal.Close() }()
 		journal.Instrument(metrics)
-		log.Printf("semd: journal replayed %d records", journal.Replayed())
+		log.Printf("semd: journal replayed %d records (last seq %d, epoch %d)",
+			journal.Replayed(), journal.LastSeq(), journal.Epoch())
 		if n := journal.DroppedLines(); n > 0 {
 			log.Printf("semd: WARNING: journal replay dropped %d line(s) after corruption; "+
 				"1 means a torn final write, more means the journal body is damaged", n)
+		}
+		if n := journal.UnknownOps(); n > 0 {
+			log.Printf("semd: WARNING: journal replay skipped %d record(s) with unknown ops; "+
+				"was this journal written by a newer semd?", n)
 		}
 		reg = journal.Registry()
 	} else {
@@ -131,6 +154,42 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 				obs.Label{Key: "shard", Value: *shardID}).Set(1)
 		}
 	}
+	// Replication roles. Every journal-backed daemon runs a follower — it
+	// costs nothing until a leader speaks to it, and it is what lets this
+	// shard be caught up after a restart. The leader role is opt-in and
+	// additionally streams the journal to its peers.
+	var (
+		follower *repl.Follower
+		leader   *repl.Leader
+	)
+	if journal != nil {
+		follower = repl.NewFollower(journal)
+		follower.Instrument(metrics)
+	}
+	if *replLead {
+		var peers []string
+		for _, p := range strings.Split(*replPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		leader, err = repl.NewLeader(repl.LeaderConfig{
+			Journal: journal,
+			Epoch:   *replEpoch,
+			Peers:   peers,
+			Dial:    sem.ReplDialer(replDialTimeout),
+			Logf:    logf,
+		})
+		if err != nil {
+			return fmt.Errorf("semd replication leader: %w", err)
+		}
+		defer func() { _ = leader.Close() }()
+		leader.Instrument(metrics)
+		logf("semd: replication leader, epoch %d, %d peer(s): %s", *replEpoch, len(peers), *replPeers)
+	} else if follower != nil {
+		logf("semd: replication follower at epoch %d, last seq %d", journal.Epoch(), journal.LastSeq())
+	}
+
 	srv, err := sem.NewServer(sem.Config{
 		Registry:      reg,
 		IBE:           ibe,
@@ -138,6 +197,8 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 		RSA:           rsa,
 		Journal:       journal,
 		Pairing:       pp,
+		Repl:          follower,
+		Leader:        leader,
 		Logf:          logf,
 		Metrics:       metrics,
 		MaxBatch:      *maxBatch,

@@ -125,6 +125,9 @@ func run(args []string, out io.Writer) error {
 		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of a table")
 		benchFn   = fs.String("bench-json", "", "merge a bench baseline entry (semload.token.*) into this snapshot file")
 		debugAddr = fs.String("debug-addr", "", "HTTP debug listener (Prometheus /metrics with shard_ring_*/sempool_* series); empty disables")
+		printLead = fs.Bool("print-leader", false, "print the shard the ring designates as revocation leader for -shards, then exit (for scripting: start that daemon with -repl-leader)")
+		assertCnv = fs.Bool("assert-converged", false, "after the run, poll every shard's revocation list until they agree; exit non-zero on divergence")
+		cnvWindow = fs.Duration("converge-timeout", 15*time.Second, "how long -assert-converged waits for the fleet to agree (replication catch-up window)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,6 +147,18 @@ func run(args []string, out io.Writer) error {
 	addrs := splitAddrs(*shards)
 	if len(addrs) == 0 {
 		return errors.New("-shards selects no addresses")
+	}
+	if *printLead {
+		// Same ring construction as the load path (default virtual-node
+		// count), so the printed shard is exactly where Revoke will land.
+		// Nothing is dialed: the pools connect lazily.
+		sc, err := sem.NewShardedClient(addrs, nil, sem.ShardedConfig{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = sc.Close() }()
+		_, err = fmt.Fprintln(out, sc.LeaderAddr()) //cryptolint:public (the leader shard address is deployment metadata; printing it is the flag's purpose)
+		return err
 	}
 
 	var sys keyfile.System
@@ -206,10 +221,86 @@ func run(args []string, out io.Writer) error {
 	} else {
 		report.table(out)
 	}
+	if *assertCnv {
+		if err := assertConverged(addrs, pp, *cnvWindow); err != nil {
+			return err
+		}
+	}
 	if report.TransportErrors > 0 {
 		return fmt.Errorf("%d transport errors (see report)", report.TransportErrors)
 	}
 	return nil
+}
+
+// assertConverged polls every shard's revocation list directly (one
+// dedicated client per shard, no ring routing) until all shards report the
+// same identity set or the window closes. With a replicated fleet this is
+// the end-to-end convergence check: a revoke that raced a dead follower
+// must still appear there once catch-up replication delivers it.
+func assertConverged(addrs []string, pp *pairing.Params, window time.Duration) error {
+	clients := make([]*sem.Client, len(addrs))
+	for i, a := range addrs {
+		c, err := sem.Dial(a, pp, 3*time.Second)
+		if err != nil {
+			return fmt.Errorf("assert-converged: dial shard %s: %w", a, err)
+		}
+		defer func() { _ = c.Close() }()
+		clients[i] = c
+	}
+	deadline := time.Now().Add(window)
+	var last []string // per-shard sorted id-set fingerprints, for the failure report
+	for attempt := 0; ; attempt++ {
+		sets := make([]string, len(clients))
+		var fetchErr error
+		for i, c := range clients {
+			entries, err := c.ListRevoked()
+			if err != nil {
+				fetchErr = fmt.Errorf("shard %s: %w", addrs[i], err)
+				break
+			}
+			ids := make([]string, len(entries))
+			for j, e := range entries {
+				ids[j] = e.ID
+			}
+			sort.Strings(ids)
+			sets[i] = strings.Join(ids, "\n")
+		}
+		if fetchErr == nil {
+			agreed := true
+			for _, s := range sets[1:] {
+				if s != sets[0] { //cryptolint:public (convergence check compares whole revocation-set fingerprints; set membership is what the tool reports)
+					agreed = false
+					break
+				}
+			}
+			if agreed {
+				n := 0
+				if sets[0] != "" {
+					n = strings.Count(sets[0], "\n") + 1
+				}
+				log.Printf("semload: fleet converged — %d shards agree on %d revoked identities (%d poll(s))",
+					len(addrs), n, attempt+1)
+				return nil
+			}
+			last = sets
+		}
+		if time.Now().After(deadline) {
+			if fetchErr != nil {
+				return fmt.Errorf("assert-converged: %w", fetchErr)
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "assert-converged: fleet diverged after %v:", window)
+			for i, s := range last {
+				n := 0
+				if s != "" {
+					n = strings.Count(s, "\n") + 1
+				}
+				fmt.Fprintf(&b, " %s=%d", addrs[i], n)
+			}
+			return errors.New(b.String())
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
 }
 
 func splitAddrs(s string) []string {

@@ -9,7 +9,11 @@ import (
 	"math"
 	"math/big"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bf"
@@ -187,6 +191,28 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 		semUs[i] = ct.U
 	}
 
+	// Journal fixtures: a temp-dir JSONL journal for the durable append
+	// path. Every iteration revokes a fresh identity so each op is a real
+	// record append + fsync; the group16 variant drives 16 concurrent
+	// writers per op, so journal.append ÷ (journal.append.group16/16) is
+	// the committed group-commit coalescing factor. Timings are dominated
+	// by fsync and vary wildly across filesystems — these entries are
+	// informational and must stay outside any CI -check filter.
+	journalDir, err := os.MkdirTemp("", "bench-journal-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(journalDir)
+	benchJournal, err := core.OpenJournal(filepath.Join(journalDir, "revocations.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer benchJournal.Close()
+	var journalCtr atomic.Uint64
+	nextJournalID := func() string {
+		return fmt.Sprintf("bench%08d@journal.test", journalCtr.Add(1))
+	}
+
 	// batchVerifySequential replays the pre-Pippenger batch loop through the
 	// public API — full-order ScalarMul subgroup checks and per-member
 	// accumulation — as the committed comparator for batchverify.256.
@@ -303,6 +329,27 @@ func Baseline(pp *pairing.Params, minIters int, minDuration time.Duration) (*Bas
 			codecReader.Reset(codecFrame)
 			_, _, _, err := codecDec.ReadRequest(codecReader, 0, 0)
 			return err
+		}},
+		{"journal.append", func() error {
+			return benchJournal.Revoke(nextJournalID(), "bench")
+		}},
+		{"journal.append.group16", func() error {
+			var wg sync.WaitGroup
+			errs := make([]error, 16)
+			for w := range errs {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					errs[w] = benchJournal.Revoke(nextJournalID(), "bench")
+				}(w)
+			}
+			wg.Wait()
+			for _, e := range errs {
+				if e != nil {
+					return e
+				}
+			}
+			return nil
 		}},
 		{"sem.token.single", func() error {
 			_, err := semWorld.client.IBEToken(id, ct.U)

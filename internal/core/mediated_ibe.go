@@ -142,7 +142,10 @@ const semPairerCapacity = 256
 
 // NewIBESEM constructs a SEM bound to the system parameters and a (possibly
 // shared) revocation registry. The SEM subscribes to the registry: revoking
-// an identity synchronously drops its precomputed pairing program.
+// an identity synchronously drops its precomputed pairing program, and so
+// does reinstating one — a replication snapshot can flip an identity
+// through revoke/unrevoke without the SEM seeing the individual mutations,
+// so both transitions must invalidate derived state.
 func NewIBESEM(pub *bf.PublicParams, reg *Registry) *IBESEM {
 	s := &IBESEM{
 		pub:     pub,
@@ -151,6 +154,7 @@ func NewIBESEM(pub *bf.PublicParams, reg *Registry) *IBESEM {
 		pairers: lru.New[string, *semPairer](semPairerCapacity),
 	}
 	reg.OnRevoke(func(id string) { s.pairers.Remove(id) })
+	reg.OnUnrevoke(func(id string) { s.pairers.Remove(id) })
 	return s
 }
 

@@ -41,10 +41,11 @@ type RevocationEntry struct {
 // decryption and signing capabilities simultaneously. Safe for concurrent
 // use; the zero value is not usable — construct with NewRegistry.
 type Registry struct {
-	mu        sync.RWMutex
-	revoked   map[string]RevocationEntry
-	clock     func() time.Time
-	listeners []func(id string)
+	mu          sync.RWMutex
+	revoked     map[string]RevocationEntry
+	clock       func() time.Time
+	listeners   []func(id string)
+	unlisteners []func(id string)
 }
 
 // NewRegistry returns an empty revocation registry.
@@ -83,13 +84,75 @@ func (r *Registry) OnRevoke(fn func(id string)) {
 }
 
 // Unrevoke restores the identity. It reports whether the identity was
-// revoked.
+// revoked. Registered OnUnrevoke listeners run synchronously (outside the
+// lock, mirroring Revoke) whenever the identity was actually revoked, so
+// derived per-identity state cached while the identity was suspended is
+// invalidated before the caller observes the reinstatement.
 func (r *Registry) Unrevoke(id string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	_, ok := r.revoked[id]
 	delete(r.revoked, id)
+	listeners := r.unlisteners
+	r.mu.Unlock()
+	if ok {
+		for _, fn := range listeners {
+			fn(id)
+		}
+	}
 	return ok
+}
+
+// OnUnrevoke registers a listener invoked synchronously with the identity
+// whenever an Unrevoke actually reinstates it. It mirrors OnRevoke: without
+// the symmetric hook, state derived while an identity sat on the revocation
+// list (e.g. a replica's stale pairing cache) would survive reinstatement,
+// and replication replay — which drives the registry through both
+// transitions — could leave followers with derived state the leader already
+// dropped. Listeners must be registered before the registry is shared and
+// must not block.
+func (r *Registry) OnUnrevoke(fn func(id string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.unlisteners = append(r.unlisteners, fn)
+}
+
+// resetTo replaces the whole revocation set with entries (a replication
+// snapshot install). It computes the symmetric difference against the
+// current state and fires OnRevoke for identities that became revoked and
+// OnUnrevoke for identities that were reinstated — listeners see the same
+// transitions they would have seen had the individual mutations been
+// applied one by one. Listeners run outside the lock, after the new state
+// is fully in place.
+func (r *Registry) resetTo(entries []RevocationEntry) {
+	next := make(map[string]RevocationEntry, len(entries))
+	for _, e := range entries {
+		next[e.ID] = e //cryptolint:public (revocation-set keys are identity strings; the list is served verbatim by ListRevoked)
+	}
+	r.mu.Lock()
+	var added, removed []string
+	for id := range r.revoked {
+		if _, ok := next[id]; !ok { //cryptolint:public (revocation-set diff over identity strings; set membership is the registry's product)
+			removed = append(removed, id)
+		}
+	}
+	for id := range next {
+		if _, ok := r.revoked[id]; !ok {
+			added = append(added, id)
+		}
+	}
+	r.revoked = next
+	listeners, unlisteners := r.listeners, r.unlisteners
+	r.mu.Unlock()
+	for _, id := range added {
+		for _, fn := range listeners {
+			fn(id)
+		}
+	}
+	for _, id := range removed {
+		for _, fn := range unlisteners {
+			fn(id)
+		}
+	}
 }
 
 // IsRevoked reports whether the identity is revoked.

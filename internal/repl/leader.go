@@ -1,0 +1,396 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Peer is the leader's view of one follower. internal/sem implements it
+// over a SEM client connection; tests implement it in memory. Methods are
+// called from a single replicator goroutine per peer, never concurrently.
+type Peer interface {
+	// ReplStatus asks the follower for its epoch and last durable seq.
+	ReplStatus() (epoch, lastSeq uint64, err error)
+	// ReplAppend ships a contiguous batch of records. The error is
+	// ErrStaleEpoch (possibly wrapped) when the follower has adopted a
+	// higher epoch — the deposed signal.
+	ReplAppend(leaderEpoch uint64, recs []core.ReplRecord) error
+	// ReplSnapshot ships one chunk of a full-state transfer.
+	ReplSnapshot(c *SnapshotChunk) error
+	Close() error
+}
+
+// LeaderConfig configures a replication leader.
+type LeaderConfig struct {
+	// Journal is the authoritative, sequenced log. Required.
+	Journal *core.Journal
+	// Epoch is the operator-assigned term. It must be at least the epoch
+	// the journal replayed; a replacement leader must be started strictly
+	// above its predecessor's epoch.
+	Epoch uint64
+	// Peers are the follower addresses. May be empty (a leader with no
+	// followers is just a journal).
+	Peers []string
+	// Dial opens a connection to a peer. Required when Peers is non-empty.
+	Dial func(addr string) (Peer, error)
+	// Logf receives replication lifecycle events. Optional.
+	Logf func(format string, args ...any)
+	// RetryInterval is the reconnect/idle-poll cadence (default 500ms).
+	RetryInterval time.Duration
+	// AppendBatch caps records per ReplAppend call (default 256).
+	AppendBatch int
+	// SnapshotBatch caps entries per snapshot chunk (default 512).
+	SnapshotBatch int
+}
+
+// Leader owns the revocation write path for a fleet: every mutation goes
+// through its journal (which assigns the sequence number) and one
+// goroutine per follower streams the growing log outward, switching to
+// snapshot transfer when a follower is too far behind. If any follower
+// turns out to have adopted a higher epoch, the leader knows it has been
+// replaced: it stops replicating and refuses further mutations with
+// ErrStaleEpoch, so a deposed leader fails loudly instead of diverging.
+type Leader struct {
+	cfg     LeaderConfig
+	j       *core.Journal
+	epoch   uint64
+	deposed atomic.Bool
+
+	closed   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	peers    []*peerState
+
+	appends    *obs.Counter
+	snapshots  *obs.Counter
+	reconnects *obs.Counter
+}
+
+// peerState is the per-follower replication cursor.
+type peerState struct {
+	addr   string
+	notify chan struct{}
+	acked  atomic.Uint64 // highest seq the follower has durably applied
+}
+
+// NewLeader assigns the journal the configured epoch and starts one
+// replicator per peer. It fails if the epoch would regress the journal —
+// starting a "new" leader below an epoch the log has already seen is the
+// operator error epoch fencing exists to catch.
+func NewLeader(cfg LeaderConfig) (*Leader, error) {
+	if cfg.Journal == nil {
+		return nil, errors.New("repl: leader requires a journal")
+	}
+	if len(cfg.Peers) > 0 && cfg.Dial == nil {
+		return nil, errors.New("repl: leader with peers requires a dialer")
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 500 * time.Millisecond
+	}
+	if cfg.AppendBatch <= 0 {
+		cfg.AppendBatch = 256
+	}
+	if cfg.SnapshotBatch <= 0 {
+		cfg.SnapshotBatch = 512
+	}
+	if err := cfg.Journal.SetEpoch(cfg.Epoch); err != nil {
+		return nil, err
+	}
+	l := &Leader{
+		cfg:    cfg,
+		j:      cfg.Journal,
+		epoch:  cfg.Epoch,
+		closed: make(chan struct{}),
+	}
+	for _, addr := range cfg.Peers {
+		p := &peerState{addr: addr, notify: make(chan struct{}, 1)}
+		l.peers = append(l.peers, p)
+		l.wg.Add(1)
+		go l.runPeer(p)
+	}
+	return l, nil
+}
+
+// Instrument registers the leader's series with reg: per-peer acked-seq
+// and lag gauges (the replication smoke's convergence probes), traffic
+// counters, and the deposed flag.
+func (l *Leader) Instrument(reg *obs.Registry) {
+	l.appends = reg.Counter("repl_leader_appends_total", "record batches shipped to followers")
+	l.snapshots = reg.Counter("repl_leader_snapshots_total", "snapshot transfers started")
+	l.reconnects = reg.Counter("repl_leader_reconnects_total", "follower connections re-established")
+	reg.GaugeFunc("repl_leader_deposed", "1 when a follower reported a higher epoch and this leader stopped", func() int64 {
+		if l.deposed.Load() {
+			return 1
+		}
+		return 0
+	})
+	for _, p := range l.peers {
+		p := p
+		reg.GaugeFunc("repl_peer_acked_seq", "highest seq the follower has durably applied",
+			func() int64 { return int64(p.acked.Load()) }, obs.Label{Key: "peer", Value: p.addr})
+		reg.GaugeFunc("repl_peer_lag", "records the follower is behind the leader",
+			func() int64 {
+				last := l.j.LastSeq()
+				acked := p.acked.Load()
+				if acked >= last {
+					return 0
+				}
+				return int64(last - acked)
+			}, obs.Label{Key: "peer", Value: p.addr})
+	}
+}
+
+// Epoch returns the leader's operating epoch.
+func (l *Leader) Epoch() uint64 { return l.epoch }
+
+// Deposed reports whether a follower has adopted a higher epoch.
+func (l *Leader) Deposed() bool { return l.deposed.Load() }
+
+// Revoke appends a revocation to the authoritative journal (durably, via
+// group commit) and wakes the replicators. A deposed leader refuses with
+// ErrStaleEpoch — the fleet has moved to a successor.
+func (l *Leader) Revoke(id, reason string) error {
+	if l.deposed.Load() {
+		return fmt.Errorf("%w: leader at epoch %d was replaced", ErrStaleEpoch, l.epoch)
+	}
+	if err := l.j.Revoke(id, reason); err != nil {
+		return err
+	}
+	l.kick()
+	return nil
+}
+
+// Unrevoke appends a reinstatement and wakes the replicators.
+func (l *Leader) Unrevoke(id string) error {
+	if l.deposed.Load() {
+		return fmt.Errorf("%w: leader at epoch %d was replaced", ErrStaleEpoch, l.epoch)
+	}
+	if err := l.j.Unrevoke(id); err != nil {
+		return err
+	}
+	l.kick()
+	return nil
+}
+
+// Journal returns the authoritative journal.
+func (l *Leader) Journal() *core.Journal { return l.j }
+
+// AckedSeqs returns each follower's last acknowledged sequence number.
+func (l *Leader) AckedSeqs() map[string]uint64 {
+	out := make(map[string]uint64, len(l.peers))
+	for _, p := range l.peers {
+		out[p.addr] = p.acked.Load()
+	}
+	return out
+}
+
+// Close stops the replicators and waits for them to exit.
+func (l *Leader) Close() error {
+	l.stopOnce.Do(func() { close(l.closed) })
+	l.wg.Wait()
+	return nil
+}
+
+func (l *Leader) kick() {
+	for _, p := range l.peers {
+		select {
+		case p.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (l *Leader) logf(format string, args ...any) {
+	if l.cfg.Logf != nil {
+		l.cfg.Logf(format, args...)
+	}
+}
+
+// sleep waits d or until Close; it reports whether the leader is still
+// running.
+func (l *Leader) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-l.closed:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// depose marks the leader replaced. It keeps serving reads — the fleet's
+// registry state is still valid — but every replicator stops and further
+// mutations fail typed.
+func (l *Leader) depose(addr string, peerEpoch uint64) {
+	if l.deposed.CompareAndSwap(false, true) {
+		l.logf("repl: deposed — follower %s is at epoch %d, we are at %d", addr, peerEpoch, l.epoch)
+	}
+}
+
+// runPeer is the per-follower replicator: dial, sync position, stream,
+// reconnect on failure — forever, until Close or deposition.
+func (l *Leader) runPeer(p *peerState) {
+	defer l.wg.Done()
+	first := true
+	for {
+		select {
+		case <-l.closed:
+			return
+		default:
+		}
+		if l.deposed.Load() {
+			return
+		}
+		if !first {
+			l.reconnects.Inc()
+		}
+		first = false
+		peer, err := l.cfg.Dial(p.addr)
+		if err != nil {
+			l.logf("repl: dial follower %s: %v", p.addr, err)
+			if !l.sleep(l.cfg.RetryInterval) {
+				return
+			}
+			continue
+		}
+		l.servePeer(p, peer)
+		_ = peer.Close()
+		if !l.sleep(l.cfg.RetryInterval) {
+			return
+		}
+	}
+}
+
+// servePeer drives one connection until it breaks, the leader closes, or
+// deposition. It first learns the follower's position, then loops:
+// stream the tail suffix past the follower's ack, fall back to a
+// snapshot when the journal has compacted past it, idle on the notify
+// channel when caught up.
+func (l *Leader) servePeer(p *peerState, peer Peer) {
+	epoch, lastSeq, err := peer.ReplStatus()
+	if err != nil {
+		l.logf("repl: status from follower %s: %v", p.addr, err)
+		return
+	}
+	if epoch > l.epoch {
+		l.depose(p.addr, epoch)
+		return
+	}
+	if epoch < l.epoch {
+		// Arm the fence before any records flow: an empty (heartbeat-shaped)
+		// append makes the follower adopt this epoch immediately, so direct
+		// mutations there are refused as not_leader from the fleet's first
+		// moments instead of racing the stream for the early sequence
+		// numbers.
+		if err := peer.ReplAppend(l.epoch, nil); err != nil {
+			if errors.Is(err, ErrStaleEpoch) {
+				l.depose(p.addr, 0)
+			} else {
+				l.logf("repl: arming epoch fence on follower %s: %v", p.addr, err)
+			}
+			return
+		}
+	}
+	acked := lastSeq
+	p.acked.Store(acked)
+	for {
+		select {
+		case <-l.closed:
+			return
+		default:
+		}
+		if l.deposed.Load() {
+			return
+		}
+		recs, ok := l.j.TailSince(acked)
+		if !ok {
+			seq, err := l.sendSnapshot(peer)
+			if err != nil {
+				if errors.Is(err, ErrStaleEpoch) {
+					l.depose(p.addr, 0)
+				} else {
+					l.logf("repl: snapshot to follower %s: %v", p.addr, err)
+				}
+				return
+			}
+			acked = seq
+			p.acked.Store(acked)
+			continue
+		}
+		if len(recs) == 0 {
+			// Caught up. Wait for new appends; the timer is a belt-and-
+			// braces poll in case a notify was consumed by a batch that
+			// was already in flight.
+			t := time.NewTimer(l.cfg.RetryInterval)
+			select {
+			case <-l.closed:
+				t.Stop()
+				return
+			case <-p.notify:
+			case <-t.C:
+			}
+			t.Stop()
+			continue
+		}
+		for len(recs) > 0 {
+			n := len(recs)
+			if n > l.cfg.AppendBatch {
+				n = l.cfg.AppendBatch
+			}
+			if err := peer.ReplAppend(l.epoch, recs[:n]); err != nil {
+				switch {
+				case errors.Is(err, ErrStaleEpoch):
+					l.depose(p.addr, 0)
+				case errors.Is(err, ErrSeqGap):
+					// The follower moved (e.g. was wiped) under us; resync
+					// from its reported position on the next connection.
+					l.logf("repl: follower %s reports a gap, resyncing: %v", p.addr, err)
+				default:
+					l.logf("repl: append to follower %s: %v", p.addr, err)
+				}
+				return
+			}
+			l.appends.Inc()
+			acked = recs[n-1].Seq
+			p.acked.Store(acked)
+			recs = recs[n:]
+		}
+	}
+}
+
+// sendSnapshot streams the full state in chunks and returns the sequence
+// number the follower stands at afterwards.
+func (l *Leader) sendSnapshot(peer Peer) (uint64, error) {
+	epoch, seq, entries := l.j.SnapshotState()
+	l.snapshots.Inc()
+	chunks := (len(entries) + l.cfg.SnapshotBatch - 1) / l.cfg.SnapshotBatch
+	if chunks == 0 {
+		chunks = 1 // an empty state still needs one chunk to carry the seq
+	}
+	for i := 0; i < chunks; i++ {
+		lo := i * l.cfg.SnapshotBatch
+		hi := lo + l.cfg.SnapshotBatch
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		c := &SnapshotChunk{
+			Epoch:   epoch,
+			BaseSeq: seq,
+			Total:   len(entries),
+			Index:   i,
+			Chunks:  chunks,
+			Entries: entries[lo:hi],
+		}
+		if err := peer.ReplSnapshot(c); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/mrsa"
 	"repro/internal/obs"
 	"repro/internal/pairing"
+	"repro/internal/repl"
 	"repro/internal/wire"
 )
 
@@ -340,6 +341,12 @@ func v2ByteFor(op Op) byte {
 		return v2OpRegisterIBE
 	case OpRegisterGDH:
 		return v2OpRegisterGDH
+	case OpReplAppend:
+		return v2OpReplAppend
+	case OpReplSnapshot:
+		return v2OpReplSnapshot
+	case OpReplStatus:
+		return v2OpReplStatus
 	default:
 		return 0 // no v2 encoding; the server rejects op 0 as bad request
 	}
@@ -451,6 +458,12 @@ func decodeError(resp *Response) error {
 		return &remoteError{msg: resp.Error, sentinel: core.ErrRevoked}
 	case CodeUnknownIdentity:
 		return &remoteError{msg: resp.Error, sentinel: core.ErrUnknownIdentity}
+	case CodeStaleEpoch:
+		return &remoteError{msg: resp.Error, sentinel: repl.ErrStaleEpoch}
+	case CodeSeqGap:
+		return &remoteError{msg: resp.Error, sentinel: repl.ErrSeqGap}
+	case CodeNotLeader:
+		return &remoteError{msg: resp.Error, sentinel: repl.ErrNotLeader}
 	default:
 		return &remoteError{msg: fmt.Sprintf("sem: %s (%s)", resp.Error, resp.Code)}
 	}

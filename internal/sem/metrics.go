@@ -23,12 +23,14 @@ var knownOps = []Op{
 	OpIBEToken, OpGDHSign, OpRSADecrypt, OpRSASign, OpGMDecrypt,
 	OpRevoke, OpUnrevoke, OpStatus, OpList, OpPing,
 	OpRegisterIBE, OpRegisterGDH,
+	OpReplAppend, OpReplSnapshot, OpReplStatus,
 }
 
 // knownCodes enumerates the protocol error codes for the error-mix
 // counters.
 var knownCodes = []ErrorCode{
 	CodeRevoked, CodeUnknownIdentity, CodeBadRequest, CodeUnsupported, CodeInternal,
+	CodeStaleEpoch, CodeSeqGap, CodeNotLeader,
 }
 
 // serverMetrics is the SEM daemon's instrumentation. All series are

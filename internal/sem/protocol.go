@@ -44,6 +44,14 @@ const (
 	// unless the enrollment plane really runs through this listener.
 	OpRegisterIBE Op = "register_ibe" // payload: compressed D_sem point
 	OpRegisterGDH Op = "register_gdh" // payload: x_sem scalar bytes (big-endian)
+
+	// Replication ops (internal/repl), served only when the daemon runs
+	// with a journal. Like the admin ops they trust the network perimeter:
+	// a replicated fleet runs leader and followers on one operator-owned
+	// network.
+	OpReplAppend   Op = "repl.append"   // payload: wire repl append batch → empty
+	OpReplSnapshot Op = "repl.snapshot" // payload: wire repl snapshot chunk → empty
+	OpReplStatus   Op = "repl.status"   // → payload: wire repl status (epoch, lastSeq)
 )
 
 // ErrorCode classifies failures so clients can map them back to the typed
@@ -57,6 +65,12 @@ const (
 	CodeBadRequest      ErrorCode = "bad_request"
 	CodeUnsupported     ErrorCode = "unsupported"
 	CodeInternal        ErrorCode = "internal"
+
+	// Replication failure classes, mapped back to the typed errors of
+	// internal/repl on the client side.
+	CodeStaleEpoch ErrorCode = "stale_epoch"
+	CodeSeqGap     ErrorCode = "seq_gap"
+	CodeNotLeader  ErrorCode = "not_leader"
 )
 
 // Request is one client → SEM message.

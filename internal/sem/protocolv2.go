@@ -32,6 +32,10 @@ const (
 
 	v2OpRegisterIBE byte = 11 // item: id, compressed D_sem → empty
 	v2OpRegisterGDH byte = 12 // item: id, x_sem scalar bytes → empty
+
+	v2OpReplAppend   byte = 13 // item: wire repl append batch → empty
+	v2OpReplSnapshot byte = 14 // item: wire repl snapshot chunk → empty
+	v2OpReplStatus   byte = 15 // item: none → wire repl status payload
 )
 
 // v2 response status bytes. Zero is success; the rest mirror the v1
@@ -44,6 +48,9 @@ const (
 	v2StatusBadRequest      byte = 3
 	v2StatusUnsupported     byte = 4
 	v2StatusInternal        byte = 5
+	v2StatusStaleEpoch      byte = 6
+	v2StatusSeqGap          byte = 7
+	v2StatusNotLeader       byte = 8
 )
 
 // opForV2 maps a v2 op byte to the protocol Op ("" for unknown bytes).
@@ -73,6 +80,12 @@ func opForV2(b byte) Op {
 		return OpRegisterIBE
 	case v2OpRegisterGDH:
 		return OpRegisterGDH
+	case v2OpReplAppend:
+		return OpReplAppend
+	case v2OpReplSnapshot:
+		return OpReplSnapshot
+	case v2OpReplStatus:
+		return OpReplStatus
 	default:
 		return ""
 	}
@@ -92,6 +105,12 @@ func v2StatusFor(resp *Response) byte {
 		return v2StatusBadRequest
 	case CodeUnsupported:
 		return v2StatusUnsupported
+	case CodeStaleEpoch:
+		return v2StatusStaleEpoch
+	case CodeSeqGap:
+		return v2StatusSeqGap
+	case CodeNotLeader:
+		return v2StatusNotLeader
 	default:
 		return v2StatusInternal
 	}
@@ -108,6 +127,12 @@ func codeForV2Status(st byte) ErrorCode {
 		return CodeBadRequest
 	case v2StatusUnsupported:
 		return CodeUnsupported
+	case v2StatusStaleEpoch:
+		return CodeStaleEpoch
+	case v2StatusSeqGap:
+		return CodeSeqGap
+	case v2StatusNotLeader:
+		return CodeNotLeader
 	default:
 		return CodeInternal
 	}

@@ -1,0 +1,212 @@
+package sem
+
+// Replication over the SEM protocol: the server-side handlers for the
+// repl.append / repl.snapshot / repl.status ops, the matching client
+// methods, and the adapter that lets a repl.Leader speak to followers
+// through an ordinary SEM client connection. The application logic lives
+// in internal/repl; this file only moves its records across the wire.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/repl"
+	"repro/internal/wire"
+)
+
+// wireReplOp maps a journal op name to its wire op byte.
+func wireReplOp(op string) (byte, bool) {
+	switch op {
+	case "revoke":
+		return wire.ReplOpRevoke, true
+	case "unrevoke":
+		return wire.ReplOpUnrevoke, true
+	default:
+		return 0, false
+	}
+}
+
+// coreReplOp inverts wireReplOp.
+func coreReplOp(b byte) (string, bool) {
+	switch b {
+	case wire.ReplOpRevoke:
+		return "revoke", true
+	case wire.ReplOpUnrevoke:
+		return "unrevoke", true
+	default:
+		return "", false
+	}
+}
+
+// replErrorResponse maps the typed errors of internal/repl onto protocol
+// codes so the leader-side client can reconstruct them with errors.Is.
+func replErrorResponse(err error) *Response {
+	switch {
+	case errors.Is(err, repl.ErrStaleEpoch):
+		return errResponse(CodeStaleEpoch, err)
+	case errors.Is(err, repl.ErrSeqGap):
+		return errResponse(CodeSeqGap, err)
+	case errors.Is(err, repl.ErrNotLeader):
+		return errResponse(CodeNotLeader, err)
+	default:
+		return errResponse(CodeInternal, err)
+	}
+}
+
+// replAppend applies a leader's record batch to the local follower. The
+// whole batch travels inside ONE v2 item on purpose: the v2 server fans a
+// frame's items across workers in parallel, and replication must apply in
+// sequence order.
+func (s *Server) replAppend(req *Request) *Response {
+	if s.cfg.Repl == nil {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "replication not enabled (no journal)"}
+	}
+	leaderEpoch, wrecs, err := wire.ParseReplRecords(req.Payload)
+	if err != nil {
+		return errResponse(CodeBadRequest, err)
+	}
+	recs := make([]core.ReplRecord, len(wrecs))
+	for i, w := range wrecs {
+		op, ok := coreReplOp(w.Op)
+		if !ok {
+			return &Response{OK: false, Code: CodeBadRequest, Error: fmt.Sprintf("unknown replication op byte %#x", w.Op)}
+		}
+		recs[i] = core.ReplRecord{
+			Seq:    w.Seq,
+			Epoch:  w.Epoch,
+			Op:     op,
+			ID:     w.ID,
+			Reason: w.Reason,
+			When:   time.Unix(0, w.WhenUnixNano).UTC(),
+		}
+	}
+	if err := s.cfg.Repl.ApplyAppend(leaderEpoch, recs); err != nil {
+		return replErrorResponse(err)
+	}
+	return &Response{OK: true}
+}
+
+// replSnapshot feeds one chunk of a leader's full-state transfer.
+func (s *Server) replSnapshot(req *Request) *Response {
+	if s.cfg.Repl == nil {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "replication not enabled (no journal)"}
+	}
+	wc, err := wire.ParseReplSnapshotChunk(req.Payload)
+	if err != nil {
+		return errResponse(CodeBadRequest, err)
+	}
+	entries := make([]core.RevocationEntry, len(wc.Entries))
+	for i, e := range wc.Entries {
+		entries[i] = core.RevocationEntry{ID: e.ID, Reason: e.Reason, When: time.Unix(0, e.WhenUnixNano).UTC()}
+	}
+	c := &repl.SnapshotChunk{
+		Epoch:   wc.Epoch,
+		BaseSeq: wc.BaseSeq,
+		Total:   int(wc.Total),
+		Index:   int(wc.Index),
+		Chunks:  int(wc.Chunks),
+		Entries: entries,
+	}
+	if err := s.cfg.Repl.ApplySnapshotChunk(c); err != nil {
+		return replErrorResponse(err)
+	}
+	return &Response{OK: true}
+}
+
+// replStatus reports the follower's replication position.
+func (s *Server) replStatus(req *Request) *Response {
+	if s.cfg.Repl == nil {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "replication not enabled (no journal)"}
+	}
+	epoch, lastSeq := s.cfg.Repl.Status()
+	return &Response{OK: true, Payload: wire.PackReplStatus(wire.ReplStatus{Epoch: epoch, LastSeq: lastSeq})}
+}
+
+// ReplStatus asks the SEM for its replication position (epoch, last
+// durable sequence number).
+func (c *Client) ReplStatus() (epoch, lastSeq uint64, err error) {
+	resp, err := c.roundTrip(&Request{Op: OpReplStatus})
+	if err != nil {
+		return 0, 0, err
+	}
+	st, err := wire.ParseReplStatus(resp.Payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.Epoch, st.LastSeq, nil
+}
+
+// ReplAppend ships a contiguous batch of journal records to the SEM,
+// packed into a single request so the follower applies them in order. The
+// error unwraps to repl.ErrStaleEpoch / repl.ErrSeqGap when the follower
+// refused the batch.
+func (c *Client) ReplAppend(leaderEpoch uint64, recs []core.ReplRecord) error {
+	wrecs := make([]wire.ReplRecord, len(recs))
+	for i, r := range recs {
+		op, ok := wireReplOp(r.Op)
+		if !ok {
+			return fmt.Errorf("sem: record %d has unknown replication op %q", i, r.Op)
+		}
+		wrecs[i] = wire.ReplRecord{
+			Epoch:        r.Epoch,
+			Seq:          r.Seq,
+			Op:           op,
+			ID:           r.ID,
+			Reason:       r.Reason,
+			WhenUnixNano: r.When.UnixNano(),
+		}
+	}
+	payload, err := wire.AppendReplRecords(nil, leaderEpoch, wrecs)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(&Request{Op: OpReplAppend, Payload: payload})
+	return err
+}
+
+// ReplSnapshot ships one chunk of a full-state transfer to the SEM.
+func (c *Client) ReplSnapshot(chunk *repl.SnapshotChunk) error {
+	entries := make([]wire.ReplEntry, len(chunk.Entries))
+	for i, e := range chunk.Entries {
+		entries[i] = wire.ReplEntry{ID: e.ID, Reason: e.Reason, WhenUnixNano: e.When.UnixNano()}
+	}
+	wc := &wire.ReplSnapshotChunk{
+		Epoch:   chunk.Epoch,
+		BaseSeq: chunk.BaseSeq,
+		Total:   uint32(chunk.Total),
+		Index:   uint32(chunk.Index),
+		Chunks:  uint32(chunk.Chunks),
+		Entries: entries,
+	}
+	payload, err := wire.MarshalReplSnapshotChunk(wc)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(&Request{Op: OpReplSnapshot, Payload: payload})
+	return err
+}
+
+// replPeer adapts a Client to the repl.Peer interface the Leader speaks.
+type replPeer struct{ c *Client }
+
+func (p *replPeer) ReplStatus() (epoch, lastSeq uint64, err error) { return p.c.ReplStatus() }
+func (p *replPeer) ReplAppend(leaderEpoch uint64, recs []core.ReplRecord) error {
+	return p.c.ReplAppend(leaderEpoch, recs)
+}
+func (p *replPeer) ReplSnapshot(chunk *repl.SnapshotChunk) error { return p.c.ReplSnapshot(chunk) }
+func (p *replPeer) Close() error                                 { return p.c.Close() }
+
+// ReplDialer returns the peer dialer a repl.Leader uses to reach its
+// followers over the SEM protocol. timeout covers the connection attempt;
+// replication ops run under the client's default op deadline.
+func ReplDialer(timeout time.Duration) func(addr string) (repl.Peer, error) {
+	return func(addr string) (repl.Peer, error) {
+		c, err := Dial(addr, nil, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return &replPeer{c: c}, nil
+	}
+}

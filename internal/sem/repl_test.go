@@ -1,0 +1,336 @@
+package sem
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pairing"
+	"repro/internal/repl"
+)
+
+// replNode is one journal-backed SEM daemon with its follower wired in,
+// optionally carrying a replication leader.
+type replNode struct {
+	journal  *core.Journal
+	follower *repl.Follower
+	server   *Server
+	addr     string
+}
+
+func newReplNode(t *testing.T, pp *pairing.Params, leader *repl.Leader, j *core.Journal) *replNode {
+	t.Helper()
+	f := repl.NewFollower(j)
+	// A minimal IBE backend so revocation refusal is observable over the
+	// wire (the SEM checks the registry before the key lookup, so no
+	// enrollment is needed).
+	pkg, err := core.NewMediatedPKG(rand.Reader, pp, msgLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{
+		Registry: j.Registry(),
+		IBE:      core.NewIBESEM(pkg.Public(), j.Registry()),
+		Journal:  j,
+		Repl:     f,
+		Leader:   leader,
+		Pairing:  pp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		wg.Wait()
+	})
+	return &replNode{journal: j, follower: f, server: srv, addr: ln.Addr().String()}
+}
+
+func tmpJournal(t *testing.T) *core.Journal {
+	t.Helper()
+	j, err := core.OpenJournal(filepath.Join(t.TempDir(), "j.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = j.Close() })
+	return j
+}
+
+// TestReplOpsOverTheWire drives the three repl.* ops through a real
+// server and client: status reflects applied appends, records land in the
+// follower's journal, and the typed refusals (stale epoch, sequence gap)
+// survive the protocol round trip as errors.Is-able sentinels.
+func TestReplOpsOverTheWire(t *testing.T) {
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := newReplNode(t, pp, nil, tmpJournal(t))
+	c, err := Dial(node.addr, pp, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if epoch, seq, err := c.ReplStatus(); err != nil || epoch != 0 || seq != 0 {
+		t.Fatalf("fresh status = %d/%d, %v", epoch, seq, err)
+	}
+	when := time.Now().UTC().Truncate(time.Nanosecond)
+	recs := []core.ReplRecord{
+		{Seq: 1, Epoch: 2, Op: "revoke", ID: "a@x", Reason: "first", When: when},
+		{Seq: 2, Epoch: 2, Op: "revoke", ID: "b@x", Reason: "second", When: when},
+		{Seq: 3, Epoch: 2, Op: "unrevoke", ID: "a@x", When: when},
+	}
+	if err := c.ReplAppend(2, recs); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, seq, err := c.ReplStatus(); err != nil || epoch != 2 || seq != 3 {
+		t.Fatalf("status after append = %d/%d, %v; want 2/3", epoch, seq, err)
+	}
+	reg := node.journal.Registry()
+	if reg.IsRevoked("a@x") || !reg.IsRevoked("b@x") {
+		t.Fatal("appended records not applied")
+	}
+
+	// Stale sender: the wire must hand back something errors.Is-able.
+	err = c.ReplAppend(1, []core.ReplRecord{{Seq: 4, Epoch: 1, Op: "revoke", ID: "z@x", When: when}})
+	if !errors.Is(err, repl.ErrStaleEpoch) {
+		t.Fatalf("stale append error = %v, want repl.ErrStaleEpoch", err)
+	}
+	if !errors.Is(err, ErrRemote) {
+		t.Errorf("stale append error %v should also wrap ErrRemote (server answered)", err)
+	}
+	// Gapped batch: same discipline for ErrSeqGap.
+	err = c.ReplAppend(2, []core.ReplRecord{{Seq: 9, Epoch: 2, Op: "revoke", ID: "z@x", When: when}})
+	if !errors.Is(err, repl.ErrSeqGap) {
+		t.Fatalf("gapped append error = %v, want repl.ErrSeqGap", err)
+	}
+
+	// The journal has adopted epoch 2, so this daemon is a replication
+	// follower now: direct mutations are refused with a typed not_leader
+	// error instead of forking the leader's sequence numbering.
+	if err := c.Revoke("direct@x", "forbidden"); !errors.Is(err, repl.ErrNotLeader) {
+		t.Fatalf("direct revoke on a follower = %v, want repl.ErrNotLeader", err)
+	}
+	if err := c.Unrevoke("b@x"); !errors.Is(err, repl.ErrNotLeader) {
+		t.Fatalf("direct unrevoke on a follower = %v, want repl.ErrNotLeader", err)
+	}
+	if reg.IsRevoked("direct@x") {
+		t.Fatal("refused mutation was applied anyway")
+	}
+
+	// Snapshot transfer replaces the state wholesale.
+	if err := c.ReplSnapshot(&repl.SnapshotChunk{
+		Epoch:   3,
+		BaseSeq: 50,
+		Total:   1,
+		Index:   0,
+		Chunks:  1,
+		Entries: []core.RevocationEntry{{ID: "snap@x", Reason: "installed", When: when}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, seq, err := c.ReplStatus(); err != nil || epoch != 3 || seq != 50 {
+		t.Fatalf("status after snapshot = %d/%d, %v; want 3/50", epoch, seq, err)
+	}
+	if !reg.IsRevoked("snap@x") || reg.IsRevoked("b@x") {
+		t.Error("snapshot not installed")
+	}
+}
+
+// TestReplOpsRequireJournal: a daemon without a journal answers repl ops
+// with a typed refusal instead of a crash or silent success.
+func TestReplOpsRequireJournal(t *testing.T) {
+	f := newFixture(t) // journal-less fixture from sem_test.go
+	if _, _, err := f.client.ReplStatus(); err == nil {
+		t.Fatal("repl.status accepted without a journal")
+	} else if !errors.Is(err, ErrRemote) {
+		t.Errorf("refusal %v should be a remote (server-answered) error", err)
+	}
+	if err := f.client.ReplAppend(1, []core.ReplRecord{{Seq: 1, Epoch: 1, Op: "revoke", ID: "a@x", When: time.Now()}}); err == nil {
+		t.Fatal("repl.append accepted without a journal")
+	}
+}
+
+// TestReplLeaderOverSockets is the tentpole end-to-end at package level,
+// over real TCP: a leader daemon replicates Revokes (issued by an ordinary
+// client against the leader) to a follower daemon; the follower then
+// refuses the revoked identity like the paper demands.
+func TestReplLeaderOverSockets(t *testing.T) {
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	followerNode := newReplNode(t, pp, nil, tmpJournal(t))
+
+	leaderJournal := tmpJournal(t)
+	leader, err := repl.NewLeader(repl.LeaderConfig{
+		Journal:       leaderJournal,
+		Epoch:         1,
+		Peers:         []string{followerNode.addr},
+		Dial:          ReplDialer(2 * time.Second),
+		RetryInterval: 20 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	leaderNode := newReplNode(t, pp, leader, leaderJournal)
+
+	c, err := Dial(leaderNode.addr, pp, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if err := c.Revoke(fmt.Sprintf("id%02d@x", i), "e2e"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Unrevoke("id00@x"); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for followerNode.journal.LastSeq() < 11 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at seq %d, want 11", followerNode.journal.LastSeq())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	freg := followerNode.journal.Registry()
+	if freg.IsRevoked("id00@x") || !freg.IsRevoked("id09@x") {
+		t.Fatal("follower state diverged from leader")
+	}
+	// The follower itself now refuses the revoked identity.
+	fc, err := Dial(followerNode.addr, pp, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	u := pp.Generator()
+	if _, err := fc.IBEToken("id09@x", u); !errors.Is(err, core.ErrRevoked) {
+		t.Fatalf("follower served revoked identity: %v", err)
+	}
+	// And it refuses to take direct mutations now that it follows a leader.
+	if err := fc.Revoke("direct@x", "forbidden"); !errors.Is(err, repl.ErrNotLeader) {
+		t.Fatalf("direct revoke on the follower = %v, want repl.ErrNotLeader", err)
+	}
+}
+
+// TestShardedRevokeRoutesThroughLeader pins the new ShardedClient write
+// path: the mutation must land on the ring's leader shard, the hint
+// broadcast must reach the healthy rest of the fleet synchronously, and a
+// dead non-leader shard must not fail the call (that is the catch-up
+// path's job now). A dead leader, by contrast, is a hard error.
+func TestShardedRevokeRoutesThroughLeader(t *testing.T) {
+	fl := newFleet(t, 3)
+	sc, err := NewShardedClient(fl.addrs, fl.pp, ShardedConfig{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	ids, _ := fl.enrollIBE(sc, 8)
+
+	if err := sc.Revoke(ids[0], "via leader"); err != nil {
+		t.Fatal(err)
+	}
+	// The hint broadcast is synchronous: every shard sees it immediately.
+	for _, addr := range fl.addrs {
+		c, err := Dial(addr, fl.pp, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := c.ListRevoked()
+		_ = c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, e := range entries {
+			if e.ID == ids[0] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("shard %s missing the revocation", addr)
+		}
+	}
+
+	leader := sc.LeaderAddr()
+	// Kill a non-leader shard: Revoke must still succeed (the hint is
+	// best-effort; in a replicated fleet catch-up finishes the job).
+	var victim string
+	for _, a := range fl.addrs {
+		if a != leader {
+			victim = a
+			break
+		}
+	}
+	vp := fl.proxyFor(victim)
+	vp.setDown(true)
+	vp.killAll()
+	if err := sc.Revoke(ids[1], "non-leader down"); err != nil {
+		t.Fatalf("Revoke with a non-leader shard down: %v", err)
+	}
+	if err := sc.Unrevoke(ids[1]); err != nil {
+		t.Fatalf("Unrevoke with a non-leader shard down: %v", err)
+	}
+
+	// Kill the leader: the authoritative write path is gone, so the
+	// mutation must fail loudly rather than degrade to best-effort.
+	lp := fl.proxyFor(leader)
+	lp.setDown(true)
+	lp.killAll()
+	if err := sc.Revoke(ids[2], "leader down"); err == nil {
+		t.Fatal("Revoke succeeded with the leader shard dead")
+	}
+}
+
+// TestRingLeaderStability: the ring's leader designation is a pure
+// function of the node set — same fleet, any listing order, same leader.
+func TestRingLeaderStability(t *testing.T) {
+	fl := newFleet(t, 3)
+	sc, err := NewShardedClient(fl.addrs, fl.pp, ShardedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	leader := sc.LeaderAddr()
+	found := false
+	for _, a := range fl.addrs {
+		if a == leader {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leader %s not in fleet %v", leader, fl.addrs)
+	}
+	// Reversed listing, same designation.
+	rev := []string{fl.addrs[2], fl.addrs[1], fl.addrs[0]}
+	sc2, err := NewShardedClient(rev, fl.pp, ShardedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc2.Close()
+	if got := sc2.LeaderAddr(); got != leader {
+		t.Errorf("leader depends on listing order: %s vs %s", got, leader)
+	}
+}

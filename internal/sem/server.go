@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pairing"
+	"repro/internal/repl"
 	"repro/internal/wire"
 )
 
@@ -72,6 +73,14 @@ type Config struct {
 	// Journal, when set, persists revocation mutations (its Registry must
 	// be the same one the backends share).
 	Journal *core.Journal
+	// Repl, when set, serves the repl.append/repl.snapshot/repl.status ops
+	// so this daemon can act as a replication follower. Its journal must be
+	// Config.Journal.
+	Repl *repl.Follower
+	// Leader, when set, routes revoke/unrevoke through the replication
+	// leader (which appends to the journal and streams to the fleet). Its
+	// journal must be Config.Journal.
+	Leader *repl.Leader
 	// Pairing is required when IBE or GDH is configured (to parse points).
 	Pairing *pairing.Params
 	// Logf receives connection-level errors; nil silences them.
@@ -117,6 +126,12 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if (cfg.IBE != nil || cfg.GDH != nil) && cfg.Pairing == nil {
 		return nil, errors.New("sem: pairing params required for IBE/GDH backends")
+	}
+	if cfg.Repl != nil && cfg.Repl.Journal() != cfg.Journal { //cryptolint:public (pointer-identity wiring check on config; no key material)
+		return nil, errors.New("sem: Repl follower must wrap Config.Journal")
+	}
+	if cfg.Leader != nil && cfg.Leader.Journal() != cfg.Journal { //cryptolint:public (pointer-identity wiring check on config; no key material)
+		return nil, errors.New("sem: replication Leader must own Config.Journal")
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -403,6 +418,22 @@ func oversizeResponse(maxFrame int) *Response {
 	}
 }
 
+// refuseIfFollower fences direct revocation mutations on a replication
+// follower. A journal that has adopted a leader epoch (> 0) is driven
+// solely by the leader's ordered stream; if this daemon self-sequenced a
+// direct mutation, its numbering would fork from the leader's and a racing
+// fast-path hint could shadow the authoritative order forever. The caller
+// gets a typed not_leader refusal pointing at the real write path. A
+// standalone journaled daemon (epoch 0, never spoken to by a leader) keeps
+// accepting direct mutations. Returns nil when the mutation may proceed.
+func (s *Server) refuseIfFollower() *Response {
+	if epoch := s.cfg.Journal.Epoch(); epoch > 0 {
+		return replErrorResponse(fmt.Errorf(
+			"%w: this daemon follows a revocation leader at epoch %d; route the mutation through the leader shard", repl.ErrNotLeader, epoch))
+	}
+	return nil
+}
+
 // dispatch routes one request. It never panics; unexpected failures become
 // CodeInternal responses.
 func (s *Server) dispatch(req *Request) *Response {
@@ -420,7 +451,16 @@ func (s *Server) dispatch(req *Request) *Response {
 	case OpGMDecrypt:
 		return s.gmDecrypt(req)
 	case OpRevoke:
-		if s.cfg.Journal != nil {
+		// On a replication leader the mutation goes through the Leader so it
+		// is sequenced, made durable and streamed to the fleet in one motion.
+		if s.cfg.Leader != nil {
+			if err := s.cfg.Leader.Revoke(req.ID, req.Reason); err != nil {
+				return replErrorResponse(err)
+			}
+		} else if s.cfg.Journal != nil {
+			if resp := s.refuseIfFollower(); resp != nil {
+				return resp
+			}
 			if err := s.cfg.Journal.Revoke(req.ID, req.Reason); err != nil {
 				return errResponse(CodeInternal, err)
 			}
@@ -429,7 +469,14 @@ func (s *Server) dispatch(req *Request) *Response {
 		}
 		return &Response{OK: true}
 	case OpUnrevoke:
-		if s.cfg.Journal != nil {
+		if s.cfg.Leader != nil {
+			if err := s.cfg.Leader.Unrevoke(req.ID); err != nil {
+				return replErrorResponse(err)
+			}
+		} else if s.cfg.Journal != nil {
+			if resp := s.refuseIfFollower(); resp != nil {
+				return resp
+			}
 			if err := s.cfg.Journal.Unrevoke(req.ID); err != nil {
 				return errResponse(CodeInternal, err)
 			}
@@ -437,6 +484,12 @@ func (s *Server) dispatch(req *Request) *Response {
 			s.cfg.Registry.Unrevoke(req.ID)
 		}
 		return &Response{OK: true}
+	case OpReplAppend:
+		return s.replAppend(req)
+	case OpReplSnapshot:
+		return s.replSnapshot(req)
+	case OpReplStatus:
+		return s.replStatus(req)
 	case OpRegisterIBE:
 		return s.registerIBE(req)
 	case OpRegisterGDH:

@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pairing"
 	"repro/internal/parallel"
+	"repro/internal/repl"
 	"repro/internal/shard"
 	"repro/internal/wire"
 )
@@ -62,6 +63,7 @@ type shardedMetrics struct {
 	failovers    *obs.Counter
 	shardBatches *obs.Counter
 	broadcasts   *obs.Counter
+	hintFailures *obs.Counter
 }
 
 func newShardedMetrics(reg *obs.Registry) *shardedMetrics {
@@ -72,6 +74,7 @@ func newShardedMetrics(reg *obs.Registry) *shardedMetrics {
 		failovers:    reg.Counter("shardclient_failovers_total", "per-identity ops retried on the next ring replica after a transport failure"),
 		shardBatches: reg.Counter("shardclient_shard_batches_total", "per-shard sub-batches dispatched by sharded batch splitting"),
 		broadcasts:   reg.Counter("shardclient_broadcasts_total", "fleet-wide broadcast ops (revoke/unrevoke)"),
+		hintFailures: reg.Counter("shardclient_hint_failures_total", "best-effort revocation hints that failed (replication still carries the mutation)"),
 	}
 }
 
@@ -427,16 +430,55 @@ func (sc *ShardedClient) SignGDH(key *core.GDHUserKey, msg []byte) (*curve.Point
 	return core.UserSign(key, msg, semHalf)
 }
 
-// Revoke disables an identity on every shard: instant fleet-wide
-// revocation is the paper's central claim, and any replica may serve the
-// identity after a failover, so the revocation must land everywhere.
+// Revoke disables an identity fleet-wide. The mutation lands
+// authoritatively on the fleet's leader shard (shard.Ring.Leader — in a
+// replicated fleet that daemon sequences it, makes it durable and streams
+// it to every follower), then fans to the remaining shards as a
+// best-effort hint so even non-replicated fleets converge before the call
+// returns. A hint miss — a shard down at that moment — is counted, not
+// fatal: the leader owns the truth and catch-up replication delivers the
+// mutation when the shard returns. This replaces the pre-replication
+// broadcast, whose guarantee evaporated exactly when a shard was down.
 func (sc *ShardedClient) Revoke(id, reason string) error {
-	return sc.broadcast(OpRevoke, id, []byte(reason))
+	return sc.leaderMutate(OpRevoke, id, []byte(reason))
 }
 
-// Unrevoke restores an identity on every shard.
+// Unrevoke restores an identity fleet-wide (leader-routed, like Revoke).
 func (sc *ShardedClient) Unrevoke(id string) error {
-	return sc.broadcast(OpUnrevoke, id, nil)
+	return sc.leaderMutate(OpUnrevoke, id, nil)
+}
+
+// LeaderAddr reports the shard that owns the fleet's revocation write
+// path — where cmd/semd's -repl-leader should run.
+func (sc *ShardedClient) LeaderAddr() string { return sc.ring.Leader() }
+
+// leaderMutate performs a revocation mutation: authoritative write on the
+// ring's leader shard (the call fails if the leader does), then a
+// synchronous best-effort hint to every other shard.
+func (sc *ShardedClient) leaderMutate(op Op, id string, payload []byte) error {
+	if sc.closed.Load() {
+		return ErrClientClosed
+	}
+	leader := sc.ring.Leader()
+	if _, err := sc.pools[leader].single(op, id, payload); err != nil { //cryptolint:public (leader routing on shard addresses; deployment metadata)
+		return fmt.Errorf("sem: leader shard %s: %w", leader, err) //cryptolint:public (shard address in an operator-facing error; deployment metadata)
+	}
+	sc.met.broadcasts.Inc()
+	parallel.Fan(len(sc.addrs), func(i int) {
+		addr := sc.addrs[i]
+		if addr == leader { //cryptolint:public (skip-the-leader comparison on shard addresses; deployment metadata)
+			return
+		}
+		if _, err := sc.pools[addr].single(op, id, payload); err != nil { //cryptolint:public (hint fan-out over shard addresses; deployment metadata)
+			// A replicated follower refuses direct mutations by design
+			// (repl.ErrNotLeader) — the leader's stream is already carrying
+			// this record there, so that refusal is not a lost hint.
+			if !errors.Is(err, repl.ErrNotLeader) {
+				sc.met.hintFailures.Inc()
+			}
+		}
+	})
+	return nil
 }
 
 // Status reports whether an identity is revoked, read from its primary

@@ -200,6 +200,24 @@ func (r *Ring) Lookup(id string) string {
 	return r.nodes[ownerOf(r.points, hashString(id))]
 }
 
+// leaderToken is the reserved key whose ring owner is the fleet's leader
+// shard — the daemon that sequences revocation mutations for replication.
+// The NUL bytes keep it out of the identity namespace (identities are
+// caller-facing strings), so no identity can collide with the leader
+// designation. Because the token is fixed and the ring is deterministic
+// over the node *set*, every client and every daemon that knows the fleet
+// list independently agrees on the same leader without coordination.
+const leaderToken = "\x00repl-leader\x00"
+
+// Leader returns the node designated as the fleet's revocation leader:
+// the owner of a fixed reserved key. Deterministic for a given node set;
+// changes only when a rebalance moves the token's arc.
+func (r *Ring) Leader() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nodes[ownerOf(r.points, hashString(leaderToken))]
+}
+
 // Replicas appends to dst the first k distinct nodes on the clockwise walk
 // from id's hash: dst[0] is the owner (same node Lookup returns), the rest
 // the deterministic failover order. k is clamped to the node count. The

@@ -186,3 +186,45 @@ func TestConcurrentLookupAndRebuild(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestLeaderDeterministic: the leader designation is a pure function of
+// the node *set* — independent of listing order, always a member, and
+// stable unless a rebalance moves the reserved token's arc.
+func TestLeaderDeterministic(t *testing.T) {
+	nodes := []string{"10.0.0.3:7300", "10.0.0.1:7300", "10.0.0.2:7300"}
+	r1, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New([]string{nodes[1], nodes[2], nodes[0], nodes[1]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, l2 := r1.Leader(), r2.Leader()
+	if l1 != l2 {
+		t.Fatalf("leader depends on listing order: %q vs %q", l1, l2)
+	}
+	member := false
+	for _, n := range nodes {
+		if n == l1 {
+			member = true
+		}
+	}
+	if !member {
+		t.Fatalf("leader %q not in node set %v", l1, nodes)
+	}
+	// Repeated calls are stable.
+	for i := 0; i < 10; i++ {
+		if r1.Leader() != l1 {
+			t.Fatal("leader flapped without a rebuild")
+		}
+	}
+	// A single-node ring leads itself.
+	solo, err := New([]string{"10.0.0.9:7300"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Leader() != "10.0.0.9:7300" {
+		t.Fatalf("solo leader = %q", solo.Leader())
+	}
+}
