@@ -179,12 +179,12 @@ func run(args []string, stop <-chan os.Signal, ready, debugReady chan<- string) 
 			Peers:   peers,
 			Dial:    sem.ReplDialer(replDialTimeout),
 			Logf:    logf,
+			Metrics: metrics,
 		})
 		if err != nil {
 			return fmt.Errorf("semd replication leader: %w", err)
 		}
 		defer func() { _ = leader.Close() }()
-		leader.Instrument(metrics)
 		logf("semd: replication leader, epoch %d, %d peer(s): %s", *replEpoch, len(peers), *replPeers)
 	} else if follower != nil {
 		logf("semd: replication follower at epoch %d, last seq %d", journal.Epoch(), journal.LastSeq())

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -32,9 +33,12 @@ import (
 // assigns those sequential numbers so an upgraded journal is immediately
 // replicable. Op "snapshot" replaces the whole state: Entries holds the
 // complete revocation set as of Seq, and replay discards everything before
-// it — the compaction format.
+// it — the compaction format. Op "epoch" durably records an epoch adoption
+// (a follower fenced by a new leader, or a leader assuming its term): it
+// raises the journal's epoch without consuming a sequence number, so the
+// not_leader write fence survives a restart.
 type journalRecord struct {
-	Op      string            `json:"op"` // "revoke" | "unrevoke" | "snapshot"
+	Op      string            `json:"op"` // "revoke" | "unrevoke" | "snapshot" | "epoch"
 	ID      string            `json:"id,omitempty"`
 	Reason  string            `json:"reason,omitempty"`
 	When    time.Time         `json:"when"`
@@ -183,6 +187,14 @@ func OpenJournal(path string) (*Journal, error) {
 			}
 			j.tail = j.tail[:0]
 			j.replayed++
+		case "epoch":
+			// Durable epoch adoption: the fence a replication leader armed
+			// on this journal. Raises the epoch only — no sequence number
+			// was consumed and no registry state changes.
+			if rec.Epoch > j.epoch {
+				j.epoch = rec.Epoch
+			}
+			j.replayed++
 		default:
 			// A record from a newer build. Skipping it silently as "replayed"
 			// would overstate how much of the journal took effect, so it is
@@ -261,19 +273,48 @@ func (j *Journal) Epoch() uint64 {
 	return j.epoch
 }
 
-// SetEpoch raises the journal's epoch — the leader's startup handshake. A
-// replacement leader must be configured with an epoch strictly above its
-// predecessor's; asking for one below what the journal has already seen is
-// refused, because appending under a stale epoch is exactly the confusion
-// epoch fencing exists to prevent.
+// SetEpoch raises the journal's epoch — the leader's startup handshake and
+// the follower's fence adoption. A replacement leader must be configured
+// with an epoch strictly above its predecessor's; asking for one below what
+// the journal has already seen is refused, because appending under a stale
+// epoch is exactly the confusion epoch fencing exists to prevent.
+//
+// Raising the epoch is durable: an "epoch" record is appended and fsynced
+// (via group commit) before SetEpoch returns, so a follower that restarts
+// keeps refusing direct mutations with not_leader instead of silently
+// reopening the self-sequencing write path at epoch 0. Setting the epoch
+// the journal already holds is a no-op and writes nothing.
 func (j *Journal) SetEpoch(epoch uint64) error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if epoch < j.epoch {
-		return fmt.Errorf("core: journal already at epoch %d, refusing to regress to %d", j.epoch, epoch)
+		cur := j.epoch
+		j.mu.Unlock()
+		return fmt.Errorf("core: journal already at epoch %d, refusing to regress to %d", cur, epoch)
+	}
+	if epoch == j.epoch {
+		j.mu.Unlock()
+		return nil
+	}
+	if j.f == nil {
+		j.mu.Unlock()
+		return errJournalClosed
+	}
+	// Not writeLocked: an epoch record consumes no sequence number and must
+	// never enter the replication tail (it is local fencing state, not a
+	// mutation a leader ships to followers).
+	rec := journalRecord{Op: "epoch", When: time.Now(), Seq: j.lastSeq, Epoch: epoch}
+	if err := j.enc.Encode(rec); err != nil {
+		j.mu.Unlock()
+		return fmt.Errorf("append revocation journal epoch: %w", err)
 	}
 	j.epoch = epoch
-	return nil
+	j.appends.Inc()
+	j.syncMu.Lock()
+	j.writeGen++
+	gen := j.writeGen
+	j.syncMu.Unlock()
+	j.mu.Unlock()
+	return j.commitSync(gen)
 }
 
 // SetTailLimit overrides how many recent records the journal retains for
@@ -579,11 +620,28 @@ func (j *Journal) maybeCompactLocked() error {
 	return j.rewriteLocked(j.epoch, j.lastSeq, j.reg.Entries())
 }
 
+// syncDir fsyncs a directory so a rename inside it is durable. A renamed
+// file's data being on disk means nothing if the directory entry pointing
+// at the new inode is lost with the page cache — after a power cut the
+// journal would silently revert to its pre-compaction contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // rewriteLocked atomically replaces the journal file with a single
-// snapshot record: write to a temp file, fsync, rename over the journal.
-// On success the in-memory tail resets (the history is gone) and every
-// pending group-commit waiter is released — their records are durable via
-// the snapshot. Caller holds j.mu.
+// snapshot record: write to a temp file, fsync, rename over the journal,
+// fsync the directory (the rename itself is not durable until its
+// directory entry is). On success the in-memory tail resets (the history
+// is gone) and every pending group-commit waiter is released — their
+// records are durable via the snapshot. Caller holds j.mu.
 func (j *Journal) rewriteLocked(epoch, seq uint64, entries []RevocationEntry) error {
 	tmpPath := j.path + ".tmp"
 	tf, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
@@ -614,16 +672,25 @@ func (j *Journal) rewriteLocked(epoch, seq uint64, entries []RevocationEntry) er
 	j.tail = j.tail[:0]
 	j.sinceSnap = 0
 	j.compactions.Inc()
+	// The rename only persists once the directory entry does. Waiters must
+	// not be told their records are durable before that — a power loss
+	// could revert the whole file to its pre-compaction state, taking every
+	// acknowledged append that rode the compaction with it.
+	dirErr := syncDir(filepath.Dir(j.path))
+	if dirErr != nil {
+		dirErr = fmt.Errorf("sync revocation journal directory: %w", dirErr)
+	}
 	// Everything written before the rename is captured by the fsynced
-	// snapshot: release any group-commit waiters.
+	// snapshot: release any group-commit waiters — poisoned with the
+	// directory-sync error if the rename's durability is in doubt.
 	j.syncMu.Lock()
 	if j.writeGen > j.syncGen {
 		j.syncGen = j.writeGen
-		j.syncErr = nil
+		j.syncErr = dirErr
 	}
 	j.syncCond.Broadcast()
 	j.syncMu.Unlock()
-	return nil
+	return dirErr
 }
 
 // Close releases the log file. The registry stays usable (read-only

@@ -49,6 +49,60 @@ func TestJournalPersistsAcrossReopen(t *testing.T) {
 	}
 }
 
+// TestJournalEpochDurableAcrossReopen pins the fence's durability: an
+// epoch adopted via SetEpoch (the not_leader write fence a replication
+// leader arms on a follower) must survive a restart — a journal that
+// replayed back to epoch 0 would silently accept direct self-sequenced
+// mutations again. The epoch record consumes no sequence number and never
+// enters the replication tail.
+func TestJournalEpochDurableAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "revocations.jsonl")
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Revoke("alice@example.com", "pre-fence"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.SetEpoch(7); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-set writes nothing new; regression is refused.
+	if err := j1.SetEpoch(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.SetEpoch(3); err == nil {
+		t.Fatal("epoch regression accepted")
+	}
+	if seq := j1.LastSeq(); seq != 1 {
+		t.Errorf("SetEpoch consumed a sequence number: lastSeq = %d, want 1", seq)
+	}
+	if recs, ok := j1.TailSince(0); !ok || len(recs) != 1 {
+		t.Errorf("tail after SetEpoch = %d records (ok %v), want the 1 mutation only", len(recs), ok)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if epoch := j2.Epoch(); epoch != 7 {
+		t.Errorf("epoch after reopen = %d, want 7 (fence must survive restart)", epoch)
+	}
+	if seq := j2.LastSeq(); seq != 1 {
+		t.Errorf("lastSeq after reopen = %d, want 1", seq)
+	}
+	if j2.UnknownOps() != 0 {
+		t.Errorf("epoch record misread as %d unknown op(s)", j2.UnknownOps())
+	}
+	if !j2.Registry().IsRevoked("alice@example.com") {
+		t.Error("mutation lost across reopen")
+	}
+}
+
 func TestJournalToleratesTornWrite(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "revocations.jsonl")
 	j, err := OpenJournal(path)

@@ -30,10 +30,16 @@ type Peer interface {
 type LeaderConfig struct {
 	// Journal is the authoritative, sequenced log. Required.
 	Journal *core.Journal
-	// Epoch is the operator-assigned term. It must be at least the epoch
-	// the journal replayed; a replacement leader must be started strictly
-	// above its predecessor's epoch.
+	// Epoch is the operator-assigned term, at least 1 (epoch 0 means "no
+	// leader has ever spoken" and would disarm every fence). It must be at
+	// least the epoch the journal replayed; a replacement leader must be
+	// started strictly above its predecessor's epoch.
 	Epoch uint64
+	// Metrics, when set, registers the leader's series (per-peer acked-seq
+	// and lag gauges, traffic counters, the deposed flag). Registration
+	// happens inside NewLeader, before any replicator goroutine starts, so
+	// there is no window where a goroutine races the counter wiring.
+	Metrics *obs.Registry
 	// Peers are the follower addresses. May be empty (a leader with no
 	// followers is just a journal).
 	Peers []string
@@ -87,6 +93,9 @@ func NewLeader(cfg LeaderConfig) (*Leader, error) {
 	if cfg.Journal == nil {
 		return nil, errors.New("repl: leader requires a journal")
 	}
+	if cfg.Epoch == 0 {
+		return nil, errors.New("repl: leader epoch must be at least 1 (0 would disarm every follower fence)")
+	}
 	if len(cfg.Peers) > 0 && cfg.Dial == nil {
 		return nil, errors.New("repl: leader with peers requires a dialer")
 	}
@@ -109,21 +118,31 @@ func NewLeader(cfg LeaderConfig) (*Leader, error) {
 		closed: make(chan struct{}),
 	}
 	for _, addr := range cfg.Peers {
-		p := &peerState{addr: addr, notify: make(chan struct{}, 1)}
-		l.peers = append(l.peers, p)
+		l.peers = append(l.peers, &peerState{addr: addr, notify: make(chan struct{}, 1)})
+	}
+	// Register metrics before any replicator goroutine exists: the
+	// goroutines read these counter fields, so wiring them afterwards would
+	// be a data race. A nil registry still yields live (unregistered)
+	// counters — the fields are never nil.
+	l.instrument(cfg.Metrics)
+	for _, p := range l.peers {
 		l.wg.Add(1)
 		go l.runPeer(p)
 	}
 	return l, nil
 }
 
-// Instrument registers the leader's series with reg: per-peer acked-seq
+// instrument registers the leader's series with reg: per-peer acked-seq
 // and lag gauges (the replication smoke's convergence probes), traffic
-// counters, and the deposed flag.
-func (l *Leader) Instrument(reg *obs.Registry) {
+// counters, and the deposed flag. Called from NewLeader only, before the
+// replicator goroutines start.
+func (l *Leader) instrument(reg *obs.Registry) {
 	l.appends = reg.Counter("repl_leader_appends_total", "record batches shipped to followers")
 	l.snapshots = reg.Counter("repl_leader_snapshots_total", "snapshot transfers started")
 	l.reconnects = reg.Counter("repl_leader_reconnects_total", "follower connections re-established")
+	if reg == nil {
+		return
+	}
 	reg.GaugeFunc("repl_leader_deposed", "1 when a follower reported a higher epoch and this leader stopped", func() int64 {
 		if l.deposed.Load() {
 			return 1
@@ -269,7 +288,8 @@ func (l *Leader) runPeer(p *peerState) {
 }
 
 // servePeer drives one connection until it breaks, the leader closes, or
-// deposition. It first learns the follower's position, then loops:
+// deposition. It first learns the follower's position and checks that its
+// history can actually be extended by ours (log matching), then loops:
 // stream the tail suffix past the follower's ack, fall back to a
 // snapshot when the journal has compacted past it, idle on the notify
 // channel when caught up.
@@ -283,22 +303,31 @@ func (l *Leader) servePeer(p *peerState, peer Peer) {
 		l.depose(p.addr, epoch)
 		return
 	}
-	if epoch < l.epoch {
-		// Arm the fence before any records flow: an empty (heartbeat-shaped)
-		// append makes the follower adopt this epoch immediately, so direct
-		// mutations there are refused as not_leader from the fleet's first
-		// moments instead of racing the stream for the early sequence
-		// numbers.
-		if err := peer.ReplAppend(l.epoch, nil); err != nil {
+	acked := lastSeq
+	if epoch < l.epoch || lastSeq > l.j.LastSeq() {
+		// Log matching: a sequence number identifies a record only within
+		// one leader's history. A follower still below our epoch may hold
+		// records we never issued — a pre-replication journal whose seqs
+		// were self-assigned at replay, or appends from a predecessor whose
+		// history we did not inherit — and a follower *ahead* of our
+		// LastSeq certainly does. Streaming a suffix past such a position
+		// would make the seq counters "converge" while the histories
+		// silently diverge (revocations permanently withheld, lag reading
+		// zero). First contact with an unverifiable position is therefore
+		// always a snapshot install: it replaces the follower's history
+		// wholesale and durably adopts our epoch, so the not_leader write
+		// fence is armed across restarts from the fleet's first moments.
+		seq, err := l.sendSnapshot(peer)
+		if err != nil {
 			if errors.Is(err, ErrStaleEpoch) {
 				l.depose(p.addr, 0)
 			} else {
-				l.logf("repl: arming epoch fence on follower %s: %v", p.addr, err)
+				l.logf("repl: resync snapshot to follower %s (epoch %d, seq %d): %v", p.addr, epoch, lastSeq, err)
 			}
 			return
 		}
+		acked = seq
 	}
-	acked := lastSeq
 	p.acked.Store(acked)
 	for {
 		select {

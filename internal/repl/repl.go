@@ -21,15 +21,28 @@
 //     appends and snapshots from any sender below E with ErrStaleEpoch,
 //     so a deposed leader cannot un-converge the fleet once its successor
 //     has spoken.
-//   - Catch-up: a restarting follower reports its last durable sequence
-//     (repl.status); the leader streams the missing suffix from its
-//     in-memory tail, or a full snapshot when compaction has dropped the
-//     suffix.
+//   - Catch-up with log matching: a restarting follower reports its epoch
+//     and last durable sequence (repl.status). The leader streams the
+//     missing suffix only when that position is verifiably within its own
+//     history — the follower has already adopted this leader's epoch and
+//     is at or behind the leader's last seq. Any other position (a legacy
+//     pre-replication journal with self-assigned seqs, a fleet member left
+//     over from a deposed leader's reign, a follower ahead of the leader)
+//     is resynced with a full snapshot install, never a suffix: seq
+//     numbers from different histories must not be compared.
 //   - A single write path: once a journal has adopted a leader epoch its
 //     daemon refuses direct revoke/unrevoke ops with ErrNotLeader, so a
 //     follower can never self-sequence a mutation that would fork its
 //     numbering from the leader's. The leader arms this fence on first
-//     contact with an empty append, before any records flow.
+//     contact via the resync snapshot, and the adoption is durable (the
+//     journal persists epoch changes), so the fence survives follower
+//     restarts.
+//
+// What the protocol cannot catch: two leaders started with the *same*
+// epoch. Each would accept and sequence its own mutations, and their
+// followers cannot tell the histories apart. Operators must assign epochs
+// strictly monotonically (cmd/semd refuses -repl-epoch 0; promote with a
+// higher value than any predecessor's).
 //
 // Transport is the existing SEM v2 wire protocol: three ops
 // (repl.append / repl.snapshot / repl.status) whose payloads are encoded
@@ -139,8 +152,9 @@ func (f *Follower) ApplyAppend(leaderEpoch uint64, recs []core.ReplRecord) error
 		f.staleRejects.Inc()
 		return fmt.Errorf("%w: append from epoch %d, follower at epoch %d", ErrStaleEpoch, leaderEpoch, cur)
 	}
-	// Adopting the sender's epoch arms the fence: from here on the
-	// predecessor leader is stale even if it never learns it was replaced.
+	// Adopting the sender's epoch arms the fence — durably, the journal
+	// persists epoch adoption — so the predecessor leader stays stale even
+	// across a follower restart.
 	if err := f.j.SetEpoch(leaderEpoch); err != nil {
 		return err
 	}

@@ -216,9 +216,10 @@ func TestLeaderStreamsToFollowers(t *testing.T) {
 }
 
 // TestLeaderArmsFenceOnConnect: the leader pushes its epoch to a fresh
-// follower with an empty append before any mutation happens, so the
-// follower's not_leader fence (and stale-sender rejection) is armed from
-// the fleet's first moments, not from the first revocation.
+// follower on first contact (via the resync snapshot, which durably adopts
+// the epoch) before any mutation happens, so the follower's not_leader
+// fence (and stale-sender rejection) is armed from the fleet's first
+// moments, not from the first revocation.
 func TestLeaderArmsFenceOnConnect(t *testing.T) {
 	f := NewFollower(openJournal(t))
 	l, err := NewLeader(LeaderConfig{
@@ -327,6 +328,116 @@ func TestLeaderSnapshotFallback(t *testing.T) {
 	waitFor(t, "post-snapshot append", func() bool { return l.AckedSeqs()["p"] == 41 })
 	if !f.Journal().Registry().IsRevoked("tail@x") {
 		t.Error("post-snapshot append missing")
+	}
+}
+
+// TestLeaderResyncsDivergentLegacyFollower: log matching on first contact.
+// A follower carrying a pre-replication journal has self-assigned sequence
+// numbers — the same seq values index a *different history* than the
+// leader's. Streaming only the leader's suffix past the follower's lastSeq
+// would permanently withhold every leader record at or below that number
+// while repl_peer_lag reads 0. The leader must instead detect the
+// unverifiable position (follower epoch below its own) and install a full
+// snapshot, converging the follower to exactly the leader's state.
+func TestLeaderResyncsDivergentLegacyFollower(t *testing.T) {
+	// Follower: a legacy journal with two self-sequenced local mutations
+	// (epoch 0 — no leader has ever spoken to it).
+	fj := openJournal(t)
+	for _, id := range []string{"local0@x", "local1@x"} {
+		if err := fj.Revoke(id, "pre-replication"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := NewFollower(fj)
+
+	// Leader: a different history, longer than the follower's.
+	lj := openJournal(t)
+	for _, id := range []string{"a@x", "b@x", "c@x"} {
+		if err := lj.Revoke(id, "authoritative"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := NewLeader(LeaderConfig{
+		Journal:       lj,
+		Epoch:         1,
+		Peers:         []string{"p"},
+		Dial:          func(string) (Peer, error) { return &memPeer{f: f}, nil },
+		RetryInterval: 10 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	waitFor(t, "divergent follower resynced", func() bool { return l.AckedSeqs()["p"] == 3 })
+	reg := f.Journal().Registry()
+	for _, id := range []string{"a@x", "b@x", "c@x"} {
+		if !reg.IsRevoked(id) {
+			t.Errorf("leader record %s missing after resync — the exact hole catch-up exists to close", id)
+		}
+	}
+	for _, id := range []string{"local0@x", "local1@x"} {
+		if reg.IsRevoked(id) {
+			t.Errorf("self-sequenced legacy record %s survived the resync", id)
+		}
+	}
+	if epoch, seq := f.Status(); epoch != 1 || seq != 3 {
+		t.Errorf("follower at %d/%d after resync, want 1/3", epoch, seq)
+	}
+	// Incremental streaming takes over once the histories match.
+	if err := l.Revoke("after@x", "post-resync"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-resync append", func() bool { return l.AckedSeqs()["p"] == 4 })
+	if !reg.IsRevoked("after@x") {
+		t.Error("post-resync append missing")
+	}
+}
+
+// TestLeaderResyncsAheadFollower: the other divergence signature — a
+// follower whose lastSeq exceeds the leader's (a same-epoch misconfig or a
+// leader restarted on a shorter journal). TailSince(after >= lastSeq)
+// would report "caught up" and the follower would keep records at seqs the
+// leader will later reassign to different mutations. The leader must
+// rewind it with a snapshot instead.
+func TestLeaderResyncsAheadFollower(t *testing.T) {
+	// Follower ahead at the same epoch: 5 records at epoch 3.
+	f := NewFollower(openJournal(t))
+	if err := f.ApplyAppend(3, mkRecs(3, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Leader at the same epoch with a shorter (2-record) history.
+	lj := openJournal(t)
+	if err := lj.Revoke("short0@x", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lj.Revoke("short1@x", "r"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLeader(LeaderConfig{
+		Journal:       lj,
+		Epoch:         3,
+		Peers:         []string{"p"},
+		Dial:          func(string) (Peer, error) { return &memPeer{f: f}, nil },
+		RetryInterval: 10 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	waitFor(t, "ahead follower rewound", func() bool {
+		_, seq := f.Status()
+		return seq == 2
+	})
+	reg := f.Journal().Registry()
+	if !reg.IsRevoked("short0@x") || !reg.IsRevoked("short1@x") {
+		t.Error("leader state missing after rewind")
+	}
+	if reg.IsRevoked("id003@x") {
+		t.Error("ahead follower's phantom record survived the rewind")
 	}
 }
 

@@ -115,13 +115,17 @@ func (s *Server) replSnapshot(req *Request) *Response {
 	return &Response{OK: true}
 }
 
-// replStatus reports the follower's replication position.
+// replStatus reports this daemon's replication position, flagging whether
+// it is the fleet's active leader — the signal ShardedClient probes for
+// when the ring's leader designation has drifted from the daemon actually
+// running with -repl-leader (see shard.Ring.Leader for the hazard).
 func (s *Server) replStatus(req *Request) *Response {
 	if s.cfg.Repl == nil {
 		return &Response{OK: false, Code: CodeUnsupported, Error: "replication not enabled (no journal)"}
 	}
 	epoch, lastSeq := s.cfg.Repl.Status()
-	return &Response{OK: true, Payload: wire.PackReplStatus(wire.ReplStatus{Epoch: epoch, LastSeq: lastSeq})}
+	isLeader := s.cfg.Leader != nil && !s.cfg.Leader.Deposed()
+	return &Response{OK: true, Payload: wire.PackReplStatus(wire.ReplStatus{Epoch: epoch, LastSeq: lastSeq, Leader: isLeader})}
 }
 
 // ReplStatus asks the SEM for its replication position (epoch, last

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pairing"
 	"repro/internal/repl"
+	"repro/internal/shard"
 )
 
 // replNode is one journal-backed SEM daemon with its follower wired in,
@@ -25,6 +26,18 @@ type replNode struct {
 }
 
 func newReplNode(t *testing.T, pp *pairing.Params, leader *repl.Leader, j *core.Journal) *replNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newReplNodeOn(t, pp, leader, j, ln)
+}
+
+// newReplNodeOn serves a replication node on a pre-bound listener, so a
+// test can know the fleet's addresses (and hence the ring's leader
+// designation) before deciding which daemon actually runs the leader.
+func newReplNodeOn(t *testing.T, pp *pairing.Params, leader *repl.Leader, j *core.Journal, ln net.Listener) *replNode {
 	t.Helper()
 	f := repl.NewFollower(j)
 	// A minimal IBE backend so revocation refusal is observable over the
@@ -42,10 +55,6 @@ func newReplNode(t *testing.T, pp *pairing.Params, leader *repl.Leader, j *core.
 		Leader:   leader,
 		Pairing:  pp,
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,6 +310,114 @@ func TestShardedRevokeRoutesThroughLeader(t *testing.T) {
 	lp.killAll()
 	if err := sc.Revoke(ids[2], "leader down"); err == nil {
 		t.Fatal("Revoke succeeded with the leader shard dead")
+	}
+}
+
+// TestShardedRevokeFollowsLeaderDrift pins the rebalance-hazard recovery:
+// when the ring's leader designation points at a daemon running as a
+// follower (the fleet list changed after the daemons were started with a
+// fixed -repl-leader), the designated shard refuses the mutation with
+// not_leader. The ShardedClient must then probe repl.status, find the
+// daemon actually leading, and land the mutation there — authoritative
+// writes keep working instead of failing until an operator restart.
+func TestShardedRevokeFollowsLeaderDrift(t *testing.T) {
+	pp, err := pairing.Toy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bind listeners first so the ring designation over the final address
+	// set is known before choosing which daemon actually leads.
+	const n = 3
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ring, err := shard.New(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	designated := ring.Leader()
+	// Deliberately run the real leader on a shard the ring does NOT
+	// designate — the post-rebalance drift scenario.
+	actual := ""
+	var peers []string
+	for _, a := range addrs {
+		if a != designated && actual == "" {
+			actual = a
+		}
+	}
+	for _, a := range addrs {
+		if a != actual {
+			peers = append(peers, a)
+		}
+	}
+	journals := make(map[string]*core.Journal, n)
+	for _, a := range addrs {
+		journals[a] = tmpJournal(t)
+	}
+	leader, err := repl.NewLeader(repl.LeaderConfig{
+		Journal:       journals[actual],
+		Epoch:         1,
+		Peers:         peers,
+		Dial:          ReplDialer(2 * time.Second),
+		RetryInterval: 20 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i, a := range addrs {
+		var l *repl.Leader
+		if a == actual {
+			l = leader
+		}
+		newReplNodeOn(t, pp, l, journals[a], lns[i])
+	}
+	// Wait for the leader to arm every follower's fence: the designated
+	// shard only refuses direct mutations once it has adopted epoch 1.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, a := range peers {
+		for journals[a].Epoch() < 1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("follower %s never adopted the leader epoch", a)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	sc, err := NewShardedClient(addrs, pp, ShardedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if got := sc.LeaderAddr(); got != designated {
+		t.Fatalf("ring designation = %s, want %s", got, designated)
+	}
+	if err := sc.Revoke("drift@x", "ring moved"); err != nil {
+		t.Fatalf("Revoke with drifted leader designation: %v", err)
+	}
+	// The mutation must have landed authoritatively on the actual leader…
+	if !journals[actual].Registry().IsRevoked("drift@x") {
+		t.Fatal("mutation missing from the actual leader")
+	}
+	// …and replicate to every follower, including the ring-designated one.
+	for _, a := range peers {
+		for !journals[a].Registry().IsRevoked("drift@x") {
+			if time.Now().After(deadline) {
+				t.Fatalf("follower %s never converged", a)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if err := sc.Unrevoke("drift@x"); err != nil {
+		t.Fatalf("Unrevoke with drifted leader designation: %v", err)
 	}
 }
 

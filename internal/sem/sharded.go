@@ -64,6 +64,7 @@ type shardedMetrics struct {
 	shardBatches *obs.Counter
 	broadcasts   *obs.Counter
 	hintFailures *obs.Counter
+	leaderProbes *obs.Counter
 }
 
 func newShardedMetrics(reg *obs.Registry) *shardedMetrics {
@@ -75,6 +76,7 @@ func newShardedMetrics(reg *obs.Registry) *shardedMetrics {
 		shardBatches: reg.Counter("shardclient_shard_batches_total", "per-shard sub-batches dispatched by sharded batch splitting"),
 		broadcasts:   reg.Counter("shardclient_broadcasts_total", "fleet-wide broadcast ops (revoke/unrevoke)"),
 		hintFailures: reg.Counter("shardclient_hint_failures_total", "best-effort revocation hints that failed (replication still carries the mutation)"),
+		leaderProbes: reg.Counter("shardclient_leader_probes_total", "repl.status probes issued to locate the actual leader after the ring-designated shard refused a mutation"),
 	}
 }
 
@@ -448,19 +450,61 @@ func (sc *ShardedClient) Unrevoke(id string) error {
 	return sc.leaderMutate(OpUnrevoke, id, nil)
 }
 
-// LeaderAddr reports the shard that owns the fleet's revocation write
-// path — where cmd/semd's -repl-leader should run.
+// LeaderAddr reports the shard the ring *designates* as the fleet's
+// revocation write path — where cmd/semd's -repl-leader should run. Note
+// the rebalance hazard documented on shard.Ring.Leader: after the fleet
+// list changes, this designation can differ from the daemon actually
+// running as leader. Mutations recover via repl.status probing
+// (leaderMutate); operators should realign -repl-leader at the next
+// restart.
 func (sc *ShardedClient) LeaderAddr() string { return sc.ring.Leader() }
+
+// probeLeader asks every shard except skip for its replication status and
+// returns the first daemon reporting itself as the fleet's active leader,
+// or "" when none does.
+func (sc *ShardedClient) probeLeader(skip string) string {
+	for _, addr := range sc.addrs {
+		if addr == skip { //cryptolint:public (skip-the-refuser comparison on shard addresses; deployment metadata)
+			continue
+		}
+		sc.met.leaderProbes.Inc()
+		raw, err := sc.pools[addr].single(OpReplStatus, "", nil) //cryptolint:public (leader probe over shard addresses; deployment metadata)
+		if err != nil {
+			continue // down or replication-less shards simply aren't the leader
+		}
+		st, err := wire.ParseReplStatus(raw)
+		if err != nil || !st.Leader {
+			continue
+		}
+		return addr
+	}
+	return ""
+}
 
 // leaderMutate performs a revocation mutation: authoritative write on the
 // ring's leader shard (the call fails if the leader does), then a
-// synchronous best-effort hint to every other shard.
+// synchronous best-effort hint to every other shard. When the
+// ring-designated shard refuses with not_leader — a rebalance moved the
+// designation onto a daemon running as a follower (see shard.Ring.Leader)
+// — the fleet is probed for the daemon actually leading and the mutation
+// retried there, so authoritative writes survive fleet-list drift instead
+// of failing until an operator restart.
 func (sc *ShardedClient) leaderMutate(op Op, id string, payload []byte) error {
 	if sc.closed.Load() {
 		return ErrClientClosed
 	}
 	leader := sc.ring.Leader()
-	if _, err := sc.pools[leader].single(op, id, payload); err != nil { //cryptolint:public (leader routing on shard addresses; deployment metadata)
+	_, err := sc.pools[leader].single(op, id, payload) //cryptolint:public (leader routing on shard addresses; deployment metadata)
+	if err != nil && errors.Is(err, repl.ErrNotLeader) {
+		if actual := sc.probeLeader(leader); actual != "" {
+			if _, perr := sc.pools[actual].single(op, id, payload); perr == nil { //cryptolint:public (probed-leader routing on shard addresses; deployment metadata)
+				leader, err = actual, nil
+			} else {
+				err = perr
+			}
+		}
+	}
+	if err != nil {
 		return fmt.Errorf("sem: leader shard %s: %w", leader, err) //cryptolint:public (shard address in an operator-facing error; deployment metadata)
 	}
 	sc.met.broadcasts.Inc()

@@ -212,6 +212,16 @@ const leaderToken = "\x00repl-leader\x00"
 // Leader returns the node designated as the fleet's revocation leader:
 // the owner of a fixed reserved key. Deterministic for a given node set;
 // changes only when a rebalance moves the token's arc.
+//
+// REBALANCE HAZARD: the designation is a pure function of the node *set*,
+// while the daemon actually running as leader is fixed at startup by
+// -repl-leader. Adding or removing any shard can silently move the token's
+// arc onto a daemon running as a follower — from that moment the ring
+// points authoritative revocation writes at a shard that refuses them with
+// not_leader. sem.ShardedClient recovers by probing repl.status for the
+// daemon whose status reports leadership, so mutations keep landing, but
+// the designation stays wrong until the operator restarts the fleet with
+// -repl-leader on the newly designated shard (and a bumped -repl-epoch).
 func (r *Ring) Leader() string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -12,7 +12,7 @@ package wire
 //	record        = epoch u64 | seq u64 | op u8 | idLen u16 | id |
 //	                reasonLen u16 | reason | when i64 (unix nanos)
 //	append        = leaderEpoch u64 | count u32 | count × record
-//	status        = epoch u64 | lastSeq u64
+//	status        = epoch u64 | lastSeq u64 | leader u8
 //	snapshotChunk = epoch u64 | baseSeq u64 | total u32 | index u32 |
 //	                chunks u32 | n u32 | n × entry
 //	entry         = idLen u16 | id | reasonLen u16 | reason | when i64
@@ -56,10 +56,15 @@ type ReplRecord struct {
 	WhenUnixNano int64
 }
 
-// ReplStatus is a follower's replication position.
+// ReplStatus is a daemon's replication position. Leader reports whether
+// the answering daemon is the fleet's active (not deposed) replication
+// leader — the probe signal ShardedClient uses to locate the real write
+// path when a ring rebalance has moved the leader designation away from
+// the daemon actually started with -repl-leader.
 type ReplStatus struct {
 	Epoch   uint64
 	LastSeq uint64
+	Leader  bool
 }
 
 // ReplSnapshotChunk is one slice of a full-state transfer. Entries across
@@ -85,7 +90,8 @@ type ReplEntry struct {
 const (
 	replRecordFixed = 8 + 8 + 1 + 2 + 2 + 8 // epoch, seq, op, idLen, reasonLen, when
 	replEntryFixed  = 2 + 2 + 8
-	replStatusLen   = 8 + 8
+	replStatusLenV1 = 8 + 8     // epoch, lastSeq (pre-leader-flag encoders)
+	replStatusLen   = 8 + 8 + 1 // epoch, lastSeq, leader flag
 	replChunkHdrLen = 8 + 8 + 4 + 4 + 4 + 4
 )
 
@@ -179,23 +185,32 @@ func replString(data []byte, off int) (string, int, error) {
 	return s, off + n, nil
 }
 
-// PackReplStatus encodes a follower's replication position.
+// PackReplStatus encodes a daemon's replication position.
 func PackReplStatus(st ReplStatus) []byte {
 	buf := make([]byte, replStatusLen)
 	binary.BigEndian.PutUint64(buf[0:8], st.Epoch)
 	binary.BigEndian.PutUint64(buf[8:16], st.LastSeq)
+	if st.Leader {
+		buf[16] = 1
+	}
 	return buf
 }
 
-// ParseReplStatus decodes a status payload.
+// ParseReplStatus decodes a status payload. The 16-byte form written by
+// pre-leader-flag encoders is accepted with Leader false, so a mixed-
+// version fleet keeps replicating during a rolling upgrade.
 func ParseReplStatus(data []byte) (ReplStatus, error) {
-	if len(data) != replStatusLen {
-		return ReplStatus{}, fmt.Errorf("%w: replication status is %d bytes, want %d", ErrProtocol, len(data), replStatusLen)
+	if len(data) != replStatusLen && len(data) != replStatusLenV1 {
+		return ReplStatus{}, fmt.Errorf("%w: replication status is %d bytes, want %d or %d", ErrProtocol, len(data), replStatusLen, replStatusLenV1)
 	}
-	return ReplStatus{
+	st := ReplStatus{
 		Epoch:   binary.BigEndian.Uint64(data[0:8]),
 		LastSeq: binary.BigEndian.Uint64(data[8:16]),
-	}, nil
+	}
+	if len(data) == replStatusLen {
+		st.Leader = data[16] == 1
+	}
+	return st, nil
 }
 
 // MarshalReplSnapshotChunk encodes one snapshot chunk.

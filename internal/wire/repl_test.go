@@ -72,15 +72,28 @@ func TestReplRecordsMalformed(t *testing.T) {
 }
 
 func TestReplStatusRoundTrip(t *testing.T) {
-	st := ReplStatus{Epoch: 12, LastSeq: 1 << 40}
-	got, err := ParseReplStatus(PackReplStatus(st))
+	for _, st := range []ReplStatus{
+		{Epoch: 12, LastSeq: 1 << 40},
+		{Epoch: 3, LastSeq: 7, Leader: true},
+	} {
+		got, err := ParseReplStatus(PackReplStatus(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != st {
+			t.Errorf("status = %+v, want %+v", got, st)
+		}
+	}
+	// The 16-byte pre-leader-flag form still parses (Leader false), so a
+	// mixed-version fleet keeps replicating through a rolling upgrade.
+	legacy, err := ParseReplStatus(PackReplStatus(ReplStatus{Epoch: 2, LastSeq: 9})[:16])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != st {
-		t.Errorf("status = %+v, want %+v", got, st)
+	if legacy.Leader || legacy.Epoch != 2 || legacy.LastSeq != 9 {
+		t.Errorf("legacy status = %+v, want epoch 2, seq 9, leader false", legacy)
 	}
-	for _, n := range []int{0, 15, 17} {
+	for _, n := range []int{0, 15, 18} {
 		if _, err := ParseReplStatus(make([]byte, n)); !errors.Is(err, ErrProtocol) {
 			t.Errorf("%d-byte status: err = %v, want ErrProtocol", n, err)
 		}
